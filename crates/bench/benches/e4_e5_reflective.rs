@@ -1,0 +1,110 @@
+//! Experiments E4 and E5: the reflective architecture (figure 3) and the
+//! §4.1 `optimizedAbs` worked example.
+//!
+//! E4 measures the cost of the reflective loop itself — PTML decode +
+//! optimize + recompile + relink — per function, i.e. what a Tycoon
+//! application pays to call `reflect.optimize` at runtime.
+//!
+//! E5 measures the paper's worked example: `geom.abs` before and after
+//! reflective optimization (accessor and library-call inlining across the
+//! `complex` module barrier).
+
+use std::time::Instant;
+use tml_bench::ms;
+use tml_lang::Session;
+use tml_reflect::{optimize_all, optimize_named, ReflectOptions};
+use tml_vm::RVal;
+
+const COMPLEX_SRC: &str = "
+module complex export new, x, y
+let new(a: Real, b: Real): Tuple = tuple(a, b)
+let x(c: Tuple): Real = c.0
+let y(c: Tuple): Real = c.1
+end
+module geom export abs
+let abs(c: Tuple): Real =
+  real.sqrt(complex.x(c) * complex.x(c) + complex.y(c) * complex.y(c))
+end";
+
+fn main() {
+    // ---- E4: reflective loop latency. --------------------------------
+    println!("E4 — reflective loop latency (PTML→TML→optimize→compile→link)\n");
+    {
+        let mut s = Session::default_session().expect("session");
+        s.load_str(COMPLEX_SRC).expect("loads");
+        // Single function, repeated.
+        let reps = 50;
+        let t = Instant::now();
+        for _ in 0..reps {
+            let v = optimize_named(&mut s, "geom.abs", &ReflectOptions::default())
+                .expect("reflect.optimize");
+            std::hint::black_box(v);
+        }
+        let per = t.elapsed().as_secs_f64() / reps as f64;
+        println!("reflect.optimize(geom.abs): {} per invocation", ms(per));
+    }
+    {
+        // Whole-world optimization of a fresh session (stdlib + example).
+        let t = Instant::now();
+        let mut s = Session::default_session().expect("session");
+        s.load_str(COMPLEX_SRC).expect("loads");
+        let setup = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let report = optimize_all(&mut s, &ReflectOptions::default()).expect("optimize_all");
+        let dt = t.elapsed().as_secs_f64();
+        println!(
+            "optimize_all: {} functions in {} ({} per function); load+link was {}",
+            report.functions,
+            ms(dt),
+            ms(dt / report.functions.max(1) as f64),
+            ms(setup),
+        );
+        println!(
+            "             TML nodes {} -> {}, {} call sites inlined",
+            report.size_before, report.size_after, report.inlined
+        );
+    }
+
+    // ---- E5: abs vs optimizedAbs. -------------------------------------
+    println!("\nE5 — §4.1 worked example: abs vs reflect.optimize(abs)\n");
+    let mut s = Session::default_session().expect("session");
+    s.load_str(COMPLEX_SRC).expect("loads");
+    let c = s
+        .call("complex.new", vec![RVal::Real(3.0), RVal::Real(4.0)])
+        .expect("new")
+        .result;
+    let optimized = optimize_named(&mut s, "geom.abs", &ReflectOptions::default())
+        .expect("reflect.optimize");
+
+    let reps = 2000;
+    let run = |s: &mut Session, target: RVal, c: &RVal| -> (f64, u64, u64) {
+        let out = s.call_value(target.clone(), vec![c.clone()]).expect("abs runs");
+        assert_eq!(out.result, RVal::Real(5.0));
+        let t = Instant::now();
+        for _ in 0..reps {
+            let out = s.call_value(target.clone(), vec![c.clone()]).expect("runs");
+            std::hint::black_box(out.result);
+        }
+        (
+            t.elapsed().as_secs_f64() / reps as f64,
+            out.stats.instrs,
+            out.stats.calls,
+        )
+    };
+    let abs_target = RVal::from_sval(&s.global("geom.abs").cloned().expect("bound"));
+    let (t0, i0, c0) = run(&mut s, abs_target, &c);
+    let (t1, i1, c1) = run(&mut s, RVal::from_sval(&optimized), &c);
+    println!(
+        "abs          : {:>10} per call, {} instructions, {} calls",
+        ms(t0), i0, c0
+    );
+    println!(
+        "optimizedAbs : {:>10} per call, {} instructions, {} calls",
+        ms(t1), i1, c1
+    );
+    println!(
+        "speedup      : {:.2}x wall clock, {:.2}x instructions",
+        t0 / t1,
+        i0 as f64 / i1 as f64
+    );
+}

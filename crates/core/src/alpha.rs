@@ -1,0 +1,157 @@
+//! α-conversion: maintaining the unique binding rule.
+//!
+//! The unique binding rule (paper §2.2, constraint 4) is established during
+//! TML code generation and must be preserved by every transformation. The
+//! only transformation that duplicates binders is the expansion pass when it
+//! inlines an abstraction at more than one call site (or keeps the original
+//! binding alive); [`alpha_copy_abs`] produces a copy whose every binder is
+//! replaced by a fresh identifier.
+
+use crate::ident::{NameTable, VarId};
+use crate::term::{Abs, App, Value};
+use std::collections::HashMap;
+
+/// Clone `abs`, renaming every binder inside it (including its own
+/// parameters) to fresh identifiers from `names`. Free variables are left
+/// untouched. The result can be spliced anywhere in a tree without
+/// violating the unique binding rule.
+pub fn alpha_copy_abs(abs: &Abs, names: &mut NameTable) -> Abs {
+    let mut map = HashMap::new();
+    copy_abs(abs, names, &mut map)
+}
+
+/// Clone `app`, renaming every binder to fresh identifiers.
+pub fn alpha_copy_app(app: &App, names: &mut NameTable) -> App {
+    let mut map = HashMap::new();
+    copy_app(app, names, &mut map)
+}
+
+fn copy_abs(abs: &Abs, names: &mut NameTable, map: &mut HashMap<VarId, VarId>) -> Abs {
+    let params: Vec<VarId> = abs
+        .params
+        .iter()
+        .map(|&p| {
+            let fresh = names.fresh_like(p);
+            map.insert(p, fresh);
+            fresh
+        })
+        .collect();
+    let body = copy_app(&abs.body, names, map);
+    Abs { params, body }
+}
+
+fn copy_app(app: &App, names: &mut NameTable, map: &mut HashMap<VarId, VarId>) -> App {
+    App {
+        func: copy_value(&app.func, names, map),
+        args: app
+            .args
+            .iter()
+            .map(|a| copy_value(a, names, map))
+            .collect(),
+    }
+}
+
+fn copy_value(val: &Value, names: &mut NameTable, map: &mut HashMap<VarId, VarId>) -> Value {
+    match val {
+        Value::Var(v) => Value::Var(map.get(v).copied().unwrap_or(*v)),
+        Value::Lit(l) => Value::Lit(l.clone()),
+        Value::Prim(p) => Value::Prim(*p),
+        Value::Abs(a) => Value::Abs(Box::new(copy_abs(a, names, map))),
+    }
+}
+
+/// Check the unique binding rule over a whole application: every binder
+/// occurs in exactly one formal parameter list. Returns the offending
+/// variable on failure.
+pub fn check_unique_binding(app: &App) -> Result<(), VarId> {
+    let binders = app.binders();
+    let mut seen = std::collections::HashSet::with_capacity(binders.len());
+    for b in binders {
+        if !seen.insert(b) {
+            return Err(b);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::NameTable;
+
+    /// Build λ(x)(x y) — y free.
+    fn sample(names: &mut NameTable) -> (Abs, VarId, VarId) {
+        let x = names.fresh("x");
+        let y = names.fresh("y");
+        let abs = Abs::new(vec![x], App::new(Value::Var(x), vec![Value::Var(y)]));
+        (abs, x, y)
+    }
+
+    #[test]
+    fn copy_renames_binders() {
+        let mut names = NameTable::new();
+        let (abs, x, _) = sample(&mut names);
+        let copy = alpha_copy_abs(&abs, &mut names);
+        assert_ne!(copy.params[0], x);
+        // The bound occurrence follows the rename.
+        assert_eq!(copy.body.func, Value::Var(copy.params[0]));
+    }
+
+    #[test]
+    fn copy_preserves_free_variables() {
+        let mut names = NameTable::new();
+        let (abs, _, y) = sample(&mut names);
+        let copy = alpha_copy_abs(&abs, &mut names);
+        assert_eq!(copy.body.args, vec![Value::Var(y)]);
+    }
+
+    #[test]
+    fn copy_preserves_cont_classification() {
+        let mut names = NameTable::new();
+        let k = names.fresh_cont("cc");
+        let abs = Abs::new(vec![k], App::new(Value::Var(k), vec![]));
+        let copy = alpha_copy_abs(&abs, &mut names);
+        assert!(names.is_cont(copy.params[0]));
+    }
+
+    #[test]
+    fn original_plus_copy_satisfy_unique_binding() {
+        let mut names = NameTable::new();
+        let (abs, _, _) = sample(&mut names);
+        let copy = alpha_copy_abs(&abs, &mut names);
+        let both = App::new(
+            Value::from(abs),
+            vec![Value::from(copy)],
+        );
+        assert!(check_unique_binding(&both).is_ok());
+    }
+
+    #[test]
+    fn check_unique_binding_detects_violation() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        // λ(x)(λ(x) app val) — the paper's explicit counterexample.
+        let inner = Abs::new(vec![x], App::new(Value::int(1), vec![]));
+        let outer = Abs::new(
+            vec![x],
+            App::new(Value::from(inner), vec![Value::int(2)]),
+        );
+        let app = App::new(Value::from(outer), vec![Value::int(3)]);
+        assert_eq!(check_unique_binding(&app), Err(x));
+    }
+
+    #[test]
+    fn nested_binders_all_renamed() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let k = names.fresh_cont("k");
+        let inner = Abs::new(vec![k], App::new(Value::Var(k), vec![Value::Var(x)]));
+        let outer = Abs::new(vec![x], App::new(Value::from(inner), vec![]));
+        let copy = alpha_copy_abs(&outer, &mut names);
+        let mut binders = vec![copy.params[0]];
+        binders.extend(copy.body.binders());
+        assert!(!binders.contains(&x));
+        assert!(!binders.contains(&k));
+        assert_eq!(binders.len(), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Occurrence census: the paper's `|E|_v` function (§3).
+//!
+//! "A key feature of CPS-based representations is the fact that control and
+//! data dependencies are captured uniformly by the concept of bound
+//! variables." The rewrite rules' preconditions are all phrased in terms of
+//! the number of occurrences of a variable; thanks to the unique binding
+//! rule a single O(n) sweep over the tree yields the counts for *every*
+//! variable at once, stored in a dense vector.
+
+use crate::ident::VarId;
+use crate::term::{App, Value};
+
+/// Occurrence counts for every variable of a term, indexed by [`VarId`].
+#[derive(Debug, Clone, Default)]
+pub struct Census {
+    counts: Vec<u32>,
+}
+
+impl Census {
+    /// Count every variable occurrence in `app`. `nvars` must be at least
+    /// the number of identifiers in the owning name table.
+    pub fn of_app(app: &App, nvars: usize) -> Census {
+        let mut c = Census {
+            counts: vec![0; nvars],
+        };
+        c.add_app(app);
+        c
+    }
+
+    /// Count every variable occurrence in a value.
+    pub fn of_value(val: &Value, nvars: usize) -> Census {
+        let mut c = Census {
+            counts: vec![0; nvars],
+        };
+        c.add_value(val);
+        c
+    }
+
+    /// `|E|_v`: the number of occurrences of `v`.
+    pub fn count(&self, v: VarId) -> u32 {
+        self.counts.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// `true` if `v` does not occur (`|E|_v = 0`), the `remove` rule's
+    /// precondition.
+    pub fn is_dead(&self, v: VarId) -> bool {
+        self.count(v) == 0
+    }
+
+    /// `true` if `v` occurs exactly once (`|E|_v = 1`), the `subst` rule's
+    /// precondition for abstraction values.
+    pub fn is_linear(&self, v: VarId) -> bool {
+        self.count(v) == 1
+    }
+
+    /// Incrementally add `delta` to the count of `v` (used by the optimizer
+    /// when a substitution duplicates a variable occurrence). Counts may
+    /// only be *increased* incrementally: stale overcounts merely delay a
+    /// rewrite to the next sweep, while undercounts could violate the
+    /// unique binding rule.
+    pub fn bump(&mut self, v: VarId, delta: u32) {
+        if v.index() >= self.counts.len() {
+            self.counts.resize(v.index() + 1, 0);
+        }
+        self.counts[v.index()] += delta;
+    }
+
+    /// Reset the count of `v` to zero (after all its occurrences were
+    /// substituted away).
+    pub fn clear(&mut self, v: VarId) {
+        if v.index() < self.counts.len() {
+            self.counts[v.index()] = 0;
+        }
+    }
+
+    fn add_app(&mut self, app: &App) {
+        self.add_value(&app.func);
+        for a in &app.args {
+            self.add_value(a);
+        }
+    }
+
+    fn add_value(&mut self, val: &Value) {
+        match val {
+            Value::Var(v) => {
+                if v.index() >= self.counts.len() {
+                    self.counts.resize(v.index() + 1, 0);
+                }
+                self.counts[v.index()] += 1;
+            }
+            Value::Abs(a) => self.add_app(&a.body),
+            Value::Lit(_) | Value::Prim(_) => {}
+        }
+    }
+}
+
+/// Count occurrences of a single variable in an application — the literal
+/// `|E|_v` of the paper, defined inductively on the abstract syntax.
+/// Useful for spot checks; the optimizer uses [`Census`] instead.
+pub fn occurrences_in_app(app: &App, v: VarId) -> u32 {
+    occurrences_in_value(&app.func, v)
+        + app.args.iter().map(|a| occurrences_in_value(a, v)).sum::<u32>()
+}
+
+/// Count occurrences of a single variable in a value.
+pub fn occurrences_in_value(val: &Value, v: VarId) -> u32 {
+    match val {
+        Value::Var(w) => u32::from(*w == v),
+        Value::Abs(a) => occurrences_in_app(&a.body, v),
+        Value::Lit(_) | Value::Prim(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::NameTable;
+    use crate::term::Abs;
+
+    fn setup() -> (NameTable, VarId, VarId, App) {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let y = names.fresh("y");
+        // (x x y) with a nested (λ(z)(x z) ..) argument
+        let z = names.fresh("z");
+        let inner = Abs::new(vec![z], App::new(Value::Var(x), vec![Value::Var(z)]));
+        let app = App::new(
+            Value::Var(x),
+            vec![Value::Var(x), Value::Var(y), Value::from(inner)],
+        );
+        (names, x, y, app)
+    }
+
+    #[test]
+    fn census_counts_across_nesting() {
+        let (names, x, y, app) = setup();
+        let c = Census::of_app(&app, names.len());
+        assert_eq!(c.count(x), 3);
+        assert_eq!(c.count(y), 1);
+        assert!(c.is_linear(y));
+        assert!(!c.is_dead(x));
+    }
+
+    #[test]
+    fn census_matches_inductive_definition() {
+        let (names, x, y, app) = setup();
+        let c = Census::of_app(&app, names.len());
+        assert_eq!(c.count(x), occurrences_in_app(&app, x));
+        assert_eq!(c.count(y), occurrences_in_app(&app, y));
+    }
+
+    #[test]
+    fn binder_positions_do_not_count_as_occurrences() {
+        // |λ(v1..vn) app|_v = |app|_v — the formal parameter list itself
+        // does not contribute.
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let abs = Abs::new(vec![x], App::new(Value::int(1), vec![]));
+        let c = Census::of_value(&Value::from(abs), names.len());
+        assert_eq!(c.count(x), 0);
+        assert!(c.is_dead(x));
+    }
+
+    #[test]
+    fn unknown_var_counts_zero() {
+        let (names, ..) = setup();
+        let c = Census::of_app(
+            &App::new(Value::int(1), vec![]),
+            names.len(),
+        );
+        assert_eq!(c.count(VarId(99)), 0);
+    }
+
+    #[test]
+    fn lits_and_prims_count_zero() {
+        let app = App::new(Value::int(1), vec![Value::Prim(crate::prim::PrimId(0))]);
+        let c = Census::of_app(&app, 4);
+        for i in 0..4 {
+            assert!(c.is_dead(VarId(i)));
+        }
+    }
+}

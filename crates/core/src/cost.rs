@@ -1,0 +1,111 @@
+//! The abstract-machine cost model (paper §2.3, item 3).
+//!
+//! Every primitive carries "a function to estimate the runtime cost of a
+//! given call …, measured in the number of instructions necessary to
+//! implement the primitive on an idealized abstract machine. This function
+//! is used by the optimizer to estimate the possible savings resulting from
+//! the inlining of a TML procedure containing calls to the primitive."
+//!
+//! The static cost of a term is an upper bound assuming straight-line
+//! execution of every branch (loops are not unrolled: the body of a `Y`
+//! argument is counted once). The expansion pass compares the cost of a
+//! call (`CALL_COST` + argument setup) against the cost of the inlined
+//! body, weighted by the Appel-style heuristics in `tml-opt`.
+
+use crate::term::{App, Value};
+use crate::Ctx;
+
+/// Instructions charged for a procedure/continuation call through a
+/// variable or unknown value (jump with parameter passing).
+pub const CALL_COST: u32 = 4;
+
+/// Instructions charged per argument moved into parameter position.
+pub const ARG_COST: u32 = 1;
+
+/// Instructions charged for materializing a closure (environment capture).
+pub const CLOSURE_COST: u32 = 3;
+
+/// Static cost of an application, in abstract machine instructions.
+pub fn cost_app(ctx: &Ctx, app: &App) -> u32 {
+    let base = match &app.func {
+        Value::Prim(p) => ctx.prims.def(*p).cost_of(app),
+        Value::Var(_) => CALL_COST,
+        // A direct application of an abstraction compiles to straight-line
+        // binding code: only the argument moves are charged.
+        Value::Abs(_) => 0,
+        Value::Lit(_) => CALL_COST, // ill-formed; charge conservatively
+    };
+    let mut total = base + ARG_COST * app.args.len() as u32;
+    if let Value::Abs(a) = &app.func {
+        total += cost_app(ctx, &a.body);
+    }
+    for arg in &app.args {
+        total += cost_value(ctx, arg);
+    }
+    total
+}
+
+/// Static cost of materializing a value.
+pub fn cost_value(ctx: &Ctx, val: &Value) -> u32 {
+    match val {
+        Value::Lit(_) | Value::Var(_) | Value::Prim(_) => 0,
+        Value::Abs(a) => CLOSURE_COST + cost_app(ctx, &a.body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Abs;
+    use crate::Builder;
+
+    #[test]
+    fn prim_costs_flow_through() {
+        let mut ctx = Ctx::new();
+        let mut b = Builder::new(&mut ctx);
+        let ce = b.kvar("ce");
+        let cc = b.kvar("cc");
+        let add = b.primapp(
+            "+",
+            vec![b.int(1), b.int(2), Value::Var(ce), Value::Var(cc)],
+        );
+        let div = b.primapp(
+            "/",
+            vec![b.int(1), b.int(2), Value::Var(ce), Value::Var(cc)],
+        );
+        // '+' costs 1, plus 4 argument moves; '/' costs 3.
+        assert_eq!(cost_app(&ctx, &add), 1 + 4);
+        assert_eq!(cost_app(&ctx, &div), 3 + 4);
+    }
+
+    #[test]
+    fn calls_cost_more_than_direct_bindings() {
+        let mut ctx = Ctx::new();
+        let mut b = Builder::new(&mut ctx);
+        let f = b.var("f");
+        let ce = b.kvar("ce");
+        let cc = b.kvar("cc");
+        let call = App::new(
+            Value::Var(f),
+            vec![b.int(1), Value::Var(ce), Value::Var(cc)],
+        );
+        let x = b.var("x");
+        let direct = b.let_(x, b.int(1), b.halt(Value::Var(x)));
+        assert!(cost_app(&ctx, &call) > 0);
+        // Direct binding charges no call cost, only moves + body.
+        let halt_cost = 1 + 1; // halt prim + 1 arg
+        assert_eq!(cost_app(&ctx, &direct), 1 + halt_cost);
+        assert_eq!(cost_app(&ctx, &call), CALL_COST + 3 * ARG_COST);
+    }
+
+    #[test]
+    fn closures_charge_capture() {
+        let mut ctx = Ctx::new();
+        let mut b = Builder::new(&mut ctx);
+        let x = b.var("x");
+        let inner = b.halt(Value::Var(x));
+        let abs = Value::from(Abs::new(vec![x], inner));
+        assert_eq!(cost_value(&ctx, &abs), CLOSURE_COST + 2);
+        assert_eq!(cost_value(&ctx, &Value::int(5)), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+/// Errors produced by core analyses (parsing, well-formedness checking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A parse error with position information.
+    Parse {
+        /// Byte offset in the input where the error occurred.
+        offset: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// A well-formedness violation (paper §2.2 constraints 1–5).
+    WellFormedness(Vec<String>),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            CoreError::WellFormedness(errs) => {
+                writeln!(f, "TML well-formedness violation(s):")?;
+                for e in errs {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error() {
+        let e = CoreError::Parse {
+            offset: 12,
+            message: "unexpected ')'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at byte 12: unexpected ')'");
+    }
+
+    #[test]
+    fn display_wf_errors() {
+        let e = CoreError::WellFormedness(vec!["x bound twice".into()]);
+        let s = e.to_string();
+        assert!(s.contains("x bound twice"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Free variable analysis (paper §1, "common tasks").
+//!
+//! "Does a variable appear in a query predicate? Does a procedure depend on
+//! global variables? ... Which base relations appear inside an integrity
+//! constraint?" — all of these reduce to free-variable analysis on TML
+//! terms. The reflective optimizer uses it to determine the R-value
+//! bindings it must fetch from a closure record, and the query optimizer
+//! uses it for scoping preconditions such as the `trivial-exists` rule's
+//! `|p|_x = 0`.
+
+use crate::ident::VarId;
+use crate::term::{Abs, App, Value};
+use std::collections::HashSet;
+
+/// The set of free variables of an application, in first-occurrence order.
+pub fn free_vars_app(app: &App) -> Vec<VarId> {
+    let mut bound = HashSet::new();
+    let mut free = Vec::new();
+    let mut seen = HashSet::new();
+    walk_app(app, &mut bound, &mut seen, &mut free);
+    free
+}
+
+/// The set of free variables of a value, in first-occurrence order.
+pub fn free_vars_value(val: &Value) -> Vec<VarId> {
+    let mut bound = HashSet::new();
+    let mut free = Vec::new();
+    let mut seen = HashSet::new();
+    walk_value(val, &mut bound, &mut seen, &mut free);
+    free
+}
+
+/// The free variables of an abstraction (its parameters are bound).
+pub fn free_vars_abs(abs: &Abs) -> Vec<VarId> {
+    free_vars_value(&Value::Abs(Box::new(abs.clone())))
+}
+
+/// `true` if `app` is closed (has no free variables).
+pub fn is_closed_app(app: &App) -> bool {
+    free_vars_app(app).is_empty()
+}
+
+fn walk_app(
+    app: &App,
+    bound: &mut HashSet<VarId>,
+    seen: &mut HashSet<VarId>,
+    free: &mut Vec<VarId>,
+) {
+    walk_value(&app.func, bound, seen, free);
+    for a in &app.args {
+        walk_value(a, bound, seen, free);
+    }
+}
+
+fn walk_value(
+    val: &Value,
+    bound: &mut HashSet<VarId>,
+    seen: &mut HashSet<VarId>,
+    free: &mut Vec<VarId>,
+) {
+    match val {
+        Value::Var(v) => {
+            if !bound.contains(v) && seen.insert(*v) {
+                free.push(*v);
+            }
+        }
+        Value::Lit(_) | Value::Prim(_) => {}
+        Value::Abs(a) => {
+            // Unique binding means no parameter can shadow an outer binder,
+            // so a plain insert/remove discipline is safe.
+            for p in &a.params {
+                bound.insert(*p);
+            }
+            walk_app(&a.body, bound, seen, free);
+            for p in &a.params {
+                bound.remove(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::NameTable;
+
+    #[test]
+    fn bound_params_are_not_free() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let abs = Abs::new(vec![x], App::new(Value::Var(x), vec![]));
+        assert!(free_vars_abs(&abs).is_empty());
+    }
+
+    #[test]
+    fn unbound_vars_are_free_in_order() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let g = names.fresh("g");
+        let h = names.fresh("h");
+        let abs = Abs::new(
+            vec![x],
+            App::new(Value::Var(g), vec![Value::Var(h), Value::Var(x), Value::Var(g)]),
+        );
+        assert_eq!(free_vars_abs(&abs), vec![g, h]);
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let y = names.fresh("y");
+        let z = names.fresh("z");
+        // λ(x) ((λ(y) (y x z)) x)  — z free
+        let inner = Abs::new(
+            vec![y],
+            App::new(Value::Var(y), vec![Value::Var(x), Value::Var(z)]),
+        );
+        let outer = Abs::new(vec![x], App::new(Value::from(inner), vec![Value::Var(x)]));
+        assert_eq!(free_vars_abs(&outer), vec![z]);
+    }
+
+    #[test]
+    fn closed_term_detection() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let abs = Abs::new(vec![x], App::new(Value::Var(x), vec![Value::int(1)]));
+        let app = App::new(Value::from(abs), vec![Value::int(2)]);
+        assert!(is_closed_app(&app));
+    }
+
+    #[test]
+    fn free_vars_of_plain_app() {
+        let mut names = NameTable::new();
+        let f = names.fresh("f");
+        let a = names.fresh("a");
+        let app = App::new(Value::Var(f), vec![Value::Var(a), Value::Var(f)]);
+        assert_eq!(free_vars_app(&app), vec![f, a]);
+    }
+}

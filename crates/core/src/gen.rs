@@ -1,0 +1,226 @@
+//! Random well-formed TML program generator.
+//!
+//! Produces closed, terminating, deterministic programs over the pure
+//! integer fragment (literal bindings, arithmetic with exception
+//! continuations, comparisons, `==` case analysis, direct applications and
+//! first-class procedure calls). Used by the property tests of `tml-opt`
+//! and `tml-vm` to check that optimization preserves evaluation results,
+//! preserves well-formedness, and terminates.
+
+use crate::ident::VarId;
+use crate::lit::Lit;
+use crate::term::{Abs, App, Value};
+use crate::Ctx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Approximate number of binding/branching steps.
+    pub steps: usize,
+    /// Inclusive range of integer literals.
+    pub lit_range: (i64, i64),
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            steps: 12,
+            lit_range: (-100, 100),
+        }
+    }
+}
+
+/// Generate a closed program `(… (halt result))` from `seed`.
+///
+/// The returned context contains the standard primitives; the program is
+/// guaranteed well-formed (checked by a debug assertion) and terminates on
+/// the abstract machine.
+pub fn gen_program(seed: u64, config: GenConfig) -> (Ctx, App) {
+    let mut ctx = Ctx::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Gen {
+        ctx: &mut ctx,
+        rng: &mut rng,
+        config,
+    };
+    let app = g.gen_app(config.steps, &mut Vec::new());
+    debug_assert!(
+        crate::wellformed::check_app(&ctx, &app).is_ok(),
+        "generator produced ill-formed program"
+    );
+    (ctx, app)
+}
+
+struct Gen<'a> {
+    ctx: &'a mut Ctx,
+    rng: &'a mut StdRng,
+    config: GenConfig,
+}
+
+impl Gen<'_> {
+    fn lit(&mut self) -> Value {
+        let (lo, hi) = self.config.lit_range;
+        Value::Lit(Lit::Int(self.rng.gen_range(lo..=hi)))
+    }
+
+    /// A value usable in argument position: a literal, or a bound variable.
+    fn value(&mut self, env: &[VarId]) -> Value {
+        if !env.is_empty() && self.rng.gen_bool(0.6) {
+            Value::Var(env[self.rng.gen_range(0..env.len())])
+        } else {
+            self.lit()
+        }
+    }
+
+    fn prim(&self, name: &str) -> Value {
+        Value::Prim(self.ctx.prims.lookup(name).expect("standard prim"))
+    }
+
+    /// `cont(e)(halt e)` — exception continuation halting with the value.
+    fn halting_ce(&mut self) -> Value {
+        let e = self.ctx.names.fresh("exc");
+        Value::from(Abs::new(
+            vec![e],
+            App::new(self.prim("halt"), vec![Value::Var(e)]),
+        ))
+    }
+
+    fn gen_app(&mut self, budget: usize, env: &mut Vec<VarId>) -> App {
+        if budget == 0 {
+            let v = self.value(env);
+            return App::new(self.prim("halt"), vec![v]);
+        }
+        match self.rng.gen_range(0..100) {
+            // Bind a literal through a direct application.
+            0..=24 => {
+                let x = self.ctx.names.fresh("x");
+                let val = self.lit();
+                env.push(x);
+                let body = self.gen_app(budget - 1, env);
+                env.pop();
+                App::new(Value::from(Abs::new(vec![x], body)), vec![val])
+            }
+            // Arithmetic with a halting exception continuation.
+            25..=54 => {
+                let op = ["+", "-", "*", "/", "%"][self.rng.gen_range(0..5)];
+                let a = self.value(env);
+                let b = self.value(env);
+                let ce = self.halting_ce();
+                let t = self.ctx.names.fresh("t");
+                env.push(t);
+                let rest = self.gen_app(budget - 1, env);
+                env.pop();
+                let cc = Value::from(Abs::new(vec![t], rest));
+                App::new(self.prim(op), vec![a, b, ce, cc])
+            }
+            // Two-way comparison branch (budget split between arms).
+            55..=74 => {
+                let op = ["<", ">", "<=", ">=", "=", "<>"][self.rng.gen_range(0..6)];
+                let a = self.value(env);
+                let b = self.value(env);
+                let half = budget / 2;
+                let then_app = self.gen_app(half, env);
+                let else_app = self.gen_app(budget - 1 - half, env);
+                App::new(
+                    self.prim(op),
+                    vec![
+                        a,
+                        b,
+                        Value::from(Abs::new(vec![], then_app)),
+                        Value::from(Abs::new(vec![], else_app)),
+                    ],
+                )
+            }
+            // == case analysis with two tags and an else branch.
+            75..=89 => {
+                let v = self.value(env);
+                let t1 = self.lit();
+                let t2 = self.lit();
+                let third = budget.saturating_sub(1) / 3;
+                let b1 = self.gen_app(third, env);
+                let b2 = self.gen_app(third, env);
+                let belse = self.gen_app(budget - 1 - 2 * third, env);
+                App::new(
+                    self.prim("=="),
+                    vec![
+                        v,
+                        t1,
+                        t2,
+                        Value::from(Abs::new(vec![], b1)),
+                        Value::from(Abs::new(vec![], b2)),
+                        Value::from(Abs::new(vec![], belse)),
+                    ],
+                )
+            }
+            // Define and immediately call a first-class procedure.
+            _ => {
+                let p = self.ctx.names.fresh("p");
+                let x = self.ctx.names.fresh("a");
+                let ce_p = self.ctx.names.fresh_cont("ce");
+                let cc_p = self.ctx.names.fresh_cont("cc");
+                // Body: (+ x 1 ce cc)
+                let body = App::new(
+                    self.prim("+"),
+                    vec![
+                        Value::Var(x),
+                        Value::Lit(Lit::Int(1)),
+                        Value::Var(ce_p),
+                        Value::Var(cc_p),
+                    ],
+                );
+                let procv = Value::from(Abs::new(vec![x, ce_p, cc_p], body));
+                let arg = self.value(env);
+                let ce = self.halting_ce();
+                let t = self.ctx.names.fresh("t");
+                env.push(t);
+                let rest = self.gen_app(budget - 1, env);
+                env.pop();
+                let cc = Value::from(Abs::new(vec![t], rest));
+                let call = App::new(Value::Var(p), vec![arg, ce, cc]);
+                App::new(Value::from(Abs::new(vec![p], call)), vec![procv])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wellformed::check_app;
+
+    #[test]
+    fn generated_programs_are_well_formed() {
+        for seed in 0..50 {
+            let (ctx, app) = gen_program(seed, GenConfig::default());
+            check_app(&ctx, &app)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_programs_are_closed() {
+        for seed in 0..20 {
+            let (_, app) = gen_program(seed, GenConfig::default());
+            assert!(
+                crate::free::is_closed_app(&app),
+                "seed {seed} produced open program"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, a) = gen_program(42, GenConfig::default());
+        let (_, b) = gen_program(42, GenConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bigger_budgets_give_bigger_programs() {
+        let small = gen_program(7, GenConfig { steps: 2, ..Default::default() }).1;
+        let large = gen_program(7, GenConfig { steps: 40, ..Default::default() }).1;
+        assert!(large.size() > small.size());
+    }
+}

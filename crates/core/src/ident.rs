@@ -1,0 +1,180 @@
+//! Identifiers (value and continuation variables) and the name table.
+//!
+//! TML enforces the *unique binding rule* (paper §2.2, constraint 4): an
+//! identifier may occur in at most one formal parameter list of a TML tree.
+//! The code generator therefore has to create a *fresh* identifier for every
+//! binder, which is what [`NameTable::fresh`] does: each identifier carries a
+//! base name (for human consumption) and a globally unique number, exactly
+//! like the `x_7`, `t_12` identifiers in the paper's listings.
+
+use std::fmt;
+
+/// A dense identifier for a TML variable.
+///
+/// `VarId`s index into a [`NameTable`]; terms only store the id, which keeps
+/// the tree compact and makes the occurrence census a plain vector.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The index of this variable in its [`NameTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Per-variable metadata stored in the [`NameTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// The base (source-level) name of the variable, without the unique
+    /// suffix. Temporary variables introduced by CPS conversion conventionally
+    /// use the base name `t`, continuations `cc`/`ce`/`c`/`k`.
+    pub base: String,
+    /// `true` if the variable is a *continuation variable*. Continuations are
+    /// not first-class in TML (constraint 3); the front end decides which
+    /// binders denote continuations and the well-formedness checker verifies
+    /// that they never escape.
+    pub is_cont: bool,
+}
+
+/// Maps [`VarId`]s to their metadata and generates fresh identifiers.
+///
+/// Printing uses `base_id` (e.g. `complex_4`, `t_12`), matching the output of
+/// the paper's TML pretty-printer where "each identifier name is appended
+/// with a unique number in order to distinguish it from any other
+/// identifier" (paper §4.1, footnote 5).
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    vars: Vec<VarInfo>,
+}
+
+impl NameTable {
+    /// Create an empty name table.
+    pub fn new() -> Self {
+        NameTable { vars: Vec::new() }
+    }
+
+    /// Number of identifiers ever created.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` if no identifier was created yet.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Create a fresh *value* variable with the given base name.
+    pub fn fresh(&mut self, base: impl Into<String>) -> VarId {
+        self.push(VarInfo {
+            base: base.into(),
+            is_cont: false,
+        })
+    }
+
+    /// Create a fresh *continuation* variable with the given base name.
+    pub fn fresh_cont(&mut self, base: impl Into<String>) -> VarId {
+        self.push(VarInfo {
+            base: base.into(),
+            is_cont: true,
+        })
+    }
+
+    /// Create a fresh variable copying the metadata of `v` (used by
+    /// α-conversion when duplicating an abstraction for inlining).
+    pub fn fresh_like(&mut self, v: VarId) -> VarId {
+        let info = self.vars[v.index()].clone();
+        self.push(info)
+    }
+
+    fn push(&mut self, info: VarInfo) -> VarId {
+        let id = VarId(u32::try_from(self.vars.len()).expect("variable id space exhausted"));
+        self.vars.push(info);
+        id
+    }
+
+    /// Metadata of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` was not created by this table.
+    pub fn info(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.index()]
+    }
+
+    /// `true` if `v` is a continuation variable.
+    pub fn is_cont(&self, v: VarId) -> bool {
+        self.vars[v.index()].is_cont
+    }
+
+    /// The printable name of `v`, e.g. `t_12`.
+    pub fn display(&self, v: VarId) -> String {
+        format!("{}_{}", self.vars[v.index()].base, v.0)
+    }
+
+    /// Iterate over all `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (VarId(i as u32), info))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_unique_and_sequential() {
+        let mut t = NameTable::new();
+        let a = t.fresh("x");
+        let b = t.fresh("x");
+        let c = t.fresh_cont("cc");
+        assert_ne!(a, b);
+        assert_eq!(a, VarId(0));
+        assert_eq!(b, VarId(1));
+        assert_eq!(c, VarId(2));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn cont_flag_is_tracked() {
+        let mut t = NameTable::new();
+        let v = t.fresh("x");
+        let k = t.fresh_cont("cc");
+        assert!(!t.is_cont(v));
+        assert!(t.is_cont(k));
+    }
+
+    #[test]
+    fn display_appends_unique_number() {
+        let mut t = NameTable::new();
+        let v = t.fresh("complex");
+        assert_eq!(t.display(v), "complex_0");
+    }
+
+    #[test]
+    fn fresh_like_copies_metadata() {
+        let mut t = NameTable::new();
+        let k = t.fresh_cont("cc");
+        let k2 = t.fresh_like(k);
+        assert_ne!(k, k2);
+        assert!(t.is_cont(k2));
+        assert_eq!(t.info(k2).base, "cc");
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut t = NameTable::new();
+        t.fresh("a");
+        t.fresh("b");
+        assert_eq!(t.iter().count(), 2);
+    }
+}

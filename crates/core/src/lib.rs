@@ -1,0 +1,126 @@
+//! # tml-core — the Tycoon Machine Language (TML) intermediate representation
+//!
+//! This crate implements the persistent CPS intermediate code representation
+//! described in:
+//!
+//! > Andreas Gawecki, Florian Matthes.
+//! > *Exploiting Persistent Intermediate Code Representations in Open
+//! > Database Environments.* EDBT 1996.
+//!
+//! TML is a call-by-value λ-calculus in continuation passing style (CPS)
+//! with store semantics. Six node kinds are sufficient to represent a TML
+//! tree (paper §2.1):
+//!
+//! * literal constants ([`Lit`]) — integers, reals, characters, booleans and
+//!   object identifiers ([`Oid`]) denoting arbitrarily complex objects in
+//!   the persistent object store,
+//! * variables ([`VarId`]),
+//! * primitive procedures ([`PrimId`], resolved through a [`PrimTable`]),
+//! * λ-abstractions ([`Abs`]), and
+//! * applications ([`App`]); the sixth "node kind" is the formal/actual
+//!   parameter list carried by abstractions and applications.
+//!
+//! The crate provides the complete term algebra needed by the optimizer and
+//! the persistence layer:
+//!
+//! * occurrence census `|E|_v` ([`census`]),
+//! * capture-free substitution `E[val/v]` ([`subst`]),
+//! * α-conversion maintaining the *unique binding rule* ([`alpha`]),
+//! * free-variable analysis ([`free`]),
+//! * the well-formedness constraints of paper §2.2 ([`wellformed`]),
+//! * a pretty printer matching the paper's notation ([`pretty`]) and an
+//!   s-expression parser for it ([`parse`]),
+//! * a programmatic CPS term builder ([`build`]),
+//! * the abstract-machine cost model used by the inliner ([`cost`]), and
+//! * the extensible primitive-procedure table of paper §2.3 ([`prim`],
+//!   standard set in [`prims_std`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod build;
+pub mod census;
+pub mod cost;
+pub mod error;
+pub mod free;
+pub mod gen;
+pub mod ident;
+pub mod lit;
+pub mod parse;
+pub mod pretty;
+pub mod prim;
+pub mod prims_std;
+pub mod subst;
+pub mod term;
+pub mod wellformed;
+
+pub use build::Builder;
+pub use census::Census;
+pub use error::{CoreError, CoreResult};
+pub use ident::{NameTable, VarId, VarInfo};
+pub use lit::{Lit, Oid, R64};
+pub use prim::{EffectClass, FoldOutcome, PrimAttrs, PrimDef, PrimId, PrimTable, Signature};
+pub use term::{Abs, AbsKind, App, Value};
+
+/// A compilation context: the shared state threaded through code
+/// generation, parsing, optimization and printing.
+///
+/// Terms themselves only carry dense integer ids; the context owns the
+/// [`NameTable`] mapping [`VarId`]s to human-readable names (and the fresh
+/// variable counter required by the unique binding rule) and the
+/// [`PrimTable`] describing the primitive procedures in scope.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Variable names and continuation classification.
+    pub names: NameTable,
+    /// The primitive procedures known to this context.
+    pub prims: PrimTable,
+}
+
+impl Ctx {
+    /// Create a context with an empty name table and the standard primitive
+    /// set of the paper's figure 2 (see [`prims_std::install`]).
+    pub fn new() -> Self {
+        let mut prims = PrimTable::new();
+        prims_std::install(&mut prims);
+        Ctx {
+            names: NameTable::new(),
+            prims,
+        }
+    }
+
+    /// Create a context with an empty primitive table (no standard prims).
+    pub fn empty() -> Self {
+        Ctx {
+            names: NameTable::new(),
+            prims: PrimTable::new(),
+        }
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_has_standard_prims() {
+        let ctx = Ctx::new();
+        for name in ["+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "Y"] {
+            assert!(ctx.prims.lookup(name).is_some(), "missing prim {name}");
+        }
+    }
+
+    #[test]
+    fn empty_ctx_has_no_prims() {
+        let ctx = Ctx::empty();
+        assert!(ctx.prims.lookup("+").is_none());
+        assert_eq!(ctx.prims.len(), 0);
+    }
+}

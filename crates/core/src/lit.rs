@@ -1,0 +1,283 @@
+//! Literal constants and object identifiers.
+//!
+//! The set of literal constants includes "simple values such as integers,
+//! characters and boolean values, as well as references (object identifiers,
+//! OIDs) to complex objects in the persistent object store" (paper §2.2).
+//! Literals are an *integrated representation of code fragments and their
+//! associated data bindings*: a TML term may directly embed an OID denoting
+//! a table, an index or an ADT value.
+
+use std::fmt;
+
+/// An object identifier: a reference into the persistent Tycoon object
+/// store.
+///
+/// OIDs are opaque 64-bit handles. Their identity semantics (`==` primitive,
+/// case analysis) is plain handle equality; dereferencing them is the store's
+/// business (`tml-store`), never the IR's.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Oid(pub u64);
+
+impl Oid {
+    /// The reserved null OID (never allocated by a store).
+    pub const NULL: Oid = Oid(0);
+
+    /// `true` if this is the null OID.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<oid {:#010x}>", self.0)
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<oid {:#010x}>", self.0)
+    }
+}
+
+/// An `f64` wrapper with total equality and hashing by bit pattern.
+///
+/// TML trees must be comparable and hashable (the optimizer deduplicates
+/// terms, tests compare trees structurally), so real literals compare by
+/// their IEEE-754 bit pattern. `NaN == NaN` holds under this relation, and
+/// `0.0 != -0.0`; both are the right choice for *code identity* (as opposed
+/// to arithmetic equality, which is the `f=` primitive's business).
+#[derive(Clone, Copy)]
+pub struct R64(pub f64);
+
+impl R64 {
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    fn key(self) -> u64 {
+        self.0.to_bits()
+    }
+}
+
+impl PartialEq for R64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for R64 {}
+
+impl std::hash::Hash for R64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl PartialOrd for R64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for R64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for R64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<f64> for R64 {
+    fn from(x: f64) -> Self {
+        R64(x)
+    }
+}
+
+/// A literal constant embedded in a TML term.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Lit {
+    /// The unit value (result of statements executed for effect).
+    Unit,
+    /// A boolean value. The front ends mostly encode booleans through the
+    /// two-continuation comparison primitives, but reified booleans exist as
+    /// first-class values (e.g. stored in arrays).
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit IEEE-754 real.
+    Real(R64),
+    /// A byte/character constant, e.g. `'a'`.
+    Char(u8),
+    /// An immutable string constant.
+    Str(std::sync::Arc<str>),
+    /// An object identifier denoting a complex object in the persistent
+    /// store (table, index, closure, module record, ADT value, ...).
+    Oid(Oid),
+}
+
+impl Lit {
+    /// A short tag describing the literal kind, used in diagnostics and in
+    /// the PTML encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Lit::Unit => "unit",
+            Lit::Bool(_) => "bool",
+            Lit::Int(_) => "int",
+            Lit::Real(_) => "real",
+            Lit::Char(_) => "char",
+            Lit::Str(_) => "string",
+            Lit::Oid(_) => "oid",
+        }
+    }
+
+    /// Object-identity comparison used by the `==` case-analysis primitive
+    /// and by the `fold ==` rewrite rule. Two literals are identical if they
+    /// are the same simple value or the same OID.
+    pub fn identical(&self, other: &Lit) -> bool {
+        self == other
+    }
+
+    /// Convenience constructor for real literals.
+    pub fn real(x: f64) -> Lit {
+        Lit::Real(R64(x))
+    }
+
+    /// Convenience constructor for string literals.
+    pub fn str(s: impl AsRef<str>) -> Lit {
+        Lit::Str(std::sync::Arc::from(s.as_ref()))
+    }
+
+    /// The integer payload, if this is an `Int` literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Lit::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The real payload, if this is a `Real` literal.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Lit::Real(r) => Some(r.get()),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool` literal.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Lit::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The OID payload, if this is an `Oid` literal.
+    pub fn as_oid(&self) -> Option<Oid> {
+        match self {
+            Lit::Oid(o) => Some(*o),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Unit => write!(f, "unit"),
+            Lit::Bool(b) => write!(f, "{b}"),
+            Lit::Int(n) => write!(f, "{n}"),
+            Lit::Real(r) => write!(f, "{:?}", r.0),
+            Lit::Char(c) => write!(f, "'{}'", char::from(*c).escape_default()),
+            Lit::Str(s) => write!(f, "{s:?}"),
+            Lit::Oid(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+impl From<i64> for Lit {
+    fn from(n: i64) -> Self {
+        Lit::Int(n)
+    }
+}
+impl From<bool> for Lit {
+    fn from(b: bool) -> Self {
+        Lit::Bool(b)
+    }
+}
+impl From<f64> for Lit {
+    fn from(x: f64) -> Self {
+        Lit::Real(R64(x))
+    }
+}
+impl From<Oid> for Lit {
+    fn from(o: Oid) -> Self {
+        Lit::Oid(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn oid_null_is_reserved() {
+        assert!(Oid::NULL.is_null());
+        assert!(!Oid(1).is_null());
+    }
+
+    #[test]
+    fn oid_debug_matches_paper_notation() {
+        assert_eq!(format!("{:?}", Oid(0x005b_4780)), "<oid 0x005b4780>");
+    }
+
+    #[test]
+    fn r64_nan_is_self_identical() {
+        let a = R64(f64::NAN);
+        let b = R64(f64::NAN);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn r64_signed_zeros_differ() {
+        assert_ne!(R64(0.0), R64(-0.0));
+    }
+
+    #[test]
+    fn r64_hashable() {
+        let mut set = HashSet::new();
+        set.insert(R64(1.5));
+        set.insert(R64(1.5));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn lit_identity() {
+        assert!(Lit::Int(3).identical(&Lit::Int(3)));
+        assert!(!Lit::Int(3).identical(&Lit::Int(4)));
+        assert!(!Lit::Int(3).identical(&Lit::Char(3)));
+        assert!(Lit::Oid(Oid(7)).identical(&Lit::Oid(Oid(7))));
+    }
+
+    #[test]
+    fn lit_kinds() {
+        assert_eq!(Lit::Unit.kind(), "unit");
+        assert_eq!(Lit::Int(0).kind(), "int");
+        assert_eq!(Lit::real(1.0).kind(), "real");
+        assert_eq!(Lit::str("x").kind(), "string");
+    }
+
+    #[test]
+    fn lit_accessors() {
+        assert_eq!(Lit::Int(42).as_int(), Some(42));
+        assert_eq!(Lit::Bool(true).as_bool(), Some(true));
+        assert_eq!(Lit::real(2.5).as_real(), Some(2.5));
+        assert_eq!(Lit::Oid(Oid(9)).as_oid(), Some(Oid(9)));
+        assert_eq!(Lit::Unit.as_int(), None);
+    }
+}

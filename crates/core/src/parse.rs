@@ -1,0 +1,512 @@
+//! An s-expression parser for the printed TML form.
+//!
+//! The concrete grammar mirrors the paper's figure 1:
+//!
+//! ```text
+//! app   ::=  '(' val val* ')'
+//! val   ::=  lit | ident | primname | abs
+//! abs   ::=  ('λ' | 'lambda' | 'proc' | 'cont') '(' param* ')' app
+//! param ::=  ident | '^' ident          -- '^' marks a continuation
+//! lit   ::=  int | real | char | string | 'true' | 'false' | 'unit'
+//!         |  '<oid' hex '>'
+//! ```
+//!
+//! Identifier resolution: locally bound names win, then primitive names,
+//! then names pre-bound through [`Parser::bind`]; any remaining identifier
+//! becomes a *free variable* reported in [`Parsed::free`]. Identifiers may
+//! carry a `_NN` unique-number suffix (as produced by the pretty printer);
+//! the suffix is part of the name, so round-tripping is exact on names.
+//!
+//! `cont(...)` parameters are all value variables unless `^`-marked;
+//! `proc(...)` parameters default to the paper's convention (the trailing
+//! two are continuations) when no `^` markers are present.
+
+use crate::error::{CoreError, CoreResult};
+use crate::ident::VarId;
+use crate::lit::{Lit, Oid};
+use crate::term::{Abs, App, Value};
+use crate::Ctx;
+use std::collections::HashMap;
+
+/// The result of parsing: the term plus the free variables created for
+/// unresolved identifiers.
+#[derive(Debug, Clone)]
+pub struct Parsed {
+    /// The parsed application.
+    pub app: App,
+    /// Free identifiers, in first-occurrence order, with the variable
+    /// created for each.
+    pub free: Vec<(String, VarId)>,
+}
+
+/// Parse a TML application from text using (and extending) `ctx`.
+pub fn parse_app(ctx: &mut Ctx, input: &str) -> CoreResult<Parsed> {
+    Parser::new(ctx, input).parse_top()
+}
+
+/// A reusable parser with pre-bound identifiers.
+pub struct Parser<'a> {
+    ctx: &'a mut Ctx,
+    input: &'a [u8],
+    pos: usize,
+    scope: Vec<(String, VarId)>,
+    prebound: HashMap<String, VarId>,
+    free: Vec<(String, VarId)>,
+}
+
+impl<'a> Parser<'a> {
+    /// Create a parser over `input`.
+    pub fn new(ctx: &'a mut Ctx, input: &'a str) -> Self {
+        Parser {
+            ctx,
+            input: input.as_bytes(),
+            pos: 0,
+            scope: Vec::new(),
+            prebound: HashMap::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Pre-bind `name` to an existing variable (e.g. a global known to the
+    /// caller). Pre-bound names do not appear in [`Parsed::free`].
+    pub fn bind(mut self, name: impl Into<String>, v: VarId) -> Self {
+        self.prebound.insert(name.into(), v);
+        self
+    }
+
+    /// Parse the whole input as one application.
+    pub fn parse_top(mut self) -> CoreResult<Parsed> {
+        self.skip_ws();
+        let app = self.app()?;
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return Err(self.err("trailing input after term"));
+        }
+        Ok(Parsed {
+            app,
+            free: self.free,
+        })
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CoreError {
+        CoreError::Parse {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b';') => {
+                    // Comment to end of line, as in the paper's listings.
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> CoreResult<()> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", char::from(c))))
+        }
+    }
+
+    fn app(&mut self) -> CoreResult<App> {
+        self.expect(b'(')?;
+        self.skip_ws();
+        let func = self.value()?;
+        let mut args = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => args.push(self.value()?),
+                None => return Err(self.err("unterminated application")),
+            }
+        }
+        Ok(App { func, args })
+    }
+
+    fn value(&mut self) -> CoreResult<Value> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'\'') => self.char_lit(),
+            Some(b'"') => self.str_lit(),
+            Some(b'<') if self.input[self.pos..].starts_with(b"<oid") => self.oid_lit(),
+            Some(c) if c.is_ascii_digit() => self.number(false),
+            Some(b'-')
+                if self
+                    .input
+                    .get(self.pos + 1)
+                    .is_some_and(|c| c.is_ascii_digit()) =>
+            {
+                self.pos += 1;
+                self.number(true)
+            }
+            Some(_) => {
+                let word = self.symbol()?;
+                match word.as_str() {
+                    "true" => Ok(Value::Lit(Lit::Bool(true))),
+                    "false" => Ok(Value::Lit(Lit::Bool(false))),
+                    "unit" => Ok(Value::Lit(Lit::Unit)),
+                    "proc" | "cont" | "lambda" | "λ" => self.abs(&word),
+                    _ => Ok(self.resolve(word)),
+                }
+            }
+        }
+    }
+
+    fn abs(&mut self, keyword: &str) -> CoreResult<Value> {
+        self.expect(b'(')?;
+        // Parse parameters: (name | ^name)*
+        let mut raw: Vec<(String, bool)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'^') => {
+                    self.pos += 1;
+                    let name = self.symbol()?;
+                    raw.push((name, true));
+                }
+                Some(_) => {
+                    let name = self.symbol()?;
+                    raw.push((name, false));
+                }
+                None => return Err(self.err("unterminated parameter list")),
+            }
+        }
+        // proc/λ without explicit markers: trailing two params are
+        // continuations (the paper's proc(v₁…vₙ cₑ c꜀) convention).
+        let any_marked = raw.iter().any(|(_, m)| *m);
+        let n = raw.len();
+        let params: Vec<VarId> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (name, marked))| {
+                let is_cont = *marked
+                    || ((keyword == "proc" || keyword == "lambda" || keyword == "λ")
+                        && !any_marked
+                        && n >= 2
+                        && i + 2 >= n);
+                let v = if is_cont {
+                    self.ctx.names.fresh_cont(base_of(name))
+                } else {
+                    self.ctx.names.fresh(base_of(name))
+                };
+                self.scope.push((name.clone(), v));
+                v
+            })
+            .collect();
+        let body = self.app()?;
+        self.scope.truncate(self.scope.len() - params.len());
+        Ok(Value::Abs(Box::new(Abs { params, body })))
+    }
+
+    fn resolve(&mut self, name: String) -> Value {
+        // Innermost binding wins.
+        if let Some((_, v)) = self.scope.iter().rev().find(|(n, _)| *n == name) {
+            return Value::Var(*v);
+        }
+        if let Some(p) = self.ctx.prims.lookup(&name) {
+            return Value::Prim(p);
+        }
+        if let Some(v) = self.prebound.get(&name) {
+            return Value::Var(*v);
+        }
+        if let Some((_, v)) = self.free.iter().find(|(n, _)| *n == name) {
+            return Value::Var(*v);
+        }
+        let v = self.ctx.names.fresh(base_of(&name));
+        self.free.push((name, v));
+        Value::Var(v)
+    }
+
+    fn symbol(&mut self) -> CoreResult<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() || c == b'(' || c == b')' || c == b';' || c == b'^' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a symbol"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in symbol"))?
+            .to_string())
+    }
+
+    fn number(&mut self, negative: bool) -> CoreResult<Value> {
+        let start = self.pos;
+        let mut is_real = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else if c == b'.' && !is_real {
+                is_real = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii digits");
+        if is_real {
+            let mut x: f64 = text
+                .parse()
+                .map_err(|e| self.err(format!("bad real literal: {e}")))?;
+            if negative {
+                x = -x;
+            }
+            Ok(Value::Lit(Lit::real(x)))
+        } else {
+            let mut n: i64 = text
+                .parse()
+                .map_err(|e| self.err(format!("bad integer literal: {e}")))?;
+            if negative {
+                n = -n;
+            }
+            Ok(Value::Lit(Lit::Int(n)))
+        }
+    }
+
+    fn char_lit(&mut self) -> CoreResult<Value> {
+        self.bump(); // opening quote
+        let c = self.bump().ok_or_else(|| self.err("unterminated char"))?;
+        let c = if c == b'\\' {
+            match self.bump() {
+                Some(b'n') => b'\n',
+                Some(b't') => b'\t',
+                Some(b'\\') => b'\\',
+                Some(b'\'') => b'\'',
+                Some(b'0') => 0,
+                _ => return Err(self.err("bad escape in char literal")),
+            }
+        } else {
+            c
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(self.err("unterminated char literal"));
+        }
+        Ok(Value::Lit(Lit::Char(c)))
+    }
+
+    fn str_lit(&mut self) -> CoreResult<Value> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'"') => s.push('"'),
+                    _ => return Err(self.err("bad escape in string literal")),
+                },
+                Some(c) => s.push(char::from(c)),
+            }
+        }
+        Ok(Value::Lit(Lit::str(s)))
+    }
+
+    fn oid_lit(&mut self) -> CoreResult<Value> {
+        self.pos += 4; // consume "<oid"
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'>' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid oid"))?
+            .trim();
+        let digits = text.strip_prefix("0x").unwrap_or(text);
+        let n = u64::from_str_radix(digits, 16).map_err(|e| self.err(format!("bad oid: {e}")))?;
+        if self.bump() != Some(b'>') {
+            return Err(self.err("unterminated oid literal"));
+        }
+        Ok(Value::Lit(Lit::Oid(Oid(n))))
+    }
+}
+
+/// Strip a trailing `_NN` unique-number suffix from a printed identifier so
+/// re-parsing does not pile up suffixes (`t_12` parses with base `t`).
+fn base_of(name: &str) -> String {
+    if let Some(idx) = name.rfind('_') {
+        if idx > 0 && name[idx + 1..].chars().all(|c| c.is_ascii_digit()) && idx + 1 < name.len() {
+            return name[..idx].to_string();
+        }
+    }
+    name.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::print_app;
+
+    #[test]
+    fn parses_paper_binding_example() {
+        let mut ctx = Ctx::new();
+        let src = "(cont(i ch oid) (halt i) 13 'a' <oid 0x005b4780>)";
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        assert!(parsed.free.is_empty());
+        let abs = parsed.app.func.as_abs().unwrap();
+        assert_eq!(abs.params.len(), 3);
+        assert_eq!(parsed.app.args[0], Value::int(13));
+        assert_eq!(parsed.app.args[1], Value::Lit(Lit::Char(b'a')));
+        assert_eq!(parsed.app.args[2], Value::Lit(Lit::Oid(Oid(0x005b_4780))));
+    }
+
+    #[test]
+    fn parses_prims_and_comments() {
+        let mut ctx = Ctx::new();
+        let src = "(+ 1 2 ce cc) ; integer addition";
+        // Hmm — trailing comment after the term.
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        assert_eq!(parsed.free.len(), 2); // ce, cc free
+        assert!(parsed.app.func.as_prim().is_some());
+    }
+
+    #[test]
+    fn proc_trailing_params_default_to_conts() {
+        let mut ctx = Ctx::new();
+        let src = "(proc(t ce cc) (cc t) 1 x y)";
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let abs = parsed.app.func.as_abs().unwrap();
+        assert!(!ctx.names.is_cont(abs.params[0]));
+        assert!(ctx.names.is_cont(abs.params[1]));
+        assert!(ctx.names.is_cont(abs.params[2]));
+    }
+
+    #[test]
+    fn caret_markers_override() {
+        let mut ctx = Ctx::new();
+        let src = "(proc(^k t) (k t) x 1)";
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let abs = parsed.app.func.as_abs().unwrap();
+        assert!(ctx.names.is_cont(abs.params[0]));
+        assert!(!ctx.names.is_cont(abs.params[1]));
+    }
+
+    #[test]
+    fn scoping_is_lexical_and_innermost() {
+        let mut ctx = Ctx::new();
+        let src = "(cont(x) (cont(x) (halt x) x) 1)";
+        // Inner x shadows outer x (distinct fresh ids despite same name).
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let outer = parsed.app.func.as_abs().unwrap();
+        let inner_app = &outer.body;
+        let inner = inner_app.func.as_abs().unwrap();
+        assert_ne!(outer.params[0], inner.params[0]);
+        // Inner body refers to inner x.
+        assert_eq!(inner.body.args[0], Value::Var(inner.params[0]));
+        // The inner application's argument refers to the *outer* x.
+        assert_eq!(inner_app.args[0], Value::Var(outer.params[0]));
+    }
+
+    #[test]
+    fn free_vars_reported_once() {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, "(f f g)").unwrap();
+        assert_eq!(parsed.free.len(), 2);
+        assert_eq!(parsed.free[0].0, "f");
+        assert_eq!(parsed.free[1].0, "g");
+        assert_eq!(parsed.app.func, parsed.app.args[0]);
+    }
+
+    #[test]
+    fn prebound_names_resolve() {
+        let mut ctx = Ctx::new();
+        let g = ctx.names.fresh("g");
+        let parsed = Parser::new(&mut ctx, "(g 1 2)").bind("g", g).parse_top().unwrap();
+        assert!(parsed.free.is_empty());
+        assert_eq!(parsed.app.func, Value::Var(g));
+    }
+
+    #[test]
+    fn numbers_reals_strings() {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, "(halt -42)").unwrap();
+        assert_eq!(parsed.app.args[0], Value::int(-42));
+        let parsed = parse_app(&mut ctx, "(halt 3.5)").unwrap();
+        assert_eq!(parsed.app.args[0], Value::Lit(Lit::real(3.5)));
+        let parsed = parse_app(&mut ctx, r#"(halt "hi\n")"#).unwrap();
+        assert_eq!(parsed.app.args[0], Value::Lit(Lit::str("hi\n")));
+    }
+
+    #[test]
+    fn roundtrip_through_pretty_printer() {
+        let mut ctx = Ctx::new();
+        let src = "(proc(t ce cc) (+ t 1 ce cc) 13 e k)";
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let printed = print_app(&ctx, &parsed.app);
+        let reparsed = parse_app(&mut ctx, &printed).unwrap();
+        // Structures are α-equivalent: same shape, same literal payloads.
+        assert_eq!(parsed.app.size(), reparsed.app.size());
+        assert_eq!(parsed.app.args.len(), reparsed.app.args.len());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let mut ctx = Ctx::new();
+        let err = parse_app(&mut ctx, "(halt").unwrap_err();
+        match err {
+            CoreError::Parse { offset, .. } => assert!(offset >= 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut ctx = Ctx::new();
+        assert!(parse_app(&mut ctx, "(halt 1) junk").is_err());
+    }
+
+    #[test]
+    fn base_of_strips_unique_suffix() {
+        assert_eq!(base_of("t_12"), "t");
+        assert_eq!(base_of("complex_4"), "complex");
+        assert_eq!(base_of("t_"), "t_");
+        assert_eq!(base_of("_9"), "_9");
+        assert_eq!(base_of("plain"), "plain");
+    }
+}

@@ -1,0 +1,196 @@
+//! Pretty printer for TML terms, following the paper's notation.
+//!
+//! Abstractions print as `cont(...)` or `proc(...)` according to their
+//! syntactic classification (paper §2.2); continuation parameters of a
+//! `proc` are marked with a `^` prefix so the printed form can be parsed
+//! back unambiguously (see [`crate::parse`]). Identifier names are appended
+//! with their unique number (`complex_4`, `t_12`), like the output of the
+//! paper's TML pretty-printer.
+
+use crate::ident::NameTable;
+use crate::prim::PrimTable;
+use crate::term::{Abs, AbsKind, App, Value};
+use crate::Ctx;
+use std::fmt::Write;
+
+/// Maximum rendered width before an application is broken across lines.
+const WIDTH: usize = 72;
+
+/// Render an application to a string.
+pub fn print_app(ctx: &Ctx, app: &App) -> String {
+    let mut out = String::new();
+    write_app(&ctx.names, &ctx.prims, app, 0, &mut out);
+    out
+}
+
+/// Render a value to a string.
+pub fn print_value(ctx: &Ctx, val: &Value) -> String {
+    let mut out = String::new();
+    write_value(&ctx.names, &ctx.prims, val, 0, &mut out);
+    out
+}
+
+/// Render an abstraction to a string.
+pub fn print_abs(ctx: &Ctx, abs: &Abs) -> String {
+    print_value(ctx, &Value::Abs(Box::new(abs.clone())))
+}
+
+fn flat_app(names: &NameTable, prims: &PrimTable, app: &App) -> String {
+    let mut s = String::new();
+    s.push('(');
+    s.push_str(&flat_value(names, prims, &app.func));
+    for a in &app.args {
+        s.push(' ');
+        s.push_str(&flat_value(names, prims, a));
+    }
+    s.push(')');
+    s
+}
+
+fn flat_value(names: &NameTable, prims: &PrimTable, val: &Value) -> String {
+    match val {
+        Value::Lit(l) => format!("{l:?}"),
+        Value::Var(v) => names.display(*v),
+        Value::Prim(p) => prims.name(*p).to_string(),
+        Value::Abs(a) => {
+            let kind = a.kind(names);
+            let mut s = String::new();
+            s.push_str(match kind {
+                AbsKind::Cont => "cont(",
+                AbsKind::Proc => "proc(",
+            });
+            for (i, p) in a.params.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                if kind == AbsKind::Proc && names.is_cont(*p) {
+                    s.push('^');
+                }
+                s.push_str(&names.display(*p));
+            }
+            s.push_str(") ");
+            s.push_str(&flat_app(names, prims, &a.body));
+            s
+        }
+    }
+}
+
+fn write_app(names: &NameTable, prims: &PrimTable, app: &App, indent: usize, out: &mut String) {
+    let flat = flat_app(names, prims, app);
+    if indent + flat.len() <= WIDTH {
+        out.push_str(&flat);
+        return;
+    }
+    out.push('(');
+    write_value(names, prims, &app.func, indent + 1, out);
+    for a in &app.args {
+        out.push('\n');
+        for _ in 0..indent + 2 {
+            out.push(' ');
+        }
+        write_value(names, prims, a, indent + 2, out);
+    }
+    out.push(')');
+}
+
+fn write_value(names: &NameTable, prims: &PrimTable, val: &Value, indent: usize, out: &mut String) {
+    match val {
+        Value::Lit(_) | Value::Var(_) | Value::Prim(_) => {
+            out.push_str(&flat_value(names, prims, val));
+        }
+        Value::Abs(a) => {
+            let flat = flat_value(names, prims, val);
+            if indent + flat.len() <= WIDTH {
+                out.push_str(&flat);
+                return;
+            }
+            let kind = a.kind(names);
+            let _ = write!(
+                out,
+                "{}(",
+                match kind {
+                    AbsKind::Cont => "cont",
+                    AbsKind::Proc => "proc",
+                }
+            );
+            for (i, p) in a.params.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                if kind == AbsKind::Proc && names.is_cont(*p) {
+                    out.push('^');
+                }
+                out.push_str(&names.display(*p));
+            }
+            out.push_str(")\n");
+            for _ in 0..indent + 2 {
+                out.push(' ');
+            }
+            write_app(names, prims, &a.body, indent + 2, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::{Lit, Oid};
+
+    #[test]
+    fn prints_paper_binding_example() {
+        let mut ctx = Ctx::new();
+        let i = ctx.names.fresh("i");
+        let ch = ctx.names.fresh("ch");
+        let oid = ctx.names.fresh("oid");
+        let halt = ctx.prims.lookup("halt").unwrap();
+        let body = App::new(Value::Prim(halt), vec![Value::Var(i)]);
+        let abs = Abs::new(vec![i, ch, oid], body);
+        let app = App::new(
+            Value::from(abs),
+            vec![
+                Value::int(13),
+                Value::Lit(Lit::Char(b'a')),
+                Value::Lit(Lit::Oid(Oid(0x005b_4780))),
+            ],
+        );
+        let s = print_app(&ctx, &app);
+        assert!(s.contains("cont(i_0 ch_1 oid_2)"), "{s}");
+        assert!(s.contains("13"));
+        assert!(s.contains("'a'"));
+        assert!(s.contains("<oid 0x005b4780>"), "{s}");
+    }
+
+    #[test]
+    fn proc_marks_cont_params() {
+        let mut ctx = Ctx::new();
+        let t = ctx.names.fresh("t");
+        let ce = ctx.names.fresh_cont("ce");
+        let cc = ctx.names.fresh_cont("cc");
+        let abs = Abs::new(vec![t, ce, cc], App::new(Value::Var(cc), vec![Value::Var(t)]));
+        let s = print_abs(&ctx, &abs);
+        assert!(s.starts_with("proc(t_0 ^ce_1 ^cc_2)"), "{s}");
+    }
+
+    #[test]
+    fn long_terms_break_lines() {
+        let mut ctx = Ctx::new();
+        let halt = ctx.prims.lookup("halt").unwrap();
+        let mut app = App::new(Value::Prim(halt), vec![Value::int(0)]);
+        for _ in 0..10 {
+            let v = ctx.names.fresh("a_long_variable_name");
+            let abs = Abs::new(vec![v], app);
+            app = App::new(Value::from(abs), vec![Value::int(42)]);
+        }
+        let s = print_app(&ctx, &app);
+        assert!(s.contains('\n'));
+    }
+
+    #[test]
+    fn prim_names_print_verbatim() {
+        let ctx = Ctx::new();
+        let plus = ctx.prims.lookup("+").unwrap();
+        assert_eq!(print_value(&ctx, &Value::Prim(plus)), "+");
+        let sub = ctx.prims.lookup("[]").unwrap();
+        assert_eq!(print_value(&ctx, &Value::Prim(sub)), "[]");
+    }
+}

@@ -1,0 +1,992 @@
+//! The standard primitive set of the paper's figure 2.
+//!
+//! These are the primitives used "for the compilation of a fully-fledged
+//! imperative, algorithmically-complete polymorphic programming language":
+//! integer arithmetic and comparison, bit operations, character conversion,
+//! object and byte arrays, the `==` object-identity case analysis, the `Y`
+//! fixpoint combinator, block moves, foreign calls and the exception-handler
+//! primitives. We add real-number arithmetic (`f+`, `f*`, `fsqrt`, ...) —
+//! needed by the paper's own §4.1 `complex`/`abs` worked example — plus
+//! `halt` (the top-level continuation), `btest` (dispatch on a reified
+//! boolean) and `print` (I/O for the examples).
+//!
+//! ## Calling conventions
+//!
+//! * arithmetic `(p a b cₑ c꜀)` — exception continuation first, normal
+//!   continuation last; `(+ 1 2 cₑ c꜀)` folds to `(c꜀ 3)`;
+//! * comparisons `(p a b c_true c_false)` — two-way branch;
+//! * `(== v tag₁…tagₙ c₁…cₙ [cₙ₊₁])` — case analysis on object identity
+//!   with optional else branch;
+//! * `(Y λ(c₀ v₁…vₙ c) (c entry abs₁…absₙ))` — the body must immediately
+//!   return the n+1 mutually recursive abstractions to `Y` through `c`.
+//!
+//! ## Exception values
+//!
+//! Primitives signal failures by invoking their exception continuation with
+//! one of the string literals below; the abstract machine uses the same
+//! constants so that folding a call at compile time and executing it at
+//! runtime are observationally identical.
+
+use crate::lit::Lit;
+use crate::prim::{
+    Arity, EffectClass, FoldOutcome, PrimAttrs, PrimCost, PrimDef, PrimTable, Signature,
+};
+use crate::term::{App, Value};
+
+/// Exception value raised on integer overflow.
+pub const ERR_OVERFLOW: &str = "overflow";
+/// Exception value raised on division or modulus by zero.
+pub const ERR_ZERO_DIVIDE: &str = "zero-divide";
+/// Exception value raised on out-of-bounds array access.
+pub const ERR_BOUNDS: &str = "bounds";
+/// Exception value raised on a dynamic type error.
+pub const ERR_TYPE: &str = "type";
+/// Exception value raised by `ccall` when the host function is unknown.
+pub const ERR_NO_CCALL: &str = "unknown-ccall";
+
+const PURE: PrimAttrs = PrimAttrs {
+    effects: EffectClass::Pure,
+    commutative: false,
+    no_fold: false,
+};
+const PURE_COMM: PrimAttrs = PrimAttrs {
+    effects: EffectClass::Pure,
+    commutative: true,
+    no_fold: false,
+};
+const READS: PrimAttrs = PrimAttrs {
+    effects: EffectClass::Reads,
+    commutative: false,
+    no_fold: false,
+};
+const WRITES: PrimAttrs = PrimAttrs {
+    effects: EffectClass::Writes,
+    commutative: false,
+    no_fold: false,
+};
+
+fn def(
+    name: &str,
+    signature: Signature,
+    attrs: PrimAttrs,
+    fold: Option<crate::prim::FoldFn>,
+    cost: PrimCost,
+) -> PrimDef {
+    PrimDef {
+        name: name.to_string(),
+        signature,
+        attrs,
+        fold,
+        validate: None,
+        cost,
+    }
+}
+
+/// Install the standard primitives into `table`.
+///
+/// Idempotence is *not* provided: installing twice panics (duplicate
+/// names), matching [`PrimTable::register`]'s contract.
+pub fn install(table: &mut PrimTable) {
+    // Integer arithmetic: (p val1 val2 ce cc).
+    table.register(def(
+        "+",
+        Signature::exact(2, 2),
+        PURE_COMM,
+        Some(fold_add),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "-",
+        Signature::exact(2, 2),
+        PURE,
+        Some(fold_sub),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "*",
+        Signature::exact(2, 2),
+        PURE_COMM,
+        Some(fold_mul),
+        PrimCost::Const(2),
+    ));
+    table.register(def(
+        "/",
+        Signature::exact(2, 2),
+        PURE,
+        Some(fold_div),
+        PrimCost::Const(3),
+    ));
+    table.register(def(
+        "%",
+        Signature::exact(2, 2),
+        PURE,
+        Some(fold_mod),
+        PrimCost::Const(3),
+    ));
+
+    // Integer comparison: (p val1 val2 c_true c_false).
+    table.register(def(
+        "<",
+        Signature::exact(2, 2),
+        PURE,
+        Some(|a| fold_icmp(a, |x, y| x < y)),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        ">",
+        Signature::exact(2, 2),
+        PURE,
+        Some(|a| fold_icmp(a, |x, y| x > y)),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "<=",
+        Signature::exact(2, 2),
+        PURE,
+        Some(|a| fold_icmp(a, |x, y| x <= y)),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        ">=",
+        Signature::exact(2, 2),
+        PURE,
+        Some(|a| fold_icmp(a, |x, y| x >= y)),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "=",
+        Signature::exact(2, 2),
+        PURE_COMM,
+        Some(|a| fold_icmp(a, |x, y| x == y)),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "<>",
+        Signature::exact(2, 2),
+        PURE_COMM,
+        Some(|a| fold_icmp(a, |x, y| x != y)),
+        PrimCost::Const(1),
+    ));
+
+    // Bit operations: (p val1 val2 c).
+    table.register(def(
+        "<<",
+        Signature::exact(2, 1),
+        PURE,
+        Some(|a| fold_bit(a, |x, y| x.wrapping_shl(y as u32 & 63))),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        ">>",
+        Signature::exact(2, 1),
+        PURE,
+        Some(|a| fold_bit(a, |x, y| x.wrapping_shr(y as u32 & 63))),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "&",
+        Signature::exact(2, 1),
+        PURE_COMM,
+        Some(|a| fold_bit(a, |x, y| x & y)),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "|",
+        Signature::exact(2, 1),
+        PURE_COMM,
+        Some(|a| fold_bit(a, |x, y| x | y)),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "^",
+        Signature::exact(2, 1),
+        PURE_COMM,
+        Some(|a| fold_bit(a, |x, y| x ^ y)),
+        PrimCost::Const(1),
+    ));
+
+    // Real arithmetic (needed for the paper's §4.1 abs example).
+    table.register(def(
+        "f+",
+        Signature::exact(2, 2),
+        PURE_COMM,
+        Some(|a| fold_farith(a, |x, y| x + y)),
+        PrimCost::Const(2),
+    ));
+    table.register(def(
+        "f-",
+        Signature::exact(2, 2),
+        PURE,
+        Some(|a| fold_farith(a, |x, y| x - y)),
+        PrimCost::Const(2),
+    ));
+    table.register(def(
+        "f*",
+        Signature::exact(2, 2),
+        PURE_COMM,
+        Some(|a| fold_farith(a, |x, y| x * y)),
+        PrimCost::Const(2),
+    ));
+    table.register(def(
+        "f/",
+        Signature::exact(2, 2),
+        PURE,
+        Some(|a| fold_farith(a, |x, y| x / y)),
+        PrimCost::Const(4),
+    ));
+    table.register(def(
+        "fsqrt",
+        Signature::exact(1, 2),
+        PURE,
+        Some(fold_fsqrt),
+        PrimCost::Const(6),
+    ));
+    table.register(def(
+        "f<",
+        Signature::exact(2, 2),
+        PURE,
+        Some(|a| fold_fcmp(a, |x, y| x < y)),
+        PrimCost::Const(2),
+    ));
+    table.register(def(
+        "f<=",
+        Signature::exact(2, 2),
+        PURE,
+        Some(|a| fold_fcmp(a, |x, y| x <= y)),
+        PrimCost::Const(2),
+    ));
+    table.register(def(
+        "f=",
+        Signature::exact(2, 2),
+        PURE,
+        Some(|a| fold_fcmp(a, |x, y| x == y)),
+        PrimCost::Const(2),
+    ));
+    table.register(def(
+        "i2r",
+        Signature::exact(1, 1),
+        PURE,
+        Some(fold_i2r),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "r2i",
+        Signature::exact(1, 1),
+        PURE,
+        Some(fold_r2i),
+        PrimCost::Const(1),
+    ));
+
+    // Character conversion: (char2int val c), (int2char val c).
+    table.register(def(
+        "char2int",
+        Signature::exact(1, 1),
+        PURE,
+        Some(fold_char2int),
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "int2char",
+        Signature::exact(1, 1),
+        PURE,
+        Some(fold_int2char),
+        PrimCost::Const(1),
+    ));
+
+    // Object arrays.
+    table.register(def(
+        "array",
+        Signature::variadic(0, 1),
+        READS,
+        None,
+        PrimCost::Fn(|a| 2 + a.args.len() as u32),
+    ));
+    table.register(def(
+        "vector",
+        Signature::variadic(0, 1),
+        READS,
+        None,
+        PrimCost::Fn(|a| 2 + a.args.len() as u32),
+    ));
+    table.register(def("new", Signature::exact(2, 1), READS, None, PrimCost::Const(4)));
+    table.register(def("[]", Signature::exact(2, 2), READS, None, PrimCost::Const(2)));
+    table.register(def(
+        "[:=]",
+        Signature::exact(3, 2),
+        WRITES,
+        None,
+        PrimCost::Const(2),
+    ));
+
+    // Byte arrays.
+    table.register(def("bnew", Signature::exact(2, 1), READS, None, PrimCost::Const(4)));
+    table.register(def("b[]", Signature::exact(2, 2), READS, None, PrimCost::Const(2)));
+    table.register(def(
+        "b[:=]",
+        Signature::exact(3, 2),
+        WRITES,
+        None,
+        PrimCost::Const(2),
+    ));
+
+    // Case analysis on object identity (optional else branch).
+    table.register(PrimDef {
+        name: "==".to_string(),
+        signature: Signature {
+            vals: Arity::AtLeast(2),
+            conts: Arity::AtLeast(1),
+        },
+        attrs: PURE,
+        fold: Some(fold_case),
+        validate: Some(validate_case),
+        cost: PrimCost::Fn(|a| 1 + (a.args.len() / 2) as u32),
+    });
+
+    // Boolean dispatch on a reified boolean value.
+    table.register(def(
+        "btest",
+        Signature::exact(1, 2),
+        PURE,
+        Some(fold_btest),
+        PrimCost::Const(1),
+    ));
+
+    // The Y fixpoint combinator (mutually recursive bindings).
+    table.register(PrimDef {
+        name: "Y".to_string(),
+        signature: Signature::exact(1, 0),
+        attrs: PURE,
+        fold: None,
+        validate: Some(validate_y),
+        cost: PrimCost::Const(3),
+    });
+
+    // Array/byte-array size and block moves.
+    table.register(def("size", Signature::exact(1, 1), READS, None, PrimCost::Const(1)));
+    table.register(def(
+        "move",
+        Signature::exact(5, 2),
+        WRITES,
+        None,
+        PrimCost::Const(8),
+    ));
+    table.register(def(
+        "bmove",
+        Signature::exact(5, 2),
+        WRITES,
+        None,
+        PrimCost::Const(8),
+    ));
+
+    // Foreign (host) function call: (ccall name val... ce cc).
+    table.register(def(
+        "ccall",
+        Signature::variadic(1, 2),
+        WRITES,
+        None,
+        PrimCost::Const(20),
+    ));
+
+    // Exception handling.
+    table.register(def(
+        "pushHandler",
+        Signature::exact(0, 2),
+        WRITES,
+        None,
+        PrimCost::Const(2),
+    ));
+    table.register(def(
+        "popHandler",
+        Signature::exact(0, 1),
+        WRITES,
+        None,
+        PrimCost::Const(2),
+    ));
+    table.register(def(
+        "raise",
+        Signature::exact(1, 0),
+        WRITES,
+        None,
+        PrimCost::Const(4),
+    ));
+
+    // Top-level termination and diagnostics.
+    table.register(def("halt", Signature::exact(1, 0), WRITES, None, PrimCost::Const(1)));
+    table.register(def("print", Signature::exact(1, 1), WRITES, None, PrimCost::Const(10)));
+}
+
+// ---------------------------------------------------------------------------
+// Fold (meta-evaluation) functions.
+// ---------------------------------------------------------------------------
+
+/// `(c꜀ result)` — invoke the normal continuation with a value.
+fn to_cont(cont: &Value, result: Lit) -> FoldOutcome {
+    FoldOutcome::Replaced(App::new(cont.clone(), vec![Value::Lit(result)]))
+}
+
+/// `(c)` — invoke a branch continuation with no arguments.
+fn to_branch(cont: &Value) -> FoldOutcome {
+    FoldOutcome::Replaced(App::new(cont.clone(), vec![]))
+}
+
+fn int2(app: &App) -> Option<(i64, i64)> {
+    match (&app.args[0], &app.args[1]) {
+        (Value::Lit(Lit::Int(a)), Value::Lit(Lit::Int(b))) => Some((*a, *b)),
+        _ => None,
+    }
+}
+
+fn real2(app: &App) -> Option<(f64, f64)> {
+    match (&app.args[0], &app.args[1]) {
+        (Value::Lit(Lit::Real(a)), Value::Lit(Lit::Real(b))) => Some((a.get(), b.get())),
+        _ => None,
+    }
+}
+
+/// Arithmetic layout: `args = [a, b, ce, cc]`.
+fn arith_conts(app: &App) -> (&Value, &Value) {
+    (&app.args[2], &app.args[3])
+}
+
+fn fold_checked(app: &App, result: Option<i64>, err: &str) -> FoldOutcome {
+    let (ce, cc) = arith_conts(app);
+    match result {
+        Some(r) => to_cont(cc, Lit::Int(r)),
+        None => to_cont(ce, Lit::str(err)),
+    }
+}
+
+fn fold_add(app: &App) -> FoldOutcome {
+    if let Some((a, b)) = int2(app) {
+        return fold_checked(app, a.checked_add(b), ERR_OVERFLOW);
+    }
+    // Algebraic identities: x + 0 = 0 + x = x.
+    let (_, cc) = arith_conts(app);
+    match (&app.args[0], &app.args[1]) {
+        (x, Value::Lit(Lit::Int(0))) | (Value::Lit(Lit::Int(0)), x) => {
+            FoldOutcome::Replaced(App::new(cc.clone(), vec![x.clone()]))
+        }
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_sub(app: &App) -> FoldOutcome {
+    if let Some((a, b)) = int2(app) {
+        return fold_checked(app, a.checked_sub(b), ERR_OVERFLOW);
+    }
+    let (_, cc) = arith_conts(app);
+    match (&app.args[0], &app.args[1]) {
+        (x, Value::Lit(Lit::Int(0))) => {
+            FoldOutcome::Replaced(App::new(cc.clone(), vec![x.clone()]))
+        }
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_mul(app: &App) -> FoldOutcome {
+    if let Some((a, b)) = int2(app) {
+        return fold_checked(app, a.checked_mul(b), ERR_OVERFLOW);
+    }
+    let (_, cc) = arith_conts(app);
+    match (&app.args[0], &app.args[1]) {
+        (x, Value::Lit(Lit::Int(1))) | (Value::Lit(Lit::Int(1)), x) => {
+            FoldOutcome::Replaced(App::new(cc.clone(), vec![x.clone()]))
+        }
+        // x * 0 = 0 is sound here: TML applications are type checked by the
+        // front end (well-formedness constraint 2), so x is known to be an
+        // integer, and integer multiplication cannot fail.
+        (_, Value::Lit(Lit::Int(0))) | (Value::Lit(Lit::Int(0)), _) => to_cont(cc, Lit::Int(0)),
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_div(app: &App) -> FoldOutcome {
+    if let Some((a, b)) = int2(app) {
+        let (ce, _) = arith_conts(app);
+        if b == 0 {
+            return to_cont(ce, Lit::str(ERR_ZERO_DIVIDE));
+        }
+        return fold_checked(app, a.checked_div(b), ERR_OVERFLOW);
+    }
+    let (_, cc) = arith_conts(app);
+    match (&app.args[0], &app.args[1]) {
+        (x, Value::Lit(Lit::Int(1))) => {
+            FoldOutcome::Replaced(App::new(cc.clone(), vec![x.clone()]))
+        }
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_mod(app: &App) -> FoldOutcome {
+    if let Some((a, b)) = int2(app) {
+        let (ce, _) = arith_conts(app);
+        if b == 0 {
+            return to_cont(ce, Lit::str(ERR_ZERO_DIVIDE));
+        }
+        return fold_checked(app, a.checked_rem(b), ERR_OVERFLOW);
+    }
+    FoldOutcome::Unchanged
+}
+
+/// Comparison layout: `args = [a, b, c_true, c_false]`.
+fn fold_icmp(app: &App, op: fn(i64, i64) -> bool) -> FoldOutcome {
+    match int2(app) {
+        Some((a, b)) => {
+            let branch = if op(a, b) { &app.args[2] } else { &app.args[3] };
+            to_branch(branch)
+        }
+        None => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_fcmp(app: &App, op: fn(f64, f64) -> bool) -> FoldOutcome {
+    match real2(app) {
+        Some((a, b)) => {
+            let branch = if op(a, b) { &app.args[2] } else { &app.args[3] };
+            to_branch(branch)
+        }
+        None => FoldOutcome::Unchanged,
+    }
+}
+
+/// Bit operation layout: `args = [a, b, c]`.
+fn fold_bit(app: &App, op: fn(i64, i64) -> i64) -> FoldOutcome {
+    match int2(app) {
+        Some((a, b)) => to_cont(&app.args[2], Lit::Int(op(a, b))),
+        None => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_farith(app: &App, op: fn(f64, f64) -> f64) -> FoldOutcome {
+    match real2(app) {
+        Some((a, b)) => {
+            let (_, cc) = arith_conts(app);
+            to_cont(cc, Lit::real(op(a, b)))
+        }
+        None => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_fsqrt(app: &App) -> FoldOutcome {
+    match &app.args[0] {
+        Value::Lit(Lit::Real(r)) => to_cont(&app.args[2], Lit::real(r.get().sqrt())),
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_i2r(app: &App) -> FoldOutcome {
+    match &app.args[0] {
+        Value::Lit(Lit::Int(n)) => to_cont(&app.args[1], Lit::real(*n as f64)),
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_r2i(app: &App) -> FoldOutcome {
+    match &app.args[0] {
+        Value::Lit(Lit::Real(r)) if r.get().is_finite() => {
+            to_cont(&app.args[1], Lit::Int(r.get().trunc() as i64))
+        }
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_char2int(app: &App) -> FoldOutcome {
+    match &app.args[0] {
+        Value::Lit(Lit::Char(c)) => to_cont(&app.args[1], Lit::Int(i64::from(*c))),
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_int2char(app: &App) -> FoldOutcome {
+    match &app.args[0] {
+        // Conversion wraps modulo 256, mirroring the abstract machine.
+        Value::Lit(Lit::Int(n)) => to_cont(&app.args[1], Lit::Char(*n as u8)),
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_btest(app: &App) -> FoldOutcome {
+    match &app.args[0] {
+        Value::Lit(Lit::Bool(b)) => to_branch(if *b { &app.args[1] } else { &app.args[2] }),
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+/// The decomposed parts of a `==` case analysis:
+/// `(scrutinee, tags, branches, else)`.
+pub type CaseParts<'a> = (&'a Value, &'a [Value], &'a [Value], Option<&'a Value>);
+
+/// Split a `(== v tag₁…tagₙ c₁…cₙ [cₙ₊₁])` argument vector into
+/// `(scrutinee, tags, branches, else)`; the layout is determined by parity
+/// (odd total count: no else, even: else present).
+pub fn split_case(args: &[Value]) -> Option<CaseParts<'_>> {
+    if args.len() < 3 {
+        return None;
+    }
+    let has_else = args.len().is_multiple_of(2);
+    let n = (args.len() - 1 - usize::from(has_else)) / 2;
+    if n == 0 {
+        return None;
+    }
+    let scrutinee = &args[0];
+    let tags = &args[1..1 + n];
+    let branches = &args[1 + n..1 + 2 * n];
+    let else_branch = if has_else { args.last() } else { None };
+    Some((scrutinee, tags, branches, else_branch))
+}
+
+fn validate_case(app: &App) -> Result<(), String> {
+    match split_case(&app.args) {
+        Some((_, tags, _, _)) => {
+            for t in tags {
+                if t.is_abs() {
+                    return Err("== case tags must be literals or variables".to_string());
+                }
+            }
+            Ok(())
+        }
+        None => Err(format!(
+            "== expects (v tag1..tagn c1..cn [celse]) with n >= 1, got {} argument(s)",
+            app.args.len()
+        )),
+    }
+}
+
+/// The paper's `fold ==` example: `(== 2 1 2 3 c₁ c₂ c₃) → (c₂)`.
+fn fold_case(app: &App) -> FoldOutcome {
+    let Some((scrutinee, tags, branches, else_branch)) = split_case(&app.args) else {
+        return FoldOutcome::Unchanged;
+    };
+    let Value::Lit(sc) = scrutinee else {
+        return FoldOutcome::Unchanged;
+    };
+    let mut all_lit = true;
+    for (tag, branch) in tags.iter().zip(branches) {
+        match tag {
+            Value::Lit(t) => {
+                if sc.identical(t) {
+                    return to_branch(branch);
+                }
+            }
+            _ => all_lit = false,
+        }
+    }
+    // No tag matched. If every tag was a literal we know the else branch
+    // (when present) is taken; otherwise a variable tag might still match at
+    // runtime.
+    match (all_lit, else_branch) {
+        (true, Some(e)) => to_branch(e),
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+/// Validate `(Y λ(c₀ v₁…vₙ c) (c entry abs₁…absₙ))`.
+fn validate_y(app: &App) -> Result<(), String> {
+    if app.args.len() != 1 {
+        return Err(format!("Y expects one abstraction argument, got {}", app.args.len()));
+    }
+    let Value::Abs(abs) = &app.args[0] else {
+        return Err("Y's argument must be an abstraction".to_string());
+    };
+    if abs.params.len() < 2 {
+        return Err("Y's abstraction must take at least (c0 c)".to_string());
+    }
+    let ret = *abs.params.last().expect("len >= 2");
+    match abs.body.func.as_var() {
+        Some(v) if v == ret => {}
+        _ => {
+            return Err("Y's abstraction body must immediately invoke its last parameter".into());
+        }
+    }
+    let expected = abs.params.len() - 1;
+    if abs.body.args.len() != expected {
+        return Err(format!(
+            "Y's abstraction must return {} abstraction(s), got {}",
+            expected,
+            abs.body.args.len()
+        ));
+    }
+    for v in &abs.body.args {
+        if !v.is_abs() {
+            return Err("Y's return values must all be abstractions".to_string());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::NameTable;
+    use crate::term::Abs;
+    use crate::Ctx;
+
+    fn app_of(ctx: &Ctx, prim: &str, args: Vec<Value>) -> App {
+        App::new(Value::Prim(ctx.prims.lookup(prim).unwrap()), args)
+    }
+
+    fn fold(ctx: &Ctx, app: &App) -> FoldOutcome {
+        let id = app.func.as_prim().unwrap();
+        (ctx.prims.def(id).fold.unwrap())(app)
+    }
+
+    fn cc(names: &mut NameTable) -> Value {
+        Value::Var(names.fresh_cont("cc"))
+    }
+
+    /// The paper's example: `(+ 1 2 cₑ c꜀) → (c꜀ 3)`.
+    #[test]
+    fn fold_add_paper_example() {
+        let mut ctx = Ctx::new();
+        let ce = cc(&mut ctx.names);
+        let k = cc(&mut ctx.names);
+        let app = app_of(&ctx, "+", vec![Value::int(1), Value::int(2), ce, k.clone()]);
+        let out = fold(&ctx, &app);
+        assert_eq!(out, FoldOutcome::Replaced(App::new(k, vec![Value::int(3)])));
+    }
+
+    #[test]
+    fn fold_add_overflow_goes_to_exception_cont() {
+        let mut ctx = Ctx::new();
+        let ce = cc(&mut ctx.names);
+        let k = cc(&mut ctx.names);
+        let app = app_of(
+            &ctx,
+            "+",
+            vec![Value::int(i64::MAX), Value::int(1), ce.clone(), k],
+        );
+        match fold(&ctx, &app) {
+            FoldOutcome::Replaced(r) => {
+                assert_eq!(r.func, ce);
+                assert_eq!(r.args, vec![Value::Lit(Lit::str(ERR_OVERFLOW))]);
+            }
+            other => panic!("expected replacement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fold_add_identity() {
+        let mut ctx = Ctx::new();
+        let x = Value::Var(ctx.names.fresh("x"));
+        let ce = cc(&mut ctx.names);
+        let k = cc(&mut ctx.names);
+        let app = app_of(&ctx, "+", vec![x.clone(), Value::int(0), ce, k.clone()]);
+        assert_eq!(
+            fold(&ctx, &app),
+            FoldOutcome::Replaced(App::new(k, vec![x]))
+        );
+    }
+
+    #[test]
+    fn fold_mul_by_zero_and_one() {
+        let mut ctx = Ctx::new();
+        let x = Value::Var(ctx.names.fresh("x"));
+        let ce = cc(&mut ctx.names);
+        let k = cc(&mut ctx.names);
+        let by0 = app_of(&ctx, "*", vec![x.clone(), Value::int(0), ce.clone(), k.clone()]);
+        assert_eq!(
+            fold(&ctx, &by0),
+            FoldOutcome::Replaced(App::new(k.clone(), vec![Value::int(0)]))
+        );
+        let by1 = app_of(&ctx, "*", vec![x.clone(), Value::int(1), ce, k.clone()]);
+        assert_eq!(fold(&ctx, &by1), FoldOutcome::Replaced(App::new(k, vec![x])));
+    }
+
+    #[test]
+    fn fold_div_by_zero() {
+        let mut ctx = Ctx::new();
+        let ce = cc(&mut ctx.names);
+        let k = cc(&mut ctx.names);
+        let app = app_of(&ctx, "/", vec![Value::int(7), Value::int(0), ce.clone(), k]);
+        match fold(&ctx, &app) {
+            FoldOutcome::Replaced(r) => {
+                assert_eq!(r.func, ce);
+                assert_eq!(r.args, vec![Value::Lit(Lit::str(ERR_ZERO_DIVIDE))]);
+            }
+            other => panic!("expected replacement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fold_cmp_picks_branch() {
+        let mut ctx = Ctx::new();
+        let t = cc(&mut ctx.names);
+        let f = cc(&mut ctx.names);
+        let t2 = cc(&mut ctx.names);
+        let lt = app_of(&ctx, "<", vec![Value::int(1), Value::int(2), t.clone(), f.clone()]);
+        assert_eq!(fold(&ctx, &lt), FoldOutcome::Replaced(App::new(t, vec![])));
+        let ge = app_of(&ctx, ">=", vec![Value::int(1), Value::int(2), t2, f.clone()]);
+        assert_eq!(fold(&ctx, &ge), FoldOutcome::Replaced(App::new(f, vec![])));
+    }
+
+    #[test]
+    fn fold_unknown_args_unchanged() {
+        let mut ctx = Ctx::new();
+        let x = Value::Var(ctx.names.fresh("x"));
+        let ce = cc(&mut ctx.names);
+        let k = cc(&mut ctx.names);
+        let app = app_of(&ctx, "+", vec![x, Value::int(2), ce, k]);
+        assert_eq!(fold(&ctx, &app), FoldOutcome::Unchanged);
+    }
+
+    /// The paper's example: `(== 2 1 2 3 c₁ c₂ c₃) → (c₂)`.
+    #[test]
+    fn fold_case_paper_example() {
+        let mut ctx = Ctx::new();
+        let c1 = cc(&mut ctx.names);
+        let c2 = cc(&mut ctx.names);
+        let c3 = cc(&mut ctx.names);
+        let app = app_of(
+            &ctx,
+            "==",
+            vec![
+                Value::int(2),
+                Value::int(1),
+                Value::int(2),
+                Value::int(3),
+                c1,
+                c2.clone(),
+                c3,
+            ],
+        );
+        assert_eq!(fold(&ctx, &app), FoldOutcome::Replaced(App::new(c2, vec![])));
+    }
+
+    #[test]
+    fn fold_case_falls_to_else() {
+        let mut ctx = Ctx::new();
+        let c1 = cc(&mut ctx.names);
+        let celse = cc(&mut ctx.names);
+        let app = app_of(
+            &ctx,
+            "==",
+            vec![Value::int(9), Value::int(1), c1, celse.clone()],
+        );
+        assert_eq!(
+            fold(&ctx, &app),
+            FoldOutcome::Replaced(App::new(celse, vec![]))
+        );
+    }
+
+    #[test]
+    fn fold_case_variable_tag_blocks() {
+        let mut ctx = Ctx::new();
+        let v = Value::Var(ctx.names.fresh("v"));
+        let c1 = cc(&mut ctx.names);
+        let celse = cc(&mut ctx.names);
+        // Scrutinee literal 9, tag is a variable: may match at runtime.
+        let app = app_of(&ctx, "==", vec![Value::int(9), v, c1, celse]);
+        assert_eq!(fold(&ctx, &app), FoldOutcome::Unchanged);
+    }
+
+    #[test]
+    fn split_case_layouts() {
+        let args = vec![Value::int(0), Value::int(1), Value::int(10)];
+        let (s, tags, branches, e) = split_case(&args).unwrap();
+        assert_eq!(s, &Value::int(0));
+        assert_eq!(tags.len(), 1);
+        assert_eq!(branches.len(), 1);
+        assert!(e.is_none());
+
+        let args = vec![Value::int(0), Value::int(1), Value::int(10), Value::int(99)];
+        let (_, tags, branches, e) = split_case(&args).unwrap();
+        assert_eq!(tags.len(), 1);
+        assert_eq!(branches.len(), 1);
+        assert!(e.is_some());
+
+        assert!(split_case(&[Value::int(0)]).is_none());
+    }
+
+    #[test]
+    fn validate_y_accepts_loop_shape() {
+        // (Y λ(c0 for c) (c cont() body  cont(i) body))
+        let mut ctx = Ctx::new();
+        let c0 = ctx.names.fresh_cont("c0");
+        let f = ctx.names.fresh_cont("for");
+        let c = ctx.names.fresh_cont("c");
+        let i = ctx.names.fresh("i");
+        let entry = Abs::new(vec![], App::new(Value::Var(f), vec![Value::int(1)]));
+        let head = Abs::new(vec![i], App::new(Value::Var(c0), vec![]));
+        let y_abs = Abs::new(
+            vec![c0, f, c],
+            App::new(Value::Var(c), vec![Value::from(entry), Value::from(head)]),
+        );
+        let y = app_of(&ctx, "Y", vec![Value::from(y_abs)]);
+        let id = ctx.prims.lookup("Y").unwrap();
+        assert!(ctx.prims.check_app(id, &y, 0).is_ok());
+    }
+
+    #[test]
+    fn validate_y_rejects_bad_shapes() {
+        let ctx = Ctx::new();
+        let id = ctx.prims.lookup("Y").unwrap();
+        let not_abs = app_of(&ctx, "Y", vec![Value::int(1)]);
+        assert!(ctx.prims.check_app(id, &not_abs, 0).is_err());
+        let no_args = app_of(&ctx, "Y", vec![]);
+        assert!(ctx.prims.check_app(id, &no_args, 0).is_err());
+    }
+
+    #[test]
+    fn fold_char_roundtrip() {
+        let mut ctx = Ctx::new();
+        let k = cc(&mut ctx.names);
+        let c2i = app_of(&ctx, "char2int", vec![Value::Lit(Lit::Char(b'a')), k.clone()]);
+        assert_eq!(
+            fold(&ctx, &c2i),
+            FoldOutcome::Replaced(App::new(k.clone(), vec![Value::int(97)]))
+        );
+        let i2c = app_of(&ctx, "int2char", vec![Value::int(97), k.clone()]);
+        assert_eq!(
+            fold(&ctx, &i2c),
+            FoldOutcome::Replaced(App::new(k, vec![Value::Lit(Lit::Char(b'a'))]))
+        );
+    }
+
+    #[test]
+    fn fold_real_arith_and_sqrt() {
+        let mut ctx = Ctx::new();
+        let ce = cc(&mut ctx.names);
+        let k = cc(&mut ctx.names);
+        let add = app_of(
+            &ctx,
+            "f+",
+            vec![
+                Value::Lit(Lit::real(1.5)),
+                Value::Lit(Lit::real(2.5)),
+                ce.clone(),
+                k.clone(),
+            ],
+        );
+        assert_eq!(
+            fold(&ctx, &add),
+            FoldOutcome::Replaced(App::new(k.clone(), vec![Value::Lit(Lit::real(4.0))]))
+        );
+        let sq = app_of(&ctx, "fsqrt", vec![Value::Lit(Lit::real(25.0)), ce, k.clone()]);
+        assert_eq!(
+            fold(&ctx, &sq),
+            FoldOutcome::Replaced(App::new(k, vec![Value::Lit(Lit::real(5.0))]))
+        );
+    }
+
+    #[test]
+    fn fold_btest() {
+        let mut ctx = Ctx::new();
+        let t = cc(&mut ctx.names);
+        let f = cc(&mut ctx.names);
+        let app = app_of(&ctx, "btest", vec![Value::Lit(Lit::Bool(false)), t, f.clone()]);
+        assert_eq!(fold(&ctx, &app), FoldOutcome::Replaced(App::new(f, vec![])));
+    }
+
+    #[test]
+    fn figure2_coverage() {
+        // Every primitive named in the paper's figure 2 must be registered.
+        let ctx = Ctx::new();
+        for name in [
+            "+", "-", "*", "/", "%", "<", ">", "<=", ">=", "<<", ">>", "&", "|", "^",
+            "char2int", "int2char", "array", "vector", "new", "[]", "[:=]", "b[]", "b[:=]",
+            "==", "Y", "size", "move", "bmove", "ccall", "pushHandler", "popHandler", "raise",
+        ] {
+            assert!(ctx.prims.lookup(name).is_some(), "figure 2 prim {name} missing");
+        }
+    }
+}

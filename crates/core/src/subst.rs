@@ -1,0 +1,128 @@
+//! Variable substitution: the paper's `E[val/v]` (§3).
+//!
+//! "Values bound to λ-variables may be substituted freely within the TML
+//! tree since, due to CPS, they are not allowed to contain nested primitive
+//! or function calls which may cause side effects in the store."
+//!
+//! Name clashes cannot occur during substitution because each variable is
+//! bound only once in a TML tree (unique binding rule). The one temporary
+//! exception noted by the paper — substituting an abstraction makes its
+//! formal parameters appear at two places until the now-dead binding is
+//! struck out by `remove` — is handled by the optimizer, which always pairs
+//! an abstraction-`subst` with the subsequent `remove`.
+
+use crate::ident::VarId;
+use crate::term::{App, Value};
+
+/// Replace every occurrence of `v` in `app` with (a clone of) `val`,
+/// in place. Returns the number of occurrences replaced.
+pub fn subst_app(app: &mut App, v: VarId, val: &Value) -> u32 {
+    let mut n = subst_value(&mut app.func, v, val);
+    for a in &mut app.args {
+        n += subst_value(a, v, val);
+    }
+    n
+}
+
+/// Replace every occurrence of `v` in `target` with (a clone of) `val`,
+/// in place. Returns the number of occurrences replaced.
+pub fn subst_value(target: &mut Value, v: VarId, val: &Value) -> u32 {
+    match target {
+        Value::Var(w) if *w == v => {
+            *target = val.clone();
+            1
+        }
+        Value::Var(_) | Value::Lit(_) | Value::Prim(_) => 0,
+        Value::Abs(a) => subst_app(&mut a.body, v, val),
+    }
+}
+
+/// Simultaneous substitution of several variables (used by `case-subst`,
+/// which replaces a scrutinee variable with the branch's tag value inside
+/// each branch, and by the inliner binding actuals to formals).
+///
+/// The substitutions are applied in one sweep; because the unique binding
+/// rule guarantees the `vars` are distinct and the replacement values are
+/// taken from *outside* the target, no substitution can capture another.
+pub fn subst_many(app: &mut App, pairs: &[(VarId, Value)]) -> u32 {
+    let mut n = 0;
+    for (v, val) in pairs {
+        n += subst_app(app, *v, val);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::NameTable;
+    use crate::lit::Lit;
+    use crate::term::Abs;
+
+    #[test]
+    fn subst_replaces_all_occurrences() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let mut app = App::new(Value::Var(x), vec![Value::Var(x), Value::int(1)]);
+        let n = subst_app(&mut app, x, &Value::int(7));
+        assert_eq!(n, 2);
+        assert_eq!(app, App::new(Value::int(7), vec![Value::int(7), Value::int(1)]));
+    }
+
+    #[test]
+    fn subst_descends_into_abstractions() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let k = names.fresh_cont("k");
+        let inner = Abs::new(vec![k], App::new(Value::Var(k), vec![Value::Var(x)]));
+        let mut app = App::new(Value::from(inner), vec![]);
+        let n = subst_app(&mut app, x, &Value::Lit(Lit::Int(3)));
+        assert_eq!(n, 1);
+        let abs = app.func.as_abs().unwrap();
+        assert_eq!(abs.body.args, vec![Value::int(3)]);
+    }
+
+    #[test]
+    fn subst_other_vars_untouched() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let y = names.fresh("y");
+        let mut app = App::new(Value::Var(y), vec![]);
+        assert_eq!(subst_app(&mut app, x, &Value::int(1)), 0);
+        assert_eq!(app.func, Value::Var(y));
+    }
+
+    #[test]
+    fn subst_lit_and_prim_are_fixed_points() {
+        // lit[val/v] = lit, prim[val/v] = prim
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let mut v1 = Value::int(5);
+        assert_eq!(subst_value(&mut v1, x, &Value::int(9)), 0);
+        let mut v2 = Value::Prim(crate::prim::PrimId(0));
+        assert_eq!(subst_value(&mut v2, x, &Value::int(9)), 0);
+    }
+
+    #[test]
+    fn subst_many_is_simultaneous() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let y = names.fresh("y");
+        let mut app = App::new(Value::Var(x), vec![Value::Var(y)]);
+        let n = subst_many(&mut app, &[(x, Value::int(1)), (y, Value::int(2))]);
+        assert_eq!(n, 2);
+        assert_eq!(app, App::new(Value::int(1), vec![Value::int(2)]));
+    }
+
+    #[test]
+    fn substituting_an_abstraction() {
+        // The value substituted may itself be an abstraction (inlining).
+        let mut names = NameTable::new();
+        let f = names.fresh("f");
+        let t = names.fresh("t");
+        let id_abs = Value::from(Abs::new(vec![t], App::new(Value::Var(t), vec![])));
+        let mut app = App::new(Value::Var(f), vec![Value::int(13)]);
+        subst_app(&mut app, f, &id_abs);
+        assert!(app.func.is_abs());
+    }
+}

@@ -1,0 +1,332 @@
+//! The TML term representation (paper §2.2, figure 1).
+//!
+//! The abstract syntax is minimal:
+//!
+//! ```text
+//! val  ::=  lit  |  v  |  prim  |  λ(v₁ … vₙ) app
+//! app  ::=  (val₀ val₁ … valₙ)
+//! ```
+//!
+//! The body of an abstraction must be an application, and the actual
+//! parameters of an application must be *values* — never nested
+//! applications. This syntactic restriction is what makes every rewrite rule
+//! of §3 sound in the presence of side effects and non-termination: values
+//! cannot contain pending primitive calls.
+
+use crate::ident::{NameTable, VarId};
+use crate::lit::Lit;
+use crate::prim::PrimId;
+
+/// A TML *value*: the only things that may appear as actual parameters.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A literal constant.
+    Lit(Lit),
+    /// A variable occurrence.
+    Var(VarId),
+    /// A primitive procedure (only meaningful in functional position,
+    /// although the grammar permits it anywhere).
+    Prim(PrimId),
+    /// A λ-abstraction.
+    Abs(Box<Abs>),
+}
+
+impl Value {
+    /// Integer literal shorthand.
+    pub fn int(n: i64) -> Value {
+        Value::Lit(Lit::Int(n))
+    }
+
+    /// `true` if the value is an abstraction (used by the `subst` rule's
+    /// precondition `valᵢ ∉ Abs ∨ |app|ᵥ = 1`).
+    pub fn is_abs(&self) -> bool {
+        matches!(self, Value::Abs(_))
+    }
+
+    /// The abstraction payload, if any.
+    pub fn as_abs(&self) -> Option<&Abs> {
+        match self {
+            Value::Abs(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable abstraction payload, if any.
+    pub fn as_abs_mut(&mut self) -> Option<&mut Abs> {
+        match self {
+            Value::Abs(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The variable id, if this value is a variable occurrence.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Value::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The literal payload, if any.
+    pub fn as_lit(&self) -> Option<&Lit> {
+        match self {
+            Value::Lit(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The primitive id, if this value names a primitive.
+    pub fn as_prim(&self) -> Option<PrimId> {
+        match self {
+            Value::Prim(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes in this value (literals, variables and primitives
+    /// count 1; abstractions count 1 plus their body).
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Lit(_) | Value::Var(_) | Value::Prim(_) => 1,
+            Value::Abs(a) => 1 + a.body.size(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Lit(l) => write!(f, "{l:?}"),
+            Value::Var(v) => write!(f, "{v:?}"),
+            Value::Prim(p) => write!(f, "{p:?}"),
+            Value::Abs(a) => write!(f, "{a:?}"),
+        }
+    }
+}
+
+impl From<Lit> for Value {
+    fn from(l: Lit) -> Self {
+        Value::Lit(l)
+    }
+}
+impl From<VarId> for Value {
+    fn from(v: VarId) -> Self {
+        Value::Var(v)
+    }
+}
+impl From<Abs> for Value {
+    fn from(a: Abs) -> Self {
+        Value::Abs(Box::new(a))
+    }
+}
+impl From<PrimId> for Value {
+    fn from(p: PrimId) -> Self {
+        Value::Prim(p)
+    }
+}
+
+/// The syntactic classification of an abstraction (paper §2.2):
+///
+/// * a **continuation** (`cont(v₁…vₙ) app`) takes no continuation
+///   parameters;
+/// * a **procedure** (`proc(v₁…vₙ cₑ c꜀) app`) takes continuation
+///   parameters — first-class procs take exactly two: the exception
+///   continuation and the normal continuation.
+///
+/// Both have the same internal representation and semantics (λ-abstractions);
+/// the distinction is derived purely from the parameter list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbsKind {
+    /// No continuation parameters.
+    Cont,
+    /// At least one continuation parameter.
+    Proc,
+}
+
+/// A λ-abstraction. The body must be an application.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Abs {
+    /// Formal parameter list. Each parameter is bound exactly once in the
+    /// whole tree (unique binding rule).
+    pub params: Vec<VarId>,
+    /// The body application.
+    pub body: App,
+}
+
+impl Abs {
+    /// Create an abstraction.
+    pub fn new(params: Vec<VarId>, body: App) -> Abs {
+        Abs { params, body }
+    }
+
+    /// Derive the proc/cont classification from the parameter list
+    /// (requires the name table to know which parameters are continuation
+    /// variables).
+    pub fn kind(&self, names: &NameTable) -> AbsKind {
+        if self.params.iter().any(|&p| names.is_cont(p)) {
+            AbsKind::Proc
+        } else {
+            AbsKind::Cont
+        }
+    }
+
+    /// Number of formal parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+impl std::fmt::Debug for Abs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "λ{:?} {:?}", self.params, self.body)
+    }
+}
+
+/// An application `(val₀ val₁ … valₙ)`.
+///
+/// `val₀` must, at runtime, evaluate to an abstraction (or be a primitive)
+/// expecting exactly the given arguments — constraint 1 of §2.2, enforced
+/// statically by front ends and checked by [`crate::wellformed`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct App {
+    /// The functional position `val₀`.
+    pub func: Value,
+    /// Actual parameters `val₁ … valₙ`.
+    pub args: Vec<Value>,
+}
+
+impl App {
+    /// Create an application.
+    pub fn new(func: impl Into<Value>, args: Vec<Value>) -> App {
+        App {
+            func: func.into(),
+            args,
+        }
+    }
+
+    /// Number of nodes in this application, counting the functional
+    /// position, every argument, and nested abstraction bodies. This is the
+    /// "size of the TML tree" that every reduction rule strictly decreases
+    /// (the paper's termination argument for the reduction pass).
+    pub fn size(&self) -> usize {
+        self.func.size() + self.args.iter().map(Value::size).sum::<usize>()
+    }
+
+    /// Visit this application and every nested application (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&App)) {
+        f(self);
+        if let Value::Abs(a) = &self.func {
+            a.body.walk(f);
+        }
+        for arg in &self.args {
+            if let Value::Abs(a) = arg {
+                a.body.walk(f);
+            }
+        }
+    }
+
+    /// Visit every value in this subtree (pre-order: functional position
+    /// first, then arguments; descends into abstraction bodies).
+    pub fn walk_values(&self, f: &mut impl FnMut(&Value)) {
+        fn visit_value(v: &Value, f: &mut impl FnMut(&Value)) {
+            f(v);
+            if let Value::Abs(a) = v {
+                visit_app(&a.body, f);
+            }
+        }
+        fn visit_app(app: &App, f: &mut impl FnMut(&Value)) {
+            visit_value(&app.func, f);
+            for arg in &app.args {
+                visit_value(arg, f);
+            }
+        }
+        visit_app(self, f);
+    }
+
+    /// Collect every binder (formal parameter) in this subtree.
+    pub fn binders(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.walk_values(&mut |v| {
+            if let Value::Abs(a) = v {
+                out.extend_from_slice(&a.params);
+            }
+        });
+        out
+    }
+}
+
+impl std::fmt::Debug for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:?}", self.func)?;
+        for a in &self.args {
+            write!(f, " {a:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Lit;
+
+    fn dummy_app() -> App {
+        App::new(Value::Var(VarId(0)), vec![Value::int(1), Value::int(2)])
+    }
+
+    #[test]
+    fn size_counts_every_node() {
+        let app = dummy_app();
+        assert_eq!(app.size(), 3);
+        let abs = Abs::new(vec![VarId(1)], app);
+        let outer = App::new(Value::from(abs), vec![Value::int(7)]);
+        // abs node + 3 body nodes + 1 literal arg
+        assert_eq!(outer.size(), 5);
+    }
+
+    #[test]
+    fn kind_derivation() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let cc = names.fresh_cont("cc");
+        let body = App::new(Value::Var(x), vec![]);
+        let cont = Abs::new(vec![x], body.clone());
+        assert_eq!(cont.kind(&names), AbsKind::Cont);
+        let proc = Abs::new(vec![x, cc], body);
+        assert_eq!(proc.kind(&names), AbsKind::Proc);
+    }
+
+    #[test]
+    fn walk_visits_nested_apps() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let inner = App::new(Value::Var(x), vec![]);
+        let abs = Abs::new(vec![x], inner);
+        let outer = App::new(Value::from(abs), vec![Value::Lit(Lit::Unit)]);
+        let mut n = 0;
+        outer.walk(&mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn binders_collects_params() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let y = names.fresh("y");
+        let inner = App::new(Value::Var(x), vec![Value::Var(y)]);
+        let abs = Abs::new(vec![x, y], inner);
+        let outer = App::new(Value::from(abs), vec![Value::int(1), Value::int(2)]);
+        assert_eq!(outer.binders(), vec![x, y]);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::int(3);
+        assert_eq!(v.as_lit(), Some(&Lit::Int(3)));
+        assert!(v.as_var().is_none());
+        assert!(!v.is_abs());
+        let a = Value::from(Abs::new(vec![], dummy_app()));
+        assert!(a.is_abs());
+        assert!(a.as_abs().is_some());
+    }
+}

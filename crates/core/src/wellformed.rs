@@ -1,0 +1,434 @@
+//! Well-formedness of TML programs (paper §2.2, constraints 1–5).
+//!
+//! Although the semantics of TML is based on the general λ-calculus,
+//! well-formed TML programs must satisfy additional constraints:
+//!
+//! 1. **Arity discipline** — a value in functional position must evaluate to
+//!    an abstraction expecting exactly the given arguments. Statically we
+//!    check the cases that are syntactically evident: direct applications of
+//!    abstractions, and calls through variables (using the proc/cont
+//!    classification of the variable).
+//! 2. **Primitive calling conventions** — applications of primitives obey
+//!    the [`crate::prim::Signature`] (or the primitive's custom validator).
+//! 3. **Continuations may not escape** — continuations are not first-class:
+//!    a continuation (variable or abstraction) may appear only in functional
+//!    position or in a *continuation position* of a call. The single
+//!    sanctioned exception is the body of a `Y` argument, which returns its
+//!    recursive abstractions through `Y`'s continuation.
+//! 4. **Unique binding rule** — an identifier occurs in at most one formal
+//!    parameter list.
+//! 5. **First-class procedures take exactly two continuations** — an
+//!    abstraction used as a value (not as a continuation argument, not in
+//!    functional position) must take exactly two continuation parameters,
+//!    in positions n−1 and n (exception continuation, then normal
+//!    continuation).
+//!
+//! None of these constraints is ever violated by the TML rewrite rules
+//! (verified by property tests in `tml-opt`).
+
+use crate::alpha::check_unique_binding;
+use crate::error::{CoreError, CoreResult};
+use crate::ident::NameTable;
+use crate::term::{Abs, AbsKind, App, Value};
+use crate::Ctx;
+
+/// Is this value a continuation (a continuation variable or a continuation
+/// abstraction)?
+pub fn is_continuation_value(v: &Value, names: &NameTable) -> bool {
+    match v {
+        Value::Var(x) => names.is_cont(*x),
+        Value::Abs(a) => a.kind(names) == AbsKind::Cont,
+        Value::Lit(_) | Value::Prim(_) => false,
+    }
+}
+
+/// Check all well-formedness constraints on a top-level application.
+pub fn check_app(ctx: &Ctx, app: &App) -> CoreResult<()> {
+    let mut errs = Vec::new();
+    if let Err(v) = check_unique_binding(app) {
+        errs.push(format!(
+            "unique binding rule violated: {} bound more than once",
+            ctx.names.display(v)
+        ));
+    }
+    walk_app(ctx, app, false, &mut errs);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::WellFormedness(errs))
+    }
+}
+
+/// Check a top-level abstraction (e.g. a compiled procedure).
+pub fn check_abs(ctx: &Ctx, abs: &Abs) -> CoreResult<()> {
+    let wrapped = App::new(Value::Abs(Box::new(abs.clone())), vec![]);
+    // The wrapper application itself is arity-bogus; check only the body
+    // and parameter structure by walking the abstraction directly.
+    let mut errs = Vec::new();
+    if let Err(v) = check_unique_binding(&wrapped) {
+        errs.push(format!(
+            "unique binding rule violated: {} bound more than once",
+            ctx.names.display(v)
+        ));
+    }
+    walk_app(ctx, &abs.body, false, &mut errs);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::WellFormedness(errs))
+    }
+}
+
+fn describe(v: &Value, names: &NameTable) -> String {
+    match v {
+        Value::Var(x) => names.display(*x),
+        Value::Lit(l) => format!("{l:?}"),
+        Value::Prim(_) => "<prim>".to_string(),
+        Value::Abs(_) => "<abstraction>".to_string(),
+    }
+}
+
+/// Walk an application. `in_y_body` is true for the immediate body of a
+/// `Y`-argument abstraction, where continuation abstractions legitimately
+/// appear in argument position (they are being returned to `Y`).
+fn walk_app(ctx: &Ctx, app: &App, in_y_body: bool, errs: &mut Vec<String>) {
+    let names = &ctx.names;
+    match &app.func {
+        Value::Prim(p) => {
+            let def = ctx.prims.def(*p);
+            let conts = app
+                .args
+                .iter()
+                .rev()
+                .take_while(|a| is_continuation_value(a, names))
+                .count();
+            // Clamp to the number of continuations the signature expects,
+            // so a trailing continuation-typed *value* argument (possible
+            // for variadic prims) is not misclassified.
+            if let Err(e) = ctx.prims.check_app(*p, app, conts) {
+                errs.push(e);
+            }
+            let is_y = def.name == "Y";
+            for (i, a) in app.args.iter().enumerate() {
+                let in_cont_position = i + conts >= app.args.len();
+                check_arg(ctx, a, in_cont_position || is_y, is_y, errs);
+            }
+            return;
+        }
+        Value::Abs(abs) => {
+            // Direct application: (λ(v1..vn) app val1..valn).
+            if abs.params.len() != app.args.len() {
+                errs.push(format!(
+                    "direct application binds {} value(s) to {} parameter(s)",
+                    app.args.len(),
+                    abs.params.len()
+                ));
+            }
+            for (p, a) in abs.params.iter().zip(&app.args) {
+                let p_cont = names.is_cont(*p);
+                let a_cont = is_continuation_value(a, names);
+                if p_cont != a_cont {
+                    errs.push(format!(
+                        "binding mismatch: {} ({}) bound to a {}",
+                        names.display(*p),
+                        if p_cont { "continuation" } else { "value" },
+                        if a_cont { "continuation" } else { "value" },
+                    ));
+                }
+            }
+            walk_app(ctx, &abs.body, false, errs);
+            for a in &app.args {
+                let cont_pos = is_continuation_value(a, names);
+                check_arg(ctx, a, cont_pos, false, errs);
+            }
+            return;
+        }
+        Value::Var(f) => {
+            if names.is_cont(*f) {
+                // Invoking a continuation: all arguments are values.
+                for a in &app.args {
+                    // Exception: inside a Y body, the invoked continuation
+                    // receives the recursive abstractions (conts included).
+                    check_arg(ctx, a, in_y_body, in_y_body, errs);
+                }
+            } else {
+                // Calling a first-class procedure: by constraint 5 the
+                // trailing two arguments are its continuations.
+                if app.args.len() < 2 {
+                    errs.push(format!(
+                        "procedure call through {} passes {} argument(s); first-class \
+                         procedures expect at least (cₑ c꜀)",
+                        names.display(*f),
+                        app.args.len()
+                    ));
+                }
+                let n = app.args.len();
+                for (i, a) in app.args.iter().enumerate() {
+                    let cont_pos = i + 2 >= n;
+                    let a_cont = is_continuation_value(a, names);
+                    if cont_pos && !a_cont {
+                        errs.push(format!(
+                            "procedure call through {}: argument {} must be a continuation, \
+                             got {}",
+                            names.display(*f),
+                            i,
+                            describe(a, names)
+                        ));
+                    }
+                    check_arg(ctx, a, cont_pos, false, errs);
+                }
+            }
+            return;
+        }
+        Value::Lit(l) => {
+            errs.push(format!("literal {l:?} in functional position"));
+        }
+    }
+    for a in &app.args {
+        check_arg(ctx, a, false, false, errs);
+    }
+}
+
+/// Check an argument value. `cont_position` is true if a continuation may
+/// legally appear here; `y_context` marks the `Y` escape-hatch.
+fn check_arg(ctx: &Ctx, v: &Value, cont_position: bool, y_context: bool, errs: &mut Vec<String>) {
+    let names = &ctx.names;
+    match v {
+        Value::Var(x) => {
+            if names.is_cont(*x) && !cont_position {
+                errs.push(format!(
+                    "continuation {} escapes into a value position",
+                    names.display(*x)
+                ));
+            }
+        }
+        Value::Abs(a) => {
+            match a.kind(names) {
+                AbsKind::Cont => {
+                    if !cont_position {
+                        errs.push(
+                            "continuation abstraction escapes into a value position".to_string(),
+                        );
+                    }
+                }
+                AbsKind::Proc => {
+                    // Constraint 5: value-position procs take exactly two
+                    // trailing continuation parameters.
+                    if !cont_position || y_context {
+                        let conts: Vec<usize> = a
+                            .params
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| names.is_cont(**p))
+                            .map(|(i, _)| i)
+                            .collect();
+                        let n = a.params.len();
+                        let ok = conts.len() == 2 && conts == vec![n - 2, n - 1];
+                        // Y-bound procedures follow the same convention.
+                        if !ok && !y_context {
+                            errs.push(format!(
+                                "first-class procedure must take exactly two trailing \
+                                 continuation parameters, found continuation parameter(s) \
+                                 at {conts:?} of {n}"
+                            ));
+                        }
+                    }
+                }
+            }
+            let inner_y = y_context && a.kind(names) == AbsKind::Proc;
+            walk_app(ctx, &a.body, inner_y, errs);
+        }
+        Value::Lit(_) | Value::Prim(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Lit;
+
+    fn halt_app(ctx: &Ctx, v: Value) -> App {
+        App::new(Value::Prim(ctx.prims.lookup("halt").unwrap()), vec![v])
+    }
+
+    /// (λ(i ch oid) (halt i) 13 'a' <oid>) — the paper's first example.
+    #[test]
+    fn paper_binding_example_is_well_formed() {
+        let mut ctx = Ctx::new();
+        let i = ctx.names.fresh("i");
+        let ch = ctx.names.fresh("ch");
+        let oid = ctx.names.fresh("oid");
+        let body = halt_app(&ctx, Value::Var(i));
+        let abs = Abs::new(vec![i, ch, oid], body);
+        let app = App::new(
+            Value::from(abs),
+            vec![
+                Value::int(13),
+                Value::Lit(Lit::Char(b'a')),
+                Value::Lit(Lit::Oid(crate::lit::Oid(0x005b_4780))),
+            ],
+        );
+        check_app(&ctx, &app).unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut ctx = Ctx::new();
+        let i = ctx.names.fresh("i");
+        let body = halt_app(&ctx, Value::Var(i));
+        let abs = Abs::new(vec![i], body);
+        let app = App::new(Value::from(abs), vec![Value::int(1), Value::int(2)]);
+        let err = check_app(&ctx, &app).unwrap_err();
+        let CoreError::WellFormedness(msgs) = err else {
+            panic!()
+        };
+        assert!(msgs.iter().any(|m| m.contains("binds 2 value(s) to 1")));
+    }
+
+    #[test]
+    fn prim_arity_checked() {
+        let mut ctx = Ctx::new();
+        let ce = ctx.names.fresh_cont("ce");
+        let cc = ctx.names.fresh_cont("cc");
+        let plus = ctx.prims.lookup("+").unwrap();
+        // (+ 1 ce cc): missing one value argument.
+        let app = App::new(
+            Value::Prim(plus),
+            vec![Value::int(1), Value::Var(ce), Value::Var(cc)],
+        );
+        assert!(check_app(&ctx, &app).is_err());
+    }
+
+    #[test]
+    fn escaping_continuation_detected() {
+        let mut ctx = Ctx::new();
+        let cc = ctx.names.fresh_cont("cc");
+        let x = ctx.names.fresh("x");
+        // (λ(x) (halt x) cc): binds a continuation to a value identifier.
+        let abs = Abs::new(vec![x], halt_app(&ctx, Value::Var(x)));
+        let app = App::new(Value::from(abs), vec![Value::Var(cc)]);
+        let err = check_app(&ctx, &app).unwrap_err();
+        let CoreError::WellFormedness(msgs) = err else {
+            panic!()
+        };
+        assert!(msgs.iter().any(|m| m.contains("mismatch") || m.contains("escapes")));
+    }
+
+    #[test]
+    fn double_binding_detected() {
+        let mut ctx = Ctx::new();
+        let x = ctx.names.fresh("x");
+        let inner = Abs::new(vec![x], halt_app(&ctx, Value::Var(x)));
+        let outer = Abs::new(vec![x], App::new(Value::from(inner), vec![Value::int(1)]));
+        let app = App::new(Value::from(outer), vec![Value::int(2)]);
+        assert!(check_app(&ctx, &app).is_err());
+    }
+
+    #[test]
+    fn literal_in_functional_position_detected() {
+        let ctx = Ctx::new();
+        let app = App::new(Value::int(3), vec![]);
+        assert!(check_app(&ctx, &app).is_err());
+    }
+
+    /// (λ(fn) (fn 13 ce cc) proc(t ce' cc') app) — the paper's higher-order
+    /// example, extended with the mandatory continuations.
+    #[test]
+    fn higher_order_example_is_well_formed() {
+        let mut ctx = Ctx::new();
+        let fnv = ctx.names.fresh("fn");
+        let t = ctx.names.fresh("t");
+        let ce1 = ctx.names.fresh_cont("ce");
+        let cc1 = ctx.names.fresh_cont("cc");
+        let ce0 = ctx.names.fresh_cont("ce");
+        let cc0 = ctx.names.fresh_cont("cc");
+
+        let proc_body = App::new(Value::Var(cc1), vec![Value::Var(t)]);
+        let proc = Abs::new(vec![t, ce1, cc1], proc_body);
+        let call = App::new(
+            Value::Var(fnv),
+            vec![Value::int(13), Value::Var(ce0), Value::Var(cc0)],
+        );
+        let outer = Abs::new(vec![fnv], call);
+        // Wrap in a proc binding ce0/cc0 so they are in scope.
+        let top = Abs::new(
+            vec![ce0, cc0],
+            App::new(Value::from(outer), vec![Value::from(proc)]),
+        );
+        // check_abs ignores the binding of ce0/cc0 at top level.
+        check_abs(&ctx, &top).unwrap();
+    }
+
+    #[test]
+    fn proc_with_one_continuation_param_rejected_in_value_position() {
+        let mut ctx = Ctx::new();
+        let fnv = ctx.names.fresh("fn");
+        let t = ctx.names.fresh("t");
+        let cc1 = ctx.names.fresh_cont("cc");
+        let ce0 = ctx.names.fresh_cont("ce");
+        let cc0 = ctx.names.fresh_cont("cc");
+        // proc(t cc') — only one continuation: violates constraint 5.
+        let proc = Abs::new(vec![t, cc1], App::new(Value::Var(cc1), vec![Value::Var(t)]));
+        let call = App::new(
+            Value::Var(fnv),
+            vec![Value::int(13), Value::Var(ce0), Value::Var(cc0)],
+        );
+        let outer = Abs::new(vec![fnv], call);
+        let top = Abs::new(
+            vec![ce0, cc0],
+            App::new(Value::from(outer), vec![Value::from(proc)]),
+        );
+        assert!(check_abs(&ctx, &top).is_err());
+    }
+
+    /// The paper's for-loop Y encoding must pass the checker.
+    #[test]
+    fn y_loop_encoding_is_well_formed() {
+        let mut ctx = Ctx::new();
+        let ce = ctx.names.fresh_cont("ce");
+        let cc = ctx.names.fresh_cont("cc");
+        let c0 = ctx.names.fresh_cont("c0");
+        let fr = ctx.names.fresh_cont("for");
+        let c = ctx.names.fresh_cont("c");
+        let i = ctx.names.fresh("i");
+        let t2 = ctx.names.fresh("t2");
+
+        let gt = ctx.prims.lookup(">").unwrap();
+        let plus = ctx.prims.lookup("+").unwrap();
+
+        // loop body: (> i 10 cc cont() (+ i 1 ce cont(t2) (for t2)))
+        let recurse = Abs::new(vec![t2], App::new(Value::Var(fr), vec![Value::Var(t2)]));
+        let add = App::new(
+            Value::Prim(plus),
+            vec![
+                Value::Var(i),
+                Value::int(1),
+                Value::Var(ce),
+                Value::from(recurse),
+            ],
+        );
+        let not_done = Abs::new(vec![], add);
+        let exit = Abs::new(vec![], App::new(Value::Var(cc), vec![Value::Lit(Lit::Unit)]));
+        let head_body = App::new(
+            Value::Prim(gt),
+            vec![
+                Value::Var(i),
+                Value::int(10),
+                Value::from(exit),
+                Value::from(not_done),
+            ],
+        );
+        let head = Abs::new(vec![i], head_body);
+        let entry = Abs::new(vec![], App::new(Value::Var(fr), vec![Value::int(1)]));
+        let y_abs = Abs::new(
+            vec![c0, fr, c],
+            App::new(Value::Var(c), vec![Value::from(entry), Value::from(head)]),
+        );
+        let y = App::new(
+            Value::Prim(ctx.prims.lookup("Y").unwrap()),
+            vec![Value::from(y_abs)],
+        );
+        let top = Abs::new(vec![ce, cc], y);
+        check_abs(&ctx, &top).unwrap();
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests on the core term algebra: printer/parser round trips,
+//! substitution and census laws, α-conversion invariants.
+
+use proptest::prelude::*;
+use tml_core::census::{occurrences_in_app, Census};
+use tml_core::gen::{gen_program, GenConfig};
+use tml_core::parse::parse_app;
+use tml_core::pretty::print_app;
+use tml_core::subst::subst_app;
+use tml_core::term::Value;
+use tml_core::wellformed::check_app;
+use tml_core::{Ctx, Lit};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print → parse is α-equivalence-preserving: same size, same shape
+    /// (node kinds in pre-order), same literal payloads, well-formed.
+    #[test]
+    fn print_parse_roundtrip(seed in 0u64..20_000, steps in 2usize..30) {
+        let (ctx, app) = gen_program(seed, GenConfig { steps, ..Default::default() });
+        let printed = print_app(&ctx, &app);
+        let mut ctx2 = Ctx::new();
+        let parsed = parse_app(&mut ctx2, &printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert!(parsed.free.is_empty(), "closed program reparsed open");
+        prop_assert_eq!(app.size(), parsed.app.size());
+        prop_assert_eq!(shape(&app), shape(&parsed.app));
+        check_app(&ctx2, &parsed.app).unwrap();
+    }
+
+    /// A second print after a round trip is stable modulo variable
+    /// numbering (same shape again).
+    #[test]
+    fn reprint_is_stable(seed in 0u64..5_000) {
+        let (ctx, app) = gen_program(seed, GenConfig::default());
+        let p1 = print_app(&ctx, &app);
+        let mut ctx2 = Ctx::new();
+        let r1 = parse_app(&mut ctx2, &p1).unwrap();
+        let p2 = print_app(&ctx2, &r1.app);
+        let mut ctx3 = Ctx::new();
+        let r2 = parse_app(&mut ctx3, &p2).unwrap();
+        prop_assert_eq!(shape(&r1.app), shape(&r2.app));
+    }
+
+    /// Census equals the inductive |E|_v definition for every binder.
+    #[test]
+    fn census_matches_inductive_definition(seed in 0u64..5_000) {
+        let (ctx, app) = gen_program(seed, GenConfig::default());
+        let census = Census::of_app(&app, ctx.names.len());
+        for b in app.binders() {
+            prop_assert_eq!(census.count(b), occurrences_in_app(&app, b));
+        }
+    }
+
+    /// Substituting a fresh literal for a binder drives its census to zero
+    /// and never changes the tree size (literal-for-variable).
+    #[test]
+    fn subst_eliminates_occurrences(seed in 0u64..5_000) {
+        let (ctx, mut app) = gen_program(seed, GenConfig::default());
+        let binders = app.binders();
+        prop_assume!(!binders.is_empty());
+        let v = binders[seed as usize % binders.len()];
+        let before = app.size();
+        let n = subst_app(&mut app, v, &Value::Lit(Lit::Int(123456)));
+        prop_assert_eq!(n, occurrences_in_app(&app, v) + n); // all gone
+        prop_assert_eq!(occurrences_in_app(&app, v), 0);
+        prop_assert_eq!(app.size(), before);
+        let census = Census::of_app(&app, ctx.names.len());
+        prop_assert!(census.is_dead(v));
+    }
+
+    /// α-copies are well-formed next to the original (unique binding).
+    #[test]
+    fn alpha_copy_preserves_unique_binding(seed in 0u64..5_000) {
+        let (mut ctx, app) = gen_program(seed, GenConfig { steps: 8, ..Default::default() });
+        let abs = tml_core::term::Abs { params: vec![], body: app };
+        let copy = tml_core::alpha::alpha_copy_abs(&abs, &mut ctx.names);
+        let both = tml_core::term::App::new(
+            Value::from(abs),
+            vec![Value::from(copy)],
+        );
+        prop_assert!(tml_core::alpha::check_unique_binding(&both).is_ok());
+    }
+}
+
+/// Pre-order node-kind fingerprint of a term (α-invariant).
+fn shape(app: &tml_core::App) -> Vec<String> {
+    let mut out = Vec::new();
+    app.walk_values(&mut |v| {
+        out.push(match v {
+            Value::Lit(l) => format!("L:{l:?}"),
+            Value::Var(_) => "V".to_string(),
+            Value::Prim(p) => format!("P:{p:?}"),
+            Value::Abs(a) => format!("A:{}", a.params.len()),
+        })
+    });
+    out
+}

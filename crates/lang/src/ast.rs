@@ -1,0 +1,282 @@
+//! The TL abstract syntax tree.
+
+use crate::error::Pos;
+
+/// A TL type annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit real.
+    Real,
+    /// Boolean.
+    Bool,
+    /// Byte character.
+    Char,
+    /// Immutable string.
+    Str,
+    /// The unit type (written `Unit`; value `nil`).
+    Unit,
+    /// The dynamic type: unifies with everything (tuples project to it).
+    Dyn,
+    /// An opaque tuple (record representation).
+    Tuple,
+    /// A mutable array.
+    Array,
+    /// A relation (bulk data, `tml-query`).
+    Rel,
+    /// A function; parameter and result types.
+    Fun(Vec<Type>, Box<Type>),
+}
+
+impl Type {
+    /// `true` if values of `self` can flow where `other` is expected.
+    pub fn flows_to(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Dyn, _) | (_, Type::Dyn) => true,
+            (Type::Fun(a, r), Type::Fun(b, s)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| y.flows_to(x))
+                    && r.flows_to(s)
+            }
+            _ => self == other,
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => write!(f, "Int"),
+            Type::Real => write!(f, "Real"),
+            Type::Bool => write!(f, "Bool"),
+            Type::Char => write!(f, "Char"),
+            Type::Str => write!(f, "Str"),
+            Type::Unit => write!(f, "Unit"),
+            Type::Dyn => write!(f, "Dyn"),
+            Type::Tuple => write!(f, "Tuple"),
+            Type::Array => write!(f, "Array"),
+            Type::Rel => write!(f, "Rel"),
+            Type::Fun(ps, r) => {
+                write!(f, "Fun(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "): {r}")
+            }
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// `true` for comparison operators (result `Bool`).
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// `true` for the short-circuit logical operators.
+    pub fn is_logic(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// A TL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Character literal.
+    Char(u8),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// The unit literal `nil`.
+    Nil,
+    /// A variable or global reference (possibly qualified, `mod.name`).
+    Var(String, Pos),
+    /// Function call.
+    Call(Box<Expr>, Vec<Expr>, Pos),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// Unary minus.
+    Neg(Box<Expr>, Pos),
+    /// Logical negation.
+    Not(Box<Expr>, Pos),
+    /// Conditional; `else` is mandatory.
+    If(Box<Expr>, Box<Expr>, Box<Expr>, Pos),
+    /// While loop (value `nil`).
+    While(Box<Expr>, Box<Expr>, Pos),
+    /// `for i = a upto b do body end` (value `nil`).
+    For(String, Box<Expr>, Box<Expr>, Box<Expr>, Pos),
+    /// Immutable binding: `let x = e in body`.
+    Let(String, Box<Expr>, Box<Expr>, Pos),
+    /// Mutable binding: `var x := e in body`.
+    VarDecl(String, Box<Expr>, Box<Expr>, Pos),
+    /// Assignment to a mutable binding (value `nil`).
+    Assign(String, Box<Expr>, Pos),
+    /// Sequencing: `e1; e2`.
+    Seq(Box<Expr>, Box<Expr>),
+    /// Tuple construction.
+    Tuple(Vec<Expr>, Pos),
+    /// Tuple projection `e.N`.
+    Proj(Box<Expr>, usize, Pos),
+    /// Raise an exception.
+    Raise(Box<Expr>, Pos),
+    /// `try e handle x -> h end`.
+    Try(Box<Expr>, String, Box<Expr>, Pos),
+    /// Direct primitive application: `prim "+"(a, b)`. Used by the standard
+    /// library to bottom out; not ordinarily written by applications.
+    Prim(String, Vec<Expr>, Pos),
+    /// Embedded query: `select <target> from <var> in <range> [where <pred>]`.
+    /// When the target is the bare range variable the query is a pure
+    /// selection; otherwise a selection followed by a projection — the
+    /// paper's `select Target(x) from Rel x where Pred(x)` (§4.2).
+    Select {
+        /// Projection target (an expression over the range variable).
+        target: Box<Expr>,
+        /// Range variable name.
+        var: String,
+        /// Range relation.
+        range: Box<Expr>,
+        /// Optional selection predicate.
+        pred: Option<Box<Expr>>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Embedded existential query: `exists <var> in <range> where <pred>`.
+    Exists {
+        /// Range variable name.
+        var: String,
+        /// Range relation.
+        range: Box<Expr>,
+        /// The predicate.
+        pred: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// Best-effort source position, for diagnostics.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Var(_, p)
+            | Expr::Call(_, _, p)
+            | Expr::Bin(_, _, _, p)
+            | Expr::Neg(_, p)
+            | Expr::Not(_, p)
+            | Expr::If(_, _, _, p)
+            | Expr::While(_, _, p)
+            | Expr::For(_, _, _, _, p)
+            | Expr::Let(_, _, _, p)
+            | Expr::VarDecl(_, _, _, p)
+            | Expr::Assign(_, _, p)
+            | Expr::Tuple(_, p)
+            | Expr::Proj(_, _, p)
+            | Expr::Raise(_, p)
+            | Expr::Try(_, _, _, p)
+            | Expr::Prim(_, _, p) => *p,
+            Expr::Select { pos, .. } | Expr::Exists { pos, .. } => *pos,
+            Expr::Seq(a, _) => a.pos(),
+            _ => Pos::default(),
+        }
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A module-level function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDef {
+    /// Function name (unqualified).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Declared result type.
+    pub ret: Type,
+    /// The body expression.
+    pub body: Expr,
+    /// Position of the definition.
+    pub pos: Pos,
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Exported function names.
+    pub exports: Vec<String>,
+    /// Function definitions.
+    pub funs: Vec<FunDef>,
+    /// Position of the `module` keyword.
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyn_flows_everywhere() {
+        assert!(Type::Dyn.flows_to(&Type::Int));
+        assert!(Type::Int.flows_to(&Type::Dyn));
+        assert!(!Type::Int.flows_to(&Type::Real));
+        assert!(Type::Int.flows_to(&Type::Int));
+    }
+
+    #[test]
+    fn fun_types_contravariant() {
+        let f = Type::Fun(vec![Type::Dyn], Box::new(Type::Int));
+        let g = Type::Fun(vec![Type::Int], Box::new(Type::Dyn));
+        assert!(f.flows_to(&g));
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(BinOp::Lt.is_cmp());
+        assert!(!BinOp::Add.is_cmp());
+        assert!(BinOp::And.is_logic());
+    }
+
+    #[test]
+    fn type_display() {
+        let f = Type::Fun(vec![Type::Int, Type::Real], Box::new(Type::Bool));
+        assert_eq!(f.to_string(), "Fun(Int, Real): Bool");
+    }
+}

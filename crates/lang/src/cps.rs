@@ -1,0 +1,820 @@
+//! CPS conversion: lowered TL core AST → TML.
+//!
+//! Every TL function becomes a TML procedure `proc(params… cₑ c꜀)`; the
+//! exception continuation is threaded through every call, so `try/handle`
+//! is compiled by *passing a different continuation* (paper §2.3: "To
+//! install a new exception handler, … a new continuation function which
+//! handles exceptions in the callee's body is passed"). Loops compile to
+//! the `Y` fixpoint combinator exactly as in the paper's `for` example.
+//!
+//! References to globals (qualified names such as `int.add`, `complex.x`)
+//! become *free variables* of the generated procedure; the linker binds
+//! them to store values (R-value bindings), and the reflective optimizer
+//! later re-binds them as λ-bindings to optimize across the module
+//! barrier.
+
+use crate::ast::{Expr, FunDef};
+use crate::error::LangError;
+use std::collections::HashMap;
+use tml_core::term::{Abs, App, Value};
+use tml_core::{Ctx, Lit, VarId};
+
+/// The result of converting one function.
+#[derive(Debug, Clone)]
+pub struct CpsResult {
+    /// `proc(params… cₑ c꜀)` with the function body in CPS.
+    pub abs: Abs,
+    /// Global (free) references: `(qualified name, variable)` in first-use
+    /// order. These are exactly the R-value bindings of the closure.
+    pub globals: Vec<(String, VarId)>,
+}
+
+/// Convert a lowered function definition to TML.
+pub fn convert_fun(ctx: &mut Ctx, fun: &FunDef) -> Result<CpsResult, LangError> {
+    let mut cps = Cps {
+        ctx,
+        scope: Vec::new(),
+        globals: Vec::new(),
+        global_ix: HashMap::new(),
+        ce: VarId(u32::MAX),
+    };
+    let mut params = Vec::with_capacity(fun.params.len() + 2);
+    for p in &fun.params {
+        let v = cps.ctx.names.fresh(p.name.clone());
+        cps.scope.push((p.name.clone(), Binding::Val(v)));
+        params.push(v);
+    }
+    let ce = cps.ctx.names.fresh_cont("ce");
+    let cc = cps.ctx.names.fresh_cont("cc");
+    params.push(ce);
+    params.push(cc);
+    cps.ce = ce;
+    let body = cps.convert(&fun.body, K::Var(cc))?;
+    Ok(CpsResult {
+        abs: Abs::new(params, body),
+        globals: cps.globals,
+    })
+}
+
+enum Binding {
+    /// An immutable binding holding a value.
+    Val(VarId),
+    /// A mutable binding: the variable holds a 1-slot cell reference.
+    Cell(VarId),
+}
+
+type KFn<'e> = Box<dyn FnOnce(&mut Cps<'_>, Value) -> Result<App, LangError> + 'e>;
+type DoneFn<'e> = Box<dyn FnOnce(&mut Cps<'_>, Vec<Value>) -> Result<App, LangError> + 'e>;
+
+/// The (meta-)continuation of a conversion step.
+enum K<'e> {
+    /// A continuation variable: apply it to the result.
+    Var(VarId),
+    /// Generate code consuming the result value.
+    Fn(KFn<'e>),
+}
+
+impl<'e> K<'e> {
+    fn apply(self, cps: &mut Cps<'_>, v: Value) -> Result<App, LangError> {
+        match self {
+            K::Var(k) => Ok(App::new(Value::Var(k), vec![v])),
+            K::Fn(f) => f(cps, v),
+        }
+    }
+}
+
+struct Cps<'a> {
+    ctx: &'a mut Ctx,
+    scope: Vec<(String, Binding)>,
+    globals: Vec<(String, VarId)>,
+    global_ix: HashMap<String, VarId>,
+    /// The current exception continuation variable.
+    ce: VarId,
+}
+
+impl Cps<'_> {
+    fn bug(msg: impl Into<String>) -> LangError {
+        LangError::Compile(msg.into())
+    }
+
+    fn prim(&self, name: &str) -> Result<Value, LangError> {
+        self.ctx
+            .prims
+            .lookup(name)
+            .map(Value::Prim)
+            .ok_or_else(|| Self::bug(format!("unknown primitive {name}")))
+    }
+
+    fn prim_conts(&self, name: &str) -> Result<usize, LangError> {
+        let id = self
+            .ctx
+            .prims
+            .lookup(name)
+            .ok_or_else(|| Self::bug(format!("unknown primitive {name}")))?;
+        match self.ctx.prims.def(id).signature.conts {
+            tml_core::prim::Arity::Exact(n) => Ok(n),
+            tml_core::prim::Arity::AtLeast(n) => Ok(n),
+        }
+    }
+
+    fn is_branch_prim(name: &str) -> bool {
+        matches!(
+            name,
+            "<" | ">" | "<=" | ">=" | "=" | "<>" | "f<" | "f<=" | "f=" | "btest"
+        )
+    }
+
+    fn global(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.global_ix.get(name) {
+            return v;
+        }
+        // The base name is the qualified global name itself: the PTML free
+        // list is keyed by base names and must line up with the closure's
+        // R-value binding names for the reflective optimizer.
+        let v = self.ctx.names.fresh(name);
+        self.global_ix.insert(name.to_string(), v);
+        self.globals.push((name.to_string(), v));
+        v
+    }
+
+    /// Ensure the continuation is a variable, reifying a meta-continuation
+    /// as a join point bound through a direct application.
+    fn with_k_var<'e>(
+        &mut self,
+        k: K<'e>,
+        f: impl FnOnce(&mut Self, VarId) -> Result<App, LangError>,
+    ) -> Result<App, LangError> {
+        match k {
+            K::Var(j) => f(self, j),
+            K::Fn(kf) => {
+                let j = self.ctx.names.fresh_cont("j");
+                let t = self.ctx.names.fresh("t");
+                let k_body = kf(self, Value::Var(t))?;
+                let inner = f(self, j)?;
+                Ok(App::new(
+                    Value::from(Abs::new(vec![j], inner)),
+                    vec![Value::from(Abs::new(vec![t], k_body))],
+                ))
+            }
+        }
+    }
+
+    /// Convert a list of expressions left to right, collecting their values.
+    fn convert_list<'e>(
+        &mut self,
+        exprs: &'e [Expr],
+        mut acc: Vec<Value>,
+        done: DoneFn<'e>,
+    ) -> Result<App, LangError> {
+        match exprs.split_first() {
+            None => done(self, acc),
+            Some((first, rest)) => self.convert(
+                first,
+                K::Fn(Box::new(move |cps, v| {
+                    acc.push(v);
+                    cps.convert_list(rest, acc, done)
+                })),
+            ),
+        }
+    }
+
+    fn convert<'e>(&mut self, e: &'e Expr, k: K<'e>) -> Result<App, LangError> {
+        match e {
+            Expr::Int(n) => k.apply(self, Value::Lit(Lit::Int(*n))),
+            Expr::Real(x) => k.apply(self, Value::Lit(Lit::real(*x))),
+            Expr::Char(c) => k.apply(self, Value::Lit(Lit::Char(*c))),
+            Expr::Str(s) => k.apply(self, Value::Lit(Lit::str(s))),
+            Expr::Bool(b) => k.apply(self, Value::Lit(Lit::Bool(*b))),
+            Expr::Nil => k.apply(self, Value::Lit(Lit::Unit)),
+            Expr::Var(name, _) => {
+                match self.scope.iter().rev().find(|(n, _)| n == name) {
+                    Some((_, Binding::Val(v))) => {
+                        let v = *v;
+                        k.apply(self, Value::Var(v))
+                    }
+                    Some((_, Binding::Cell(cell))) => {
+                        // Cell read: ([] cell 0 ce cc).
+                        let cell = *cell;
+                        let ce = Value::Var(self.ce);
+                        let sub = self.prim("[]")?;
+                        self.with_value_cont(k, |_, cc| {
+                            Ok(App::new(
+                                sub,
+                                vec![Value::Var(cell), Value::int(0), ce, cc],
+                            ))
+                        })
+                    }
+                    None => {
+                        let g = self.global(name);
+                        k.apply(self, Value::Var(g))
+                    }
+                }
+            }
+            Expr::Call(f, args, _) => {
+                self.convert(
+                    f,
+                    K::Fn(Box::new(move |cps, fv| {
+                        cps.convert_list(
+                            args,
+                            Vec::new(),
+                            Box::new(move |cps, mut vals| {
+                                let ce = Value::Var(cps.ce);
+                                cps.with_value_cont(k, move |_, cc| {
+                                    vals.push(ce);
+                                    vals.push(cc);
+                                    Ok(App::new(fv, vals))
+                                })
+                            }),
+                        )
+                    })),
+                )
+            }
+            Expr::Prim(name, args, _) => self.convert_list(
+                args,
+                Vec::new(),
+                Box::new(move |cps, vals| cps.prim_app(name, vals, k)),
+            ),
+            Expr::If(c, t, e2, _) => self.with_k_var(k, |cps, j| {
+                let then_app = cps.convert(t, K::Var(j))?;
+                let else_app = cps.convert(e2, K::Var(j))?;
+                cps.convert_test(c, then_app, else_app)
+            }),
+            Expr::While(c, body, _) => self.with_k_var(k, |cps, j| {
+                // (Y proc(c0 loop ret)(ret cont()(loop) cont() test))
+                let c0 = cps.ctx.names.fresh_cont("c0");
+                let loop_v = cps.ctx.names.fresh_cont("loop");
+                let ret = cps.ctx.names.fresh_cont("c");
+                let entry = Abs::new(vec![], App::new(Value::Var(loop_v), vec![]));
+                let continue_app = App::new(Value::Var(loop_v), vec![]);
+                let body_app = cps.convert(
+                    body,
+                    K::Fn(Box::new(move |_cps, _v| Ok(continue_app))),
+                )?;
+                let exit_app = App::new(Value::Var(j), vec![Value::Lit(Lit::Unit)]);
+                let test = cps.convert_test(c, body_app, exit_app)?;
+                let head = Abs::new(vec![], test);
+                let y_abs = Abs::new(
+                    vec![c0, loop_v, ret],
+                    App::new(
+                        Value::Var(ret),
+                        vec![Value::from(entry), Value::from(head)],
+                    ),
+                );
+                let y = cps.prim("Y")?;
+                Ok(App::new(y, vec![Value::from(y_abs)]))
+            }),
+            Expr::For(v, lo, hi, body, _) => self.with_k_var(k, |cps, j| {
+                cps.convert(
+                    lo,
+                    K::Fn(Box::new(move |cps, lov| {
+                        cps.convert(
+                            hi,
+                            K::Fn(Box::new(move |cps, hiv| {
+                                cps.build_for(v, lov, hiv, body, j)
+                            })),
+                        )
+                    })),
+                )
+            }),
+            Expr::Let(x, init, body, _) => self.convert(
+                init,
+                K::Fn(Box::new(move |cps, v| {
+                    let xv = cps.ctx.names.fresh(x.clone());
+                    cps.scope.push((x.clone(), Binding::Val(xv)));
+                    let body_app = cps.convert(body, k);
+                    cps.scope.pop();
+                    Ok(App::new(
+                        Value::from(Abs::new(vec![xv], body_app?)),
+                        vec![v],
+                    ))
+                })),
+            ),
+            Expr::VarDecl(x, init, body, _) => self.convert(
+                init,
+                K::Fn(Box::new(move |cps, v| {
+                    // (new 1 v cont(cell) body)
+                    let cell = cps.ctx.names.fresh(format!("{x}_cell"));
+                    cps.scope.push((x.clone(), Binding::Cell(cell)));
+                    let body_app = cps.convert(body, k);
+                    cps.scope.pop();
+                    let new = cps.prim("new")?;
+                    Ok(App::new(
+                        new,
+                        vec![
+                            Value::int(1),
+                            v,
+                            Value::from(Abs::new(vec![cell], body_app?)),
+                        ],
+                    ))
+                })),
+            ),
+            Expr::Assign(x, rhs, pos) => {
+                let cell = match self.scope.iter().rev().find(|(n, _)| n == x) {
+                    Some((_, Binding::Cell(c))) => *c,
+                    _ => {
+                        return Err(LangError::Type {
+                            pos: *pos,
+                            message: format!("assignment to non-variable {x}"),
+                        })
+                    }
+                };
+                self.convert(
+                    rhs,
+                    K::Fn(Box::new(move |cps, v| {
+                        let ce = Value::Var(cps.ce);
+                        let set = cps.prim("[:=]")?;
+                        cps.with_value_cont(k, move |_, cc| {
+                            Ok(App::new(
+                                set,
+                                vec![Value::Var(cell), Value::int(0), v, ce, cc],
+                            ))
+                        })
+                    })),
+                )
+            }
+            Expr::Seq(a, b) => self.convert(
+                a,
+                K::Fn(Box::new(move |cps, _| cps.convert(b, k))),
+            ),
+            Expr::Tuple(items, _) => self.convert_list(
+                items,
+                Vec::new(),
+                Box::new(move |cps, vals| {
+                    let vector = cps.prim("vector")?;
+                    cps.with_value_cont(k, move |_, cc| {
+                        let mut args = vals;
+                        args.push(cc);
+                        Ok(App::new(vector, args))
+                    })
+                }),
+            ),
+            Expr::Proj(inner, n, _) => {
+                let n = *n as i64;
+                self.convert(
+                    inner,
+                    K::Fn(Box::new(move |cps, v| {
+                        let ce = Value::Var(cps.ce);
+                        let sub = cps.prim("[]")?;
+                        cps.with_value_cont(k, move |_, cc| {
+                            Ok(App::new(sub, vec![v, Value::int(n), ce, cc]))
+                        })
+                    })),
+                )
+            }
+            Expr::Raise(inner, _) => self.convert(
+                inner,
+                K::Fn(Box::new(move |cps, v| {
+                    Ok(App::new(Value::Var(cps.ce), vec![v]))
+                })),
+            ),
+            Expr::Try(body, x, handler, _) => self.with_k_var(k, |cps, j| {
+                // Bind the handler continuation, then convert the body with
+                // it as the current exception continuation.
+                let h = cps.ctx.names.fresh_cont("h");
+                let xv = cps.ctx.names.fresh(x.clone());
+                cps.scope.push((x.clone(), Binding::Val(xv)));
+                let handler_app = cps.convert(handler, K::Var(j));
+                cps.scope.pop();
+                let handler_abs = Abs::new(vec![xv], handler_app?);
+                let saved_ce = cps.ce;
+                cps.ce = h;
+                let body_app = cps.convert(body, K::Var(j));
+                cps.ce = saved_ce;
+                Ok(App::new(
+                    Value::from(Abs::new(vec![h], body_app?)),
+                    vec![Value::from(handler_abs)],
+                ))
+            }),
+            Expr::Select {
+                target,
+                var,
+                range,
+                pred,
+                ..
+            } => self.convert(
+                range,
+                K::Fn(Box::new(move |cps, rv| {
+                    // Selection first (if any), then projection (unless the
+                    // target is the bare range variable) — the paper's 1:1
+                    // mapping of `select Target(x) from Rel x where Pred(x)`
+                    // into `(select pred Rel ce cont(tempRel)(project …))`.
+                    let is_identity = matches!(&**target, Expr::Var(n, _) if n == var);
+                    match pred {
+                        Some(p) => {
+                            let pred_abs = cps.query_lambda(var, p)?;
+                            let sel = cps.prim("select")?;
+                            let ce = Value::Var(cps.ce);
+                            if is_identity {
+                                cps.with_value_cont(k, move |_, cc| {
+                                    Ok(App::new(sel, vec![Value::from(pred_abs), rv, ce, cc]))
+                                })
+                            } else {
+                                let temp = cps.ctx.names.fresh("tempRel");
+                                let proj_app =
+                                    cps.projection(var, target, Value::Var(temp), k)?;
+                                Ok(App::new(
+                                    sel,
+                                    vec![
+                                        Value::from(pred_abs),
+                                        rv,
+                                        ce,
+                                        Value::from(Abs::new(vec![temp], proj_app)),
+                                    ],
+                                ))
+                            }
+                        }
+                        None if is_identity => k.apply(cps, rv),
+                        None => cps.projection(var, target, rv, k),
+                    }
+                })),
+            ),
+            Expr::Exists {
+                var, range, pred, ..
+            } => self.convert(
+                range,
+                K::Fn(Box::new(move |cps, rv| {
+                    let pred_abs = cps.query_lambda(var, pred)?;
+                    let exists = cps.prim("exists")?;
+                    let ce = Value::Var(cps.ce);
+                    cps.with_value_cont(k, move |_, cc| {
+                        Ok(App::new(exists, vec![Value::from(pred_abs), rv, ce, cc]))
+                    })
+                })),
+            ),
+            other => Err(Self::bug(format!(
+                "expression not lowered before CPS conversion: {other:?}"
+            ))),
+        }
+    }
+
+    /// Build the query λ `proc(x cex ccx) body` for a predicate or target
+    /// expression with the range variable in scope.
+    fn query_lambda(&mut self, var: &str, body: &Expr) -> Result<Abs, LangError> {
+        let x = self.ctx.names.fresh(var.to_string());
+        let cex = self.ctx.names.fresh_cont("cex");
+        let ccx = self.ctx.names.fresh_cont("ccx");
+        self.scope.push((var.to_string(), Binding::Val(x)));
+        let saved_ce = self.ce;
+        self.ce = cex;
+        let converted = self.convert(body, K::Var(ccx));
+        self.ce = saved_ce;
+        self.scope.pop();
+        Ok(Abs::new(vec![x, cex, ccx], converted?))
+    }
+
+    /// `(project targetλ rel ce cc)`.
+    fn projection<'e>(
+        &mut self,
+        var: &str,
+        target: &'e Expr,
+        rel: Value,
+        k: K<'e>,
+    ) -> Result<App, LangError> {
+        let target_abs = self.query_lambda(var, target)?;
+        let project = self.prim("project")?;
+        let ce = Value::Var(self.ce);
+        self.with_value_cont(k, move |_, cc| {
+            Ok(App::new(project, vec![Value::from(target_abs), rel, ce, cc]))
+        })
+    }
+
+    /// `for v = lo upto hi do body end`, following the paper's encoding.
+    fn build_for(
+        &mut self,
+        v: &str,
+        lov: Value,
+        hiv: Value,
+        body: &Expr,
+        j: VarId,
+    ) -> Result<App, LangError> {
+        let c0 = self.ctx.names.fresh_cont("c0");
+        let for_v = self.ctx.names.fresh_cont("for");
+        let ret = self.ctx.names.fresh_cont("c");
+        let i = self.ctx.names.fresh(v.to_string());
+
+        // Recursion: (+ i 1 ce cont(t2) (for t2))
+        let t2 = self.ctx.names.fresh("t2");
+        let recurse = Abs::new(vec![t2], App::new(Value::Var(for_v), vec![Value::Var(t2)]));
+        let plus = self.prim("+")?;
+        let step = App::new(
+            plus,
+            vec![
+                Value::Var(i),
+                Value::int(1),
+                Value::Var(self.ce),
+                Value::from(recurse),
+            ],
+        );
+        // Body, then step.
+        self.scope.push((v.to_string(), Binding::Val(i)));
+        let body_app = self.convert(body, K::Fn(Box::new(move |_cps, _| Ok(step))));
+        self.scope.pop();
+        // Head: (> i hi cont() exit cont() body)
+        let gt = self.prim(">")?;
+        let exit = Abs::new(vec![], App::new(Value::Var(j), vec![Value::Lit(Lit::Unit)]));
+        let head_body = App::new(
+            gt,
+            vec![
+                Value::Var(i),
+                hiv,
+                Value::from(exit),
+                Value::from(Abs::new(vec![], body_app?)),
+            ],
+        );
+        let head = Abs::new(vec![i], head_body);
+        let entry = Abs::new(vec![], App::new(Value::Var(for_v), vec![lov]));
+        let y_abs = Abs::new(
+            vec![c0, for_v, ret],
+            App::new(Value::Var(ret), vec![Value::from(entry), Value::from(head)]),
+        );
+        let y = self.prim("Y")?;
+        Ok(App::new(y, vec![Value::from(y_abs)]))
+    }
+
+    /// Supply a value continuation for a call/primitive: a plain variable
+    /// when the continuation already is one (tail position), otherwise an
+    /// inline `cont(t) …`.
+    fn with_value_cont<'e>(
+        &mut self,
+        k: K<'e>,
+        f: impl FnOnce(&mut Self, Value) -> Result<App, LangError>,
+    ) -> Result<App, LangError> {
+        match k {
+            K::Var(cc) => f(self, Value::Var(cc)),
+            K::Fn(kf) => {
+                let t = self.ctx.names.fresh("t");
+                let body = kf(self, Value::Var(t))?;
+                f(self, Value::from(Abs::new(vec![t], body)))
+            }
+        }
+    }
+
+    /// Compile a primitive application in value context.
+    fn prim_app<'e>(&mut self, name: &str, vals: Vec<Value>, k: K<'e>) -> Result<App, LangError> {
+        if Self::is_branch_prim(name) {
+            // Boolean-producing: join the two branches.
+            return self.with_k_var(k, |cps, j| {
+                let p = cps.prim(name)?;
+                let mut args = vals;
+                args.push(Value::from(Abs::new(
+                    vec![],
+                    App::new(Value::Var(j), vec![Value::Lit(Lit::Bool(true))]),
+                )));
+                args.push(Value::from(Abs::new(
+                    vec![],
+                    App::new(Value::Var(j), vec![Value::Lit(Lit::Bool(false))]),
+                )));
+                Ok(App::new(p, args))
+            });
+        }
+        let conts = self.prim_conts(name)?;
+        let p = self.prim(name)?;
+        match conts {
+            1 => self.with_value_cont(k, move |_, cc| {
+                let mut args = vals;
+                args.push(cc);
+                Ok(App::new(p, args))
+            }),
+            2 => {
+                let ce = Value::Var(self.ce);
+                self.with_value_cont(k, move |_, cc| {
+                    let mut args = vals;
+                    args.push(ce);
+                    args.push(cc);
+                    Ok(App::new(p, args))
+                })
+            }
+            n => Err(Self::bug(format!(
+                "primitive {name} with {n} continuations not usable from TL"
+            ))),
+        }
+    }
+
+    /// Compile a boolean test with prepared branch code.
+    fn convert_test(
+        &mut self,
+        cond: &Expr,
+        then_app: App,
+        else_app: App,
+    ) -> Result<App, LangError> {
+        match cond {
+            Expr::Bool(true) => Ok(then_app),
+            Expr::Bool(false) => Ok(else_app),
+            Expr::Prim(name, args, _) if Self::is_branch_prim(name) => {
+                let name = name.clone();
+                self.convert_list(
+                    args,
+                    Vec::new(),
+                    Box::new(move |cps, mut vals| {
+                        let p = cps.prim(&name)?;
+                        vals.push(Value::from(Abs::new(vec![], then_app)));
+                        vals.push(Value::from(Abs::new(vec![], else_app)));
+                        Ok(App::new(p, vals))
+                    }),
+                )
+            }
+            Expr::If(c2, t2, e2, _) => {
+                // From and/or lowering: share the branch targets through
+                // 0-ary join continuations.
+                let jt = self.ctx.names.fresh_cont("jt");
+                let je = self.ctx.names.fresh_cont("je");
+                let inner_then = self.convert_test(
+                    t2,
+                    App::new(Value::Var(jt), vec![]),
+                    App::new(Value::Var(je), vec![]),
+                )?;
+                let inner_else = self.convert_test(
+                    e2,
+                    App::new(Value::Var(jt), vec![]),
+                    App::new(Value::Var(je), vec![]),
+                )?;
+                let outer = self.convert_test(c2, inner_then, inner_else)?;
+                Ok(App::new(
+                    Value::from(Abs::new(vec![jt, je], outer)),
+                    vec![
+                        Value::from(Abs::new(vec![], then_app)),
+                        Value::from(Abs::new(vec![], else_app)),
+                    ],
+                ))
+            }
+            other => {
+                let btest = self.prim("btest")?;
+                self.convert(
+                    other,
+                    K::Fn(Box::new(move |_cps, v| {
+                        Ok(App::new(
+                            btest,
+                            vec![
+                                v,
+                                Value::from(Abs::new(vec![], then_app)),
+                                Value::from(Abs::new(vec![], else_app)),
+                            ],
+                        ))
+                    })),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::types::{check_module, LowerMode, TypeEnv};
+    use tml_core::wellformed::check_abs;
+
+    fn convert(src: &str, mode: LowerMode) -> (Ctx, Vec<CpsResult>) {
+        let mods = parse_program(src).unwrap();
+        let mut env = TypeEnv::new();
+        for f in ["add", "sub", "mul", "div", "mod"] {
+            env.insert(
+                format!("int.{f}"),
+                crate::ast::Type::Fun(
+                    vec![crate::ast::Type::Int, crate::ast::Type::Int],
+                    Box::new(crate::ast::Type::Int),
+                ),
+            );
+        }
+        for f in ["lt", "gt", "le", "ge", "eq", "ne"] {
+            env.insert(
+                format!("int.{f}"),
+                crate::ast::Type::Fun(
+                    vec![crate::ast::Type::Int, crate::ast::Type::Int],
+                    Box::new(crate::ast::Type::Bool),
+                ),
+            );
+        }
+        let (lowered, _) = check_module(&env, &mods[0], mode).unwrap();
+        let mut ctx = Ctx::new();
+        let results = lowered
+            .funs
+            .iter()
+            .map(|f| convert_fun(&mut ctx, f).unwrap())
+            .collect();
+        (ctx, results)
+    }
+
+    #[test]
+    fn simple_function_is_well_formed() {
+        let (ctx, rs) = convert(
+            "module m export f\nlet f(a: Int): Int = a + 1\nend",
+            LowerMode::Direct,
+        );
+        check_abs(&ctx, &rs[0].abs).unwrap();
+        assert!(rs[0].globals.is_empty());
+    }
+
+    #[test]
+    fn library_mode_produces_global_references() {
+        let (ctx, rs) = convert(
+            "module m export f\nlet f(a: Int): Int = a + 1 * 2\nend",
+            LowerMode::Library,
+        );
+        check_abs(&ctx, &rs[0].abs).unwrap();
+        let names: Vec<&str> = rs[0].globals.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"int.add"), "{names:?}");
+        assert!(names.contains(&"int.mul"), "{names:?}");
+    }
+
+    #[test]
+    fn globals_deduplicated() {
+        let (_, rs) = convert(
+            "module m export f\nlet f(a: Int): Int = a + a + a\nend",
+            LowerMode::Library,
+        );
+        let adds = rs[0]
+            .globals
+            .iter()
+            .filter(|(n, _)| n == "int.add")
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn loops_use_y(){
+        let (ctx, rs) = convert(
+            "module m export f\n\
+             let f(n: Int): Int = var s := 0 in \
+               (for i = 1 upto n do s := s + i end; s)\n\
+             end",
+            LowerMode::Direct,
+        );
+        check_abs(&ctx, &rs[0].abs).unwrap();
+        let printed = tml_core::pretty::print_abs(&ctx, &rs[0].abs);
+        assert!(printed.contains("(Y"), "{printed}");
+    }
+
+    #[test]
+    fn while_loops_are_well_formed() {
+        let (ctx, rs) = convert(
+            "module m export f\n\
+             let f(n: Int): Int = var i := 0 in \
+               (while i < n do i := i + 1 end; i)\n\
+             end",
+            LowerMode::Direct,
+        );
+        check_abs(&ctx, &rs[0].abs).unwrap();
+    }
+
+    #[test]
+    fn try_swaps_exception_continuation() {
+        let (ctx, rs) = convert(
+            "module m export f\n\
+             let f(a: Int): Int = try (if a < 0 then raise 7 else a end) handle e -> 0 end\n\
+             end",
+            LowerMode::Direct,
+        );
+        check_abs(&ctx, &rs[0].abs).unwrap();
+    }
+
+    #[test]
+    fn tuples_and_projections() {
+        let (ctx, rs) = convert(
+            "module m export f\nlet f(a: Real, b: Real): Dyn = tuple(a, b).1\nend",
+            LowerMode::Direct,
+        );
+        check_abs(&ctx, &rs[0].abs).unwrap();
+        let printed = tml_core::pretty::print_abs(&ctx, &rs[0].abs);
+        assert!(printed.contains("vector"), "{printed}");
+    }
+
+    #[test]
+    fn tail_calls_pass_cc_directly() {
+        let (ctx, rs) = convert(
+            "module m export f\nlet f(n: Int): Int = f(n)\nend",
+            LowerMode::Direct,
+        );
+        check_abs(&ctx, &rs[0].abs).unwrap();
+        // The recursive call must end in (... ce cc), no wrapper cont.
+        let printed = tml_core::pretty::print_abs(&ctx, &rs[0].abs);
+        assert!(printed.contains("ce_1 cc_2)"), "{printed}");
+    }
+
+    #[test]
+    fn comparisons_in_value_position_join() {
+        let (ctx, rs) = convert(
+            "module m export f\nlet f(a: Int): Bool = a < 3\nend",
+            LowerMode::Direct,
+        );
+        check_abs(&ctx, &rs[0].abs).unwrap();
+        let printed = tml_core::pretty::print_abs(&ctx, &rs[0].abs);
+        assert!(printed.contains("true"), "{printed}");
+        assert!(printed.contains("false"), "{printed}");
+    }
+
+    #[test]
+    fn all_functions_pass_wf_in_both_modes() {
+        let src = "module m export fib, sum, abs2\n\
+            let fib(n: Int): Int = if n < 2 then n else fib(n - 1) + fib(n - 2) end\n\
+            let sum(n: Int): Int = var s := 0 in (for i = 1 upto n do s := s + i end; s)\n\
+            let abs2(a: Int): Int = if a < 0 then 0 - a else a end\n\
+            end";
+        for mode in [LowerMode::Direct, LowerMode::Library] {
+            let (ctx, rs) = convert(src, mode);
+            for r in &rs {
+                check_abs(&ctx, &r.abs).unwrap();
+            }
+        }
+    }
+}

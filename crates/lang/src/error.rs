@@ -1,0 +1,85 @@
+//! Front-end errors with source positions.
+
+use std::fmt;
+
+/// A position in TL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced by the TL front end and session.
+#[derive(Debug, Clone)]
+pub enum LangError {
+    /// Lexical error.
+    Lex {
+        /// Where.
+        pos: Pos,
+        /// What.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Where.
+        pos: Pos,
+        /// What.
+        message: String,
+    },
+    /// Type error.
+    Type {
+        /// Where.
+        pos: Pos,
+        /// What.
+        message: String,
+    },
+    /// A global identifier could not be resolved at link time.
+    Unresolved(String),
+    /// A module with this name is already loaded.
+    DuplicateModule(String),
+    /// TML → bytecode compilation failed (front-end bug if it happens).
+    Compile(String),
+    /// Execution failed.
+    Vm(String),
+    /// A TML-level exception escaped to the session caller.
+    Exception(String),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            LangError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            LangError::Type { pos, message } => write!(f, "type error at {pos}: {message}"),
+            LangError::Unresolved(n) => write!(f, "unresolved global {n}"),
+            LangError::DuplicateModule(n) => write!(f, "module {n} already loaded"),
+            LangError::Compile(m) => write!(f, "code generation error: {m}"),
+            LangError::Vm(m) => write!(f, "machine error: {m}"),
+            LangError::Exception(m) => write!(f, "uncaught TL exception: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_positions() {
+        let e = LangError::Parse {
+            pos: Pos { line: 3, col: 7 },
+            message: "expected end".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected end");
+    }
+}

@@ -1,0 +1,329 @@
+//! The TL lexer.
+
+use crate::error::{LangError, Pos};
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Character literal.
+    Char(u8),
+    /// String literal.
+    Str(String),
+    /// Identifier (possibly qualified later by the parser).
+    Ident(String),
+    /// Keyword.
+    Kw(&'static str),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Source position.
+    pub pos: Pos,
+}
+
+const KEYWORDS: &[&str] = &[
+    "module", "export", "let", "var", "in", "if", "then", "else", "end", "while", "do", "for",
+    "upto", "true", "false", "nil", "and", "or", "not", "raise", "try", "handle", "prim",
+    "tuple", "select", "from", "where", "exists",
+];
+
+/// Tokenize TL source.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                bump!();
+            }
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_real = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || (bytes[i] == b'.'
+                            && !is_real
+                            && i + 1 < bytes.len()
+                            && bytes[i + 1].is_ascii_digit()))
+                {
+                    if bytes[i] == b'.' {
+                        is_real = true;
+                    }
+                    bump!();
+                }
+                let text = &src[start..i];
+                let tok = if is_real {
+                    Tok::Real(text.parse().map_err(|e| LangError::Lex {
+                        pos,
+                        message: format!("bad real literal: {e}"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|e| LangError::Lex {
+                        pos,
+                        message: format!("bad integer literal: {e}"),
+                    })?)
+                };
+                toks.push(Token { tok, pos });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let word = &src[start..i];
+                let tok = match KEYWORDS.iter().find(|k| **k == word) {
+                    Some(k) => Tok::Kw(k),
+                    None => Tok::Ident(word.to_string()),
+                };
+                toks.push(Token { tok, pos });
+            }
+            b'\'' => {
+                bump!();
+                if i >= bytes.len() {
+                    return Err(LangError::Lex {
+                        pos,
+                        message: "unterminated char literal".into(),
+                    });
+                }
+                let ch = if bytes[i] == b'\\' {
+                    bump!();
+                    let e = bytes.get(i).copied().ok_or(LangError::Lex {
+                        pos,
+                        message: "unterminated escape".into(),
+                    })?;
+                    bump!();
+                    match e {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        b'0' => 0,
+                        other => {
+                            return Err(LangError::Lex {
+                                pos,
+                                message: format!("bad escape '\\{}'", char::from(other)),
+                            })
+                        }
+                    }
+                } else {
+                    let c = bytes[i];
+                    bump!();
+                    c
+                };
+                if i >= bytes.len() || bytes[i] != b'\'' {
+                    return Err(LangError::Lex {
+                        pos,
+                        message: "unterminated char literal".into(),
+                    });
+                }
+                bump!();
+                toks.push(Token {
+                    tok: Tok::Char(ch),
+                    pos,
+                });
+            }
+            b'"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LangError::Lex {
+                            pos,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            bump!();
+                            break;
+                        }
+                        b'\\' => {
+                            bump!();
+                            let e = bytes.get(i).copied().ok_or(LangError::Lex {
+                                pos,
+                                message: "unterminated escape".into(),
+                            })?;
+                            bump!();
+                            s.push(match e {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(LangError::Lex {
+                                        pos,
+                                        message: format!("bad escape '\\{}'", char::from(other)),
+                                    })
+                                }
+                            });
+                        }
+                        c => {
+                            s.push(char::from(c));
+                            bump!();
+                        }
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Str(s),
+                    pos,
+                });
+            }
+            _ => {
+                // Multi-char punctuation first.
+                let rest = &src[i..];
+                let two: Option<&'static str> = [":=", "<=", ">=", "==", "!=", "->"]
+                    .iter()
+                    .find(|p| rest.starts_with(**p))
+                    .copied();
+                if let Some(p) = two {
+                    bump!();
+                    bump!();
+                    toks.push(Token {
+                        tok: Tok::Punct(p),
+                        pos,
+                    });
+                    continue;
+                }
+                let one: Option<&'static str> = [
+                    "(", ")", ",", ":", ";", ".", "+", "-", "*", "/", "%", "<", ">", "=",
+                ]
+                .iter()
+                .find(|p| rest.starts_with(**p))
+                .copied();
+                match one {
+                    Some(p) => {
+                        bump!();
+                        toks.push(Token {
+                            tok: Tok::Punct(p),
+                            pos,
+                        });
+                    }
+                    None => {
+                        return Err(LangError::Lex {
+                            pos,
+                            message: format!("unexpected character {:?}", char::from(c)),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let ts = kinds("let letx modulemod module");
+        assert_eq!(ts[0], Tok::Kw("let"));
+        assert_eq!(ts[1], Tok::Ident("letx".into()));
+        assert_eq!(ts[2], Tok::Ident("modulemod".into()));
+        assert_eq!(ts[3], Tok::Kw("module"));
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = kinds("42 3.5 7");
+        assert_eq!(ts[0], Tok::Int(42));
+        assert_eq!(ts[1], Tok::Real(3.5));
+        assert_eq!(ts[2], Tok::Int(7));
+    }
+
+    #[test]
+    fn projection_dots_are_not_reals() {
+        // e.0 must lex as Ident/Punct(.)/Int.
+        let ts = kinds("c.0");
+        assert_eq!(ts[0], Tok::Ident("c".into()));
+        assert_eq!(ts[1], Tok::Punct("."));
+        assert_eq!(ts[2], Tok::Int(0));
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        let ts = kinds(r#" "hi\n" 'x' '\t' "#);
+        assert_eq!(ts[0], Tok::Str("hi\n".into()));
+        assert_eq!(ts[1], Tok::Char(b'x'));
+        assert_eq!(ts[2], Tok::Char(b'\t'));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ts = kinds("1 -- a comment\n2");
+        assert_eq!(ts[0], Tok::Int(1));
+        assert_eq!(ts[1], Tok::Int(2));
+    }
+
+    #[test]
+    fn multichar_puncts() {
+        let ts = kinds(":= <= >= == != -> < = -");
+        assert_eq!(ts[0], Tok::Punct(":="));
+        assert_eq!(ts[1], Tok::Punct("<="));
+        assert_eq!(ts[2], Tok::Punct(">="));
+        assert_eq!(ts[3], Tok::Punct("=="));
+        assert_eq!(ts[4], Tok::Punct("!="));
+        assert_eq!(ts[5], Tok::Punct("->"));
+        assert_eq!(ts[6], Tok::Punct("<"));
+        assert_eq!(ts[7], Tok::Punct("="));
+        assert_eq!(ts[8], Tok::Punct("-"));
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_char_reported() {
+        assert!(matches!(lex("@"), Err(LangError::Lex { .. })));
+    }
+}

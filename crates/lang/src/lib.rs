@@ -1,0 +1,42 @@
+//! # tml-lang — the TL front end
+//!
+//! A compact reconstruction of the Tycoon language **TL** (Matthes/Schmidt
+//! 1992) sufficient to reproduce the paper's experiments: a statically
+//! scoped, module-structured, imperative language with first-class
+//! functions, tuples, arrays and exceptions, compiled to TML by CPS
+//! conversion.
+//!
+//! Two properties of the real Tycoon system are preserved deliberately
+//! because the paper's evaluation (§6) depends on them:
+//!
+//! 1. **Everything is a library call.** "Even operations on integers and
+//!    arrays are factored out into dynamically bound libraries and
+//!    therefore not amenable to local optimization." `a + b` compiles to a
+//!    call through the global binding `int.add`, whose value is only known
+//!    at link time. (A `direct_prims` switch compiles operators straight to
+//!    primitives, for ablation.)
+//! 2. **Modules are first-class and separately compiled.** Every exported
+//!    function becomes a persistent closure in the store carrying (a) the
+//!    R-value bindings of its free (global) identifiers and (b) its PTML
+//!    attachment — the inputs the reflective optimizer (`tml-reflect`)
+//!    needs to optimize across abstraction barriers.
+//!
+//! The [`session::Session`] type ties everything together: it owns the
+//! TML context, the abstract machine, the store and the global binding
+//! environment, and exposes `load_module` / `call`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cps;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod session;
+pub mod stanford;
+pub mod stdlib;
+pub mod types;
+
+pub use error::LangError;
+pub use session::{OptMode, Session, SessionConfig};

@@ -1,0 +1,639 @@
+//! The TL parser (recursive descent).
+//!
+//! ```text
+//! program := module*
+//! module  := "module" IDENT "export" IDENT ("," IDENT)* fundef* "end"
+//! fundef  := "let" IDENT "(" [param ("," param)*] ")" ":" type "=" expr
+//! expr    := seq; see the precedence ladder in the code
+//! ```
+
+use crate::ast::{BinOp, Expr, FunDef, Module, Param, Type};
+use crate::error::{LangError, Pos};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parse a whole TL source file into modules.
+pub fn parse_program(src: &str) -> Result<Vec<Module>, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let mut modules = Vec::new();
+    while !p.at_eof() {
+        modules.push(p.module()?);
+    }
+    Ok(modules)
+}
+
+/// Parse a single expression (for tests and the interactive evaluator).
+pub fn parse_expr(src: &str) -> Result<Expr, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let e = p.expr()?;
+    if !p.at_eof() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.at + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.at].pos
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::Parse {
+            pos: self.pos(),
+            message: msg.into(),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), LangError> {
+        match self.peek() {
+            Tok::Kw(k) if *k == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), LangError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '{p}', found {other:?}"))),
+        }
+    }
+
+    fn is_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(q) if *q == p)
+    }
+
+    fn is_kw(&self, k: &str) -> bool {
+        matches!(self.peek(), Tok::Kw(q) if *q == k)
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // -- Modules --------------------------------------------------------
+
+    fn module(&mut self) -> Result<Module, LangError> {
+        let pos = self.pos();
+        self.eat_kw("module")?;
+        let name = self.ident()?;
+        self.eat_kw("export")?;
+        let mut exports = vec![self.ident()?];
+        while self.is_punct(",") {
+            self.bump();
+            exports.push(self.ident()?);
+        }
+        let mut funs = Vec::new();
+        while self.is_kw("let") {
+            funs.push(self.fundef()?);
+        }
+        self.eat_kw("end")?;
+        Ok(Module {
+            name,
+            exports,
+            funs,
+            pos,
+        })
+    }
+
+    fn fundef(&mut self) -> Result<FunDef, LangError> {
+        let pos = self.pos();
+        self.eat_kw("let")?;
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.is_punct(")") {
+            loop {
+                let pname = self.ident()?;
+                self.eat_punct(":")?;
+                let ty = self.ty()?;
+                params.push(Param { name: pname, ty });
+                if self.is_punct(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        self.eat_punct(":")?;
+        let ret = self.ty()?;
+        self.eat_punct("=")?;
+        let body = self.expr()?;
+        Ok(FunDef {
+            name,
+            params,
+            ret,
+            body,
+            pos,
+        })
+    }
+
+    fn ty(&mut self) -> Result<Type, LangError> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "Int" => Type::Int,
+            "Real" => Type::Real,
+            "Bool" => Type::Bool,
+            "Char" => Type::Char,
+            "Str" => Type::Str,
+            "Unit" => Type::Unit,
+            "Dyn" => Type::Dyn,
+            "Tuple" => Type::Tuple,
+            "Array" => Type::Array,
+            "Rel" => Type::Rel,
+            "Fun" => {
+                self.eat_punct("(")?;
+                let mut params = Vec::new();
+                if !self.is_punct(")") {
+                    loop {
+                        params.push(self.ty()?);
+                        if self.is_punct(",") {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct(")")?;
+                self.eat_punct(":")?;
+                let ret = self.ty()?;
+                Type::Fun(params, Box::new(ret))
+            }
+            other => return Err(self.err(format!("unknown type {other}"))),
+        })
+    }
+
+    // -- Expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let first = self.ctrl()?;
+        if self.is_punct(";") {
+            self.bump();
+            let rest = self.expr()?;
+            Ok(Expr::Seq(Box::new(first), Box::new(rest)))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn ctrl(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Kw("let") => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat_punct("=")?;
+                let init = self.ctrl()?;
+                self.eat_kw("in")?;
+                let body = self.expr()?;
+                Ok(Expr::Let(name, Box::new(init), Box::new(body), pos))
+            }
+            Tok::Kw("var") => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat_punct(":=")?;
+                let init = self.ctrl()?;
+                self.eat_kw("in")?;
+                let body = self.expr()?;
+                Ok(Expr::VarDecl(name, Box::new(init), Box::new(body), pos))
+            }
+            Tok::Kw("if") => {
+                self.bump();
+                let cond = self.expr()?;
+                self.eat_kw("then")?;
+                let t = self.expr()?;
+                self.eat_kw("else")?;
+                let e = self.expr()?;
+                self.eat_kw("end")?;
+                Ok(Expr::If(Box::new(cond), Box::new(t), Box::new(e), pos))
+            }
+            Tok::Kw("while") => {
+                self.bump();
+                let cond = self.expr()?;
+                self.eat_kw("do")?;
+                let body = self.expr()?;
+                self.eat_kw("end")?;
+                Ok(Expr::While(Box::new(cond), Box::new(body), pos))
+            }
+            Tok::Kw("for") => {
+                self.bump();
+                let v = self.ident()?;
+                self.eat_punct("=")?;
+                let lo = self.expr()?;
+                self.eat_kw("upto")?;
+                let hi = self.expr()?;
+                self.eat_kw("do")?;
+                let body = self.expr()?;
+                self.eat_kw("end")?;
+                Ok(Expr::For(v, Box::new(lo), Box::new(hi), Box::new(body), pos))
+            }
+            Tok::Kw("raise") => {
+                self.bump();
+                let e = self.orex()?;
+                Ok(Expr::Raise(Box::new(e), pos))
+            }
+            Tok::Kw("try") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_kw("handle")?;
+                let x = self.ident()?;
+                self.eat_punct("->")?;
+                let h = self.expr()?;
+                self.eat_kw("end")?;
+                Ok(Expr::Try(Box::new(e), x, Box::new(h), pos))
+            }
+            Tok::Kw("select") => {
+                // select <target> from <var> in <range> [where <pred>]
+                self.bump();
+                let target = self.orex()?;
+                self.eat_kw("from")?;
+                let var = self.ident()?;
+                self.eat_kw("in")?;
+                let range = self.orex()?;
+                let pred = if self.is_kw("where") {
+                    self.bump();
+                    Some(Box::new(self.orex()?))
+                } else {
+                    None
+                };
+                Ok(Expr::Select {
+                    target: Box::new(target),
+                    var,
+                    range: Box::new(range),
+                    pred,
+                    pos,
+                })
+            }
+            Tok::Kw("exists") => {
+                // exists <var> in <range> where <pred>
+                self.bump();
+                let var = self.ident()?;
+                self.eat_kw("in")?;
+                let range = self.orex()?;
+                self.eat_kw("where")?;
+                let pred = self.orex()?;
+                Ok(Expr::Exists {
+                    var,
+                    range: Box::new(range),
+                    pred: Box::new(pred),
+                    pos,
+                })
+            }
+            Tok::Ident(_) if matches!(self.peek2(), Tok::Punct(":=")) => {
+                let name = self.ident()?;
+                self.eat_punct(":=")?;
+                let rhs = self.ctrl()?;
+                Ok(Expr::Assign(name, Box::new(rhs), pos))
+            }
+            _ => self.orex(),
+        }
+    }
+
+    fn orex(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.andex()?;
+        while self.is_kw("or") {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.andex()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn andex(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp()?;
+        while self.is_kw("and") {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.cmp()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add()?;
+        let op = match self.peek() {
+            Tok::Punct("<") => Some(BinOp::Lt),
+            Tok::Punct(">") => Some(BinOp::Gt),
+            Tok::Punct("<=") => Some(BinOp::Le),
+            Tok::Punct(">=") => Some(BinOp::Ge),
+            Tok::Punct("==") => Some(BinOp::Eq),
+            Tok::Punct("!=") => Some(BinOp::Ne),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                let pos = self.pos();
+                self.bump();
+                let rhs = self.add()?;
+                Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.mul()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Mod,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Punct("-") => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Neg(Box::new(e), pos))
+            }
+            Tok::Kw("not") => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Not(Box::new(e), pos))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.atom()?;
+        loop {
+            if self.is_punct("(") {
+                let pos = self.pos();
+                self.bump();
+                let args = self.args_until_rparen()?;
+                e = Expr::Call(Box::new(e), args, pos);
+            } else if self.is_punct(".") && matches!(self.peek2(), Tok::Int(_)) {
+                let pos = self.pos();
+                self.bump();
+                let Tok::Int(n) = self.bump() else {
+                    unreachable!("peeked");
+                };
+                let n = usize::try_from(n)
+                    .map_err(|_| self.err("negative tuple projection"))?;
+                e = Expr::Proj(Box::new(e), n, pos);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn args_until_rparen(&mut self) -> Result<Vec<Expr>, LangError> {
+        let mut args = Vec::new();
+        if !self.is_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if self.is_punct(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        Ok(args)
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Int(n) => Ok(Expr::Int(n)),
+            Tok::Real(x) => Ok(Expr::Real(x)),
+            Tok::Char(c) => Ok(Expr::Char(c)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Kw("true") => Ok(Expr::Bool(true)),
+            Tok::Kw("false") => Ok(Expr::Bool(false)),
+            Tok::Kw("nil") => Ok(Expr::Nil),
+            Tok::Kw("tuple") => {
+                self.eat_punct("(")?;
+                let args = self.args_until_rparen()?;
+                Ok(Expr::Tuple(args, pos))
+            }
+            Tok::Kw("prim") => {
+                let name = match self.bump() {
+                    Tok::Str(s) => s,
+                    other => {
+                        return Err(self.err(format!(
+                            "expected primitive name string, found {other:?}"
+                        )))
+                    }
+                };
+                self.eat_punct("(")?;
+                let args = self.args_until_rparen()?;
+                Ok(Expr::Prim(name, args, pos))
+            }
+            Tok::Ident(name) => {
+                // One level of qualification: mod.name (dot + identifier).
+                if self.is_punct(".") && matches!(self.peek2(), Tok::Ident(_)) {
+                    self.bump();
+                    let field = self.ident()?;
+                    Ok(Expr::Var(format!("{name}.{field}"), pos))
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            other => Err(LangError::Parse {
+                pos,
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_module_with_exports() {
+        let src = "module int export add, sub\n\
+                   let add(a: Int, b: Int): Int = prim \"+\"(a, b)\n\
+                   let sub(a: Int, b: Int): Int = prim \"-\"(a, b)\n\
+                   end";
+        let mods = parse_program(src).unwrap();
+        assert_eq!(mods.len(), 1);
+        assert_eq!(mods[0].name, "int");
+        assert_eq!(mods[0].exports, vec!["add", "sub"]);
+        assert_eq!(mods[0].funs.len(), 2);
+        assert_eq!(mods[0].funs[0].params.len(), 2);
+    }
+
+    #[test]
+    fn precedence_ladder() {
+        let e = parse_expr("1 + 2 * 3 < 4 and true or false").unwrap();
+        // ((1 + (2*3)) < 4) and true, or false
+        let Expr::Bin(BinOp::Or, lhs, _, _) = e else {
+            panic!("expected or at top");
+        };
+        let Expr::Bin(BinOp::And, cmp, _, _) = *lhs else {
+            panic!("expected and under or");
+        };
+        assert!(matches!(*cmp, Expr::Bin(BinOp::Lt, _, _, _)));
+    }
+
+    #[test]
+    fn qualified_names_and_projection() {
+        let e = parse_expr("complex.x(c).0").unwrap();
+        let Expr::Proj(inner, 0, _) = e else {
+            panic!("expected projection");
+        };
+        let Expr::Call(f, args, _) = *inner else {
+            panic!("expected call");
+        };
+        assert_eq!(*f, Expr::Var("complex.x".into(), f.pos()));
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn control_forms() {
+        parse_expr("if a < b then 1 else 2 end").unwrap();
+        parse_expr("while i < n do i := i + 1 end").unwrap();
+        parse_expr("for i = 1 upto 10 do io.print(i) end").unwrap();
+        parse_expr("let x = 3 in x * x").unwrap();
+        parse_expr("var s := 0 in s := s + 1; s").unwrap();
+        parse_expr("try risky() handle e -> 0 end").unwrap();
+        parse_expr("raise 42").unwrap();
+    }
+
+    #[test]
+    fn sequencing_is_right_nested() {
+        let e = parse_expr("a(); b(); c()").unwrap();
+        let Expr::Seq(_, rest) = e else { panic!() };
+        assert!(matches!(*rest, Expr::Seq(_, _)));
+    }
+
+    #[test]
+    fn assignment_vs_variable() {
+        let a = parse_expr("x := 1").unwrap();
+        assert!(matches!(a, Expr::Assign(_, _, _)));
+        let v = parse_expr("x + 1").unwrap();
+        assert!(matches!(v, Expr::Bin(BinOp::Add, _, _, _)));
+    }
+
+    #[test]
+    fn fun_types_parse() {
+        let src = "module m export apply\n\
+                   let apply(f: Fun(Int): Int, x: Int): Int = f(x)\n\
+                   end";
+        let mods = parse_program(src).unwrap();
+        let p = &mods[0].funs[0].params[0];
+        assert_eq!(p.ty, Type::Fun(vec![Type::Int], Box::new(Type::Int)));
+    }
+
+    #[test]
+    fn tuple_syntax() {
+        let e = parse_expr("tuple(1.5, 2.5).1").unwrap();
+        assert!(matches!(e, Expr::Proj(_, 1, _)));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_expr("if x then").unwrap_err();
+        match err {
+            LangError::Parse { pos, .. } => assert_eq!(pos.line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn embedded_query_syntax() {
+        let e = parse_expr("select x from x in r where x.1 > 20").unwrap();
+        let Expr::Select { target, var, pred, .. } = e else {
+            panic!("expected select");
+        };
+        assert_eq!(*target, Expr::Var("x".into(), target.pos()));
+        assert_eq!(var, "x");
+        assert!(pred.is_some());
+
+        let e = parse_expr("select x.0 from x in r").unwrap();
+        let Expr::Select { target, pred, .. } = e else {
+            panic!("expected select");
+        };
+        assert!(matches!(*target, Expr::Proj(_, 0, _)));
+        assert!(pred.is_none());
+
+        let e = parse_expr("exists x in r where x.2 == true").unwrap();
+        assert!(matches!(e, Expr::Exists { .. }));
+    }
+
+    #[test]
+    fn query_syntax_nests_in_expressions() {
+        parse_expr("let a = select x from x in r where p(x) in rel.count(a)").unwrap();
+        parse_expr("if exists x in r where true then 1 else 0 end").unwrap();
+    }
+
+    #[test]
+    fn unary_forms() {
+        parse_expr("-x + -(3)").unwrap();
+        parse_expr("not (a and not b)").unwrap();
+    }
+}

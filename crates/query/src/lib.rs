@@ -1,0 +1,86 @@
+//! # tml-query — integrated program and query optimization (paper §4.2)
+//!
+//! "Whenever the program optimizer encounters an embedded query construct
+//! …, it invokes the query optimizer on the respective TML subtree … .
+//! Similarly, the query optimizer invokes the program optimizer to analyze
+//! and optimize nested programming language expressions which appear in
+//! query constructs."
+//!
+//! Queries are ordinary TML terms over *query primitives* registered into
+//! the same extensible primitive table as the figure-2 set ([`prims`]):
+//! `select`, `project`, `join`, `exists`, `empty`, `and`, `or`, `not`,
+//! `count`, `rinsert`, `idxselect`. Their execution semantics are
+//! extension primitives of the abstract machine ([`exec`]) which re-enter
+//! the machine to evaluate predicate and target closures.
+//!
+//! The algebraic rules of §4.2 are TML tree rewrites ([`rewrite`]):
+//!
+//! * **merge-select** — σp(σq(R)) ≡ σ(p∧q)(R);
+//! * **trivial-exists** — ∃x∈R: p ≡ p ∧ R≠∅ when `|p|ₓ = 0`;
+//! * **index-select** — a runtime rule replacing a column-equality
+//!   selection over an indexed base relation with an index lookup
+//!   (possible precisely because optimization is delayed until runtime,
+//!   when the binding to the store — and hence the knowledge about index
+//!   structures — is established).
+//!
+//! [`integrated::integrated_optimize`] alternates the query rewriter with
+//! the general TML optimizer so that, e.g., inlining a view function (the
+//! program optimizer's job) exposes nested selections for merge-select
+//! (the query optimizer's job).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod data;
+pub mod exec;
+pub mod integrated;
+pub mod prims;
+pub mod rewrite;
+
+pub use builder::{select_chain, Pred};
+pub use integrated::{integrated_optimize, IntegratedStats};
+pub use rewrite::{rewrite_queries, QueryRewriteStats};
+
+use tml_core::Ctx;
+use tml_vm::Vm;
+
+/// Install the query primitive definitions (optimizer side) and their
+/// machine implementations (execution side).
+pub fn install(ctx: &mut Ctx, vm: &mut Vm) {
+    prims::install_prims(&mut ctx.prims);
+    exec::install_externs(&mut vm.externs);
+}
+
+/// The `rel` standard-library module: relation bulk operations exposed to
+/// TL programs (the embedded `select`/`exists` query syntax compiles to
+/// the query primitives directly; everything else goes through here).
+pub const REL_SRC: &str = r#"
+module rel export count, empty, make, insert, index
+let count(r: Rel): Int = prim "count"(r)
+let empty(r: Rel): Bool = prim "empty"(r)
+let make(ncols: Int): Rel = prim "mkrel"(ncols)
+let insert(r: Rel, t: Tuple): Unit = prim "rinsert"(r, t)
+let index(r: Rel, col: Int): Dyn = prim "mkindex"(r, col)
+end
+"#;
+
+/// A session extension trait wiring the query subsystem into a
+/// [`tml_lang::Session`].
+pub trait QuerySession {
+    /// Register query primitives and externs, and load the `rel` module.
+    /// TL modules using the embedded `select … from … where` syntax (or
+    /// the `rel` library) must be loaded *after* this call.
+    fn enable_queries(&mut self) -> Result<(), tml_lang::LangError>;
+}
+
+impl QuerySession for tml_lang::Session {
+    fn enable_queries(&mut self) -> Result<(), tml_lang::LangError> {
+        prims::install_prims(&mut self.ctx.prims);
+        exec::install_externs(&mut self.vm.externs);
+        if !self.modules.iter().any(|m| m == "rel") {
+            self.load_str(REL_SRC)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,230 @@
+//! Query primitive definitions for the optimizer side.
+//!
+//! These follow the extension convention `(prim val₁ … valₙ cₑ c꜀)` so the
+//! VM compiles them to `Extern` instructions; the optimizer sees their
+//! signatures, effect classes and fold functions through the same
+//! [`PrimTable`] as the figure-2 primitives (paper §2.3 adaptability).
+
+use tml_core::prim::{
+    EffectClass, FoldOutcome, PrimAttrs, PrimCost, PrimDef, PrimTable, Signature,
+};
+use tml_core::term::{App, Value};
+use tml_core::Lit;
+
+const PURE: PrimAttrs = PrimAttrs {
+    effects: EffectClass::Pure,
+    commutative: false,
+    no_fold: false,
+};
+const PURE_COMM: PrimAttrs = PrimAttrs {
+    effects: EffectClass::Pure,
+    commutative: true,
+    no_fold: false,
+};
+const READS: PrimAttrs = PrimAttrs {
+    effects: EffectClass::Reads,
+    commutative: false,
+    no_fold: false,
+};
+const WRITES: PrimAttrs = PrimAttrs {
+    effects: EffectClass::Writes,
+    commutative: false,
+    no_fold: false,
+};
+
+fn def(
+    name: &str,
+    vals: usize,
+    attrs: PrimAttrs,
+    fold: Option<tml_core::prim::FoldFn>,
+    cost: u32,
+) -> PrimDef {
+    PrimDef {
+        name: name.to_string(),
+        signature: Signature::exact(vals, 2),
+        attrs,
+        fold,
+        validate: None,
+        cost: PrimCost::Const(cost),
+    }
+}
+
+/// Register the query primitives. Names already present are skipped, so
+/// several subsystems can install on the same table.
+pub fn install_prims(table: &mut PrimTable) {
+    let defs = [
+        // (select pred rel ce cc) → filtered relation
+        def("select", 2, READS, None, 50),
+        // (project target rel ce cc) → projected relation
+        def("project", 2, READS, None, 50),
+        // (join pred rel1 rel2 ce cc) → joined relation
+        def("join", 3, READS, None, 200),
+        // (exists pred rel ce cc) → Bool
+        def("exists", 2, READS, None, 30),
+        // (empty rel ce cc) → Bool
+        def("empty", 1, READS, None, 3),
+        // (count rel ce cc) → Int
+        def("count", 1, READS, None, 3),
+        // Boolean connectives on reified booleans.
+        def("and", 2, PURE_COMM, Some(fold_and), 1),
+        def("or", 2, PURE_COMM, Some(fold_or), 1),
+        def("not", 1, PURE, Some(fold_not), 1),
+        // (rinsert rel tuple ce cc) → Unit
+        def("rinsert", 2, WRITES, None, 10),
+        // (mkrel ncols ce cc) → empty relation
+        def("mkrel", 1, READS, None, 10),
+        // (idxselect index key ce cc) → relation of matching rows
+        def("idxselect", 2, READS, None, 8),
+        // (mkindex rel col ce cc) → index
+        def("mkindex", 2, READS, None, 100),
+    ];
+    for d in defs {
+        if table.lookup(&d.name).is_none() {
+            table.register(d);
+        }
+    }
+}
+
+fn bool2(app: &App) -> Option<(bool, bool)> {
+    match (&app.args[0], &app.args[1]) {
+        (Value::Lit(Lit::Bool(a)), Value::Lit(Lit::Bool(b))) => Some((*a, *b)),
+        _ => None,
+    }
+}
+
+fn cc_of(app: &App) -> &Value {
+    &app.args[app.args.len() - 1]
+}
+
+fn to_cc(app: &App, lit: Lit) -> FoldOutcome {
+    FoldOutcome::Replaced(App::new(cc_of(app).clone(), vec![Value::Lit(lit)]))
+}
+
+fn fold_and(app: &App) -> FoldOutcome {
+    if let Some((a, b)) = bool2(app) {
+        return to_cc(app, Lit::Bool(a && b));
+    }
+    // Identities: true∧x = x, false∧x = false (and symmetrically).
+    match (&app.args[0], &app.args[1]) {
+        (Value::Lit(Lit::Bool(true)), x) | (x, Value::Lit(Lit::Bool(true))) => {
+            FoldOutcome::Replaced(App::new(cc_of(app).clone(), vec![x.clone()]))
+        }
+        (Value::Lit(Lit::Bool(false)), _) | (_, Value::Lit(Lit::Bool(false))) => {
+            to_cc(app, Lit::Bool(false))
+        }
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_or(app: &App) -> FoldOutcome {
+    if let Some((a, b)) = bool2(app) {
+        return to_cc(app, Lit::Bool(a || b));
+    }
+    match (&app.args[0], &app.args[1]) {
+        (Value::Lit(Lit::Bool(false)), x) | (x, Value::Lit(Lit::Bool(false))) => {
+            FoldOutcome::Replaced(App::new(cc_of(app).clone(), vec![x.clone()]))
+        }
+        (Value::Lit(Lit::Bool(true)), _) | (_, Value::Lit(Lit::Bool(true))) => {
+            to_cc(app, Lit::Bool(true))
+        }
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+fn fold_not(app: &App) -> FoldOutcome {
+    match &app.args[0] {
+        Value::Lit(Lit::Bool(b)) => to_cc(app, Lit::Bool(!b)),
+        _ => FoldOutcome::Unchanged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_core::Ctx;
+
+    fn ctx() -> Ctx {
+        let mut c = Ctx::new();
+        install_prims(&mut c.prims);
+        c
+    }
+
+    #[test]
+    fn all_query_prims_registered() {
+        let c = ctx();
+        for name in [
+            "select", "project", "join", "exists", "empty", "count", "and", "or", "not",
+            "rinsert", "mkrel", "idxselect", "mkindex",
+        ] {
+            assert!(c.prims.lookup(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let mut c = ctx();
+        install_prims(&mut c.prims); // second install must not panic
+    }
+
+    #[test]
+    fn fold_and_identities() {
+        let mut c = ctx();
+        let and = c.prims.lookup("and").unwrap();
+        let x = Value::Var(c.names.fresh("x"));
+        let ce = Value::Var(c.names.fresh_cont("ce"));
+        let cc = Value::Var(c.names.fresh_cont("cc"));
+        let fold = c.prims.def(and).fold.unwrap();
+
+        let t = App::new(
+            Value::Prim(and),
+            vec![Value::Lit(Lit::Bool(true)), x.clone(), ce.clone(), cc.clone()],
+        );
+        assert_eq!(
+            fold(&t),
+            FoldOutcome::Replaced(App::new(cc.clone(), vec![x.clone()]))
+        );
+        let f = App::new(
+            Value::Prim(and),
+            vec![x.clone(), Value::Lit(Lit::Bool(false)), ce, cc.clone()],
+        );
+        assert_eq!(
+            fold(&f),
+            FoldOutcome::Replaced(App::new(cc, vec![Value::Lit(Lit::Bool(false))]))
+        );
+    }
+
+    #[test]
+    fn fold_not_literal() {
+        let mut c = ctx();
+        let not = c.prims.lookup("not").unwrap();
+        let ce = Value::Var(c.names.fresh_cont("ce"));
+        let cc = Value::Var(c.names.fresh_cont("cc"));
+        let fold = c.prims.def(not).fold.unwrap();
+        let app = App::new(
+            Value::Prim(not),
+            vec![Value::Lit(Lit::Bool(false)), ce, cc.clone()],
+        );
+        assert_eq!(
+            fold(&app),
+            FoldOutcome::Replaced(App::new(cc, vec![Value::Lit(Lit::Bool(true))]))
+        );
+    }
+
+    #[test]
+    fn fold_or_identities() {
+        let mut c = ctx();
+        let or = c.prims.lookup("or").unwrap();
+        let x = Value::Var(c.names.fresh("x"));
+        let ce = Value::Var(c.names.fresh_cont("ce"));
+        let cc = Value::Var(c.names.fresh_cont("cc"));
+        let fold = c.prims.def(or).fold.unwrap();
+        let t = App::new(
+            Value::Prim(or),
+            vec![x.clone(), Value::Lit(Lit::Bool(true)), ce, cc.clone()],
+        );
+        assert_eq!(
+            fold(&t),
+            FoldOutcome::Replaced(App::new(cc, vec![Value::Lit(Lit::Bool(true))]))
+        );
+    }
+}

@@ -1,0 +1,516 @@
+//! Algebraic query rewrites as TML tree transformations (paper §4.2).
+//!
+//! "For a given set of primitive procedures, algebraic and
+//! implementation-oriented query optimization rules can be expressed quite
+//! naturally in CPS" — including scoping preconditions, which are just the
+//! `|E|_v` occurrence conditions of §3.
+
+use crate::data::find_index;
+use tml_core::census::occurrences_in_app;
+use tml_core::term::{Abs, App, Value};
+use tml_core::{Ctx, Lit, PrimId};
+use tml_store::Store as ObjStore;
+
+/// Rewrite application counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryRewriteStats {
+    /// σp(σq(R)) → σ(p∧q)(R) applications.
+    pub merge_select: u64,
+    /// ∃x∈R:p → p ∧ R≠∅ applications (when `|p|ₓ = 0`).
+    pub trivial_exists: u64,
+    /// Column-equality selection → index lookup applications.
+    pub index_select: u64,
+}
+
+impl QueryRewriteStats {
+    /// Total rewrites applied.
+    pub fn total(&self) -> u64 {
+        self.merge_select + self.trivial_exists + self.index_select
+    }
+}
+
+/// Apply the query rewrite rules to `app` until fixpoint. When `store` is
+/// given, runtime-binding rules (index-select) are enabled — this is what
+/// "delaying query optimization until runtime" buys.
+pub fn rewrite_queries(
+    ctx: &mut Ctx,
+    store: Option<&ObjStore>,
+    app: &mut App,
+) -> QueryRewriteStats {
+    let Some(prims) = Prims::resolve(ctx) else {
+        return QueryRewriteStats::default(); // query prims not installed
+    };
+    let mut stats = QueryRewriteStats::default();
+    // The rules strictly reduce the number of query operator nodes, so the
+    // fixpoint terminates quickly; the bound is a safety net.
+    for _ in 0..1000 {
+        let mut rw = Rewriter {
+            ctx,
+            store,
+            prims,
+            stats: QueryRewriteStats::default(),
+        };
+        rw.walk(app);
+        let round = rw.stats;
+        if round.total() == 0 {
+            break;
+        }
+        stats.merge_select += round.merge_select;
+        stats.trivial_exists += round.trivial_exists;
+        stats.index_select += round.index_select;
+    }
+    stats
+}
+
+#[derive(Clone, Copy)]
+struct Prims {
+    select: PrimId,
+    exists: PrimId,
+    empty: PrimId,
+    and: PrimId,
+    not: PrimId,
+    idxselect: PrimId,
+    btest: PrimId,
+    eq: PrimId,
+    sub: PrimId,
+}
+
+impl Prims {
+    fn resolve(ctx: &Ctx) -> Option<Prims> {
+        Some(Prims {
+            select: ctx.prims.lookup("select")?,
+            exists: ctx.prims.lookup("exists")?,
+            empty: ctx.prims.lookup("empty")?,
+            and: ctx.prims.lookup("and")?,
+            not: ctx.prims.lookup("not")?,
+            idxselect: ctx.prims.lookup("idxselect")?,
+            btest: ctx.prims.lookup("btest")?,
+            eq: ctx.prims.lookup("=")?,
+            sub: ctx.prims.lookup("[]")?,
+        })
+    }
+}
+
+struct Rewriter<'a> {
+    ctx: &'a mut Ctx,
+    store: Option<&'a ObjStore>,
+    prims: Prims,
+    stats: QueryRewriteStats,
+}
+
+impl Rewriter<'_> {
+    fn walk(&mut self, app: &mut App) {
+        loop {
+            // Index-select runs first: merging an equality conjunct into a
+            // composite predicate would hide it from the index matcher.
+            if self.try_index_select(app) {
+                self.stats.index_select += 1;
+                continue;
+            }
+            if self.try_merge_select(app) {
+                self.stats.merge_select += 1;
+                continue;
+            }
+            if self.try_trivial_exists(app) {
+                self.stats.trivial_exists += 1;
+                continue;
+            }
+            break;
+        }
+        if let Value::Abs(a) = &mut app.func {
+            self.walk(&mut a.body);
+        }
+        for arg in &mut app.args {
+            if let Value::Abs(a) = arg {
+                self.walk(&mut a.body);
+            }
+        }
+    }
+
+    /// σp(σq(R)) ≡ σ(p∧q)(R) — the paper's `merge-select`:
+    ///
+    /// ```text
+    /// (select q R ce cont(tempRel)
+    ///    (select p tempRel ce' cc))
+    /// → (select λ(x cex ccx)(q x cex cont(b)
+    ///        (btest b cont()(p x cex ccx) cont()(ccx false)))
+    ///      R ce cc)
+    /// ```
+    ///
+    /// Precondition: `tempRel` is used exactly once (as the outer select's
+    /// range).
+    fn try_merge_select(&mut self, app: &mut App) -> bool {
+        if app.func.as_prim() != Some(self.prims.select) || app.args.len() != 4 {
+            return false;
+        }
+        // The normal continuation must be cont(tempRel)(select p tempRel …).
+        let Value::Abs(cont) = &app.args[3] else {
+            return false;
+        };
+        let [temp_rel] = cont.params.as_slice() else {
+            return false;
+        };
+        let temp_rel = *temp_rel;
+        let inner = &cont.body;
+        if inner.func.as_prim() != Some(self.prims.select) || inner.args.len() != 4 {
+            return false;
+        }
+        if inner.args[1].as_var() != Some(temp_rel) {
+            return false;
+        }
+        if occurrences_in_app(&cont.body, temp_rel) != 1 {
+            return false;
+        }
+
+        // Deconstruct (own the pieces).
+        let Value::Abs(cont) = std::mem::replace(&mut app.args[3], Value::Lit(Lit::Unit)) else {
+            unreachable!("matched above");
+        };
+        let mut inner = cont.body;
+        let q = app.args[0].clone();
+        let r = app.args[1].clone();
+        let ce = app.args[2].clone();
+        let p = std::mem::replace(&mut inner.args[0], Value::Lit(Lit::Unit));
+        let cc = std::mem::replace(&mut inner.args[3], Value::Lit(Lit::Unit));
+
+        // Composite predicate λ(x cex ccx)(q x cex cont(b)(btest b …)).
+        let x = self.ctx.names.fresh("x");
+        let cex = self.ctx.names.fresh_cont("cex");
+        let ccx = self.ctx.names.fresh_cont("ccx");
+        let b = self.ctx.names.fresh("b");
+        let p_branch = Abs::new(
+            vec![],
+            App::new(p, vec![Value::Var(x), Value::Var(cex), Value::Var(ccx)]),
+        );
+        let false_branch = Abs::new(
+            vec![],
+            App::new(Value::Var(ccx), vec![Value::Lit(Lit::Bool(false))]),
+        );
+        let btest = App::new(
+            Value::Prim(self.prims.btest),
+            vec![
+                Value::Var(b),
+                Value::from(p_branch),
+                Value::from(false_branch),
+            ],
+        );
+        let q_call = App::new(
+            q,
+            vec![
+                Value::Var(x),
+                Value::Var(cex),
+                Value::from(Abs::new(vec![b], btest)),
+            ],
+        );
+        let composite = Abs::new(vec![x, cex, ccx], q_call);
+        *app = App::new(
+            Value::Prim(self.prims.select),
+            vec![Value::from(composite), r, ce, cc],
+        );
+        true
+    }
+
+    /// ∃x∈R: p ≡ p ∧ (R ≠ ∅) when `|p|ₓ = 0` — the paper's
+    /// `trivial-exists`:
+    ///
+    /// ```text
+    /// (exists λ(x cex ccx) p  R ce cc)
+    /// → (λ(x cex ccx) p  unit ce cont(t1)
+    ///      (empty R ce cont(t2)
+    ///        (not t2 ce cont(t3)
+    ///          (and t1 t3 ce cc))))
+    /// ```
+    fn try_trivial_exists(&mut self, app: &mut App) -> bool {
+        if app.func.as_prim() != Some(self.prims.exists) || app.args.len() != 4 {
+            return false;
+        }
+        let Value::Abs(pred) = &app.args[0] else {
+            return false;
+        };
+        let Some((&x, _rest)) = pred.params.split_first() else {
+            return false;
+        };
+        if pred.params.len() != 3 {
+            return false;
+        }
+        if occurrences_in_app(&pred.body, x) != 0 {
+            return false;
+        }
+
+        let pred = std::mem::replace(&mut app.args[0], Value::Lit(Lit::Unit));
+        let r = app.args[1].clone();
+        let cc = app.args[3].clone();
+        // `ce` is referenced four times in the result. If it is an inline
+        // abstraction, bind it to a fresh continuation variable first (the
+        // unique binding rule forbids duplicating binders).
+        let (ce, ce_binding) = match &app.args[2] {
+            Value::Var(_) => (app.args[2].clone(), None),
+            other => {
+                let h = self.ctx.names.fresh_cont("h");
+                (Value::Var(h), Some((h, other.clone())))
+            }
+        };
+
+        let t1 = self.ctx.names.fresh("t1");
+        let t2 = self.ctx.names.fresh("t2");
+        let t3 = self.ctx.names.fresh("t3");
+        let and_app = App::new(
+            Value::Prim(self.prims.and),
+            vec![Value::Var(t1), Value::Var(t3), ce.clone(), cc],
+        );
+        let not_app = App::new(
+            Value::Prim(self.prims.not),
+            vec![
+                Value::Var(t2),
+                ce.clone(),
+                Value::from(Abs::new(vec![t3], and_app)),
+            ],
+        );
+        let empty_app = App::new(
+            Value::Prim(self.prims.empty),
+            vec![r, ce.clone(), Value::from(Abs::new(vec![t2], not_app))],
+        );
+        let rewritten = App::new(
+            pred,
+            vec![
+                Value::Lit(Lit::Unit),
+                ce,
+                Value::from(Abs::new(vec![t1], empty_app)),
+            ],
+        );
+        *app = match ce_binding {
+            None => rewritten,
+            Some((h, ce_val)) => {
+                App::new(Value::from(Abs::new(vec![h], rewritten)), vec![ce_val])
+            }
+        };
+        true
+    }
+
+    /// Replace a column-equality selection over an indexed base relation
+    /// with an index lookup. Runtime-only: needs the store binding.
+    ///
+    /// ```text
+    /// (select λ(x cex ccx)([] x COL ce' cont(t)(= t K (ccx true) (ccx false)))
+    ///    <oid R> ce cc)
+    /// → (idxselect <oid IX> K ce cc)      when IX indexes R on COL
+    /// ```
+    fn try_index_select(&mut self, app: &mut App) -> bool {
+        let Some(store) = self.store else {
+            return false;
+        };
+        if app.func.as_prim() != Some(self.prims.select) || app.args.len() != 4 {
+            return false;
+        }
+        let Value::Lit(Lit::Oid(rel)) = app.args[1] else {
+            return false;
+        };
+        let Some((col, key)) = self.match_eq_pred(&app.args[0]) else {
+            return false;
+        };
+        let Some(ix) = find_index(store, rel, col) else {
+            return false;
+        };
+        let ce = app.args[2].clone();
+        let cc = app.args[3].clone();
+        *app = App::new(
+            Value::Prim(self.prims.idxselect),
+            vec![Value::Lit(Lit::Oid(ix)), Value::Lit(key), ce, cc],
+        );
+        true
+    }
+
+    /// Match `λ(x cex ccx)([] x COL _ cont(t)(= t K (ccx true)(ccx false)))`
+    /// (or with the equality operands swapped). Returns `(COL, K)`.
+    fn match_eq_pred(&self, pred: &Value) -> Option<(usize, Lit)> {
+        let Value::Abs(pred) = pred else {
+            return None;
+        };
+        let [x, _cex, ccx] = pred.params.as_slice() else {
+            return None;
+        };
+        let body = &pred.body;
+        if body.func.as_prim() != Some(self.prims.sub) || body.args.len() != 4 {
+            return None;
+        }
+        if body.args[0].as_var() != Some(*x) {
+            return None;
+        }
+        let Value::Lit(Lit::Int(col)) = body.args[1] else {
+            return None;
+        };
+        let col = usize::try_from(col).ok()?;
+        let Value::Abs(k) = &body.args[3] else {
+            return None;
+        };
+        let [t] = k.params.as_slice() else {
+            return None;
+        };
+        let eq = &k.body;
+        if eq.func.as_prim() != Some(self.prims.eq) || eq.args.len() != 4 {
+            return None;
+        }
+        let key = match (&eq.args[0], &eq.args[1]) {
+            (v, Value::Lit(k)) if v.as_var() == Some(*t) => k.clone(),
+            (Value::Lit(k), v) if v.as_var() == Some(*t) => k.clone(),
+            _ => return None,
+        };
+        // Branches must deliver the boolean to ccx.
+        let is_branch = |v: &Value, expect: bool| -> bool {
+            let Value::Abs(a) = v else { return false };
+            a.params.is_empty()
+                && a.body.func.as_var() == Some(*ccx)
+                && a.body.args == vec![Value::Lit(Lit::Bool(expect))]
+        };
+        if !is_branch(&eq.args[2], true) || !is_branch(&eq.args[3], false) {
+            return None;
+        }
+        Some((col, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{count_halt, select_chain, Pred};
+    use crate::data::{build_index, sample_relation};
+    use tml_core::pretty::print_app;
+    use tml_core::wellformed::check_app;
+    use tml_core::Oid;
+
+    fn qctx() -> Ctx {
+        let mut ctx = Ctx::new();
+        crate::prims::install_prims(&mut ctx.prims);
+        ctx
+    }
+
+    #[test]
+    fn merge_select_fires_on_nested_selects() {
+        let mut ctx = qctx();
+        let rel = Oid(7);
+        let mut app = select_chain(
+            &mut ctx,
+            rel,
+            &[Pred::ColEq(1, Lit::Int(30)), Pred::ColEq(2, Lit::Bool(true))],
+        );
+        check_app(&ctx, &app).unwrap();
+        let stats = rewrite_queries(&mut ctx, None, &mut app);
+        assert_eq!(stats.merge_select, 1);
+        check_app(&ctx, &app).unwrap();
+        // Only one select remains.
+        let printed = print_app(&ctx, &app);
+        assert_eq!(printed.matches("select").count(), 1, "{printed}");
+    }
+
+    #[test]
+    fn merge_select_cascades_over_three_levels() {
+        let mut ctx = qctx();
+        let mut app = select_chain(
+            &mut ctx,
+            Oid(7),
+            &[
+                Pred::ColEq(0, Lit::Int(1)),
+                Pred::ColEq(1, Lit::Int(2)),
+                Pred::ColEq(2, Lit::Int(3)),
+            ],
+        );
+        let stats = rewrite_queries(&mut ctx, None, &mut app);
+        assert_eq!(stats.merge_select, 2);
+        let printed = print_app(&ctx, &app);
+        assert_eq!(printed.matches("select").count(), 1, "{printed}");
+        check_app(&ctx, &app).unwrap();
+    }
+
+    #[test]
+    fn merge_select_respects_multiple_uses_of_temp() {
+        // tempRel used twice (also as the count argument): must NOT merge.
+        let mut ctx = qctx();
+        let src = "(select p Rel e1 cont(tmp) \
+                     (select q tmp e2 cont(r) \
+                        (count tmp e3 cont(n) (halt n))))";
+        let parsed = tml_core::parse::parse_app(&mut ctx, src).unwrap();
+        let mut app = parsed.app;
+        let stats = rewrite_queries(&mut ctx, None, &mut app);
+        assert_eq!(stats.merge_select, 0);
+    }
+
+    #[test]
+    fn trivial_exists_fires_when_pred_ignores_range_var() {
+        let mut ctx = qctx();
+        // ∃x∈R: flag — where the predicate ignores x entirely.
+        let src = "(exists proc(x ce cc) (cc true) Rel e cont(b) (halt b))";
+        let parsed = tml_core::parse::parse_app(&mut ctx, src).unwrap();
+        let mut app = parsed.app;
+        let stats = rewrite_queries(&mut ctx, None, &mut app);
+        assert_eq!(stats.trivial_exists, 1);
+        let printed = print_app(&ctx, &app);
+        assert!(printed.contains("empty"), "{printed}");
+        assert!(printed.contains("and"), "{printed}");
+        assert!(!printed.contains("exists"), "{printed}");
+    }
+
+    #[test]
+    fn trivial_exists_blocked_when_pred_uses_range_var() {
+        let mut ctx = qctx();
+        let src = "(exists proc(x ce cc) ([] x 0 ce cont(v) (= v 3 cont()(cc true) cont()(cc false))) \
+                    Rel e cont(b) (halt b))";
+        let parsed = tml_core::parse::parse_app(&mut ctx, src).unwrap();
+        let mut app = parsed.app;
+        let stats = rewrite_queries(&mut ctx, None, &mut app);
+        assert_eq!(stats.trivial_exists, 0);
+    }
+
+    #[test]
+    fn index_select_requires_store_and_index() {
+        let mut ctx = qctx();
+        let mut store = tml_store::Store::new();
+        let rel = sample_relation(&mut store, 50, 5);
+        let mut app = select_chain(&mut ctx, rel, &[Pred::ColEq(1, Lit::Int(30))]);
+
+        // Without a store: no rewrite.
+        let mut app2 = app.clone();
+        let s = rewrite_queries(&mut ctx, None, &mut app2);
+        assert_eq!(s.index_select, 0);
+
+        // With a store but no index: no rewrite.
+        let s = rewrite_queries(&mut ctx, Some(&store), &mut app2);
+        assert_eq!(s.index_select, 0);
+
+        // With an index on the right column: rewrite fires.
+        build_index(&mut store, rel, 1).unwrap();
+        let s = rewrite_queries(&mut ctx, Some(&store), &mut app);
+        assert_eq!(s.index_select, 1);
+        let printed = print_app(&ctx, &app);
+        assert!(printed.contains("idxselect"), "{printed}");
+        assert!(!printed.contains("(select"), "{printed}");
+        check_app(&ctx, &app).unwrap();
+    }
+
+    #[test]
+    fn index_on_wrong_column_does_not_fire() {
+        let mut ctx = qctx();
+        let mut store = tml_store::Store::new();
+        let rel = sample_relation(&mut store, 20, 5);
+        build_index(&mut store, rel, 0).unwrap();
+        let mut app = select_chain(&mut ctx, rel, &[Pred::ColEq(1, Lit::Int(30))]);
+        let s = rewrite_queries(&mut ctx, Some(&store), &mut app);
+        assert_eq!(s.index_select, 0);
+    }
+
+    #[test]
+    fn no_query_prims_is_a_noop() {
+        let mut ctx = Ctx::new(); // no query prims installed
+        let parsed = tml_core::parse::parse_app(&mut ctx, "(halt 1)").unwrap();
+        let mut app = parsed.app;
+        let stats = rewrite_queries(&mut ctx, None, &mut app);
+        assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn count_halt_shape() {
+        let mut ctx = qctx();
+        let app = count_halt(&mut ctx, Value::Lit(Lit::Oid(Oid(3))));
+        check_app(&ctx, &app).unwrap();
+        assert!(print_app(&ctx, &app).contains("count"));
+    }
+}

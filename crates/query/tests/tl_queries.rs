@@ -1,0 +1,181 @@
+//! End-to-end embedded queries: TL source with `select … from … where` /
+//! `exists … in …` syntax, executed through the full pipeline and
+//! reflectively optimized with the integrated program+query optimizer
+//! (the paper's §4.2 scenario, realized from the source language down).
+
+use tml_lang::{Session, SessionConfig};
+use tml_query::integrated::reflect_options_with_queries;
+use tml_query::QuerySession;
+use tml_reflect::optimize_named;
+use tml_vm::RVal;
+
+const DB_SRC: &str = "
+module db export setup, adults, actives, both, ids, anyflag, nonempty
+-- schema: (id, value, flag)
+let setup(n: Int): Rel =
+  let r = rel.make(3) in
+  (for i = 0 upto n - 1 do
+     rel.insert(r, tuple(i, i * 10 % 50, i % 2 == 0))
+   end;
+   r)
+
+-- a view: rows with value > 20
+let adults(r: Rel): Rel = select x from x in r where x.1 > 20
+
+-- a view over the view: flagged adults (σp(σq(R)) once inlined)
+let both(r: Rel): Rel = select y from y in adults(r) where y.2 == true
+
+let actives(r: Rel): Rel = select x from x in r where x.2 == true
+
+-- projection: the ids of the adults
+let ids(r: Rel): Rel = select x.0 from x in r where x.1 > 20
+
+let anyflag(r: Rel): Bool = exists x in r where x.2 == true
+let nonempty(r: Rel): Bool = exists x in r where true
+end";
+
+fn session() -> Session {
+    let mut s = Session::new(SessionConfig::default()).unwrap();
+    s.enable_queries().unwrap();
+    s.load_str(DB_SRC).unwrap();
+    s
+}
+
+fn setup_rel(s: &mut Session, n: i64) -> RVal {
+    s.call("db.setup", vec![RVal::Int(n)]).unwrap().result
+}
+
+fn count(s: &mut Session, rel: RVal) -> i64 {
+    match s.call("rel.count", vec![rel]).unwrap().result {
+        RVal::Int(n) => n,
+        other => panic!("expected count, got {other:?}"),
+    }
+}
+
+/// Ground truth mirror of `db.setup`'s data.
+fn expected_rows(n: i64) -> Vec<(i64, i64, bool)> {
+    (0..n).map(|i| (i, i * 10 % 50, i % 2 == 0)).collect()
+}
+
+#[test]
+fn embedded_select_filters() {
+    let mut s = session();
+    let r = setup_rel(&mut s, 40);
+    let adults = s.call("db.adults", vec![r]).unwrap().result;
+    let got = count(&mut s, adults);
+    let want = expected_rows(40).iter().filter(|(_, v, _)| *v > 20).count() as i64;
+    assert_eq!(got, want);
+}
+
+#[test]
+fn view_over_view_composes() {
+    let mut s = session();
+    let r = setup_rel(&mut s, 40);
+    let both = s.call("db.both", vec![r]).unwrap().result;
+    let got = count(&mut s, both);
+    let want = expected_rows(40)
+        .iter()
+        .filter(|(_, v, f)| *v > 20 && *f)
+        .count() as i64;
+    assert_eq!(got, want);
+}
+
+#[test]
+fn embedded_projection() {
+    let mut s = session();
+    let r = setup_rel(&mut s, 25);
+    let ids = s.call("db.ids", vec![r]).unwrap().result;
+    let got = count(&mut s, ids);
+    let want = expected_rows(25).iter().filter(|(_, v, _)| *v > 20).count() as i64;
+    assert_eq!(got, want);
+}
+
+#[test]
+fn embedded_exists() {
+    let mut s = session();
+    let r = setup_rel(&mut s, 10);
+    let any = s.call("db.anyflag", vec![r.clone()]).unwrap().result;
+    assert_eq!(any, RVal::Bool(true));
+    let empty = setup_rel(&mut s, 0);
+    let any = s.call("db.anyflag", vec![empty.clone()]).unwrap().result;
+    assert_eq!(any, RVal::Bool(false));
+    let ne = s.call("db.nonempty", vec![empty]).unwrap().result;
+    assert_eq!(ne, RVal::Bool(false));
+    let ne = s.call("db.nonempty", vec![r]).unwrap().result;
+    assert_eq!(ne, RVal::Bool(true));
+}
+
+/// Figure 4 end-to-end: reflective optimization of `db.both` expands the
+/// `adults` view (program optimizer), exposing nested selections that the
+/// query rewriter merges — one scan instead of two, identical results.
+#[test]
+fn reflective_integrated_optimization_merges_views() {
+    let mut s = session();
+    let r = setup_rel(&mut s, 60);
+
+    let plain = s.call("db.both", vec![r.clone()]).unwrap();
+    let plain_count = count(&mut s, plain.result.clone());
+
+    let optimized = optimize_named(&mut s, "db.both", &reflect_options_with_queries()).unwrap();
+    let fast = s
+        .call_value(RVal::from_sval(&optimized), vec![r])
+        .unwrap();
+    let fast_count = count(&mut s, fast.result.clone());
+
+    assert_eq!(plain_count, fast_count);
+    // The merged plan performs one scan (60 predicate calls) instead of a
+    // scan plus a re-scan of the intermediate relation — strictly fewer
+    // transfers.
+    assert!(
+        fast.stats.calls < plain.stats.calls,
+        "merged {} vs naive {} transfers",
+        fast.stats.calls,
+        plain.stats.calls
+    );
+}
+
+/// Without the query rewriter the reflective optimizer still helps
+/// (inlining, folding) but must not change results either.
+#[test]
+fn reflective_optimization_without_query_rules_is_sound() {
+    let mut s = session();
+    let r = setup_rel(&mut s, 30);
+    let plain = s.call("db.adults", vec![r.clone()]).unwrap();
+    let optimized =
+        optimize_named(&mut s, "db.adults", &tml_reflect::ReflectOptions::default()).unwrap();
+    let fast = s.call_value(RVal::from_sval(&optimized), vec![r]).unwrap();
+    assert_eq!(
+        count(&mut s, plain.result.clone()),
+        count(&mut s, fast.result.clone())
+    );
+}
+
+#[test]
+fn rel_module_roundtrip() {
+    let mut s = session();
+    let r = setup_rel(&mut s, 5);
+    assert_eq!(count(&mut s, r.clone()), 5);
+    let empty = s.call("rel.empty", vec![r]).unwrap().result;
+    assert_eq!(empty, RVal::Bool(false));
+}
+
+#[test]
+fn select_requires_rel_range() {
+    let mut s = Session::new(SessionConfig::default()).unwrap();
+    s.enable_queries().unwrap();
+    let bad = "module m export f\n\
+               let f(a: Int): Rel = select x from x in a where true\n\
+               end";
+    assert!(s.load_str(bad).is_err(), "Int range must be rejected");
+}
+
+#[test]
+fn queries_without_enable_queries_fail_cleanly() {
+    let mut s = Session::new(SessionConfig::default()).unwrap();
+    // Query prims not installed: loading must fail with a compile error,
+    // not a panic.
+    let src = "module m export f\n\
+               let f(r: Rel): Rel = select x from x in r where true\n\
+               end";
+    assert!(s.load_str(src).is_err());
+}

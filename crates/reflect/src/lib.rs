@@ -1,0 +1,722 @@
+//! # tml-reflect — reflective dynamic optimization (paper §4.1, figure 3)
+//!
+//! "Since the compiler (and, therefore, the optimizer) is an integral part
+//! of the Tycoon persistent programming environment, it is not difficult to
+//! call the Tycoon compiler at runtime. … At runtime, it is possible to map
+//! PTML back into TML, re-invoke the optimizer and code-generator, link the
+//! newly-generated code into the running program, and execute it."
+//!
+//! The "trick" to eliminate abstraction barriers is (1) to wait until link
+//! or execution time, when all the bindings between the contributing parts
+//! of a persistent application are established, and (2) to keep
+//! sufficiently abstract code (PTML) and binding information (the R-value
+//! bindings in every closure record) until that point.
+//!
+//! This crate implements both reflective entry points:
+//!
+//! * [`optimize_value`] — the paper's `reflect.optimize(abs)`: produce a
+//!   *new*, faster procedure value equivalent to the original, with the
+//!   bodies of its (transitively reachable) callees inlined across module
+//!   boundaries;
+//! * [`optimize_all`] — whole-world dynamic optimization: every loaded
+//!   function is rebuilt against the current runtime bindings, and the
+//!   global environment, module records and mutual references are relinked
+//!   to the optimized closures. This is the configuration behind the
+//!   paper's "more than doubles the execution speed" result (E2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use tml_core::subst::subst_many;
+use tml_core::term::{Abs, App, Value};
+use tml_core::{Ctx, Oid, VarId};
+use tml_lang::Session;
+use tml_opt::{optimize_abs, OptOptions, OptStats};
+use tml_store::ptml::{decode_abs, encode_abs};
+use tml_store::{ClosureObj, Object, SVal, Store};
+
+/// An additional tree rewriter interleaved with the program optimizer —
+/// the paper's figure-4 interaction: "whenever the program optimizer
+/// encounters an embedded query construct …, it invokes the query
+/// optimizer on the respective TML subtree". Receives the store so
+/// runtime-binding rules (index structures) can fire; returns the number
+/// of rewrites applied. `tml-query` provides one via
+/// `reflect_options_with_queries`.
+pub type ExtraRewriter = fn(&mut Ctx, &Store, &mut App) -> u64;
+
+/// Options for reflective optimization.
+#[derive(Debug, Clone, Copy)]
+pub struct ReflectOptions {
+    /// How deep to resolve closure-valued bindings into inline TML (the
+    /// transitive-reachability cutoff).
+    pub inline_depth: u32,
+    /// Options for the underlying two-pass optimizer.
+    pub opt: OptOptions,
+    /// Domain-specific rewriter run in alternation with the program
+    /// optimizer (figure 4).
+    pub query_rewriter: Option<ExtraRewriter>,
+}
+
+impl Default for ReflectOptions {
+    fn default() -> Self {
+        ReflectOptions {
+            inline_depth: 3,
+            opt: OptOptions::default(),
+            query_rewriter: None,
+        }
+    }
+}
+
+/// Errors during reflective optimization.
+#[derive(Debug, Clone)]
+pub enum ReflectError {
+    /// The value is not a procedure closure.
+    NotAClosure(String),
+    /// The closure carries no PTML attachment.
+    NoPtml(Oid),
+    /// PTML decoding failed (corrupt store).
+    BadPtml(String),
+    /// Recompilation failed.
+    Compile(String),
+    /// A residual binding could not be re-resolved at link time.
+    Unresolved(String),
+    /// A store access failed.
+    Store(String),
+}
+
+impl std::fmt::Display for ReflectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReflectError::NotAClosure(k) => write!(f, "cannot optimize a {k} value"),
+            ReflectError::NoPtml(o) => write!(f, "{o} has no PTML attachment"),
+            ReflectError::BadPtml(m) => write!(f, "corrupt PTML: {m}"),
+            ReflectError::Compile(m) => write!(f, "recompilation failed: {m}"),
+            ReflectError::Unresolved(n) => write!(f, "unresolved residual binding {n}"),
+            ReflectError::Store(m) => write!(f, "store error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReflectError {}
+
+/// Report from [`optimize_all`].
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeAllReport {
+    /// Functions reoptimized.
+    pub functions: usize,
+    /// Total TML nodes before optimization.
+    pub size_before: usize,
+    /// Total TML nodes after optimization.
+    pub size_after: usize,
+    /// Total call sites inlined.
+    pub inlined: u64,
+}
+
+/// Reconstruct, from PTML and R-value bindings, the TML term of the paper's
+/// §4.1 listing: the procedure body wrapped in λ-bindings for its free
+/// variables. Closure-valued bindings are resolved to their own TML (up to
+/// `depth`); data bindings become literals; bindings that cannot or should
+/// not be inlined (recursion cycles, depth exhaustion, missing PTML) stay
+/// *free* and are reported as residuals so the caller can relink them.
+pub struct TermBuilder<'a> {
+    ctx: &'a mut Ctx,
+    store: &'a Store,
+    /// Canonical variable for each residual free name.
+    pub residuals: Vec<(String, VarId)>,
+    /// The binding value observed for each residual name (absent when the
+    /// source closure recorded no binding for it).
+    pub residual_values: HashMap<String, SVal>,
+    residual_ix: HashMap<String, VarId>,
+    visiting: HashSet<Oid>,
+}
+
+impl<'a> TermBuilder<'a> {
+    /// Create a builder.
+    pub fn new(ctx: &'a mut Ctx, store: &'a Store) -> Self {
+        TermBuilder {
+            ctx,
+            store,
+            residuals: Vec::new(),
+            residual_values: HashMap::new(),
+            residual_ix: HashMap::new(),
+            visiting: HashSet::new(),
+        }
+    }
+
+    fn closure(&self, oid: Oid) -> Result<&'a ClosureObj, ReflectError> {
+        match self.store.get(oid) {
+            Ok(Object::Closure(c)) => Ok(c),
+            Ok(other) => Err(ReflectError::NotAClosure(other.kind().to_string())),
+            Err(e) => Err(ReflectError::Store(e.to_string())),
+        }
+    }
+
+    fn has_inlinable_ptml(&self, oid: Oid) -> bool {
+        matches!(
+            self.store.get(oid),
+            Ok(Object::Closure(c)) if c.ptml.is_some()
+        )
+    }
+
+    fn keep_residual(&mut self, name: &str, var: VarId, renames: &mut Vec<(VarId, Value)>) {
+        match self.residual_ix.get(name) {
+            Some(&canonical) if canonical != var => {
+                renames.push((var, Value::Var(canonical)));
+            }
+            Some(_) => {}
+            None => {
+                self.residual_ix.insert(name.to_string(), var);
+                self.residuals.push((name.to_string(), var));
+            }
+        }
+    }
+
+    /// Build the bindings-wrapped TML term for the closure at `oid`.
+    pub fn build(&mut self, oid: Oid, depth: u32) -> Result<Abs, ReflectError> {
+        let clo = self.closure(oid)?;
+        let ptml_oid = clo.ptml.ok_or(ReflectError::NoPtml(oid))?;
+        let bytes = match self.store.get(ptml_oid) {
+            Ok(Object::Ptml(b)) => b.clone(),
+            Ok(other) => return Err(ReflectError::BadPtml(format!("{} object", other.kind()))),
+            Err(e) => return Err(ReflectError::Store(e.to_string())),
+        };
+        let bindings: Vec<(String, SVal)> = clo.bindings.clone();
+        let (mut abs, frees) =
+            decode_abs(self.ctx, &bytes).map_err(|e| ReflectError::BadPtml(e.to_string()))?;
+        let by_name: HashMap<&str, &SVal> =
+            bindings.iter().map(|(n, v)| (n.as_str(), v)).collect();
+
+        self.visiting.insert(oid);
+        let mut bind_vars: Vec<VarId> = Vec::new();
+        let mut bind_vals: Vec<Value> = Vec::new();
+        let mut renames: Vec<(VarId, Value)> = Vec::new();
+        let mut result = Ok(());
+        for (name, var) in &frees {
+            let Some(sval) = by_name.get(name.as_str()) else {
+                // No recorded binding (shouldn't happen for linker output);
+                // keep it free.
+                self.keep_residual(name, *var, &mut renames);
+                continue;
+            };
+            match sval {
+                SVal::Ref(target)
+                    if depth > 0
+                        && !self.visiting.contains(target)
+                        && self.has_inlinable_ptml(*target) =>
+                {
+                    match self.build(*target, depth - 1) {
+                        Ok(inner) => {
+                            bind_vars.push(*var);
+                            bind_vals.push(Value::Abs(Box::new(inner)));
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                SVal::Ref(target) if self.is_closure(*target) => {
+                    // Recursion cycle, depth exhaustion, or PTML-less code:
+                    // keep the call through the binding, to be relinked.
+                    self.residual_values
+                        .entry(name.clone())
+                        .or_insert_with(|| (*sval).clone());
+                    self.keep_residual(name, *var, &mut renames);
+                }
+                other => {
+                    // Plain data (module records, constants): re-establish
+                    // the R-value binding as a literal, enabling constant
+                    // folding — the paper's §4.1 listing.
+                    bind_vars.push(*var);
+                    bind_vals.push(Value::Lit(other.to_lit()));
+                }
+            }
+        }
+        self.visiting.remove(&oid);
+        result?;
+
+        if !renames.is_empty() {
+            subst_many(&mut abs.body, &renames);
+        }
+        if bind_vars.is_empty() {
+            return Ok(abs);
+        }
+        let body = App::new(Value::from(Abs::new(bind_vars, abs.body)), bind_vals);
+        Ok(Abs {
+            params: abs.params,
+            body,
+        })
+    }
+
+    fn is_closure(&self, oid: Oid) -> bool {
+        matches!(self.store.get(oid), Ok(Object::Closure(_)))
+    }
+}
+
+/// One reoptimized function, before relinking.
+struct Rebuilt {
+    name: Option<String>,
+    old_oid: Oid,
+    block: u32,
+    /// Residual captures: name plus the binding value observed in the
+    /// source closure (the fallback if no better resolution exists).
+    captures: Vec<(String, Option<SVal>)>,
+    ptml: Oid,
+    stats: OptStats,
+}
+
+fn rebuild(
+    session: &mut Session,
+    oid: Oid,
+    name: Option<String>,
+    options: &ReflectOptions,
+) -> Result<Rebuilt, ReflectError> {
+    let (abs, residuals, residual_values) = {
+        let mut tb = TermBuilder::new(&mut session.ctx, &session.store);
+        let abs = tb.build(oid, options.inline_depth)?;
+        (abs, tb.residuals, tb.residual_values)
+    };
+    let (optimized, stats) = match options.query_rewriter {
+        None => optimize_abs(&mut session.ctx, abs, &options.opt),
+        Some(rewrite) => {
+            // Figure 4: alternate the query optimizer and the program
+            // optimizer on the same tree until neither makes progress.
+            let mut abs = abs;
+            let mut last;
+            let mut rounds = 0;
+            loop {
+                let rewrites = rewrite(&mut session.ctx, &session.store, &mut abs.body);
+                let (a2, s2) = optimize_abs(&mut session.ctx, abs, &options.opt);
+                abs = a2;
+                last = s2;
+                rounds += 1;
+                if rounds >= 8
+                    || (rewrites == 0 && s2.total_reductions() == 0 && s2.inlined == 0)
+                {
+                    break;
+                }
+            }
+            (abs, last)
+        }
+    };
+    let bytes = encode_abs(&session.ctx, &optimized);
+    let ptml = session.store.alloc(Object::Ptml(bytes));
+    let compiled = session
+        .vm
+        .compile_proc(&session.ctx, &optimized)
+        .map_err(|e| ReflectError::Compile(e.to_string()))?;
+    let by_var: HashMap<VarId, &str> = residuals
+        .iter()
+        .map(|(n, v)| (*v, n.as_str()))
+        .collect();
+    let captures = compiled
+        .captures
+        .iter()
+        .map(|v| {
+            by_var
+                .get(v)
+                .map(|n| (n.to_string(), residual_values.get(*n).cloned()))
+                .ok_or_else(|| {
+                    ReflectError::Compile(format!(
+                        "capture {} is not a residual binding",
+                        session.ctx.names.display(*v)
+                    ))
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Rebuilt {
+        name,
+        old_oid: oid,
+        block: compiled.block,
+        captures,
+        ptml,
+        stats,
+    })
+}
+
+fn finish_closure(
+    store: &mut Store,
+    rebuilt: &Rebuilt,
+    resolve: impl Fn(&str, Option<&SVal>) -> Option<SVal>,
+) -> Result<Oid, ReflectError> {
+    let mut env = Vec::with_capacity(rebuilt.captures.len());
+    let mut bindings = Vec::with_capacity(rebuilt.captures.len());
+    for (name, fallback) in &rebuilt.captures {
+        let val = resolve(name, fallback.as_ref())
+            .ok_or_else(|| ReflectError::Unresolved(name.clone()))?;
+        env.push(val.clone());
+        bindings.push((name.clone(), val));
+    }
+    let oid = store.alloc(Object::Closure(ClosureObj {
+        code: rebuilt.block,
+        env,
+        bindings,
+        ptml: Some(rebuilt.ptml),
+    }));
+    // Derived attributes become part of the persistent system state
+    // ("costs, savings, ..." — paper §4.1).
+    store.set_attr(oid, "optimized", 1);
+    store.set_attr(oid, "size_before", rebuilt.stats.size_before as i64);
+    store.set_attr(oid, "size_after", rebuilt.stats.size_after as i64);
+    store.set_attr(oid, "inlined", rebuilt.stats.inlined as i64);
+    Ok(oid)
+}
+
+/// The paper's `reflect.optimize`: produce a new procedure value
+/// equivalent to `value` but optimized against the current runtime
+/// bindings. The original is left untouched.
+pub fn optimize_value(
+    session: &mut Session,
+    value: &SVal,
+    options: &ReflectOptions,
+) -> Result<SVal, ReflectError> {
+    let SVal::Ref(oid) = value else {
+        return Err(ReflectError::NotAClosure(value.kind().to_string()));
+    };
+    let rebuilt = rebuild(session, *oid, None, options)?;
+    let globals = std::mem::take(&mut session.globals);
+    let out = finish_closure(&mut session.store, &rebuilt, |name, fallback| {
+        globals.get(name).cloned().or_else(|| fallback.cloned())
+    });
+    session.globals = globals;
+    Ok(SVal::Ref(out?))
+}
+
+/// Optimize a function known under a qualified global name; returns the
+/// new value without replacing the global binding.
+pub fn optimize_named(
+    session: &mut Session,
+    name: &str,
+    options: &ReflectOptions,
+) -> Result<SVal, ReflectError> {
+    let val = session
+        .globals
+        .get(name)
+        .cloned()
+        .ok_or_else(|| ReflectError::Unresolved(name.to_string()))?;
+    optimize_value(session, &val, options)
+}
+
+/// Whole-world dynamic optimization: rebuild every globally bound function
+/// against the current bindings and relink the global environment, module
+/// records and the optimized functions' mutual references to the new
+/// closures.
+pub fn optimize_all(
+    session: &mut Session,
+    options: &ReflectOptions,
+) -> Result<OptimizeAllReport, ReflectError> {
+    // Collect every optimizable closure in the store (linker-produced code
+    // carries PTML; transient runtime closures do not). Already-optimized
+    // results of earlier runs are skipped.
+    let mut global_names: HashMap<Oid, String> = HashMap::new();
+    for (name, val) in &session.globals {
+        if let SVal::Ref(oid) = val {
+            global_names.entry(*oid).or_insert_with(|| name.clone());
+        }
+    }
+    let targets: Vec<Oid> = session
+        .store
+        .iter()
+        .filter_map(|(oid, obj)| match obj {
+            Object::Closure(c)
+                if c.ptml.is_some() && session.store.attr(oid, "optimized") != Some(1) =>
+            {
+                Some(oid)
+            }
+            _ => None,
+        })
+        .collect();
+
+    let mut report = OptimizeAllReport::default();
+    let mut rebuilt = Vec::with_capacity(targets.len());
+    for oid in targets {
+        let r = rebuild(session, oid, global_names.get(&oid).cloned(), options)?;
+        report.functions += 1;
+        report.size_before += r.stats.size_before;
+        report.size_after += r.stats.size_after;
+        report.inlined += r.stats.inlined;
+        rebuilt.push(r);
+    }
+
+    // Phase 1: allocate the optimized closures with empty environments so
+    // mutual references can point at the *optimized* versions.
+    let mut optimized_by_oid: HashMap<Oid, Oid> = HashMap::new();
+    let mut oids = Vec::with_capacity(rebuilt.len());
+    for r in &rebuilt {
+        let oid = session.store.alloc(Object::Closure(ClosureObj {
+            code: r.block,
+            env: Vec::new(),
+            bindings: Vec::new(),
+            ptml: Some(r.ptml),
+        }));
+        optimized_by_oid.insert(r.old_oid, oid);
+        oids.push(oid);
+    }
+    // Phase 2: resolve residual bindings: a binding pointing at a closure
+    // we also optimized is relinked to the optimized version; otherwise the
+    // originally observed value is kept.
+    let relink = |val: &SVal| -> SVal {
+        match val {
+            SVal::Ref(o) => match optimized_by_oid.get(o) {
+                Some(n) => SVal::Ref(*n),
+                None => val.clone(),
+            },
+            other => other.clone(),
+        }
+    };
+    for (r, &oid) in rebuilt.iter().zip(&oids) {
+        let mut env = Vec::with_capacity(r.captures.len());
+        let mut bindings = Vec::with_capacity(r.captures.len());
+        for (name, fallback) in &r.captures {
+            let val = match fallback {
+                Some(v) => relink(v),
+                None => session
+                    .globals
+                    .get(name)
+                    .map(relink)
+                    .ok_or_else(|| ReflectError::Unresolved(name.clone()))?,
+            };
+            env.push(val.clone());
+            bindings.push((name.clone(), val));
+        }
+        match session.store.get_mut(oid) {
+            Ok(Object::Closure(c)) => {
+                c.env = env;
+                c.bindings = bindings;
+            }
+            _ => unreachable!("just allocated"),
+        }
+        session.store.set_attr(oid, "optimized", 1);
+        session.store.set_attr(oid, "size_before", r.stats.size_before as i64);
+        session.store.set_attr(oid, "size_after", r.stats.size_after as i64);
+    }
+
+    // Relink the global environment and module export records.
+    for (r, &oid) in rebuilt.iter().zip(&oids) {
+        let Some(name) = r.name.as_deref() else {
+            continue;
+        };
+        session.globals.insert(name.to_string(), SVal::Ref(oid));
+        if let Some((module, export)) = name.split_once('.') {
+            if let Some(mod_oid) = session.store.root(module) {
+                if let Ok(Object::Module(m)) = session.store.get_mut(mod_oid) {
+                    if let Some(slot) = m.exports.get_mut(export) {
+                        *slot = SVal::Ref(oid);
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_lang::SessionConfig;
+    use tml_vm::RVal;
+
+    fn session() -> Session {
+        Session::new(SessionConfig::default()).unwrap()
+    }
+
+    /// The paper's §4.1 complex/abs example.
+    const COMPLEX_SRC: &str = "
+module complex export new, x, y
+let new(a: Real, b: Real): Tuple = tuple(a, b)
+let x(c: Tuple): Real = c.0
+let y(c: Tuple): Real = c.1
+end
+module geom export abs
+let abs(c: Tuple): Real =
+  real.sqrt(complex.x(c) * complex.x(c) + complex.y(c) * complex.y(c))
+end";
+
+    #[test]
+    fn optimized_abs_is_equivalent_and_faster() {
+        let mut s = session();
+        s.load_str(COMPLEX_SRC).unwrap();
+        let c = s
+            .call("complex.new", vec![RVal::Real(3.0), RVal::Real(4.0)])
+            .unwrap()
+            .result;
+
+        let plain = s.call("geom.abs", vec![c.clone()]).unwrap();
+        assert_eq!(plain.result, RVal::Real(5.0));
+
+        let optimized = optimize_named(&mut s, "geom.abs", &ReflectOptions::default()).unwrap();
+        let fast = s
+            .call_value(RVal::from_sval(&optimized), vec![c])
+            .unwrap();
+        assert_eq!(fast.result, RVal::Real(5.0));
+        assert!(
+            fast.stats.instrs < plain.stats.instrs,
+            "optimized {} vs plain {} instructions",
+            fast.stats.instrs,
+            plain.stats.instrs
+        );
+        // The accessor calls must be gone: at most the sqrt library call
+        // remains (depth-limited residuals).
+        assert!(
+            fast.stats.calls < plain.stats.calls,
+            "optimized {} vs plain {} calls",
+            fast.stats.calls,
+            plain.stats.calls
+        );
+    }
+
+    #[test]
+    fn original_function_is_untouched() {
+        let mut s = session();
+        s.load_str(COMPLEX_SRC).unwrap();
+        let before = s.globals.get("geom.abs").cloned().unwrap();
+        let _ = optimize_named(&mut s, "geom.abs", &ReflectOptions::default()).unwrap();
+        assert_eq!(s.globals.get("geom.abs"), Some(&before));
+    }
+
+    #[test]
+    fn derived_attributes_attached() {
+        let mut s = session();
+        s.load_str(COMPLEX_SRC).unwrap();
+        let v = optimize_named(&mut s, "geom.abs", &ReflectOptions::default()).unwrap();
+        let SVal::Ref(oid) = v else { panic!() };
+        assert_eq!(s.store.attr(oid, "optimized"), Some(1));
+        let before = s.store.attr(oid, "size_before").unwrap();
+        let after = s.store.attr(oid, "size_after").unwrap();
+        assert!(after <= before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn optimizing_non_closures_fails() {
+        let mut s = session();
+        let err = optimize_value(&mut s, &SVal::Int(3), &ReflectOptions::default());
+        assert!(matches!(err, Err(ReflectError::NotAClosure(_))));
+        let module_oid = s.store.root("int").unwrap();
+        let err = optimize_value(
+            &mut s,
+            &SVal::Ref(module_oid),
+            &ReflectOptions::default(),
+        );
+        assert!(matches!(err, Err(ReflectError::NotAClosure(_))));
+    }
+
+    #[test]
+    fn ptml_less_closures_are_rejected() {
+        let mut s = Session::new(SessionConfig {
+            attach_ptml: false,
+            ..Default::default()
+        })
+        .unwrap();
+        let v = s.globals.get("int.add").cloned().unwrap();
+        let err = optimize_value(&mut s, &v, &ReflectOptions::default());
+        assert!(matches!(err, Err(ReflectError::NoPtml(_))));
+    }
+
+    #[test]
+    fn recursive_functions_survive_whole_world_optimization() {
+        let mut s = session();
+        s.load_str(
+            "module m export fib\n\
+             let fib(n: Int): Int = if n < 2 then n else fib(n - 1) + fib(n - 2) end\n\
+             end",
+        )
+        .unwrap();
+        let slow = s.call("m.fib", vec![RVal::Int(14)]).unwrap();
+        let report = optimize_all(&mut s, &ReflectOptions::default()).unwrap();
+        assert!(report.functions > 0);
+        let fast = s.call("m.fib", vec![RVal::Int(14)]).unwrap();
+        assert_eq!(slow.result, fast.result);
+        assert!(
+            fast.stats.instrs * 2 < slow.stats.instrs,
+            "dynamic optimization must at least halve instructions: {} vs {}",
+            fast.stats.instrs,
+            slow.stats.instrs
+        );
+    }
+
+    #[test]
+    fn optimize_all_relinks_module_records() {
+        let mut s = session();
+        let before = {
+            let Some(SVal::Ref(m)) = s.globals.get("int").cloned() else {
+                panic!()
+            };
+            let Object::Module(rec) = s.store.get(m).unwrap() else {
+                panic!()
+            };
+            rec.exports.get("add").cloned().unwrap()
+        };
+        optimize_all(&mut s, &ReflectOptions::default()).unwrap();
+        let m = s.store.root("int").unwrap();
+        let Object::Module(rec) = s.store.get(m).unwrap() else {
+            panic!()
+        };
+        let after = rec.exports.get("add").cloned().unwrap();
+        assert_ne!(before, after, "module record must point at the new closure");
+        assert_eq!(s.globals.get("int.add"), Some(&after));
+    }
+
+    #[test]
+    fn mutual_recursion_relinks_to_optimized_versions() {
+        let mut s = session();
+        s.load_str(
+            "module m export even, odd\n\
+             let even(n: Int): Int = if n == 0 then 1 else odd(n - 1) end\n\
+             let odd(n: Int): Int = if n == 0 then 0 else even(n - 1) end\n\
+             end",
+        )
+        .unwrap();
+        optimize_all(&mut s, &ReflectOptions::default()).unwrap();
+        let r = s.call("m.even", vec![RVal::Int(30)]).unwrap();
+        assert_eq!(r.result, RVal::Int(1));
+        // After relinking, m.even's residual bindings must point at
+        // optimized closures (attribute present).
+        let SVal::Ref(oid) = s.globals.get("m.even").unwrap() else {
+            panic!()
+        };
+        let Object::Closure(c) = s.store.get(*oid).unwrap() else {
+            panic!()
+        };
+        for (name, val) in &c.bindings {
+            if let SVal::Ref(dep) = val {
+                assert_eq!(
+                    s.store.attr(*dep, "optimized"),
+                    Some(1),
+                    "binding {name} not relinked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn term_builder_reports_residuals() {
+        let mut s = session();
+        s.load_str(COMPLEX_SRC).unwrap();
+        let SVal::Ref(oid) = s.globals.get("geom.abs").cloned().unwrap() else {
+            panic!()
+        };
+        let mut tb = TermBuilder::new(&mut s.ctx, &s.store);
+        // Depth 0: nothing is inlined; all callee bindings stay residual.
+        let abs = tb.build(oid, 0).unwrap();
+        let names: Vec<&str> = tb.residuals.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"complex.x"), "{names:?}");
+        assert!(names.contains(&"real.sqrt"), "{names:?}");
+        tml_core::wellformed::check_abs(&s.ctx, &abs).unwrap();
+    }
+
+    #[test]
+    fn deep_inlining_eliminates_residuals() {
+        let mut s = session();
+        s.load_str(COMPLEX_SRC).unwrap();
+        let SVal::Ref(oid) = s.globals.get("geom.abs").cloned().unwrap() else {
+            panic!()
+        };
+        let mut tb = TermBuilder::new(&mut s.ctx, &s.store);
+        let abs = tb.build(oid, 3).unwrap();
+        // complex.x / real.mul etc. are all inlined; no residuals remain
+        // (their bodies are prim-only).
+        assert!(tb.residuals.is_empty(), "{:?}", tb.residuals);
+        tml_core::wellformed::check_abs(&s.ctx, &abs).unwrap();
+    }
+}

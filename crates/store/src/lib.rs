@@ -1,0 +1,38 @@
+//! # tml-store — the persistent Tycoon object store
+//!
+//! The paper's architecture (§4, figure 3) rests on a persistent object
+//! store that holds *both* data (tables, indices, ADT values, module
+//! records) and *code* (compiled procedures together with their compact
+//! persistent TML representation, **PTML**).
+//!
+//! This crate provides:
+//!
+//! * [`SVal`] — the uniform immediate value representation shared by the
+//!   abstract machine and the store (complex values are [`Oid`]
+//!   references);
+//! * [`Object`] / [`Store`] — the OID-addressed object heap with named
+//!   roots, closures carrying PTML attachments and R-value bindings, and a
+//!   derived-attribute cache ("to speed up repeated optimizations of
+//!   (shared) functions, the optimizer attaches several derived attributes
+//!   (costs, savings, …) to the generated code which also become part of
+//!   the persistent system state");
+//! * [`ptml`] — the compact binary encoding of TML trees (experiment E3
+//!   measures its size against the executable code size);
+//! * [`snapshot`] — whole-store persistence to a file and back;
+//! * [`gc`] — mark-and-sweep collection with stable OIDs (tombstones).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gc;
+pub mod object;
+pub mod ptml;
+pub mod snapshot;
+pub mod store;
+pub mod sval;
+pub mod varint;
+
+pub use object::{ClosureObj, ModuleObj, Object, Relation};
+pub use store::{Store, StoreError, StoreStats};
+pub use sval::SVal;
+pub use tml_core::Oid;

@@ -1,0 +1,539 @@
+//! PTML: the compact persistent encoding of TML trees.
+//!
+//! "For each exported source code function *f* in a compilation unit, the
+//! compiler back end augments the generated code for *f* with a reference
+//! to a compact persistent representation of the TML tree (Persistent TML,
+//! PTML) for *f*. At runtime, it is possible to map PTML back into TML,
+//! re-invoke the optimizer and code-generator, link the newly-generated
+//! code into the running program, and execute it."
+//!
+//! "The mapping from PTML back to TML also returns the set of R-value
+//! bindings (\[identifier, OID\] pairs) established at runtime" — here,
+//! [`decode_abs`] returns the *free variables* of the encoded term in a
+//! stable order; the caller (the reflective optimizer in `tml-reflect`)
+//! pairs them with the values recorded in the closure record.
+//!
+//! ## Format
+//!
+//! ```text
+//! magic "PTML1"
+//! prim table   : count, names (UTF-8)          -- stable identity is the name
+//! var table    : count, (base name, cont flag)
+//! free list    : count, var-table indices      -- R-value binding order
+//! param list   : count, var-table indices      -- the procedure's formals
+//! body         : app
+//! app          : value, argc, value*
+//! value        : tag … (unit/bool/int/real/char/str/oid/var/prim/abs)
+//! ```
+
+use crate::varint::{put_i64, put_str, put_u64, DecodeError, Reader};
+use std::collections::HashMap;
+use tml_core::free::free_vars_abs;
+use tml_core::term::{Abs, App, Value};
+use tml_core::{Ctx, Lit, Oid, PrimId, VarId};
+
+const MAGIC: &[u8; 5] = b"PTML1";
+
+const TAG_UNIT: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_REAL: u8 = 3;
+const TAG_CHAR: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_OID: u8 = 6;
+const TAG_VAR: u8 = 7;
+const TAG_PRIM: u8 = 8;
+const TAG_ABS: u8 = 9;
+
+/// Encode a procedure (abstraction) into PTML bytes.
+pub fn encode_abs(ctx: &Ctx, abs: &Abs) -> Vec<u8> {
+    let mut enc = Encoder::new(ctx);
+    // Register free variables first so their order is the stable R-value
+    // binding order, then the binders in traversal order.
+    let free = free_vars_abs(abs);
+    for &v in &free {
+        enc.var_index(v);
+    }
+    let free_count = free.len();
+    enc.collect_binders(abs);
+
+    let mut body = Vec::new();
+    enc.put_value_payload(&mut body, &Value::Abs(Box::new(abs.clone())));
+
+    // Assemble: header, prim table, var table, free list, body.
+    let mut out = Vec::with_capacity(body.len() + 64);
+    out.extend_from_slice(MAGIC);
+    put_u64(&mut out, enc.prims.len() as u64);
+    for name in &enc.prims {
+        put_str(&mut out, name);
+    }
+    put_u64(&mut out, enc.vars.len() as u64);
+    for &v in &enc.vars {
+        let info = ctx.names.info(v);
+        put_str(&mut out, &info.base);
+        out.push(u8::from(info.is_cont));
+    }
+    put_u64(&mut out, free_count as u64);
+    for i in 0..free_count {
+        put_u64(&mut out, i as u64); // free vars were registered first
+    }
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encode a whole program (application) into PTML bytes by wrapping it in a
+/// parameterless abstraction.
+pub fn encode_app(ctx: &Ctx, app: &App) -> Vec<u8> {
+    encode_abs(
+        ctx,
+        &Abs {
+            params: Vec::new(),
+            body: app.clone(),
+        },
+    )
+}
+
+/// Decode PTML bytes back into a TML abstraction. Fresh variables are
+/// created in `ctx` for every encoded identifier. Returns the abstraction
+/// and its free variables `(name, var)` in R-value binding order.
+pub fn decode_abs(ctx: &mut Ctx, bytes: &[u8]) -> Result<(Abs, Vec<(String, VarId)>), DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(MAGIC.len())? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    // Prim table.
+    let nprims = r.len()?;
+    let mut prims = Vec::with_capacity(nprims);
+    for _ in 0..nprims {
+        let name = r.str()?.to_string();
+        let id = ctx
+            .prims
+            .lookup(&name)
+            .ok_or(DecodeError::BadIndex(nprims as u64))?;
+        prims.push(id);
+    }
+    // Var table: create fresh identifiers.
+    let nvars = r.len()?;
+    let mut vars = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let base = r.str()?.to_string();
+        let is_cont = r.byte()? != 0;
+        let v = if is_cont {
+            ctx.names.fresh_cont(base.clone())
+        } else {
+            ctx.names.fresh(base.clone())
+        };
+        vars.push((base, v));
+    }
+    // Free list.
+    let nfree = r.len()?;
+    let mut free = Vec::with_capacity(nfree);
+    for _ in 0..nfree {
+        let i = r.len()?;
+        let (base, v) = vars.get(i).ok_or(DecodeError::BadIndex(i as u64))?;
+        free.push((base.clone(), *v));
+    }
+    // Body value (must be an abstraction).
+    let dec = Decoder { prims, vars };
+    let val = dec.value(&mut r)?;
+    if !r.is_at_end() {
+        return Err(DecodeError::Truncated);
+    }
+    match val {
+        Value::Abs(a) => Ok((*a, free)),
+        _ => Err(DecodeError::BadTag(TAG_ABS)),
+    }
+}
+
+/// Decode a whole program encoded by [`encode_app`].
+pub fn decode_app(ctx: &mut Ctx, bytes: &[u8]) -> Result<(App, Vec<(String, VarId)>), DecodeError> {
+    let (abs, free) = decode_abs(ctx, bytes)?;
+    Ok((abs.body, free))
+}
+
+/// Collect every OID literal embedded in a PTML blob *without* decoding
+/// into a context (no primitive table needed). Used by the garbage
+/// collector: code can reference data, so OID literals inside PTML keep
+/// their targets alive.
+pub fn scan_oids(bytes: &[u8]) -> Result<Vec<Oid>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(MAGIC.len())? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut oids = Vec::new();
+    let nprims = r.len()?;
+    for _ in 0..nprims {
+        r.str()?;
+    }
+    let nvars = r.len()?;
+    for _ in 0..nvars {
+        r.str()?;
+        r.byte()?;
+    }
+    let nfree = r.len()?;
+    for _ in 0..nfree {
+        r.len()?;
+    }
+    scan_value(&mut r, &mut oids)?;
+    if !r.is_at_end() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(oids)
+}
+
+fn scan_value(r: &mut Reader<'_>, oids: &mut Vec<Oid>) -> Result<(), DecodeError> {
+    match r.byte()? {
+        TAG_UNIT => {}
+        TAG_BOOL | TAG_CHAR => {
+            r.byte()?;
+        }
+        TAG_INT => {
+            r.i64()?;
+        }
+        TAG_REAL => {
+            r.bytes(8)?;
+        }
+        TAG_STR => {
+            r.byte_string()?;
+        }
+        TAG_OID => oids.push(Oid(r.u64()?)),
+        TAG_VAR | TAG_PRIM => {
+            r.u64()?;
+        }
+        TAG_ABS => {
+            let nparams = r.len()?;
+            for _ in 0..nparams {
+                r.len()?;
+            }
+            scan_app(r, oids)?;
+        }
+        t => return Err(DecodeError::BadTag(t)),
+    }
+    Ok(())
+}
+
+fn scan_app(r: &mut Reader<'_>, oids: &mut Vec<Oid>) -> Result<(), DecodeError> {
+    scan_value(r, oids)?;
+    let argc = r.len()?;
+    for _ in 0..argc {
+        scan_value(r, oids)?;
+    }
+    Ok(())
+}
+
+struct Encoder<'a> {
+    ctx: &'a Ctx,
+    prims: Vec<String>,
+    prim_ix: HashMap<PrimId, u64>,
+    vars: Vec<VarId>,
+    var_ix: HashMap<VarId, u64>,
+}
+
+impl<'a> Encoder<'a> {
+    fn new(ctx: &'a Ctx) -> Self {
+        Encoder {
+            ctx,
+            prims: Vec::new(),
+            prim_ix: HashMap::new(),
+            vars: Vec::new(),
+            var_ix: HashMap::new(),
+        }
+    }
+
+    fn var_index(&mut self, v: VarId) -> u64 {
+        if let Some(&i) = self.var_ix.get(&v) {
+            return i;
+        }
+        let i = self.vars.len() as u64;
+        self.vars.push(v);
+        self.var_ix.insert(v, i);
+        i
+    }
+
+    fn prim_index(&mut self, p: PrimId) -> u64 {
+        if let Some(&i) = self.prim_ix.get(&p) {
+            return i;
+        }
+        let i = self.prims.len() as u64;
+        self.prims.push(self.ctx.prims.name(p).to_string());
+        self.prim_ix.insert(p, i);
+        i
+    }
+
+    /// Pre-register every binder so the var table is complete before the
+    /// body is emitted (indices must be stable).
+    fn collect_binders(&mut self, abs: &Abs) {
+        for &p in &abs.params {
+            self.var_index(p);
+        }
+        self.collect_app(&abs.body);
+    }
+
+    fn collect_app(&mut self, app: &App) {
+        self.collect_value(&app.func);
+        for a in &app.args {
+            self.collect_value(a);
+        }
+    }
+
+    fn collect_value(&mut self, v: &Value) {
+        match v {
+            Value::Abs(a) => self.collect_binders(a),
+            Value::Prim(p) => {
+                self.prim_index(*p);
+            }
+            Value::Var(x) => {
+                self.var_index(*x);
+            }
+            Value::Lit(_) => {}
+        }
+    }
+
+    fn put_value_payload(&mut self, out: &mut Vec<u8>, v: &Value) {
+        match v {
+            Value::Lit(Lit::Unit) => out.push(TAG_UNIT),
+            Value::Lit(Lit::Bool(b)) => {
+                out.push(TAG_BOOL);
+                out.push(u8::from(*b));
+            }
+            Value::Lit(Lit::Int(n)) => {
+                out.push(TAG_INT);
+                put_i64(out, *n);
+            }
+            Value::Lit(Lit::Real(r)) => {
+                out.push(TAG_REAL);
+                out.extend_from_slice(&r.get().to_le_bytes());
+            }
+            Value::Lit(Lit::Char(c)) => {
+                out.push(TAG_CHAR);
+                out.push(*c);
+            }
+            Value::Lit(Lit::Str(s)) => {
+                out.push(TAG_STR);
+                put_str(out, s);
+            }
+            Value::Lit(Lit::Oid(o)) => {
+                out.push(TAG_OID);
+                put_u64(out, o.0);
+            }
+            Value::Var(x) => {
+                out.push(TAG_VAR);
+                let i = self.var_index(*x);
+                put_u64(out, i);
+            }
+            Value::Prim(p) => {
+                out.push(TAG_PRIM);
+                let i = self.prim_index(*p);
+                put_u64(out, i);
+            }
+            Value::Abs(a) => {
+                out.push(TAG_ABS);
+                put_u64(out, a.params.len() as u64);
+                for &p in &a.params {
+                    let i = self.var_index(p);
+                    put_u64(out, i);
+                }
+                self.put_app(out, &a.body);
+            }
+        }
+    }
+
+    fn put_app(&mut self, out: &mut Vec<u8>, app: &App) {
+        self.put_value_payload(out, &app.func);
+        put_u64(out, app.args.len() as u64);
+        for a in &app.args {
+            self.put_value_payload(out, a);
+        }
+    }
+}
+
+struct Decoder {
+    prims: Vec<PrimId>,
+    vars: Vec<(String, VarId)>,
+}
+
+impl Decoder {
+    fn value(&self, r: &mut Reader<'_>) -> Result<Value, DecodeError> {
+        Ok(match r.byte()? {
+            TAG_UNIT => Value::Lit(Lit::Unit),
+            TAG_BOOL => Value::Lit(Lit::Bool(r.byte()? != 0)),
+            TAG_INT => Value::Lit(Lit::Int(r.i64()?)),
+            TAG_REAL => {
+                let raw: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
+                Value::Lit(Lit::real(f64::from_le_bytes(raw)))
+            }
+            TAG_CHAR => Value::Lit(Lit::Char(r.byte()?)),
+            TAG_STR => Value::Lit(Lit::str(r.str()?)),
+            TAG_OID => Value::Lit(Lit::Oid(Oid(r.u64()?))),
+            TAG_VAR => {
+                let i = r.len()?;
+                let (_, v) = self.vars.get(i).ok_or(DecodeError::BadIndex(i as u64))?;
+                Value::Var(*v)
+            }
+            TAG_PRIM => {
+                let i = r.len()?;
+                let p = self.prims.get(i).ok_or(DecodeError::BadIndex(i as u64))?;
+                Value::Prim(*p)
+            }
+            TAG_ABS => {
+                let nparams = r.len()?;
+                let mut params = Vec::with_capacity(nparams);
+                for _ in 0..nparams {
+                    let i = r.len()?;
+                    let (_, v) = self.vars.get(i).ok_or(DecodeError::BadIndex(i as u64))?;
+                    params.push(*v);
+                }
+                let body = self.app(r)?;
+                Value::Abs(Box::new(Abs { params, body }))
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+
+    fn app(&self, r: &mut Reader<'_>) -> Result<App, DecodeError> {
+        let func = self.value(r)?;
+        let argc = r.len()?;
+        let mut args = Vec::with_capacity(argc.min(1024));
+        for _ in 0..argc {
+            args.push(self.value(r)?);
+        }
+        Ok(App { func, args })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_core::parse::parse_app;
+    use tml_core::pretty::print_app;
+
+    fn roundtrip(src: &str) -> (Ctx, App, App, Vec<(String, VarId)>) {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let bytes = encode_app(&ctx, &parsed.app);
+        let (decoded, free) = decode_app(&mut ctx, &bytes).unwrap();
+        (ctx, parsed.app, decoded, free)
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let (ctx, orig, decoded, _) = roundtrip("(cont(x) (+ x 1 cont(e)(halt e) cont(t)(halt t)) 13)");
+        assert_eq!(orig.size(), decoded.size());
+        // α-equivalent: printing differs only in unique numbers.
+        let a = print_app(&ctx, &orig);
+        let b = print_app(&ctx, &decoded);
+        let strip = |s: &str| {
+            s.chars()
+                .filter(|c| !c.is_ascii_digit() && *c != '_')
+                .collect::<String>()
+        };
+        // Literals are digits too, so compare shapes loosely plus sizes.
+        assert_eq!(strip(&a).len(), strip(&b).len());
+    }
+
+    #[test]
+    fn all_literal_kinds_roundtrip() {
+        let src = r#"(cont(a b c d e f g) (halt a) unit true -7 2.5 'q' "str" <oid 0xbeef>)"#;
+        let (_, orig, decoded, _) = roundtrip(src);
+        assert_eq!(orig.args, decoded.args);
+    }
+
+    #[test]
+    fn free_variables_reported_in_order() {
+        let (ctx, _, _, free) = roundtrip("(f g f h)");
+        let names: Vec<&str> = free.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["f", "g", "h"]);
+        for (_, v) in &free {
+            assert!(!ctx.names.is_cont(*v));
+        }
+    }
+
+    #[test]
+    fn cont_flags_survive() {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, "(proc(t ce cc) (cc t) 1 a b)").unwrap();
+        let bytes = encode_app(&ctx, &parsed.app);
+        let (decoded, _) = decode_app(&mut ctx, &bytes).unwrap();
+        let abs = decoded.func.as_abs().unwrap();
+        assert!(!ctx.names.is_cont(abs.params[0]));
+        assert!(ctx.names.is_cont(abs.params[1]));
+        assert!(ctx.names.is_cont(abs.params[2]));
+    }
+
+    #[test]
+    fn decoded_terms_are_well_formed() {
+        use tml_core::gen::{gen_program, GenConfig};
+        for seed in 0..25 {
+            let (mut ctx, app) = gen_program(seed, GenConfig::default());
+            let bytes = encode_app(&ctx, &app);
+            let (decoded, _) = decode_app(&mut ctx, &bytes).unwrap();
+            tml_core::wellformed::check_app(&ctx, &decoded)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(app.size(), decoded.size());
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // A few dozen nodes should encode in well under 4 bytes per node.
+        use tml_core::gen::{gen_program, GenConfig};
+        let (ctx, app) = gen_program(3, GenConfig { steps: 30, ..Default::default() });
+        let bytes = encode_app(&ctx, &app);
+        assert!(
+            bytes.len() < app.size() * 8,
+            "{} bytes for {} nodes",
+            bytes.len(),
+            app.size()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut ctx = Ctx::new();
+        assert_eq!(
+            decode_app(&mut ctx, b"NOPE!xxxx"),
+            Err(DecodeError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, "(halt 12345)").unwrap();
+        let bytes = encode_app(&ctx, &parsed.app);
+        for cut in [bytes.len() - 1, bytes.len() / 2, MAGIC.len()] {
+            assert!(
+                decode_app(&mut ctx, &bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_prim_rejected() {
+        // Encode with a context that has an extra primitive, decode with a
+        // context lacking it.
+        let mut ctx = Ctx::new();
+        ctx.prims.register(tml_core::PrimDef {
+            name: "mystery".into(),
+            signature: tml_core::Signature::exact(0, 1),
+            attrs: Default::default(),
+            fold: None,
+            validate: None,
+            cost: tml_core::prim::PrimCost::Const(1),
+        });
+        let parsed = parse_app(&mut ctx, "(mystery k)").unwrap();
+        let bytes = encode_app(&ctx, &parsed.app);
+        let mut plain = Ctx::new();
+        assert!(decode_app(&mut plain, &bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, "(halt 1)").unwrap();
+        let mut bytes = encode_app(&ctx, &parsed.app);
+        bytes.push(0);
+        assert_eq!(decode_app(&mut ctx, &bytes), Err(DecodeError::Truncated));
+    }
+}

@@ -1,0 +1,493 @@
+//! Whole-store persistence: snapshot a [`Store`] to bytes (or a file) and
+//! load it back.
+//!
+//! The snapshot contains every object, the named roots and the derived
+//! attribute cache. Closure objects keep their PTML references and R-value
+//! bindings; their transient code-table indices are preserved verbatim and
+//! must be relinked (recompiled from PTML) by `tml-reflect` after loading —
+//! exactly the paper's architecture, where the persistent encoding of the
+//! code is the TML tree, not the machine code.
+
+use crate::object::{ClosureObj, IndexKey, IndexObj, ModuleObj, Object, Relation};
+use crate::store::Store;
+use crate::sval::SVal;
+use crate::varint::{put_i64, put_str, put_u64, DecodeError, Reader};
+use std::collections::BTreeMap;
+use std::path::Path;
+use tml_core::Oid;
+
+const MAGIC: &[u8; 6] = b"TYSTO2";
+
+const OBJ_ARRAY: u8 = 0;
+const OBJ_VECTOR: u8 = 1;
+const OBJ_BYTEARRAY: u8 = 2;
+const OBJ_TUPLE: u8 = 3;
+const OBJ_CLOSURE: u8 = 4;
+const OBJ_PTML: u8 = 5;
+const OBJ_MODULE: u8 = 6;
+const OBJ_RELATION: u8 = 7;
+const OBJ_INDEX: u8 = 8;
+
+const VAL_UNIT: u8 = 0;
+const VAL_BOOL: u8 = 1;
+const VAL_INT: u8 = 2;
+const VAL_REAL: u8 = 3;
+const VAL_CHAR: u8 = 4;
+const VAL_STR: u8 = 5;
+const VAL_REF: u8 = 6;
+
+const KEY_BOOL: u8 = 0;
+const KEY_INT: u8 = 1;
+const KEY_CHAR: u8 = 2;
+const KEY_STR: u8 = 3;
+
+/// Serialize the store to bytes.
+pub fn to_bytes(store: &Store) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u64(&mut out, store.len() as u64);
+    for slot in store.slots() {
+        match slot {
+            Some(obj) => {
+                out.push(1);
+                put_object(&mut out, obj);
+            }
+            // Tombstoned slot: OIDs are stable, so dead slots persist too.
+            None => out.push(0),
+        }
+    }
+    let roots: Vec<(&str, Oid)> = store.roots().collect();
+    put_u64(&mut out, roots.len() as u64);
+    for (name, oid) in roots {
+        put_str(&mut out, name);
+        put_u64(&mut out, oid.0);
+    }
+    let attrs = store.attr_table();
+    put_u64(&mut out, attrs.len() as u64);
+    for (oid, kv) in attrs {
+        put_u64(&mut out, oid.0);
+        put_u64(&mut out, kv.len() as u64);
+        for (k, v) in kv {
+            put_str(&mut out, k);
+            put_i64(&mut out, *v);
+        }
+    }
+    out
+}
+
+/// Deserialize a store from bytes.
+pub fn from_bytes(bytes: &[u8]) -> Result<Store, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(MAGIC.len())? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut store = Store::new();
+    let nobjs = r.len()?;
+    for _ in 0..nobjs {
+        match r.byte()? {
+            0 => store.push_slot(None),
+            1 => {
+                let obj = get_object(&mut r)?;
+                store.push_slot(Some(obj));
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        }
+    }
+    let nroots = r.len()?;
+    for _ in 0..nroots {
+        let name = r.str()?.to_string();
+        let oid = Oid(r.u64()?);
+        store.set_root(name, oid);
+    }
+    let nattrs = r.len()?;
+    let mut attrs: BTreeMap<Oid, BTreeMap<String, i64>> = BTreeMap::new();
+    for _ in 0..nattrs {
+        let oid = Oid(r.u64()?);
+        let nkv = r.len()?;
+        let mut kv = BTreeMap::new();
+        for _ in 0..nkv {
+            let k = r.str()?.to_string();
+            let v = r.i64()?;
+            kv.insert(k, v);
+        }
+        attrs.insert(oid, kv);
+    }
+    store.set_attr_table(attrs);
+    if !r.is_at_end() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(store)
+}
+
+/// Save the store to a file.
+pub fn save(store: &Store, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_bytes(store))
+}
+
+/// Load a store from a file.
+pub fn load(path: impl AsRef<Path>) -> std::io::Result<Store> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn put_sval(out: &mut Vec<u8>, v: &SVal) {
+    match v {
+        SVal::Unit => out.push(VAL_UNIT),
+        SVal::Bool(b) => {
+            out.push(VAL_BOOL);
+            out.push(u8::from(*b));
+        }
+        SVal::Int(n) => {
+            out.push(VAL_INT);
+            put_i64(out, *n);
+        }
+        SVal::Real(x) => {
+            out.push(VAL_REAL);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        SVal::Char(c) => {
+            out.push(VAL_CHAR);
+            out.push(*c);
+        }
+        SVal::Str(s) => {
+            out.push(VAL_STR);
+            put_str(out, s);
+        }
+        SVal::Ref(o) => {
+            out.push(VAL_REF);
+            put_u64(out, o.0);
+        }
+    }
+}
+
+fn get_sval(r: &mut Reader<'_>) -> Result<SVal, DecodeError> {
+    Ok(match r.byte()? {
+        VAL_UNIT => SVal::Unit,
+        VAL_BOOL => SVal::Bool(r.byte()? != 0),
+        VAL_INT => SVal::Int(r.i64()?),
+        VAL_REAL => {
+            let raw: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
+            SVal::Real(f64::from_le_bytes(raw))
+        }
+        VAL_CHAR => SVal::Char(r.byte()?),
+        VAL_STR => SVal::Str(r.str()?.into()),
+        VAL_REF => SVal::Ref(Oid(r.u64()?)),
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn put_svals(out: &mut Vec<u8>, vs: &[SVal]) {
+    put_u64(out, vs.len() as u64);
+    for v in vs {
+        put_sval(out, v);
+    }
+}
+
+fn get_svals(r: &mut Reader<'_>) -> Result<Vec<SVal>, DecodeError> {
+    let n = r.len()?;
+    let mut vs = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        vs.push(get_sval(r)?);
+    }
+    Ok(vs)
+}
+
+fn put_object(out: &mut Vec<u8>, obj: &Object) {
+    match obj {
+        Object::Array(v) => {
+            out.push(OBJ_ARRAY);
+            put_svals(out, v);
+        }
+        Object::Vector(v) => {
+            out.push(OBJ_VECTOR);
+            put_svals(out, v);
+        }
+        Object::ByteArray(b) => {
+            out.push(OBJ_BYTEARRAY);
+            put_u64(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Object::Tuple(v) => {
+            out.push(OBJ_TUPLE);
+            put_svals(out, v);
+        }
+        Object::Closure(c) => {
+            out.push(OBJ_CLOSURE);
+            put_u64(out, u64::from(c.code));
+            put_svals(out, &c.env);
+            put_u64(out, c.bindings.len() as u64);
+            for (name, val) in &c.bindings {
+                put_str(out, name);
+                put_sval(out, val);
+            }
+            match c.ptml {
+                Some(o) => {
+                    out.push(1);
+                    put_u64(out, o.0);
+                }
+                None => out.push(0),
+            }
+        }
+        Object::Ptml(b) => {
+            out.push(OBJ_PTML);
+            put_u64(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Object::Module(m) => {
+            out.push(OBJ_MODULE);
+            put_str(out, &m.name);
+            put_u64(out, m.exports.len() as u64);
+            for (name, val) in &m.exports {
+                put_str(out, name);
+                put_sval(out, val);
+            }
+        }
+        Object::Relation(rel) => {
+            out.push(OBJ_RELATION);
+            put_u64(out, rel.schema.len() as u64);
+            for c in &rel.schema {
+                put_str(out, c);
+            }
+            put_u64(out, rel.rows.len() as u64);
+            for row in &rel.rows {
+                for v in row {
+                    put_sval(out, v);
+                }
+            }
+        }
+        Object::Index(ix) => {
+            out.push(OBJ_INDEX);
+            put_u64(out, ix.relation.0);
+            put_u64(out, ix.column as u64);
+            put_u64(out, ix.entries.len() as u64);
+            for (key, rows) in &ix.entries {
+                put_key(out, key);
+                put_u64(out, rows.len() as u64);
+                for &row in rows {
+                    put_u64(out, row as u64);
+                }
+            }
+        }
+    }
+}
+
+fn put_key(out: &mut Vec<u8>, key: &IndexKey) {
+    match key {
+        IndexKey::Bool(b) => {
+            out.push(KEY_BOOL);
+            out.push(u8::from(*b));
+        }
+        IndexKey::Int(n) => {
+            out.push(KEY_INT);
+            put_i64(out, *n);
+        }
+        IndexKey::Char(c) => {
+            out.push(KEY_CHAR);
+            out.push(*c);
+        }
+        IndexKey::Str(s) => {
+            out.push(KEY_STR);
+            put_str(out, s);
+        }
+    }
+}
+
+fn get_key(r: &mut Reader<'_>) -> Result<IndexKey, DecodeError> {
+    Ok(match r.byte()? {
+        KEY_BOOL => IndexKey::Bool(r.byte()? != 0),
+        KEY_INT => IndexKey::Int(r.i64()?),
+        KEY_CHAR => IndexKey::Char(r.byte()?),
+        KEY_STR => IndexKey::Str(r.str()?.to_string()),
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn get_object(r: &mut Reader<'_>) -> Result<Object, DecodeError> {
+    Ok(match r.byte()? {
+        OBJ_ARRAY => Object::Array(get_svals(r)?),
+        OBJ_VECTOR => Object::Vector(get_svals(r)?),
+        OBJ_BYTEARRAY => {
+            let n = r.len()?;
+            Object::ByteArray(r.bytes(n)?.to_vec())
+        }
+        OBJ_TUPLE => Object::Tuple(get_svals(r)?),
+        OBJ_CLOSURE => {
+            let code = u32::try_from(r.u64()?).map_err(|_| DecodeError::Overlong)?;
+            let env = get_svals(r)?;
+            let nbind = r.len()?;
+            let mut bindings = Vec::with_capacity(nbind.min(1024));
+            for _ in 0..nbind {
+                let name = r.str()?.to_string();
+                let val = get_sval(r)?;
+                bindings.push((name, val));
+            }
+            let ptml = if r.byte()? != 0 {
+                Some(Oid(r.u64()?))
+            } else {
+                None
+            };
+            Object::Closure(ClosureObj {
+                code,
+                env,
+                bindings,
+                ptml,
+            })
+        }
+        OBJ_PTML => {
+            let n = r.len()?;
+            Object::Ptml(r.bytes(n)?.to_vec())
+        }
+        OBJ_MODULE => {
+            let name = r.str()?.to_string();
+            let n = r.len()?;
+            let mut exports = BTreeMap::new();
+            for _ in 0..n {
+                let k = r.str()?.to_string();
+                let v = get_sval(r)?;
+                exports.insert(k, v);
+            }
+            Object::Module(ModuleObj { name, exports })
+        }
+        OBJ_RELATION => {
+            let ncols = r.len()?;
+            let mut schema = Vec::with_capacity(ncols.min(256));
+            for _ in 0..ncols {
+                schema.push(r.str()?.to_string());
+            }
+            let nrows = r.len()?;
+            let mut rows = Vec::with_capacity(nrows.min(4096));
+            for _ in 0..nrows {
+                let mut row = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    row.push(get_sval(r)?);
+                }
+                rows.push(row);
+            }
+            Object::Relation(Relation { schema, rows })
+        }
+        OBJ_INDEX => {
+            let relation = Oid(r.u64()?);
+            let column = r.len()?;
+            let nkeys = r.len()?;
+            let mut entries = BTreeMap::new();
+            for _ in 0..nkeys {
+                let key = get_key(r)?;
+                let nrows = r.len()?;
+                let mut rows = Vec::with_capacity(nrows.min(4096));
+                for _ in 0..nrows {
+                    rows.push(r.len()?);
+                }
+                entries.insert(key, rows);
+            }
+            Object::Index(IndexObj {
+                relation,
+                column,
+                entries,
+            })
+        }
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> Store {
+        let mut s = Store::new();
+        let arr = s.alloc(Object::Array(vec![SVal::Int(1), SVal::from("two")]));
+        s.alloc(Object::Vector(vec![SVal::Real(1.5), SVal::Unit]));
+        s.alloc(Object::ByteArray(vec![1, 2, 3]));
+        let ptml = s.alloc(Object::Ptml(vec![9, 9, 9]));
+        s.alloc(Object::Closure(ClosureObj {
+            code: 7,
+            env: vec![SVal::Ref(arr)],
+            bindings: vec![("complex".into(), SVal::Ref(arr)), ("sqrt".into(), SVal::Int(0))],
+            ptml: Some(ptml),
+        }));
+        let mut m = ModuleObj {
+            name: "complex".into(),
+            exports: BTreeMap::new(),
+        };
+        m.exports.insert("x".into(), SVal::Ref(arr));
+        s.alloc(Object::Module(m));
+        let mut rel = Relation::new(vec!["id".into(), "name".into()]);
+        rel.insert(vec![SVal::Int(1), SVal::from("ada")]);
+        rel.insert(vec![SVal::Int(2), SVal::from("bob")]);
+        let rel_oid = s.alloc(Object::Relation(rel));
+        let mut ix = IndexObj {
+            relation: rel_oid,
+            column: 0,
+            entries: BTreeMap::new(),
+        };
+        ix.entries.insert(IndexKey::Int(1), vec![0]);
+        ix.entries.insert(IndexKey::Int(2), vec![1]);
+        s.alloc(Object::Index(ix));
+        s.alloc(Object::Tuple(vec![SVal::Char(b'x'), SVal::Bool(true)]));
+        s.set_root("main", arr);
+        s.set_root("db", rel_oid);
+        s.set_attr(ptml, "cost", 42);
+        s.set_attr(ptml, "savings", -3);
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let s = sample_store();
+        let bytes = to_bytes(&s);
+        let loaded = from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.len(), s.len());
+        for ((_, a), (_, b)) in s.iter().zip(loaded.iter()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(loaded.root("main"), s.root("main"));
+        assert_eq!(loaded.root("db"), s.root("db"));
+        assert_eq!(loaded.attr(Oid(4), "cost"), Some(42));
+        assert_eq!(loaded.attr(Oid(4), "savings"), Some(-3));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join("tml_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.tys");
+        save(&s, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), s.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let s = Store::new();
+        let loaded = from_bytes(&to_bytes(&s)).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        assert!(matches!(
+            from_bytes(b"NOTAST0"),
+            Err(DecodeError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = to_bytes(&sample_store());
+        for cut in [bytes.len() - 1, bytes.len() / 2, 7] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = to_bytes(&sample_store());
+        bytes.push(0xff);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(DecodeError::Truncated)
+        ));
+    }
+}

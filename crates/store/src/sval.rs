@@ -1,0 +1,194 @@
+//! Store values: the uniform immediate value representation.
+//!
+//! `SVal` is what the abstract machine computes with and what store objects
+//! contain in their slots. Simple values are immediate; everything complex
+//! (arrays, tuples, closures, relations, modules) lives in the [`crate::Store`]
+//! behind an [`Oid`] reference — exactly the split the paper's `Lit`
+//! production makes between simple literal constants and OIDs.
+
+use std::sync::Arc;
+use tml_core::{Lit, Oid};
+
+/// An immediate value.
+#[derive(Clone, PartialEq)]
+pub enum SVal {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit real.
+    Real(f64),
+    /// A byte/character.
+    Char(u8),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A reference to a store object.
+    Ref(Oid),
+}
+
+impl SVal {
+    /// Convert a TML literal into a store value.
+    pub fn from_lit(lit: &Lit) -> SVal {
+        match lit {
+            Lit::Unit => SVal::Unit,
+            Lit::Bool(b) => SVal::Bool(*b),
+            Lit::Int(n) => SVal::Int(*n),
+            Lit::Real(r) => SVal::Real(r.get()),
+            Lit::Char(c) => SVal::Char(*c),
+            Lit::Str(s) => SVal::Str(s.clone()),
+            Lit::Oid(o) => SVal::Ref(*o),
+        }
+    }
+
+    /// Convert back into a TML literal (possible for every `SVal`; this is
+    /// how runtime R-value bindings re-enter TML terms during reflective
+    /// optimization).
+    pub fn to_lit(&self) -> Lit {
+        match self {
+            SVal::Unit => Lit::Unit,
+            SVal::Bool(b) => Lit::Bool(*b),
+            SVal::Int(n) => Lit::Int(*n),
+            SVal::Real(x) => Lit::real(*x),
+            SVal::Char(c) => Lit::Char(*c),
+            SVal::Str(s) => Lit::Str(s.clone()),
+            SVal::Ref(o) => Lit::Oid(*o),
+        }
+    }
+
+    /// Object identity, the semantics of the `==` primitive: simple values
+    /// compare by value, references by OID.
+    pub fn identical(&self, other: &SVal) -> bool {
+        match (self, other) {
+            (SVal::Unit, SVal::Unit) => true,
+            (SVal::Bool(a), SVal::Bool(b)) => a == b,
+            (SVal::Int(a), SVal::Int(b)) => a == b,
+            (SVal::Real(a), SVal::Real(b)) => a.to_bits() == b.to_bits(),
+            (SVal::Char(a), SVal::Char(b)) => a == b,
+            (SVal::Str(a), SVal::Str(b)) => a == b,
+            (SVal::Ref(a), SVal::Ref(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SVal::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The real payload, if any.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            SVal::Real(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The reference payload, if any.
+    pub fn as_ref_oid(&self) -> Option<Oid> {
+        match self {
+            SVal::Ref(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// A short kind tag for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SVal::Unit => "unit",
+            SVal::Bool(_) => "bool",
+            SVal::Int(_) => "int",
+            SVal::Real(_) => "real",
+            SVal::Char(_) => "char",
+            SVal::Str(_) => "string",
+            SVal::Ref(_) => "ref",
+        }
+    }
+}
+
+impl std::fmt::Debug for SVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SVal::Unit => write!(f, "unit"),
+            SVal::Bool(b) => write!(f, "{b}"),
+            SVal::Int(n) => write!(f, "{n}"),
+            SVal::Real(x) => write!(f, "{x:?}"),
+            SVal::Char(c) => write!(f, "'{}'", char::from(*c).escape_default()),
+            SVal::Str(s) => write!(f, "{s:?}"),
+            SVal::Ref(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+impl From<i64> for SVal {
+    fn from(n: i64) -> Self {
+        SVal::Int(n)
+    }
+}
+impl From<f64> for SVal {
+    fn from(x: f64) -> Self {
+        SVal::Real(x)
+    }
+}
+impl From<bool> for SVal {
+    fn from(b: bool) -> Self {
+        SVal::Bool(b)
+    }
+}
+impl From<Oid> for SVal {
+    fn from(o: Oid) -> Self {
+        SVal::Ref(o)
+    }
+}
+impl From<&str> for SVal {
+    fn from(s: &str) -> Self {
+        SVal::Str(Arc::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_roundtrip() {
+        for lit in [
+            Lit::Unit,
+            Lit::Bool(true),
+            Lit::Int(-5),
+            Lit::real(2.5),
+            Lit::Char(b'z'),
+            Lit::str("hello"),
+            Lit::Oid(Oid(42)),
+        ] {
+            assert_eq!(SVal::from_lit(&lit).to_lit(), lit);
+        }
+    }
+
+    #[test]
+    fn identity_semantics() {
+        assert!(SVal::Int(3).identical(&SVal::Int(3)));
+        assert!(!SVal::Int(3).identical(&SVal::Real(3.0)));
+        assert!(SVal::Ref(Oid(1)).identical(&SVal::Ref(Oid(1))));
+        assert!(!SVal::Ref(Oid(1)).identical(&SVal::Ref(Oid(2))));
+        assert!(SVal::Real(f64::NAN).identical(&SVal::Real(f64::NAN)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(SVal::Int(7).as_int(), Some(7));
+        assert_eq!(SVal::Unit.as_int(), None);
+        assert_eq!(SVal::Real(1.5).as_real(), Some(1.5));
+        assert_eq!(SVal::Ref(Oid(3)).as_ref_oid(), Some(Oid(3)));
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(SVal::from("x").kind(), "string");
+        assert_eq!(SVal::from(true).kind(), "bool");
+    }
+}

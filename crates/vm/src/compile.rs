@@ -1,0 +1,1199 @@
+//! TML → bytecode compilation.
+//!
+//! Every abstraction used as a *value* compiles to its own
+//! [`CodeBlock`] whose environment layout is the abstraction's free
+//! variables in first-occurrence order. Abstractions appearing *inline* —
+//! the functional position of a direct application, or a continuation
+//! argument of a primitive — compile to straight-line code and labels
+//! within the enclosing block, with no closure and no transfer. The
+//! per-call cost difference between the two is exactly what the paper's
+//! dynamic optimization removes.
+
+use crate::instr::{
+    AllocKind, ArithOp, BitOp, CmpOp, CodeBlock, CodeTable, ContRef, ConvOp, GroupCap, Instr, Src,
+};
+use std::collections::HashMap;
+use tml_core::free::free_vars_abs;
+use tml_core::prim::Arity;
+use tml_core::prims_std::split_case;
+use tml_core::term::{Abs, App, Value};
+use tml_core::{Ctx, Lit, VarId};
+use tml_store::SVal;
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A variable is not in scope (ill-formed input).
+    Unbound(String),
+    /// A primitive appeared in a value position.
+    PrimAsValue(String),
+    /// A primitive application has an unsupported shape.
+    BadShape(String),
+    /// A program expected to be closed has free variables.
+    OpenProgram(String),
+    /// Internal: a `Y`-bound continuation escaped during an attempted
+    /// loop compilation; the compiler falls back to closure groups.
+    LoopEscape,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Unbound(v) => write!(f, "unbound variable {v}"),
+            CompileError::PrimAsValue(p) => write!(f, "primitive {p} used as a value"),
+            CompileError::BadShape(m) => write!(f, "unsupported primitive application: {m}"),
+            CompileError::OpenProgram(v) => write!(f, "program has free variable {v}"),
+            CompileError::LoopEscape => write!(f, "loop continuation escapes (internal)"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled procedure: its block and the capture order (free variables)
+/// the caller must supply as the closure environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledProc {
+    /// The code block.
+    pub block: u32,
+    /// Free variables, in environment order.
+    pub captures: Vec<VarId>,
+}
+
+/// A deferred continuation attached to a primitive instruction: compiled
+/// after the instruction is emitted, with the label patched in.
+enum Pending<'t> {
+    /// Continuation is a value (closure); nothing to compile.
+    None,
+    /// Inline abstraction: compile its body at the label.
+    Inline(&'t Abs),
+    /// Loop-label continuation: emit `mov` (param ← dst) and a jump.
+    Stub {
+        /// Loop label id.
+        label: usize,
+        /// `(param slot, result slot)` move, when the label takes a value.
+        mov: Option<(u16, u16)>,
+    },
+}
+
+/// Variable location within a block.
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    Slot(u16),
+    Env(u16),
+    /// A `Y`-bound recursive continuation compiled as an intra-block loop
+    /// label (see [`Compiler::compile_y`]): calls become argument moves
+    /// plus a jump; any other use aborts loop compilation.
+    Label(usize),
+}
+
+/// The TML-to-bytecode compiler.
+pub struct Compiler<'a> {
+    ctx: &'a Ctx,
+    code: &'a mut CodeTable,
+}
+
+impl<'a> Compiler<'a> {
+    /// Create a compiler appending to `code`.
+    pub fn new(ctx: &'a Ctx, code: &'a mut CodeTable) -> Self {
+        Compiler { ctx, code }
+    }
+
+    /// Compile a procedure. Its free variables become the closure captures.
+    pub fn compile_proc(&mut self, abs: &Abs) -> Result<CompiledProc, CompileError> {
+        let captures = free_vars_abs(abs);
+        let block = self.compile_block(abs, &captures, "proc")?;
+        Ok(CompiledProc { block, captures })
+    }
+
+    fn compile_block(
+        &mut self,
+        abs: &Abs,
+        captures: &[VarId],
+        name: &str,
+    ) -> Result<u32, CompileError> {
+        let mut b = Block {
+            out: CodeBlock {
+                name: format!("{name}/{}", self.code.len()),
+                nparams: abs.params.len() as u16,
+                ..Default::default()
+            },
+            next_slot: 0,
+            locs: HashMap::new(),
+            labels: Vec::new(),
+            label_params: Vec::new(),
+            jumps: Vec::new(),
+        };
+        for (i, &v) in captures.iter().enumerate() {
+            b.locs.insert(v, Loc::Env(i as u16));
+        }
+        for &p in &abs.params {
+            let s = b.fresh_slot();
+            b.locs.insert(p, Loc::Slot(s));
+        }
+        self.compile_app(&mut b, &abs.body)?;
+        b.patch_jumps();
+        b.out.nslots = b.next_slot;
+        Ok(self.code.push(b.out))
+    }
+
+    fn compile_app(&mut self, b: &mut Block, app: &App) -> Result<(), CompileError> {
+        match &app.func {
+            Value::Abs(abs) => {
+                // Direct application: bind arguments to fresh slots and fall
+                // through into the body — no call, no closure.
+                if abs.params.len() != app.args.len() {
+                    return Err(CompileError::BadShape(format!(
+                        "direct application of arity {} to {} arguments",
+                        abs.params.len(),
+                        app.args.len()
+                    )));
+                }
+                let srcs: Vec<Src> = app
+                    .args
+                    .iter()
+                    .map(|a| self.resolve(b, a))
+                    .collect::<Result<_, _>>()?;
+                for (&p, src) in abs.params.iter().zip(srcs) {
+                    let s = b.fresh_slot();
+                    b.emit(Instr::Mov { dst: s, src });
+                    b.locs.insert(p, Loc::Slot(s));
+                }
+                self.compile_app(b, &abs.body)
+            }
+            Value::Var(x) => {
+                if let Some(Loc::Label(id)) = b.locs.get(x).copied() {
+                    // A call to a loop label: move the arguments into the
+                    // label's parameter slots and jump.
+                    let params = b.label_params[id].clone();
+                    if params.len() != app.args.len() {
+                        // Arity mismatch: let the closure fallback handle it.
+                        return Err(CompileError::LoopEscape);
+                    }
+                    let srcs: Vec<Src> = app
+                        .args
+                        .iter()
+                        .map(|a| self.resolve(b, a))
+                        .collect::<Result<_, _>>()?;
+                    // A source reading one of the target parameter slots
+                    // would be clobbered by an earlier move; stage those
+                    // through temporaries.
+                    let staged: Vec<Src> = srcs
+                        .iter()
+                        .map(|s| {
+                            let hazard = matches!(s, Src::Slot(i) if params.contains(i));
+                            if hazard {
+                                let t = b.fresh_slot();
+                                b.emit(Instr::Mov { dst: t, src: *s });
+                                Src::Slot(t)
+                            } else {
+                                *s
+                            }
+                        })
+                        .collect();
+                    for (dst, src) in params.iter().zip(staged) {
+                        b.emit(Instr::Mov { dst: *dst, src });
+                    }
+                    let at = b.out.instrs.len();
+                    b.emit(Instr::Jump { target: u32::MAX });
+                    b.jumps.push((at, id));
+                    return Ok(());
+                }
+                let target = self.resolve(b, &app.func)?;
+                let args: Vec<Src> = app
+                    .args
+                    .iter()
+                    .map(|a| self.resolve(b, a))
+                    .collect::<Result<_, _>>()?;
+                b.emit(Instr::Call {
+                    target,
+                    args: args.into_boxed_slice(),
+                });
+                Ok(())
+            }
+            Value::Prim(p) => self.compile_prim(b, *p, app),
+            Value::Lit(l) => Err(CompileError::BadShape(format!(
+                "literal {l:?} in functional position"
+            ))),
+        }
+    }
+
+    /// Resolve a value to an operand, emitting closure creation as needed.
+    fn resolve(&mut self, b: &mut Block, v: &Value) -> Result<Src, CompileError> {
+        match v {
+            Value::Lit(l) => Ok(b.const_src(lit_to_sval(l))),
+            Value::Var(x) => match b.locs.get(x) {
+                Some(Loc::Slot(s)) => Ok(Src::Slot(*s)),
+                Some(Loc::Env(e)) => Ok(Src::Env(*e)),
+                // A loop label used as a value (escaping) aborts the loop
+                // compilation attempt; compile_y falls back to closures.
+                Some(Loc::Label(_)) => Err(CompileError::LoopEscape),
+                None => Err(CompileError::Unbound(self.ctx.names.display(*x))),
+            },
+            Value::Prim(p) => Err(CompileError::PrimAsValue(
+                self.ctx.prims.name(*p).to_string(),
+            )),
+            Value::Abs(abs) => {
+                let captures = free_vars_abs(abs);
+                let cap_srcs: Vec<Src> = captures
+                    .iter()
+                    .map(|&c| self.resolve(b, &Value::Var(c)))
+                    .collect::<Result<_, _>>()?;
+                let block = self.compile_block(abs, &captures, "clo")?;
+                let dst = b.fresh_slot();
+                b.emit(Instr::Close {
+                    dst,
+                    code: block,
+                    captures: cap_srcs.into_boxed_slice(),
+                });
+                Ok(Src::Slot(dst))
+            }
+        }
+    }
+
+    // -- Continuation plumbing ----------------------------------------------
+
+    /// Compile the continuation argument of a value-producing primitive.
+    /// The result (or exception value) is written to `dst` before the
+    /// transfer. Besides inline abstractions, a continuation may be a
+    /// loop label (a `Y`-bound variable after η-reduction): it compiles to
+    /// a jump stub moving `dst` into the label's parameter slot.
+    fn value_cont<'t>(
+        &mut self,
+        b: &mut Block,
+        cont: &'t Value,
+        dst: u16,
+    ) -> Result<(ContRef, Pending<'t>), CompileError> {
+        match cont {
+            Value::Abs(abs) => {
+                if abs.params.len() > 1 {
+                    return Err(CompileError::BadShape(format!(
+                        "primitive continuation with {} parameters",
+                        abs.params.len()
+                    )));
+                }
+                if let Some(&p) = abs.params.first() {
+                    b.locs.insert(p, Loc::Slot(dst));
+                }
+                Ok((ContRef::Label(u32::MAX), Pending::Inline(abs)))
+            }
+            Value::Var(x) if matches!(b.locs.get(x), Some(Loc::Label(_))) => {
+                let Some(Loc::Label(id)) = b.locs.get(x).copied() else {
+                    unreachable!("matched above");
+                };
+                match b.label_params[id].as_slice() {
+                    [p] => Ok((
+                        ContRef::Label(u32::MAX),
+                        Pending::Stub {
+                            label: id,
+                            mov: Some((*p, dst)),
+                        },
+                    )),
+                    // Arity mismatch: abandon loop compilation.
+                    _ => Err(CompileError::LoopEscape),
+                }
+            }
+            _ => {
+                let src = self.resolve(b, cont)?;
+                Ok((ContRef::Closure(src), Pending::None))
+            }
+        }
+    }
+
+    /// Compile a zero-argument branch continuation.
+    fn branch_cont<'t>(
+        &mut self,
+        b: &mut Block,
+        cont: &'t Value,
+    ) -> Result<(ContRef, Pending<'t>), CompileError> {
+        match cont {
+            Value::Abs(abs) if abs.params.is_empty() => {
+                Ok((ContRef::Label(u32::MAX), Pending::Inline(abs)))
+            }
+            Value::Var(x) if matches!(b.locs.get(x), Some(Loc::Label(_))) => {
+                let Some(Loc::Label(id)) = b.locs.get(x).copied() else {
+                    unreachable!("matched above");
+                };
+                if b.label_params[id].is_empty() {
+                    Ok((
+                        ContRef::Label(u32::MAX),
+                        Pending::Stub { label: id, mov: None },
+                    ))
+                } else {
+                    Err(CompileError::LoopEscape)
+                }
+            }
+            _ => {
+                let src = self.resolve(b, cont)?;
+                Ok((ContRef::Closure(src), Pending::None))
+            }
+        }
+    }
+
+    /// Emit `instr`, then compile the pending inline continuations and jump
+    /// stubs in order, patching their labels into the instruction.
+    fn finish(
+        &mut self,
+        b: &mut Block,
+        instr: Instr,
+        pending: Vec<(usize, Pending<'_>)>,
+    ) -> Result<(), CompileError> {
+        let at = b.out.instrs.len();
+        b.emit(instr);
+        for (field, p) in pending {
+            match p {
+                Pending::None => {}
+                Pending::Inline(abs) => {
+                    let label = b.out.instrs.len() as u32;
+                    patch(&mut b.out.instrs[at], field, label);
+                    self.compile_app(b, &abs.body)?;
+                }
+                Pending::Stub { label, mov } => {
+                    let stub = b.out.instrs.len() as u32;
+                    patch(&mut b.out.instrs[at], field, stub);
+                    if let Some((param, src)) = mov {
+                        if param != src {
+                            b.emit(Instr::Mov {
+                                dst: param,
+                                src: Src::Slot(src),
+                            });
+                        }
+                    }
+                    let ix = b.out.instrs.len();
+                    b.emit(Instr::Jump { target: u32::MAX });
+                    b.jumps.push((ix, label));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- Primitive dispatch --------------------------------------------------
+
+    fn compile_prim(
+        &mut self,
+        b: &mut Block,
+        prim: tml_core::PrimId,
+        app: &App,
+    ) -> Result<(), CompileError> {
+        let def = self.ctx.prims.def(prim);
+        let name = def.name.clone();
+        let n = app.args.len();
+        let bad = |m: &str| CompileError::BadShape(format!("{name}: {m}"));
+
+        match name.as_str() {
+            "+" | "-" | "*" | "/" | "%" | "f+" | "f-" | "f*" | "f/" => {
+                if n != 4 {
+                    return Err(bad("expected (a b ce cc)"));
+                }
+                let op = match name.as_str() {
+                    "+" => ArithOp::Add,
+                    "-" => ArithOp::Sub,
+                    "*" => ArithOp::Mul,
+                    "/" => ArithOp::Div,
+                    "%" => ArithOp::Mod,
+                    "f+" => ArithOp::FAdd,
+                    "f-" => ArithOp::FSub,
+                    "f*" => ArithOp::FMul,
+                    _ => ArithOp::FDiv,
+                };
+                let a = self.resolve(b, &app.args[0])?;
+                let bb = self.resolve(b, &app.args[1])?;
+                let dst = b.fresh_slot();
+                let (on_err, err_abs) = self.value_cont(b, &app.args[2], dst)?;
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[3], dst)?;
+                self.finish(
+                    b,
+                    Instr::Arith {
+                        op,
+                        dst,
+                        a,
+                        b: bb,
+                        on_err,
+                        on_ok,
+                    },
+                    vec![(FIELD_OK, ok_abs), (FIELD_ERR, err_abs)],
+                )
+            }
+            "fsqrt" => {
+                if n != 3 {
+                    return Err(bad("expected (a ce cc)"));
+                }
+                let a = self.resolve(b, &app.args[0])?;
+                let dst = b.fresh_slot();
+                // fsqrt cannot fail dynamically (NaN propagates), so the
+                // exception continuation is resolved but unused.
+                let _ = self.value_cont(b, &app.args[1], dst)?;
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[2], dst)?;
+                self.finish(
+                    b,
+                    Instr::Conv {
+                        op: ConvOp::FSqrt,
+                        dst,
+                        a,
+                        on_ok,
+                    },
+                    vec![(FIELD_OK, ok_abs)],
+                )
+            }
+            "<" | ">" | "<=" | ">=" | "=" | "<>" | "f<" | "f<=" | "f=" => {
+                if n != 4 {
+                    return Err(bad("expected (a b c_true c_false)"));
+                }
+                let op = match name.as_str() {
+                    "<" => CmpOp::Lt,
+                    ">" => CmpOp::Gt,
+                    "<=" => CmpOp::Le,
+                    ">=" => CmpOp::Ge,
+                    "=" => CmpOp::Eq,
+                    "<>" => CmpOp::Ne,
+                    "f<" => CmpOp::FLt,
+                    "f<=" => CmpOp::FLe,
+                    _ => CmpOp::FEq,
+                };
+                let a = self.resolve(b, &app.args[0])?;
+                let bb = self.resolve(b, &app.args[1])?;
+                let (then_, then_abs) = self.branch_cont(b, &app.args[2])?;
+                let (else_, else_abs) = self.branch_cont(b, &app.args[3])?;
+                self.finish(
+                    b,
+                    Instr::Branch {
+                        op,
+                        a,
+                        b: bb,
+                        then_,
+                        else_,
+                    },
+                    vec![(FIELD_THEN, then_abs), (FIELD_ELSE, else_abs)],
+                )
+            }
+            "<<" | ">>" | "&" | "|" | "^" => {
+                if n != 3 {
+                    return Err(bad("expected (a b c)"));
+                }
+                let op = match name.as_str() {
+                    "<<" => BitOp::Shl,
+                    ">>" => BitOp::Shr,
+                    "&" => BitOp::And,
+                    "|" => BitOp::Or,
+                    _ => BitOp::Xor,
+                };
+                let a = self.resolve(b, &app.args[0])?;
+                let bb = self.resolve(b, &app.args[1])?;
+                let dst = b.fresh_slot();
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[2], dst)?;
+                self.finish(
+                    b,
+                    Instr::Bit {
+                        op,
+                        dst,
+                        a,
+                        b: bb,
+                        on_ok,
+                    },
+                    vec![(FIELD_OK, ok_abs)],
+                )
+            }
+            "char2int" | "int2char" | "i2r" | "r2i" => {
+                if n != 2 {
+                    return Err(bad("expected (a c)"));
+                }
+                let op = match name.as_str() {
+                    "char2int" => ConvOp::CharToInt,
+                    "int2char" => ConvOp::IntToChar,
+                    "i2r" => ConvOp::IntToReal,
+                    _ => ConvOp::RealToInt,
+                };
+                let a = self.resolve(b, &app.args[0])?;
+                let dst = b.fresh_slot();
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[1], dst)?;
+                self.finish(b, Instr::Conv { op, dst, a, on_ok }, vec![(FIELD_OK, ok_abs)])
+            }
+            "array" | "vector" => {
+                if n < 1 {
+                    return Err(bad("missing continuation"));
+                }
+                let kind = if name == "array" {
+                    AllocKind::Array
+                } else {
+                    AllocKind::Vector
+                };
+                let args: Vec<Src> = app.args[..n - 1]
+                    .iter()
+                    .map(|a| self.resolve(b, a))
+                    .collect::<Result<_, _>>()?;
+                let dst = b.fresh_slot();
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[n - 1], dst)?;
+                self.finish(
+                    b,
+                    Instr::Alloc {
+                        kind,
+                        dst,
+                        args: args.into_boxed_slice(),
+                        on_ok,
+                    },
+                    vec![(FIELD_OK, ok_abs)],
+                )
+            }
+            "new" | "bnew" => {
+                if n != 3 {
+                    return Err(bad("expected (count init c)"));
+                }
+                let kind = if name == "new" {
+                    AllocKind::New
+                } else {
+                    AllocKind::BNew
+                };
+                let count = self.resolve(b, &app.args[0])?;
+                let init = self.resolve(b, &app.args[1])?;
+                let dst = b.fresh_slot();
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[2], dst)?;
+                self.finish(
+                    b,
+                    Instr::Alloc {
+                        kind,
+                        dst,
+                        args: vec![count, init].into_boxed_slice(),
+                        on_ok,
+                    },
+                    vec![(FIELD_OK, ok_abs)],
+                )
+            }
+            "[]" | "b[]" => {
+                if n != 4 {
+                    return Err(bad("expected (arr i ce cc)"));
+                }
+                let arr = self.resolve(b, &app.args[0])?;
+                let index = self.resolve(b, &app.args[1])?;
+                let dst = b.fresh_slot();
+                let (on_err, err_abs) = self.value_cont(b, &app.args[2], dst)?;
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[3], dst)?;
+                self.finish(
+                    b,
+                    Instr::Idx {
+                        byte: name == "b[]",
+                        dst,
+                        arr,
+                        index,
+                        on_err,
+                        on_ok,
+                    },
+                    vec![(FIELD_OK, ok_abs), (FIELD_ERR, err_abs)],
+                )
+            }
+            "[:=]" | "b[:=]" => {
+                if n != 5 {
+                    return Err(bad("expected (arr i v ce cc)"));
+                }
+                let arr = self.resolve(b, &app.args[0])?;
+                let index = self.resolve(b, &app.args[1])?;
+                let value = self.resolve(b, &app.args[2])?;
+                let dst = b.fresh_slot();
+                let (on_err, err_abs) = self.value_cont(b, &app.args[3], dst)?;
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[4], dst)?;
+                self.finish(
+                    b,
+                    Instr::IdxSet {
+                        byte: name == "b[:=]",
+                        dst,
+                        arr,
+                        index,
+                        value,
+                        on_err,
+                        on_ok,
+                    },
+                    vec![(FIELD_OK, ok_abs), (FIELD_ERR, err_abs)],
+                )
+            }
+            "size" => {
+                if n != 2 {
+                    return Err(bad("expected (arr c)"));
+                }
+                let arr = self.resolve(b, &app.args[0])?;
+                let dst = b.fresh_slot();
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[1], dst)?;
+                self.finish(b, Instr::Size { dst, arr, on_ok }, vec![(FIELD_OK, ok_abs)])
+            }
+            "move" | "bmove" => {
+                if n != 7 {
+                    return Err(bad("expected (dst dstoff src srcoff len ce cc)"));
+                }
+                let mut ops = [Src::Slot(0); 5];
+                for (i, op) in ops.iter_mut().enumerate() {
+                    *op = self.resolve(b, &app.args[i])?;
+                }
+                let dst = b.fresh_slot();
+                let (on_err, err_abs) = self.value_cont(b, &app.args[5], dst)?;
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[6], dst)?;
+                self.finish(
+                    b,
+                    Instr::MoveBlk {
+                        byte: name == "bmove",
+                        dst,
+                        args: Box::new(ops),
+                        on_err,
+                        on_ok,
+                    },
+                    vec![(FIELD_OK, ok_abs), (FIELD_ERR, err_abs)],
+                )
+            }
+            "==" => {
+                let Some((scrut, tags, branches, default)) = split_case(&app.args) else {
+                    return Err(bad("malformed case analysis"));
+                };
+                let scrut = self.resolve(b, scrut)?;
+                let tag_srcs: Vec<Src> = tags
+                    .iter()
+                    .map(|t| self.resolve(b, t))
+                    .collect::<Result<_, _>>()?;
+                let mut targets = Vec::with_capacity(branches.len());
+                let mut pend = Vec::new();
+                for (j, br) in branches.iter().enumerate() {
+                    let (c, abs) = self.branch_cont(b, br)?;
+                    targets.push(c);
+                    pend.push((FIELD_SWITCH_BASE + j, abs));
+                }
+                let default_ref = match default {
+                    Some(d) => {
+                        let (c, abs) = self.branch_cont(b, d)?;
+                        pend.push((FIELD_SWITCH_DEFAULT, abs));
+                        Some(c)
+                    }
+                    None => None,
+                };
+                self.finish(
+                    b,
+                    Instr::Switch {
+                        scrut,
+                        tags: tag_srcs.into_boxed_slice(),
+                        targets: targets.into_boxed_slice(),
+                        default: default_ref,
+                    },
+                    pend,
+                )
+            }
+            "btest" => {
+                if n != 3 {
+                    return Err(bad("expected (v c_true c_false)"));
+                }
+                let a = self.resolve(b, &app.args[0])?;
+                let (then_, then_abs) = self.branch_cont(b, &app.args[1])?;
+                let (else_, else_abs) = self.branch_cont(b, &app.args[2])?;
+                self.finish(
+                    b,
+                    Instr::BTest { a, then_, else_ },
+                    vec![(FIELD_THEN, then_abs), (FIELD_ELSE, else_abs)],
+                )
+            }
+            "Y" => self.compile_y(b, app),
+            "pushHandler" => {
+                if n != 2 {
+                    return Err(bad("expected (handler c)"));
+                }
+                let handler = self.resolve(b, &app.args[0])?;
+                let (on_ok, ok_abs) = self.branch_cont(b, &app.args[1])?;
+                self.finish(
+                    b,
+                    Instr::PushHandler { handler, on_ok },
+                    vec![(FIELD_OK, ok_abs)],
+                )
+            }
+            "popHandler" => {
+                if n != 1 {
+                    return Err(bad("expected (c)"));
+                }
+                let (on_ok, ok_abs) = self.branch_cont(b, &app.args[0])?;
+                self.finish(b, Instr::PopHandler { on_ok }, vec![(FIELD_OK, ok_abs)])
+            }
+            "raise" => {
+                if n != 1 {
+                    return Err(bad("expected (v)"));
+                }
+                let src = self.resolve(b, &app.args[0])?;
+                b.emit(Instr::Raise { src });
+                Ok(())
+            }
+            "halt" => {
+                if n != 1 {
+                    return Err(bad("expected (v)"));
+                }
+                let src = self.resolve(b, &app.args[0])?;
+                b.emit(Instr::Halt { src });
+                Ok(())
+            }
+            "print" => {
+                if n != 2 {
+                    return Err(bad("expected (v c)"));
+                }
+                let src = self.resolve(b, &app.args[0])?;
+                let dst = b.fresh_slot();
+                let (on_ok, ok_abs) = self.value_cont(b, &app.args[1], dst)?;
+                self.finish(b, Instr::Print { dst, src, on_ok }, vec![(FIELD_OK, ok_abs)])
+            }
+            "ccall" => {
+                if n < 3 {
+                    return Err(bad("expected (name args... ce cc)"));
+                }
+                let Value::Lit(Lit::Str(fname)) = &app.args[0] else {
+                    return Err(bad("ccall function name must be a string literal"));
+                };
+                self.compile_extern(b, fname, &app.args[1..n - 2], &app.args[n - 2], &app.args[n - 1])
+            }
+            _ => {
+                // Extension primitive: standard (vals… ce cc) convention.
+                if def.signature.conts != Arity::Exact(2) || n < 2 {
+                    return Err(bad("extension primitives must take (vals... ce cc)"));
+                }
+                let name = name.clone();
+                self.compile_extern(b, &name, &app.args[..n - 2], &app.args[n - 2], &app.args[n - 1])
+            }
+        }
+    }
+
+    fn compile_extern(
+        &mut self,
+        b: &mut Block,
+        name: &str,
+        vals: &[Value],
+        ce: &Value,
+        cc: &Value,
+    ) -> Result<(), CompileError> {
+        let args: Vec<Src> = vals
+            .iter()
+            .map(|a| self.resolve(b, a))
+            .collect::<Result<_, _>>()?;
+        let name_ix = b.extern_ix(name);
+        let dst = b.fresh_slot();
+        let (on_err, err_abs) = self.value_cont(b, ce, dst)?;
+        let (on_ok, ok_abs) = self.value_cont(b, cc, dst)?;
+        self.finish(
+            b,
+            Instr::Extern {
+                name: name_ix,
+                dst,
+                args: args.into_boxed_slice(),
+                on_err,
+                on_ok,
+            },
+            vec![(FIELD_OK, ok_abs), (FIELD_ERR, err_abs)],
+        )
+    }
+
+    /// Compile `(Y λ(c₀ v₁…vₙ c)(c entry abs₁…absₙ))`.
+    fn compile_y(&mut self, b: &mut Block, app: &App) -> Result<(), CompileError> {
+        let err = |m: &str| CompileError::BadShape(format!("Y: {m}"));
+        let [Value::Abs(yabs)] = app.args.as_slice() else {
+            return Err(err("expected a single abstraction argument"));
+        };
+        let nparams = yabs.params.len();
+        if nparams < 2 || yabs.body.args.len() != nparams - 1 {
+            return Err(err("malformed fixpoint shape"));
+        }
+        let c0 = yabs.params[0];
+        let rec_vars = &yabs.params[1..nparams - 1];
+        let ret = yabs.params[nparams - 1];
+        if yabs.body.func.as_var() != Some(ret) {
+            return Err(err("body must return through the last parameter"));
+        }
+        let entry = &yabs.body.args[0];
+        let Value::Abs(entry_abs) = entry else {
+            return Err(err("entry must be an abstraction"));
+        };
+        if !entry_abs.params.is_empty() {
+            return Err(err("entry continuation must take no parameters"));
+        }
+        let rec_abs: Vec<&Abs> = yabs.body.args[1..]
+            .iter()
+            .map(|v| match v {
+                Value::Abs(a) => Ok(a.as_ref()),
+                _ => Err(err("recursive bindings must be abstractions")),
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Does anything reference c₀ (loop restart through the entry)?
+        let c0_used = std::iter::once(entry)
+            .chain(yabs.body.args[1..].iter())
+            .any(|v| tml_core::census::occurrences_in_value(v, c0) > 0);
+
+        // Bind destination slots first so mutual references resolve.
+        let mut members: Vec<(VarId, &Abs)> = rec_vars
+            .iter()
+            .copied()
+            .zip(rec_abs.iter().copied())
+            .collect();
+        if c0_used {
+            members.push((c0, entry_abs.as_ref()));
+        }
+
+        // First attempt: compile the fixpoint as intra-block loops (labels
+        // and jumps) — valid whenever no recursive continuation escapes
+        // into a value position or a nested closure. This is how a real
+        // backend compiles loops; the closure group below is the general
+        // fallback (e.g. for recursive first-class procedures).
+        let snapshot = b.clone();
+        let code_len = self.code.len();
+        match self.compile_y_loops(b, &members, c0_used, entry_abs) {
+            Ok(()) => return Ok(()),
+            Err(CompileError::LoopEscape) => {
+                *b = snapshot;
+                self.code.truncate(code_len);
+            }
+            Err(other) => return Err(other),
+        }
+        let mut dsts = Vec::with_capacity(members.len());
+        for &(v, _) in &members {
+            let s = b.fresh_slot();
+            b.locs.insert(v, Loc::Slot(s));
+            dsts.push(s);
+        }
+        // Compile each member block; classify captures as group members or
+        // external operands.
+        let member_vars: Vec<VarId> = members.iter().map(|&(v, _)| v).collect();
+        let mut parts = Vec::with_capacity(members.len());
+        for &(_, abs) in &members {
+            let captures = free_vars_abs(abs);
+            let mut caps = Vec::with_capacity(captures.len());
+            for &cvar in &captures {
+                if let Some(j) = member_vars.iter().position(|&m| m == cvar) {
+                    caps.push(GroupCap::Member(j as u16));
+                } else {
+                    caps.push(GroupCap::Ext(self.resolve(b, &Value::Var(cvar))?));
+                }
+            }
+            let block = self.compile_block(abs, &captures, "rec")?;
+            parts.push((block, caps.into_boxed_slice()));
+        }
+        b.emit(Instr::CloseGroup {
+            dsts: dsts.into_boxed_slice(),
+            parts: parts.into_boxed_slice(),
+        });
+        if c0_used {
+            // Invoke the entry through its closure.
+            let c0_src = self.resolve(b, &Value::Var(c0))?;
+            b.emit(Instr::Call {
+                target: c0_src,
+                args: Box::new([]),
+            });
+            Ok(())
+        } else {
+            // Fall through into the entry body.
+            self.compile_app(b, &entry_abs.body)
+        }
+    }
+}
+
+impl Compiler<'_> {
+    /// Attempt to compile the `Y` members as intra-block loops. Fails with
+    /// [`CompileError::LoopEscape`] when a member is used as a value.
+    fn compile_y_loops(
+        &mut self,
+        b: &mut Block,
+        members: &[(VarId, &Abs)],
+        c0_used: bool,
+        entry_abs: &Abs,
+    ) -> Result<(), CompileError> {
+        // Reserve a label and parameter slots per member, binding the
+        // member variables before any body is compiled so mutual and
+        // forward references resolve.
+        let mut plan = Vec::with_capacity(members.len());
+        for &(v, abs) in members {
+            let params: Vec<u16> = abs.params.iter().map(|_| b.fresh_slot()).collect();
+            let id = b.new_label(params.clone());
+            b.locs.insert(v, Loc::Label(id));
+            plan.push((id, abs, params));
+        }
+        if c0_used {
+            // The entry is itself a member; start by jumping to it.
+            let entry_id = plan.last().expect("c0 member pushed last").0;
+            let at = b.out.instrs.len();
+            b.emit(Instr::Jump { target: u32::MAX });
+            b.jumps.push((at, entry_id));
+        } else {
+            self.compile_app(b, &entry_abs.body)?;
+        }
+        for (id, abs, params) in plan {
+            b.labels[id] = Some(b.out.instrs.len() as u32);
+            for (&p, &slot) in abs.params.iter().zip(&params) {
+                b.locs.insert(p, Loc::Slot(slot));
+            }
+            self.compile_app(b, &abs.body)?;
+        }
+        Ok(())
+    }
+}
+
+// Field selectors for `patch`.
+const FIELD_OK: usize = 0;
+const FIELD_ERR: usize = 1;
+const FIELD_THEN: usize = 2;
+const FIELD_ELSE: usize = 3;
+const FIELD_SWITCH_DEFAULT: usize = 4;
+const FIELD_SWITCH_BASE: usize = 16;
+
+fn patch(instr: &mut Instr, field: usize, label: u32) {
+    let slot: &mut ContRef = match (instr, field) {
+        (Instr::Arith { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::Arith { on_err, .. }, FIELD_ERR) => on_err,
+        (Instr::Bit { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::Conv { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::Branch { then_, .. }, FIELD_THEN) => then_,
+        (Instr::Branch { else_, .. }, FIELD_ELSE) => else_,
+        (Instr::BTest { then_, .. }, FIELD_THEN) => then_,
+        (Instr::BTest { else_, .. }, FIELD_ELSE) => else_,
+        (Instr::Alloc { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::Idx { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::Idx { on_err, .. }, FIELD_ERR) => on_err,
+        (Instr::IdxSet { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::IdxSet { on_err, .. }, FIELD_ERR) => on_err,
+        (Instr::Size { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::MoveBlk { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::MoveBlk { on_err, .. }, FIELD_ERR) => on_err,
+        (Instr::Extern { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::Extern { on_err, .. }, FIELD_ERR) => on_err,
+        (Instr::PushHandler { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::PopHandler { on_ok }, FIELD_OK) => on_ok,
+        (Instr::Print { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::Switch { default: Some(d), .. }, FIELD_SWITCH_DEFAULT) => d,
+        (Instr::Switch { targets, .. }, f) if f >= FIELD_SWITCH_BASE => {
+            &mut targets[f - FIELD_SWITCH_BASE]
+        }
+        (i, f) => unreachable!("patch field {f} on {i:?}"),
+    };
+    *slot = ContRef::Label(label);
+}
+
+fn lit_to_sval(l: &Lit) -> SVal {
+    SVal::from_lit(l)
+}
+
+#[derive(Clone)]
+struct Block {
+    out: CodeBlock,
+    next_slot: u16,
+    locs: HashMap<VarId, Loc>,
+    /// Loop-label table: id → instruction index (filled as member bodies
+    /// are compiled) and each label's parameter slots.
+    labels: Vec<Option<u32>>,
+    label_params: Vec<Vec<u16>>,
+    /// Pending `Jump` instructions awaiting a label: `(instr, label id)`.
+    jumps: Vec<(usize, usize)>,
+}
+
+impl Block {
+    fn fresh_slot(&mut self) -> u16 {
+        let s = self.next_slot;
+        self.next_slot = self
+            .next_slot
+            .checked_add(1)
+            .expect("frame slot space exhausted");
+        s
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.out.instrs.push(i);
+    }
+
+    fn new_label(&mut self, params: Vec<u16>) -> usize {
+        self.labels.push(None);
+        self.label_params.push(params);
+        self.labels.len() - 1
+    }
+
+    /// Resolve all pending loop jumps; called when the block is finished.
+    fn patch_jumps(&mut self) {
+        for (ix, label) in self.jumps.drain(..) {
+            let target = self.labels[label].expect("loop label left unresolved");
+            self.out.instrs[ix] = Instr::Jump { target };
+        }
+    }
+
+    fn const_src(&mut self, v: SVal) -> Src {
+        // Small pools: linear dedup is fine and keeps blocks compact.
+        if let Some(ix) = self.out.consts.iter().position(|c| c == &v) {
+            return Src::Const(ix as u16);
+        }
+        let ix = self.out.consts.len() as u16;
+        self.out.consts.push(v);
+        Src::Const(ix)
+    }
+
+    fn extern_ix(&mut self, name: &str) -> u16 {
+        if let Some(ix) = self.out.extern_names.iter().position(|n| n == name) {
+            return ix as u16;
+        }
+        let ix = self.out.extern_names.len() as u16;
+        self.out.extern_names.push(name.to_string());
+        ix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tml_core::parse::parse_app;
+
+    fn compile(src: &str) -> Result<(CodeTable, u32), CompileError> {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let mut code = CodeTable::new();
+        let abs = Abs {
+            params: vec![],
+            body: parsed.app,
+        };
+        let block = Compiler::new(&ctx, &mut code).compile_proc(&abs)?.block;
+        Ok((code, block))
+    }
+
+    #[test]
+    fn constant_halt_compiles_small() {
+        let (code, block) = compile("(halt 42)").unwrap();
+        let b = code.block(block);
+        assert_eq!(b.instrs.len(), 1);
+        assert!(matches!(b.instrs[0], Instr::Halt { .. }));
+    }
+
+    #[test]
+    fn direct_application_emits_no_call() {
+        let (code, block) = compile("(cont(x) (halt x) 13)").unwrap();
+        let b = code.block(block);
+        assert!(
+            !b.instrs.iter().any(|i| matches!(i, Instr::Call { .. })),
+            "{:?}",
+            b.instrs
+        );
+    }
+
+    #[test]
+    fn inline_arith_cont_falls_through() {
+        let (code, block) =
+            compile("(+ 1 2 cont(e) (halt e) cont(t) (halt t))").unwrap();
+        let b = code.block(block);
+        // One Arith, two Halts (ok body then err body), no Call, no Close.
+        assert!(b.instrs.iter().any(|i| matches!(i, Instr::Arith { .. })));
+        assert!(!b.instrs.iter().any(|i| matches!(i, Instr::Close { .. })));
+        let Instr::Arith { on_ok, on_err, .. } = &b.instrs[0] else {
+            panic!()
+        };
+        assert!(matches!(on_ok, ContRef::Label(l) if *l != u32::MAX));
+        assert!(matches!(on_err, ContRef::Label(l) if *l != u32::MAX));
+    }
+
+    #[test]
+    fn proc_values_become_closures() {
+        let (code, block) = compile(
+            "(cont(f) (f 1 cont(e)(halt e) cont(t)(halt t)) proc(x ce cc) (+ x 1 ce cc))",
+        )
+        .unwrap();
+        let b = code.block(block);
+        assert!(b.instrs.iter().any(|i| matches!(i, Instr::Close { .. })));
+        assert!(b.instrs.iter().any(|i| matches!(i, Instr::Call { .. })));
+    }
+
+    #[test]
+    fn y_loops_compile_to_jumps() {
+        // A non-escaping fixpoint becomes intra-block jumps: no closure
+        // group, no calls, one backward jump per recursive invocation.
+        let (code, block) = compile(
+            "(Y proc(^c0 ^f ^c) (c \
+                cont() (f 1) \
+                cont(i) (> i 3 cont() (halt i) cont() (f i))))",
+        )
+        .unwrap();
+        let b = code.block(block);
+        assert!(
+            !b.instrs.iter().any(|i| matches!(i, Instr::CloseGroup { .. })),
+            "{:?}",
+            b.instrs
+        );
+        assert!(!b.instrs.iter().any(|i| matches!(i, Instr::Call { .. })));
+        assert!(b.instrs.iter().any(|i| matches!(i, Instr::Jump { .. })));
+        // Every jump target must be patched.
+        for i in &b.instrs {
+            if let Instr::Jump { target } = i {
+                assert_ne!(*target, u32::MAX, "unpatched loop jump");
+            }
+        }
+    }
+
+    #[test]
+    fn escaping_y_falls_back_to_close_group() {
+        // The recursive binding f is passed as a *value* to g: loop
+        // compilation must abort and the closure group take over.
+        let (code, block) = compile(
+            "(Y proc(^c0 ^f ^c) (c \
+                cont() (g f cont(e)(halt e) cont(t)(halt t)) \
+                cont(i) (f i)))",
+        )
+        .unwrap();
+        let b = code.block(block);
+        assert!(
+            b.instrs.iter().any(|i| matches!(i, Instr::CloseGroup { .. })),
+            "{:?}",
+            b.instrs
+        );
+    }
+
+    #[test]
+    fn free_variables_become_captures() {
+        // compile_proc treats free variables as closure captures.
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, "(halt outer)").unwrap();
+        let mut code = CodeTable::new();
+        let abs = Abs {
+            params: vec![],
+            body: parsed.app,
+        };
+        let compiled = Compiler::new(&ctx, &mut code).compile_proc(&abs).unwrap();
+        assert_eq!(compiled.captures.len(), 1);
+        assert_eq!(ctx.names.display(compiled.captures[0]), "outer_0");
+    }
+
+    #[test]
+    fn open_programs_rejected() {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, "(halt nosuch)").unwrap();
+        let mut vm = crate::Vm::new();
+        let err = vm.compile_program(&ctx, &parsed.app).unwrap_err();
+        assert!(matches!(err, CompileError::OpenProgram(v) if v.starts_with("nosuch")));
+    }
+
+    #[test]
+    fn prim_as_value_rejected() {
+        let err = compile("(halt +)").unwrap_err();
+        assert!(matches!(err, CompileError::PrimAsValue(p) if p == "+"));
+    }
+
+    #[test]
+    fn const_pool_deduplicates() {
+        let (code, block) = compile("(+ 7 7 cont(e)(halt 7) cont(t)(halt 7))").unwrap();
+        let b = code.block(block);
+        assert_eq!(b.consts.iter().filter(|c| **c == SVal::Int(7)).count(), 1);
+    }
+
+    #[test]
+    fn unknown_prim_without_convention_rejected() {
+        // `raise` misused with two args hits the arity check.
+        let err = compile("(raise 1 2)").unwrap_err();
+        assert!(matches!(err, CompileError::BadShape(_)));
+    }
+
+    #[test]
+    fn switch_with_default_compiles() {
+        let (code, block) = compile(
+            "(== 2 1 2 cont() (halt 10) cont() (halt 20) cont() (halt 99))",
+        )
+        .unwrap();
+        let b = code.block(block);
+        let sw = b
+            .instrs
+            .iter()
+            .find(|i| matches!(i, Instr::Switch { .. }))
+            .unwrap();
+        let Instr::Switch { tags, targets, default, .. } = sw else {
+            panic!()
+        };
+        assert_eq!(tags.len(), 2);
+        assert_eq!(targets.len(), 2);
+        assert!(default.is_some());
+    }
+}

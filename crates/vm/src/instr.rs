@@ -1,0 +1,574 @@
+//! The bytecode instruction set and code table.
+//!
+//! Blocks are straight-line instruction vectors with intra-block jump
+//! targets (inline continuations compile to labels). All control transfer
+//! is tail transfer: `Call`, `Halt`, `Raise` and the branch instructions
+//! never return.
+
+use tml_store::SVal;
+
+/// An operand source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// A frame slot of the current activation.
+    Slot(u16),
+    /// A captured environment slot of the current closure.
+    Env(u16),
+    /// A literal from the block's constant pool.
+    Const(u16),
+}
+
+/// A capture operand of a [`Instr::CloseGroup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupCap {
+    /// An ordinary operand from the creating activation.
+    Ext(Src),
+    /// The `j`-th closure of the group itself (mutual recursion).
+    Member(u16),
+}
+
+/// Where a primitive's continuation goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContRef {
+    /// An inline continuation: jump to `target` (the result, if any, has
+    /// already been written to the instruction's `dst`).
+    Label(u32),
+    /// A continuation value: invoke it with the produced values.
+    Closure(Src),
+}
+
+/// Integer/real arithmetic operators (two value operands, may fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+}
+
+/// Comparison operators (two-way branch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    FLt,
+    FLe,
+    FEq,
+}
+
+/// Bit operators (two value operands, never fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BitOp {
+    Shl,
+    Shr,
+    And,
+    Or,
+    Xor,
+}
+
+/// Unary conversions (never fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ConvOp {
+    CharToInt,
+    IntToChar,
+    IntToReal,
+    RealToInt,
+    FSqrt,
+}
+
+/// Allocation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// Mutable object array from listed elements (`array`).
+    Array,
+    /// Immutable object array from listed elements (`vector`).
+    Vector,
+    /// Mutable object array of `args[0]` slots initialized to `args[1]`
+    /// (`new`).
+    New,
+    /// Byte array of `args[0]` bytes initialized to `args[1]` (`bnew`).
+    BNew,
+}
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `frame[dst] = src`.
+    Mov {
+        /// Destination slot.
+        dst: u16,
+        /// Source operand.
+        src: Src,
+    },
+    /// Create a closure over `code` capturing `captures`.
+    Close {
+        /// Destination slot.
+        dst: u16,
+        /// Code block of the closure.
+        code: u32,
+        /// Captured operands, in the block's environment order.
+        captures: Box<[Src]>,
+    },
+    /// Create a group of mutually recursive closures (the `Y` combinator).
+    /// The machine materializes the group as *persistent* store closures
+    /// and backpatches [`GroupCap::Member`] references.
+    CloseGroup {
+        /// Destination slots, one per closure.
+        dsts: Box<[u16]>,
+        /// `(code block, captures)` per closure.
+        parts: Box<[(u32, Box<[GroupCap]>)]>,
+    },
+    /// Arithmetic: `frame[dst] = a ⊕ b`, or divert to `on_err` with an
+    /// exception value on overflow / division by zero.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Destination slot for the result (success path) — the exception
+        /// value is also written here when `on_err` is a label.
+        dst: u16,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Exception continuation.
+        on_err: ContRef,
+        /// Normal continuation.
+        on_ok: ContRef,
+    },
+    /// Two-way comparison branch.
+    Branch {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Taken when the comparison holds.
+        then_: ContRef,
+        /// Taken otherwise.
+        else_: ContRef,
+    },
+    /// Bit operation (cannot fail): result to `dst`, continue with `on_ok`.
+    Bit {
+        /// Operator.
+        op: BitOp,
+        /// Destination slot.
+        dst: u16,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Continuation.
+        on_ok: ContRef,
+    },
+    /// Unary conversion: result to `dst`, continue with `on_ok`.
+    Conv {
+        /// Operator.
+        op: ConvOp,
+        /// Destination slot.
+        dst: u16,
+        /// Operand.
+        a: Src,
+        /// Continuation.
+        on_ok: ContRef,
+    },
+    /// Dispatch on a reified boolean.
+    BTest {
+        /// The boolean operand.
+        a: Src,
+        /// Taken on `true`.
+        then_: ContRef,
+        /// Taken on `false`.
+        else_: ContRef,
+    },
+    /// `==` case analysis on object identity.
+    Switch {
+        /// Scrutinee.
+        scrut: Src,
+        /// Case tags.
+        tags: Box<[Src]>,
+        /// Branch per tag.
+        targets: Box<[ContRef]>,
+        /// Optional else branch; a missing else on no match traps.
+        default: Option<ContRef>,
+    },
+    /// Allocate an object; reference to `dst`, continue with `on_ok`.
+    Alloc {
+        /// What to allocate.
+        kind: AllocKind,
+        /// Destination slot.
+        dst: u16,
+        /// Element/size operands.
+        args: Box<[Src]>,
+        /// Continuation.
+        on_ok: ContRef,
+    },
+    /// Indexed load (`[]` / `b[]`).
+    Idx {
+        /// `true` for byte arrays.
+        byte: bool,
+        /// Destination slot.
+        dst: u16,
+        /// The array reference.
+        arr: Src,
+        /// The index.
+        index: Src,
+        /// Exception continuation (bounds).
+        on_err: ContRef,
+        /// Normal continuation.
+        on_ok: ContRef,
+    },
+    /// Indexed store (`[:=]` / `b[:=]`).
+    IdxSet {
+        /// `true` for byte arrays.
+        byte: bool,
+        /// Slot receiving the unit result (or the exception value).
+        dst: u16,
+        /// The array reference.
+        arr: Src,
+        /// The index.
+        index: Src,
+        /// The stored value.
+        value: Src,
+        /// Exception continuation (bounds / immutability).
+        on_err: ContRef,
+        /// Normal continuation.
+        on_ok: ContRef,
+    },
+    /// `size` of an array / byte array / relation.
+    Size {
+        /// Destination slot.
+        dst: u16,
+        /// The object reference.
+        arr: Src,
+        /// Continuation.
+        on_ok: ContRef,
+    },
+    /// Block move between arrays (`move` / `bmove`):
+    /// `dst_arr[dst_off..dst_off+len] = src_arr[src_off..src_off+len]`.
+    MoveBlk {
+        /// `true` for byte arrays.
+        byte: bool,
+        /// Slot receiving the unit result (or the exception value).
+        dst: u16,
+        /// `[dst_arr, dst_off, src_arr, src_off, len]`.
+        args: Box<[Src; 5]>,
+        /// Exception continuation.
+        on_err: ContRef,
+        /// Normal continuation.
+        on_ok: ContRef,
+    },
+    /// Call an extension primitive registered in the
+    /// [`crate::host::ExternTable`] (also used for `ccall`).
+    Extern {
+        /// Index into the block's extern-name pool.
+        name: u16,
+        /// Destination slot for the result (or exception value).
+        dst: u16,
+        /// Value operands.
+        args: Box<[Src]>,
+        /// Exception continuation.
+        on_err: ContRef,
+        /// Normal continuation.
+        on_ok: ContRef,
+    },
+    /// Install a new exception handler, continue with `on_ok`.
+    PushHandler {
+        /// The handler continuation (materialized as a closure).
+        handler: Src,
+        /// Continuation.
+        on_ok: ContRef,
+    },
+    /// Remove the topmost handler, continue with `on_ok`.
+    PopHandler {
+        /// Continuation.
+        on_ok: ContRef,
+    },
+    /// Raise an exception through the handler stack.
+    Raise {
+        /// The exception value.
+        src: Src,
+    },
+    /// Invoke a closure (tail transfer).
+    Call {
+        /// The closure.
+        target: Src,
+        /// Arguments, copied into the callee's fresh frame.
+        args: Box<[Src]>,
+    },
+    /// Unconditional intra-block jump.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Stop the machine with a result.
+    Halt {
+        /// The result value.
+        src: Src,
+    },
+    /// Append the operand to the machine's output channel (`print`).
+    Print {
+        /// Slot receiving the unit result.
+        dst: u16,
+        /// The printed value.
+        src: Src,
+        /// Continuation (receives unit).
+        on_ok: ContRef,
+    },
+    /// Sentinel terminating a nested native call (see
+    /// [`crate::machine::Machine::call_value`]). `ok` distinguishes the
+    /// normal from the exceptional return path.
+    NativeRet {
+        /// `true` on the normal path.
+        ok: bool,
+    },
+}
+
+impl Instr {
+    /// Approximate encoded size in bytes, used by the E3 code-size
+    /// experiment (1 opcode byte + 3 bytes per operand word).
+    pub fn encoded_size(&self) -> usize {
+        fn cont(c: &ContRef) -> usize {
+            match c {
+                ContRef::Label(_) => 4,
+                ContRef::Closure(_) => 3,
+            }
+        }
+        1 + match self {
+            Instr::Mov { .. } => 5,
+            Instr::Close { captures, .. } => 6 + 3 * captures.len(),
+            Instr::CloseGroup { dsts, parts } => {
+                2 * dsts.len()
+                    + parts
+                        .iter()
+                        .map(|(_, caps)| 4 + 3 * caps.len())
+                        .sum::<usize>()
+            }
+            Instr::Arith { on_err, on_ok, .. } => 8 + cont(on_err) + cont(on_ok),
+            Instr::Branch { then_, else_, .. } => 7 + cont(then_) + cont(else_),
+            Instr::Bit { on_ok, .. } => 8 + cont(on_ok),
+            Instr::Conv { on_ok, .. } => 5 + cont(on_ok),
+            Instr::BTest { then_, else_, .. } => 3 + cont(then_) + cont(else_),
+            Instr::Switch {
+                tags,
+                targets,
+                default,
+                ..
+            } => {
+                3 + 3 * tags.len()
+                    + targets.iter().map(cont).sum::<usize>()
+                    + default.as_ref().map(cont).unwrap_or(0)
+            }
+            Instr::Alloc { args, on_ok, .. } => 3 + 3 * args.len() + cont(on_ok),
+            Instr::Idx { on_err, on_ok, .. } => 8 + cont(on_err) + cont(on_ok),
+            Instr::IdxSet { on_err, on_ok, .. } => 11 + cont(on_err) + cont(on_ok),
+            Instr::Size { on_ok, .. } => 5 + cont(on_ok),
+            Instr::MoveBlk { on_err, on_ok, .. } => 17 + cont(on_err) + cont(on_ok),
+            Instr::Extern {
+                args, on_err, on_ok, ..
+            } => 4 + 3 * args.len() + cont(on_err) + cont(on_ok),
+            Instr::PushHandler { on_ok, .. } => 3 + cont(on_ok),
+            Instr::PopHandler { on_ok } => cont(on_ok),
+            Instr::Raise { .. } => 3,
+            Instr::Call { args, .. } => 3 + 3 * args.len(),
+            Instr::Jump { .. } => 4,
+            Instr::Halt { .. } => 3,
+            Instr::Print { on_ok, .. } => 3 + cont(on_ok),
+            Instr::NativeRet { .. } => 1,
+        }
+    }
+}
+
+/// A compiled code block.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CodeBlock {
+    /// Human-readable label (for diagnostics and disassembly).
+    pub name: String,
+    /// Number of formal parameters (filled by the caller).
+    pub nparams: u16,
+    /// Frame size in slots.
+    pub nslots: u16,
+    /// The instructions.
+    pub instrs: Vec<Instr>,
+    /// Constant pool.
+    pub consts: Vec<SVal>,
+    /// Extern-name pool.
+    pub extern_names: Vec<String>,
+}
+
+impl CodeBlock {
+    /// Approximate encoded byte size of this block (instructions plus
+    /// constant pool), the "executable code size" of experiment E3.
+    pub fn byte_size(&self) -> usize {
+        let pool: usize = self
+            .consts
+            .iter()
+            .map(|c| match c {
+                SVal::Str(s) => 2 + s.len(),
+                _ => 9,
+            })
+            .sum();
+        let names: usize = self.extern_names.iter().map(|n| 2 + n.len()).sum();
+        8 + pool + names + self.instrs.iter().map(Instr::encoded_size).sum::<usize>()
+    }
+}
+
+/// The code table: all compiled blocks of a program/session.
+///
+/// Indices [`NATIVE_OK_BLOCK`] and [`NATIVE_ERR_BLOCK`] are reserved for
+/// the sentinel continuations used by native re-entry
+/// ([`crate::machine::Machine::call_value`]); they are installed by
+/// [`CodeTable::new`].
+#[derive(Debug, Clone)]
+pub struct CodeTable {
+    blocks: Vec<CodeBlock>,
+}
+
+/// The sentinel block terminating a native call's normal path.
+pub const NATIVE_OK_BLOCK: u32 = 0;
+/// The sentinel block terminating a native call's exceptional path.
+pub const NATIVE_ERR_BLOCK: u32 = 1;
+
+impl Default for CodeTable {
+    fn default() -> Self {
+        CodeTable::new()
+    }
+}
+
+impl CodeTable {
+    /// Create a table holding only the two native-return sentinel blocks.
+    pub fn new() -> CodeTable {
+        let mut t = CodeTable { blocks: Vec::new() };
+        t.push(CodeBlock {
+            name: "<native-ok>".into(),
+            nparams: 1,
+            nslots: 1,
+            instrs: vec![Instr::NativeRet { ok: true }],
+            consts: Vec::new(),
+            extern_names: Vec::new(),
+        });
+        t.push(CodeBlock {
+            name: "<native-err>".into(),
+            nparams: 1,
+            nslots: 1,
+            instrs: vec![Instr::NativeRet { ok: false }],
+            consts: Vec::new(),
+            extern_names: Vec::new(),
+        });
+        t
+    }
+
+    /// Drop blocks past `len` (rollback of an abandoned compilation
+    /// attempt; only blocks no instruction references may be dropped).
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.blocks.truncate(len);
+    }
+
+    /// Add a block; returns its index.
+    pub fn push(&mut self, block: CodeBlock) -> u32 {
+        self.blocks.push(block);
+        self.blocks.len() as u32 - 1
+    }
+
+    /// Fetch a block.
+    pub fn block(&self, ix: u32) -> &CodeBlock {
+        &self.blocks[ix as usize]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when no block was compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total approximate encoded size of all blocks.
+    pub fn byte_size(&self) -> usize {
+        self.blocks.iter().map(CodeBlock::byte_size).sum()
+    }
+
+    /// Iterate over `(index, block)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &CodeBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as u32, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_table_push_and_fetch() {
+        let mut t = CodeTable::new();
+        let base = t.len();
+        let a = t.push(CodeBlock {
+            name: "a".into(),
+            ..Default::default()
+        });
+        let b = t.push(CodeBlock {
+            name: "b".into(),
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+        assert_eq!(t.block(b).name, "b");
+        assert_eq!(t.len(), base + 2);
+    }
+
+    #[test]
+    fn native_sentinels_installed() {
+        let t = CodeTable::new();
+        assert!(matches!(
+            t.block(NATIVE_OK_BLOCK).instrs[0],
+            Instr::NativeRet { ok: true }
+        ));
+        assert!(matches!(
+            t.block(NATIVE_ERR_BLOCK).instrs[0],
+            Instr::NativeRet { ok: false }
+        ));
+    }
+
+    #[test]
+    fn encoded_sizes_positive_and_scale() {
+        let mov = Instr::Mov {
+            dst: 0,
+            src: Src::Slot(1),
+        };
+        let call2 = Instr::Call {
+            target: Src::Slot(0),
+            args: vec![Src::Slot(1), Src::Slot(2)].into_boxed_slice(),
+        };
+        let call0 = Instr::Call {
+            target: Src::Slot(0),
+            args: Box::new([]),
+        };
+        assert!(mov.encoded_size() > 0);
+        assert!(call2.encoded_size() > call0.encoded_size());
+    }
+
+    #[test]
+    fn block_size_includes_pool() {
+        let empty = CodeBlock::default();
+        let mut with_pool = CodeBlock::default();
+        with_pool.consts.push(SVal::Str("hello world".into()));
+        assert!(with_pool.byte_size() > empty.byte_size());
+    }
+}

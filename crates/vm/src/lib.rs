@@ -1,0 +1,93 @@
+//! # tml-vm — the Tycoon abstract machine
+//!
+//! The paper's back end generates code for "efficient (stack based)
+//! procedure calls … on stock hardware"; the measurable effect of its
+//! optimizations, however, is architecture-independent: dynamic (link- or
+//! run-time) optimization more than doubles execution speed because calls
+//! through dynamically bound library procedures are inlined away. This
+//! crate reproduces that cost structure with a **CPS bytecode machine**:
+//!
+//! * every TML abstraction compiles to a [`instr::CodeBlock`];
+//! * continuation abstractions appearing inline in primitive calls and
+//!   direct applications are compiled *into the enclosing block* (no
+//!   closure, no call) — so when the optimizer inlines a library procedure
+//!   and the reduction rules fuse its body into the caller, whole
+//!   call/closure chains disappear from the generated code;
+//! * abstractions used as values become heap closures; calls through
+//!   variables become closure transfers ([`instr::Instr::Call`]);
+//! * since TML is CPS, there is no call stack: the machine state is a
+//!   single frame, an environment, and the exception-handler stack.
+//!
+//! The machine counts instructions, calls and closure allocations
+//! deterministically ([`machine::ExecStats`]) — the metric the benchmark
+//! harness reports alongside wall-clock time.
+//!
+//! Extension primitives (e.g. the query primitives of `tml-query`) execute
+//! through the [`host::ExternFn`] interface, which can re-enter the machine
+//! to evaluate TML closures (query predicates, target expressions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod disasm;
+pub mod host;
+pub mod instr;
+pub mod machine;
+pub mod rval;
+
+pub use compile::{CompileError, CompiledProc, Compiler};
+pub use host::{ExternFn, ExternTable};
+pub use instr::{CodeBlock, CodeTable, Instr};
+pub use machine::{ExecStats, Machine, Outcome, VmError};
+pub use rval::RVal;
+
+use tml_core::term::{Abs, App};
+use tml_core::Ctx;
+use tml_store::Store;
+
+/// A convenience façade bundling a code table and extern registry.
+#[derive(Default)]
+pub struct Vm {
+    /// Compiled code blocks.
+    pub code: CodeTable,
+    /// Extension primitives.
+    pub externs: ExternTable,
+}
+
+impl Vm {
+    /// Create an empty VM.
+    pub fn new() -> Vm {
+        Vm::default()
+    }
+
+    /// Compile a closed program (top-level application) to a code block.
+    pub fn compile_program(&mut self, ctx: &Ctx, app: &App) -> Result<u32, CompileError> {
+        let abs = Abs {
+            params: Vec::new(),
+            body: app.clone(),
+        };
+        let compiled = Compiler::new(ctx, &mut self.code).compile_proc(&abs)?;
+        if let Some(free) = compiled.captures.first() {
+            return Err(CompileError::OpenProgram(ctx.names.display(*free)));
+        }
+        Ok(compiled.block)
+    }
+
+    /// Compile a procedure; its free variables become the closure captures
+    /// (in the returned order).
+    pub fn compile_proc(&mut self, ctx: &Ctx, abs: &Abs) -> Result<CompiledProc, CompileError> {
+        Compiler::new(ctx, &mut self.code).compile_proc(abs)
+    }
+
+    /// Run a compiled program to completion.
+    pub fn run_program(
+        &self,
+        store: &mut Store,
+        block: u32,
+        fuel: u64,
+    ) -> Result<Outcome, VmError> {
+        let mut m = Machine::new(&self.code, &self.externs, store, fuel);
+        m.run(block, Vec::new(), Vec::new())
+    }
+}

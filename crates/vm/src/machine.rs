@@ -1,0 +1,1231 @@
+//! The CPS abstract machine.
+//!
+//! Machine state is a single activation (frame + environment), the
+//! exception-handler stack and the store; all control transfer is tail
+//! transfer. Execution statistics (instructions, calls, closure
+//! allocations) are deterministic and serve as the primary benchmark
+//! metric alongside wall-clock time.
+
+use crate::host::{ExternTable, HostCtx};
+use crate::instr::{
+    AllocKind, ArithOp, BitOp, CmpOp, CodeTable, ContRef, ConvOp, GroupCap, Instr, Src,
+    NATIVE_ERR_BLOCK, NATIVE_OK_BLOCK,
+};
+use crate::rval::{RVal, TransientClosure};
+use std::rc::Rc;
+use tml_core::prims_std::{ERR_BOUNDS, ERR_NO_CCALL, ERR_OVERFLOW, ERR_TYPE, ERR_ZERO_DIVIDE};
+use tml_core::Oid;
+use tml_store::{ClosureObj, Object, SVal, Store, StoreError};
+
+/// Deterministic execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub instrs: u64,
+    /// Closure transfers (`Call` and continuation invocations).
+    pub calls: u64,
+    /// Closures allocated (transient and persistent).
+    pub closures: u64,
+    /// Exceptions raised (explicitly or by failing primitives).
+    pub exceptions: u64,
+}
+
+/// A finished execution.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The `halt` value.
+    pub result: RVal,
+    /// Counters.
+    pub stats: ExecStats,
+    /// Lines produced by the `print` primitive.
+    pub output: Vec<String>,
+}
+
+/// Machine errors (distinct from TML-level exceptions, which flow through
+/// exception continuations and handlers).
+#[derive(Debug, Clone)]
+pub enum VmError {
+    /// `raise` with an empty handler stack.
+    Unhandled(RVal),
+    /// A dynamic type error or malformed transfer (ill-typed input).
+    Trap(String),
+    /// The fuel budget was exhausted.
+    OutOfFuel,
+    /// A store operation failed structurally.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Unhandled(v) => write!(f, "unhandled exception: {v:?}"),
+            VmError::Trap(m) => write!(f, "machine trap: {m}"),
+            VmError::OutOfFuel => write!(f, "fuel exhausted"),
+            VmError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<StoreError> for VmError {
+    fn from(e: StoreError) -> Self {
+        VmError::Store(e)
+    }
+}
+
+enum Flow {
+    /// Keep stepping (pc already updated).
+    Next,
+    /// `halt` executed.
+    Done(RVal),
+    /// A `NativeRet` sentinel executed (nested call finished).
+    Native { ok: bool, value: RVal },
+}
+
+/// The machine.
+pub struct Machine<'a> {
+    code: &'a CodeTable,
+    externs: &'a ExternTable,
+    store: &'a mut Store,
+    frame: Vec<RVal>,
+    env: Vec<RVal>,
+    handlers: Vec<RVal>,
+    block: u32,
+    pc: u32,
+    fuel: u64,
+    /// Counters (public so harnesses can read incrementally).
+    pub stats: ExecStats,
+    output: Vec<String>,
+}
+
+impl<'a> Machine<'a> {
+    /// Create a machine with a fuel budget (instructions).
+    pub fn new(
+        code: &'a CodeTable,
+        externs: &'a ExternTable,
+        store: &'a mut Store,
+        fuel: u64,
+    ) -> Self {
+        Machine {
+            code,
+            externs,
+            store,
+            frame: Vec::new(),
+            env: Vec::new(),
+            handlers: Vec::new(),
+            block: 0,
+            pc: 0,
+            fuel,
+            stats: ExecStats::default(),
+            output: Vec::new(),
+        }
+    }
+
+    /// Run `block` with the given environment and arguments until `halt`.
+    pub fn run(&mut self, block: u32, env: Vec<RVal>, args: Vec<RVal>) -> Result<Outcome, VmError> {
+        self.enter(block, env, args)?;
+        loop {
+            match self.step()? {
+                Flow::Next => {}
+                Flow::Done(result) => {
+                    return Ok(Outcome {
+                        result,
+                        stats: self.stats,
+                        output: std::mem::take(&mut self.output),
+                    })
+                }
+                Flow::Native { .. } => {
+                    return Err(VmError::Trap("stray native return sentinel".into()))
+                }
+            }
+        }
+    }
+
+    /// Call a TML procedure value from native code: the machine pushes
+    /// native-return continuations `(… cₑ c꜀)` and runs until one fires.
+    /// `Ok` carries the normal result, `Err` the exception value. Used by
+    /// extension primitives (query predicates) and by embedding crates.
+    pub fn call_value(&mut self, target: RVal, mut args: Vec<RVal>) -> Result<RVal, RVal> {
+        let saved_block = self.block;
+        let saved_pc = self.pc;
+        let saved_frame = std::mem::take(&mut self.frame);
+        let saved_env = std::mem::take(&mut self.env);
+
+        args.push(RVal::Clo(Rc::new(TransientClosure {
+            code: NATIVE_ERR_BLOCK,
+            env: Vec::new(),
+        })));
+        args.push(RVal::Clo(Rc::new(TransientClosure {
+            code: NATIVE_OK_BLOCK,
+            env: Vec::new(),
+        })));
+
+        let result = (|| -> Result<Result<RVal, RVal>, VmError> {
+            self.invoke(target, args)?;
+            loop {
+                match self.step()? {
+                    Flow::Next => {}
+                    Flow::Done(_) => {
+                        return Err(VmError::Trap(
+                            "halt during nested native call".into(),
+                        ))
+                    }
+                    Flow::Native { ok, value } => {
+                        return Ok(if ok { Ok(value) } else { Err(value) })
+                    }
+                }
+            }
+        })();
+
+        self.block = saved_block;
+        self.pc = saved_pc;
+        self.frame = saved_frame;
+        self.env = saved_env;
+
+        match result {
+            Ok(r) => r,
+            // Machine-level failures surface as TML exceptions to the
+            // caller's exception continuation.
+            Err(e) => Err(RVal::Str(format!("vm:{e}").into())),
+        }
+    }
+
+    /// Machine output lines so far.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    fn enter(&mut self, block: u32, env: Vec<RVal>, args: Vec<RVal>) -> Result<(), VmError> {
+        let blk = self.code.block(block);
+        if args.len() != blk.nparams as usize {
+            return Err(VmError::Trap(format!(
+                "block {} expects {} argument(s), got {}",
+                blk.name,
+                blk.nparams,
+                args.len()
+            )));
+        }
+        let mut frame = vec![RVal::Unit; blk.nslots as usize];
+        for (i, a) in args.into_iter().enumerate() {
+            frame[i] = a;
+        }
+        self.frame = frame;
+        self.env = env;
+        self.block = block;
+        self.pc = 0;
+        Ok(())
+    }
+
+    fn resolve(&self, src: Src) -> RVal {
+        match src {
+            Src::Slot(i) => self.frame[i as usize].clone(),
+            Src::Env(i) => self.env[i as usize].clone(),
+            Src::Const(i) => RVal::from_sval(&self.code.block(self.block).consts[i as usize]),
+        }
+    }
+
+    fn invoke(&mut self, target: RVal, args: Vec<RVal>) -> Result<(), VmError> {
+        self.stats.calls += 1;
+        match target {
+            RVal::Clo(c) => {
+                let env = c.env.clone();
+                self.enter(c.code, env, args)
+            }
+            RVal::Ref(oid) => {
+                let clo = self.store.expect(oid, "closure", |o| match o {
+                    Object::Closure(c) => Some(c.clone()),
+                    _ => None,
+                })?;
+                let env = clo.env.iter().map(RVal::from_sval).collect();
+                self.enter(clo.code, env, args)
+            }
+            other => Err(VmError::Trap(format!(
+                "call of non-procedure value of kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Continue on a value-producing path: write `value` to `dst` and
+    /// transfer to `cont` (labels expect the value in `dst`; closures
+    /// receive it as their argument).
+    fn continue_value(&mut self, cont: &ContRef, dst: u16, value: RVal) -> Result<Flow, VmError> {
+        match cont {
+            ContRef::Label(l) => {
+                self.frame[dst as usize] = value;
+                self.pc = *l;
+                Ok(Flow::Next)
+            }
+            ContRef::Closure(src) => {
+                let target = self.resolve(*src);
+                self.invoke(target, vec![value])?;
+                Ok(Flow::Next)
+            }
+        }
+    }
+
+    /// Continue on a branch path (no value).
+    fn continue_branch(&mut self, cont: &ContRef) -> Result<Flow, VmError> {
+        match cont {
+            ContRef::Label(l) => {
+                self.pc = *l;
+                Ok(Flow::Next)
+            }
+            ContRef::Closure(src) => {
+                let target = self.resolve(*src);
+                self.invoke(target, Vec::new())?;
+                Ok(Flow::Next)
+            }
+        }
+    }
+
+    fn exception(
+        &mut self,
+        on_err: &ContRef,
+        dst: u16,
+        value: RVal,
+    ) -> Result<Flow, VmError> {
+        self.stats.exceptions += 1;
+        self.continue_value(on_err, dst, value)
+    }
+
+    fn step(&mut self) -> Result<Flow, VmError> {
+        if self.fuel == 0 {
+            return Err(VmError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        self.stats.instrs += 1;
+
+        let code = self.code;
+        let blk = code.block(self.block);
+        let Some(instr) = blk.instrs.get(self.pc as usize) else {
+            return Err(VmError::Trap(format!(
+                "pc {} past end of block {}",
+                self.pc, blk.name
+            )));
+        };
+        // `instr` borrows from `code`, not `self`; state mutation is free.
+        match instr {
+            Instr::Mov { dst, src } => {
+                let v = self.resolve(*src);
+                self.frame[*dst as usize] = v;
+                self.pc += 1;
+                Ok(Flow::Next)
+            }
+            Instr::Close {
+                dst,
+                code: cblock,
+                captures,
+            } => {
+                let env = captures.iter().map(|s| self.resolve(*s)).collect();
+                self.stats.closures += 1;
+                self.frame[*dst as usize] = RVal::Clo(Rc::new(TransientClosure {
+                    code: *cblock,
+                    env,
+                }));
+                self.pc += 1;
+                Ok(Flow::Next)
+            }
+            Instr::CloseGroup { dsts, parts } => {
+                // Phase 1: allocate persistent closures with placeholders.
+                let mut oids: Vec<Oid> = Vec::with_capacity(parts.len());
+                for (cblock, caps) in parts.iter() {
+                    let mut env = Vec::with_capacity(caps.len());
+                    for cap in caps.iter() {
+                        match cap {
+                            GroupCap::Ext(src) => {
+                                let v = self.resolve(*src);
+                                env.push(v.persist(self.store)?);
+                            }
+                            GroupCap::Member(_) => env.push(SVal::Ref(Oid::NULL)),
+                        }
+                    }
+                    self.stats.closures += 1;
+                    oids.push(self.store.alloc(Object::Closure(ClosureObj {
+                        code: *cblock,
+                        env,
+                        bindings: Vec::new(),
+                        ptml: None,
+                    })));
+                }
+                // Phase 2: backpatch mutual references.
+                for (i, (_, caps)) in parts.iter().enumerate() {
+                    for (pos, cap) in caps.iter().enumerate() {
+                        if let GroupCap::Member(j) = cap {
+                            let target = oids[*j as usize];
+                            let obj = self.store.get_mut(oids[i])?;
+                            if let Object::Closure(c) = obj {
+                                c.env[pos] = SVal::Ref(target);
+                            }
+                        }
+                    }
+                }
+                for (dst, oid) in dsts.iter().zip(&oids) {
+                    self.frame[*dst as usize] = RVal::Ref(*oid);
+                }
+                self.pc += 1;
+                Ok(Flow::Next)
+            }
+            Instr::Arith {
+                op,
+                dst,
+                a,
+                b,
+                on_err,
+                on_ok,
+            } => {
+                let x = self.resolve(*a);
+                let y = self.resolve(*b);
+                match arith(*op, &x, &y) {
+                    Ok(v) => self.continue_value(on_ok, *dst, v),
+                    Err(e) => self.exception(on_err, *dst, e),
+                }
+            }
+            Instr::Branch {
+                op,
+                a,
+                b,
+                then_,
+                else_,
+            } => {
+                let x = self.resolve(*a);
+                let y = self.resolve(*b);
+                match compare(*op, &x, &y) {
+                    Ok(true) => self.continue_branch(then_),
+                    Ok(false) => self.continue_branch(else_),
+                    Err(m) => Err(VmError::Trap(m)),
+                }
+            }
+            Instr::Bit { op, dst, a, b, on_ok } => {
+                let x = self.resolve(*a);
+                let y = self.resolve(*b);
+                match (x.as_int(), y.as_int()) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            BitOp::Shl => x.wrapping_shl(y as u32 & 63),
+                            BitOp::Shr => x.wrapping_shr(y as u32 & 63),
+                            BitOp::And => x & y,
+                            BitOp::Or => x | y,
+                            BitOp::Xor => x ^ y,
+                        };
+                        self.continue_value(on_ok, *dst, RVal::Int(r))
+                    }
+                    _ => Err(VmError::Trap("bit operation on non-integers".into())),
+                }
+            }
+            Instr::Conv { op, dst, a, on_ok } => {
+                let x = self.resolve(*a);
+                let v = match (op, &x) {
+                    (ConvOp::CharToInt, RVal::Char(c)) => RVal::Int(i64::from(*c)),
+                    (ConvOp::IntToChar, RVal::Int(n)) => RVal::Char(*n as u8),
+                    (ConvOp::IntToReal, RVal::Int(n)) => RVal::Real(*n as f64),
+                    (ConvOp::RealToInt, RVal::Real(x)) => RVal::Int(x.trunc() as i64),
+                    (ConvOp::FSqrt, RVal::Real(x)) => RVal::Real(x.sqrt()),
+                    _ => {
+                        return Err(VmError::Trap(format!(
+                            "conversion {op:?} on {}",
+                            x.kind()
+                        )))
+                    }
+                };
+                self.continue_value(on_ok, *dst, v)
+            }
+            Instr::BTest { a, then_, else_ } => match self.resolve(*a) {
+                RVal::Bool(true) => self.continue_branch(then_),
+                RVal::Bool(false) => self.continue_branch(else_),
+                other => Err(VmError::Trap(format!("btest on {}", other.kind()))),
+            },
+            Instr::Switch {
+                scrut,
+                tags,
+                targets,
+                default,
+            } => {
+                let v = self.resolve(*scrut);
+                for (tag, target) in tags.iter().zip(targets.iter()) {
+                    let t = self.resolve(*tag);
+                    if v.identical(&t) {
+                        return self.continue_branch(target);
+                    }
+                }
+                match default {
+                    Some(d) => self.continue_branch(d),
+                    None => Err(VmError::Trap("case analysis fell through".into())),
+                }
+            }
+            Instr::Alloc { kind, dst, args, on_ok } => {
+                let obj = match kind {
+                    AllocKind::Array | AllocKind::Vector => {
+                        let mut slots = Vec::with_capacity(args.len());
+                        for a in args.iter() {
+                            let v = self.resolve(*a);
+                            slots.push(v.persist(self.store)?);
+                        }
+                        if matches!(kind, AllocKind::Array) {
+                            Object::Array(slots)
+                        } else {
+                            Object::Vector(slots)
+                        }
+                    }
+                    AllocKind::New => {
+                        let count = self
+                            .resolve(args[0])
+                            .as_int()
+                            .ok_or_else(|| VmError::Trap("new: non-integer size".into()))?;
+                        let count = usize::try_from(count)
+                            .map_err(|_| VmError::Trap("new: negative size".into()))?;
+                        let init = self.resolve(args[1]).persist(self.store)?;
+                        Object::Array(vec![init; count])
+                    }
+                    AllocKind::BNew => {
+                        let count = self
+                            .resolve(args[0])
+                            .as_int()
+                            .ok_or_else(|| VmError::Trap("bnew: non-integer size".into()))?;
+                        let count = usize::try_from(count)
+                            .map_err(|_| VmError::Trap("bnew: negative size".into()))?;
+                        let init = match self.resolve(args[1]) {
+                            RVal::Char(c) => c,
+                            RVal::Int(n) => n as u8,
+                            other => {
+                                return Err(VmError::Trap(format!(
+                                    "bnew: bad fill of kind {}",
+                                    other.kind()
+                                )))
+                            }
+                        };
+                        Object::ByteArray(vec![init; count])
+                    }
+                };
+                let oid = self.store.alloc(obj);
+                self.continue_value(on_ok, *dst, RVal::Ref(oid))
+            }
+            Instr::Idx {
+                byte,
+                dst,
+                arr,
+                index,
+                on_err,
+                on_ok,
+            } => {
+                let (oid, i) = match (self.resolve(*arr), self.resolve(*index)) {
+                    (RVal::Ref(o), RVal::Int(i)) => (o, i),
+                    (a, b) => {
+                        return Err(VmError::Trap(format!(
+                            "index load on {} with {}",
+                            a.kind(),
+                            b.kind()
+                        )))
+                    }
+                };
+                let loaded = if *byte {
+                    self.store.bytes_get(oid, i).map(RVal::Char)
+                } else {
+                    self.store.array_get(oid, i).map(|v| RVal::from_sval(&v))
+                };
+                match loaded {
+                    Ok(v) => self.continue_value(on_ok, *dst, v),
+                    Err(StoreError::Bounds { .. }) => {
+                        self.exception(on_err, *dst, RVal::Str(ERR_BOUNDS.into()))
+                    }
+                    Err(e) => Err(e.into()),
+                }
+            }
+            Instr::IdxSet {
+                byte,
+                dst,
+                arr,
+                index,
+                value,
+                on_err,
+                on_ok,
+            } => {
+                let (oid, i) = match (self.resolve(*arr), self.resolve(*index)) {
+                    (RVal::Ref(o), RVal::Int(i)) => (o, i),
+                    (a, b) => {
+                        return Err(VmError::Trap(format!(
+                            "index store on {} with {}",
+                            a.kind(),
+                            b.kind()
+                        )))
+                    }
+                };
+                let v = self.resolve(*value);
+                let stored = if *byte {
+                    let byte_val = match v {
+                        RVal::Char(c) => c,
+                        RVal::Int(n) => n as u8,
+                        other => {
+                            return Err(VmError::Trap(format!(
+                                "byte store of {}",
+                                other.kind()
+                            )))
+                        }
+                    };
+                    self.store.bytes_set(oid, i, byte_val)
+                } else {
+                    let sval = v.persist(self.store)?;
+                    self.store.array_set(oid, i, sval)
+                };
+                match stored {
+                    Ok(()) => self.continue_value(on_ok, *dst, RVal::Unit),
+                    Err(StoreError::Bounds { .. }) => {
+                        self.exception(on_err, *dst, RVal::Str(ERR_BOUNDS.into()))
+                    }
+                    Err(StoreError::Immutable(_)) => {
+                        self.exception(on_err, *dst, RVal::Str(ERR_TYPE.into()))
+                    }
+                    Err(e) => Err(e.into()),
+                }
+            }
+            Instr::Size { dst, arr, on_ok } => {
+                let oid = match self.resolve(*arr) {
+                    RVal::Ref(o) => o,
+                    other => {
+                        return Err(VmError::Trap(format!("size of {}", other.kind())))
+                    }
+                };
+                let n = self.store.size_of(oid)?;
+                self.continue_value(on_ok, *dst, RVal::Int(n as i64))
+            }
+            Instr::MoveBlk {
+                byte,
+                dst,
+                args,
+                on_err,
+                on_ok,
+            } => {
+                let vals: Vec<RVal> = args.iter().map(|s| self.resolve(*s)).collect();
+                match self.move_block(*byte, &vals) {
+                    Ok(_) => self.continue_value(on_ok, *dst, RVal::Unit),
+                    Err(e) => self.exception(on_err, *dst, e),
+                }
+            }
+            Instr::Extern {
+                name,
+                dst,
+                args,
+                on_err,
+                on_ok,
+            } => {
+                let fname = blk.extern_names[*name as usize].clone();
+                let vals: Vec<RVal> = args.iter().map(|s| self.resolve(*s)).collect();
+                let Some(f) = self.externs.lookup(&fname) else {
+                    return self.exception(
+                        on_err,
+                        *dst,
+                        RVal::Str(format!("{ERR_NO_CCALL}:{fname}").into()),
+                    );
+                };
+                match f(self, &vals) {
+                    Ok(v) => self.continue_value(on_ok, *dst, v),
+                    Err(e) => self.exception(on_err, *dst, e),
+                }
+            }
+            Instr::PushHandler { handler, on_ok } => {
+                let h = self.resolve(*handler);
+                self.handlers.push(h);
+                self.continue_branch(on_ok)
+            }
+            Instr::PopHandler { on_ok } => {
+                if self.handlers.pop().is_none() {
+                    return Err(VmError::Trap("popHandler on empty handler stack".into()));
+                }
+                self.continue_branch(on_ok)
+            }
+            Instr::Raise { src } => {
+                let v = self.resolve(*src);
+                self.stats.exceptions += 1;
+                match self.handlers.pop() {
+                    Some(h) => {
+                        self.invoke(h, vec![v])?;
+                        Ok(Flow::Next)
+                    }
+                    None => Err(VmError::Unhandled(v)),
+                }
+            }
+            Instr::Call { target, args } => {
+                let t = self.resolve(*target);
+                let a: Vec<RVal> = args.iter().map(|s| self.resolve(*s)).collect();
+                self.invoke(t, a)?;
+                Ok(Flow::Next)
+            }
+            Instr::Jump { target } => {
+                self.pc = *target;
+                Ok(Flow::Next)
+            }
+            Instr::Halt { src } => Ok(Flow::Done(self.resolve(*src))),
+            Instr::Print { dst, src, on_ok } => {
+                let v = self.resolve(*src);
+                self.output.push(format!("{v:?}"));
+                self.continue_value(on_ok, *dst, RVal::Unit)
+            }
+            Instr::NativeRet { ok } => Ok(Flow::Native {
+                ok: *ok,
+                value: self.frame.first().cloned().unwrap_or(RVal::Unit),
+            }),
+        }
+    }
+
+    fn move_block(&mut self, byte: bool, vals: &[RVal]) -> Result<RVal, RVal> {
+        let get_ref = |v: &RVal| v.as_ref_oid_or_err();
+        let get_ix = |v: &RVal| v.as_int().ok_or(RVal::Str(ERR_TYPE.into()));
+        let dst = get_ref(&vals[0])?;
+        let dst_off = get_ix(&vals[1])?;
+        let src = get_ref(&vals[2])?;
+        let src_off = get_ix(&vals[3])?;
+        let len = get_ix(&vals[4])?;
+        let (dst_off, src_off, len) = match (
+            usize::try_from(dst_off),
+            usize::try_from(src_off),
+            usize::try_from(len),
+        ) {
+            (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+            _ => return Err(RVal::Str(ERR_BOUNDS.into())),
+        };
+        let bounds = |r: Result<(), ()>| r.map_err(|_| RVal::Str(ERR_BOUNDS.into()));
+        if byte {
+            let src_bytes = match self.store.get(src) {
+                Ok(Object::ByteArray(b)) => b.clone(),
+                _ => return Err(RVal::Str(ERR_TYPE.into())),
+            };
+            bounds(if src_off + len <= src_bytes.len() { Ok(()) } else { Err(()) })?;
+            match self.store.get_mut(dst) {
+                Ok(Object::ByteArray(d)) => {
+                    bounds(if dst_off + len <= d.len() { Ok(()) } else { Err(()) })?;
+                    d[dst_off..dst_off + len].copy_from_slice(&src_bytes[src_off..src_off + len]);
+                    Ok(RVal::Unit)
+                }
+                _ => Err(RVal::Str(ERR_TYPE.into())),
+            }
+        } else {
+            let src_slots = match self.store.get(src) {
+                Ok(Object::Array(v)) | Ok(Object::Vector(v)) => v.clone(),
+                _ => return Err(RVal::Str(ERR_TYPE.into())),
+            };
+            bounds(if src_off + len <= src_slots.len() { Ok(()) } else { Err(()) })?;
+            match self.store.get_mut(dst) {
+                Ok(Object::Array(d)) => {
+                    bounds(if dst_off + len <= d.len() { Ok(()) } else { Err(()) })?;
+                    d[dst_off..dst_off + len].clone_from_slice(&src_slots[src_off..src_off + len]);
+                    Ok(RVal::Unit)
+                }
+                _ => Err(RVal::Str(ERR_TYPE.into())),
+            }
+        }
+    }
+}
+
+impl RVal {
+    fn as_ref_oid_or_err(&self) -> Result<Oid, RVal> {
+        match self {
+            RVal::Ref(o) => Ok(*o),
+            _ => Err(RVal::Str(ERR_TYPE.into())),
+        }
+    }
+}
+
+impl HostCtx for Machine<'_> {
+    fn store(&mut self) -> &mut Store {
+        self.store
+    }
+
+    fn call(&mut self, target: RVal, args: Vec<RVal>) -> Result<RVal, RVal> {
+        self.call_value(target, args)
+    }
+
+    fn emit(&mut self, line: String) {
+        self.output.push(line);
+    }
+}
+
+fn arith(op: ArithOp, x: &RVal, y: &RVal) -> Result<RVal, RVal> {
+    match op {
+        ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::Div | ArithOp::Mod => {
+            let (a, b) = match (x.as_int(), y.as_int()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(RVal::Str(ERR_TYPE.into())),
+            };
+            let r = match op {
+                ArithOp::Add => a.checked_add(b),
+                ArithOp::Sub => a.checked_sub(b),
+                ArithOp::Mul => a.checked_mul(b),
+                ArithOp::Div => {
+                    if b == 0 {
+                        return Err(RVal::Str(ERR_ZERO_DIVIDE.into()));
+                    }
+                    a.checked_div(b)
+                }
+                ArithOp::Mod => {
+                    if b == 0 {
+                        return Err(RVal::Str(ERR_ZERO_DIVIDE.into()));
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!(),
+            };
+            r.map(RVal::Int).ok_or(RVal::Str(ERR_OVERFLOW.into()))
+        }
+        ArithOp::FAdd | ArithOp::FSub | ArithOp::FMul | ArithOp::FDiv => {
+            let (a, b) = match (x.as_real(), y.as_real()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(RVal::Str(ERR_TYPE.into())),
+            };
+            Ok(RVal::Real(match op {
+                ArithOp::FAdd => a + b,
+                ArithOp::FSub => a - b,
+                ArithOp::FMul => a * b,
+                ArithOp::FDiv => a / b,
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+fn compare(op: CmpOp, x: &RVal, y: &RVal) -> Result<bool, String> {
+    match op {
+        CmpOp::Lt | CmpOp::Gt | CmpOp::Le | CmpOp::Ge | CmpOp::Eq | CmpOp::Ne => {
+            match (x.as_int(), y.as_int()) {
+                (Some(a), Some(b)) => Ok(match op {
+                    CmpOp::Lt => a < b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Ge => a >= b,
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                    _ => unreachable!(),
+                }),
+                // `=`/`<>` extend to object identity on non-integers.
+                _ if matches!(op, CmpOp::Eq) => Ok(x.identical(y)),
+                _ if matches!(op, CmpOp::Ne) => Ok(!x.identical(y)),
+                _ => Err(format!(
+                    "integer comparison of {} and {}",
+                    x.kind(),
+                    y.kind()
+                )),
+            }
+        }
+        CmpOp::FLt | CmpOp::FLe | CmpOp::FEq => match (x.as_real(), y.as_real()) {
+            (Some(a), Some(b)) => Ok(match op {
+                CmpOp::FLt => a < b,
+                CmpOp::FLe => a <= b,
+                _ => a == b,
+            }),
+            _ => Err(format!(
+                "real comparison of {} and {}",
+                x.kind(),
+                y.kind()
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vm;
+    use tml_core::parse::parse_app;
+    use tml_core::Ctx;
+
+    fn run(src: &str) -> Result<Outcome, VmError> {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let mut vm = Vm::new();
+        let block = vm.compile_program(&ctx, &parsed.app).unwrap();
+        let mut store = Store::new();
+        vm.run_program(&mut store, block, 1_000_000)
+    }
+
+    fn run_int(src: &str) -> i64 {
+        match run(src).unwrap().result {
+            RVal::Int(n) => n,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn halt_constant() {
+        assert_eq!(run_int("(halt 42)"), 42);
+    }
+
+    #[test]
+    fn direct_binding() {
+        assert_eq!(run_int("(cont(x) (halt x) 13)"), 13);
+    }
+
+    #[test]
+    fn arithmetic_and_conts() {
+        assert_eq!(
+            run_int("(+ 1 2 cont(e)(halt -1) cont(t) (* t 7 cont(e2)(halt -2) cont(u)(halt u)))"),
+            21
+        );
+    }
+
+    #[test]
+    fn division_by_zero_goes_to_ce() {
+        let out = run("(/ 1 0 cont(e)(halt e) cont(t)(halt t))").unwrap();
+        assert_eq!(out.result, RVal::Str(ERR_ZERO_DIVIDE.into()));
+        assert_eq!(out.stats.exceptions, 1);
+    }
+
+    #[test]
+    fn overflow_goes_to_ce() {
+        let out = run(&format!(
+            "(+ {} 1 cont(e)(halt e) cont(t)(halt t))",
+            i64::MAX
+        ))
+        .unwrap();
+        assert_eq!(out.result, RVal::Str(ERR_OVERFLOW.into()));
+    }
+
+    #[test]
+    fn comparison_branches() {
+        assert_eq!(run_int("(< 1 2 cont()(halt 1) cont()(halt 0))"), 1);
+        assert_eq!(run_int("(>= 1 2 cont()(halt 1) cont()(halt 0))"), 0);
+    }
+
+    #[test]
+    fn procedure_call_through_closure() {
+        let src = "(cont(f) (f 41 cont(e)(halt -1) cont(t)(halt t)) \
+                    proc(x ce cc) (+ x 1 ce cc))";
+        assert_eq!(run_int(src), 42);
+    }
+
+    #[test]
+    fn paper_for_loop_sums() {
+        // for i = 1 upto 10 accumulating in an array slot; result 10 when
+        // the loop exits (the paper's figure computes f(i) per iteration —
+        // here we just count).
+        let src = "(Y proc(^c0 ^for ^c) (c \
+                     cont() (for 1) \
+                     cont(i) (> i 10 \
+                        cont() (halt i) \
+                        cont() (+ i 1 cont(e)(halt -1) cont(t) (for t)))))";
+        assert_eq!(run_int(src), 11);
+    }
+
+    #[test]
+    fn mutual_recursion_via_y() {
+        // even/odd: even(8) = 1
+        let src = "(Y proc(^c0 ^even ^odd ^c) (c \
+            cont() (even 8) \
+            cont(n) (= n 0 cont() (halt 1) cont() (- n 1 cont(e)(halt -1) cont(m) (odd m))) \
+            cont(n) (= n 0 cont() (halt 0) cont() (- n 1 cont(e)(halt -1) cont(m) (even m)))))";
+        assert_eq!(run_int(src), 1);
+    }
+
+    #[test]
+    fn arrays_alloc_get_set() {
+        let src = "(array 10 20 30 cont(a) \
+                     ([:=] a 1 99 cont(e)(halt -1) cont(u) \
+                       ([] a 1 cont(e2)(halt -2) cont(v) (halt v))))";
+        assert_eq!(run_int(src), 99);
+    }
+
+    #[test]
+    fn array_bounds_exception() {
+        let src = "(array 1 cont(a) ([] a 5 cont(e)(halt e) cont(v)(halt v)))";
+        let out = run(src).unwrap();
+        assert_eq!(out.result, RVal::Str(ERR_BOUNDS.into()));
+    }
+
+    #[test]
+    fn vector_immutable() {
+        let src = "(vector 1 cont(a) ([:=] a 0 9 cont(e)(halt e) cont(u)(halt 0)))";
+        let out = run(src).unwrap();
+        assert_eq!(out.result, RVal::Str(ERR_TYPE.into()));
+    }
+
+    #[test]
+    fn byte_arrays() {
+        let src = "(bnew 4 0 cont(a) \
+                     (b[:=] a 2 'x' cont(e)(halt -1) cont(u) \
+                       (b[] a 2 cont(e2)(halt -2) cont(v) \
+                         (char2int v cont(n) (halt n)))))";
+        assert_eq!(run_int(src), 120);
+    }
+
+    #[test]
+    fn size_and_move() {
+        let src = "(array 1 2 3 cont(a) \
+                    (new 3 0 cont(b) \
+                      (move b 0 a 0 3 cont(e)(halt -1) cont(u) \
+                        ([] b 2 cont(e2)(halt -2) cont(v) (halt v)))))";
+        assert_eq!(run_int(src), 3);
+    }
+
+    #[test]
+    fn case_analysis_switch() {
+        let src = "(cont(x) (== x 1 2 3 cont()(halt 10) cont()(halt 20) cont()(halt 30)) 2)";
+        assert_eq!(run_int(src), 20);
+        let with_default =
+            "(cont(x) (== x 1 2 cont()(halt 10) cont()(halt 20) cont()(halt 99)) 7)";
+        assert_eq!(run_int(with_default), 99);
+    }
+
+    #[test]
+    fn handler_stack() {
+        let src = "(pushHandler cont(e) (halt e) cont() (raise 77))";
+        assert_eq!(run_int(src), 77);
+    }
+
+    #[test]
+    fn unhandled_raise_errors() {
+        match run("(raise 5)") {
+            Err(VmError::Unhandled(RVal::Int(5))) => {}
+            other => panic!("expected unhandled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pop_handler_restores_outer() {
+        let src = "(pushHandler cont(e) (halt 1) cont() \
+                     (pushHandler cont(e2) (halt 2) cont() \
+                       (popHandler cont() (raise 0))))";
+        assert_eq!(run_int(src), 1);
+    }
+
+    #[test]
+    fn real_arithmetic_and_sqrt() {
+        let src = "(f* 3.0 4.0 cont(e)(halt -1) cont(a) \
+                     (f+ a 13.0 cont(e2)(halt -2) cont(b) \
+                       (fsqrt b cont(e3)(halt -3) cont(r) \
+                         (r2i r cont(n) (halt n)))))";
+        assert_eq!(run_int(src), 5);
+    }
+
+    #[test]
+    fn print_collects_output() {
+        let src = "(print 7 cont(u) (print \"hi\" cont(u2) (halt 0)))";
+        let out = run(src).unwrap();
+        assert_eq!(out.output, vec!["7", "\"hi\""]);
+    }
+
+    #[test]
+    fn fuel_limit_enforced() {
+        let src = "(Y proc(^c0 ^f ^c) (c cont() (f 0) cont(i) (f i)))";
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let mut vm = Vm::new();
+        let block = vm.compile_program(&ctx, &parsed.app).unwrap();
+        let mut store = Store::new();
+        match vm.run_program(&mut store, block, 10_000) {
+            Err(VmError::OutOfFuel) => {}
+            other => panic!("expected out of fuel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_count_calls_and_closures() {
+        let src = "(cont(f) (f 1 cont(e)(halt -1) cont(t)(halt t)) \
+                    proc(x ce cc) (+ x 1 ce cc))";
+        let out = run(src).unwrap();
+        assert!(out.stats.calls >= 2); // proc call + cc invocation
+        assert!(out.stats.closures >= 2); // proc + return cont
+        assert!(out.stats.instrs > 0);
+    }
+
+    #[test]
+    fn switch_with_variable_tags() {
+        // Tags may be variables; identity is decided at runtime.
+        let src = "(cont(a b) \
+            (== 5 a b cont()(halt 1) cont()(halt 2) cont()(halt 3)) \
+            9 5)";
+        assert_eq!(run_int(src), 2);
+    }
+
+    #[test]
+    fn switch_without_default_traps_on_no_match() {
+        let src = "(== 9 1 2 cont()(halt 1) cont()(halt 2))";
+        match run(src) {
+            Err(VmError::Trap(m)) => assert!(m.contains("fell through"), "{m}"),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_class_procedures_persist_into_the_store() {
+        // Store a procedure in an array, read it back later, call it —
+        // the transient closure is persisted on write and callable through
+        // its OID (the paper's first-class persistent procedures).
+        let src = "(cont(f) \
+            (array f cont(a) \
+              ([] a 0 cont(e)(halt -1) cont(g) \
+                (g 20 cont(e2)(halt -2) cont(t) (halt t)))) \
+            proc(x ce cc) (* x 2 ce cc))";
+        assert_eq!(run_int(src), 40);
+    }
+
+    #[test]
+    fn handler_survives_across_procedure_calls() {
+        // pushHandler installs a machine-level handler; a raise inside a
+        // callee unwinds to it even though the callee never saw it.
+        let src = "(cont(f) \
+            (pushHandler cont(e) (halt e) cont() \
+              (f 1 cont(e2)(halt -1) cont(t)(halt t))) \
+            proc(x ce cc) (raise 55))";
+        assert_eq!(run_int(src), 55);
+    }
+
+    #[test]
+    fn extern_primitives_execute() {
+        let mut ctx = Ctx::new();
+        ctx.prims.register(tml_core::PrimDef {
+            name: "host.double".into(),
+            signature: tml_core::Signature::exact(1, 2),
+            attrs: Default::default(),
+            fold: None,
+            validate: None,
+            cost: tml_core::prim::PrimCost::Const(5),
+        });
+        let parsed = parse_app(
+            &mut ctx,
+            "(host.double 21 cont(e)(halt -1) cont(t)(halt t))",
+        )
+        .unwrap();
+        let mut vm = Vm::new();
+        vm.externs.register("host.double", |_ctx, args| {
+            Ok(RVal::Int(args[0].as_int().unwrap() * 2))
+        });
+        let block = vm.compile_program(&ctx, &parsed.app).unwrap();
+        let mut store = Store::new();
+        let out = vm.run_program(&mut store, block, 100_000).unwrap();
+        assert_eq!(out.result, RVal::Int(42));
+    }
+
+    #[test]
+    fn extern_can_reenter_machine() {
+        // host.apply calls its closure argument with 5.
+        let mut ctx = Ctx::new();
+        ctx.prims.register(tml_core::PrimDef {
+            name: "host.apply".into(),
+            signature: tml_core::Signature::exact(2, 2),
+            attrs: Default::default(),
+            fold: None,
+            validate: None,
+            cost: tml_core::prim::PrimCost::Const(5),
+        });
+        let src = "(cont(f) (host.apply f 5 cont(e)(halt -1) cont(t)(halt t)) \
+                    proc(x ce cc) (* x x ce cc))";
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let mut vm = Vm::new();
+        vm.externs.register("host.apply", |ctx, args| {
+            let f = args[0].clone();
+            let x = args[1].clone();
+            ctx.call(f, vec![x])
+        });
+        let block = vm.compile_program(&ctx, &parsed.app).unwrap();
+        let mut store = Store::new();
+        let out = vm.run_program(&mut store, block, 100_000).unwrap();
+        assert_eq!(out.result, RVal::Int(25));
+    }
+
+    #[test]
+    fn missing_extern_is_an_exception() {
+        let mut ctx = Ctx::new();
+        ctx.prims.register(tml_core::PrimDef {
+            name: "host.nope".into(),
+            signature: tml_core::Signature::exact(0, 2),
+            attrs: Default::default(),
+            fold: None,
+            validate: None,
+            cost: tml_core::prim::PrimCost::Const(5),
+        });
+        let parsed = parse_app(&mut ctx, "(host.nope cont(e)(halt e) cont(t)(halt 0))").unwrap();
+        let mut vm = Vm::new();
+        let block = vm.compile_program(&ctx, &parsed.app).unwrap();
+        let mut store = Store::new();
+        let out = vm.run_program(&mut store, block, 100_000).unwrap();
+        match out.result {
+            RVal::Str(s) => assert!(s.contains("unknown-ccall")),
+            other => panic!("expected exception string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_tail_recursion_through_loop_labels() {
+        // Factorial: the recursive call is NOT a tail call — its return
+        // continuation is a closure capturing the current n. Loop
+        // compilation turns the recursion into a label jump reusing the
+        // frame; the captured closure must still see the old n.
+        let src = "(Y proc(^c0 ^fact ^c) (c \
+            cont() (fact 10 cont(e)(halt -1) cont(r)(halt r)) \
+            proc(n ce cc) \
+              (< n 2 \
+                cont() (cc 1) \
+                cont() (- n 1 ce cont(m) \
+                  (fact m ce cont(t) (* n t ce cc))))))";
+        assert_eq!(run_int(src), 3_628_800);
+    }
+
+    #[test]
+    fn eta_reduced_loop_continuations_jump() {
+        // After η-reduction a loop head appears directly as a primitive's
+        // continuation value: (+ i 1 ce for). The compiler must emit a
+        // jump stub, not a closure.
+        let src = "(Y proc(^c0 ^for ^c) (c \
+            cont() (for 0) \
+            cont(i) (> i 5000 \
+               cont() (halt i) \
+               cont() (+ i 1 cont(e)(halt -1) for))))";
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let mut vm = Vm::new();
+        let block = vm.compile_program(&ctx, &parsed.app).unwrap();
+        let mut store = Store::new();
+        let out = vm.run_program(&mut store, block, 10_000_000).unwrap();
+        assert_eq!(out.result, RVal::Int(5001));
+        // Whole loop runs with zero closure transfers.
+        assert_eq!(out.stats.calls, 0, "loop must not allocate or call closures");
+        assert_eq!(out.stats.closures, 0);
+    }
+
+    #[test]
+    fn random_programs_execute_after_parsing() {
+        use tml_core::gen::{gen_program, GenConfig};
+        for seed in 0..30 {
+            let (ctx, app) = gen_program(seed, GenConfig::default());
+            let mut vm = Vm::new();
+            let block = vm.compile_program(&ctx, &app).unwrap();
+            let mut store = Store::new();
+            let out = vm.run_program(&mut store, block, 1_000_000);
+            assert!(out.is_ok(), "seed {seed}: {:?}", out.err());
+        }
+    }
+
+    /// The optimizer must preserve evaluation results (the central
+    /// correctness property tying `tml-opt` to the machine).
+    #[test]
+    fn optimization_preserves_results_on_random_programs() {
+        use tml_core::gen::{gen_program, GenConfig};
+        use tml_opt::{optimize, OptOptions};
+        for seed in 0..60 {
+            let (mut ctx, app) = gen_program(seed, GenConfig::default());
+            let mut vm = Vm::new();
+            let block = vm.compile_program(&ctx, &app).unwrap();
+            let mut store = Store::new();
+            let before = vm.run_program(&mut store, block, 2_000_000).unwrap();
+
+            let (opt_app, _) = optimize(&mut ctx, app, &OptOptions::default());
+            let mut vm2 = Vm::new();
+            let block2 = vm2.compile_program(&ctx, &opt_app).unwrap();
+            let mut store2 = Store::new();
+            let after = vm2.run_program(&mut store2, block2, 2_000_000).unwrap();
+
+            assert!(
+                before.result.identical(&after.result),
+                "seed {seed}: {:?} vs {:?}",
+                before.result,
+                after.result
+            );
+            assert!(
+                after.stats.instrs <= before.stats.instrs,
+                "seed {seed}: optimization made the program slower \
+                 ({} -> {} instructions)",
+                before.stats.instrs,
+                after.stats.instrs
+            );
+        }
+    }
+}

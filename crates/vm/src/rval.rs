@@ -1,0 +1,210 @@
+//! Runtime values.
+//!
+//! The machine computes with [`RVal`]: the store's immediate values plus
+//! *transient closures* — continuation and procedure closures created
+//! during execution that have not (yet) been persisted. Writing a transient
+//! closure into a store object persists it on the fly, so first-class
+//! procedures can flow into arrays, tuples and module records exactly as
+//! the paper's first-class modules require.
+
+use std::rc::Rc;
+use std::sync::Arc;
+use tml_core::Oid;
+use tml_store::{ClosureObj, Object, SVal, Store, StoreError};
+
+/// A transient (not yet persistent) closure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientClosure {
+    /// Code block index.
+    pub code: u32,
+    /// Captured environment.
+    pub env: Vec<RVal>,
+}
+
+/// A runtime value.
+#[derive(Clone, PartialEq)]
+pub enum RVal {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit real.
+    Real(f64),
+    /// A byte/character.
+    Char(u8),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A reference to a store object (including persistent closures).
+    Ref(Oid),
+    /// A transient closure.
+    Clo(Rc<TransientClosure>),
+}
+
+impl RVal {
+    /// Lift a store value.
+    pub fn from_sval(v: &SVal) -> RVal {
+        match v {
+            SVal::Unit => RVal::Unit,
+            SVal::Bool(b) => RVal::Bool(*b),
+            SVal::Int(n) => RVal::Int(*n),
+            SVal::Real(x) => RVal::Real(*x),
+            SVal::Char(c) => RVal::Char(*c),
+            SVal::Str(s) => RVal::Str(s.clone()),
+            SVal::Ref(o) => RVal::Ref(*o),
+        }
+    }
+
+    /// Lower to a store value, persisting transient closures into `store`
+    /// on the way (recursively through their environments).
+    pub fn persist(&self, store: &mut Store) -> Result<SVal, StoreError> {
+        Ok(match self {
+            RVal::Unit => SVal::Unit,
+            RVal::Bool(b) => SVal::Bool(*b),
+            RVal::Int(n) => SVal::Int(*n),
+            RVal::Real(x) => SVal::Real(*x),
+            RVal::Char(c) => SVal::Char(*c),
+            RVal::Str(s) => SVal::Str(s.clone()),
+            RVal::Ref(o) => SVal::Ref(*o),
+            RVal::Clo(c) => {
+                let mut env = Vec::with_capacity(c.env.len());
+                for v in &c.env {
+                    env.push(v.persist(store)?);
+                }
+                let oid = store.alloc(Object::Closure(ClosureObj {
+                    code: c.code,
+                    env,
+                    bindings: Vec::new(),
+                    ptml: None,
+                }));
+                SVal::Ref(oid)
+            }
+        })
+    }
+
+    /// Object identity (`==` primitive semantics).
+    pub fn identical(&self, other: &RVal) -> bool {
+        match (self, other) {
+            (RVal::Unit, RVal::Unit) => true,
+            (RVal::Bool(a), RVal::Bool(b)) => a == b,
+            (RVal::Int(a), RVal::Int(b)) => a == b,
+            (RVal::Real(a), RVal::Real(b)) => a.to_bits() == b.to_bits(),
+            (RVal::Char(a), RVal::Char(b)) => a == b,
+            (RVal::Str(a), RVal::Str(b)) => a == b,
+            (RVal::Ref(a), RVal::Ref(b)) => a == b,
+            (RVal::Clo(a), RVal::Clo(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            RVal::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The real payload, if any.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            RVal::Real(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// A short kind tag for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RVal::Unit => "unit",
+            RVal::Bool(_) => "bool",
+            RVal::Int(_) => "int",
+            RVal::Real(_) => "real",
+            RVal::Char(_) => "char",
+            RVal::Str(_) => "string",
+            RVal::Ref(_) => "ref",
+            RVal::Clo(_) => "closure",
+        }
+    }
+}
+
+impl std::fmt::Debug for RVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RVal::Unit => write!(f, "unit"),
+            RVal::Bool(b) => write!(f, "{b}"),
+            RVal::Int(n) => write!(f, "{n}"),
+            RVal::Real(x) => write!(f, "{x:?}"),
+            RVal::Char(c) => write!(f, "'{}'", char::from(*c).escape_default()),
+            RVal::Str(s) => write!(f, "{s:?}"),
+            RVal::Ref(o) => write!(f, "{o}"),
+            RVal::Clo(c) => write!(f, "<closure #{}>", c.code),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sval_roundtrip_for_immediates() {
+        let mut store = Store::new();
+        for v in [
+            RVal::Unit,
+            RVal::Bool(true),
+            RVal::Int(-9),
+            RVal::Real(2.25),
+            RVal::Char(b'a'),
+            RVal::Str("s".into()),
+            RVal::Ref(Oid(4)),
+        ] {
+            let s = v.persist(&mut store).unwrap();
+            assert!(RVal::from_sval(&s).identical(&v));
+        }
+        assert!(store.is_empty(), "immediates must not allocate");
+    }
+
+    #[test]
+    fn persisting_closures_allocates() {
+        let mut store = Store::new();
+        let clo = RVal::Clo(Rc::new(TransientClosure {
+            code: 3,
+            env: vec![RVal::Int(1), RVal::Clo(Rc::new(TransientClosure { code: 4, env: vec![] }))],
+        }));
+        let s = clo.persist(&mut store).unwrap();
+        assert_eq!(store.len(), 2); // inner + outer
+        let oid = match s {
+            SVal::Ref(o) => o,
+            other => panic!("expected ref, got {other:?}"),
+        };
+        let obj = store.get(oid).unwrap();
+        match obj {
+            Object::Closure(c) => {
+                assert_eq!(c.code, 3);
+                assert_eq!(c.env.len(), 2);
+            }
+            other => panic!("expected closure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closure_identity_is_pointer_identity() {
+        let a = Rc::new(TransientClosure { code: 1, env: vec![] });
+        let v1 = RVal::Clo(a.clone());
+        let v2 = RVal::Clo(a);
+        let v3 = RVal::Clo(Rc::new(TransientClosure { code: 1, env: vec![] }));
+        assert!(v1.identical(&v2));
+        assert!(!v1.identical(&v3));
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(RVal::Int(1).kind(), "int");
+        assert_eq!(
+            RVal::Clo(Rc::new(TransientClosure { code: 0, env: vec![] })).kind(),
+            "closure"
+        );
+    }
+}

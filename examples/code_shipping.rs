@@ -1,0 +1,122 @@
+//! Code shipping (the paper's §6 outlook: "we are also very interested in
+//! exploiting TML for other tasks in data-intensive applications, like
+//! code shipping in distributed systems [Mathiske et al. 1995]").
+//!
+//! A "client" session compiles a query predicate, extracts its portable
+//! representation — PTML bytes plus named R-value bindings — and ships it
+//! to a "server" session (a separate store, separate code table, separate
+//! name/prim context), which rebinds the names against *its own* globals,
+//! recompiles, and runs the function against its own data.
+//!
+//! ```sh
+//! cargo run --example code_shipping
+//! ```
+
+use tycoon::lang::Session;
+use tycoon::reflect::TermBuilder;
+use tycoon::store::{Object, SVal};
+use tycoon::vm::RVal;
+
+fn main() {
+    // --- Client: author and compile the function to ship. -----------------
+    let mut client = Session::default_session().expect("client session");
+    client
+        .load_str(
+            "module score export rate\n\
+             let rate(x: Int): Int =\n\
+               if x > 100 then x * 2 else\n\
+                 if x > 10 then x + 50 else x end\n\
+               end\n\
+             end",
+        )
+        .expect("client module loads");
+    let check = client
+        .call("score.rate", vec![RVal::Int(42)])
+        .expect("client runs")
+        .result;
+    println!("client: score.rate(42) = {check:?}");
+
+    // Extract the wire format: PTML bytes + binding names.
+    let SVal::Ref(oid) = *client.global("score.rate").expect("bound") else {
+        panic!("expected closure");
+    };
+    let Object::Closure(clo) = client.store.get(oid).expect("closure") else {
+        panic!("expected closure object");
+    };
+    let ptml_oid = clo.ptml.expect("PTML attached");
+    let Object::Ptml(wire_bytes) = client.store.get(ptml_oid).expect("ptml") else {
+        panic!("expected ptml object");
+    };
+    let wire_bytes = wire_bytes.clone();
+    let binding_names: Vec<String> = clo.bindings.iter().map(|(n, _)| n.clone()).collect();
+    println!(
+        "client: shipping {} bytes of PTML, {} named bindings: {:?}",
+        wire_bytes.len(),
+        binding_names.len(),
+        binding_names
+    );
+    drop(client); // the client's store, code table and context are gone
+
+    // --- Server: receive, rebind, recompile, run. --------------------------
+    let mut server = Session::default_session().expect("server session");
+    let (abs, free) = tycoon::store::ptml::decode_abs(&mut server.ctx, &wire_bytes)
+        .expect("wire format decodes");
+    println!("server: decoded function with {} free identifier(s)", free.len());
+
+    // Rebind free identifiers against the *server's* globals.
+    let compiled = server.vm.compile_proc(&server.ctx, &abs).expect("recompiles");
+    let by_var: std::collections::HashMap<_, _> =
+        free.iter().map(|(n, v)| (*v, n.clone())).collect();
+    let mut env = Vec::new();
+    let mut bindings = Vec::new();
+    for v in &compiled.captures {
+        let name = &by_var[v];
+        let val = server
+            .globals
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| panic!("server cannot resolve {name}"));
+        env.push(val.clone());
+        bindings.push((name.clone(), val));
+    }
+    let shipped_ptml = server.store.alloc(Object::Ptml(wire_bytes));
+    let shipped = server.store.alloc(Object::Closure(tycoon::store::ClosureObj {
+        code: compiled.block,
+        env,
+        bindings,
+        ptml: Some(shipped_ptml),
+    }));
+    server.globals.insert("shipped.rate".into(), SVal::Ref(shipped));
+
+    for x in [5i64, 42, 1000] {
+        let r = server
+            .call("shipped.rate", vec![RVal::Int(x)])
+            .expect("shipped code runs");
+        println!("server: shipped.rate({x}) = {:?}", r.result);
+    }
+
+    // The shipped code is a first-class citizen: it can even be
+    // reflectively optimized on the server against server-side bindings.
+    let optimized = tycoon::reflect::optimize_value(
+        &mut server,
+        &SVal::Ref(shipped),
+        &tycoon::reflect::ReflectOptions::default(),
+    )
+    .expect("server-side reflective optimization");
+    let fast = server
+        .call_value(RVal::from_sval(&optimized), vec![RVal::Int(42)])
+        .expect("optimized shipped code runs");
+    println!(
+        "server: optimized shipped code: rate(42) = {:?} ({} instructions)",
+        fast.result, fast.stats.instrs
+    );
+
+    // Round-trip sanity: the server can re-ship it (PTML attached again).
+    let SVal::Ref(opt_oid) = optimized else { panic!() };
+    let mut tb = TermBuilder::new(&mut server.ctx, &server.store);
+    let reship = tb.build(opt_oid, 0).expect("re-shippable");
+    println!(
+        "server: re-shippable — optimized function has {} TML nodes",
+        reship.body.size()
+    );
+}

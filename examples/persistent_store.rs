@@ -1,0 +1,115 @@
+//! Persistence round trip (figure 3): compile → snapshot the store with
+//! PTML-carrying closures → reload in a new process image → relink
+//! (recompile from PTML) → execute.
+//!
+//! The executable code table is transient; the *persistent* representation
+//! of code is PTML plus the recorded R-value bindings, exactly as in the
+//! paper's architecture.
+//!
+//! ```sh
+//! cargo run --example persistent_store
+//! ```
+
+use tycoon::lang::{Session, SessionConfig};
+use tycoon::reflect::{optimize_all, ReflectOptions, TermBuilder};
+use tycoon::store::{snapshot, Object, SVal};
+use tycoon::vm::RVal;
+
+const SRC: &str = "
+module acct export balance, deposit
+let balance(a: Array): Dyn = array.get(a, 0)
+let deposit(a: Array, n: Int): Dyn =
+  (array.set(a, 0, array.get(a, 0) + n); array.get(a, 0))
+end";
+
+fn main() {
+    let path = std::env::temp_dir().join("tycoon_demo.tys");
+
+    // --- Session 1: build state, snapshot it. -----------------------------
+    let mut s1 = Session::new(SessionConfig::default()).expect("session");
+    s1.load_str(SRC).expect("module loads");
+    // Persistent data: an account array, registered as a store root.
+    let account = s1.store.alloc(Object::Array(vec![SVal::Int(100)]));
+    s1.store.set_root("the-account", account);
+
+    let r = s1
+        .call("acct.deposit", vec![RVal::Ref(account), RVal::Int(42)])
+        .expect("deposit runs");
+    println!("session 1: deposit(42) -> {:?}", r.result);
+
+    optimize_all(&mut s1, &ReflectOptions::default()).expect("dynamic optimization");
+    let stats = s1.store.stats();
+    println!(
+        "session 1: store holds {} objects, {} bytes ({} bytes PTML, {} closures)",
+        stats.objects, stats.bytes, stats.ptml_bytes, stats.closures
+    );
+    snapshot::save(&s1.store, &path).expect("snapshot saves");
+    println!("session 1: snapshot written to {}", path.display());
+    drop(s1);
+
+    // --- Session 2: reload, relink from PTML, keep computing. -------------
+    let store = snapshot::load(&path).expect("snapshot loads");
+    let mut s2 = Session::new(SessionConfig::default()).expect("fresh session");
+    // The snapshot's code-table indices are stale; rebuild every function
+    // from its persistent TML representation.
+    s2.store = store;
+    let account = s2.store.root("the-account").expect("root survives");
+    println!(
+        "\nsession 2: loaded {} objects; account balance object {account}",
+        s2.store.len()
+    );
+
+    // Relink: find the acct functions in the loaded store by their module
+    // record and recompile them from PTML.
+    let module_oid = s2.store.root("acct").expect("module record survives");
+    let exports: Vec<(String, SVal)> = match s2.store.get(module_oid).expect("module") {
+        Object::Module(m) => m.exports.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        other => panic!("expected module record, found {}", other.kind()),
+    };
+    for (name, val) in exports {
+        let SVal::Ref(old) = val else { continue };
+        // Decode PTML, recompile against this session's code table, and
+        // swap the closure's code pointer in place.
+        let (abs, residuals) = {
+            let mut tb = TermBuilder::new(&mut s2.ctx, &s2.store);
+            let abs = tb.build(old, 0).expect("ptml decodes");
+            (abs, tb.residuals)
+        };
+        let compiled = s2.vm.compile_proc(&s2.ctx, &abs).expect("recompile");
+        let lookup: std::collections::HashMap<_, _> = residuals
+            .iter()
+            .map(|(n, v)| (*v, n.clone()))
+            .collect();
+        let old_bindings: Vec<(String, SVal)> = match s2.store.get(old).expect("closure") {
+            Object::Closure(c) => c.bindings.clone(),
+            _ => continue,
+        };
+        let env: Vec<SVal> = compiled
+            .captures
+            .iter()
+            .map(|v| {
+                let n = &lookup[v];
+                old_bindings
+                    .iter()
+                    .find(|(bn, _)| bn == n)
+                    .map(|(_, bv)| bv.clone())
+                    .expect("binding recorded")
+            })
+            .collect();
+        if let Object::Closure(c) = s2.store.get_mut(old).expect("closure") {
+            c.code = compiled.block;
+            c.env = env;
+        }
+        s2.globals.insert(format!("acct.{name}"), SVal::Ref(old));
+        println!("session 2: relinked acct.{name} from PTML");
+    }
+
+    let r = s2
+        .call("acct.deposit", vec![RVal::Ref(account), RVal::Int(8)])
+        .expect("deposit runs after reload");
+    println!("session 2: deposit(8) -> {:?} (expected 150)", r.result);
+    assert_eq!(r.result, RVal::Int(150));
+
+    std::fs::remove_file(&path).ok();
+    println!("\nround trip complete: code executed from a reloaded persistent image.");
+}

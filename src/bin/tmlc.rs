@@ -1,0 +1,281 @@
+//! `tmlc` — the Tycoon/TML command line.
+//!
+//! ```text
+//! tmlc run <file.tl> --entry mod.fn [--arg N]... [options]   run a TL program
+//! tmlc tml <file.tl> [--fn mod.fn] [options]                 print TML terms
+//! tmlc code <file.tl> [options]                              disassemble bytecode
+//! tmlc eval '<tml s-expression>'                             run a raw TML program
+//! tmlc snapshot <file.tl> -o <image.tys>                     persist a compiled image
+//! tmlc info <image.tys>                                      inspect a store image
+//!
+//! options:
+//!   --mode library|direct     operator lowering (default library)
+//!   --opt none|local          static optimization (default none)
+//!   --dynamic                 whole-world reflective optimization before running
+//!   --stats                   print machine counters
+//! ```
+
+use std::process::ExitCode;
+use tycoon::lang::types::LowerMode;
+use tycoon::lang::{OptMode, Session, SessionConfig};
+use tycoon::reflect::{optimize_all, ReflectOptions, TermBuilder};
+use tycoon::store::{snapshot, SVal};
+use tycoon::vm::RVal;
+
+struct Options {
+    mode: LowerMode,
+    opt: OptMode,
+    dynamic: bool,
+    stats: bool,
+    entry: Option<String>,
+    args: Vec<i64>,
+    output: Option<String>,
+    target_fn: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
+    let _ = args.next(); // program name
+    let command = args.next().ok_or("missing command")?;
+    let mut o = Options {
+        mode: LowerMode::Library,
+        opt: OptMode::None,
+        dynamic: false,
+        stats: false,
+        entry: None,
+        args: Vec::new(),
+        output: None,
+        target_fn: None,
+        positional: Vec::new(),
+    };
+    let mut it = args;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => {
+                o.mode = match it.next().as_deref() {
+                    Some("library") => LowerMode::Library,
+                    Some("direct") => LowerMode::Direct,
+                    other => return Err(format!("bad --mode {other:?}")),
+                }
+            }
+            "--opt" => {
+                o.opt = match it.next().as_deref() {
+                    Some("none") => OptMode::None,
+                    Some("local") => OptMode::Local,
+                    other => return Err(format!("bad --opt {other:?}")),
+                }
+            }
+            "--dynamic" => o.dynamic = true,
+            "--stats" => o.stats = true,
+            "--entry" => o.entry = Some(it.next().ok_or("--entry needs a value")?),
+            "--fn" => o.target_fn = Some(it.next().ok_or("--fn needs a value")?),
+            "-o" | "--output" => o.output = Some(it.next().ok_or("-o needs a value")?),
+            "--arg" => {
+                let v = it.next().ok_or("--arg needs a value")?;
+                o.args.push(v.parse().map_err(|e| format!("bad --arg: {e}"))?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok((command, o))
+}
+
+fn build_session(o: &Options, src: &str) -> Result<Session, String> {
+    let mut s = Session::new(SessionConfig {
+        lower: o.mode,
+        opt: o.opt,
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+    s.load_str(src).map_err(|e| e.to_string())?;
+    if o.dynamic {
+        optimize_all(&mut s, &ReflectOptions::default()).map_err(|e| e.to_string())?;
+    }
+    Ok(s)
+}
+
+fn read_source(o: &Options) -> Result<String, String> {
+    let path = o.positional.first().ok_or("missing input file")?;
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn guess_entry(s: &Session, o: &Options) -> Result<String, String> {
+    if let Some(e) = &o.entry {
+        return Ok(e.clone());
+    }
+    // Default: the last loaded module's `main`.
+    let last = s
+        .modules
+        .iter()
+        .rev()
+        .find(|m| s.global(&format!("{m}.main")).is_some())
+        .ok_or("no entry point; pass --entry mod.fn")?;
+    Ok(format!("{last}.main"))
+}
+
+fn cmd_run(o: &Options) -> Result<(), String> {
+    let src = read_source(o)?;
+    let mut s = build_session(o, &src)?;
+    let entry = guess_entry(&s, o)?;
+    let args: Vec<RVal> = o.args.iter().map(|n| RVal::Int(*n)).collect();
+    let out = s.call(&entry, args).map_err(|e| e.to_string())?;
+    for line in &out.output {
+        println!("{line}");
+    }
+    println!("{:?}", out.result);
+    if o.stats {
+        eprintln!(
+            "instructions={} calls={} closures={} exceptions={}",
+            out.stats.instrs, out.stats.calls, out.stats.closures, out.stats.exceptions
+        );
+    }
+    Ok(())
+}
+
+fn cmd_tml(o: &Options) -> Result<(), String> {
+    let src = read_source(o)?;
+    let mut s = build_session(o, &src)?;
+    let mut names: Vec<String> = match &o.target_fn {
+        Some(f) => vec![f.clone()],
+        None => {
+            let mut v: Vec<String> = s
+                .globals
+                .keys()
+                .filter(|n| n.contains('.') && !is_stdlib(n))
+                .cloned()
+                .collect();
+            v.sort();
+            v
+        }
+    };
+    if names.is_empty() {
+        names = s.globals.keys().cloned().collect();
+        names.sort();
+    }
+    for name in names {
+        let Some(SVal::Ref(oid)) = s.globals.get(&name).cloned() else {
+            continue;
+        };
+        let abs = {
+            let mut tb = TermBuilder::new(&mut s.ctx, &s.store);
+            match tb.build(oid, 0) {
+                Ok(a) => a,
+                Err(e) => return Err(format!("{name}: {e}")),
+            }
+        };
+        println!("; {name}");
+        println!("{}\n", tycoon::core::pretty::print_abs(&s.ctx, &abs));
+    }
+    Ok(())
+}
+
+fn is_stdlib(name: &str) -> bool {
+    ["int.", "real.", "array.", "char.", "io."]
+        .iter()
+        .any(|p| name.starts_with(p))
+}
+
+fn cmd_code(o: &Options) -> Result<(), String> {
+    let src = read_source(o)?;
+    let s = build_session(o, &src)?;
+    print!("{}", tycoon::vm::disasm::table(&s.vm.code));
+    Ok(())
+}
+
+fn cmd_eval(o: &Options) -> Result<(), String> {
+    let text = o.positional.first().ok_or("missing TML expression")?;
+    let mut ctx = tycoon::core::Ctx::new();
+    let parsed =
+        tycoon::core::parse::parse_app(&mut ctx, text).map_err(|e| e.to_string())?;
+    let mut app = parsed.app;
+    if o.opt == OptMode::Local {
+        let (optimized, _) =
+            tycoon::opt::optimize(&mut ctx, app, &tycoon::opt::OptOptions::default());
+        app = optimized;
+    }
+    let mut vm = tycoon::vm::Vm::new();
+    let block = vm.compile_program(&ctx, &app).map_err(|e| e.to_string())?;
+    let mut store = tycoon::store::Store::new();
+    let out = vm
+        .run_program(&mut store, block, 1_000_000_000)
+        .map_err(|e| e.to_string())?;
+    for line in &out.output {
+        println!("{line}");
+    }
+    println!("{:?}", out.result);
+    if o.stats {
+        eprintln!(
+            "instructions={} calls={} closures={}",
+            out.stats.instrs, out.stats.calls, out.stats.closures
+        );
+    }
+    Ok(())
+}
+
+fn cmd_snapshot(o: &Options) -> Result<(), String> {
+    let src = read_source(o)?;
+    let s = build_session(o, &src)?;
+    let path = o.output.clone().ok_or("missing -o <image.tys>")?;
+    snapshot::save(&s.store, &path).map_err(|e| e.to_string())?;
+    let st = s.store.stats();
+    println!(
+        "wrote {path}: {} objects, {} bytes ({} bytes PTML, {} closures)",
+        st.objects, st.bytes, st.ptml_bytes, st.closures
+    );
+    Ok(())
+}
+
+fn cmd_info(o: &Options) -> Result<(), String> {
+    let path = o.positional.first().ok_or("missing image file")?;
+    let store = snapshot::load(path).map_err(|e| e.to_string())?;
+    let st = store.stats();
+    println!(
+        "{path}: {} live objects ({} slots), ~{} bytes, {} closures, {} bytes PTML",
+        st.objects,
+        store.len(),
+        st.bytes,
+        st.closures,
+        st.ptml_bytes
+    );
+    println!("roots:");
+    for (name, oid) in store.roots() {
+        let kind = store.get(oid).map(|ob| ob.kind()).unwrap_or("dangling");
+        println!("  {name:<20} {oid}  ({kind})");
+    }
+    let mut kinds: std::collections::BTreeMap<&str, usize> = Default::default();
+    for (_, obj) in store.iter() {
+        *kinds.entry(obj.kind()).or_default() += 1;
+    }
+    println!("objects by kind:");
+    for (k, n) in kinds {
+        println!("  {k:<12} {n}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let (command, options) = match parse_args(std::env::args()) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info ...");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&options),
+        "tml" => cmd_tml(&options),
+        "code" => cmd_code(&options),
+        "eval" => cmd_eval(&options),
+        "snapshot" => cmd_snapshot(&options),
+        "info" => cmd_info(&options),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tmlc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

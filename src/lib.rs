@@ -1,0 +1,14 @@
+//! # tycoon — umbrella crate for the Tycoon/TML reproduction
+//!
+//! Re-exports every subsystem of the reproduction of Gawecki & Matthes,
+//! *Exploiting Persistent Intermediate Code Representations in Open
+//! Database Environments* (EDBT 1996). See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the experiment index.
+
+pub use tml_core as core;
+pub use tml_lang as lang;
+pub use tml_opt as opt;
+pub use tml_query as query;
+pub use tml_reflect as reflect;
+pub use tml_store as store;
+pub use tml_vm as vm;

@@ -1,0 +1,130 @@
+//! Integration tests for the `tmlc` command line.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmlc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tmlc"))
+}
+
+fn demo_file() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmlc_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("demo.tl");
+    std::fs::write(
+        &path,
+        "module demo export main\n\
+         let main(n: Int): Int =\n\
+           var s := 0 in\n\
+           (for i = 1 upto n do s := s + i * i end; s)\n\
+         end\n",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn run_computes_and_prints_result() {
+    let out = tmlc()
+        .args(["run"])
+        .arg(demo_file())
+        .args(["--arg", "10"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "385");
+}
+
+#[test]
+fn dynamic_flag_reduces_instructions() {
+    let count = |dynamic: bool| -> u64 {
+        let mut cmd = tmlc();
+        cmd.args(["run"]).arg(demo_file()).args(["--arg", "10", "--stats"]);
+        if dynamic {
+            cmd.arg("--dynamic");
+        }
+        let out = cmd.output().unwrap();
+        assert!(out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        stderr
+            .split("instructions=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no stats in {stderr:?}"))
+    };
+    let plain = count(false);
+    let dynamic = count(true);
+    assert!(dynamic < plain, "{dynamic} vs {plain}");
+}
+
+#[test]
+fn eval_runs_raw_tml() {
+    let out = tmlc()
+        .args(["eval", "(* 6 7 cont(e)(halt e) cont(t)(halt t))"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "42");
+}
+
+#[test]
+fn tml_dump_contains_the_function() {
+    let out = tmlc()
+        .args(["tml"])
+        .arg(demo_file())
+        .args(["--fn", "demo.main"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("; demo.main"), "{text}");
+    assert!(text.contains("proc("), "{text}");
+}
+
+#[test]
+fn code_dump_disassembles() {
+    let out = tmlc().args(["code"]).arg(demo_file()).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("block #"), "{text}");
+    assert!(text.contains("halt") || text.contains("call"), "{text}");
+}
+
+#[test]
+fn snapshot_and_info_roundtrip() {
+    let image = std::env::temp_dir().join(format!("tmlc_img_{}.tys", std::process::id()));
+    let out = tmlc()
+        .args(["snapshot"])
+        .arg(demo_file())
+        .args(["-o"])
+        .arg(&image)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = tmlc().args(["info"]).arg(&image).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("demo"), "{text}");
+    assert!(text.contains("closure"), "{text}");
+    std::fs::remove_file(&image).ok();
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = tmlc().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_entry_reports_error() {
+    let dir = std::env::temp_dir().join(format!("tmlc_noentry_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lib.tl");
+    std::fs::write(&path, "module lib export f\nlet f(a: Int): Int = a\nend\n").unwrap();
+    let out = tmlc().args(["run"]).arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no entry point"));
+}

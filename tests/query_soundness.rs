@@ -1,0 +1,117 @@
+//! Query rewrite soundness over randomized relations and predicate chains:
+//! every plan produced by the §4.2 rewrites must return the same result as
+//! the naive plan.
+
+use proptest::prelude::*;
+use tycoon::core::{Ctx, Lit};
+use tycoon::opt::OptOptions;
+use tycoon::query::{
+    self, integrated_optimize, rewrite_queries, select_chain, Pred,
+};
+use tycoon::store::Store;
+use tycoon::vm::{Machine, RVal, Vm};
+
+fn run_count(ctx: &Ctx, vm: &mut Vm, store: &mut Store, app: &tycoon::core::App) -> i64 {
+    let block = vm.compile_program(ctx, app).expect("closed program");
+    let mut machine = Machine::new(&vm.code, &vm.externs, store, 100_000_000);
+    match machine.run(block, Vec::new(), Vec::new()).expect("runs").result {
+        RVal::Int(n) => n,
+        other => panic!("expected count, got {other:?}"),
+    }
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        (0usize..3, -5i64..55).prop_map(|(c, k)| Pred::ColEq(c, Lit::Int(k))),
+        (0usize..3, -5i64..105).prop_map(|(c, k)| Pred::ColLt(c, k)),
+        Just(Pred::True),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merged_plans_equal_naive_plans(
+        seed in 0u64..1_000,
+        rows in 1usize..200,
+        preds in proptest::collection::vec(pred_strategy(), 1..4),
+    ) {
+        let mut ctx = Ctx::new();
+        let mut vm = Vm::new();
+        query::install(&mut ctx, &mut vm);
+        let mut store = Store::new();
+        let rel = query::data::random_relation(&mut store, rows, 50, 100, seed);
+
+        let naive = select_chain(&mut ctx, rel, &preds);
+        let mut merged = naive.clone();
+        rewrite_queries(&mut ctx, None, &mut merged);
+        let (fused, _) = integrated_optimize(&mut ctx, None, merged, &OptOptions::default());
+
+        let a = run_count(&ctx, &mut vm, &mut store, &naive);
+        let b = run_count(&ctx, &mut vm, &mut store, &fused);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_plans_equal_scan_plans(
+        seed in 0u64..1_000,
+        rows in 1usize..300,
+        key in -5i64..55,
+    ) {
+        let mut ctx = Ctx::new();
+        let mut vm = Vm::new();
+        query::install(&mut ctx, &mut vm);
+        let mut store = Store::new();
+        let rel = query::data::random_relation(&mut store, rows, 50, 100, seed);
+        query::data::build_index(&mut store, rel, 1).expect("index builds");
+
+        let scan = select_chain(&mut ctx, rel, &[Pred::ColEq(1, Lit::Int(key))]);
+        let mut indexed = scan.clone();
+        let stats = rewrite_queries(&mut ctx, Some(&store), &mut indexed);
+        prop_assert_eq!(stats.index_select, 1);
+
+        let a = run_count(&ctx, &mut vm, &mut store, &scan);
+        let b = run_count(&ctx, &mut vm, &mut store, &indexed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trivial_exists_equivalent(
+        seed in 0u64..1_000,
+        rows in 0usize..100,
+        verdict in any::<bool>(),
+    ) {
+        let mut ctx = Ctx::new();
+        let mut vm = Vm::new();
+        query::install(&mut ctx, &mut vm);
+        let mut store = Store::new();
+        let rel = query::data::random_relation(&mut store, rows, 10, 10, seed);
+
+        // Predicate ignores the range variable; answers `verdict`.
+        let src = format!(
+            "(exists proc(x ce cc) (cc {verdict}) <oid {:#x}> cont(e)(halt e) cont(b)(halt b))",
+            rel.0
+        );
+        let parsed = tycoon::core::parse::parse_app(&mut ctx, &src).expect("parses");
+        let scan = parsed.app;
+        let mut rewritten = scan.clone();
+        let stats = rewrite_queries(&mut ctx, None, &mut rewritten);
+        prop_assert_eq!(stats.trivial_exists, 1);
+        let (rewritten, _) = integrated_optimize(&mut ctx, None, rewritten, &OptOptions::default());
+
+        let run_bool = |ctx: &Ctx, vm: &mut Vm, store: &mut Store, app: &tycoon::core::App| {
+            let block = vm.compile_program(ctx, app).expect("compiles");
+            let mut m = Machine::new(&vm.code, &vm.externs, store, 100_000_000);
+            match m.run(block, Vec::new(), Vec::new()).expect("runs").result {
+                RVal::Bool(b) => b,
+                other => panic!("expected bool, got {other:?}"),
+            }
+        };
+        let a = run_bool(&ctx, &mut vm, &mut store, &scan);
+        let b = run_bool(&ctx, &mut vm, &mut store, &rewritten);
+        prop_assert_eq!(a, b);
+        // Ground truth: ∃x∈R: verdict ≡ verdict ∧ R ≠ ∅.
+        prop_assert_eq!(a, verdict && rows > 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end Stanford suite assertions binding the E1/E2 claims into the
+//! test suite (at small problem sizes, instruction-count metric).
+
+use tycoon::lang::stanford::suite;
+use tycoon::lang::types::LowerMode;
+use tycoon::lang::{OptMode, Session, SessionConfig};
+use tycoon::reflect::{optimize_all, ReflectOptions};
+use tycoon::vm::RVal;
+
+fn run(
+    src: &str,
+    entry: &str,
+    n: i64,
+    lower: LowerMode,
+    opt: OptMode,
+    dynamic: bool,
+) -> (i64, u64) {
+    let mut s = Session::new(SessionConfig {
+        lower,
+        opt,
+        ..Default::default()
+    })
+    .unwrap();
+    s.load_str(src).unwrap();
+    if dynamic {
+        optimize_all(&mut s, &ReflectOptions::default()).unwrap();
+    }
+    let out = s.call(entry, vec![RVal::Int(n)]).unwrap();
+    match out.result {
+        RVal::Int(v) => (v, out.stats.instrs),
+        other => panic!("non-integer checksum {other:?}"),
+    }
+}
+
+#[test]
+fn all_configurations_compute_identical_checksums() {
+    for p in suite() {
+        let (golden, _) = run(p.src, p.entry, p.test_n, LowerMode::Direct, OptMode::None, false);
+        for lower in [LowerMode::Direct, LowerMode::Library] {
+            for opt in [OptMode::None, OptMode::Local] {
+                for dynamic in [false, true] {
+                    let (got, _) = run(p.src, p.entry, p.test_n, lower, opt, dynamic);
+                    assert_eq!(got, golden, "{} {lower:?}/{opt:?}/dyn={dynamic}", p.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn e1_local_optimization_is_insignificant() {
+    // Library mode; local optimization must change instruction counts by
+    // less than 25% on every program (the paper: "no significant speedup").
+    for p in suite() {
+        let (_, base) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::None, false);
+        let (_, local) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::Local, false);
+        let speedup = base as f64 / local as f64;
+        assert!(
+            (0.95..1.25).contains(&speedup),
+            "{}: local speedup {speedup:.2} outside the 'insignificant' band",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn e2_dynamic_optimization_reduces_instructions_substantially() {
+    // Every program must improve by at least 1.3x in instruction count and
+    // the suite by at least 1.7x on average (wall-clock gains are larger;
+    // see the e1_e2_stanford bench).
+    let mut ratios = Vec::new();
+    for p in suite() {
+        let (_, base) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::None, false);
+        let (_, dynamic) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::None, true);
+        let speedup = base as f64 / dynamic as f64;
+        assert!(
+            speedup > 1.3,
+            "{}: dynamic speedup only {speedup:.2}",
+            p.name
+        );
+        ratios.push(speedup.ln());
+    }
+    let geomean = (ratios.iter().sum::<f64>() / ratios.len() as f64).exp();
+    assert!(
+        geomean > 1.7,
+        "suite-wide dynamic speedup only {geomean:.2} (instructions)"
+    );
+}
+
+#[test]
+fn dynamic_optimization_approaches_direct_prims() {
+    // The dynamically optimized library configuration should land close to
+    // the direct-primitive lowering (the information-theoretic optimum for
+    // this experiment): within 1.35x on every program.
+    for p in suite() {
+        let (_, direct) = run(p.src, p.entry, p.test_n, LowerMode::Direct, OptMode::None, false);
+        let (_, dynamic) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::None, true);
+        let gap = dynamic as f64 / direct as f64;
+        assert!(
+            gap < 1.35,
+            "{}: dynamically optimized code is {gap:.2}x the direct-prim lowering",
+            p.name
+        );
+    }
+}
