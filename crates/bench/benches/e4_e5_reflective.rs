@@ -32,12 +32,16 @@ fn main() {
     {
         let mut s = Session::default_session().expect("session");
         s.load_str(COMPLEX_SRC).expect("loads");
-        // Single function, repeated.
+        // Single function, repeated. The cache is disabled so every rep
+        // pays the full pipeline (E11 measures the cached path).
+        let opts = ReflectOptions {
+            use_cache: false,
+            ..Default::default()
+        };
         let reps = 50;
         let t = Instant::now();
         for _ in 0..reps {
-            let v = optimize_named(&mut s, "geom.abs", &ReflectOptions::default())
-                .expect("reflect.optimize");
+            let v = optimize_named(&mut s, "geom.abs", &opts).expect("reflect.optimize");
             std::hint::black_box(v);
         }
         let per = t.elapsed().as_secs_f64() / reps as f64;
@@ -73,12 +77,14 @@ fn main() {
         .call("complex.new", vec![RVal::Real(3.0), RVal::Real(4.0)])
         .expect("new")
         .result;
-    let optimized = optimize_named(&mut s, "geom.abs", &ReflectOptions::default())
-        .expect("reflect.optimize");
+    let optimized =
+        optimize_named(&mut s, "geom.abs", &ReflectOptions::default()).expect("reflect.optimize");
 
     let reps = 2000;
     let run = |s: &mut Session, target: RVal, c: &RVal| -> (f64, u64, u64) {
-        let out = s.call_value(target.clone(), vec![c.clone()]).expect("abs runs");
+        let out = s
+            .call_value(target.clone(), vec![c.clone()])
+            .expect("abs runs");
         assert_eq!(out.result, RVal::Real(5.0));
         let t = Instant::now();
         for _ in 0..reps {
@@ -96,11 +102,15 @@ fn main() {
     let (t1, i1, c1) = run(&mut s, RVal::from_sval(&optimized), &c);
     println!(
         "abs          : {:>10} per call, {} instructions, {} calls",
-        ms(t0), i0, c0
+        ms(t0),
+        i0,
+        c0
     );
     println!(
         "optimizedAbs : {:>10} per call, {} instructions, {} calls",
-        ms(t1), i1, c1
+        ms(t1),
+        i1,
+        c1
     );
     println!(
         "speedup      : {:.2}x wall clock, {:.2}x instructions",

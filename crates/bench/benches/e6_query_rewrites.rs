@@ -107,8 +107,7 @@ fn main() {
         let mut rewritten = scan.clone();
         let stats = rewrite_queries(&mut ctx, None, &mut rewritten);
         assert_eq!(stats.trivial_exists, 1);
-        let (rewritten, _) =
-            integrated_optimize(&mut ctx, None, rewritten, &OptOptions::default());
+        let (rewritten, _) = integrated_optimize(&mut ctx, None, rewritten, &OptOptions::default());
 
         let (b1, w1, t1) = run(&ctx, &mut vm, &mut store, &scan);
         let (b2, w2, t2) = run(&ctx, &mut vm, &mut store, &rewritten);

@@ -30,12 +30,18 @@ fn dynamic_instrs(src: &str, entry: &str, n: i64, rules: RuleSet) -> u64 {
         ..Default::default()
     };
     optimize_all(&mut s, &options).expect("optimize_all");
-    s.call(entry, vec![RVal::Int(n)]).expect("runs").stats.instrs
+    s.call(entry, vec![RVal::Int(n)])
+        .expect("runs")
+        .stats
+        .instrs
 }
 
 fn main() {
     println!("E9 — rule ablation: dynamic optimization with one rule disabled\n");
-    let cases = [("fib", FIB, "fib.main", 14i64), ("bubble", BUBBLE, "bubble.main", 40)];
+    let cases = [
+        ("fib", FIB, "fib.main", 14i64),
+        ("bubble", BUBBLE, "bubble.main", 40),
+    ];
     let rules = [
         "none-disabled",
         "subst",
@@ -81,7 +87,13 @@ fn main() {
         let mut shrink = 0.0;
         let count = 30;
         for seed in 0..count {
-            let (mut ctx, app) = gen_program(seed, GenConfig { steps: 25, ..Default::default() });
+            let (mut ctx, app) = gen_program(
+                seed,
+                GenConfig {
+                    steps: 25,
+                    ..Default::default()
+                },
+            );
             let (out, stats) = optimize(
                 &mut ctx,
                 app,

@@ -12,7 +12,13 @@ use tml_vm::Vm;
 fn bench_reduction(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimizer");
     for steps in [10usize, 40, 160] {
-        let (ctx, app) = gen_program(3, GenConfig { steps, ..Default::default() });
+        let (ctx, app) = gen_program(
+            3,
+            GenConfig {
+                steps,
+                ..Default::default()
+            },
+        );
         group.throughput(Throughput::Elements(app.size() as u64));
         group.bench_function(format!("reduce/{}nodes", app.size()), |b| {
             b.iter_batched(
@@ -43,7 +49,13 @@ fn bench_reduction(c: &mut Criterion) {
 
 fn bench_ptml(c: &mut Criterion) {
     let mut group = c.benchmark_group("ptml");
-    let (ctx, app) = gen_program(9, GenConfig { steps: 120, ..Default::default() });
+    let (ctx, app) = gen_program(
+        9,
+        GenConfig {
+            steps: 120,
+            ..Default::default()
+        },
+    );
     let bytes = ptml::encode_app(&ctx, &app);
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("encode", |b| {
@@ -62,13 +74,19 @@ fn bench_ptml(c: &mut Criterion) {
 fn bench_snapshot(c: &mut Criterion) {
     let mut store = Store::new();
     for i in 0..1000 {
-        store.alloc(Object::Array(vec![SVal::Int(i), SVal::from("x"), SVal::Bool(true)]));
+        store.alloc(Object::Array(vec![
+            SVal::Int(i),
+            SVal::from("x"),
+            SVal::Bool(true),
+        ]));
     }
     let bytes = snapshot::to_bytes(&store);
     let mut group = c.benchmark_group("snapshot");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("save", |b| b.iter(|| snapshot::to_bytes(&store)));
-    group.bench_function("load", |b| b.iter(|| snapshot::from_bytes(&bytes).expect("loads")));
+    group.bench_function("load", |b| {
+        b.iter(|| snapshot::from_bytes(&bytes).expect("loads"))
+    });
     group.finish();
 }
 

@@ -43,11 +43,7 @@ fn copy_abs(abs: &Abs, names: &mut NameTable, map: &mut HashMap<VarId, VarId>) -
 fn copy_app(app: &App, names: &mut NameTable, map: &mut HashMap<VarId, VarId>) -> App {
     App {
         func: copy_value(&app.func, names, map),
-        args: app
-            .args
-            .iter()
-            .map(|a| copy_value(a, names, map))
-            .collect(),
+        args: app.args.iter().map(|a| copy_value(a, names, map)).collect(),
     }
 }
 
@@ -119,10 +115,7 @@ mod tests {
         let mut names = NameTable::new();
         let (abs, _, _) = sample(&mut names);
         let copy = alpha_copy_abs(&abs, &mut names);
-        let both = App::new(
-            Value::from(abs),
-            vec![Value::from(copy)],
-        );
+        let both = App::new(Value::from(abs), vec![Value::from(copy)]);
         assert!(check_unique_binding(&both).is_ok());
     }
 
@@ -132,10 +125,7 @@ mod tests {
         let x = names.fresh("x");
         // λ(x)(λ(x) app val) — the paper's explicit counterexample.
         let inner = Abs::new(vec![x], App::new(Value::int(1), vec![]));
-        let outer = Abs::new(
-            vec![x],
-            App::new(Value::from(inner), vec![Value::int(2)]),
-        );
+        let outer = Abs::new(vec![x], App::new(Value::from(inner), vec![Value::int(2)]));
         let app = App::new(Value::from(outer), vec![Value::int(3)]);
         assert_eq!(check_unique_binding(&app), Err(x));
     }

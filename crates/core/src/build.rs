@@ -169,7 +169,9 @@ mod tests {
         let ce = b.halt_on_error();
         let app = b.arith("+", b.int(1), b.int(2), ce, |b, t| {
             let ce2 = b.halt_on_error();
-            b.arith("*", Value::Var(t), b.int(3), ce2, |b, u| b.halt(Value::Var(u)))
+            b.arith("*", Value::Var(t), b.int(3), ce2, |b, u| {
+                b.halt(Value::Var(u))
+            })
         });
         check_app(&ctx, &app).unwrap();
     }
@@ -198,7 +200,9 @@ mod tests {
         });
         let f = b.var("f");
         let ce = b.halt_on_error();
-        let call = b.call(Value::Var(f), vec![b.int(41)], ce, |b, t| b.halt(Value::Var(t)));
+        let call = b.call(Value::Var(f), vec![b.int(41)], ce, |b, t| {
+            b.halt(Value::Var(t))
+        });
         let app = b.let_(f, inc, call);
         check_app(&ctx, &app).unwrap();
     }

@@ -99,7 +99,11 @@ impl Census {
 /// Useful for spot checks; the optimizer uses [`Census`] instead.
 pub fn occurrences_in_app(app: &App, v: VarId) -> u32 {
     occurrences_in_value(&app.func, v)
-        + app.args.iter().map(|a| occurrences_in_value(a, v)).sum::<u32>()
+        + app
+            .args
+            .iter()
+            .map(|a| occurrences_in_value(a, v))
+            .sum::<u32>()
 }
 
 /// Count occurrences of a single variable in a value.
@@ -164,10 +168,7 @@ mod tests {
     #[test]
     fn unknown_var_counts_zero() {
         let (names, ..) = setup();
-        let c = Census::of_app(
-            &App::new(Value::int(1), vec![]),
-            names.len(),
-        );
+        let c = Census::of_app(&App::new(Value::int(1), vec![]), names.len());
         assert_eq!(c.count(VarId(99)), 0);
     }
 

@@ -100,7 +100,10 @@ mod tests {
         let h = names.fresh("h");
         let abs = Abs::new(
             vec![x],
-            App::new(Value::Var(g), vec![Value::Var(h), Value::Var(x), Value::Var(g)]),
+            App::new(
+                Value::Var(g),
+                vec![Value::Var(h), Value::Var(x), Value::Var(g)],
+            ),
         );
         assert_eq!(free_vars_abs(&abs), vec![g, h]);
     }

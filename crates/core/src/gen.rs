@@ -104,7 +104,7 @@ impl Gen<'_> {
             }
             // Arithmetic with a halting exception continuation.
             25..=54 => {
-                let op = ["+", "-", "*", "/", "%"][self.rng.gen_range(0..5)];
+                let op = ["+", "-", "*", "/", "%"][self.rng.gen_range(0..5usize)];
                 let a = self.value(env);
                 let b = self.value(env);
                 let ce = self.halting_ce();
@@ -117,7 +117,7 @@ impl Gen<'_> {
             }
             // Two-way comparison branch (budget split between arms).
             55..=74 => {
-                let op = ["<", ">", "<=", ">=", "=", "<>"][self.rng.gen_range(0..6)];
+                let op = ["<", ">", "<=", ">=", "=", "<>"][self.rng.gen_range(0..6usize)];
                 let a = self.value(env);
                 let b = self.value(env);
                 let half = budget / 2;
@@ -194,8 +194,7 @@ mod tests {
     fn generated_programs_are_well_formed() {
         for seed in 0..50 {
             let (ctx, app) = gen_program(seed, GenConfig::default());
-            check_app(&ctx, &app)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            check_app(&ctx, &app).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
@@ -219,8 +218,22 @@ mod tests {
 
     #[test]
     fn bigger_budgets_give_bigger_programs() {
-        let small = gen_program(7, GenConfig { steps: 2, ..Default::default() }).1;
-        let large = gen_program(7, GenConfig { steps: 40, ..Default::default() }).1;
+        let small = gen_program(
+            7,
+            GenConfig {
+                steps: 2,
+                ..Default::default()
+            },
+        )
+        .1;
+        let large = gen_program(
+            7,
+            GenConfig {
+                steps: 40,
+                ..Default::default()
+            },
+        )
+        .1;
         assert!(large.size() > small.size());
     }
 }

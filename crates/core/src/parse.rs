@@ -457,7 +457,10 @@ mod tests {
     fn prebound_names_resolve() {
         let mut ctx = Ctx::new();
         let g = ctx.names.fresh("g");
-        let parsed = Parser::new(&mut ctx, "(g 1 2)").bind("g", g).parse_top().unwrap();
+        let parsed = Parser::new(&mut ctx, "(g 1 2)")
+            .bind("g", g)
+            .parse_top()
+            .unwrap();
         assert!(parsed.free.is_empty());
         assert_eq!(parsed.app.func, Value::Var(g));
     }

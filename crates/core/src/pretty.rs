@@ -166,7 +166,10 @@ mod tests {
         let t = ctx.names.fresh("t");
         let ce = ctx.names.fresh_cont("ce");
         let cc = ctx.names.fresh_cont("cc");
-        let abs = Abs::new(vec![t, ce, cc], App::new(Value::Var(cc), vec![Value::Var(t)]));
+        let abs = Abs::new(
+            vec![t, ce, cc],
+            App::new(Value::Var(cc), vec![Value::Var(t)]),
+        );
         let s = print_abs(&ctx, &abs);
         assert!(s.starts_with("proc(t_0 ^ce_1 ^cc_2)"), "{s}");
     }

@@ -308,8 +308,20 @@ pub fn install(table: &mut PrimTable) {
         None,
         PrimCost::Fn(|a| 2 + a.args.len() as u32),
     ));
-    table.register(def("new", Signature::exact(2, 1), READS, None, PrimCost::Const(4)));
-    table.register(def("[]", Signature::exact(2, 2), READS, None, PrimCost::Const(2)));
+    table.register(def(
+        "new",
+        Signature::exact(2, 1),
+        READS,
+        None,
+        PrimCost::Const(4),
+    ));
+    table.register(def(
+        "[]",
+        Signature::exact(2, 2),
+        READS,
+        None,
+        PrimCost::Const(2),
+    ));
     table.register(def(
         "[:=]",
         Signature::exact(3, 2),
@@ -319,8 +331,20 @@ pub fn install(table: &mut PrimTable) {
     ));
 
     // Byte arrays.
-    table.register(def("bnew", Signature::exact(2, 1), READS, None, PrimCost::Const(4)));
-    table.register(def("b[]", Signature::exact(2, 2), READS, None, PrimCost::Const(2)));
+    table.register(def(
+        "bnew",
+        Signature::exact(2, 1),
+        READS,
+        None,
+        PrimCost::Const(4),
+    ));
+    table.register(def(
+        "b[]",
+        Signature::exact(2, 2),
+        READS,
+        None,
+        PrimCost::Const(2),
+    ));
     table.register(def(
         "b[:=]",
         Signature::exact(3, 2),
@@ -362,7 +386,13 @@ pub fn install(table: &mut PrimTable) {
     });
 
     // Array/byte-array size and block moves.
-    table.register(def("size", Signature::exact(1, 1), READS, None, PrimCost::Const(1)));
+    table.register(def(
+        "size",
+        Signature::exact(1, 1),
+        READS,
+        None,
+        PrimCost::Const(1),
+    ));
     table.register(def(
         "move",
         Signature::exact(5, 2),
@@ -411,8 +441,20 @@ pub fn install(table: &mut PrimTable) {
     ));
 
     // Top-level termination and diagnostics.
-    table.register(def("halt", Signature::exact(1, 0), WRITES, None, PrimCost::Const(1)));
-    table.register(def("print", Signature::exact(1, 1), WRITES, None, PrimCost::Const(10)));
+    table.register(def(
+        "halt",
+        Signature::exact(1, 0),
+        WRITES,
+        None,
+        PrimCost::Const(1),
+    ));
+    table.register(def(
+        "print",
+        Signature::exact(1, 1),
+        WRITES,
+        None,
+        PrimCost::Const(10),
+    ));
 }
 
 // ---------------------------------------------------------------------------
@@ -683,7 +725,10 @@ fn fold_case(app: &App) -> FoldOutcome {
 /// Validate `(Y λ(c₀ v₁…vₙ c) (c entry abs₁…absₙ))`.
 fn validate_y(app: &App) -> Result<(), String> {
     if app.args.len() != 1 {
-        return Err(format!("Y expects one abstraction argument, got {}", app.args.len()));
+        return Err(format!(
+            "Y expects one abstraction argument, got {}",
+            app.args.len()
+        ));
     }
     let Value::Abs(abs) = &app.args[0] else {
         return Err("Y's argument must be an abstraction".to_string());
@@ -783,13 +828,20 @@ mod tests {
         let x = Value::Var(ctx.names.fresh("x"));
         let ce = cc(&mut ctx.names);
         let k = cc(&mut ctx.names);
-        let by0 = app_of(&ctx, "*", vec![x.clone(), Value::int(0), ce.clone(), k.clone()]);
+        let by0 = app_of(
+            &ctx,
+            "*",
+            vec![x.clone(), Value::int(0), ce.clone(), k.clone()],
+        );
         assert_eq!(
             fold(&ctx, &by0),
             FoldOutcome::Replaced(App::new(k.clone(), vec![Value::int(0)]))
         );
         let by1 = app_of(&ctx, "*", vec![x.clone(), Value::int(1), ce, k.clone()]);
-        assert_eq!(fold(&ctx, &by1), FoldOutcome::Replaced(App::new(k, vec![x])));
+        assert_eq!(
+            fold(&ctx, &by1),
+            FoldOutcome::Replaced(App::new(k, vec![x]))
+        );
     }
 
     #[test]
@@ -813,9 +865,17 @@ mod tests {
         let t = cc(&mut ctx.names);
         let f = cc(&mut ctx.names);
         let t2 = cc(&mut ctx.names);
-        let lt = app_of(&ctx, "<", vec![Value::int(1), Value::int(2), t.clone(), f.clone()]);
+        let lt = app_of(
+            &ctx,
+            "<",
+            vec![Value::int(1), Value::int(2), t.clone(), f.clone()],
+        );
         assert_eq!(fold(&ctx, &lt), FoldOutcome::Replaced(App::new(t, vec![])));
-        let ge = app_of(&ctx, ">=", vec![Value::int(1), Value::int(2), t2, f.clone()]);
+        let ge = app_of(
+            &ctx,
+            ">=",
+            vec![Value::int(1), Value::int(2), t2, f.clone()],
+        );
         assert_eq!(fold(&ctx, &ge), FoldOutcome::Replaced(App::new(f, vec![])));
     }
 
@@ -849,7 +909,10 @@ mod tests {
                 c3,
             ],
         );
-        assert_eq!(fold(&ctx, &app), FoldOutcome::Replaced(App::new(c2, vec![])));
+        assert_eq!(
+            fold(&ctx, &app),
+            FoldOutcome::Replaced(App::new(c2, vec![]))
+        );
     }
 
     #[test]
@@ -930,7 +993,11 @@ mod tests {
     fn fold_char_roundtrip() {
         let mut ctx = Ctx::new();
         let k = cc(&mut ctx.names);
-        let c2i = app_of(&ctx, "char2int", vec![Value::Lit(Lit::Char(b'a')), k.clone()]);
+        let c2i = app_of(
+            &ctx,
+            "char2int",
+            vec![Value::Lit(Lit::Char(b'a')), k.clone()],
+        );
         assert_eq!(
             fold(&ctx, &c2i),
             FoldOutcome::Replaced(App::new(k.clone(), vec![Value::int(97)]))
@@ -961,7 +1028,11 @@ mod tests {
             fold(&ctx, &add),
             FoldOutcome::Replaced(App::new(k.clone(), vec![Value::Lit(Lit::real(4.0))]))
         );
-        let sq = app_of(&ctx, "fsqrt", vec![Value::Lit(Lit::real(25.0)), ce, k.clone()]);
+        let sq = app_of(
+            &ctx,
+            "fsqrt",
+            vec![Value::Lit(Lit::real(25.0)), ce, k.clone()],
+        );
         assert_eq!(
             fold(&ctx, &sq),
             FoldOutcome::Replaced(App::new(k, vec![Value::Lit(Lit::real(5.0))]))
@@ -973,7 +1044,11 @@ mod tests {
         let mut ctx = Ctx::new();
         let t = cc(&mut ctx.names);
         let f = cc(&mut ctx.names);
-        let app = app_of(&ctx, "btest", vec![Value::Lit(Lit::Bool(false)), t, f.clone()]);
+        let app = app_of(
+            &ctx,
+            "btest",
+            vec![Value::Lit(Lit::Bool(false)), t, f.clone()],
+        );
         assert_eq!(fold(&ctx, &app), FoldOutcome::Replaced(App::new(f, vec![])));
     }
 
@@ -982,11 +1057,43 @@ mod tests {
         // Every primitive named in the paper's figure 2 must be registered.
         let ctx = Ctx::new();
         for name in [
-            "+", "-", "*", "/", "%", "<", ">", "<=", ">=", "<<", ">>", "&", "|", "^",
-            "char2int", "int2char", "array", "vector", "new", "[]", "[:=]", "b[]", "b[:=]",
-            "==", "Y", "size", "move", "bmove", "ccall", "pushHandler", "popHandler", "raise",
+            "+",
+            "-",
+            "*",
+            "/",
+            "%",
+            "<",
+            ">",
+            "<=",
+            ">=",
+            "<<",
+            ">>",
+            "&",
+            "|",
+            "^",
+            "char2int",
+            "int2char",
+            "array",
+            "vector",
+            "new",
+            "[]",
+            "[:=]",
+            "b[]",
+            "b[:=]",
+            "==",
+            "Y",
+            "size",
+            "move",
+            "bmove",
+            "ccall",
+            "pushHandler",
+            "popHandler",
+            "raise",
         ] {
-            assert!(ctx.prims.lookup(name).is_some(), "figure 2 prim {name} missing");
+            assert!(
+                ctx.prims.lookup(name).is_some(),
+                "figure 2 prim {name} missing"
+            );
         }
     }
 }

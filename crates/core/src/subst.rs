@@ -66,7 +66,10 @@ mod tests {
         let mut app = App::new(Value::Var(x), vec![Value::Var(x), Value::int(1)]);
         let n = subst_app(&mut app, x, &Value::int(7));
         assert_eq!(n, 2);
-        assert_eq!(app, App::new(Value::int(7), vec![Value::int(7), Value::int(1)]));
+        assert_eq!(
+            app,
+            App::new(Value::int(7), vec![Value::int(7), Value::int(1)])
+        );
     }
 
     #[test]

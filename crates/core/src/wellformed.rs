@@ -311,7 +311,9 @@ mod tests {
         let CoreError::WellFormedness(msgs) = err else {
             panic!()
         };
-        assert!(msgs.iter().any(|m| m.contains("mismatch") || m.contains("escapes")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("mismatch") || m.contains("escapes")));
     }
 
     #[test]
@@ -408,7 +410,10 @@ mod tests {
             ],
         );
         let not_done = Abs::new(vec![], add);
-        let exit = Abs::new(vec![], App::new(Value::Var(cc), vec![Value::Lit(Lit::Unit)]));
+        let exit = Abs::new(
+            vec![],
+            App::new(Value::Var(cc), vec![Value::Lit(Lit::Unit)]),
+        );
         let head_body = App::new(
             Value::Prim(gt),
             vec![

@@ -35,9 +35,7 @@ impl Type {
         match (self, other) {
             (Type::Dyn, _) | (_, Type::Dyn) => true,
             (Type::Fun(a, r), Type::Fun(b, s)) => {
-                a.len() == b.len()
-                    && a.iter().zip(b).all(|(x, y)| y.flows_to(x))
-                    && r.flows_to(s)
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| y.flows_to(x)) && r.flows_to(s)
             }
             _ => self == other,
         }

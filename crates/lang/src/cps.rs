@@ -198,10 +198,7 @@ impl Cps<'_> {
                         let ce = Value::Var(self.ce);
                         let sub = self.prim("[]")?;
                         self.with_value_cont(k, |_, cc| {
-                            Ok(App::new(
-                                sub,
-                                vec![Value::Var(cell), Value::int(0), ce, cc],
-                            ))
+                            Ok(App::new(sub, vec![Value::Var(cell), Value::int(0), ce, cc]))
                         })
                     }
                     None => {
@@ -210,25 +207,23 @@ impl Cps<'_> {
                     }
                 }
             }
-            Expr::Call(f, args, _) => {
-                self.convert(
-                    f,
-                    K::Fn(Box::new(move |cps, fv| {
-                        cps.convert_list(
-                            args,
-                            Vec::new(),
-                            Box::new(move |cps, mut vals| {
-                                let ce = Value::Var(cps.ce);
-                                cps.with_value_cont(k, move |_, cc| {
-                                    vals.push(ce);
-                                    vals.push(cc);
-                                    Ok(App::new(fv, vals))
-                                })
-                            }),
-                        )
-                    })),
-                )
-            }
+            Expr::Call(f, args, _) => self.convert(
+                f,
+                K::Fn(Box::new(move |cps, fv| {
+                    cps.convert_list(
+                        args,
+                        Vec::new(),
+                        Box::new(move |cps, mut vals| {
+                            let ce = Value::Var(cps.ce);
+                            cps.with_value_cont(k, move |_, cc| {
+                                vals.push(ce);
+                                vals.push(cc);
+                                Ok(App::new(fv, vals))
+                            })
+                        }),
+                    )
+                })),
+            ),
             Expr::Prim(name, args, _) => self.convert_list(
                 args,
                 Vec::new(),
@@ -246,19 +241,14 @@ impl Cps<'_> {
                 let ret = cps.ctx.names.fresh_cont("c");
                 let entry = Abs::new(vec![], App::new(Value::Var(loop_v), vec![]));
                 let continue_app = App::new(Value::Var(loop_v), vec![]);
-                let body_app = cps.convert(
-                    body,
-                    K::Fn(Box::new(move |_cps, _v| Ok(continue_app))),
-                )?;
+                let body_app =
+                    cps.convert(body, K::Fn(Box::new(move |_cps, _v| Ok(continue_app))))?;
                 let exit_app = App::new(Value::Var(j), vec![Value::Lit(Lit::Unit)]);
                 let test = cps.convert_test(c, body_app, exit_app)?;
                 let head = Abs::new(vec![], test);
                 let y_abs = Abs::new(
                     vec![c0, loop_v, ret],
-                    App::new(
-                        Value::Var(ret),
-                        vec![Value::from(entry), Value::from(head)],
-                    ),
+                    App::new(Value::Var(ret), vec![Value::from(entry), Value::from(head)]),
                 );
                 let y = cps.prim("Y")?;
                 Ok(App::new(y, vec![Value::from(y_abs)]))
@@ -332,10 +322,7 @@ impl Cps<'_> {
                     })),
                 )
             }
-            Expr::Seq(a, b) => self.convert(
-                a,
-                K::Fn(Box::new(move |cps, _| cps.convert(b, k))),
-            ),
+            Expr::Seq(a, b) => self.convert(a, K::Fn(Box::new(move |cps, _| cps.convert(b, k)))),
             Expr::Tuple(items, _) => self.convert_list(
                 items,
                 Vec::new(),
@@ -410,8 +397,7 @@ impl Cps<'_> {
                                 })
                             } else {
                                 let temp = cps.ctx.names.fresh("tempRel");
-                                let proj_app =
-                                    cps.projection(var, target, Value::Var(temp), k)?;
+                                let proj_app = cps.projection(var, target, Value::Var(temp), k)?;
                                 Ok(App::new(
                                     sel,
                                     vec![
@@ -474,7 +460,10 @@ impl Cps<'_> {
         let project = self.prim("project")?;
         let ce = Value::Var(self.ce);
         self.with_value_cont(k, move |_, cc| {
-            Ok(App::new(project, vec![Value::from(target_abs), rel, ce, cc]))
+            Ok(App::new(
+                project,
+                vec![Value::from(target_abs), rel, ce, cc],
+            ))
         })
     }
 
@@ -723,16 +712,12 @@ mod tests {
             "module m export f\nlet f(a: Int): Int = a + a + a\nend",
             LowerMode::Library,
         );
-        let adds = rs[0]
-            .globals
-            .iter()
-            .filter(|(n, _)| n == "int.add")
-            .count();
+        let adds = rs[0].globals.iter().filter(|(n, _)| n == "int.add").count();
         assert_eq!(adds, 1);
     }
 
     #[test]
-    fn loops_use_y(){
+    fn loops_use_y() {
         let (ctx, rs) = convert(
             "module m export f\n\
              let f(n: Int): Int = var s := 0 in \

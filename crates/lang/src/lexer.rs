@@ -34,8 +34,8 @@ pub struct Token {
 
 const KEYWORDS: &[&str] = &[
     "module", "export", "let", "var", "in", "if", "then", "else", "end", "while", "do", "for",
-    "upto", "true", "false", "nil", "and", "or", "not", "raise", "try", "handle", "prim",
-    "tuple", "select", "from", "where", "exists",
+    "upto", "true", "false", "nil", "and", "or", "not", "raise", "try", "handle", "prim", "tuple",
+    "select", "from", "where", "exists",
 ];
 
 /// Tokenize TL source.
@@ -102,9 +102,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let word = &src[start..i];

@@ -260,7 +260,13 @@ impl Parser {
                 self.eat_kw("do")?;
                 let body = self.expr()?;
                 self.eat_kw("end")?;
-                Ok(Expr::For(v, Box::new(lo), Box::new(hi), Box::new(body), pos))
+                Ok(Expr::For(
+                    v,
+                    Box::new(lo),
+                    Box::new(hi),
+                    Box::new(body),
+                    pos,
+                ))
             }
             Tok::Kw("raise") => {
                 self.bump();
@@ -432,8 +438,7 @@ impl Parser {
                 let Tok::Int(n) = self.bump() else {
                     unreachable!("peeked");
                 };
-                let n = usize::try_from(n)
-                    .map_err(|_| self.err("negative tuple projection"))?;
+                let n = usize::try_from(n).map_err(|_| self.err("negative tuple projection"))?;
                 e = Expr::Proj(Box::new(e), n, pos);
             } else {
                 break;
@@ -477,9 +482,9 @@ impl Parser {
                 let name = match self.bump() {
                     Tok::Str(s) => s,
                     other => {
-                        return Err(self.err(format!(
-                            "expected primitive name string, found {other:?}"
-                        )))
+                        return Err(
+                            self.err(format!("expected primitive name string, found {other:?}"))
+                        )
                     }
                 };
                 self.eat_punct("(")?;
@@ -607,7 +612,10 @@ mod tests {
     #[test]
     fn embedded_query_syntax() {
         let e = parse_expr("select x from x in r where x.1 > 20").unwrap();
-        let Expr::Select { target, var, pred, .. } = e else {
+        let Expr::Select {
+            target, var, pred, ..
+        } = e
+        else {
             panic!("expected select");
         };
         assert_eq!(*target, Expr::Var("x".into(), target.pos()));

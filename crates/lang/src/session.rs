@@ -157,24 +157,18 @@ impl Session {
                 .vm
                 .compile_proc(&self.ctx, &abs)
                 .map_err(|e| LangError::Compile(e.to_string()))?;
-            let by_var: HashMap<VarId, &str> = cps
-                .globals
-                .iter()
-                .map(|(n, v)| (*v, n.as_str()))
-                .collect();
+            let by_var: HashMap<VarId, &str> =
+                cps.globals.iter().map(|(n, v)| (*v, n.as_str())).collect();
             let captures = compiled
                 .captures
                 .iter()
                 .map(|v| {
-                    by_var
-                        .get(v)
-                        .map(|n| n.to_string())
-                        .ok_or_else(|| {
-                            LangError::Compile(format!(
-                                "capture {} is not a known global",
-                                self.ctx.names.display(*v)
-                            ))
-                        })
+                    by_var.get(v).map(|n| n.to_string()).ok_or_else(|| {
+                        LangError::Compile(format!(
+                            "capture {} is not a known global",
+                            self.ctx.names.display(*v)
+                        ))
+                    })
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             pending.push(Pending {
@@ -279,11 +273,8 @@ impl Session {
     /// Collect store garbage, rooting the session's global bindings in
     /// addition to the store's named roots.
     pub fn collect_garbage(&mut self) -> tml_store::gc::GcStats {
-        let extra: Vec<tml_core::Oid> = self
-            .globals
-            .values()
-            .filter_map(SVal::as_ref_oid)
-            .collect();
+        let extra: Vec<tml_core::Oid> =
+            self.globals.values().filter_map(SVal::as_ref_oid).collect();
         tml_store::gc::collect(&mut self.store, &extra)
     }
 
@@ -324,9 +315,13 @@ mod tests {
     #[test]
     fn stdlib_functions_execute() {
         let mut s = Session::default_session().unwrap();
-        let r = s.call("int.add", vec![RVal::Int(2), RVal::Int(40)]).unwrap();
+        let r = s
+            .call("int.add", vec![RVal::Int(2), RVal::Int(40)])
+            .unwrap();
         assert_eq!(r.result, RVal::Int(42));
-        let r = s.call("int.max", vec![RVal::Int(2), RVal::Int(40)]).unwrap();
+        let r = s
+            .call("int.max", vec![RVal::Int(2), RVal::Int(40)])
+            .unwrap();
         assert_eq!(r.result, RVal::Int(40));
         let r = s.call("real.sqrt", vec![RVal::Real(25.0)]).unwrap();
         assert_eq!(r.result, RVal::Real(5.0));
@@ -336,10 +331,8 @@ mod tests {
     fn user_module_with_operators() {
         for lower in [LowerMode::Library, LowerMode::Direct] {
             let mut s = session(lower, OptMode::None);
-            s.load_str(
-                "module m export sq\nlet sq(a: Int): Int = a * a + 1\nend",
-            )
-            .unwrap();
+            s.load_str("module m export sq\nlet sq(a: Int): Int = a * a + 1\nend")
+                .unwrap();
             let r = s.call("m.sq", vec![RVal::Int(6)]).unwrap();
             assert_eq!(r.result, RVal::Int(37), "mode {lower:?}");
         }
@@ -409,8 +402,14 @@ mod tests {
              end",
         )
         .unwrap();
-        assert_eq!(s.call("m.f", vec![RVal::Int(2)]).unwrap().result, RVal::Int(5));
-        assert_eq!(s.call("m.f", vec![RVal::Int(0)]).unwrap().result, RVal::Int(-7));
+        assert_eq!(
+            s.call("m.f", vec![RVal::Int(2)]).unwrap().result,
+            RVal::Int(5)
+        );
+        assert_eq!(
+            s.call("m.f", vec![RVal::Int(0)]).unwrap().result,
+            RVal::Int(-7)
+        );
     }
 
     #[test]
@@ -424,7 +423,11 @@ mod tests {
         };
         assert!(c.ptml.is_some());
         // int.min calls int.lt — recorded as an R-value binding.
-        assert!(c.bindings.iter().any(|(n, _)| n == "int.lt"), "{:?}", c.bindings);
+        assert!(
+            c.bindings.iter().any(|(n, _)| n == "int.lt"),
+            "{:?}",
+            c.bindings
+        );
     }
 
     #[test]
@@ -473,10 +476,8 @@ mod tests {
     #[test]
     fn print_output_captured() {
         let mut s = Session::default_session().unwrap();
-        s.load_str(
-            "module m export f\nlet f(a: Int): Unit = io.print(a)\nend",
-        )
-        .unwrap();
+        s.load_str("module m export f\nlet f(a: Int): Unit = io.print(a)\nend")
+            .unwrap();
         let r = s.call("m.f", vec![RVal::Int(7)]).unwrap();
         assert_eq!(r.output, vec!["7"]);
     }

@@ -348,7 +348,8 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        s.load_str(p.src).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        s.load_str(p.src)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
         let r = s
             .call(p.entry, vec![RVal::Int(n)])
             .unwrap_or_else(|e| panic!("{}: {e}", p.name));

@@ -127,8 +127,10 @@ mod tests {
             .flat_map(|m| m.exports.iter().map(move |e| format!("{}.{e}", m.name)))
             .collect();
         from_src.sort();
-        let mut listed: Vec<String> =
-            stdlib_exports().iter().map(|(n, _)| n.to_string()).collect();
+        let mut listed: Vec<String> = stdlib_exports()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect();
         listed.sort();
         assert_eq!(from_src, listed);
     }

@@ -285,7 +285,11 @@ impl Checker<'_> {
                         if ps.len() != args.len() {
                             return Err(self.err(
                                 *pos,
-                                format!("call expects {} argument(s), got {}", ps.len(), args.len()),
+                                format!(
+                                    "call expects {} argument(s), got {}",
+                                    ps.len(),
+                                    args.len()
+                                ),
                             ));
                         }
                         for (i, (got, want)) in arg_tys.iter().zip(ps).enumerate() {
@@ -316,7 +320,12 @@ impl Checker<'_> {
                     }
                     // a and b → if a then b else false; a or b → if a then true else b
                     let lowered = if *op == BinOp::And {
-                        Expr::If(Box::new(al), Box::new(bl), Box::new(Expr::Bool(false)), *pos)
+                        Expr::If(
+                            Box::new(al),
+                            Box::new(bl),
+                            Box::new(Expr::Bool(false)),
+                            *pos,
+                        )
                     } else {
                         Expr::If(Box::new(al), Box::new(Expr::Bool(true)), Box::new(bl), *pos)
                     };
@@ -394,10 +403,7 @@ impl Checker<'_> {
                     return Err(self.err(*pos, format!("while condition has type {cty}")));
                 }
                 let (bl, _) = self.infer(body)?;
-                (
-                    Expr::While(Box::new(cl), Box::new(bl), *pos),
-                    Type::Unit,
-                )
+                (Expr::While(Box::new(cl), Box::new(bl), *pos), Type::Unit)
             }
             Expr::For(v, lo, hi, body, pos) => {
                 let (lol, loty) = self.infer(lo)?;
@@ -415,7 +421,13 @@ impl Checker<'_> {
                 let body_l = self.infer(body).map(|(b, _)| b);
                 self.locals.pop();
                 (
-                    Expr::For(v.clone(), Box::new(lol), Box::new(hil), Box::new(body_l?), *pos),
+                    Expr::For(
+                        v.clone(),
+                        Box::new(lol),
+                        Box::new(hil),
+                        Box::new(body_l?),
+                        *pos,
+                    ),
                     Type::Unit,
                 )
             }
@@ -429,10 +441,7 @@ impl Checker<'_> {
                 let body_l = self.infer(body);
                 self.locals.pop();
                 let (bl, bty) = body_l?;
-                (
-                    Expr::Let(x.clone(), Box::new(il), Box::new(bl), *pos),
-                    bty,
-                )
+                (Expr::Let(x.clone(), Box::new(il), Box::new(bl), *pos), bty)
             }
             Expr::VarDecl(x, init, body, pos) => {
                 let (il, ity) = self.infer(init)?;
@@ -531,9 +540,7 @@ impl Checker<'_> {
                         Some(p) => {
                             let (pl, pty) = self.infer(p)?;
                             if !pty.flows_to(&Type::Bool) {
-                                return Err(
-                                    self.err(*pos, format!("where clause has type {pty}"))
-                                );
+                                return Err(self.err(*pos, format!("where clause has type {pty}")));
                             }
                             Some(Box::new(pl))
                         }

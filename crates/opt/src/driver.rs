@@ -142,7 +142,8 @@ mod tests {
     #[test]
     fn optimize_abs_keeps_parameters() {
         let mut ctx = Ctx::new();
-        let parsed = parse_app(&mut ctx, "(cont(q) (+ 1 2 cont(e)(halt e) cont(t)(q t)) k)").unwrap();
+        let parsed =
+            parse_app(&mut ctx, "(cont(q) (+ 1 2 cont(e)(halt e) cont(t)(q t)) k)").unwrap();
         let abs = parsed.app.func.as_abs().unwrap().clone();
         let (opt_abs, _) = optimize_abs(&mut ctx, abs, &OptOptions::default());
         assert_eq!(opt_abs.params.len(), 1);
@@ -166,7 +167,13 @@ mod tests {
     fn optimizer_preserves_well_formedness_on_random_programs() {
         use tml_core::gen::{gen_program, GenConfig};
         for seed in 0..40 {
-            let (mut ctx, app) = gen_program(seed, GenConfig { steps: 20, ..Default::default() });
+            let (mut ctx, app) = gen_program(
+                seed,
+                GenConfig {
+                    steps: 20,
+                    ..Default::default()
+                },
+            );
             let (out, _) = optimize(&mut ctx, app, &OptOptions::default());
             check_app(&ctx, &out).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }

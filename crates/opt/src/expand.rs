@@ -69,10 +69,7 @@ fn walk(ctx: &mut Ctx, app: &mut App, opts: &OptOptions, census: &Census, out: &
         if body_cost > opts.inline_limit {
             continue;
         }
-        let template = app.args[i]
-            .as_abs()
-            .expect("checked is_abs")
-            .clone();
+        let template = app.args[i].as_abs().expect("checked is_abs").clone();
         let Value::Abs(fabs) = &mut app.func else {
             unreachable!("checked above")
         };

@@ -121,7 +121,10 @@ impl Sweep<'_> {
         if !abs.params.is_empty() || !app.args.is_empty() {
             return false;
         }
-        let body = std::mem::replace(&mut abs.body, App::new(Value::Lit(tml_core::Lit::Unit), vec![]));
+        let body = std::mem::replace(
+            &mut abs.body,
+            App::new(Value::Lit(tml_core::Lit::Unit), vec![]),
+        );
         *app = body;
         self.stats.reduce += 1;
         true
@@ -405,7 +408,10 @@ mod tests {
         let (ctx, app, stats) = run(src);
         assert_eq!(stats.eta_reduce, 1);
         let printed = print_app(&ctx, &app);
-        assert!(printed.ends_with("k_2)") || printed.contains(" k_"), "{printed}");
+        assert!(
+            printed.ends_with("k_2)") || printed.contains(" k_"),
+            "{printed}"
+        );
     }
 
     #[test]

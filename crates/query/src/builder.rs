@@ -30,12 +30,8 @@ impl Pred {
         let ccx = ctx.names.fresh_cont("ccx");
         let body = match self {
             Pred::True => App::new(Value::Var(ccx), vec![Value::Lit(Lit::Bool(true))]),
-            Pred::ColEq(col, key) => {
-                col_test(ctx, "=", x, *col, Value::Lit(key.clone()), cex, ccx)
-            }
-            Pred::ColLt(col, n) => {
-                col_test(ctx, "<", x, *col, Value::Lit(Lit::Int(*n)), cex, ccx)
-            }
+            Pred::ColEq(col, key) => col_test(ctx, "=", x, *col, Value::Lit(key.clone()), cex, ccx),
+            Pred::ColLt(col, n) => col_test(ctx, "<", x, *col, Value::Lit(Lit::Int(*n)), cex, ccx),
         };
         Abs::new(vec![x, cex, ccx], body)
     }
@@ -150,11 +146,7 @@ mod tests {
         let app = select_chain(
             &mut ctx,
             Oid(3),
-            &[
-                Pred::ColEq(0, Lit::Int(1)),
-                Pred::ColLt(1, 10),
-                Pred::True,
-            ],
+            &[Pred::ColEq(0, Lit::Int(1)), Pred::ColLt(1, 10), Pred::True],
         );
         check_app(&ctx, &app).unwrap();
         let printed = tml_core::pretty::print_app(&qctx_for_print(&ctx), &app);

@@ -22,13 +22,7 @@ pub fn sample_relation(store: &mut Store, rows: usize, modulus: i64) -> Oid {
 
 /// A pseudo-random relation for benchmarks: schema `id, a, b`, with `a`
 /// uniform in `0..a_card` and `b` uniform in `0..b_card`.
-pub fn random_relation(
-    store: &mut Store,
-    rows: usize,
-    a_card: i64,
-    b_card: i64,
-    seed: u64,
-) -> Oid {
+pub fn random_relation(store: &mut Store, rows: usize, a_card: i64, b_card: i64, seed: u64) -> Oid {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rel = Relation::new(vec!["id".into(), "a".into(), "b".into()]);
     for i in 0..rows {

@@ -123,7 +123,9 @@ pub fn install_externs(t: &mut ExternTable) {
             as_bool(args[0].clone())? || as_bool(args[1].clone())?,
         ))
     });
-    t.register("not", |_ctx, args| Ok(RVal::Bool(!as_bool(args[0].clone())?)));
+    t.register("not", |_ctx, args| {
+        Ok(RVal::Bool(!as_bool(args[0].clone())?))
+    });
 
     t.register("rinsert", |ctx, args| {
         let RVal::Ref(rel_oid) = args[0] else {
@@ -225,9 +227,11 @@ mod tests {
             .unwrap();
         // Bind Rel by substitution with the literal OID.
         let mut app = parsed.app;
-        tml_core::subst::subst_app(&mut app, rel_var, &tml_core::term::Value::Lit(
-            tml_core::Lit::Oid(rel),
-        ));
+        tml_core::subst::subst_app(
+            &mut app,
+            rel_var,
+            &tml_core::term::Value::Lit(tml_core::Lit::Oid(rel)),
+        );
         let block = s.vm.compile_program(&s.ctx, &app).unwrap();
         let mut machine = Machine::new(&s.vm.code, &s.vm.externs, &mut s.store, 10_000_000);
         let out = machine.run(block, Vec::new(), Vec::new()).unwrap();
@@ -245,7 +249,8 @@ mod tests {
     #[test]
     fn select_filters_rows() {
         // Column 1 (value) is i*10 % 70: select value = 30.
-        let src = "(select proc(x ce cc) ([] x 1 ce cont(v) (= v 30 cont()(cc true) cont()(cc false))) \
+        let src =
+            "(select proc(x ce cc) ([] x 1 ce cont(v) (= v 30 cont()(cc true) cont()(cc false))) \
                     Rel cont(e)(halt e) cont(r) (count r cont(e2)(halt e2) cont(n)(halt n)))";
         let (r, _) = run_query(src, 70);
         assert_eq!(r, RVal::Int(10));
@@ -261,7 +266,8 @@ mod tests {
 
     #[test]
     fn exists_short_circuits() {
-        let src = "(exists proc(x ce cc) ([] x 0 ce cont(v) (= v 3 cont()(cc true) cont()(cc false))) \
+        let src =
+            "(exists proc(x ce cc) ([] x 0 ce cont(v) (= v 3 cont()(cc true) cont()(cc false))) \
                     Rel cont(e)(halt e) cont(b)(halt b))";
         let (r, _) = run_query(src, 10);
         assert_eq!(r, RVal::Bool(true));
@@ -304,7 +310,8 @@ mod tests {
 
     #[test]
     fn index_select_equals_scan_select() {
-        let scan = "(select proc(x ce cc) ([] x 1 ce cont(v) (= v 30 cont()(cc true) cont()(cc false))) \
+        let scan =
+            "(select proc(x ce cc) ([] x 1 ce cont(v) (= v 30 cont()(cc true) cont()(cc false))) \
                      Rel cont(e)(halt e) cont(r) (count r cont(e2)(halt e2) cont(n)(halt n)))";
         let (scan_n, _) = run_query(scan, 70);
         let indexed = "(mkindex Rel 1 cont(e)(halt e) cont(ix) \

@@ -38,9 +38,7 @@ pub struct IntegratedStats {
 /// index lookups).
 pub fn reflect_options_with_queries() -> tml_reflect::ReflectOptions {
     tml_reflect::ReflectOptions {
-        query_rewriter: Some(|ctx, store, app| {
-            rewrite_queries(ctx, Some(store), app).total()
-        }),
+        query_rewriter: Some(|ctx, store, app| rewrite_queries(ctx, Some(store), app).total()),
         ..Default::default()
     }
 }
@@ -130,8 +128,7 @@ mod tests {
         // A single equality select over the indexed column becomes an
         // index lookup.
         let app = select_chain(&mut ctx, rel, &[Pred::ColEq(1, Lit::Int(10))]);
-        let (out, stats) =
-            integrated_optimize(&mut ctx, Some(&store), app, &OptOptions::default());
+        let (out, stats) = integrated_optimize(&mut ctx, Some(&store), app, &OptOptions::default());
         assert_eq!(stats.query.index_select, 1);
         let printed = print_app(&ctx, &out);
         assert!(printed.contains("idxselect"), "{printed}");

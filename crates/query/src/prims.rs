@@ -153,8 +153,19 @@ mod tests {
     fn all_query_prims_registered() {
         let c = ctx();
         for name in [
-            "select", "project", "join", "exists", "empty", "count", "and", "or", "not",
-            "rinsert", "mkrel", "idxselect", "mkindex",
+            "select",
+            "project",
+            "join",
+            "exists",
+            "empty",
+            "count",
+            "and",
+            "or",
+            "not",
+            "rinsert",
+            "mkrel",
+            "idxselect",
+            "mkindex",
         ] {
             assert!(c.prims.lookup(name).is_some(), "missing {name}");
         }
@@ -177,7 +188,12 @@ mod tests {
 
         let t = App::new(
             Value::Prim(and),
-            vec![Value::Lit(Lit::Bool(true)), x.clone(), ce.clone(), cc.clone()],
+            vec![
+                Value::Lit(Lit::Bool(true)),
+                x.clone(),
+                ce.clone(),
+                cc.clone(),
+            ],
         );
         assert_eq!(
             fold(&t),

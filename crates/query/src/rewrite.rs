@@ -280,9 +280,7 @@ impl Rewriter<'_> {
         );
         *app = match ce_binding {
             None => rewritten,
-            Some((h, ce_val)) => {
-                App::new(Value::from(Abs::new(vec![h], rewritten)), vec![ce_val])
-            }
+            Some((h, ce_val)) => App::new(Value::from(Abs::new(vec![h], rewritten)), vec![ce_val]),
         };
         true
     }
@@ -391,7 +389,10 @@ mod tests {
         let mut app = select_chain(
             &mut ctx,
             rel,
-            &[Pred::ColEq(1, Lit::Int(30)), Pred::ColEq(2, Lit::Bool(true))],
+            &[
+                Pred::ColEq(1, Lit::Int(30)),
+                Pred::ColEq(2, Lit::Bool(true)),
+            ],
         );
         check_app(&ctx, &app).unwrap();
         let stats = rewrite_queries(&mut ctx, None, &mut app);
@@ -452,7 +453,8 @@ mod tests {
     #[test]
     fn trivial_exists_blocked_when_pred_uses_range_var() {
         let mut ctx = qctx();
-        let src = "(exists proc(x ce cc) ([] x 0 ce cont(v) (= v 3 cont()(cc true) cont()(cc false))) \
+        let src =
+            "(exists proc(x ce cc) ([] x 0 ce cont(v) (= v 3 cont()(cc true) cont()(cc false))) \
                     Rel e cont(b) (halt b))";
         let parsed = tml_core::parse::parse_app(&mut ctx, src).unwrap();
         let mut app = parsed.app;

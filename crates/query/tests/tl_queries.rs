@@ -117,9 +117,7 @@ fn reflective_integrated_optimization_merges_views() {
     let plain_count = count(&mut s, plain.result.clone());
 
     let optimized = optimize_named(&mut s, "db.both", &reflect_options_with_queries()).unwrap();
-    let fast = s
-        .call_value(RVal::from_sval(&optimized), vec![r])
-        .unwrap();
+    let fast = s.call_value(RVal::from_sval(&optimized), vec![r]).unwrap();
     let fast_count = count(&mut s, fast.result.clone());
 
     assert_eq!(plain_count, fast_count);
@@ -148,6 +146,54 @@ fn reflective_optimization_without_query_rules_is_sound() {
         count(&mut s, plain.result.clone()),
         count(&mut s, fast.result.clone())
     );
+}
+
+/// E10 + cache: repeated reflective optimization of the same query function
+/// is answered from the store's optimization cache, and the key covers the
+/// store's index structures — creating an index afterwards produces a fresh
+/// product instead of a stale hit.
+#[test]
+fn query_plan_cache_hits_and_index_creation_changes_the_key() {
+    let mut s = session();
+    let r = setup_rel(&mut s, 20);
+    let opts = reflect_options_with_queries();
+
+    let cold = optimize_named(&mut s, "db.adults", &opts).unwrap();
+    let m0 = s.store.cache_stats();
+    let warm = optimize_named(&mut s, "db.adults", &opts).unwrap();
+    let m1 = s.store.cache_stats();
+    assert_eq!(m1.hits, m0.hits + 1, "{m1:?}");
+    assert_eq!(m1.inserts, m0.inserts, "{m1:?}");
+
+    // Both products compute the same relation.
+    let cold_rel = s
+        .call_value(RVal::from_sval(&cold), vec![r.clone()])
+        .unwrap()
+        .result;
+    let warm_rel = s
+        .call_value(RVal::from_sval(&warm), vec![r.clone()])
+        .unwrap()
+        .result;
+    let want = count(&mut s, cold_rel);
+    let got = count(&mut s, warm_rel);
+    assert_eq!(want, got);
+
+    // Index the filtered column (x.1): the index fingerprint folds into
+    // the key, so the next optimization is a miss, not a (stale) hit.
+    let RVal::Ref(rel_oid) = r else {
+        panic!("expected relation oid, got {r:?}")
+    };
+    tml_query::data::build_index(&mut s.store, rel_oid, 1).unwrap();
+    let indexed = optimize_named(&mut s, "db.adults", &opts).unwrap();
+    let m2 = s.store.cache_stats();
+    assert_eq!(m2.hits, m1.hits, "index creation must not hit: {m2:?}");
+    assert_eq!(m2.inserts, m1.inserts + 1, "{m2:?}");
+    let indexed_rel = s
+        .call_value(RVal::from_sval(&indexed), vec![r])
+        .unwrap()
+        .result;
+    let got = count(&mut s, indexed_rel);
+    assert_eq!(want, got);
 }
 
 #[test]

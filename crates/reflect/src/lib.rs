@@ -27,14 +27,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use tml_core::subst::subst_many;
 use tml_core::term::{Abs, App, Value};
 use tml_core::{Ctx, Oid, VarId};
 use tml_lang::Session;
 use tml_opt::{optimize_abs, OptOptions, OptStats};
+use tml_store::cache::{binding_signature, hash_bytes, SigHasher};
 use tml_store::ptml::{decode_abs, encode_abs};
-use tml_store::{ClosureObj, Object, SVal, Store};
+use tml_store::{CacheEntry, CacheKey, ClosureObj, Object, SVal, Store};
+use tml_vm::codec;
 
 /// An additional tree rewriter interleaved with the program optimizer —
 /// the paper's figure-4 interaction: "whenever the program optimizer
@@ -56,6 +58,11 @@ pub struct ReflectOptions {
     /// Domain-specific rewriter run in alternation with the program
     /// optimizer (figure 4).
     pub query_rewriter: Option<ExtraRewriter>,
+    /// Consult (and populate) the store's persistent reflective-optimization
+    /// cache: repeated optimizations of the same PTML against unchanged
+    /// bindings link the memoized bytecode directly instead of re-running
+    /// the decode → optimize → codegen pipeline.
+    pub use_cache: bool,
 }
 
 impl Default for ReflectOptions {
@@ -64,6 +71,7 @@ impl Default for ReflectOptions {
             inline_depth: 3,
             opt: OptOptions::default(),
             query_rewriter: None,
+            use_cache: true,
         }
     }
 }
@@ -127,6 +135,11 @@ pub struct TermBuilder<'a> {
     /// The binding value observed for each residual name (absent when the
     /// source closure recorded no binding for it).
     pub residual_values: HashMap<String, SVal>,
+    /// Every store object consulted while building the term: the source
+    /// closures and PTML blobs (transitively) plus every `Ref` binding
+    /// target. Mutation or collection of any of these invalidates a cached
+    /// optimization product derived from this build.
+    pub deps: BTreeSet<Oid>,
     residual_ix: HashMap<String, VarId>,
     visiting: HashSet<Oid>,
 }
@@ -139,6 +152,7 @@ impl<'a> TermBuilder<'a> {
             store,
             residuals: Vec::new(),
             residual_values: HashMap::new(),
+            deps: BTreeSet::new(),
             residual_ix: HashMap::new(),
             visiting: HashSet::new(),
         }
@@ -176,6 +190,8 @@ impl<'a> TermBuilder<'a> {
     pub fn build(&mut self, oid: Oid, depth: u32) -> Result<Abs, ReflectError> {
         let clo = self.closure(oid)?;
         let ptml_oid = clo.ptml.ok_or(ReflectError::NoPtml(oid))?;
+        self.deps.insert(oid);
+        self.deps.insert(ptml_oid);
         let bytes = match self.store.get(ptml_oid) {
             Ok(Object::Ptml(b)) => b.clone(),
             Ok(other) => return Err(ReflectError::BadPtml(format!("{} object", other.kind()))),
@@ -184,8 +200,7 @@ impl<'a> TermBuilder<'a> {
         let bindings: Vec<(String, SVal)> = clo.bindings.clone();
         let (mut abs, frees) =
             decode_abs(self.ctx, &bytes).map_err(|e| ReflectError::BadPtml(e.to_string()))?;
-        let by_name: HashMap<&str, &SVal> =
-            bindings.iter().map(|(n, v)| (n.as_str(), v)).collect();
+        let by_name: HashMap<&str, &SVal> = bindings.iter().map(|(n, v)| (n.as_str(), v)).collect();
 
         self.visiting.insert(oid);
         let mut bind_vars: Vec<VarId> = Vec::new();
@@ -199,6 +214,11 @@ impl<'a> TermBuilder<'a> {
                 self.keep_residual(name, *var, &mut renames);
                 continue;
             };
+            if let SVal::Ref(target) = sval {
+                // Even bindings that end up residual or literal were
+                // consulted: cached products depend on them.
+                self.deps.insert(*target);
+            }
             match sval {
                 SVal::Ref(target)
                     if depth > 0
@@ -266,15 +286,117 @@ struct Rebuilt {
     stats: OptStats,
 }
 
+/// Fold the optimization configuration into the cache signature: the same
+/// PTML/bindings pair optimized under different options is a different
+/// product.
+fn options_fingerprint(options: &ReflectOptions) -> u64 {
+    let o = &options.opt;
+    let r = &o.rules;
+    let rule_bits = [
+        r.subst,
+        r.remove,
+        r.reduce,
+        r.eta_reduce,
+        r.fold,
+        r.case_subst,
+        r.y_remove,
+        r.y_reduce,
+        r.expand,
+    ]
+    .iter()
+    .fold(0u64, |acc, &b| (acc << 1) | u64::from(b));
+    let mut h = SigHasher::new();
+    h.write_u64(u64::from(options.inline_depth))
+        .write_u64(u64::from(o.inline_limit))
+        .write_u64(o.penalty_limit)
+        .write_u64(u64::from(o.max_rounds))
+        .write_u64(rule_bits)
+        .write_u64(u64::from(options.query_rewriter.is_some()));
+    h.finish()
+}
+
+/// When a query rewriter participates, the store's index structures are an
+/// input to optimization (figure 4: runtime-binding index-selection rules).
+/// Fold their identity into the signature — creating or dropping an index
+/// changes the key — and record them as dependencies, so mutating an index
+/// invalidates products compiled against it.
+fn index_fingerprint(store: &Store, deps: &mut BTreeSet<Oid>) -> u64 {
+    let mut h = SigHasher::new();
+    for (oid, obj) in store.iter() {
+        if let Object::Index(ix) = obj {
+            deps.insert(oid);
+            h.write_u64(oid.0)
+                .write_u64(ix.relation.0)
+                .write_u64(ix.column as u64);
+        }
+    }
+    h.finish()
+}
+
 fn rebuild(
     session: &mut Session,
     oid: Oid,
     name: Option<String>,
     options: &ReflectOptions,
 ) -> Result<Rebuilt, ReflectError> {
+    // Key derivation (DESIGN.md §4): content hash of the source PTML blob,
+    // plus a signature of the R-value bindings and the optimizer
+    // configuration. Validity of a hit is checked separately against the
+    // observed store versions recorded in the entry.
+    let (ptml_hash, binding_sig) = {
+        let clo = match session.store.get(oid) {
+            Ok(Object::Closure(c)) => c,
+            Ok(other) => return Err(ReflectError::NotAClosure(other.kind().to_string())),
+            Err(e) => return Err(ReflectError::Store(e.to_string())),
+        };
+        let ptml_oid = clo.ptml.ok_or(ReflectError::NoPtml(oid))?;
+        let bytes = match session.store.get(ptml_oid) {
+            Ok(Object::Ptml(b)) => b,
+            Ok(other) => return Err(ReflectError::BadPtml(format!("{} object", other.kind()))),
+            Err(e) => return Err(ReflectError::Store(e.to_string())),
+        };
+        (hash_bytes(bytes), binding_signature(&clo.bindings))
+    };
+    let mut deps: BTreeSet<Oid> = BTreeSet::new();
+    let mut sig = binding_sig ^ options_fingerprint(options);
+    if options.query_rewriter.is_some() {
+        sig ^= index_fingerprint(&session.store, &mut deps);
+    }
+    let key = CacheKey {
+        ptml_hash,
+        binding_sig: sig,
+    };
+
+    if options.use_cache {
+        if let Some(entry) = session.store.cache_lookup(key) {
+            // Hit: link the memoized bytecode directly — no PTML decode, no
+            // optimizer, no code generation.
+            // An undecodable cached segment (corrupt image) falls through to
+            // the full recomputation below; the insert overwrites the entry.
+            if let Ok(block) = codec::decode_segment(&mut session.vm.code, &entry.code) {
+                let ptml = session.store.alloc(Object::Ptml(entry.ptml));
+                let stats = OptStats {
+                    size_before: entry.size_before as usize,
+                    size_after: entry.size_after as usize,
+                    inlined: entry.inlined,
+                    ..OptStats::default()
+                };
+                return Ok(Rebuilt {
+                    name,
+                    old_oid: oid,
+                    block,
+                    captures: entry.captures,
+                    ptml,
+                    stats,
+                });
+            }
+        }
+    }
+
     let (abs, residuals, residual_values) = {
         let mut tb = TermBuilder::new(&mut session.ctx, &session.store);
         let abs = tb.build(oid, options.inline_depth)?;
+        deps.extend(tb.deps.iter().copied());
         (abs, tb.residuals, tb.residual_values)
     };
     let (optimized, stats) = match options.query_rewriter {
@@ -291,9 +413,7 @@ fn rebuild(
                 abs = a2;
                 last = s2;
                 rounds += 1;
-                if rounds >= 8
-                    || (rewrites == 0 && s2.total_reductions() == 0 && s2.inlined == 0)
-                {
+                if rounds >= 8 || (rewrites == 0 && s2.total_reductions() == 0 && s2.inlined == 0) {
                     break;
                 }
             }
@@ -301,15 +421,12 @@ fn rebuild(
         }
     };
     let bytes = encode_abs(&session.ctx, &optimized);
-    let ptml = session.store.alloc(Object::Ptml(bytes));
+    let ptml = session.store.alloc(Object::Ptml(bytes.clone()));
     let compiled = session
         .vm
         .compile_proc(&session.ctx, &optimized)
         .map_err(|e| ReflectError::Compile(e.to_string()))?;
-    let by_var: HashMap<VarId, &str> = residuals
-        .iter()
-        .map(|(n, v)| (*v, n.as_str()))
-        .collect();
+    let by_var: HashMap<VarId, &str> = residuals.iter().map(|(n, v)| (*v, n.as_str())).collect();
     let captures = compiled
         .captures
         .iter()
@@ -325,6 +442,26 @@ fn rebuild(
                 })
         })
         .collect::<Result<Vec<_>, _>>()?;
+    if options.use_cache {
+        // Memoize the product. The observed versions are read *after* the
+        // build so any concurrent mutation would already be reflected.
+        let observed = deps
+            .iter()
+            .map(|&d| (d, session.store.version(d)))
+            .collect();
+        let entry = CacheEntry::new(
+            observed,
+            bytes,
+            codec::encode_segment(&session.vm.code, compiled.block),
+            captures.clone(),
+        )
+        .with_attrs(
+            stats.size_before as u64,
+            stats.size_after as u64,
+            stats.inlined,
+        );
+        session.store.cache_insert(key, entry);
+    }
     Ok(Rebuilt {
         name,
         old_oid: oid,
@@ -488,8 +625,12 @@ pub fn optimize_all(
             _ => unreachable!("just allocated"),
         }
         session.store.set_attr(oid, "optimized", 1);
-        session.store.set_attr(oid, "size_before", r.stats.size_before as i64);
-        session.store.set_attr(oid, "size_after", r.stats.size_after as i64);
+        session
+            .store
+            .set_attr(oid, "size_before", r.stats.size_before as i64);
+        session
+            .store
+            .set_attr(oid, "size_after", r.stats.size_after as i64);
     }
 
     // Relink the global environment and module export records.
@@ -546,9 +687,7 @@ end";
         assert_eq!(plain.result, RVal::Real(5.0));
 
         let optimized = optimize_named(&mut s, "geom.abs", &ReflectOptions::default()).unwrap();
-        let fast = s
-            .call_value(RVal::from_sval(&optimized), vec![c])
-            .unwrap();
+        let fast = s.call_value(RVal::from_sval(&optimized), vec![c]).unwrap();
         assert_eq!(fast.result, RVal::Real(5.0));
         assert!(
             fast.stats.instrs < plain.stats.instrs,
@@ -593,11 +732,7 @@ end";
         let err = optimize_value(&mut s, &SVal::Int(3), &ReflectOptions::default());
         assert!(matches!(err, Err(ReflectError::NotAClosure(_))));
         let module_oid = s.store.root("int").unwrap();
-        let err = optimize_value(
-            &mut s,
-            &SVal::Ref(module_oid),
-            &ReflectOptions::default(),
-        );
+        let err = optimize_value(&mut s, &SVal::Ref(module_oid), &ReflectOptions::default());
         assert!(matches!(err, Err(ReflectError::NotAClosure(_))));
     }
 
@@ -687,6 +822,107 @@ end";
                 );
             }
         }
+    }
+
+    fn closure_ptml(s: &Session, v: &SVal) -> Vec<u8> {
+        let SVal::Ref(o) = v else { panic!("not a ref") };
+        let Ok(Object::Closure(c)) = s.store.get(*o) else {
+            panic!("not a closure")
+        };
+        let Ok(Object::Ptml(b)) = s.store.get(c.ptml.unwrap()) else {
+            panic!("no ptml")
+        };
+        b.clone()
+    }
+
+    #[test]
+    fn cache_hit_is_equivalent_to_fresh_optimization() {
+        let mut s = session();
+        s.load_str(COMPLEX_SRC).unwrap();
+        let opts = ReflectOptions::default();
+        let cold = optimize_named(&mut s, "geom.abs", &opts).unwrap();
+        let m0 = s.store.cache_stats();
+        assert_eq!((m0.hits, m0.inserts), (0, 1), "{m0:?}");
+        let warm = optimize_named(&mut s, "geom.abs", &opts).unwrap();
+        let m1 = s.store.cache_stats();
+        assert_eq!((m1.hits, m1.inserts), (1, 1), "{m1:?}");
+        // The memoized product is byte-identical PTML…
+        assert_eq!(closure_ptml(&s, &cold), closure_ptml(&s, &warm));
+        // …and behaves identically at identical cost.
+        let c = s
+            .call("complex.new", vec![RVal::Real(3.0), RVal::Real(4.0)])
+            .unwrap()
+            .result;
+        let r_cold = s
+            .call_value(RVal::from_sval(&cold), vec![c.clone()])
+            .unwrap();
+        let r_warm = s.call_value(RVal::from_sval(&warm), vec![c]).unwrap();
+        assert_eq!(r_cold.result, RVal::Real(5.0));
+        assert_eq!(r_warm.result, RVal::Real(5.0));
+        assert_eq!(r_cold.stats.instrs, r_warm.stats.instrs);
+        assert_eq!(r_cold.stats.calls, r_warm.stats.calls);
+    }
+
+    #[test]
+    fn mutating_a_dependency_invalidates_the_cached_product() {
+        let mut s = session();
+        s.load_str(COMPLEX_SRC).unwrap();
+        let opts = ReflectOptions::default();
+        let _ = optimize_named(&mut s, "geom.abs", &opts).unwrap();
+        // Touch a transitively inlined callee: the mutable borrow bumps its
+        // version (the store's conservative mutation witness).
+        let SVal::Ref(callee) = s.globals.get("complex.x").cloned().unwrap() else {
+            panic!()
+        };
+        let _ = s.store.get_mut(callee).unwrap();
+        let before = s.store.cache_stats();
+        let again = optimize_named(&mut s, "geom.abs", &opts).unwrap();
+        let after = s.store.cache_stats();
+        assert_eq!(
+            after.invalidations,
+            before.invalidations + 1,
+            "stale entry must be invalidated, not served: {after:?}"
+        );
+        assert_eq!(after.hits, before.hits, "no stale hit");
+        assert_eq!(after.inserts, before.inserts + 1, "product re-memoized");
+        // The reoptimized procedure is still correct.
+        let c = s
+            .call("complex.new", vec![RVal::Real(3.0), RVal::Real(4.0)])
+            .unwrap()
+            .result;
+        let r = s.call_value(RVal::from_sval(&again), vec![c]).unwrap();
+        assert_eq!(r.result, RVal::Real(5.0));
+    }
+
+    #[test]
+    fn disabling_the_cache_bypasses_it() {
+        let mut s = session();
+        s.load_str(COMPLEX_SRC).unwrap();
+        let opts = ReflectOptions {
+            use_cache: false,
+            ..Default::default()
+        };
+        let _ = optimize_named(&mut s, "geom.abs", &opts).unwrap();
+        let _ = optimize_named(&mut s, "geom.abs", &opts).unwrap();
+        let m = s.store.cache_stats();
+        assert_eq!(m, Default::default(), "{m:?}");
+        assert!(s.store.cache().is_empty());
+    }
+
+    #[test]
+    fn different_options_are_different_products() {
+        let mut s = session();
+        s.load_str(COMPLEX_SRC).unwrap();
+        let _ = optimize_named(&mut s, "geom.abs", &ReflectOptions::default()).unwrap();
+        let shallow = ReflectOptions {
+            inline_depth: 0,
+            ..Default::default()
+        };
+        let _ = optimize_named(&mut s, "geom.abs", &shallow).unwrap();
+        let m = s.store.cache_stats();
+        assert_eq!(m.hits, 0, "{m:?}");
+        assert_eq!(m.inserts, 2, "{m:?}");
+        assert_eq!(s.store.cache().len(), 2);
     }
 
     #[test]

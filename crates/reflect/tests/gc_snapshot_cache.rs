@@ -1,0 +1,127 @@
+//! Garbage collection, snapshot persistence and the reflective-optimization
+//! cache interacting: collect a store with tombstones, persist it, reload
+//! it, and verify that surviving OIDs — including OID literals embedded in
+//! PTML blobs — still resolve, and that cache entries are invalidated or
+//! preserved depending on whether the objects they observed survived.
+
+use tml_core::term::{App, Value};
+use tml_core::{Lit, Oid};
+use tml_lang::{Session, SessionConfig};
+use tml_reflect::{optimize_named, ReflectOptions};
+use tml_store::gc::collect;
+use tml_store::ptml::{encode_app, scan_oids};
+use tml_store::snapshot::{from_bytes, to_bytes};
+use tml_store::{Object, SVal};
+
+const COMPLEX_SRC: &str = "
+module complex export new, x, y
+let new(a: Real, b: Real): Tuple = tuple(a, b)
+let x(c: Tuple): Real = c.0
+let y(c: Tuple): Real = c.1
+end
+module geom export abs
+let abs(c: Tuple): Real =
+  real.sqrt(complex.x(c) * complex.x(c) + complex.y(c) * complex.y(c))
+end";
+
+const TMP_SRC: &str = "
+module tmp export f
+let f(x: Int): Int = x * 2 + 1
+end";
+
+fn global_roots(s: &Session) -> Vec<Oid> {
+    s.globals
+        .values()
+        .filter_map(|v| match v {
+            SVal::Ref(o) => Some(*o),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn collection_snapshot_and_reload_keep_live_state_and_valid_cache_entries() {
+    let mut s = Session::new(SessionConfig::default()).unwrap();
+    s.load_str(COMPLEX_SRC).unwrap();
+    s.load_str(TMP_SRC).unwrap();
+
+    // Two cached products: one whose sources will survive collection, one
+    // whose sources we are about to unlink.
+    let opts = ReflectOptions::default();
+    let kept = optimize_named(&mut s, "geom.abs", &opts).unwrap();
+    let _doomed = optimize_named(&mut s, "tmp.f", &opts).unwrap();
+    assert_eq!(s.store.cache().len(), 2);
+    let SVal::Ref(kept_oid) = kept else { panic!() };
+    s.store.set_root("kept", kept_oid);
+
+    // A PTML blob holding an OID literal is the only reference keeping
+    // `data` alive (paper §2.1: persistent code references persistent
+    // data directly).
+    let data = s.store.alloc(Object::Array(vec![SVal::Int(5)]));
+    let ctx = tml_core::Ctx::new();
+    let halt = ctx.prims.lookup("halt").unwrap();
+    let app = App::new(Value::Prim(halt), vec![Value::Lit(Lit::Oid(data))]);
+    let code = s.store.alloc(Object::Ptml(encode_app(&ctx, &app)));
+    s.store.set_root("code", code);
+
+    // Unlink everything `tmp.*`: its global bindings and its module root.
+    s.globals.retain(|name, _| !name.starts_with("tmp"));
+    s.store.set_root("tmp", kept_oid);
+
+    // Plain garbage, so the collection leaves tombstones behind.
+    let junk = s.store.alloc(Object::Array(vec![SVal::Int(0)]));
+    for i in 1..4 {
+        s.store.alloc(Object::Array(vec![SVal::Int(i)]));
+    }
+
+    let roots = global_roots(&s);
+    let stats = collect(&mut s.store, &roots);
+    assert!(stats.freed >= 4, "{stats:?}");
+    assert_eq!(
+        stats.cache_dropped, 1,
+        "exactly the entry observing the collected function dies: {stats:?}"
+    );
+    assert_eq!(s.store.cache().len(), 1);
+
+    // Persist the collected store and reload it.
+    let image = to_bytes(&s.store);
+    let mut loaded = from_bytes(&image).unwrap();
+
+    // Tombstones persist; dead OIDs stay dead.
+    assert!(loaded.get(junk).is_err());
+
+    // The kept optimized closure and its PTML resolve.
+    let Ok(Object::Closure(c)) = loaded.get(kept_oid) else {
+        panic!("kept closure lost")
+    };
+    let kept_ptml = c.ptml.expect("optimized closure carries PTML");
+    assert!(matches!(loaded.get(kept_ptml), Ok(Object::Ptml(_))));
+
+    // The PTML-embedded OID literal kept its target alive across collect +
+    // snapshot + reload, and the scanner still finds it.
+    let Ok(Object::Ptml(blob)) = loaded.get(code) else {
+        panic!("rooted PTML lost")
+    };
+    let embedded = scan_oids(&blob.clone()).unwrap();
+    assert_eq!(embedded, vec![data]);
+    assert_eq!(
+        loaded.get(data).unwrap(),
+        &Object::Array(vec![SVal::Int(5)])
+    );
+
+    // The surviving cache entry revalidates against the reloaded store:
+    // its observed versions were persisted with the image.
+    assert_eq!(loaded.cache().len(), 1);
+    let key = *loaded.cache().iter().next().unwrap().0;
+    let before = loaded.cache_stats();
+    assert!(
+        loaded.cache_lookup(key).is_some(),
+        "surviving entry must still be a hit after reload"
+    );
+    let after = loaded.cache_stats();
+    assert_eq!(after.hits, before.hits + 1);
+    assert_eq!(after.invalidations, before.invalidations);
+
+    // Counters carried over from the original store (plus the lookup).
+    assert_eq!(after.inserts, s.store.cache_stats().inserts);
+}

@@ -28,6 +28,9 @@ pub struct GcStats {
     pub freed: usize,
     /// Approximate bytes reclaimed.
     pub bytes_freed: usize,
+    /// Optimization-cache entries dropped because an object they observed
+    /// was collected.
+    pub cache_dropped: usize,
 }
 
 fn mark_sval(v: &SVal, pending: &mut Vec<Oid>) {
@@ -111,11 +114,16 @@ pub fn collect(store: &mut Store, extra_roots: &[Oid]) -> GcStats {
             store.free(oid);
         }
     }
+    // Cached optimization products are derived state, not roots: entries
+    // that observed a collected object are dropped eagerly (a later lookup
+    // would invalidate them anyway via the version check).
+    let cache_dropped = store.cache_sweep();
     GcStats {
         before,
         after: store.live(),
         freed,
         bytes_freed,
+        cache_dropped,
     }
 }
 
@@ -165,15 +173,10 @@ mod tests {
         let mut s = Store::new();
         let env_obj = s.alloc(Object::Array(vec![]));
         let bind_obj = s.alloc(Object::Array(vec![]));
-        let ptml = s.alloc(Object::Ptml(
-            crate::ptml::encode_app(
-                &tml_core::Ctx::new(),
-                &tml_core::term::App::new(
-                    tml_core::term::Value::Lit(tml_core::Lit::Int(1)),
-                    vec![],
-                ),
-            ),
-        ));
+        let ptml = s.alloc(Object::Ptml(crate::ptml::encode_app(
+            &tml_core::Ctx::new(),
+            &tml_core::term::App::new(tml_core::term::Value::Lit(tml_core::Lit::Int(1)), vec![]),
+        )));
         let clo = s.alloc(Object::Closure(ClosureObj {
             code: 0,
             env: vec![SVal::Ref(env_obj)],

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod gc;
 pub mod object;
 pub mod ptml;
@@ -32,7 +33,9 @@ pub mod store;
 pub mod sval;
 pub mod varint;
 
+pub use cache::{CacheEntry, CacheKey, CacheStats, OptCache};
 pub use object::{ClosureObj, ModuleObj, Object, Relation};
+pub use snapshot::{get_sval, put_sval};
 pub use store::{Store, StoreError, StoreStats};
 pub use sval::SVal;
 pub use tml_core::Oid;

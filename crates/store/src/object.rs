@@ -180,10 +180,7 @@ impl Object {
             }
             Object::Ptml(b) => b.len() + SLOT,
             Object::Module(m) => {
-                m.name.len()
-                    + m.exports.keys().map(|n| n.len() + SLOT)
-                        .sum::<usize>()
-                    + SLOT
+                m.name.len() + m.exports.keys().map(|n| n.len() + SLOT).sum::<usize>() + SLOT
             }
             Object::Relation(r) => {
                 r.schema.iter().map(|s| s.len()).sum::<usize>()
@@ -236,9 +233,6 @@ mod tests {
     #[test]
     fn kinds() {
         assert_eq!(Object::Tuple(vec![]).kind(), "tuple");
-        assert_eq!(
-            Object::Module(ModuleObj::default()).kind(),
-            "module"
-        );
+        assert_eq!(Object::Module(ModuleObj::default()).kind(), "module");
     }
 }

@@ -417,7 +417,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_structure() {
-        let (ctx, orig, decoded, _) = roundtrip("(cont(x) (+ x 1 cont(e)(halt e) cont(t)(halt t)) 13)");
+        let (ctx, orig, decoded, _) =
+            roundtrip("(cont(x) (+ x 1 cont(e)(halt e) cont(t)(halt t)) 13)");
         assert_eq!(orig.size(), decoded.size());
         // α-equivalent: printing differs only in unique numbers.
         let a = print_app(&ctx, &orig);
@@ -477,7 +478,13 @@ mod tests {
     fn encoding_is_compact() {
         // A few dozen nodes should encode in well under 4 bytes per node.
         use tml_core::gen::{gen_program, GenConfig};
-        let (ctx, app) = gen_program(3, GenConfig { steps: 30, ..Default::default() });
+        let (ctx, app) = gen_program(
+            3,
+            GenConfig {
+                steps: 30,
+                ..Default::default()
+            },
+        );
         let bytes = encode_app(&ctx, &app);
         assert!(
             bytes.len() < app.size() * 8,
@@ -535,5 +542,37 @@ mod tests {
         let mut bytes = encode_app(&ctx, &parsed.app);
         bytes.push(0);
         assert_eq!(decode_app(&mut ctx, &bytes), Err(DecodeError::Truncated));
+    }
+
+    /// Exhaustive truncation and bit-flip sweep: the decoder and the GC's
+    /// OID scanner read persisted bytes, so a corrupted blob must produce
+    /// an error (or, for a lucky flip, a decodable other term) — never a
+    /// panic.
+    #[test]
+    fn corrupted_blobs_never_panic_decoder_or_scanner() {
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(
+            &mut ctx,
+            "(cont(x) (+ x 1 cont(e)(halt e) cont(t)(halt t)) -9223372036854775807)",
+        )
+        .unwrap();
+        let bytes = encode_app(&ctx, &parsed.app);
+        for cut in 0..bytes.len() {
+            let mut c = Ctx::new();
+            assert!(
+                decode_app(&mut c, &bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+            let _ = scan_oids(&bytes[..cut]);
+        }
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut m = bytes.clone();
+                m[pos] ^= flip;
+                let mut c = Ctx::new();
+                let _ = decode_app(&mut c, &m);
+                let _ = scan_oids(&m);
+            }
+        }
     }
 }

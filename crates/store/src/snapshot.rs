@@ -8,10 +8,11 @@
 //! exactly the paper's architecture, where the persistent encoding of the
 //! code is the TML tree, not the machine code.
 
+use crate::cache::{CacheEntry, CacheKey, CacheStats, OptCache};
 use crate::object::{ClosureObj, IndexKey, IndexObj, ModuleObj, Object, Relation};
 use crate::store::Store;
 use crate::sval::SVal;
-use crate::varint::{put_i64, put_str, put_u64, DecodeError, Reader};
+use crate::varint::{put_bytes, put_i64, put_str, put_u64, DecodeError, Reader};
 use std::collections::BTreeMap;
 use std::path::Path;
 use tml_core::Oid;
@@ -72,6 +73,10 @@ pub fn to_bytes(store: &Store) -> Vec<u8> {
             put_i64(&mut out, *v);
         }
     }
+    // Trailing sections (absent in legacy images, which simply end here):
+    // the per-slot version vector and the reflective-optimization cache.
+    put_versions(&mut out, store.versions());
+    put_cache(&mut out, store.cache());
     out
 }
 
@@ -113,10 +118,133 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Store, DecodeError> {
         attrs.insert(oid, kv);
     }
     store.set_attr_table(attrs);
+    // Legacy images (pre version/cache sections) end right after the
+    // attribute table; `set_versions` pads with zeros and the cache stays
+    // empty.
     if !r.is_at_end() {
-        return Err(DecodeError::Truncated);
+        let versions = get_versions(&mut r)?;
+        store.set_versions(versions);
+        *store.cache_mut() = get_cache(&mut r)?;
+        if !r.is_at_end() {
+            return Err(DecodeError::Truncated);
+        }
     }
     Ok(store)
+}
+
+fn put_versions(out: &mut Vec<u8>, versions: &[u64]) {
+    put_u64(out, versions.len() as u64);
+    for &v in versions {
+        put_u64(out, v);
+    }
+}
+
+fn get_versions(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
+    let n = r.len()?;
+    let mut versions = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        versions.push(r.u64()?);
+    }
+    Ok(versions)
+}
+
+fn put_cache(out: &mut Vec<u8>, cache: &OptCache) {
+    put_u64(out, cache.cap() as u64);
+    let stats = cache.stats();
+    put_u64(out, stats.hits);
+    put_u64(out, stats.misses);
+    put_u64(out, stats.invalidations);
+    put_u64(out, stats.evictions);
+    put_u64(out, stats.inserts);
+    put_u64(out, cache.len() as u64);
+    for (key, e) in cache.iter() {
+        put_u64(out, key.ptml_hash);
+        put_u64(out, key.binding_sig);
+        put_u64(out, e.observed.len() as u64);
+        for (oid, ver) in &e.observed {
+            put_u64(out, oid.0);
+            put_u64(out, *ver);
+        }
+        put_bytes(out, &e.ptml);
+        put_bytes(out, &e.code);
+        put_u64(out, e.captures.len() as u64);
+        for (name, fallback) in &e.captures {
+            put_str(out, name);
+            match fallback {
+                Some(v) => {
+                    out.push(1);
+                    put_sval(out, v);
+                }
+                None => out.push(0),
+            }
+        }
+        put_u64(out, e.size_before);
+        put_u64(out, e.size_after);
+        put_u64(out, e.inlined);
+    }
+}
+
+fn get_cache(r: &mut Reader<'_>) -> Result<OptCache, DecodeError> {
+    let mut cache = OptCache::default();
+    let cap = r.len()?.max(1);
+    let stats = CacheStats {
+        hits: r.u64()?,
+        misses: r.u64()?,
+        invalidations: r.u64()?,
+        evictions: r.u64()?,
+        inserts: r.u64()?,
+    };
+    let nentries = r.len()?;
+    let mut entries = BTreeMap::new();
+    // Insertion order of a BTreeMap iteration is key order, so assigning
+    // ticks sequentially keeps encode(decode(x)) == encode(x).
+    for tick in 0..nentries {
+        let key = CacheKey {
+            ptml_hash: r.u64()?,
+            binding_sig: r.u64()?,
+        };
+        let nobs = r.len()?;
+        let mut observed = Vec::with_capacity(nobs.min(4096));
+        for _ in 0..nobs {
+            let oid = Oid(r.u64()?);
+            let ver = r.u64()?;
+            observed.push((oid, ver));
+        }
+        let ptml = r.byte_string()?.to_vec();
+        let code = r.byte_string()?.to_vec();
+        let ncaps = r.len()?;
+        let mut captures = Vec::with_capacity(ncaps.min(1024));
+        for _ in 0..ncaps {
+            let name = r.str()?.to_string();
+            let fallback = if r.byte()? != 0 {
+                Some(get_sval(r)?)
+            } else {
+                None
+            };
+            captures.push((name, fallback));
+        }
+        let size_before = r.u64()?;
+        let size_after = r.u64()?;
+        let inlined = r.u64()?;
+        entries.insert(
+            key,
+            CacheEntry {
+                observed,
+                ptml,
+                code,
+                captures,
+                size_before,
+                size_after,
+                inlined,
+                tick: tick as u64,
+            },
+        );
+    }
+    cache.tick = nentries as u64;
+    cache.entries = entries;
+    cache.stats = stats;
+    cache.set_cap(cap);
+    Ok(cache)
 }
 
 /// Save the store to a file.
@@ -130,7 +258,9 @@ pub fn load(path: impl AsRef<Path>) -> std::io::Result<Store> {
     from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
-fn put_sval(out: &mut Vec<u8>, v: &SVal) {
+/// Encode one [`SVal`] in the snapshot's value format. Public because the
+/// VM's code codec reuses it for constant pools.
+pub fn put_sval(out: &mut Vec<u8>, v: &SVal) {
     match v {
         SVal::Unit => out.push(VAL_UNIT),
         SVal::Bool(b) => {
@@ -160,7 +290,8 @@ fn put_sval(out: &mut Vec<u8>, v: &SVal) {
     }
 }
 
-fn get_sval(r: &mut Reader<'_>) -> Result<SVal, DecodeError> {
+/// Decode one [`SVal`] written by [`put_sval`].
+pub fn get_sval(r: &mut Reader<'_>) -> Result<SVal, DecodeError> {
     Ok(match r.byte()? {
         VAL_UNIT => SVal::Unit,
         VAL_BOOL => SVal::Bool(r.byte()? != 0),
@@ -402,7 +533,10 @@ mod tests {
         s.alloc(Object::Closure(ClosureObj {
             code: 7,
             env: vec![SVal::Ref(arr)],
-            bindings: vec![("complex".into(), SVal::Ref(arr)), ("sqrt".into(), SVal::Int(0))],
+            bindings: vec![
+                ("complex".into(), SVal::Ref(arr)),
+                ("sqrt".into(), SVal::Int(0)),
+            ],
             ptml: Some(ptml),
         }));
         let mut m = ModuleObj {
@@ -429,6 +563,26 @@ mod tests {
         s.set_attr(ptml, "cost", 42);
         s.set_attr(ptml, "savings", -3);
         s
+    }
+
+    #[test]
+    fn zero_length_payloads_roundtrip() {
+        // Empty byte arrays, PTML blobs, arrays and strings exercise the
+        // zero-length varint payload paths.
+        let mut s = Store::new();
+        let ba = s.alloc(Object::ByteArray(Vec::new()));
+        let ptml = s.alloc(Object::Ptml(Vec::new()));
+        let arr = s.alloc(Object::Array(vec![SVal::from("")]));
+        s.set_root("b", ba);
+        let bytes = to_bytes(&s);
+        let loaded = from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.get(ba).unwrap(), &Object::ByteArray(Vec::new()));
+        assert_eq!(loaded.get(ptml).unwrap(), &Object::Ptml(Vec::new()));
+        assert_eq!(
+            loaded.get(arr).unwrap(),
+            &Object::Array(vec![SVal::from("")])
+        );
+        assert_eq!(loaded.root("b"), Some(ba));
     }
 
     #[test]
@@ -467,10 +621,7 @@ mod tests {
 
     #[test]
     fn corrupt_magic_rejected() {
-        assert!(matches!(
-            from_bytes(b"NOTAST0"),
-            Err(DecodeError::BadMagic)
-        ));
+        assert!(matches!(from_bytes(b"NOTAST0"), Err(DecodeError::BadMagic)));
     }
 
     #[test]
@@ -482,12 +633,91 @@ mod tests {
     }
 
     #[test]
+    fn versions_and_cache_roundtrip() {
+        let mut s = sample_store();
+        s.get_mut(Oid(1)).unwrap(); // bump a version
+        s.get_mut(Oid(1)).unwrap();
+        s.get_mut(Oid(3)).unwrap();
+        let key = CacheKey {
+            ptml_hash: 0xfeed,
+            binding_sig: 0xbeef,
+        };
+        s.cache_insert(
+            key,
+            CacheEntry {
+                observed: vec![(Oid(1), 2), (Oid(4), 0)],
+                ptml: vec![7, 7],
+                code: vec![1, 2, 3, 4],
+                captures: vec![
+                    ("real.sqrt".into(), Some(SVal::Ref(Oid(5)))),
+                    ("k".into(), None),
+                ],
+                size_before: 40,
+                size_after: 12,
+                inlined: 3,
+                tick: 0,
+            },
+        );
+        let _ = s.cache_lookup(key); // accumulate some stats
+        let loaded = from_bytes(&to_bytes(&s)).unwrap();
+        assert_eq!(loaded.version(Oid(1)), 2);
+        assert_eq!(loaded.version(Oid(3)), 1);
+        assert_eq!(loaded.version(Oid(2)), 0);
+        assert_eq!(loaded.cache().len(), 1);
+        assert_eq!(loaded.cache_stats(), s.cache_stats());
+        let (k, e) = loaded.cache().iter().next().unwrap();
+        assert_eq!(*k, key);
+        assert_eq!(e.ptml, vec![7, 7]);
+        assert_eq!(e.code, vec![1, 2, 3, 4]);
+        assert_eq!(e.captures.len(), 2);
+        assert_eq!(e.observed, vec![(Oid(1), 2), (Oid(4), 0)]);
+        // A hit against the reloaded store still validates.
+        let mut loaded = loaded;
+        assert!(loaded.cache_lookup(key).is_some());
+    }
+
+    #[test]
+    fn reencode_is_byte_identical_with_cache_sections() {
+        let mut s = sample_store();
+        s.cache_insert(
+            CacheKey {
+                ptml_hash: 1,
+                binding_sig: 2,
+            },
+            CacheEntry {
+                observed: vec![(Oid(1), 0)],
+                ptml: vec![1],
+                code: vec![2],
+                captures: vec![],
+                size_before: 1,
+                size_after: 1,
+                inlined: 0,
+                tick: 0,
+            },
+        );
+        let bytes = to_bytes(&s);
+        let reencoded = to_bytes(&from_bytes(&bytes).unwrap());
+        assert_eq!(bytes, reencoded);
+    }
+
+    #[test]
+    fn legacy_image_without_sections_loads() {
+        // A minimal pre-cache image: magic, zero objects, zero roots, zero
+        // attributes, then EOF (the old end of format).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u64(&mut bytes, 0);
+        put_u64(&mut bytes, 0);
+        put_u64(&mut bytes, 0);
+        let s = from_bytes(&bytes).unwrap();
+        assert!(s.is_empty());
+        assert!(s.cache().is_empty());
+    }
+
+    #[test]
     fn trailing_garbage_rejected() {
         let mut bytes = to_bytes(&sample_store());
         bytes.push(0xff);
-        assert!(matches!(
-            from_bytes(&bytes),
-            Err(DecodeError::Truncated)
-        ));
+        assert!(matches!(from_bytes(&bytes), Err(DecodeError::Truncated)));
     }
 }

@@ -1,6 +1,7 @@
 //! The OID-addressed object heap with named roots and the derived-attribute
 //! cache.
 
+use crate::cache::{CacheEntry, CacheKey, CacheStats, OptCache};
 use crate::object::Object;
 use crate::sval::SVal;
 use std::collections::BTreeMap;
@@ -76,6 +77,13 @@ pub struct Store {
     objects: Vec<Option<Object>>,
     roots: BTreeMap<String, Oid>,
     attrs: BTreeMap<Oid, BTreeMap<String, i64>>,
+    /// Per-slot content version, parallel to `objects`. Bumped on every
+    /// mutable access and on collection, so derived state (the
+    /// optimization cache) can detect that an object changed behind a
+    /// stable OID.
+    versions: Vec<u64>,
+    /// The persistent reflective-optimization cache.
+    cache: OptCache,
 }
 
 impl Store {
@@ -88,6 +96,7 @@ impl Store {
     /// reserved null OID).
     pub fn alloc(&mut self, obj: Object) -> Oid {
         self.objects.push(Some(obj));
+        self.versions.push(0);
         Oid(self.objects.len() as u64)
     }
 
@@ -117,15 +126,45 @@ impl Store {
             .ok_or(StoreError::Dangling(oid))
     }
 
-    /// Fetch an object mutably.
+    /// Fetch an object mutably. Conservatively bumps the object's content
+    /// version: every mutation path goes through here, so a version
+    /// mismatch is a sound (if over-approximate) staleness witness for
+    /// derived state.
     pub fn get_mut(&mut self, oid: Oid) -> Result<&mut Object, StoreError> {
         if oid.is_null() {
             return Err(StoreError::Dangling(oid));
         }
-        self.objects
-            .get_mut(oid.0 as usize - 1)
+        let ix = oid.0 as usize - 1;
+        let slot = self
+            .objects
+            .get_mut(ix)
             .and_then(Option::as_mut)
-            .ok_or(StoreError::Dangling(oid))
+            .ok_or(StoreError::Dangling(oid))?;
+        self.versions[ix] += 1;
+        Ok(slot)
+    }
+
+    /// The content version of an object's slot: 0 at allocation, bumped on
+    /// every mutable access and on collection. Returns 0 for OIDs the
+    /// store never allocated.
+    pub fn version(&self, oid: Oid) -> u64 {
+        if oid.is_null() {
+            return 0;
+        }
+        self.versions.get(oid.0 as usize - 1).copied().unwrap_or(0)
+    }
+
+    /// `Some(version)` when the OID denotes a live object, `None` when it
+    /// is null, dangling or tombstoned.
+    pub fn live_version(&self, oid: Oid) -> Option<u64> {
+        if oid.is_null() {
+            return None;
+        }
+        let ix = oid.0 as usize - 1;
+        match self.objects.get(ix) {
+            Some(Some(_)) => Some(self.versions[ix]),
+            _ => None,
+        }
     }
 
     /// Tombstone a slot (garbage collection). The OID is never reused;
@@ -133,8 +172,12 @@ impl Store {
     /// object are dropped.
     pub(crate) fn free(&mut self, oid: Oid) {
         if !oid.is_null() {
-            if let Some(slot) = self.objects.get_mut(oid.0 as usize - 1) {
+            let ix = oid.0 as usize - 1;
+            if let Some(slot) = self.objects.get_mut(ix) {
                 *slot = None;
+                // Collection is a content change: cached results derived
+                // from this object must stop matching.
+                self.versions[ix] += 1;
             }
         }
         self.attrs.remove(&oid);
@@ -143,6 +186,7 @@ impl Store {
     /// Internal: restore a possibly-dead slot (snapshot decoding).
     pub(crate) fn push_slot(&mut self, obj: Option<Object>) {
         self.objects.push(obj);
+        self.versions.push(0);
     }
 
     /// Internal: raw slot access including tombstones (snapshot encoding).
@@ -225,6 +269,101 @@ impl Store {
     /// Internal: restore the attribute table (snapshot decoding).
     pub(crate) fn set_attr_table(&mut self, attrs: BTreeMap<Oid, BTreeMap<String, i64>>) {
         self.attrs = attrs;
+    }
+
+    /// Internal: the version vector (snapshot encoding).
+    pub(crate) fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// Internal: restore the version vector (snapshot decoding); padded or
+    /// truncated to the slot count so legacy images load cleanly.
+    pub(crate) fn set_versions(&mut self, mut versions: Vec<u64>) {
+        versions.resize(self.objects.len(), 0);
+        self.versions = versions;
+    }
+
+    // -- Reflective-optimization cache ---------------------------------------
+
+    /// Read access to the optimization cache.
+    pub fn cache(&self) -> &OptCache {
+        &self.cache
+    }
+
+    /// Mutable access to the optimization cache (capacity, clearing,
+    /// snapshot restore).
+    pub fn cache_mut(&mut self) -> &mut OptCache {
+        &mut self.cache
+    }
+
+    /// The cache's hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats
+    }
+
+    /// Look up a cached optimization product, revalidating it against the
+    /// current object versions. A stale entry (any observed object mutated
+    /// or collected since the entry was produced) is dropped and counted
+    /// as an invalidation; the lookup then reports a miss.
+    pub fn cache_lookup(&mut self, key: CacheKey) -> Option<CacheEntry> {
+        let valid = match self.cache.entries.get(&key) {
+            None => {
+                self.cache.stats.misses += 1;
+                return None;
+            }
+            Some(e) => e
+                .observed
+                .iter()
+                .all(|(oid, ver)| self.live_version(*oid) == Some(*ver)),
+        };
+        if !valid {
+            self.cache.entries.remove(&key);
+            self.cache.stats.invalidations += 1;
+            self.cache.stats.misses += 1;
+            return None;
+        }
+        self.cache.tick += 1;
+        self.cache.stats.hits += 1;
+        let entry = self.cache.entries.get_mut(&key).expect("checked above");
+        entry.tick = self.cache.tick;
+        Some(entry.clone())
+    }
+
+    /// Insert (or replace) a cached optimization product, evicting the
+    /// least-recently-used entry when at capacity.
+    pub fn cache_insert(&mut self, key: CacheKey, mut entry: CacheEntry) {
+        if !self.cache.entries.contains_key(&key) {
+            while self.cache.entries.len() >= self.cache.cap {
+                self.cache.evict_lru();
+            }
+        }
+        self.cache.tick += 1;
+        entry.tick = self.cache.tick;
+        self.cache.stats.inserts += 1;
+        self.cache.entries.insert(key, entry);
+    }
+
+    /// Drop every cache entry that observed an object which is no longer
+    /// live at its recorded version. Called by the garbage collector after
+    /// a sweep; returns the number of entries dropped (each counted as an
+    /// invalidation).
+    pub fn cache_sweep(&mut self) -> usize {
+        let stale: Vec<CacheKey> = self
+            .cache
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                e.observed
+                    .iter()
+                    .any(|(oid, ver)| self.live_version(*oid) != Some(*ver))
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for key in &stale {
+            self.cache.entries.remove(key);
+            self.cache.stats.invalidations += 1;
+        }
+        stale.len()
     }
 
     // -- Statistics ----------------------------------------------------------
@@ -405,7 +544,13 @@ mod tests {
         let mut s = Store::new();
         let b = s.alloc(Object::ByteArray(vec![]));
         let err = s.array_get(b, 0).unwrap_err();
-        assert!(matches!(err, StoreError::WrongKind { expected: "array", .. }));
+        assert!(matches!(
+            err,
+            StoreError::WrongKind {
+                expected: "array",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -444,6 +589,25 @@ mod tests {
         assert_eq!(st.ptml_bytes, 50);
         assert_eq!(st.closures, 1);
         assert!(st.bytes > 50);
+    }
+
+    #[test]
+    fn versions_track_mutation_and_collection() {
+        let mut s = Store::new();
+        let a = s.alloc(Object::Array(vec![SVal::Int(1)]));
+        let b = s.alloc(Object::Array(vec![SVal::Int(2)]));
+        assert_eq!(s.version(a), 0);
+        s.array_set(a, 0, SVal::Int(5)).unwrap();
+        assert_eq!(s.version(a), 1);
+        assert_eq!(s.version(b), 0, "mutating a must not touch b");
+        s.get_mut(a).unwrap();
+        assert_eq!(s.version(a), 2);
+        assert_eq!(s.live_version(a), Some(2));
+        s.free(a);
+        assert!(s.version(a) > 2, "collection bumps the version");
+        assert_eq!(s.live_version(a), None);
+        assert_eq!(s.version(Oid::NULL), 0);
+        assert_eq!(s.version(Oid(999)), 0);
     }
 
     #[test]

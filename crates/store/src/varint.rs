@@ -224,4 +224,67 @@ mod tests {
         let mut r = Reader::new(&buf);
         assert_eq!(r.str(), Err(DecodeError::BadUtf8));
     }
+
+    #[test]
+    fn zigzag_boundary_values() {
+        // The extremes map to the top of the unsigned range without
+        // wrapping: MIN is all-ones, MAX is all-ones minus one.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        assert_eq!(unzigzag(u64::MAX), i64::MIN);
+        assert_eq!(unzigzag(u64::MAX - 1), i64::MAX);
+        // Encoded form round-trips at exactly the 10-byte varint ceiling.
+        for x in [i64::MIN, i64::MAX, i64::MIN + 1, i64::MAX - 1] {
+            let mut buf = Vec::new();
+            put_i64(&mut buf, x);
+            assert_eq!(buf.len(), 10);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.i64().unwrap(), x);
+            assert!(r.is_at_end());
+        }
+    }
+
+    #[test]
+    fn zero_length_byte_strings_roundtrip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[]);
+        put_str(&mut buf, "");
+        assert_eq!(buf, [0, 0], "empty payloads are a bare zero length");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.byte_string().unwrap(), &[] as &[u8]);
+        assert_eq!(r.str().unwrap(), "");
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn truncated_composites_error_at_every_cut() {
+        // A composite buffer: varints, a string, a byte string, a zigzag
+        // extreme. Every proper prefix must produce an error through the
+        // matching read sequence — never a panic, never a bogus success.
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 300);
+        put_str(&mut buf, "geom.abs");
+        put_bytes(&mut buf, &[1, 2, 3]);
+        put_i64(&mut buf, i64::MIN);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            let result = r
+                .u64()
+                .and_then(|_| r.str().map(drop))
+                .and_then(|_| r.byte_string().map(drop))
+                .and_then(|_| r.i64().map(drop));
+            assert_eq!(result, Err(DecodeError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn byte_string_length_exceeding_input_is_truncation_not_panic() {
+        // A length prefix far past the end of input.
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::from(u32::MAX));
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.byte_string(), Err(DecodeError::Truncated));
+    }
 }

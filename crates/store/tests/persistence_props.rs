@@ -3,9 +3,9 @@
 //! terms through the PTML codec.
 
 use proptest::prelude::*;
+use tml_core::Oid;
 use tml_store::object::{ClosureObj, IndexKey, IndexObj, ModuleObj, Object, Relation};
 use tml_store::{snapshot, SVal, Store};
-use tml_core::Oid;
 
 fn sval_strategy() -> impl Strategy<Value = SVal> {
     prop_oneof![
@@ -30,7 +30,11 @@ fn object_strategy() -> impl Strategy<Value = Object> {
         svals().prop_map(Object::Tuple),
         proptest::collection::vec(any::<u8>(), 0..32).prop_map(Object::ByteArray),
         proptest::collection::vec(any::<u8>(), 0..32).prop_map(Object::Ptml),
-        (any::<u32>(), svals(), proptest::collection::vec(("[a-z.]{1,10}", sval_strategy()), 0..4))
+        (
+            any::<u32>(),
+            svals(),
+            proptest::collection::vec(("[a-z.]{1,10}", sval_strategy()), 0..4)
+        )
             .prop_map(|(code, env, bindings)| {
                 Object::Closure(ClosureObj {
                     code,
@@ -39,12 +43,19 @@ fn object_strategy() -> impl Strategy<Value = Object> {
                     ptml: None,
                 })
             }),
-        ("[a-z]{1,8}", proptest::collection::btree_map("[a-z]{1,6}", sval_strategy(), 0..4))
+        (
+            "[a-z]{1,8}",
+            proptest::collection::btree_map("[a-z]{1,6}", sval_strategy(), 0..4)
+        )
             .prop_map(|(name, exports)| Object::Module(ModuleObj { name, exports })),
         (1usize..4, 0usize..5).prop_map(|(cols, rows)| {
             let mut rel = Relation::new((0..cols).map(|i| format!("c{i}")).collect());
             for r in 0..rows {
-                rel.insert((0..cols).map(|c| SVal::Int((r * cols + c) as i64)).collect());
+                rel.insert(
+                    (0..cols)
+                        .map(|c| SVal::Int((r * cols + c) as i64))
+                        .collect(),
+                );
             }
             Object::Relation(rel)
         }),

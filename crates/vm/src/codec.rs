@@ -1,0 +1,877 @@
+//! Serialization of compiled code segments.
+//!
+//! The store's reflective-optimization cache ([`tml_store::cache`]) keeps,
+//! alongside the optimized PTML, the *compiled bytecode* of the optimized
+//! procedure, so a cache hit can link machine code directly without
+//! re-running the code generator. Code-table block indices are transient
+//! (each session compiles into its own [`CodeTable`]), so a segment is
+//! serialized position-independently:
+//!
+//! * [`encode_segment`] collects every block reachable from an entry block
+//!   through `Close`/`CloseGroup` references and rewrites the references
+//!   to segment-relative form;
+//! * [`decode_segment`] appends the blocks to a (possibly different) code
+//!   table and rewrites the references back to absolute indices.
+//!
+//! The two reserved native-sentinel blocks ([`NATIVE_OK_BLOCK`],
+//! [`NATIVE_ERR_BLOCK`]) exist at fixed indices in every table and are
+//! encoded as themselves rather than copied.
+
+use crate::instr::{
+    AllocKind, ArithOp, BitOp, CmpOp, CodeBlock, CodeTable, ContRef, ConvOp, GroupCap, Instr, Src,
+    NATIVE_ERR_BLOCK, NATIVE_OK_BLOCK,
+};
+use std::collections::HashMap;
+use tml_store::varint::{put_bytes, put_str, put_u64, DecodeError, Reader};
+use tml_store::{get_sval, put_sval};
+
+const MAGIC: &[u8; 5] = b"TVMC1";
+
+/// Number of reserved sentinel blocks at the start of every code table.
+const RESERVED: u32 = 2;
+
+// -- Segment extraction ------------------------------------------------------
+
+fn block_refs(block: &CodeBlock, out: &mut Vec<u32>) {
+    for instr in &block.instrs {
+        match instr {
+            Instr::Close { code, .. } => out.push(*code),
+            Instr::CloseGroup { parts, .. } => out.extend(parts.iter().map(|(c, _)| *c)),
+            _ => {}
+        }
+    }
+}
+
+/// Collect the blocks reachable from `entry`, entry first, in a
+/// deterministic order. Sentinel blocks are never included.
+fn reachable(code: &CodeTable, entry: u32) -> Vec<u32> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; code.len()];
+    let mut stack = vec![entry];
+    while let Some(ix) = stack.pop() {
+        if ix < RESERVED || seen[ix as usize] {
+            continue;
+        }
+        seen[ix as usize] = true;
+        order.push(ix);
+        let mut refs = Vec::new();
+        block_refs(code.block(ix), &mut refs);
+        // Reverse so lower-numbered references are visited first.
+        refs.reverse();
+        stack.extend(refs);
+    }
+    order
+}
+
+// -- Encoding ----------------------------------------------------------------
+
+fn put_src(out: &mut Vec<u8>, src: Src) {
+    match src {
+        Src::Slot(s) => {
+            out.push(0);
+            put_u64(out, u64::from(s));
+        }
+        Src::Env(s) => {
+            out.push(1);
+            put_u64(out, u64::from(s));
+        }
+        Src::Const(s) => {
+            out.push(2);
+            put_u64(out, u64::from(s));
+        }
+    }
+}
+
+fn put_cont(out: &mut Vec<u8>, cont: &ContRef) {
+    match cont {
+        ContRef::Label(l) => {
+            out.push(0);
+            put_u64(out, u64::from(*l));
+        }
+        ContRef::Closure(s) => {
+            out.push(1);
+            put_src(out, *s);
+        }
+    }
+}
+
+fn put_srcs(out: &mut Vec<u8>, srcs: &[Src]) {
+    put_u64(out, srcs.len() as u64);
+    for &s in srcs {
+        put_src(out, s);
+    }
+}
+
+fn arith_op_tag(op: ArithOp) -> u8 {
+    match op {
+        ArithOp::Add => 0,
+        ArithOp::Sub => 1,
+        ArithOp::Mul => 2,
+        ArithOp::Div => 3,
+        ArithOp::Mod => 4,
+        ArithOp::FAdd => 5,
+        ArithOp::FSub => 6,
+        ArithOp::FMul => 7,
+        ArithOp::FDiv => 8,
+    }
+}
+
+fn cmp_op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Lt => 0,
+        CmpOp::Gt => 1,
+        CmpOp::Le => 2,
+        CmpOp::Ge => 3,
+        CmpOp::Eq => 4,
+        CmpOp::Ne => 5,
+        CmpOp::FLt => 6,
+        CmpOp::FLe => 7,
+        CmpOp::FEq => 8,
+    }
+}
+
+fn bit_op_tag(op: BitOp) -> u8 {
+    match op {
+        BitOp::Shl => 0,
+        BitOp::Shr => 1,
+        BitOp::And => 2,
+        BitOp::Or => 3,
+        BitOp::Xor => 4,
+    }
+}
+
+fn conv_op_tag(op: ConvOp) -> u8 {
+    match op {
+        ConvOp::CharToInt => 0,
+        ConvOp::IntToChar => 1,
+        ConvOp::IntToReal => 2,
+        ConvOp::RealToInt => 3,
+        ConvOp::FSqrt => 4,
+    }
+}
+
+fn alloc_kind_tag(kind: AllocKind) -> u8 {
+    match kind {
+        AllocKind::Array => 0,
+        AllocKind::Vector => 1,
+        AllocKind::New => 2,
+        AllocKind::BNew => 3,
+    }
+}
+
+fn put_instr(out: &mut Vec<u8>, instr: &Instr, map: &impl Fn(u32) -> u64) {
+    match instr {
+        Instr::Mov { dst, src } => {
+            out.push(0);
+            put_u64(out, u64::from(*dst));
+            put_src(out, *src);
+        }
+        Instr::Close {
+            dst,
+            code,
+            captures,
+        } => {
+            out.push(1);
+            put_u64(out, u64::from(*dst));
+            put_u64(out, map(*code));
+            put_srcs(out, captures);
+        }
+        Instr::CloseGroup { dsts, parts } => {
+            out.push(2);
+            put_u64(out, dsts.len() as u64);
+            for &d in dsts.iter() {
+                put_u64(out, u64::from(d));
+            }
+            put_u64(out, parts.len() as u64);
+            for (code, caps) in parts.iter() {
+                put_u64(out, map(*code));
+                put_u64(out, caps.len() as u64);
+                for cap in caps.iter() {
+                    match cap {
+                        GroupCap::Ext(s) => {
+                            out.push(0);
+                            put_src(out, *s);
+                        }
+                        GroupCap::Member(m) => {
+                            out.push(1);
+                            put_u64(out, u64::from(*m));
+                        }
+                    }
+                }
+            }
+        }
+        Instr::Arith {
+            op,
+            dst,
+            a,
+            b,
+            on_err,
+            on_ok,
+        } => {
+            out.push(3);
+            out.push(arith_op_tag(*op));
+            put_u64(out, u64::from(*dst));
+            put_src(out, *a);
+            put_src(out, *b);
+            put_cont(out, on_err);
+            put_cont(out, on_ok);
+        }
+        Instr::Branch {
+            op,
+            a,
+            b,
+            then_,
+            else_,
+        } => {
+            out.push(4);
+            out.push(cmp_op_tag(*op));
+            put_src(out, *a);
+            put_src(out, *b);
+            put_cont(out, then_);
+            put_cont(out, else_);
+        }
+        Instr::Bit {
+            op,
+            dst,
+            a,
+            b,
+            on_ok,
+        } => {
+            out.push(5);
+            out.push(bit_op_tag(*op));
+            put_u64(out, u64::from(*dst));
+            put_src(out, *a);
+            put_src(out, *b);
+            put_cont(out, on_ok);
+        }
+        Instr::Conv { op, dst, a, on_ok } => {
+            out.push(6);
+            out.push(conv_op_tag(*op));
+            put_u64(out, u64::from(*dst));
+            put_src(out, *a);
+            put_cont(out, on_ok);
+        }
+        Instr::BTest { a, then_, else_ } => {
+            out.push(7);
+            put_src(out, *a);
+            put_cont(out, then_);
+            put_cont(out, else_);
+        }
+        Instr::Switch {
+            scrut,
+            tags,
+            targets,
+            default,
+        } => {
+            out.push(8);
+            put_src(out, *scrut);
+            put_srcs(out, tags);
+            put_u64(out, targets.len() as u64);
+            for t in targets.iter() {
+                put_cont(out, t);
+            }
+            match default {
+                Some(d) => {
+                    out.push(1);
+                    put_cont(out, d);
+                }
+                None => out.push(0),
+            }
+        }
+        Instr::Alloc {
+            kind,
+            dst,
+            args,
+            on_ok,
+        } => {
+            out.push(9);
+            out.push(alloc_kind_tag(*kind));
+            put_u64(out, u64::from(*dst));
+            put_srcs(out, args);
+            put_cont(out, on_ok);
+        }
+        Instr::Idx {
+            byte,
+            dst,
+            arr,
+            index,
+            on_err,
+            on_ok,
+        } => {
+            out.push(10);
+            out.push(u8::from(*byte));
+            put_u64(out, u64::from(*dst));
+            put_src(out, *arr);
+            put_src(out, *index);
+            put_cont(out, on_err);
+            put_cont(out, on_ok);
+        }
+        Instr::IdxSet {
+            byte,
+            dst,
+            arr,
+            index,
+            value,
+            on_err,
+            on_ok,
+        } => {
+            out.push(11);
+            out.push(u8::from(*byte));
+            put_u64(out, u64::from(*dst));
+            put_src(out, *arr);
+            put_src(out, *index);
+            put_src(out, *value);
+            put_cont(out, on_err);
+            put_cont(out, on_ok);
+        }
+        Instr::Size { dst, arr, on_ok } => {
+            out.push(12);
+            put_u64(out, u64::from(*dst));
+            put_src(out, *arr);
+            put_cont(out, on_ok);
+        }
+        Instr::MoveBlk {
+            byte,
+            dst,
+            args,
+            on_err,
+            on_ok,
+        } => {
+            out.push(13);
+            out.push(u8::from(*byte));
+            put_u64(out, u64::from(*dst));
+            for &a in args.iter() {
+                put_src(out, a);
+            }
+            put_cont(out, on_err);
+            put_cont(out, on_ok);
+        }
+        Instr::Extern {
+            name,
+            dst,
+            args,
+            on_err,
+            on_ok,
+        } => {
+            out.push(14);
+            put_u64(out, u64::from(*name));
+            put_u64(out, u64::from(*dst));
+            put_srcs(out, args);
+            put_cont(out, on_err);
+            put_cont(out, on_ok);
+        }
+        Instr::PushHandler { handler, on_ok } => {
+            out.push(15);
+            put_src(out, *handler);
+            put_cont(out, on_ok);
+        }
+        Instr::PopHandler { on_ok } => {
+            out.push(16);
+            put_cont(out, on_ok);
+        }
+        Instr::Raise { src } => {
+            out.push(17);
+            put_src(out, *src);
+        }
+        Instr::Call { target, args } => {
+            out.push(18);
+            put_src(out, *target);
+            put_srcs(out, args);
+        }
+        Instr::Jump { target } => {
+            out.push(19);
+            put_u64(out, u64::from(*target));
+        }
+        Instr::Halt { src } => {
+            out.push(20);
+            put_src(out, *src);
+        }
+        Instr::Print { dst, src, on_ok } => {
+            out.push(21);
+            put_u64(out, u64::from(*dst));
+            put_src(out, *src);
+            put_cont(out, on_ok);
+        }
+        Instr::NativeRet { ok } => {
+            out.push(22);
+            out.push(u8::from(*ok));
+        }
+    }
+}
+
+/// Serialize the code segment reachable from `entry` into a
+/// position-independent byte string.
+pub fn encode_segment(code: &CodeTable, entry: u32) -> Vec<u8> {
+    let order = reachable(code, entry);
+    let seg_ref: HashMap<u32, u64> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &abs)| (abs, i as u64 + u64::from(RESERVED)))
+        .collect();
+    let map = |abs: u32| -> u64 {
+        if abs < RESERVED {
+            u64::from(abs)
+        } else {
+            *seg_ref
+                .get(&abs)
+                .expect("reachable() covers all references")
+        }
+    };
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u64(&mut out, order.len() as u64);
+    put_u64(&mut out, map(entry));
+    for &abs in &order {
+        let block = code.block(abs);
+        put_str(&mut out, &block.name);
+        put_u64(&mut out, u64::from(block.nparams));
+        put_u64(&mut out, u64::from(block.nslots));
+        let mut consts = Vec::new();
+        for c in &block.consts {
+            put_sval(&mut consts, c);
+        }
+        put_u64(&mut out, block.consts.len() as u64);
+        put_bytes(&mut out, &consts);
+        put_u64(&mut out, block.extern_names.len() as u64);
+        for n in &block.extern_names {
+            put_str(&mut out, n);
+        }
+        put_u64(&mut out, block.instrs.len() as u64);
+        for instr in &block.instrs {
+            put_instr(&mut out, instr, &map);
+        }
+    }
+    out
+}
+
+// -- Decoding ----------------------------------------------------------------
+
+fn get_u16(r: &mut Reader<'_>) -> Result<u16, DecodeError> {
+    let x = r.u64()?;
+    u16::try_from(x).map_err(|_| DecodeError::BadIndex(x))
+}
+
+fn get_u32(r: &mut Reader<'_>) -> Result<u32, DecodeError> {
+    let x = r.u64()?;
+    u32::try_from(x).map_err(|_| DecodeError::BadIndex(x))
+}
+
+fn get_src(r: &mut Reader<'_>) -> Result<Src, DecodeError> {
+    Ok(match r.byte()? {
+        0 => Src::Slot(get_u16(r)?),
+        1 => Src::Env(get_u16(r)?),
+        2 => Src::Const(get_u16(r)?),
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn get_cont(r: &mut Reader<'_>) -> Result<ContRef, DecodeError> {
+    Ok(match r.byte()? {
+        0 => ContRef::Label(get_u32(r)?),
+        1 => ContRef::Closure(get_src(r)?),
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn get_srcs(r: &mut Reader<'_>) -> Result<Box<[Src]>, DecodeError> {
+    let n = r.len()?;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(get_src(r)?);
+    }
+    Ok(out.into_boxed_slice())
+}
+
+fn get_arith_op(t: u8) -> Result<ArithOp, DecodeError> {
+    Ok(match t {
+        0 => ArithOp::Add,
+        1 => ArithOp::Sub,
+        2 => ArithOp::Mul,
+        3 => ArithOp::Div,
+        4 => ArithOp::Mod,
+        5 => ArithOp::FAdd,
+        6 => ArithOp::FSub,
+        7 => ArithOp::FMul,
+        8 => ArithOp::FDiv,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn get_cmp_op(t: u8) -> Result<CmpOp, DecodeError> {
+    Ok(match t {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Gt,
+        2 => CmpOp::Le,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        5 => CmpOp::Ne,
+        6 => CmpOp::FLt,
+        7 => CmpOp::FLe,
+        8 => CmpOp::FEq,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn get_bit_op(t: u8) -> Result<BitOp, DecodeError> {
+    Ok(match t {
+        0 => BitOp::Shl,
+        1 => BitOp::Shr,
+        2 => BitOp::And,
+        3 => BitOp::Or,
+        4 => BitOp::Xor,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn get_conv_op(t: u8) -> Result<ConvOp, DecodeError> {
+    Ok(match t {
+        0 => ConvOp::CharToInt,
+        1 => ConvOp::IntToChar,
+        2 => ConvOp::IntToReal,
+        3 => ConvOp::RealToInt,
+        4 => ConvOp::FSqrt,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn get_alloc_kind(t: u8) -> Result<AllocKind, DecodeError> {
+    Ok(match t {
+        0 => AllocKind::Array,
+        1 => AllocKind::Vector,
+        2 => AllocKind::New,
+        3 => AllocKind::BNew,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+fn get_instr(
+    r: &mut Reader<'_>,
+    map: &impl Fn(u64) -> Result<u32, DecodeError>,
+) -> Result<Instr, DecodeError> {
+    Ok(match r.byte()? {
+        0 => Instr::Mov {
+            dst: get_u16(r)?,
+            src: get_src(r)?,
+        },
+        1 => Instr::Close {
+            dst: get_u16(r)?,
+            code: map(r.u64()?)?,
+            captures: get_srcs(r)?,
+        },
+        2 => {
+            let ndsts = r.len()?;
+            let mut dsts = Vec::with_capacity(ndsts.min(4096));
+            for _ in 0..ndsts {
+                dsts.push(get_u16(r)?);
+            }
+            let nparts = r.len()?;
+            let mut parts = Vec::with_capacity(nparts.min(4096));
+            for _ in 0..nparts {
+                let code = map(r.u64()?)?;
+                let ncaps = r.len()?;
+                let mut caps = Vec::with_capacity(ncaps.min(4096));
+                for _ in 0..ncaps {
+                    caps.push(match r.byte()? {
+                        0 => GroupCap::Ext(get_src(r)?),
+                        1 => GroupCap::Member(get_u16(r)?),
+                        t => return Err(DecodeError::BadTag(t)),
+                    });
+                }
+                parts.push((code, caps.into_boxed_slice()));
+            }
+            Instr::CloseGroup {
+                dsts: dsts.into_boxed_slice(),
+                parts: parts.into_boxed_slice(),
+            }
+        }
+        3 => Instr::Arith {
+            op: get_arith_op(r.byte()?)?,
+            dst: get_u16(r)?,
+            a: get_src(r)?,
+            b: get_src(r)?,
+            on_err: get_cont(r)?,
+            on_ok: get_cont(r)?,
+        },
+        4 => Instr::Branch {
+            op: get_cmp_op(r.byte()?)?,
+            a: get_src(r)?,
+            b: get_src(r)?,
+            then_: get_cont(r)?,
+            else_: get_cont(r)?,
+        },
+        5 => Instr::Bit {
+            op: get_bit_op(r.byte()?)?,
+            dst: get_u16(r)?,
+            a: get_src(r)?,
+            b: get_src(r)?,
+            on_ok: get_cont(r)?,
+        },
+        6 => Instr::Conv {
+            op: get_conv_op(r.byte()?)?,
+            dst: get_u16(r)?,
+            a: get_src(r)?,
+            on_ok: get_cont(r)?,
+        },
+        7 => Instr::BTest {
+            a: get_src(r)?,
+            then_: get_cont(r)?,
+            else_: get_cont(r)?,
+        },
+        8 => {
+            let scrut = get_src(r)?;
+            let tags = get_srcs(r)?;
+            let ntargets = r.len()?;
+            let mut targets = Vec::with_capacity(ntargets.min(4096));
+            for _ in 0..ntargets {
+                targets.push(get_cont(r)?);
+            }
+            let default = if r.byte()? != 0 {
+                Some(get_cont(r)?)
+            } else {
+                None
+            };
+            Instr::Switch {
+                scrut,
+                tags,
+                targets: targets.into_boxed_slice(),
+                default,
+            }
+        }
+        9 => Instr::Alloc {
+            kind: get_alloc_kind(r.byte()?)?,
+            dst: get_u16(r)?,
+            args: get_srcs(r)?,
+            on_ok: get_cont(r)?,
+        },
+        10 => Instr::Idx {
+            byte: r.byte()? != 0,
+            dst: get_u16(r)?,
+            arr: get_src(r)?,
+            index: get_src(r)?,
+            on_err: get_cont(r)?,
+            on_ok: get_cont(r)?,
+        },
+        11 => Instr::IdxSet {
+            byte: r.byte()? != 0,
+            dst: get_u16(r)?,
+            arr: get_src(r)?,
+            index: get_src(r)?,
+            value: get_src(r)?,
+            on_err: get_cont(r)?,
+            on_ok: get_cont(r)?,
+        },
+        12 => Instr::Size {
+            dst: get_u16(r)?,
+            arr: get_src(r)?,
+            on_ok: get_cont(r)?,
+        },
+        13 => {
+            let byte = r.byte()? != 0;
+            let dst = get_u16(r)?;
+            let mut args = [Src::Slot(0); 5];
+            for a in &mut args {
+                *a = get_src(r)?;
+            }
+            Instr::MoveBlk {
+                byte,
+                dst,
+                args: Box::new(args),
+                on_err: get_cont(r)?,
+                on_ok: get_cont(r)?,
+            }
+        }
+        14 => Instr::Extern {
+            name: get_u16(r)?,
+            dst: get_u16(r)?,
+            args: get_srcs(r)?,
+            on_err: get_cont(r)?,
+            on_ok: get_cont(r)?,
+        },
+        15 => Instr::PushHandler {
+            handler: get_src(r)?,
+            on_ok: get_cont(r)?,
+        },
+        16 => Instr::PopHandler {
+            on_ok: get_cont(r)?,
+        },
+        17 => Instr::Raise { src: get_src(r)? },
+        18 => Instr::Call {
+            target: get_src(r)?,
+            args: get_srcs(r)?,
+        },
+        19 => Instr::Jump {
+            target: get_u32(r)?,
+        },
+        20 => Instr::Halt { src: get_src(r)? },
+        21 => Instr::Print {
+            dst: get_u16(r)?,
+            src: get_src(r)?,
+            on_ok: get_cont(r)?,
+        },
+        22 => Instr::NativeRet { ok: r.byte()? != 0 },
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+/// Deserialize a segment produced by [`encode_segment`], appending its
+/// blocks to `code`. Returns the absolute index of the entry block in
+/// `code`. On error nothing is appended.
+pub fn decode_segment(code: &mut CodeTable, bytes: &[u8]) -> Result<u32, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(MAGIC.len())? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let nblocks = r.len()?;
+    let base = code.len() as u32;
+    let map = |seg: u64| -> Result<u32, DecodeError> {
+        if seg < u64::from(RESERVED) {
+            // Sentinels keep their fixed indices.
+            return Ok(if seg == 0 {
+                NATIVE_OK_BLOCK
+            } else {
+                NATIVE_ERR_BLOCK
+            });
+        }
+        let ix = seg - u64::from(RESERVED);
+        if ix >= nblocks as u64 {
+            return Err(DecodeError::BadIndex(seg));
+        }
+        Ok(base + ix as u32)
+    };
+    let entry = map(r.u64()?)?;
+    let mut blocks = Vec::with_capacity(nblocks.min(4096));
+    for _ in 0..nblocks {
+        let name = r.str()?.to_string();
+        let nparams = get_u16(&mut r)?;
+        let nslots = get_u16(&mut r)?;
+        let nconsts = r.len()?;
+        let const_bytes = r.byte_string()?;
+        let mut cr = Reader::new(const_bytes);
+        let mut consts = Vec::with_capacity(nconsts.min(4096));
+        for _ in 0..nconsts {
+            consts.push(get_sval(&mut cr)?);
+        }
+        if !cr.is_at_end() {
+            return Err(DecodeError::Truncated);
+        }
+        let nnames = r.len()?;
+        let mut extern_names = Vec::with_capacity(nnames.min(4096));
+        for _ in 0..nnames {
+            extern_names.push(r.str()?.to_string());
+        }
+        let ninstrs = r.len()?;
+        let mut instrs = Vec::with_capacity(ninstrs.min(65536));
+        for _ in 0..ninstrs {
+            instrs.push(get_instr(&mut r, &map)?);
+        }
+        blocks.push(CodeBlock {
+            name,
+            nparams,
+            nslots,
+            instrs,
+            consts,
+            extern_names,
+        });
+    }
+    if !r.is_at_end() {
+        return Err(DecodeError::Truncated);
+    }
+    for block in blocks {
+        code.push(block);
+    }
+    Ok(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vm;
+    use tml_core::parse::parse_app;
+    use tml_core::Ctx;
+    use tml_store::Store;
+
+    /// A program exercising heap closures (`Close`), recursive groups
+    /// (`CloseGroup`), arithmetic, branches and calls.
+    const PROGRAM: &str = "(cont(add1) \
+        (Y proc(^c0 ^loop ^c) (c \
+           cont() (loop 10 0) \
+           cont(n acc) (< n 1 \
+              cont() (halt acc) \
+              cont() (add1 acc cont(e)(halt -1) cont(a) \
+                        (- n 1 cont(e2)(halt -2) cont(m) (loop m a)))))) \
+        proc(x ce cc) (+ x 1 ce cc))";
+
+    fn compile_sample(vm: &mut Vm, ctx: &mut Ctx) -> u32 {
+        let parsed = parse_app(ctx, PROGRAM).expect("parse");
+        vm.compile_program(ctx, &parsed.app).expect("compile")
+    }
+
+    #[test]
+    fn segment_roundtrips_through_a_fresh_table() {
+        let mut ctx = Ctx::new();
+        let mut vm = Vm::new();
+        let entry = compile_sample(&mut vm, &mut ctx);
+        let mut store = Store::new();
+        let direct = vm.run_program(&mut store, entry, 100_000).expect("run");
+
+        let bytes = encode_segment(&vm.code, entry);
+        let mut vm2 = Vm::new();
+        // Pre-load an unrelated block so base offsets differ between tables.
+        vm2.code.push(CodeBlock {
+            name: "padding".into(),
+            ..Default::default()
+        });
+        let entry2 = decode_segment(&mut vm2.code, &bytes).expect("decode");
+        assert_ne!(entry, entry2, "offsets must differ for a real remap test");
+        let mut store2 = Store::new();
+        let replayed = vm2.run_program(&mut store2, entry2, 100_000).expect("run");
+        assert_eq!(format!("{direct:?}"), format!("{replayed:?}"));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let mut ctx = Ctx::new();
+        let mut vm = Vm::new();
+        let entry = compile_sample(&mut vm, &mut ctx);
+        assert_eq!(
+            encode_segment(&vm.code, entry),
+            encode_segment(&vm.code, entry)
+        );
+    }
+
+    #[test]
+    fn corrupt_segments_error_instead_of_panicking() {
+        let mut ctx = Ctx::new();
+        let mut vm = Vm::new();
+        let entry = compile_sample(&mut vm, &mut ctx);
+        let bytes = encode_segment(&vm.code, entry);
+        // Truncations at every length.
+        for cut in 0..bytes.len() {
+            let mut fresh = CodeTable::new();
+            assert!(
+                decode_segment(&mut fresh, &bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // Single-byte corruptions either decode (to something) or error —
+        // never panic. Positions past the header exercise the instruction
+        // decoder.
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0xff;
+            let mut fresh = CodeTable::new();
+            let _ = decode_segment(&mut fresh, &corrupt);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut t = CodeTable::new();
+        assert!(matches!(
+            decode_segment(&mut t, b"NOPE!rest"),
+            Err(DecodeError::BadMagic)
+        ));
+        let before = t.len();
+        assert_eq!(before, 2, "nothing appended on failure");
+    }
+}

@@ -34,6 +34,11 @@ pub enum CompileError {
     /// Internal: a `Y`-bound continuation escaped during an attempted
     /// loop compilation; the compiler falls back to closure groups.
     LoopEscape,
+    /// Internal compiler invariant breached (a bug, or compilation of a
+    /// decoded term the validators did not reject). Reported as an error
+    /// rather than a panic so corrupted persistent code cannot take the
+    /// host down.
+    Internal(String),
 }
 
 impl std::fmt::Display for CompileError {
@@ -44,6 +49,7 @@ impl std::fmt::Display for CompileError {
             CompileError::BadShape(m) => write!(f, "unsupported primitive application: {m}"),
             CompileError::OpenProgram(v) => write!(f, "program has free variable {v}"),
             CompileError::LoopEscape => write!(f, "loop continuation escapes (internal)"),
+            CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
         }
     }
 }
@@ -317,7 +323,10 @@ impl<'a> Compiler<'a> {
                 if b.label_params[id].is_empty() {
                     Ok((
                         ContRef::Label(u32::MAX),
-                        Pending::Stub { label: id, mov: None },
+                        Pending::Stub {
+                            label: id,
+                            mov: None,
+                        },
                     ))
                 } else {
                     Err(CompileError::LoopEscape)
@@ -345,12 +354,12 @@ impl<'a> Compiler<'a> {
                 Pending::None => {}
                 Pending::Inline(abs) => {
                     let label = b.out.instrs.len() as u32;
-                    patch(&mut b.out.instrs[at], field, label);
+                    patch(&mut b.out.instrs[at], field, label)?;
                     self.compile_app(b, &abs.body)?;
                 }
                 Pending::Stub { label, mov } => {
                     let stub = b.out.instrs.len() as u32;
-                    patch(&mut b.out.instrs[at], field, stub);
+                    patch(&mut b.out.instrs[at], field, stub)?;
                     if let Some((param, src)) = mov {
                         if param != src {
                             b.emit(Instr::Mov {
@@ -507,7 +516,11 @@ impl<'a> Compiler<'a> {
                 let a = self.resolve(b, &app.args[0])?;
                 let dst = b.fresh_slot();
                 let (on_ok, ok_abs) = self.value_cont(b, &app.args[1], dst)?;
-                self.finish(b, Instr::Conv { op, dst, a, on_ok }, vec![(FIELD_OK, ok_abs)])
+                self.finish(
+                    b,
+                    Instr::Conv { op, dst, a, on_ok },
+                    vec![(FIELD_OK, ok_abs)],
+                )
             }
             "array" | "vector" => {
                 if n < 1 {
@@ -728,7 +741,11 @@ impl<'a> Compiler<'a> {
                 let src = self.resolve(b, &app.args[0])?;
                 let dst = b.fresh_slot();
                 let (on_ok, ok_abs) = self.value_cont(b, &app.args[1], dst)?;
-                self.finish(b, Instr::Print { dst, src, on_ok }, vec![(FIELD_OK, ok_abs)])
+                self.finish(
+                    b,
+                    Instr::Print { dst, src, on_ok },
+                    vec![(FIELD_OK, ok_abs)],
+                )
             }
             "ccall" => {
                 if n < 3 {
@@ -737,7 +754,13 @@ impl<'a> Compiler<'a> {
                 let Value::Lit(Lit::Str(fname)) = &app.args[0] else {
                     return Err(bad("ccall function name must be a string literal"));
                 };
-                self.compile_extern(b, fname, &app.args[1..n - 2], &app.args[n - 2], &app.args[n - 1])
+                self.compile_extern(
+                    b,
+                    fname,
+                    &app.args[1..n - 2],
+                    &app.args[n - 2],
+                    &app.args[n - 1],
+                )
             }
             _ => {
                 // Extension primitive: standard (vals… ce cc) convention.
@@ -745,7 +768,13 @@ impl<'a> Compiler<'a> {
                     return Err(bad("extension primitives must take (vals... ce cc)"));
                 }
                 let name = name.clone();
-                self.compile_extern(b, &name, &app.args[..n - 2], &app.args[n - 2], &app.args[n - 1])
+                self.compile_extern(
+                    b,
+                    &name,
+                    &app.args[..n - 2],
+                    &app.args[n - 2],
+                    &app.args[n - 1],
+                )
             }
         }
     }
@@ -930,7 +959,7 @@ const FIELD_ELSE: usize = 3;
 const FIELD_SWITCH_DEFAULT: usize = 4;
 const FIELD_SWITCH_BASE: usize = 16;
 
-fn patch(instr: &mut Instr, field: usize, label: u32) {
+fn patch(instr: &mut Instr, field: usize, label: u32) -> Result<(), CompileError> {
     let slot: &mut ContRef = match (instr, field) {
         (Instr::Arith { on_ok, .. }, FIELD_OK) => on_ok,
         (Instr::Arith { on_err, .. }, FIELD_ERR) => on_err,
@@ -953,13 +982,23 @@ fn patch(instr: &mut Instr, field: usize, label: u32) {
         (Instr::PushHandler { on_ok, .. }, FIELD_OK) => on_ok,
         (Instr::PopHandler { on_ok }, FIELD_OK) => on_ok,
         (Instr::Print { on_ok, .. }, FIELD_OK) => on_ok,
-        (Instr::Switch { default: Some(d), .. }, FIELD_SWITCH_DEFAULT) => d,
+        (
+            Instr::Switch {
+                default: Some(d), ..
+            },
+            FIELD_SWITCH_DEFAULT,
+        ) => d,
         (Instr::Switch { targets, .. }, f) if f >= FIELD_SWITCH_BASE => {
             &mut targets[f - FIELD_SWITCH_BASE]
         }
-        (i, f) => unreachable!("patch field {f} on {i:?}"),
+        (i, f) => {
+            return Err(CompileError::Internal(format!(
+                "continuation field {f} does not exist on {i:?}"
+            )))
+        }
     };
     *slot = ContRef::Label(label);
+    Ok(())
 }
 
 fn lit_to_sval(l: &Lit) -> SVal {
@@ -1044,6 +1083,42 @@ mod tests {
         Ok((code, block))
     }
 
+    /// Regression: a corrupted PTML blob (bit flips, truncations) must
+    /// surface as a `DecodeError` or `CompileError`, never a panic — the
+    /// store may hand the compiler arbitrary persisted bytes.
+    #[test]
+    fn corrupted_ptml_blobs_error_instead_of_panicking() {
+        use tml_store::ptml::{decode_abs, encode_abs};
+        let mut ctx = Ctx::new();
+        let src = "(cont(f) \
+            (f 3 cont(e)(halt e) cont(t) \
+              (== 1 t 2 cont()(halt 1) cont()(halt 2) cont()(halt t))) \
+            proc(x ce cc) (* x 2 ce cc))";
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let abs = Abs {
+            params: Vec::new(),
+            body: parsed.app,
+        };
+        let bytes = encode_abs(&ctx, &abs);
+        let try_compile = |blob: &[u8]| {
+            let mut ctx2 = Ctx::new();
+            if let Ok((a, _)) = decode_abs(&mut ctx2, blob) {
+                let mut code = CodeTable::new();
+                let _ = Compiler::new(&ctx2, &mut code).compile_proc(&a);
+            }
+        };
+        for cut in 0..bytes.len() {
+            try_compile(&bytes[..cut]);
+        }
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut m = bytes.clone();
+                m[pos] ^= flip;
+                try_compile(&m);
+            }
+        }
+    }
+
     #[test]
     fn constant_halt_compiles_small() {
         let (code, block) = compile("(halt 42)").unwrap();
@@ -1065,8 +1140,7 @@ mod tests {
 
     #[test]
     fn inline_arith_cont_falls_through() {
-        let (code, block) =
-            compile("(+ 1 2 cont(e) (halt e) cont(t) (halt t))").unwrap();
+        let (code, block) = compile("(+ 1 2 cont(e) (halt e) cont(t) (halt t))").unwrap();
         let b = code.block(block);
         // One Arith, two Halts (ok body then err body), no Call, no Close.
         assert!(b.instrs.iter().any(|i| matches!(i, Instr::Arith { .. })));
@@ -1080,10 +1154,9 @@ mod tests {
 
     #[test]
     fn proc_values_become_closures() {
-        let (code, block) = compile(
-            "(cont(f) (f 1 cont(e)(halt e) cont(t)(halt t)) proc(x ce cc) (+ x 1 ce cc))",
-        )
-        .unwrap();
+        let (code, block) =
+            compile("(cont(f) (f 1 cont(e)(halt e) cont(t)(halt t)) proc(x ce cc) (+ x 1 ce cc))")
+                .unwrap();
         let b = code.block(block);
         assert!(b.instrs.iter().any(|i| matches!(i, Instr::Close { .. })));
         assert!(b.instrs.iter().any(|i| matches!(i, Instr::Call { .. })));
@@ -1101,7 +1174,9 @@ mod tests {
         .unwrap();
         let b = code.block(block);
         assert!(
-            !b.instrs.iter().any(|i| matches!(i, Instr::CloseGroup { .. })),
+            !b.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::CloseGroup { .. })),
             "{:?}",
             b.instrs
         );
@@ -1127,7 +1202,9 @@ mod tests {
         .unwrap();
         let b = code.block(block);
         assert!(
-            b.instrs.iter().any(|i| matches!(i, Instr::CloseGroup { .. })),
+            b.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::CloseGroup { .. })),
             "{:?}",
             b.instrs
         );
@@ -1179,17 +1256,21 @@ mod tests {
 
     #[test]
     fn switch_with_default_compiles() {
-        let (code, block) = compile(
-            "(== 2 1 2 cont() (halt 10) cont() (halt 20) cont() (halt 99))",
-        )
-        .unwrap();
+        let (code, block) =
+            compile("(== 2 1 2 cont() (halt 10) cont() (halt 20) cont() (halt 99))").unwrap();
         let b = code.block(block);
         let sw = b
             .instrs
             .iter()
             .find(|i| matches!(i, Instr::Switch { .. }))
             .unwrap();
-        let Instr::Switch { tags, targets, default, .. } = sw else {
+        let Instr::Switch {
+            tags,
+            targets,
+            default,
+            ..
+        } = sw
+        else {
             panic!()
         };
         assert_eq!(tags.len(), 2);

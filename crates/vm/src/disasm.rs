@@ -20,17 +20,18 @@ fn cont(c: &ContRef) -> String {
 }
 
 fn srcs(ss: &[Src]) -> String {
-    ss.iter()
-        .map(|s| src(*s))
-        .collect::<Vec<_>>()
-        .join(" ")
+    ss.iter().map(|s| src(*s)).collect::<Vec<_>>().join(" ")
 }
 
 /// Render one instruction.
 pub fn instr(i: &Instr) -> String {
     match i {
         Instr::Mov { dst, src: s } => format!("mov      s{dst}, {}", src(*s)),
-        Instr::Close { dst, code, captures } => {
+        Instr::Close {
+            dst,
+            code,
+            captures,
+        } => {
             format!("close    s{dst}, #{code} [{}]", srcs(captures))
         }
         Instr::CloseGroup { dsts, parts } => {
@@ -50,7 +51,14 @@ pub fn instr(i: &Instr) -> String {
             }
             out
         }
-        Instr::Arith { op, dst, a, b, on_err, on_ok } => format!(
+        Instr::Arith {
+            op,
+            dst,
+            a,
+            b,
+            on_err,
+            on_ok,
+        } => format!(
             "{:<8} s{dst}, {}, {}  ok:{} err:{}",
             format!("{op:?}").to_lowercase(),
             src(*a),
@@ -58,7 +66,13 @@ pub fn instr(i: &Instr) -> String {
             cont(on_ok),
             cont(on_err)
         ),
-        Instr::Branch { op, a, b, then_, else_ } => format!(
+        Instr::Branch {
+            op,
+            a,
+            b,
+            then_,
+            else_,
+        } => format!(
             "br.{:<5} {}, {}  then:{} else:{}",
             format!("{op:?}").to_lowercase(),
             src(*a),
@@ -66,7 +80,13 @@ pub fn instr(i: &Instr) -> String {
             cont(then_),
             cont(else_)
         ),
-        Instr::Bit { op, dst, a, b, on_ok } => format!(
+        Instr::Bit {
+            op,
+            dst,
+            a,
+            b,
+            on_ok,
+        } => format!(
             "bit.{:<4} s{dst}, {}, {}  ok:{}",
             format!("{op:?}").to_lowercase(),
             src(*a),
@@ -80,9 +100,19 @@ pub fn instr(i: &Instr) -> String {
             cont(on_ok)
         ),
         Instr::BTest { a, then_, else_ } => {
-            format!("btest    {}  then:{} else:{}", src(*a), cont(then_), cont(else_))
+            format!(
+                "btest    {}  then:{} else:{}",
+                src(*a),
+                cont(then_),
+                cont(else_)
+            )
         }
-        Instr::Switch { scrut, tags, targets, default } => {
+        Instr::Switch {
+            scrut,
+            tags,
+            targets,
+            default,
+        } => {
             let mut out = format!("switch   {} ", src(*scrut));
             for (t, c) in tags.iter().zip(targets.iter()) {
                 let _ = write!(out, "[{}→{}]", src(*t), cont(c));
@@ -92,13 +122,25 @@ pub fn instr(i: &Instr) -> String {
             }
             out
         }
-        Instr::Alloc { kind, dst, args, on_ok } => format!(
+        Instr::Alloc {
+            kind,
+            dst,
+            args,
+            on_ok,
+        } => format!(
             "alloc.{:<6} s{dst} [{}]  ok:{}",
             format!("{kind:?}").to_lowercase(),
             srcs(args),
             cont(on_ok)
         ),
-        Instr::Idx { byte, dst, arr, index, on_err, on_ok } => format!(
+        Instr::Idx {
+            byte,
+            dst,
+            arr,
+            index,
+            on_err,
+            on_ok,
+        } => format!(
             "{}        s{dst}, {}[{}]  ok:{} err:{}",
             if *byte { "bld" } else { "ld " },
             src(*arr),
@@ -106,7 +148,15 @@ pub fn instr(i: &Instr) -> String {
             cont(on_ok),
             cont(on_err)
         ),
-        Instr::IdxSet { byte, dst, arr, index, value, on_err, on_ok } => format!(
+        Instr::IdxSet {
+            byte,
+            dst,
+            arr,
+            index,
+            value,
+            on_err,
+            on_ok,
+        } => format!(
             "{}        {}[{}] := {}  (unit→s{dst})  ok:{} err:{}",
             if *byte { "bst" } else { "st " },
             src(*arr),
@@ -118,14 +168,26 @@ pub fn instr(i: &Instr) -> String {
         Instr::Size { dst, arr, on_ok } => {
             format!("size     s{dst}, {}  ok:{}", src(*arr), cont(on_ok))
         }
-        Instr::MoveBlk { byte, dst, args, on_err, on_ok } => format!(
+        Instr::MoveBlk {
+            byte,
+            dst,
+            args,
+            on_err,
+            on_ok,
+        } => format!(
             "{}     (unit→s{dst}) [{}]  ok:{} err:{}",
             if *byte { "bmove" } else { "move " },
             srcs(&args[..]),
             cont(on_ok),
             cont(on_err)
         ),
-        Instr::Extern { name, dst, args, on_err, on_ok } => format!(
+        Instr::Extern {
+            name,
+            dst,
+            args,
+            on_err,
+            on_ok,
+        } => format!(
             "extern   #{name} s{dst} [{}]  ok:{} err:{}",
             srcs(args),
             cont(on_ok),
@@ -220,7 +282,16 @@ mod tests {
                proc(x ce cc) (+ x 1 ce cc))",
         );
         let text = table(&code);
-        for needle in ["close", "call", "alloc.array", "st ", "switch", "raise", "halt", "add"] {
+        for needle in [
+            "close",
+            "call",
+            "alloc.array",
+            "st ",
+            "switch",
+            "raise",
+            "halt",
+            "add",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

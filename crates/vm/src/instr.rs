@@ -378,7 +378,10 @@ impl Instr {
             Instr::Size { on_ok, .. } => 5 + cont(on_ok),
             Instr::MoveBlk { on_err, on_ok, .. } => 17 + cont(on_err) + cont(on_ok),
             Instr::Extern {
-                args, on_err, on_ok, ..
+                args,
+                on_err,
+                on_ok,
+                ..
             } => 4 + 3 * args.len() + cont(on_err) + cont(on_ok),
             Instr::PushHandler { on_ok, .. } => 3 + cont(on_ok),
             Instr::PopHandler { on_ok } => cont(on_ok),
@@ -505,10 +508,7 @@ impl CodeTable {
 
     /// Iterate over `(index, block)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &CodeBlock)> {
-        self.blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (i as u32, b))
+        self.blocks.iter().enumerate().map(|(i, b)| (i as u32, b))
     }
 }
 

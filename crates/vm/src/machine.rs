@@ -167,9 +167,7 @@ impl<'a> Machine<'a> {
                 match self.step()? {
                     Flow::Next => {}
                     Flow::Done(_) => {
-                        return Err(VmError::Trap(
-                            "halt during nested native call".into(),
-                        ))
+                        return Err(VmError::Trap("halt during nested native call".into()))
                     }
                     Flow::Native { ok, value } => {
                         return Ok(if ok { Ok(value) } else { Err(value) })
@@ -280,12 +278,7 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn exception(
-        &mut self,
-        on_err: &ContRef,
-        dst: u16,
-        value: RVal,
-    ) -> Result<Flow, VmError> {
+    fn exception(&mut self, on_err: &ContRef, dst: u16, value: RVal) -> Result<Flow, VmError> {
         self.stats.exceptions += 1;
         self.continue_value(on_err, dst, value)
     }
@@ -320,10 +313,8 @@ impl<'a> Machine<'a> {
             } => {
                 let env = captures.iter().map(|s| self.resolve(*s)).collect();
                 self.stats.closures += 1;
-                self.frame[*dst as usize] = RVal::Clo(Rc::new(TransientClosure {
-                    code: *cblock,
-                    env,
-                }));
+                self.frame[*dst as usize] =
+                    RVal::Clo(Rc::new(TransientClosure { code: *cblock, env }));
                 self.pc += 1;
                 Ok(Flow::Next)
             }
@@ -397,7 +388,13 @@ impl<'a> Machine<'a> {
                     Err(m) => Err(VmError::Trap(m)),
                 }
             }
-            Instr::Bit { op, dst, a, b, on_ok } => {
+            Instr::Bit {
+                op,
+                dst,
+                a,
+                b,
+                on_ok,
+            } => {
                 let x = self.resolve(*a);
                 let y = self.resolve(*b);
                 match (x.as_int(), y.as_int()) {
@@ -422,12 +419,7 @@ impl<'a> Machine<'a> {
                     (ConvOp::IntToReal, RVal::Int(n)) => RVal::Real(*n as f64),
                     (ConvOp::RealToInt, RVal::Real(x)) => RVal::Int(x.trunc() as i64),
                     (ConvOp::FSqrt, RVal::Real(x)) => RVal::Real(x.sqrt()),
-                    _ => {
-                        return Err(VmError::Trap(format!(
-                            "conversion {op:?} on {}",
-                            x.kind()
-                        )))
-                    }
+                    _ => return Err(VmError::Trap(format!("conversion {op:?} on {}", x.kind()))),
                 };
                 self.continue_value(on_ok, *dst, v)
             }
@@ -454,7 +446,12 @@ impl<'a> Machine<'a> {
                     None => Err(VmError::Trap("case analysis fell through".into())),
                 }
             }
-            Instr::Alloc { kind, dst, args, on_ok } => {
+            Instr::Alloc {
+                kind,
+                dst,
+                args,
+                on_ok,
+            } => {
                 let obj = match kind {
                     AllocKind::Array | AllocKind::Vector => {
                         let mut slots = Vec::with_capacity(args.len());
@@ -557,10 +554,7 @@ impl<'a> Machine<'a> {
                         RVal::Char(c) => c,
                         RVal::Int(n) => n as u8,
                         other => {
-                            return Err(VmError::Trap(format!(
-                                "byte store of {}",
-                                other.kind()
-                            )))
+                            return Err(VmError::Trap(format!("byte store of {}", other.kind())))
                         }
                     };
                     self.store.bytes_set(oid, i, byte_val)
@@ -582,9 +576,7 @@ impl<'a> Machine<'a> {
             Instr::Size { dst, arr, on_ok } => {
                 let oid = match self.resolve(*arr) {
                     RVal::Ref(o) => o,
-                    other => {
-                        return Err(VmError::Trap(format!("size of {}", other.kind())))
-                    }
+                    other => return Err(VmError::Trap(format!("size of {}", other.kind()))),
                 };
                 let n = self.store.size_of(oid)?;
                 self.continue_value(on_ok, *dst, RVal::Int(n as i64))
@@ -690,10 +682,18 @@ impl<'a> Machine<'a> {
                 Ok(Object::ByteArray(b)) => b.clone(),
                 _ => return Err(RVal::Str(ERR_TYPE.into())),
             };
-            bounds(if src_off + len <= src_bytes.len() { Ok(()) } else { Err(()) })?;
+            bounds(if src_off + len <= src_bytes.len() {
+                Ok(())
+            } else {
+                Err(())
+            })?;
             match self.store.get_mut(dst) {
                 Ok(Object::ByteArray(d)) => {
-                    bounds(if dst_off + len <= d.len() { Ok(()) } else { Err(()) })?;
+                    bounds(if dst_off + len <= d.len() {
+                        Ok(())
+                    } else {
+                        Err(())
+                    })?;
                     d[dst_off..dst_off + len].copy_from_slice(&src_bytes[src_off..src_off + len]);
                     Ok(RVal::Unit)
                 }
@@ -704,10 +704,18 @@ impl<'a> Machine<'a> {
                 Ok(Object::Array(v)) | Ok(Object::Vector(v)) => v.clone(),
                 _ => return Err(RVal::Str(ERR_TYPE.into())),
             };
-            bounds(if src_off + len <= src_slots.len() { Ok(()) } else { Err(()) })?;
+            bounds(if src_off + len <= src_slots.len() {
+                Ok(())
+            } else {
+                Err(())
+            })?;
             match self.store.get_mut(dst) {
                 Ok(Object::Array(d)) => {
-                    bounds(if dst_off + len <= d.len() { Ok(()) } else { Err(()) })?;
+                    bounds(if dst_off + len <= d.len() {
+                        Ok(())
+                    } else {
+                        Err(())
+                    })?;
                     d[dst_off..dst_off + len].clone_from_slice(&src_slots[src_off..src_off + len]);
                     Ok(RVal::Unit)
                 }
@@ -740,84 +748,82 @@ impl HostCtx for Machine<'_> {
     }
 }
 
+fn int_operands(x: &RVal, y: &RVal) -> Result<(i64, i64), RVal> {
+    match (x.as_int(), y.as_int()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(RVal::Str(ERR_TYPE.into())),
+    }
+}
+
+fn real_operands(x: &RVal, y: &RVal) -> Result<(f64, f64), RVal> {
+    match (x.as_real(), y.as_real()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(RVal::Str(ERR_TYPE.into())),
+    }
+}
+
+fn checked(r: Option<i64>) -> Result<RVal, RVal> {
+    r.map(RVal::Int).ok_or(RVal::Str(ERR_OVERFLOW.into()))
+}
+
+fn nonzero(b: i64) -> Result<i64, RVal> {
+    if b == 0 {
+        Err(RVal::Str(ERR_ZERO_DIVIDE.into()))
+    } else {
+        Ok(b)
+    }
+}
+
 fn arith(op: ArithOp, x: &RVal, y: &RVal) -> Result<RVal, RVal> {
     match op {
-        ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::Div | ArithOp::Mod => {
-            let (a, b) = match (x.as_int(), y.as_int()) {
-                (Some(a), Some(b)) => (a, b),
-                _ => return Err(RVal::Str(ERR_TYPE.into())),
-            };
-            let r = match op {
-                ArithOp::Add => a.checked_add(b),
-                ArithOp::Sub => a.checked_sub(b),
-                ArithOp::Mul => a.checked_mul(b),
-                ArithOp::Div => {
-                    if b == 0 {
-                        return Err(RVal::Str(ERR_ZERO_DIVIDE.into()));
-                    }
-                    a.checked_div(b)
-                }
-                ArithOp::Mod => {
-                    if b == 0 {
-                        return Err(RVal::Str(ERR_ZERO_DIVIDE.into()));
-                    }
-                    a.checked_rem(b)
-                }
-                _ => unreachable!(),
-            };
-            r.map(RVal::Int).ok_or(RVal::Str(ERR_OVERFLOW.into()))
+        ArithOp::Add => int_operands(x, y).and_then(|(a, b)| checked(a.checked_add(b))),
+        ArithOp::Sub => int_operands(x, y).and_then(|(a, b)| checked(a.checked_sub(b))),
+        ArithOp::Mul => int_operands(x, y).and_then(|(a, b)| checked(a.checked_mul(b))),
+        ArithOp::Div => {
+            let (a, b) = int_operands(x, y)?;
+            checked(a.checked_div(nonzero(b)?))
         }
-        ArithOp::FAdd | ArithOp::FSub | ArithOp::FMul | ArithOp::FDiv => {
-            let (a, b) = match (x.as_real(), y.as_real()) {
-                (Some(a), Some(b)) => (a, b),
-                _ => return Err(RVal::Str(ERR_TYPE.into())),
-            };
-            Ok(RVal::Real(match op {
-                ArithOp::FAdd => a + b,
-                ArithOp::FSub => a - b,
-                ArithOp::FMul => a * b,
-                ArithOp::FDiv => a / b,
-                _ => unreachable!(),
-            }))
+        ArithOp::Mod => {
+            let (a, b) = int_operands(x, y)?;
+            checked(a.checked_rem(nonzero(b)?))
         }
+        ArithOp::FAdd => real_operands(x, y).map(|(a, b)| RVal::Real(a + b)),
+        ArithOp::FSub => real_operands(x, y).map(|(a, b)| RVal::Real(a - b)),
+        ArithOp::FMul => real_operands(x, y).map(|(a, b)| RVal::Real(a * b)),
+        ArithOp::FDiv => real_operands(x, y).map(|(a, b)| RVal::Real(a / b)),
     }
 }
 
 fn compare(op: CmpOp, x: &RVal, y: &RVal) -> Result<bool, String> {
+    let int_pair = || match (x.as_int(), y.as_int()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(format!(
+            "integer comparison of {} and {}",
+            x.kind(),
+            y.kind()
+        )),
+    };
+    let real_pair = || match (x.as_real(), y.as_real()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(format!("real comparison of {} and {}", x.kind(), y.kind())),
+    };
     match op {
-        CmpOp::Lt | CmpOp::Gt | CmpOp::Le | CmpOp::Ge | CmpOp::Eq | CmpOp::Ne => {
-            match (x.as_int(), y.as_int()) {
-                (Some(a), Some(b)) => Ok(match op {
-                    CmpOp::Lt => a < b,
-                    CmpOp::Gt => a > b,
-                    CmpOp::Le => a <= b,
-                    CmpOp::Ge => a >= b,
-                    CmpOp::Eq => a == b,
-                    CmpOp::Ne => a != b,
-                    _ => unreachable!(),
-                }),
-                // `=`/`<>` extend to object identity on non-integers.
-                _ if matches!(op, CmpOp::Eq) => Ok(x.identical(y)),
-                _ if matches!(op, CmpOp::Ne) => Ok(!x.identical(y)),
-                _ => Err(format!(
-                    "integer comparison of {} and {}",
-                    x.kind(),
-                    y.kind()
-                )),
-            }
-        }
-        CmpOp::FLt | CmpOp::FLe | CmpOp::FEq => match (x.as_real(), y.as_real()) {
-            (Some(a), Some(b)) => Ok(match op {
-                CmpOp::FLt => a < b,
-                CmpOp::FLe => a <= b,
-                _ => a == b,
-            }),
-            _ => Err(format!(
-                "real comparison of {} and {}",
-                x.kind(),
-                y.kind()
-            )),
-        },
+        CmpOp::Lt => int_pair().map(|(a, b)| a < b),
+        CmpOp::Gt => int_pair().map(|(a, b)| a > b),
+        CmpOp::Le => int_pair().map(|(a, b)| a <= b),
+        CmpOp::Ge => int_pair().map(|(a, b)| a >= b),
+        // `=`/`<>` extend to object identity on non-integers.
+        CmpOp::Eq => Ok(match (x.as_int(), y.as_int()) {
+            (Some(a), Some(b)) => a == b,
+            _ => x.identical(y),
+        }),
+        CmpOp::Ne => Ok(match (x.as_int(), y.as_int()) {
+            (Some(a), Some(b)) => a != b,
+            _ => !x.identical(y),
+        }),
+        CmpOp::FLt => real_pair().map(|(a, b)| a < b),
+        CmpOp::FLe => real_pair().map(|(a, b)| a <= b),
+        CmpOp::FEq => real_pair().map(|(a, b)| a == b),
     }
 }
 
@@ -959,8 +965,7 @@ mod tests {
     fn case_analysis_switch() {
         let src = "(cont(x) (== x 1 2 3 cont()(halt 10) cont()(halt 20) cont()(halt 30)) 2)";
         assert_eq!(run_int(src), 20);
-        let with_default =
-            "(cont(x) (== x 1 2 cont()(halt 10) cont()(halt 20) cont()(halt 99)) 7)";
+        let with_default = "(cont(x) (== x 1 2 cont()(halt 10) cont()(halt 20) cont()(halt 99)) 7)";
         assert_eq!(run_int(with_default), 99);
     }
 
@@ -1177,7 +1182,10 @@ mod tests {
         let out = vm.run_program(&mut store, block, 10_000_000).unwrap();
         assert_eq!(out.result, RVal::Int(5001));
         // Whole loop runs with zero closure transfers.
-        assert_eq!(out.stats.calls, 0, "loop must not allocate or call closures");
+        assert_eq!(
+            out.stats.calls, 0,
+            "loop must not allocate or call closures"
+        );
         assert_eq!(out.stats.closures, 0);
     }
 

@@ -171,7 +171,13 @@ mod tests {
         let mut store = Store::new();
         let clo = RVal::Clo(Rc::new(TransientClosure {
             code: 3,
-            env: vec![RVal::Int(1), RVal::Clo(Rc::new(TransientClosure { code: 4, env: vec![] }))],
+            env: vec![
+                RVal::Int(1),
+                RVal::Clo(Rc::new(TransientClosure {
+                    code: 4,
+                    env: vec![],
+                })),
+            ],
         }));
         let s = clo.persist(&mut store).unwrap();
         assert_eq!(store.len(), 2); // inner + outer
@@ -191,10 +197,16 @@ mod tests {
 
     #[test]
     fn closure_identity_is_pointer_identity() {
-        let a = Rc::new(TransientClosure { code: 1, env: vec![] });
+        let a = Rc::new(TransientClosure {
+            code: 1,
+            env: vec![],
+        });
         let v1 = RVal::Clo(a.clone());
         let v2 = RVal::Clo(a);
-        let v3 = RVal::Clo(Rc::new(TransientClosure { code: 1, env: vec![] }));
+        let v3 = RVal::Clo(Rc::new(TransientClosure {
+            code: 1,
+            env: vec![],
+        }));
         assert!(v1.identical(&v2));
         assert!(!v1.identical(&v3));
     }
@@ -203,7 +215,11 @@ mod tests {
     fn kinds() {
         assert_eq!(RVal::Int(1).kind(), "int");
         assert_eq!(
-            RVal::Clo(Rc::new(TransientClosure { code: 0, env: vec![] })).kind(),
+            RVal::Clo(Rc::new(TransientClosure {
+                code: 0,
+                env: vec![]
+            }))
+            .kind(),
             "closure"
         );
     }

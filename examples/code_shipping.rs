@@ -59,12 +59,18 @@ fn main() {
 
     // --- Server: receive, rebind, recompile, run. --------------------------
     let mut server = Session::default_session().expect("server session");
-    let (abs, free) = tycoon::store::ptml::decode_abs(&mut server.ctx, &wire_bytes)
-        .expect("wire format decodes");
-    println!("server: decoded function with {} free identifier(s)", free.len());
+    let (abs, free) =
+        tycoon::store::ptml::decode_abs(&mut server.ctx, &wire_bytes).expect("wire format decodes");
+    println!(
+        "server: decoded function with {} free identifier(s)",
+        free.len()
+    );
 
     // Rebind free identifiers against the *server's* globals.
-    let compiled = server.vm.compile_proc(&server.ctx, &abs).expect("recompiles");
+    let compiled = server
+        .vm
+        .compile_proc(&server.ctx, &abs)
+        .expect("recompiles");
     let by_var: std::collections::HashMap<_, _> =
         free.iter().map(|(n, v)| (*v, n.clone())).collect();
     let mut env = Vec::new();
@@ -80,13 +86,17 @@ fn main() {
         bindings.push((name.clone(), val));
     }
     let shipped_ptml = server.store.alloc(Object::Ptml(wire_bytes));
-    let shipped = server.store.alloc(Object::Closure(tycoon::store::ClosureObj {
-        code: compiled.block,
-        env,
-        bindings,
-        ptml: Some(shipped_ptml),
-    }));
-    server.globals.insert("shipped.rate".into(), SVal::Ref(shipped));
+    let shipped = server
+        .store
+        .alloc(Object::Closure(tycoon::store::ClosureObj {
+            code: compiled.block,
+            env,
+            bindings,
+            ptml: Some(shipped_ptml),
+        }));
+    server
+        .globals
+        .insert("shipped.rate".into(), SVal::Ref(shipped));
 
     for x in [5i64, 42, 1000] {
         let r = server
@@ -112,7 +122,9 @@ fn main() {
     );
 
     // Round-trip sanity: the server can re-ship it (PTML attached again).
-    let SVal::Ref(opt_oid) = optimized else { panic!() };
+    let SVal::Ref(opt_oid) = optimized else {
+        panic!()
+    };
     let mut tb = TermBuilder::new(&mut server.ctx, &server.store);
     let reship = tb.build(opt_oid, 0).expect("re-shippable");
     println!(

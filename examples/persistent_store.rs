@@ -63,7 +63,11 @@ fn main() {
     // record and recompile them from PTML.
     let module_oid = s2.store.root("acct").expect("module record survives");
     let exports: Vec<(String, SVal)> = match s2.store.get(module_oid).expect("module") {
-        Object::Module(m) => m.exports.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        Object::Module(m) => m
+            .exports
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
         other => panic!("expected module record, found {}", other.kind()),
     };
     for (name, val) in exports {
@@ -76,10 +80,8 @@ fn main() {
             (abs, tb.residuals)
         };
         let compiled = s2.vm.compile_proc(&s2.ctx, &abs).expect("recompile");
-        let lookup: std::collections::HashMap<_, _> = residuals
-            .iter()
-            .map(|(n, v)| (*v, n.clone()))
-            .collect();
+        let lookup: std::collections::HashMap<_, _> =
+            residuals.iter().map(|(n, v)| (*v, n.clone())).collect();
         let old_bindings: Vec<(String, SVal)> = match s2.store.get(old).expect("closure") {
             Object::Closure(c) => c.bindings.clone(),
             _ => continue,

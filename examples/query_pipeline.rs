@@ -20,7 +20,9 @@ use tycoon::vm::{Machine, Vm};
 fn run(ctx: &Ctx, vm: &mut Vm, store: &mut Store, app: &tycoon::core::App) -> (i64, u64) {
     let block = vm.compile_program(ctx, app).expect("closed query program");
     let mut machine = Machine::new(&vm.code, &vm.externs, store, 100_000_000);
-    let out = machine.run(block, Vec::new(), Vec::new()).expect("query runs");
+    let out = machine
+        .run(block, Vec::new(), Vec::new())
+        .expect("query runs");
     match out.result {
         tycoon::vm::RVal::Int(n) => (n, out.stats.instrs + out.stats.calls * 3),
         other => panic!("expected count, got {other:?}"),
@@ -42,7 +44,10 @@ fn main() {
         rel,
         &[Pred::ColEq(1, Lit::Int(3)), Pred::ColLt(2, 40)],
     );
-    println!("== naive nested selections ==\n{}\n", print_app(&ctx, &naive));
+    println!(
+        "== naive nested selections ==\n{}\n",
+        print_app(&ctx, &naive)
+    );
 
     let (count, work) = run(&ctx, &mut vm, &mut store, &naive);
     println!("naive:            count={count}  work≈{work}");

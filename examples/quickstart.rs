@@ -36,12 +36,18 @@ fn main() {
     });
     let program = b.let_(f, inc, body);
 
-    println!("== TML before optimization ==\n{}\n", print_app(&ctx, &program));
+    println!(
+        "== TML before optimization ==\n{}\n",
+        print_app(&ctx, &program)
+    );
 
     // 3. Optimize: the expansion pass inlines `inc` at both call sites, the
     //    reduction pass folds both additions (subst/remove/fold — paper §3).
     let (optimized, stats) = optimize(&mut ctx, program.clone(), &OptOptions::default());
-    println!("== TML after optimization ==\n{}\n", print_app(&ctx, &optimized));
+    println!(
+        "== TML after optimization ==\n{}\n",
+        print_app(&ctx, &optimized)
+    );
     println!(
         "rules: {} reductions, {} inlines, size {} -> {}\n",
         stats.total_reductions(),

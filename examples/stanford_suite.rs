@@ -26,7 +26,13 @@ struct Row {
     checksum: i64,
 }
 
-fn run_mode(src: &str, entry: &str, n: i64, opt: OptMode, dynamic: bool) -> (i64, u64, usize, usize) {
+fn run_mode(
+    src: &str,
+    entry: &str,
+    n: i64,
+    opt: OptMode,
+    dynamic: bool,
+) -> (i64, u64, usize, usize) {
     let mut s = Session::new(SessionConfig {
         lower: LowerMode::Library,
         opt,
@@ -65,7 +71,11 @@ fn main() {
         let (c1, local, _, _) = run_mode(p.src, p.entry, n, OptMode::Local, false);
         let (c2, dynamic, _, _) = run_mode(p.src, p.entry, n, OptMode::None, true);
         assert_eq!(c0, c1, "{}: local optimization changed the result", p.name);
-        assert_eq!(c0, c2, "{}: dynamic optimization changed the result", p.name);
+        assert_eq!(
+            c0, c2,
+            "{}: dynamic optimization changed the result",
+            p.name
+        );
         println!(
             "{:<8} {:>14} {:>14} {:>14} {:>8.2}x {:>8.2}x",
             p.name,

@@ -42,7 +42,10 @@ fn main() {
     s.enable_queries().expect("query subsystem");
     s.load_str(SRC).expect("module loads");
 
-    let r = s.call("shop.setup", vec![RVal::Int(3000)]).expect("setup").result;
+    let r = s
+        .call("shop.setup", vec![RVal::Int(3000)])
+        .expect("setup")
+        .result;
 
     let count = |s: &mut Session, rel: RVal| -> i64 {
         match s.call("rel.count", vec![rel]).expect("count").result {
@@ -52,7 +55,9 @@ fn main() {
     };
 
     // Unoptimized: view call + re-scan of the intermediate relation.
-    let plain = s.call("shop.cheap_discounted", vec![r.clone()]).expect("runs");
+    let plain = s
+        .call("shop.cheap_discounted", vec![r.clone()])
+        .expect("runs");
     let plain_n = count(&mut s, plain.result.clone());
     println!(
         "naive view query : {plain_n} rows   [{} instructions, {} transfers]",
@@ -60,8 +65,12 @@ fn main() {
     );
 
     // Reflective optimization with the integrated query rewriter (fig. 4).
-    let optimized = optimize_named(&mut s, "shop.cheap_discounted", &reflect_options_with_queries())
-        .expect("reflect.optimize with query rules");
+    let optimized = optimize_named(
+        &mut s,
+        "shop.cheap_discounted",
+        &reflect_options_with_queries(),
+    )
+    .expect("reflect.optimize with query rules");
     let fast = s
         .call_value(RVal::from_sval(&optimized), vec![r.clone()])
         .expect("optimized runs");
@@ -79,5 +88,8 @@ fn main() {
 
     // Projection through the view works the same way.
     let names = s.call("shop.names", vec![r]).expect("projection runs");
-    println!("\nprojection through the view: {} ids", count(&mut s, names.result));
+    println!(
+        "\nprojection through the view: {} ids",
+        count(&mut s, names.result)
+    );
 }

@@ -1,0 +1,253 @@
+//! Offline stand-in for the subset of the [`criterion`] crate API this
+//! workspace uses. The build environment has no access to a crate registry,
+//! so this path dependency shadows `criterion = "0.5"` with a small
+//! wall-clock harness: each benchmark closure is warmed up, then timed for
+//! `sample_size` samples, and the best/median/mean per-iteration times are
+//! printed. No statistics, plots or regression analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, ignored: the shim
+/// always re-runs setup per iteration outside the timed region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration times of the last `iter*` call.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            times: Vec::new(),
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        black_box(routine());
+        self.times.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.times.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup is untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        self.times.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.times.push(t.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+fn report(label: &str, times: &[Duration], throughput: Option<Throughput>) {
+    if times.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = times.to_vec();
+    sorted.sort();
+    let best = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib = n as f64 / best.as_secs_f64() / (1u64 << 30) as f64;
+            format!("  {gib:8.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 / best.as_secs_f64() / 1e6;
+            format!("  {meps:8.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<40} best {:>10}  median {:>10}  mean {:>10}{rate}",
+        fmt_duration(best),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the target measurement time (accepted, ignored).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&id.to_string(), &b.times, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b.times, self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, in either criterion macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("iter", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for the subset of the [`rand`] crate API this workspace
+//! uses. The build environment has no access to a crate registry, so this
+//! path dependency shadows `rand = "0.8"` with a deterministic,
+//! dependency-free implementation of the same surface:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_range`] over half-open and inclusive integer ranges;
+//! * [`Rng::gen_bool`].
+//!
+//! The generator is SplitMix64 — statistically fine for test-data
+//! generation, deterministic per seed (a property the workspace's tests
+//! assert), and obviously not cryptographic.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types from which a uniform sample of `T` can be drawn (integer ranges).
+/// Generic over the output type, as in the real crate, so that integer
+/// literals in `gen_range(0..5)` unify with the type required at the
+/// usage site.
+pub trait SampleRange<T> {
+    /// Draw one sample, given a source of raw 64-bit randomness.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((next() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return next() as $t;
+                }
+                start.wrapping_add((next() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// Produce 64 raw random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from an integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // 53 uniform mantissa bits, the conventional u64 → f64 construction.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(-5i64..55);
+            assert!((-5..55).contains(&x));
+            let y = r.gen_range(0usize..3);
+            assert!(y < 3);
+            let z = r.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&z));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut r = StdRng::seed_from_u64(2);
+        let _ = r.gen_range(i64::MIN..=i64::MAX);
+        let _ = r.gen_range(u64::MIN..=u64::MAX);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -72,7 +72,8 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
             "-o" | "--output" => o.output = Some(it.next().ok_or("-o needs a value")?),
             "--arg" => {
                 let v = it.next().ok_or("--arg needs a value")?;
-                o.args.push(v.parse().map_err(|e| format!("bad --arg: {e}"))?);
+                o.args
+                    .push(v.parse().map_err(|e| format!("bad --arg: {e}"))?);
             }
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => o.positional.push(other.to_string()),
@@ -186,8 +187,7 @@ fn cmd_code(o: &Options) -> Result<(), String> {
 fn cmd_eval(o: &Options) -> Result<(), String> {
     let text = o.positional.first().ok_or("missing TML expression")?;
     let mut ctx = tycoon::core::Ctx::new();
-    let parsed =
-        tycoon::core::parse::parse_app(&mut ctx, text).map_err(|e| e.to_string())?;
+    let parsed = tycoon::core::parse::parse_app(&mut ctx, text).map_err(|e| e.to_string())?;
     let mut app = parsed.app;
     if o.opt == OptMode::Local {
         let (optimized, _) =
@@ -251,6 +251,18 @@ fn cmd_info(o: &Options) -> Result<(), String> {
     for (k, n) in kinds {
         println!("  {k:<12} {n}");
     }
+    let cache = store.cache();
+    let cs = store.cache_stats();
+    println!(
+        "optimization cache: {} entries (cap {}), ~{} bytes",
+        cache.len(),
+        cache.cap(),
+        cache.byte_size()
+    );
+    println!(
+        "  hits {}  misses {}  invalidations {}  evictions {}  inserts {}",
+        cs.hits, cs.misses, cs.invalidations, cs.evictions, cs.inserts
+    );
     Ok(())
 }
 

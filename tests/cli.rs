@@ -31,7 +31,11 @@ fn run_computes_and_prints_result() {
         .args(["--arg", "10"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "385");
 }
 
@@ -39,7 +43,9 @@ fn run_computes_and_prints_result() {
 fn dynamic_flag_reduces_instructions() {
     let count = |dynamic: bool| -> u64 {
         let mut cmd = tmlc();
-        cmd.args(["run"]).arg(demo_file()).args(["--arg", "10", "--stats"]);
+        cmd.args(["run"])
+            .arg(demo_file())
+            .args(["--arg", "10", "--stats"]);
         if dynamic {
             cmd.arg("--dynamic");
         }
@@ -101,7 +107,11 @@ fn snapshot_and_info_roundtrip() {
         .arg(&image)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = tmlc().args(["info"]).arg(&image).output().unwrap();
     assert!(out.status.success());

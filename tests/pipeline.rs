@@ -60,7 +60,11 @@ fn nested_exception_handling_through_the_stack() {
     for (name, mut s) in all_sessions() {
         s.load_str(src).unwrap();
         // Positive: no exception at all.
-        assert_eq!(expect_int(&mut s, "m.run", vec![RVal::Int(5)]), 10, "{name}");
+        assert_eq!(
+            expect_int(&mut s, "m.run", vec![RVal::Int(5)]),
+            10,
+            "{name}"
+        );
         // Negative: wrap handles the first raise (1000+n), then the second
         // risky raises and the outer handler catches it (2000+n).
         assert_eq!(
@@ -110,7 +114,11 @@ fn higher_order_functions_cross_modules() {
         for src in srcs {
             s.load_str(src).unwrap();
         }
-        assert_eq!(expect_int(&mut s, "use.go", vec![RVal::Int(10)]), 16, "{name}");
+        assert_eq!(
+            expect_int(&mut s, "use.go", vec![RVal::Int(10)]),
+            16,
+            "{name}"
+        );
     }
 }
 
@@ -128,10 +136,8 @@ fn reals_tuples_and_stdlib() {
         assert!(s.call("geo.dist2", vec![]).is_err());
         let mk = |s: &mut Session, x: f64, y: f64| -> RVal {
             // Build a tuple via the machine: use a tiny helper module once.
-            s.load_str(
-                "module mk export t\nlet t(a: Real, b: Real): Tuple = tuple(a, b)\nend",
-            )
-            .ok();
+            s.load_str("module mk export t\nlet t(a: Real, b: Real): Tuple = tuple(a, b)\nend")
+                .ok();
             s.call("mk.t", vec![RVal::Real(x), RVal::Real(y)])
                 .expect("mk runs")
                 .result

@@ -5,16 +5,18 @@
 use proptest::prelude::*;
 use tycoon::core::{Ctx, Lit};
 use tycoon::opt::OptOptions;
-use tycoon::query::{
-    self, integrated_optimize, rewrite_queries, select_chain, Pred,
-};
+use tycoon::query::{self, integrated_optimize, rewrite_queries, select_chain, Pred};
 use tycoon::store::Store;
 use tycoon::vm::{Machine, RVal, Vm};
 
 fn run_count(ctx: &Ctx, vm: &mut Vm, store: &mut Store, app: &tycoon::core::App) -> i64 {
     let block = vm.compile_program(ctx, app).expect("closed program");
     let mut machine = Machine::new(&vm.code, &vm.externs, store, 100_000_000);
-    match machine.run(block, Vec::new(), Vec::new()).expect("runs").result {
+    match machine
+        .run(block, Vec::new(), Vec::new())
+        .expect("runs")
+        .result
+    {
         RVal::Int(n) => n,
         other => panic!("expected count, got {other:?}"),
     }

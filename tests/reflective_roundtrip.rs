@@ -58,10 +58,7 @@ fn ptml_of_optimized_code_is_itself_reflectable() {
 
 #[test]
 fn snapshot_save_load_preserves_code_and_data() {
-    let path = std::env::temp_dir().join(format!(
-        "tycoon_roundtrip_{}.tys",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("tycoon_roundtrip_{}.tys", std::process::id()));
 
     // Session 1: load, run, persist.
     let mut s1 = Session::new(SessionConfig::default()).unwrap();
@@ -159,5 +156,8 @@ fn dynamic_optimization_after_reload() {
         tycoon::core::wellformed::check_abs(&s2.ctx, &abs).unwrap();
         checked += 1;
     }
-    assert!(checked > 30, "stdlib + math should persist many functions, got {checked}");
+    assert!(
+        checked > 30,
+        "stdlib + math should persist many functions, got {checked}"
+    );
 }

@@ -34,7 +34,11 @@ fn import_function(s: &mut Session, name: &str, bytes: Vec<u8>) {
     let mut bindings = Vec::new();
     for v in &compiled.captures {
         let n = &by_var[v];
-        let val = s.globals.get(n).cloned().expect("receiver resolves binding");
+        let val = s
+            .globals
+            .get(n)
+            .cloned()
+            .expect("receiver resolves binding");
         env.push(val.clone());
         bindings.push((n.clone(), val));
     }

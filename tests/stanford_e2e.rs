@@ -35,7 +35,14 @@ fn run(
 #[test]
 fn all_configurations_compute_identical_checksums() {
     for p in suite() {
-        let (golden, _) = run(p.src, p.entry, p.test_n, LowerMode::Direct, OptMode::None, false);
+        let (golden, _) = run(
+            p.src,
+            p.entry,
+            p.test_n,
+            LowerMode::Direct,
+            OptMode::None,
+            false,
+        );
         for lower in [LowerMode::Direct, LowerMode::Library] {
             for opt in [OptMode::None, OptMode::Local] {
                 for dynamic in [false, true] {
@@ -52,8 +59,22 @@ fn e1_local_optimization_is_insignificant() {
     // Library mode; local optimization must change instruction counts by
     // less than 25% on every program (the paper: "no significant speedup").
     for p in suite() {
-        let (_, base) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::None, false);
-        let (_, local) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::Local, false);
+        let (_, base) = run(
+            p.src,
+            p.entry,
+            p.test_n,
+            LowerMode::Library,
+            OptMode::None,
+            false,
+        );
+        let (_, local) = run(
+            p.src,
+            p.entry,
+            p.test_n,
+            LowerMode::Library,
+            OptMode::Local,
+            false,
+        );
         let speedup = base as f64 / local as f64;
         assert!(
             (0.95..1.25).contains(&speedup),
@@ -70,8 +91,22 @@ fn e2_dynamic_optimization_reduces_instructions_substantially() {
     // see the e1_e2_stanford bench).
     let mut ratios = Vec::new();
     for p in suite() {
-        let (_, base) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::None, false);
-        let (_, dynamic) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::None, true);
+        let (_, base) = run(
+            p.src,
+            p.entry,
+            p.test_n,
+            LowerMode::Library,
+            OptMode::None,
+            false,
+        );
+        let (_, dynamic) = run(
+            p.src,
+            p.entry,
+            p.test_n,
+            LowerMode::Library,
+            OptMode::None,
+            true,
+        );
         let speedup = base as f64 / dynamic as f64;
         assert!(
             speedup > 1.3,
@@ -93,8 +128,22 @@ fn dynamic_optimization_approaches_direct_prims() {
     // the direct-primitive lowering (the information-theoretic optimum for
     // this experiment): within 1.35x on every program.
     for p in suite() {
-        let (_, direct) = run(p.src, p.entry, p.test_n, LowerMode::Direct, OptMode::None, false);
-        let (_, dynamic) = run(p.src, p.entry, p.test_n, LowerMode::Library, OptMode::None, true);
+        let (_, direct) = run(
+            p.src,
+            p.entry,
+            p.test_n,
+            LowerMode::Direct,
+            OptMode::None,
+            false,
+        );
+        let (_, dynamic) = run(
+            p.src,
+            p.entry,
+            p.test_n,
+            LowerMode::Library,
+            OptMode::None,
+            true,
+        );
         let gap = dynamic as f64 / direct as f64;
         assert!(
             gap < 1.35,
