@@ -10,43 +10,110 @@
 //! the reduction/expansion phases. The optimization process stops when this
 //! penalty reaches a certain limit."
 
-use crate::expand::expand_pass;
-use crate::reduce::reduce_to_fixpoint;
-use crate::stats::{OptOptions, OptStats};
+use crate::expand::expand_pass_traced;
+use crate::reduce::reduce_to_fixpoint_traced;
+use crate::stats::{OptOptions, OptStats, RoundStats};
 use tml_core::term::{Abs, App};
 use tml_core::Ctx;
+use tml_trace::{Event, Sink};
 
 /// Optimize a TML application. Returns the optimized tree and statistics.
-pub fn optimize(ctx: &mut Ctx, mut app: App, opts: &OptOptions) -> (App, OptStats) {
+/// Provenance events go to the global trace recorder when it is enabled.
+pub fn optimize(ctx: &mut Ctx, app: App, opts: &OptOptions) -> (App, OptStats) {
+    optimize_traced(ctx, app, opts, &mut Sink::global())
+}
+
+/// [`optimize`] with an explicit provenance sink. The event stream is
+/// deterministic for a given input term and options, which is what makes
+/// [`crate::provenance::replay`] possible.
+pub fn optimize_traced(
+    ctx: &mut Ctx,
+    mut app: App,
+    opts: &OptOptions,
+    sink: &mut Sink,
+) -> (App, OptStats) {
     let mut stats = OptStats {
         size_before: app.size(),
         ..Default::default()
     };
+    let stop_reason;
     loop {
-        reduce_to_fixpoint(ctx, &mut app, opts.rules, &mut stats);
+        let red_before = stats.total_reductions();
+        reduce_to_fixpoint_traced(ctx, &mut app, opts.rules, &mut stats, sink);
         stats.rounds += 1;
-        if !opts.rules.expand
-            || stats.rounds >= opts.max_rounds
-            || stats.penalty >= opts.penalty_limit
-        {
+        let mut round = RoundStats {
+            round: stats.rounds,
+            reductions: stats.total_reductions() - red_before,
+            inlined: 0,
+            growth: 0,
+        };
+        if !opts.rules.expand {
+            stop_reason = "expand-disabled";
+            finish_round(&mut stats, round, &app, sink);
             break;
         }
-        let outcome = expand_pass(ctx, &mut app, opts);
+        if stats.rounds >= opts.max_rounds {
+            stop_reason = "max-rounds";
+            finish_round(&mut stats, round, &app, sink);
+            break;
+        }
+        if stats.penalty >= opts.penalty_limit {
+            stop_reason = "penalty-limit";
+            finish_round(&mut stats, round, &app, sink);
+            break;
+        }
+        let outcome = expand_pass_traced(ctx, &mut app, opts, sink);
+        round.inlined = outcome.inlined;
+        round.growth = outcome.growth;
         if outcome.inlined == 0 {
+            stop_reason = "fixpoint";
+            finish_round(&mut stats, round, &app, sink);
             break;
         }
         stats.inlined += outcome.inlined;
         stats.penalty += outcome.growth;
+        finish_round(&mut stats, round, &app, sink);
+    }
+    if sink.active() {
+        sink.emit(Event::OptStop {
+            reason: stop_reason,
+            rounds: stats.rounds,
+            penalty: stats.penalty,
+            penalty_limit: opts.penalty_limit,
+        });
     }
     stats.size_after = app.size();
     (app, stats)
 }
 
+fn finish_round(stats: &mut OptStats, round: RoundStats, app: &App, sink: &mut Sink) {
+    if sink.active() {
+        sink.emit(Event::OptRound {
+            round: round.round,
+            reductions: round.reductions,
+            inlined: round.inlined,
+            penalty: stats.penalty,
+            size: app.size() as u64,
+        });
+    }
+    stats.per_round.push(round);
+}
+
 /// Optimize the body of an abstraction (a compiled procedure), keeping its
 /// parameter list. This is the entry point used by the reflective dynamic
 /// optimizer, whose units of work are procedures fetched from the store.
-pub fn optimize_abs(ctx: &mut Ctx, mut abs: Abs, opts: &OptOptions) -> (Abs, OptStats) {
-    let (body, stats) = optimize(ctx, abs.body, opts);
+pub fn optimize_abs(ctx: &mut Ctx, abs: Abs, opts: &OptOptions) -> (Abs, OptStats) {
+    optimize_abs_traced(ctx, abs, opts, &mut Sink::global())
+}
+
+/// [`optimize_abs`] with an explicit provenance sink.
+pub fn optimize_abs_traced(
+    ctx: &mut Ctx,
+    mut abs: Abs,
+    opts: &OptOptions,
+    sink: &mut Sink,
+) -> (Abs, OptStats) {
+    let (body, stats) = optimize_traced(ctx, abs.body, opts, sink);
     abs.body = body;
     (abs, stats)
 }

@@ -19,6 +19,7 @@ use tml_core::alpha::alpha_copy_abs;
 use tml_core::cost::cost_value;
 use tml_core::term::{Abs, App, Value};
 use tml_core::{Census, Ctx, VarId};
+use tml_trace::{Event, Sink};
 
 /// Result of one expansion pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,23 +30,44 @@ pub struct ExpandOutcome {
     pub growth: u64,
 }
 
-/// Run one expansion pass over `app`.
+/// Run one expansion pass over `app`. Inlining decisions are reported to
+/// the global trace recorder when it is enabled.
 pub fn expand_pass(ctx: &mut Ctx, app: &mut App, opts: &OptOptions) -> ExpandOutcome {
+    expand_pass_traced(ctx, app, opts, &mut Sink::global())
+}
+
+/// [`expand_pass`] with an explicit provenance sink. Every multi-use bound
+/// abstraction considered for inlining emits one [`Event::ExpandDecision`]
+/// recording the cost/limit comparison of the Appel-style heuristic and
+/// the growth actually charged to the penalty budget.
+pub fn expand_pass_traced(
+    ctx: &mut Ctx,
+    app: &mut App,
+    opts: &OptOptions,
+    sink: &mut Sink,
+) -> ExpandOutcome {
     let census = Census::of_app(app, ctx.names.len());
     let mut out = ExpandOutcome::default();
-    walk(ctx, app, opts, &census, &mut out);
+    walk(ctx, app, opts, &census, &mut out, sink);
     out
 }
 
-fn walk(ctx: &mut Ctx, app: &mut App, opts: &OptOptions, census: &Census, out: &mut ExpandOutcome) {
+fn walk(
+    ctx: &mut Ctx,
+    app: &mut App,
+    opts: &OptOptions,
+    census: &Census,
+    out: &mut ExpandOutcome,
+    sink: &mut Sink,
+) {
     // Recurse first so inner bindings are considered before outer ones; the
     // cost of an outer body then already reflects inner decisions.
     if let Value::Abs(a) = &mut app.func {
-        walk(ctx, &mut a.body, opts, census, out);
+        walk(ctx, &mut a.body, opts, census, out, sink);
     }
     for arg in &mut app.args {
         if let Value::Abs(a) = arg {
-            walk(ctx, &mut a.body, opts, census, out);
+            walk(ctx, &mut a.body, opts, census, out, sink);
         }
     }
 
@@ -67,14 +89,32 @@ fn walk(ctx: &mut Ctx, app: &mut App, opts: &OptOptions, census: &Census, out: &
         }
         let body_cost = cost_value(ctx, &app.args[i]);
         if body_cost > opts.inline_limit {
+            if sink.active() {
+                sink.emit(Event::ExpandDecision {
+                    site: ctx.names.display(v),
+                    cost: u64::from(body_cost),
+                    limit: u64::from(opts.inline_limit),
+                    taken: false,
+                    growth: 0,
+                });
+            }
             continue;
         }
         let template = app.args[i].as_abs().expect("checked is_abs").clone();
         let Value::Abs(fabs) = &mut app.func else {
             unreachable!("checked above")
         };
+        let growth_before = out.growth;
         let n = inline_call_sites(&mut fabs.body, v, &template, ctx, out);
-        let _ = n;
+        if sink.active() {
+            sink.emit(Event::ExpandDecision {
+                site: ctx.names.display(v),
+                cost: u64::from(body_cost),
+                limit: u64::from(opts.inline_limit),
+                taken: n > 0,
+                growth: out.growth - growth_before,
+            });
+        }
     }
 }
 

@@ -26,8 +26,10 @@
 
 pub mod driver;
 pub mod expand;
+pub mod provenance;
 pub mod reduce;
 pub mod stats;
 
-pub use driver::{optimize, optimize_abs};
-pub use stats::{OptOptions, OptStats, RuleSet};
+pub use driver::{optimize, optimize_abs, optimize_abs_traced, optimize_traced};
+pub use provenance::{record, record_abs, replay, replay_abs, ReplayError};
+pub use stats::{OptOptions, OptStats, RoundStats, RuleSet};

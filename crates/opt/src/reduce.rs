@@ -17,11 +17,27 @@ use tml_core::prim::FoldOutcome;
 use tml_core::prims_std::split_case;
 use tml_core::subst::subst_app;
 use tml_core::term::{Abs, App, Value};
-use tml_core::{Census, Ctx};
+use tml_core::{Census, Ctx, VarId};
+use tml_trace::{Event, Sink};
 
 /// Apply the reduction rules to `app` until no more rules are applicable.
-/// Returns `true` if anything changed.
+/// Returns `true` if anything changed. Rule firings are reported to the
+/// global trace recorder when it is enabled.
 pub fn reduce_to_fixpoint(ctx: &Ctx, app: &mut App, rules: RuleSet, stats: &mut OptStats) -> bool {
+    reduce_to_fixpoint_traced(ctx, app, rules, stats, &mut Sink::global())
+}
+
+/// [`reduce_to_fixpoint`] with an explicit provenance sink. Every rule
+/// firing emits one [`Event::RuleFired`] carrying the rule name, its
+/// anchor (bound variable or primitive, where one exists), the pre-order
+/// node index the sweep was visiting, and the term-size delta.
+pub fn reduce_to_fixpoint_traced(
+    ctx: &Ctx,
+    app: &mut App,
+    rules: RuleSet,
+    stats: &mut OptStats,
+    sink: &mut Sink,
+) -> bool {
     let mut any = false;
     // Hard safety bound; the size argument guarantees far fewer sweeps.
     for _ in 0..10_000 {
@@ -31,6 +47,9 @@ pub fn reduce_to_fixpoint(ctx: &Ctx, app: &mut App, rules: RuleSet, stats: &mut 
             census: Census::of_app(app, ctx.names.len()),
             stats,
             changed: false,
+            sink,
+            node: 0,
+            pending: None,
         };
         sweep.walk(app);
         if !sweep.changed {
@@ -42,21 +61,52 @@ pub fn reduce_to_fixpoint(ctx: &Ctx, app: &mut App, rules: RuleSet, stats: &mut 
     any
 }
 
-struct Sweep<'a> {
+struct Sweep<'a, 'b> {
     ctx: &'a Ctx,
     rules: RuleSet,
     census: Census,
     stats: &'a mut OptStats,
     changed: bool,
+    sink: &'a mut Sink<'b>,
+    /// Pre-order index of the node being visited (restarts each sweep).
+    node: u64,
+    /// Set by a rule method when it fires and tracing is active; consumed
+    /// by `walk` to label the emitted event.
+    pending: Option<(&'static str, String)>,
 }
 
-impl Sweep<'_> {
+impl Sweep<'_, '_> {
+    /// Label the rewrite that is about to be reported. Only does work when
+    /// the sink is active, so the disabled path never allocates.
+    fn note(&mut self, rule: &'static str, site: Option<VarId>) {
+        if self.sink.active() {
+            let site = site.map(|v| self.ctx.names.display(v)).unwrap_or_default();
+            self.pending = Some((rule, site));
+        }
+    }
+
     fn walk(&mut self, app: &mut App) {
+        self.node += 1;
+        let node = self.node;
         // Apply rules at this node until quiescent, then recurse.
         let mut case_done = false;
         loop {
+            let before = if self.sink.active() {
+                app.size() as i64
+            } else {
+                0
+            };
             if self.try_node(app, &mut case_done) {
                 self.changed = true;
+                if self.sink.active() {
+                    let (rule, site) = self.pending.take().unwrap_or(("?", String::new()));
+                    self.sink.emit(Event::RuleFired {
+                        rule,
+                        site,
+                        node,
+                        size_delta: app.size() as i64 - before,
+                    });
+                }
                 continue;
             }
             break;
@@ -89,6 +139,9 @@ impl Sweep<'_> {
                         // Guard the paper's termination argument: accept a
                         // fold only if it strictly shrinks the tree.
                         if new_app.size() < app.size() {
+                            if self.sink.active() {
+                                self.pending = Some(("fold", def.name.clone()));
+                            }
                             *app = new_app;
                             self.stats.fold += 1;
                             *case_done = false;
@@ -127,6 +180,7 @@ impl Sweep<'_> {
         );
         *app = body;
         self.stats.reduce += 1;
+        self.note("reduce", None);
         true
     }
 
@@ -153,6 +207,7 @@ impl Sweep<'_> {
                     abs.params.remove(i);
                     app.args.remove(i);
                     self.stats.remove += 1;
+                    self.note("remove", Some(v));
                     return true;
                 }
                 continue;
@@ -177,6 +232,7 @@ impl Sweep<'_> {
             abs.params.remove(i);
             app.args.remove(i);
             self.stats.remove += 1;
+            self.note("subst", Some(v));
             return true;
         }
         false
@@ -194,6 +250,7 @@ impl Sweep<'_> {
             if let Some(new_val) = eta_target(arg) {
                 *arg = new_val;
                 self.stats.eta_reduce += 1;
+                self.note("eta-reduce", None);
                 return true;
             }
         }
@@ -227,6 +284,7 @@ impl Sweep<'_> {
         }
         if replaced > 0 {
             self.stats.case_subst += 1;
+            self.note("case-subst", Some(v));
             true
         } else {
             false
@@ -258,6 +316,7 @@ impl Sweep<'_> {
                     if entry_abs.params.is_empty() {
                         *app = entry_abs.body.clone();
                         self.stats.y_reduce += 1;
+                        self.note("y-reduce", None);
                         return true;
                     }
                 }
@@ -283,6 +342,7 @@ impl Sweep<'_> {
                     yabs_mut.params.remove(i);
                     yabs_mut.body.args.remove(i);
                     self.stats.y_remove += 1;
+                    self.note("y-remove", Some(vi));
                     return true;
                 }
             }

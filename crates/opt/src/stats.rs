@@ -101,8 +101,25 @@ impl Default for OptOptions {
     }
 }
 
-/// Per-rule application counts and driver statistics.
+/// What one reduce(+expand) round of the driver did. The sequence of
+/// these is the reduce/expand alternation the paper's §5 termination
+/// argument reasons about: reductions strictly shrink the tree, expansion
+/// growth is charged against the penalty budget.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// 1-based round number.
+    pub round: u32,
+    /// Reduction-rule firings in this round's reduce-to-fixpoint pass.
+    pub reductions: u64,
+    /// Call sites inlined by this round's expansion pass (0 when the
+    /// round stopped before expanding).
+    pub inlined: u64,
+    /// Tree growth charged to the penalty budget by this round.
+    pub growth: u64,
+}
+
+/// Per-rule application counts and driver statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[allow(missing_docs)] // field names mirror the paper's rule names
 pub struct OptStats {
     pub subst: u64,
@@ -123,6 +140,9 @@ pub struct OptStats {
     pub size_before: usize,
     /// Tree size after optimization.
     pub size_after: usize,
+    /// Per-round breakdown of the reduce/expand alternation, in order.
+    /// `per_round.len() == rounds as usize` after a driver run.
+    pub per_round: Vec<RoundStats>,
 }
 
 impl OptStats {

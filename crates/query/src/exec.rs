@@ -42,11 +42,26 @@ fn alloc_rel(ctx: &mut dyn HostCtx, rel: Relation) -> RVal {
     RVal::Ref(ctx.store().alloc(Object::Relation(rel)))
 }
 
+/// Record the access path an executing query actually took: one
+/// `query.plan.<plan>` counter bump plus a
+/// [`tml_trace::Event::PlanChosen`] ring event. No-op while tracing is
+/// off.
+fn trace_plan(plan: &'static str, target: Option<u64>) {
+    if !tml_trace::enabled() {
+        return;
+    }
+    tml_trace::count(&format!("query.plan.{plan}"), 1);
+    tml_trace::record(tml_trace::Event::PlanChosen { plan, target });
+}
+
 /// Register all query extern implementations.
 pub fn install_externs(t: &mut ExternTable) {
     t.register("select", |ctx, args| {
         let pred = args[0].clone();
         let src = rel_of(ctx, &args[1])?;
+        if let RVal::Ref(oid) = &args[1] {
+            trace_plan("scan", Some(oid.0));
+        }
         let mut out = Relation::new(src.schema.clone());
         for row in &src.rows {
             let tup = row_tuple(ctx, row);
@@ -177,6 +192,7 @@ pub fn install_externs(t: &mut ExternTable) {
         let RVal::Ref(ix_oid) = args[0] else {
             return Err(type_err());
         };
+        trace_plan("index", Some(ix_oid.0));
         let key = args[1]
             .persist(ctx.store())
             .ok()
@@ -235,6 +251,7 @@ mod tests {
         let block = s.vm.compile_program(&s.ctx, &app).unwrap();
         let mut machine = Machine::new(&s.vm.code, &s.vm.externs, &mut s.store, 10_000_000);
         let out = machine.run(block, Vec::new(), Vec::new()).unwrap();
+        drop(machine);
         (out.result, s)
     }
 

@@ -29,6 +29,26 @@ impl QueryRewriteStats {
     }
 }
 
+/// Record a query-rewrite firing on the global trace recorder: one
+/// `query.rewrite.<rule>` counter bump plus a
+/// [`tml_trace::Event::QueryRewrite`] ring event. No-op while tracing is
+/// off.
+fn trace_rewrite(
+    rule: &'static str,
+    relation: Option<tml_core::Oid>,
+    index: Option<tml_core::Oid>,
+) {
+    if !tml_trace::enabled() {
+        return;
+    }
+    tml_trace::count(&format!("query.rewrite.{rule}"), 1);
+    tml_trace::record(tml_trace::Event::QueryRewrite {
+        rule,
+        relation: relation.map(|o| o.0),
+        index: index.map(|o| o.0),
+    });
+}
+
 /// Apply the query rewrite rules to `app` until fixpoint. When `store` is
 /// given, runtime-binding rules (index-select) are enabled — this is what
 /// "delaying query optimization until runtime" buys.
@@ -109,10 +129,12 @@ impl Rewriter<'_> {
             }
             if self.try_merge_select(app) {
                 self.stats.merge_select += 1;
+                trace_rewrite("merge-select", None, None);
                 continue;
             }
             if self.try_trivial_exists(app) {
                 self.stats.trivial_exists += 1;
+                trace_rewrite("trivial-exists", None, None);
                 continue;
             }
             break;
@@ -315,6 +337,7 @@ impl Rewriter<'_> {
             Value::Prim(self.prims.idxselect),
             vec![Value::Lit(Lit::Oid(ix)), Value::Lit(key), ce, cc],
         );
+        trace_rewrite("index-select", Some(rel), Some(ix));
         true
     }
 

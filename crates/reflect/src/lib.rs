@@ -31,12 +31,13 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use tml_core::subst::subst_many;
 use tml_core::term::{Abs, App, Value};
 use tml_core::{Ctx, Oid, VarId};
-use tml_lang::Session;
+use tml_lang::types::TypeEnv;
+use tml_lang::{Session, SessionConfig};
 use tml_opt::{optimize_abs, OptOptions, OptStats};
 use tml_store::cache::{binding_signature, hash_bytes, SigHasher};
 use tml_store::ptml::{decode_abs, encode_abs};
 use tml_store::{CacheEntry, CacheKey, ClosureObj, Object, SVal, Store};
-use tml_vm::codec;
+use tml_vm::{codec, Vm};
 
 /// An additional tree rewriter interleaved with the program optimizer —
 /// the paper's figure-4 interaction: "whenever the program optimizer
@@ -274,6 +275,22 @@ impl<'a> TermBuilder<'a> {
     }
 }
 
+/// Record a reflective-cache consultation on the global trace recorder:
+/// one `reflect.cache.<outcome>` counter bump plus a
+/// [`tml_trace::Event::ReflectConsult`] ring event. No-op while tracing is
+/// off.
+fn trace_consult(name: Option<&str>, oid: Oid, outcome: &'static str) {
+    if !tml_trace::enabled() {
+        return;
+    }
+    tml_trace::count(&format!("reflect.cache.{outcome}"), 1);
+    tml_trace::record(tml_trace::Event::ReflectConsult {
+        function: name.unwrap_or("<anonymous>").to_string(),
+        oid: oid.0,
+        outcome,
+    });
+}
+
 /// One reoptimized function, before relinking.
 struct Rebuilt {
     name: Option<String>,
@@ -374,6 +391,7 @@ fn rebuild(
             // An undecodable cached segment (corrupt image) falls through to
             // the full recomputation below; the insert overwrites the entry.
             if let Ok(block) = codec::decode_segment(&mut session.vm.code, &entry.code) {
+                trace_consult(name.as_deref(), oid, "hit");
                 let ptml = session.store.alloc(Object::Ptml(entry.ptml));
                 let stats = OptStats {
                     size_before: entry.size_before as usize,
@@ -393,6 +411,11 @@ fn rebuild(
         }
     }
 
+    trace_consult(
+        name.as_deref(),
+        oid,
+        if options.use_cache { "miss" } else { "bypass" },
+    );
     let (abs, residuals, residual_values) = {
         let mut tb = TermBuilder::new(&mut session.ctx, &session.store);
         let abs = tb.build(oid, options.inline_depth)?;
@@ -411,9 +434,10 @@ fn rebuild(
                 let rewrites = rewrite(&mut session.ctx, &session.store, &mut abs.body);
                 let (a2, s2) = optimize_abs(&mut session.ctx, abs, &options.opt);
                 abs = a2;
+                let quiescent = s2.total_reductions() == 0 && s2.inlined == 0;
                 last = s2;
                 rounds += 1;
-                if rounds >= 8 || (rewrites == 0 && s2.total_reductions() == 0 && s2.inlined == 0) {
+                if rounds >= 8 || (rewrites == 0 && quiescent) {
                     break;
                 }
             }
@@ -634,28 +658,153 @@ pub fn optimize_all(
     }
 
     // Relink the global environment and module export records.
+    let mut relinked: u64 = 0;
     for (r, &oid) in rebuilt.iter().zip(&oids) {
         let Some(name) = r.name.as_deref() else {
             continue;
         };
         session.globals.insert(name.to_string(), SVal::Ref(oid));
+        relinked += 1;
         if let Some((module, export)) = name.split_once('.') {
             if let Some(mod_oid) = session.store.root(module) {
                 if let Ok(Object::Module(m)) = session.store.get_mut(mod_oid) {
                     if let Some(slot) = m.exports.get_mut(export) {
                         *slot = SVal::Ref(oid);
+                        relinked += 1;
                     }
                 }
             }
         }
     }
+    if tml_trace::enabled() {
+        tml_trace::count("reflect.relinked", relinked);
+        tml_trace::record(tml_trace::Event::Relink {
+            rebuilt: report.functions as u64,
+            relinked,
+        });
+    }
     Ok(report)
+}
+
+/// Reconstruct a runnable [`Session`] around a store loaded from a
+/// snapshot image (`.tys`). Snapshots persist objects, roots and R-value
+/// bindings but no executable code — the persistent representation of
+/// code is PTML (paper §2.2) — so after construction every PTML-carrying
+/// closure must be recompiled in place with [`relink_image_code`].
+/// Callers needing extension primitives (e.g. the query externs) should
+/// install them into the returned session *before* relinking, so decoding
+/// resolves them.
+pub fn session_from_store(store: Store, config: SessionConfig) -> Session {
+    let mut globals: HashMap<String, SVal> = HashMap::new();
+    let mut modules: Vec<String> = Vec::new();
+    for (name, oid) in store.roots() {
+        if let Ok(Object::Module(m)) = store.get(oid) {
+            globals.insert(name.to_string(), SVal::Ref(oid));
+            for (export, val) in &m.exports {
+                globals.insert(format!("{name}.{export}"), val.clone());
+            }
+            modules.push(name.to_string());
+        }
+    }
+    Session {
+        ctx: Ctx::new(),
+        vm: Vm::new(),
+        store,
+        types: TypeEnv::new(),
+        globals,
+        config,
+        modules,
+    }
+}
+
+/// Recompile every PTML-carrying closure in the session's store against
+/// the session's (fresh) code table, rebuilding each closure environment
+/// from its persisted R-value bindings. OIDs are stable across snapshots,
+/// so binding values — including mutual references between closures —
+/// remain valid as-is; only the transient code-table indices need
+/// regeneration. Returns the number of closures relinked.
+pub fn relink_image_code(session: &mut Session) -> Result<usize, ReflectError> {
+    struct Target {
+        oid: Oid,
+        bytes: Vec<u8>,
+        old: HashMap<String, SVal>,
+    }
+    let targets: Vec<Target> = session
+        .store
+        .iter()
+        .filter_map(|(oid, obj)| match obj {
+            Object::Closure(c) => c.ptml.map(|p| (oid, p, c.bindings.clone())),
+            _ => None,
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|(oid, ptml_oid, bindings)| {
+            let bytes = match session.store.get(ptml_oid) {
+                Ok(Object::Ptml(b)) => Ok(b.clone()),
+                Ok(other) => Err(ReflectError::BadPtml(format!("{} object", other.kind()))),
+                Err(e) => Err(ReflectError::Store(e.to_string())),
+            }?;
+            Ok(Target {
+                oid,
+                bytes,
+                old: bindings.into_iter().collect(),
+            })
+        })
+        .collect::<Result<_, ReflectError>>()?;
+
+    let mut relinked = 0;
+    for t in &targets {
+        let (abs, frees) = decode_abs(&mut session.ctx, &t.bytes)
+            .map_err(|e| ReflectError::BadPtml(e.to_string()))?;
+        let compiled = session
+            .vm
+            .compile_proc(&session.ctx, &abs)
+            .map_err(|e| ReflectError::Compile(e.to_string()))?;
+        let by_var: HashMap<VarId, &str> = frees.iter().map(|(n, v)| (*v, n.as_str())).collect();
+        let mut env = Vec::with_capacity(compiled.captures.len());
+        let mut bindings = Vec::with_capacity(compiled.captures.len());
+        for v in &compiled.captures {
+            let name = by_var.get(v).copied().ok_or_else(|| {
+                ReflectError::Compile(format!(
+                    "capture {} is not a recorded binding",
+                    session.ctx.names.display(*v)
+                ))
+            })?;
+            let val = t
+                .old
+                .get(name)
+                .or_else(|| session.globals.get(name))
+                .cloned()
+                .ok_or_else(|| ReflectError::Unresolved(name.to_string()))?;
+            env.push(val.clone());
+            bindings.push((name.to_string(), val));
+        }
+        // Untracked: relinking restores transient code indices — the
+        // persistent content (PTML, binding values) is unchanged, so
+        // cached optimization products observing this closure stay valid.
+        match session.store.get_mut_untracked(t.oid) {
+            Ok(Object::Closure(c)) => {
+                c.code = compiled.block;
+                c.env = env;
+                c.bindings = bindings;
+            }
+            _ => unreachable!("targets are closures"),
+        }
+        relinked += 1;
+    }
+    if tml_trace::enabled() {
+        tml_trace::count("reflect.relinked", relinked as u64);
+        tml_trace::record(tml_trace::Event::Relink {
+            rebuilt: 0,
+            relinked: relinked as u64,
+        });
+    }
+    Ok(relinked)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tml_lang::SessionConfig;
     use tml_vm::RVal;
 
     fn session() -> Session {

@@ -83,12 +83,14 @@ fn mark_object(obj: &Object, pending: &mut Vec<Oid>) {
 /// Collect garbage. `extra_roots` are additional roots beyond the store's
 /// named roots (e.g. a session's global bindings).
 pub fn collect(store: &mut Store, extra_roots: &[Oid]) -> GcStats {
+    let tracing = tml_trace::enabled();
     let before = store.live();
     let nslots = store.len();
     let mut marked = vec![false; nslots + 1]; // index by oid (1-based)
     let mut pending: Vec<Oid> = store.roots().map(|(_, o)| o).collect();
     pending.extend_from_slice(extra_roots);
 
+    let t_mark = std::time::Instant::now();
     while let Some(oid) = pending.pop() {
         let ix = oid.0 as usize;
         if oid.is_null() || ix > nslots || marked[ix] {
@@ -99,7 +101,16 @@ pub fn collect(store: &mut Store, extra_roots: &[Oid]) -> GcStats {
             mark_object(obj, &mut pending);
         }
     }
+    if tracing {
+        tml_trace::record(tml_trace::Event::GcPhase {
+            phase: "mark",
+            micros: t_mark.elapsed().as_micros() as u64,
+            count: marked.iter().filter(|&&m| m).count() as u64,
+            bytes: 0,
+        });
+    }
 
+    let t_sweep = std::time::Instant::now();
     let mut freed = 0;
     let mut bytes_freed = 0;
     #[allow(clippy::needless_range_loop)] // oid-indexed, not slice iteration
@@ -114,10 +125,31 @@ pub fn collect(store: &mut Store, extra_roots: &[Oid]) -> GcStats {
             store.free(oid);
         }
     }
+    if tracing {
+        tml_trace::record(tml_trace::Event::GcPhase {
+            phase: "sweep",
+            micros: t_sweep.elapsed().as_micros() as u64,
+            count: freed as u64,
+            bytes: bytes_freed as u64,
+        });
+    }
     // Cached optimization products are derived state, not roots: entries
     // that observed a collected object are dropped eagerly (a later lookup
     // would invalidate them anyway via the version check).
+    let t_cache = std::time::Instant::now();
     let cache_dropped = store.cache_sweep();
+    if tracing {
+        tml_trace::record(tml_trace::Event::GcPhase {
+            phase: "cache-sweep",
+            micros: t_cache.elapsed().as_micros() as u64,
+            count: cache_dropped as u64,
+            bytes: 0,
+        });
+        tml_trace::count("store.gc.runs", 1);
+        tml_trace::count("store.gc.freed", freed as u64);
+        tml_trace::count("store.gc.bytes_freed", bytes_freed as u64);
+        tml_trace::count("store.gc.micros", t_mark.elapsed().as_micros() as u64);
+    }
     GcStats {
         before,
         after: store.live(),

@@ -77,6 +77,14 @@ pub fn to_bytes(store: &Store) -> Vec<u8> {
     // the per-slot version vector and the reflective-optimization cache.
     put_versions(&mut out, store.versions());
     put_cache(&mut out, store.cache());
+    if tml_trace::enabled() {
+        tml_trace::count("store.snapshot.write_bytes", out.len() as u64);
+        tml_trace::record(tml_trace::Event::SnapshotIo {
+            dir: "write",
+            bytes: out.len() as u64,
+            objects: store.live() as u64,
+        });
+    }
     out
 }
 
@@ -128,6 +136,14 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Store, DecodeError> {
         if !r.is_at_end() {
             return Err(DecodeError::Truncated);
         }
+    }
+    if tml_trace::enabled() {
+        tml_trace::count("store.snapshot.read_bytes", bytes.len() as u64);
+        tml_trace::record(tml_trace::Event::SnapshotIo {
+            dir: "read",
+            bytes: bytes.len() as u64,
+            objects: store.live() as u64,
+        });
     }
     Ok(store)
 }

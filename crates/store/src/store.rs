@@ -7,6 +7,21 @@ use crate::sval::SVal;
 use std::collections::BTreeMap;
 use tml_core::Oid;
 
+/// Record an optimization-cache operation on the global trace recorder:
+/// one `store.cache.<op>` counter bump plus a [`tml_trace::Event::CacheOp`]
+/// ring event keyed by the entry's PTML hash. No-op while tracing is off.
+fn trace_cache_op(op: &'static str, key_hash: u64) {
+    if !tml_trace::enabled() {
+        return;
+    }
+    tml_trace::count(&format!("store.cache.{op}"), 1);
+    tml_trace::record(tml_trace::Event::CacheOp {
+        cache: "opt-cache",
+        op,
+        key_hash,
+    });
+}
+
 /// Errors from store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
@@ -142,6 +157,22 @@ impl Store {
             .ok_or(StoreError::Dangling(oid))?;
         self.versions[ix] += 1;
         Ok(slot)
+    }
+
+    /// Fetch an object mutably *without* bumping its content version.
+    /// Only for restoring transient state whose persistent content is
+    /// unchanged — e.g. relinking a closure's code-table index after an
+    /// image load, where the PTML and binding values stay identical.
+    /// Using this for real content mutation breaks cache-staleness
+    /// detection.
+    pub fn get_mut_untracked(&mut self, oid: Oid) -> Result<&mut Object, StoreError> {
+        if oid.is_null() {
+            return Err(StoreError::Dangling(oid));
+        }
+        self.objects
+            .get_mut(oid.0 as usize - 1)
+            .and_then(Option::as_mut)
+            .ok_or(StoreError::Dangling(oid))
     }
 
     /// The content version of an object's slot: 0 at allocation, bumped on
@@ -309,6 +340,7 @@ impl Store {
         let valid = match self.cache.entries.get(&key) {
             None => {
                 self.cache.stats.misses += 1;
+                trace_cache_op("miss", key.ptml_hash);
                 return None;
             }
             Some(e) => e
@@ -320,10 +352,13 @@ impl Store {
             self.cache.entries.remove(&key);
             self.cache.stats.invalidations += 1;
             self.cache.stats.misses += 1;
+            trace_cache_op("invalidation", key.ptml_hash);
+            trace_cache_op("miss", key.ptml_hash);
             return None;
         }
         self.cache.tick += 1;
         self.cache.stats.hits += 1;
+        trace_cache_op("hit", key.ptml_hash);
         let entry = self.cache.entries.get_mut(&key).expect("checked above");
         entry.tick = self.cache.tick;
         Some(entry.clone())
@@ -335,11 +370,13 @@ impl Store {
         if !self.cache.entries.contains_key(&key) {
             while self.cache.entries.len() >= self.cache.cap {
                 self.cache.evict_lru();
+                trace_cache_op("eviction", key.ptml_hash);
             }
         }
         self.cache.tick += 1;
         entry.tick = self.cache.tick;
         self.cache.stats.inserts += 1;
+        trace_cache_op("insert", key.ptml_hash);
         self.cache.entries.insert(key, entry);
     }
 
@@ -362,8 +399,34 @@ impl Store {
         for key in &stale {
             self.cache.entries.remove(key);
             self.cache.stats.invalidations += 1;
+            trace_cache_op("invalidation", key.ptml_hash);
         }
         stale.len()
+    }
+
+    /// Publish footprint and cache totals to the global trace registry as
+    /// gauges (`store.*`). Works regardless of the recorder's enabled
+    /// flag, so `tmlc info` can use the registry as its single report
+    /// path.
+    pub fn publish_counters(&self) {
+        let g = tml_trace::global();
+        let st = self.stats();
+        g.counter("store.objects").set(st.objects as u64);
+        g.counter("store.slots").set(self.len() as u64);
+        g.counter("store.bytes").set(st.bytes as u64);
+        g.counter("store.ptml_bytes").set(st.ptml_bytes as u64);
+        g.counter("store.closures").set(st.closures as u64);
+        g.counter("store.cache.entries")
+            .set(self.cache.len() as u64);
+        g.counter("store.cache.cap").set(self.cache.cap() as u64);
+        g.counter("store.cache.bytes")
+            .set(self.cache.byte_size() as u64);
+        let cs = self.cache.stats;
+        g.counter("store.cache.hits").set(cs.hits);
+        g.counter("store.cache.misses").set(cs.misses);
+        g.counter("store.cache.invalidations").set(cs.invalidations);
+        g.counter("store.cache.evictions").set(cs.evictions);
+        g.counter("store.cache.inserts").set(cs.inserts);
     }
 
     // -- Statistics ----------------------------------------------------------

@@ -1,0 +1,280 @@
+//! Typed trace events.
+//!
+//! Every subsystem reports through the same closed event vocabulary so the
+//! export schema stays stable: the optimizer emits the rewrite provenance
+//! log ([`Event::RuleFired`], [`Event::ExpandDecision`], [`Event::OptRound`],
+//! [`Event::OptStop`]), the store emits cache/GC/snapshot activity, the
+//! query rewriter emits plan decisions, and the reflective optimizer emits
+//! memo-cache consults and relink summaries.
+
+use crate::json::JsonWriter;
+
+/// One structured trace event.
+///
+/// Variants carry only plain integers and short strings so recording stays
+/// cheap and the JSON export needs no external serializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An optimizer rewrite rule fired (§3 rules + constant folding).
+    RuleFired {
+        /// Rule name (`subst`, `remove`, `reduce`, `eta-reduce`, `fold`,
+        /// `case-subst`, `y-remove`, `y-reduce`).
+        rule: &'static str,
+        /// Anchor for the rewrite where one exists: the bound variable or
+        /// primitive the rule matched on, in display form. Empty otherwise.
+        site: String,
+        /// Pre-order index of the term node the sweep was visiting.
+        node: u64,
+        /// Term size after the rewrite minus size before (negative = shrank).
+        size_delta: i64,
+    },
+    /// The expansion pass considered an inlining candidate (Appel-style
+    /// heuristic, §3.2): records the cost/limit comparison that decided it.
+    ExpandDecision {
+        /// Display name of the let-bound function considered for inlining.
+        site: String,
+        /// Estimated body cost of the candidate.
+        cost: u64,
+        /// `inline_limit` the cost was compared against.
+        limit: u64,
+        /// Whether the candidate was inlined.
+        taken: bool,
+        /// Term-size growth charged against the penalty budget (0 if skipped).
+        growth: u64,
+    },
+    /// One reduce(+expand) round of the optimizer driver completed.
+    OptRound {
+        /// 1-based round number.
+        round: u32,
+        /// Rule firings during this round's reduce-to-fixpoint pass.
+        reductions: u64,
+        /// Call sites inlined by this round's expansion pass.
+        inlined: u64,
+        /// Accumulated inlining penalty after this round.
+        penalty: u64,
+        /// Term size at the end of the round.
+        size: u64,
+    },
+    /// The optimizer driver stopped, and why (§5 termination argument).
+    OptStop {
+        /// `fixpoint`, `expand-disabled`, `max-rounds` or `penalty-limit`.
+        reason: &'static str,
+        /// Total rounds executed.
+        rounds: u32,
+        /// Final accumulated penalty.
+        penalty: u64,
+        /// The configured penalty budget.
+        penalty_limit: u64,
+    },
+    /// A named cache performed an operation (store optimization cache).
+    CacheOp {
+        /// Which cache (`opt-cache`).
+        cache: &'static str,
+        /// `hit`, `miss`, `invalidation`, `eviction` or `insert`.
+        op: &'static str,
+        /// Operation detail: the PTML hash of the key involved.
+        key_hash: u64,
+    },
+    /// One phase of a garbage collection pause.
+    GcPhase {
+        /// `mark`, `sweep` or `cache-sweep`.
+        phase: &'static str,
+        /// Wall-clock duration of the phase in microseconds.
+        micros: u64,
+        /// Objects touched: marked (mark), freed (sweep), dropped entries
+        /// (cache-sweep).
+        count: u64,
+        /// Bytes freed, where the phase tracks them.
+        bytes: u64,
+    },
+    /// A snapshot image was encoded or decoded.
+    SnapshotIo {
+        /// `write` or `read`.
+        dir: &'static str,
+        /// Image size in bytes.
+        bytes: u64,
+        /// Live objects in the image.
+        objects: u64,
+    },
+    /// The query rewriter applied an algebraic rewrite.
+    QueryRewrite {
+        /// `merge-select`, `trivial-exists` or `index-select`.
+        rule: &'static str,
+        /// Relation OID, when the rewrite is anchored to a stored relation.
+        relation: Option<u64>,
+        /// Index OID substituted by `index-select`.
+        index: Option<u64>,
+    },
+    /// The executor chose an access path for a select.
+    PlanChosen {
+        /// `scan` or `index`.
+        plan: &'static str,
+        /// OID of the relation or index driving the plan, if known.
+        target: Option<u64>,
+    },
+    /// The reflective optimizer consulted the persistent memo cache.
+    ReflectConsult {
+        /// Qualified function name being rebuilt.
+        function: String,
+        /// Store OID of the closure.
+        oid: u64,
+        /// `hit`, `miss` or `bypass` (caching disabled).
+        outcome: &'static str,
+    },
+    /// A whole-world optimization pass relinked rebuilt closures.
+    Relink {
+        /// Closures rebuilt by the pass.
+        rebuilt: u64,
+        /// Global/module bindings repointed to the rebuilt closures.
+        relinked: u64,
+    },
+}
+
+impl Event {
+    /// Stable schema tag for the JSON export.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RuleFired { .. } => "rule-fired",
+            Event::ExpandDecision { .. } => "expand-decision",
+            Event::OptRound { .. } => "opt-round",
+            Event::OptStop { .. } => "opt-stop",
+            Event::CacheOp { .. } => "cache-op",
+            Event::GcPhase { .. } => "gc-phase",
+            Event::SnapshotIo { .. } => "snapshot-io",
+            Event::QueryRewrite { .. } => "query-rewrite",
+            Event::PlanChosen { .. } => "plan-chosen",
+            Event::ReflectConsult { .. } => "reflect-consult",
+            Event::Relink { .. } => "relink",
+        }
+    }
+
+    /// True for events that belong to the deterministic rewrite provenance
+    /// log (the subset `replay` re-derives and checks).
+    pub fn is_provenance(&self) -> bool {
+        matches!(
+            self,
+            Event::RuleFired { .. }
+                | Event::ExpandDecision { .. }
+                | Event::OptRound { .. }
+                | Event::OptStop { .. }
+        )
+    }
+
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        match self {
+            Event::RuleFired {
+                rule,
+                site,
+                node,
+                size_delta,
+            } => {
+                w.str_field("rule", rule);
+                w.str_field("site", site);
+                w.u64_field("node", *node);
+                w.i64_field("size_delta", *size_delta);
+            }
+            Event::ExpandDecision {
+                site,
+                cost,
+                limit,
+                taken,
+                growth,
+            } => {
+                w.str_field("site", site);
+                w.u64_field("cost", *cost);
+                w.u64_field("limit", *limit);
+                w.bool_field("taken", *taken);
+                w.u64_field("growth", *growth);
+            }
+            Event::OptRound {
+                round,
+                reductions,
+                inlined,
+                penalty,
+                size,
+            } => {
+                w.u64_field("round", u64::from(*round));
+                w.u64_field("reductions", *reductions);
+                w.u64_field("inlined", *inlined);
+                w.u64_field("penalty", *penalty);
+                w.u64_field("size", *size);
+            }
+            Event::OptStop {
+                reason,
+                rounds,
+                penalty,
+                penalty_limit,
+            } => {
+                w.str_field("reason", reason);
+                w.u64_field("rounds", u64::from(*rounds));
+                w.u64_field("penalty", *penalty);
+                w.u64_field("penalty_limit", *penalty_limit);
+            }
+            Event::CacheOp {
+                cache,
+                op,
+                key_hash,
+            } => {
+                w.str_field("cache", cache);
+                w.str_field("op", op);
+                w.u64_field("key_hash", *key_hash);
+            }
+            Event::GcPhase {
+                phase,
+                micros,
+                count,
+                bytes,
+            } => {
+                w.str_field("phase", phase);
+                w.u64_field("micros", *micros);
+                w.u64_field("count", *count);
+                w.u64_field("bytes", *bytes);
+            }
+            Event::SnapshotIo {
+                dir,
+                bytes,
+                objects,
+            } => {
+                w.str_field("dir", dir);
+                w.u64_field("bytes", *bytes);
+                w.u64_field("objects", *objects);
+            }
+            Event::QueryRewrite {
+                rule,
+                relation,
+                index,
+            } => {
+                w.str_field("rule", rule);
+                w.opt_u64_field("relation", *relation);
+                w.opt_u64_field("index", *index);
+            }
+            Event::PlanChosen { plan, target } => {
+                w.str_field("plan", plan);
+                w.opt_u64_field("target", *target);
+            }
+            Event::ReflectConsult {
+                function,
+                oid,
+                outcome,
+            } => {
+                w.str_field("function", function);
+                w.u64_field("oid", *oid);
+                w.str_field("outcome", outcome);
+            }
+            Event::Relink { rebuilt, relinked } => {
+                w.u64_field("rebuilt", *rebuilt);
+                w.u64_field("relinked", *relinked);
+            }
+        }
+    }
+}
+
+/// A recorded event with its global sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Monotonic sequence number assigned at record time (never reused,
+    /// so gaps reveal ring-buffer overwrites).
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
+}

@@ -1,0 +1,192 @@
+//! A minimal JSON writer.
+//!
+//! The workspace is dependency-free by policy, so the export schema is
+//! produced by hand. Only the small surface the trace layer needs is
+//! implemented: objects, arrays, string/number/bool fields, with full
+//! string escaping.
+
+/// Incremental JSON writer over an owned `String`.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and return the serialized text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Open an object value (`{`).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Open an array value (`[`).
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Emit an object key; the next emitted value becomes its value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.string_raw(k);
+        self.out.push(':');
+        // The value that follows must not get a comma of its own.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    fn string_raw(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Emit a string value.
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.string_raw(s);
+    }
+
+    /// Emit an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emit a signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emit a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Shorthand: `"k": "v"` field inside the current object.
+    pub fn str_field(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Shorthand: `"k": n` field inside the current object.
+    pub fn u64_field(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+    }
+
+    /// Shorthand: `"k": n` field for signed values.
+    pub fn i64_field(&mut self, k: &str, v: i64) {
+        self.key(k);
+        self.i64(v);
+    }
+
+    /// Shorthand: `"k": true|false` field.
+    pub fn bool_field(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+    }
+
+    /// Shorthand: `"k": n` or `"k": null`.
+    pub fn opt_u64_field(&mut self, k: &str, v: Option<u64>) {
+        self.key(k);
+        match v {
+            Some(n) => self.u64(n),
+            None => {
+                self.pre_value();
+                self.out.push_str("null");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_with_fields() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.str_field("a", "x\"y\\z\n");
+        w.u64_field("b", 7);
+        w.bool_field("c", true);
+        w.opt_u64_field("d", None);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\"a\":\"x\\\"y\\\\z\\n\",\"b\":7,\"c\":true,\"d\":null}"
+        );
+    }
+
+    #[test]
+    fn nested_arrays() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("xs");
+        w.begin_array();
+        w.u64(1);
+        w.u64(2);
+        w.begin_object();
+        w.i64_field("neg", -3);
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), "{\"xs\":[1,2,{\"neg\":-3}]}");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut w = JsonWriter::new();
+        w.string("\u{1}\t");
+        assert_eq!(w.finish(), "\"\\u0001\\t\"");
+    }
+}

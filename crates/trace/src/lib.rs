@@ -1,0 +1,383 @@
+//! `tml-trace` — unified tracing, metrics and optimizer-provenance layer.
+//!
+//! The paper's point (§4–5) is that one persistent CPS representation lets
+//! the system *re-optimize code dynamically*; this crate is how the
+//! reproduction shows its work. Every subsystem reports through one global
+//! [`Recorder`]:
+//!
+//! * a bounded **ring buffer** of typed [`Event`]s — the optimizer's rewrite
+//!   provenance log, cache/GC/snapshot activity, query plan choices;
+//! * a **counter registry** of named monotonic `u64`s — opcode and
+//!   primitive profiles, hot-closure call counts, cache hit/miss totals;
+//! * a single **JSON export** ([`Recorder::to_json`]) consumed by
+//!   `tmlc profile`, `tmlc explain` and `tmlc info --json`.
+//!
+//! Recording is off by default. The disabled fast path is one relaxed
+//! atomic load ([`enabled`]); instrumented code must check it before
+//! building event payloads, so a disabled recorder costs a predicted
+//! branch and nothing else. The crate depends on nothing — not even
+//! `tml-core` — so every layer of the workspace can use it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod registry;
+pub mod ring;
+
+pub use event::{Event, Sample};
+pub use registry::{Counter, Registry};
+pub use ring::{Ring, DEFAULT_CAPACITY};
+
+use json::JsonWriter;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Version tag of the JSON export schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The trace facility: an enabled flag, an event ring and a counter
+/// registry. One global instance serves the whole process ([`global`]);
+/// independent instances can be created for tests.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    ring: Mutex<Ring>,
+    registry: Registry,
+}
+
+impl Recorder {
+    /// Create a disabled recorder with the default ring capacity.
+    pub const fn new() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            ring: Mutex::new(Ring::new(DEFAULT_CAPACITY)),
+            registry: Registry::new(),
+        }
+    }
+
+    /// Is recording on? One relaxed load — this is the fast path every
+    /// instrumentation site checks first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Append an event to the ring if recording is enabled.
+    pub fn record(&self, event: Event) {
+        if self.is_enabled() {
+            self.ring.lock().unwrap().push(event);
+        }
+    }
+
+    /// Look up or create a named counter. The handle is lock-free to bump;
+    /// hot paths should resolve once and reuse it.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Add `n` to the named counter, but only when recording is enabled.
+    /// Convenience for call sites too cold to keep a handle.
+    pub fn count(&self, name: &str, n: u64) {
+        if self.is_enabled() {
+            self.registry.counter(name).add(n);
+        }
+    }
+
+    /// The counter registry (for snapshots and gauge-style publication
+    /// that should work even while recording is disabled).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Resize the event ring, discarding held events and resetting the
+    /// sequence/drop counters.
+    pub fn set_capacity(&self, cap: usize) {
+        self.ring.lock().unwrap().reset(Some(cap));
+    }
+
+    /// Remove and return all held events, oldest first.
+    pub fn drain(&self) -> Vec<Sample> {
+        self.ring.lock().unwrap().drain()
+    }
+
+    /// Copy out all held events without removing them.
+    pub fn events(&self) -> Vec<Sample> {
+        self.ring.lock().unwrap().snapshot()
+    }
+
+    /// Events lost to ring wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped()
+    }
+
+    /// Discard all events and counters and reset sequencing. The enabled
+    /// flag is left as-is.
+    pub fn clear(&self) {
+        self.ring.lock().unwrap().reset(None);
+        self.registry.clear();
+    }
+
+    /// Export the full trace state as JSON:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "enabled": true,
+    ///   "recorded": 12, "dropped": 0,
+    ///   "counters": { "vm.instrs": 123, ... },
+    ///   "events": [ { "seq": 0, "type": "rule-fired", ... }, ... ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let (samples, recorded, dropped) = {
+            let ring = self.ring.lock().unwrap();
+            (ring.snapshot(), ring.recorded(), ring.dropped())
+        };
+        let counters = self.registry.snapshot();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.u64_field("version", SCHEMA_VERSION);
+        w.bool_field("enabled", self.is_enabled());
+        w.u64_field("recorded", recorded);
+        w.u64_field("dropped", dropped);
+        w.key("counters");
+        w.begin_object();
+        for (name, value) in &counters {
+            w.u64_field(name, *value);
+        }
+        w.end_object();
+        w.key("events");
+        w.begin_array();
+        for s in &samples {
+            w.begin_object();
+            w.u64_field("seq", s.seq);
+            w.str_field("type", s.event.kind());
+            s.event.write_json(&mut w);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+static GLOBAL: Recorder = Recorder::new();
+
+/// The process-wide recorder used by all instrumentation.
+pub fn global() -> &'static Recorder {
+    &GLOBAL
+}
+
+/// Fast path: is the global recorder enabled?
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL.is_enabled()
+}
+
+/// Record an event on the global recorder (no-op when disabled).
+#[inline]
+pub fn record(event: Event) {
+    GLOBAL.record(event);
+}
+
+/// Bump a global counter by `n` when recording is enabled.
+#[inline]
+pub fn count(name: &str, n: u64) {
+    GLOBAL.count(name, n);
+}
+
+/// Resolve a handle to a global counter (works regardless of the enabled
+/// flag; use for gauges and for hot paths that keep the handle).
+pub fn counter(name: &str) -> Counter {
+    GLOBAL.counter(name)
+}
+
+/// Where provenance events go during an optimizer run.
+///
+/// `optimize` forwards to the global recorder when it is enabled; replay
+/// and `tmlc explain` substitute a collecting closure. The `active` flag
+/// is hoisted so instrumented loops pay a plain-bool branch and skip
+/// building payloads entirely when nobody is listening.
+pub struct Sink<'a> {
+    active: bool,
+    collect: Option<&'a mut dyn FnMut(&Event)>,
+}
+
+impl<'a> Sink<'a> {
+    /// A sink that forwards to the global recorder iff it is enabled.
+    pub fn global() -> Sink<'static> {
+        Sink {
+            active: enabled(),
+            collect: None,
+        }
+    }
+
+    /// A sink that is never active.
+    pub fn disabled() -> Sink<'static> {
+        Sink {
+            active: false,
+            collect: None,
+        }
+    }
+
+    /// A sink that hands every event to `f` (always active).
+    pub fn collect(f: &'a mut dyn FnMut(&Event)) -> Sink<'a> {
+        Sink {
+            active: true,
+            collect: Some(f),
+        }
+    }
+
+    /// Should the caller build and emit events?
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Deliver one event (no-op when inactive).
+    pub fn emit(&mut self, event: Event) {
+        if !self.active {
+            return;
+        }
+        match self.collect.as_mut() {
+            Some(f) => f(&event),
+            None => record(event),
+        }
+    }
+}
+
+impl std::fmt::Debug for Sink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sink")
+            .field("active", &self.active)
+            .field("collect", &self.collect.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn ev(n: u64) -> Event {
+        Event::CacheOp {
+            cache: "opt-cache",
+            op: "miss",
+            key_hash: n,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::new();
+        assert!(!r.is_enabled());
+        r.record(ev(1));
+        r.count("x", 5);
+        assert!(r.events().is_empty());
+        assert_eq!(r.counter("x").get(), 0);
+        // Explicit handles still work while disabled (gauge publication).
+        r.counter("g").set(9);
+        assert_eq!(r.counter("g").get(), 9);
+    }
+
+    #[test]
+    fn enabled_recorder_stores_events_and_counts() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.record(ev(1));
+        r.record(ev(2));
+        r.count("x", 2);
+        r.count("x", 3);
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.counter("x").get(), 5);
+        let drained = r.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn ring_wraparound_at_capacity() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.set_capacity(4);
+        for n in 0..10 {
+            r.record(ev(n));
+        }
+        let held = r.events();
+        assert_eq!(held.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(
+            held.iter().map(|s| s.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_correctly() {
+        let r = std::sync::Arc::new(Recorder::new());
+        r.set_enabled(true);
+        let c1 = r.counter("shared");
+        let c2 = r.counter("shared");
+        let t1 = thread::spawn(move || {
+            for _ in 0..100_000 {
+                c1.inc();
+            }
+        });
+        let t2 = thread::spawn(move || {
+            for _ in 0..100_000 {
+                c2.add(2);
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(r.counter("shared").get(), 300_000);
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.counter("vm.instrs").add(41);
+        r.record(Event::RuleFired {
+            rule: "subst",
+            site: "x_1".to_string(),
+            node: 3,
+            size_delta: -2,
+        });
+        let json = r.to_json();
+        assert!(json.starts_with("{\"version\":1,\"enabled\":true,"));
+        assert!(json.contains("\"counters\":{\"vm.instrs\":41}"));
+        assert!(json.contains(
+            "{\"seq\":0,\"type\":\"rule-fired\",\"rule\":\"subst\",\"site\":\"x_1\",\"node\":3,\"size_delta\":-2}"
+        ));
+    }
+
+    #[test]
+    fn sink_collect_gathers_events() {
+        let mut got = Vec::new();
+        {
+            let mut push = |e: &Event| got.push(e.clone());
+            let mut sink = Sink::collect(&mut push);
+            assert!(sink.active());
+            sink.emit(ev(7));
+        }
+        assert_eq!(got.len(), 1);
+        let mut sink = Sink::disabled();
+        assert!(!sink.active());
+        sink.emit(ev(8)); // must be a no-op
+    }
+}

@@ -1,0 +1,121 @@
+//! Monotonic counter registry.
+//!
+//! Counters are named `u64` cells. Looking a counter up takes the registry
+//! lock once; the returned [`Counter`] handle is a shared atomic that can
+//! be bumped lock-free from any thread afterwards. Hot paths should
+//! resolve their handles once and keep them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared handle to one named counter cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter (relaxed; counters are independent totals).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite the value (gauge semantics, e.g. store footprint numbers).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Read the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Name → counter map behind a mutex.
+#[derive(Debug)]
+pub struct Registry {
+    map: Mutex<BTreeMap<String, Counter>>,
+}
+
+impl Registry {
+    /// Create an empty registry (const so it can live in a `static`).
+    pub const fn new() -> Self {
+        Registry {
+            map: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Look up or create the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.map.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// Snapshot all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.map
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot the counters whose name starts with `prefix`.
+    pub fn snapshot_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.snapshot()
+            .into_iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .collect()
+    }
+
+    /// Remove every counter.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_alias_the_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(r.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_prefix_filters() {
+        let r = Registry::new();
+        r.counter("vm.instrs").set(10);
+        r.counter("store.bytes").set(5);
+        r.counter("vm.calls").set(2);
+        let all = r.snapshot();
+        let names: Vec<&str> = all.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["store.bytes", "vm.calls", "vm.instrs"]);
+        assert_eq!(
+            r.snapshot_prefix("vm."),
+            vec![("vm.calls".to_string(), 2), ("vm.instrs".to_string(), 10)]
+        );
+    }
+}

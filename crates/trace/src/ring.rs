@@ -1,0 +1,182 @@
+//! Bounded ring buffer of [`Sample`]s.
+//!
+//! The buffer keeps the most recent `cap` events. When full, a new event
+//! overwrites the oldest one and the drop counter is bumped; sequence
+//! numbers stay monotonic so consumers can tell how much history was lost.
+
+use crate::event::{Event, Sample};
+
+/// Fixed-capacity event ring. Not synchronized — the [`Recorder`]
+/// (crate root) wraps it in a mutex.
+///
+/// [`Recorder`]: crate::Recorder
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<Sample>,
+    cap: usize,
+    /// Index of the oldest sample once the buffer has wrapped.
+    start: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Default event capacity of the global recorder.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+impl Ring {
+    /// Create an empty ring with the given capacity (minimum 1).
+    pub const fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::new(),
+            cap,
+            start: 0,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, overwriting the oldest when at capacity.
+    pub fn push(&mut self, event: Event) {
+        let cap = self.cap.max(1);
+        let sample = Sample {
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        if self.buf.len() < cap {
+            self.buf.push(sample);
+        } else {
+            self.buf[self.start] = sample;
+            self.start = (self.start + 1) % cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten since creation (history lost to wraparound).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed.
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Copy the held events out in recording order (oldest first).
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.start..]);
+        out.extend_from_slice(&self.buf[..self.start]);
+        out
+    }
+
+    /// Remove and return all held events in recording order. Sequence
+    /// numbering continues from where it left off.
+    pub fn drain(&mut self) -> Vec<Sample> {
+        let out = self.snapshot();
+        self.buf.clear();
+        self.start = 0;
+        out
+    }
+
+    /// Discard held events and reset counters; optionally change capacity.
+    pub fn reset(&mut self, cap: Option<usize>) {
+        if let Some(c) = cap {
+            self.cap = c.max(1);
+        }
+        self.buf.clear();
+        self.buf.shrink_to_fit();
+        self.start = 0;
+        self.next_seq = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> Event {
+        Event::CacheOp {
+            cache: "opt-cache",
+            op: "hit",
+            key_hash: n,
+        }
+    }
+
+    fn key(s: &Sample) -> u64 {
+        match s.event {
+            Event::CacheOp { key_hash, .. } => key_hash,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_overwriting_oldest() {
+        let mut r = Ring::new(3);
+        for n in 0..5 {
+            r.push(ev(n));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 5);
+        let held = r.snapshot();
+        // Oldest two (0, 1) were overwritten; order is preserved.
+        assert_eq!(held.iter().map(key).collect::<Vec<_>>(), vec![2, 3, 4]);
+        // Sequence numbers are the global record indices.
+        assert_eq!(
+            held.iter().map(|s| s.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_sequencing() {
+        let mut r = Ring::new(2);
+        r.push(ev(0));
+        r.push(ev(1));
+        let first = r.drain();
+        assert_eq!(first.len(), 2);
+        assert!(r.is_empty());
+        r.push(ev(2));
+        assert_eq!(r.snapshot()[0].seq, 2);
+    }
+
+    #[test]
+    fn wrap_exactly_at_capacity_boundary() {
+        let mut r = Ring::new(4);
+        for n in 0..4 {
+            r.push(ev(n));
+        }
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(4));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(
+            r.snapshot().iter().map(key).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn reset_changes_capacity() {
+        let mut r = Ring::new(2);
+        r.push(ev(0));
+        r.reset(Some(8));
+        assert!(r.is_empty());
+        for n in 0..8 {
+            r.push(ev(n));
+        }
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.dropped(), 0);
+    }
+}

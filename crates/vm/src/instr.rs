@@ -338,6 +338,69 @@ pub enum Instr {
 }
 
 impl Instr {
+    /// Stable opcode label for the trace profile (`vm.op.<key>` counters).
+    /// Arithmetic, comparison, bit and conversion instructions include the
+    /// sub-operator so per-primitive cost shows up in `tmlc profile`.
+    pub fn profile_key(&self) -> &'static str {
+        match self {
+            Instr::Mov { .. } => "mov",
+            Instr::Close { .. } => "close",
+            Instr::CloseGroup { .. } => "close-group",
+            Instr::Arith { op, .. } => match op {
+                ArithOp::Add => "arith.add",
+                ArithOp::Sub => "arith.sub",
+                ArithOp::Mul => "arith.mul",
+                ArithOp::Div => "arith.div",
+                ArithOp::Mod => "arith.mod",
+                ArithOp::FAdd => "arith.fadd",
+                ArithOp::FSub => "arith.fsub",
+                ArithOp::FMul => "arith.fmul",
+                ArithOp::FDiv => "arith.fdiv",
+            },
+            Instr::Branch { op, .. } => match op {
+                CmpOp::Lt => "branch.lt",
+                CmpOp::Gt => "branch.gt",
+                CmpOp::Le => "branch.le",
+                CmpOp::Ge => "branch.ge",
+                CmpOp::Eq => "branch.eq",
+                CmpOp::Ne => "branch.ne",
+                CmpOp::FLt => "branch.flt",
+                CmpOp::FLe => "branch.fle",
+                CmpOp::FEq => "branch.feq",
+            },
+            Instr::Bit { op, .. } => match op {
+                BitOp::Shl => "bit.shl",
+                BitOp::Shr => "bit.shr",
+                BitOp::And => "bit.and",
+                BitOp::Or => "bit.or",
+                BitOp::Xor => "bit.xor",
+            },
+            Instr::Conv { op, .. } => match op {
+                ConvOp::CharToInt => "conv.char-to-int",
+                ConvOp::IntToChar => "conv.int-to-char",
+                ConvOp::IntToReal => "conv.int-to-real",
+                ConvOp::RealToInt => "conv.real-to-int",
+                ConvOp::FSqrt => "conv.fsqrt",
+            },
+            Instr::BTest { .. } => "btest",
+            Instr::Switch { .. } => "switch",
+            Instr::Alloc { .. } => "alloc",
+            Instr::Idx { .. } => "idx",
+            Instr::IdxSet { .. } => "idx-set",
+            Instr::Size { .. } => "size",
+            Instr::MoveBlk { .. } => "move-blk",
+            Instr::Extern { .. } => "extern",
+            Instr::PushHandler { .. } => "push-handler",
+            Instr::PopHandler { .. } => "pop-handler",
+            Instr::Raise { .. } => "raise",
+            Instr::Call { .. } => "call",
+            Instr::Jump { .. } => "jump",
+            Instr::Halt { .. } => "halt",
+            Instr::Print { .. } => "print",
+            Instr::NativeRet { .. } => "native-ret",
+        }
+    }
+
     /// Approximate encoded size in bytes, used by the E3 code-size
     /// experiment (1 opcode byte + 3 bytes per operand word).
     pub fn encoded_size(&self) -> usize {

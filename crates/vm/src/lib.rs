@@ -40,7 +40,7 @@ pub mod rval;
 pub use compile::{CompileError, CompiledProc, Compiler};
 pub use host::{ExternFn, ExternTable};
 pub use instr::{CodeBlock, CodeTable, Instr};
-pub use machine::{ExecStats, Machine, Outcome, VmError};
+pub use machine::{ExecStats, Machine, Outcome, VmError, VmProfile};
 pub use rval::RVal;
 
 use tml_core::term::{Abs, App};

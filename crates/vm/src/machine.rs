@@ -12,7 +12,9 @@ use crate::instr::{
     NATIVE_ERR_BLOCK, NATIVE_OK_BLOCK,
 };
 use crate::rval::{RVal, TransientClosure};
+use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::time::Instant;
 use tml_core::prims_std::{ERR_BOUNDS, ERR_NO_CCALL, ERR_OVERFLOW, ERR_TYPE, ERR_ZERO_DIVIDE};
 use tml_core::Oid;
 use tml_store::{ClosureObj, Object, SVal, Store, StoreError};
@@ -28,6 +30,34 @@ pub struct ExecStats {
     pub closures: u64,
     /// Exceptions raised (explicitly or by failing primitives).
     pub exceptions: u64,
+}
+
+/// Per-run profile collected when the trace recorder is enabled at
+/// machine construction. Counts are accumulated locally (no atomics in
+/// the dispatch loop) and published to the trace registry when the
+/// machine is dropped: `vm.op.<opcode>`, `vm.prim.<extern>`,
+/// `vm.block.<name>#<id>` (hot-closure ranking) and `vm.wall_micros`.
+#[derive(Debug)]
+pub struct VmProfile {
+    /// Executed-instruction count per opcode label.
+    pub opcodes: BTreeMap<&'static str, u64>,
+    /// Calls per extension primitive.
+    pub externs: BTreeMap<String, u64>,
+    /// Invocations per code block (transient and persistent closures).
+    pub block_calls: BTreeMap<u32, u64>,
+    /// When profiling started.
+    pub started: Instant,
+}
+
+impl VmProfile {
+    fn new() -> Self {
+        VmProfile {
+            opcodes: BTreeMap::new(),
+            externs: BTreeMap::new(),
+            block_calls: BTreeMap::new(),
+            started: Instant::now(),
+        }
+    }
 }
 
 /// A finished execution.
@@ -97,6 +127,9 @@ pub struct Machine<'a> {
     /// Counters (public so harnesses can read incrementally).
     pub stats: ExecStats,
     output: Vec<String>,
+    /// Present only when tracing was enabled at construction; `None` keeps
+    /// the dispatch loop at a single branch of overhead.
+    profile: Option<Box<VmProfile>>,
 }
 
 impl<'a> Machine<'a> {
@@ -119,6 +152,34 @@ impl<'a> Machine<'a> {
             fuel,
             stats: ExecStats::default(),
             output: Vec::new(),
+            profile: tml_trace::enabled().then(|| Box::new(VmProfile::new())),
+        }
+    }
+
+    /// Publish the collected profile (if any) to the global trace
+    /// registry. Called automatically on drop; idempotent because the
+    /// profile is consumed.
+    pub fn publish_trace(&mut self) {
+        let Some(p) = self.profile.take() else {
+            return;
+        };
+        let g = tml_trace::global();
+        g.counter("vm.runs").inc();
+        g.counter("vm.instrs").add(self.stats.instrs);
+        g.counter("vm.calls").add(self.stats.calls);
+        g.counter("vm.closures").add(self.stats.closures);
+        g.counter("vm.exceptions").add(self.stats.exceptions);
+        let micros = p.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        g.counter("vm.wall_micros").add(micros);
+        for (key, n) in &p.opcodes {
+            g.counter(&format!("vm.op.{key}")).add(*n);
+        }
+        for (name, n) in &p.externs {
+            g.counter(&format!("vm.prim.{name}")).add(*n);
+        }
+        for (block, n) in &p.block_calls {
+            let name = &self.code.block(*block).name;
+            g.counter(&format!("vm.block.{name}#{block}")).add(*n);
         }
     }
 
@@ -227,6 +288,9 @@ impl<'a> Machine<'a> {
         self.stats.calls += 1;
         match target {
             RVal::Clo(c) => {
+                if let Some(p) = self.profile.as_deref_mut() {
+                    *p.block_calls.entry(c.code).or_insert(0) += 1;
+                }
                 let env = c.env.clone();
                 self.enter(c.code, env, args)
             }
@@ -235,6 +299,9 @@ impl<'a> Machine<'a> {
                     Object::Closure(c) => Some(c.clone()),
                     _ => None,
                 })?;
+                if let Some(p) = self.profile.as_deref_mut() {
+                    *p.block_calls.entry(clo.code).or_insert(0) += 1;
+                }
                 let env = clo.env.iter().map(RVal::from_sval).collect();
                 self.enter(clo.code, env, args)
             }
@@ -299,6 +366,9 @@ impl<'a> Machine<'a> {
             )));
         };
         // `instr` borrows from `code`, not `self`; state mutation is free.
+        if let Some(p) = self.profile.as_deref_mut() {
+            *p.opcodes.entry(instr.profile_key()).or_insert(0) += 1;
+        }
         match instr {
             Instr::Mov { dst, src } => {
                 let v = self.resolve(*src);
@@ -602,6 +672,14 @@ impl<'a> Machine<'a> {
                 on_ok,
             } => {
                 let fname = blk.extern_names[*name as usize].clone();
+                if let Some(p) = self.profile.as_deref_mut() {
+                    match p.externs.get_mut(&fname) {
+                        Some(n) => *n += 1,
+                        None => {
+                            p.externs.insert(fname.clone(), 1);
+                        }
+                    }
+                }
                 let vals: Vec<RVal> = args.iter().map(|s| self.resolve(*s)).collect();
                 let Some(f) = self.externs.lookup(&fname) else {
                     return self.exception(
@@ -722,6 +800,14 @@ impl<'a> Machine<'a> {
                 _ => Err(RVal::Str(ERR_TYPE.into())),
             }
         }
+    }
+}
+
+impl Drop for Machine<'_> {
+    fn drop(&mut self) {
+        // Publishes only when a profile was collected (tracing enabled at
+        // construction); the common case is a no-op.
+        self.publish_trace();
     }
 }
 

@@ -6,20 +6,34 @@
 //! tmlc code <file.tl> [options]                              disassemble bytecode
 //! tmlc eval '<tml s-expression>'                             run a raw TML program
 //! tmlc snapshot <file.tl> -o <image.tys>                     persist a compiled image
-//! tmlc info <image.tys>                                      inspect a store image
+//! tmlc info <image.tys> [--json]                             inspect a store image
+//! tmlc profile <input> <mod.fn> [--arg N]... [--json]        run under the tracer
+//! tmlc explain <input> <mod.fn> [--json] [--verify]          optimizer provenance log
+//!
+//! `profile` and `explain` accept either a TL source file or a persisted
+//! `.tys` image (whose PTML closures are relinked on load).
 //!
 //! options:
 //!   --mode library|direct     operator lowering (default library)
 //!   --opt none|local          static optimization (default none)
 //!   --dynamic                 whole-world reflective optimization before running
 //!   --stats                   print machine counters
+//!   --json                    emit the trace JSON schema instead of text
+//!   --top N                   rows per profile table (default 10)
+//!   --verify                  explain: replay the provenance log and compare PTML
 //! ```
 
 use std::process::ExitCode;
 use tycoon::lang::types::LowerMode;
 use tycoon::lang::{OptMode, Session, SessionConfig};
-use tycoon::reflect::{optimize_all, ReflectOptions, TermBuilder};
+use tycoon::reflect::{
+    optimize_all, optimize_named, relink_image_code, session_from_store, ReflectOptions,
+    TermBuilder,
+};
+use tycoon::store::ptml::encode_abs;
 use tycoon::store::{snapshot, SVal};
+use tycoon::trace;
+use tycoon::trace::Event;
 use tycoon::vm::RVal;
 
 struct Options {
@@ -27,6 +41,9 @@ struct Options {
     opt: OptMode,
     dynamic: bool,
     stats: bool,
+    json: bool,
+    verify: bool,
+    top: usize,
     entry: Option<String>,
     args: Vec<i64>,
     output: Option<String>,
@@ -42,6 +59,9 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
         opt: OptMode::None,
         dynamic: false,
         stats: false,
+        json: false,
+        verify: false,
+        top: 10,
         entry: None,
         args: Vec::new(),
         output: None,
@@ -67,6 +87,12 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
             }
             "--dynamic" => o.dynamic = true,
             "--stats" => o.stats = true,
+            "--json" => o.json = true,
+            "--verify" => o.verify = true,
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                o.top = v.parse().map_err(|e| format!("bad --top: {e}"))?;
+            }
             "--entry" => o.entry = Some(it.next().ok_or("--entry needs a value")?),
             "--fn" => o.target_fn = Some(it.next().ok_or("--fn needs a value")?),
             "-o" | "--output" => o.output = Some(it.next().ok_or("-o needs a value")?),
@@ -99,6 +125,28 @@ fn build_session(o: &Options, src: &str) -> Result<Session, String> {
 fn read_source(o: &Options) -> Result<String, String> {
     let path = o.positional.first().ok_or("missing input file")?;
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Load either a TL source file or a persisted `.tys` store image into a
+/// runnable session. Images carry no executable code (the persistent
+/// representation of code is PTML), so every closure is recompiled and
+/// relinked in place; the query primitives are installed first so decoding
+/// resolves them.
+fn load_input(o: &Options) -> Result<Session, String> {
+    let path = o.positional.first().ok_or("missing input file")?;
+    if path.ends_with(".tys") {
+        let store = snapshot::load(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut s = session_from_store(store, SessionConfig::default());
+        tycoon::query::install(&mut s.ctx, &mut s.vm);
+        relink_image_code(&mut s).map_err(|e| e.to_string())?;
+        if o.dynamic {
+            optimize_all(&mut s, &ReflectOptions::default()).map_err(|e| e.to_string())?;
+        }
+        Ok(s)
+    } else {
+        let src = read_source(o)?;
+        build_session(o, &src)
+    }
 }
 
 fn guess_entry(s: &Session, o: &Options) -> Result<String, String> {
@@ -226,51 +274,234 @@ fn cmd_snapshot(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Print every registry counter under the given prefixes (all when empty),
+/// sorted by name — the single text reporting path shared by `info` and
+/// `profile`.
+fn print_counters(prefixes: &[&str]) {
+    for (name, value) in trace::global().registry().snapshot() {
+        if prefixes.is_empty() || prefixes.iter().any(|p| name.starts_with(p)) {
+            println!("  {name:<36} {value}");
+        }
+    }
+}
+
+/// Top-`n` counters under a prefix, sorted by value descending; the prefix
+/// is stripped from the returned names.
+fn top_counters(prefix: &str, n: usize) -> Vec<(String, u64)> {
+    let mut rows: Vec<(String, u64)> = trace::global()
+        .registry()
+        .snapshot_prefix(prefix)
+        .into_iter()
+        .map(|(name, v)| (name[prefix.len()..].to_string(), v))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows.truncate(n);
+    rows
+}
+
 fn cmd_info(o: &Options) -> Result<(), String> {
     let path = o.positional.first().ok_or("missing image file")?;
     let store = snapshot::load(path).map_err(|e| e.to_string())?;
-    let st = store.stats();
-    println!(
-        "{path}: {} live objects ({} slots), ~{} bytes, {} closures, {} bytes PTML",
-        st.objects,
-        store.len(),
-        st.bytes,
-        st.closures,
-        st.ptml_bytes
-    );
+    let rec = trace::global();
+    rec.clear();
+    // All reporting goes through the counter registry: footprint and cache
+    // totals as gauges, object population per kind.
+    store.publish_counters();
+    for (_, obj) in store.iter() {
+        rec.counter(&format!("store.kind.{}", obj.kind())).inc();
+    }
+    if o.json {
+        println!("{}", rec.to_json());
+        return Ok(());
+    }
+    println!("{path}:");
     println!("roots:");
     for (name, oid) in store.roots() {
         let kind = store.get(oid).map(|ob| ob.kind()).unwrap_or("dangling");
         println!("  {name:<20} {oid}  ({kind})");
     }
-    let mut kinds: std::collections::BTreeMap<&str, usize> = Default::default();
-    for (_, obj) in store.iter() {
-        *kinds.entry(obj.kind()).or_default() += 1;
-    }
-    println!("objects by kind:");
-    for (k, n) in kinds {
-        println!("  {k:<12} {n}");
-    }
-    let cache = store.cache();
-    let cs = store.cache_stats();
-    println!(
-        "optimization cache: {} entries (cap {}), ~{} bytes",
-        cache.len(),
-        cache.cap(),
-        cache.byte_size()
-    );
-    println!(
-        "  hits {}  misses {}  invalidations {}  evictions {}  inserts {}",
-        cs.hits, cs.misses, cs.invalidations, cs.evictions, cs.inserts
-    );
+    println!("store:");
+    print_counters(&["store."]);
     Ok(())
+}
+
+fn cmd_profile(o: &Options) -> Result<(), String> {
+    let fname = o
+        .positional
+        .get(1)
+        .cloned()
+        .or_else(|| o.entry.clone())
+        .ok_or("missing function name: tmlc profile <input> <mod.fn>")?;
+    let rec = trace::global();
+    rec.clear();
+    rec.set_enabled(true);
+    let mut s = load_input(o)?;
+    let args: Vec<RVal> = o.args.iter().map(|n| RVal::Int(*n)).collect();
+    let out = s.call(&fname, args).map_err(|e| e.to_string())?;
+    s.store.publish_counters();
+    rec.set_enabled(false);
+    if o.json {
+        println!("{}", rec.to_json());
+        return Ok(());
+    }
+    println!("profile {fname} => {:?}", out.result);
+    println!(
+        "  instructions {}  calls {}  closures {}  wall {}us",
+        rec.counter("vm.instrs").get(),
+        rec.counter("vm.calls").get(),
+        rec.counter("vm.closures").get(),
+        rec.counter("vm.wall_micros").get(),
+    );
+    println!("opcodes (top {}):", o.top);
+    for (name, n) in top_counters("vm.op.", o.top) {
+        println!("  {name:<24} {n}");
+    }
+    let prims = top_counters("vm.prim.", o.top);
+    if !prims.is_empty() {
+        println!("primitives (top {}):", o.top);
+        for (name, n) in prims {
+            println!("  {name:<24} {n}");
+        }
+    }
+    println!("hot closures (top {}):", o.top);
+    for (name, n) in top_counters("vm.block.", o.top) {
+        println!("  {name:<24} {n}");
+    }
+    println!("store:");
+    print_counters(&["store.", "query.", "reflect."]);
+    Ok(())
+}
+
+/// Render one trace event as a provenance log line.
+fn explain_line(e: &Event) -> String {
+    match e {
+        Event::RuleFired {
+            rule,
+            site,
+            node,
+            size_delta,
+        } => format!("rule {rule:<12} @{site} (node {node}, size {size_delta:+})"),
+        Event::ExpandDecision {
+            site,
+            cost,
+            limit,
+            taken,
+            growth,
+        } => {
+            let verdict = if *taken { "inline" } else { "reject" };
+            format!("expand {verdict:<6} {site} (cost {cost}, limit {limit}, growth {growth})")
+        }
+        Event::OptRound {
+            round,
+            reductions,
+            inlined,
+            penalty,
+            size,
+        } => format!(
+            "round {round}: {reductions} reductions, {inlined} inlined, penalty {penalty}, size {size}"
+        ),
+        Event::OptStop {
+            reason,
+            rounds,
+            penalty,
+            penalty_limit,
+        } => format!(
+            "stop after {rounds} round(s): {reason} (penalty {penalty}/{penalty_limit})"
+        ),
+        Event::ReflectConsult {
+            function,
+            oid,
+            outcome,
+        } => format!("reflect {function} (oid {oid}): cache {outcome}"),
+        Event::QueryRewrite {
+            rule,
+            relation,
+            index,
+        } => match (relation, index) {
+            (Some(r), Some(ix)) => format!("query rewrite {rule} (relation {r}, index {ix})"),
+            _ => format!("query rewrite {rule}"),
+        },
+        other => format!("{} event", other.kind()),
+    }
+}
+
+fn cmd_explain(o: &Options) -> Result<(), String> {
+    let fname = o
+        .positional
+        .get(1)
+        .cloned()
+        .or_else(|| o.entry.clone())
+        .ok_or("missing function name: tmlc explain <input> <mod.fn>")?;
+    let rec = trace::global();
+    rec.clear();
+    rec.set_capacity(1 << 16);
+    rec.set_enabled(true);
+    let mut s = load_input(o)?;
+    // Bypass the memo cache so the full derivation is re-run and logged.
+    let opts = ReflectOptions {
+        use_cache: false,
+        ..Default::default()
+    };
+    optimize_named(&mut s, &fname, &opts).map_err(|e| e.to_string())?;
+    rec.set_enabled(false);
+    if o.json {
+        println!("{}", rec.to_json());
+    } else {
+        let samples = rec.events();
+        println!("explain {fname}: {} events", samples.len());
+        if rec.dropped() > 0 {
+            println!("  (ring overflow: {} events dropped)", rec.dropped());
+        }
+        for sample in &samples {
+            println!("  {}", explain_line(&sample.event));
+        }
+    }
+    if o.verify {
+        verify_replay(&mut s, &fname, &opts)?;
+    }
+    Ok(())
+}
+
+/// Replay soundness check: re-derive the optimized term by recording a
+/// provenance log and replaying it, then compare the two products'
+/// persistent encodings byte for byte.
+fn verify_replay(s: &mut Session, fname: &str, opts: &ReflectOptions) -> Result<(), String> {
+    let Some(SVal::Ref(oid)) = s.globals.get(fname).cloned() else {
+        return Err(format!("verify: {fname} is not a closure-valued global"));
+    };
+    let abs = {
+        let mut tb = TermBuilder::new(&mut s.ctx, &s.store);
+        tb.build(oid, opts.inline_depth)
+            .map_err(|e| format!("verify: {e}"))?
+    };
+    let (recorded, _, log) = tycoon::opt::record_abs(&mut s.ctx, abs.clone(), &opts.opt);
+    let (replayed, _) = tycoon::opt::replay_abs(&mut s.ctx, abs, &opts.opt, &log)
+        .map_err(|e| format!("verify: replay diverged: {e}"))?;
+    let a = encode_abs(&s.ctx, &recorded);
+    let b = encode_abs(&s.ctx, &replayed);
+    if a == b {
+        println!(
+            "verify: replay of {} logged rules reproduces the optimized term ({} bytes PTML)",
+            log.len(),
+            a.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "verify: replayed PTML differs ({} vs {} bytes)",
+            a.len(),
+            b.len()
+        ))
+    }
 }
 
 fn main() -> ExitCode {
     let (command, options) = match parse_args(std::env::args()) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info ...");
+            eprintln!(
+                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|explain ..."
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -281,6 +512,8 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&options),
         "snapshot" => cmd_snapshot(&options),
         "info" => cmd_info(&options),
+        "profile" => cmd_profile(&options),
+        "explain" => cmd_explain(&options),
         other => Err(format!("unknown command {other}")),
     };
     match result {

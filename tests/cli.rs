@@ -121,6 +121,150 @@ fn snapshot_and_info_roundtrip() {
     std::fs::remove_file(&image).ok();
 }
 
+fn geom_file() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmlc_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("geom.tl");
+    std::fs::write(
+        &path,
+        "module complex export new, x, y\n\
+         let new(a: Real, b: Real): Tuple = tuple(a, b)\n\
+         let x(c: Tuple): Real = c.0\n\
+         let y(c: Tuple): Real = c.1\n\
+         end\n\
+         module geom export abs\n\
+         let abs(c: Tuple): Real =\n\
+           real.sqrt(complex.x(c) * complex.x(c) + complex.y(c) * complex.y(c))\n\
+         end\n",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn profile_reports_opcode_histogram_and_counters() {
+    let out = tmlc()
+        .args(["profile"])
+        .arg(demo_file())
+        .args(["demo.main", "--arg", "10"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("=> 385"), "{text}");
+    assert!(text.contains("opcodes (top"), "{text}");
+    assert!(text.contains("instructions "), "{text}");
+}
+
+#[test]
+fn profile_json_is_a_registry_export() {
+    let out = tmlc()
+        .args(["profile"])
+        .arg(demo_file())
+        .args(["demo.main", "--arg", "10", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\"version\":1,"), "{text}");
+    assert!(text.contains("\"vm.instrs\":"), "{text}");
+    assert!(text.contains("\"counters\":{"), "{text}");
+}
+
+#[test]
+fn explain_prints_provenance_and_verifies_replay() {
+    let out = tmlc()
+        .args(["explain"])
+        .arg(geom_file())
+        .args(["geom.abs", "--verify"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rule subst"), "{text}");
+    assert!(text.contains("expand inline"), "{text}");
+    assert!(text.contains("stop after"), "{text}");
+    assert!(text.contains("verify: replay of"), "{text}");
+    assert!(text.contains("reproduces the optimized term"), "{text}");
+}
+
+#[test]
+fn explain_json_carries_rule_events() {
+    let out = tmlc()
+        .args(["explain"])
+        .arg(geom_file())
+        .args(["geom.abs", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"type\":\"rule-fired\""), "{text}");
+    assert!(text.contains("\"type\":\"expand-decision\""), "{text}");
+    assert!(text.contains("\"type\":\"opt-stop\""), "{text}");
+}
+
+#[test]
+fn profile_runs_from_a_snapshot_image() {
+    let image = std::env::temp_dir().join(format!("tmlc_prof_{}.tys", std::process::id()));
+    let out = tmlc()
+        .args(["snapshot"])
+        .arg(geom_file())
+        .args(["-o"])
+        .arg(&image)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = tmlc()
+        .args(["explain"])
+        .arg(&image)
+        .args(["geom.abs"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rule "), "{text}");
+    std::fs::remove_file(&image).ok();
+}
+
+#[test]
+fn info_json_exposes_store_gauges() {
+    let image = std::env::temp_dir().join(format!("tmlc_infoj_{}.tys", std::process::id()));
+    let out = tmlc()
+        .args(["snapshot"])
+        .arg(demo_file())
+        .args(["-o"])
+        .arg(&image)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = tmlc()
+        .args(["info", "--json"])
+        .arg(&image)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"store.objects\":"), "{text}");
+    assert!(text.contains("\"store.closures\":"), "{text}");
+    std::fs::remove_file(&image).ok();
+}
+
 #[test]
 fn unknown_command_fails_cleanly() {
     let out = tmlc().args(["frobnicate"]).output().unwrap();
