@@ -37,7 +37,7 @@ fn copy_abs(abs: &Abs, names: &mut NameTable, map: &mut HashMap<VarId, VarId>) -
         })
         .collect();
     let body = copy_app(&abs.body, names, map);
-    Abs { params, body }
+    Abs::new(params, body)
 }
 
 fn copy_app(app: &App, names: &mut NameTable, map: &mut HashMap<VarId, VarId>) -> App {
@@ -52,7 +52,7 @@ fn copy_value(val: &Value, names: &mut NameTable, map: &mut HashMap<VarId, VarId
         Value::Var(v) => Value::Var(map.get(v).copied().unwrap_or(*v)),
         Value::Lit(l) => Value::Lit(l.clone()),
         Value::Prim(p) => Value::Prim(*p),
-        Value::Abs(a) => Value::Abs(Box::new(copy_abs(a, names, map))),
+        Value::Abs(a) => Value::from(copy_abs(a, names, map)),
     }
 }
 
@@ -60,7 +60,13 @@ fn copy_value(val: &Value, names: &mut NameTable, map: &mut HashMap<VarId, VarId
 /// occurs in exactly one formal parameter list. Returns the offending
 /// variable on failure.
 pub fn check_unique_binding(app: &App) -> Result<(), VarId> {
-    let binders = app.binders();
+    check_unique_binding_of(app.binders())
+}
+
+/// Check a pre-collected binder list for duplicates (used by
+/// [`crate::wellformed::check_abs`], which prepends an abstraction's own
+/// parameters to its body's binders).
+pub fn check_unique_binding_of(binders: Vec<VarId>) -> Result<(), VarId> {
     let mut seen = std::collections::HashSet::with_capacity(binders.len());
     for b in binders {
         if !seen.insert(b) {

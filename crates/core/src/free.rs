@@ -7,75 +7,75 @@
 //! bindings it must fetch from a closure record, and the query optimizer
 //! uses it for scoping preconditions such as the `trivial-exists` rule's
 //! `|p|_x = 0`.
+//!
+//! Results are **sorted by variable id and deduplicated** — a canonical set
+//! representation that is deterministic across runs (no hash-set iteration
+//! order involved) and binary-searchable by callers. The analysis is
+//! compositional: nested abstractions contribute their cached free-variable
+//! summaries (see [`Abs::free_vars`]), so a query over a tree whose
+//! abstractions are warm costs only the direct occurrences at each level.
 
 use crate::ident::VarId;
 use crate::term::{Abs, App, Value};
-use std::collections::HashSet;
 
-/// The set of free variables of an application, in first-occurrence order.
+/// The free variables of an application, sorted by id and deduplicated.
+///
+/// Direct variable occurrences at this level cannot be bound here (binder
+/// scope is confined to the body of the binding abstraction), and nested
+/// abstractions already exclude their own parameters from their cached
+/// summaries, so no bound-set bookkeeping is needed.
 pub fn free_vars_app(app: &App) -> Vec<VarId> {
-    let mut bound = HashSet::new();
     let mut free = Vec::new();
-    let mut seen = HashSet::new();
-    walk_app(app, &mut bound, &mut seen, &mut free);
+    collect_app(app, &mut free);
+    free.sort_unstable();
+    free.dedup();
     free
 }
 
-/// The set of free variables of a value, in first-occurrence order.
+/// The free variables of a value, sorted by id and deduplicated.
 pub fn free_vars_value(val: &Value) -> Vec<VarId> {
-    let mut bound = HashSet::new();
-    let mut free = Vec::new();
-    let mut seen = HashSet::new();
-    walk_value(val, &mut bound, &mut seen, &mut free);
-    free
+    match val {
+        Value::Var(v) => vec![*v],
+        Value::Lit(_) | Value::Prim(_) => Vec::new(),
+        Value::Abs(a) => a.free_vars().to_vec(),
+    }
 }
 
-/// The free variables of an abstraction (its parameters are bound).
+/// The free variables of an abstraction (its parameters are bound), sorted
+/// by id and deduplicated. A copy of the abstraction's cached summary.
 pub fn free_vars_abs(abs: &Abs) -> Vec<VarId> {
-    free_vars_value(&Value::Abs(Box::new(abs.clone())))
+    abs.free_vars().to_vec()
 }
 
 /// `true` if `app` is closed (has no free variables).
 pub fn is_closed_app(app: &App) -> bool {
-    free_vars_app(app).is_empty()
+    !app_has_free(app)
 }
 
-fn walk_app(
-    app: &App,
-    bound: &mut HashSet<VarId>,
-    seen: &mut HashSet<VarId>,
-    free: &mut Vec<VarId>,
-) {
-    walk_value(&app.func, bound, seen, free);
-    for a in &app.args {
-        walk_value(a, bound, seen, free);
+fn app_has_free(app: &App) -> bool {
+    value_has_free(&app.func) || app.args.iter().any(value_has_free)
+}
+
+fn value_has_free(val: &Value) -> bool {
+    match val {
+        Value::Var(_) => true,
+        Value::Lit(_) | Value::Prim(_) => false,
+        Value::Abs(a) => !a.free_vars().is_empty(),
     }
 }
 
-fn walk_value(
-    val: &Value,
-    bound: &mut HashSet<VarId>,
-    seen: &mut HashSet<VarId>,
-    free: &mut Vec<VarId>,
-) {
+fn collect_app(app: &App, free: &mut Vec<VarId>) {
+    collect_value(&app.func, free);
+    for a in &app.args {
+        collect_value(a, free);
+    }
+}
+
+fn collect_value(val: &Value, free: &mut Vec<VarId>) {
     match val {
-        Value::Var(v) => {
-            if !bound.contains(v) && seen.insert(*v) {
-                free.push(*v);
-            }
-        }
+        Value::Var(v) => free.push(*v),
         Value::Lit(_) | Value::Prim(_) => {}
-        Value::Abs(a) => {
-            // Unique binding means no parameter can shadow an outer binder,
-            // so a plain insert/remove discipline is safe.
-            for p in &a.params {
-                bound.insert(*p);
-            }
-            walk_app(&a.body, bound, seen, free);
-            for p in &a.params {
-                bound.remove(p);
-            }
-        }
+        Value::Abs(a) => free.extend_from_slice(a.free_vars()),
     }
 }
 
@@ -93,7 +93,7 @@ mod tests {
     }
 
     #[test]
-    fn unbound_vars_are_free_in_order() {
+    fn unbound_vars_are_free_sorted_and_deduped() {
         let mut names = NameTable::new();
         let x = names.fresh("x");
         let g = names.fresh("g");
@@ -101,10 +101,11 @@ mod tests {
         let abs = Abs::new(
             vec![x],
             App::new(
-                Value::Var(g),
-                vec![Value::Var(h), Value::Var(x), Value::Var(g)],
+                Value::Var(h),
+                vec![Value::Var(g), Value::Var(x), Value::Var(g)],
             ),
         );
+        // h occurs first in the term, but results are sorted by id.
         assert_eq!(free_vars_abs(&abs), vec![g, h]);
     }
 
@@ -139,5 +140,36 @@ mod tests {
         let a = names.fresh("a");
         let app = App::new(Value::Var(f), vec![Value::Var(a), Value::Var(f)]);
         assert_eq!(free_vars_app(&app), vec![f, a]);
+    }
+
+    #[test]
+    fn results_deterministic_across_tree_shapes() {
+        // Many free variables through several nesting levels: the result
+        // must be the sorted, deduplicated union.
+        let mut names = NameTable::new();
+        let vars: Vec<VarId> = (0..8).map(|i| names.fresh(format!("g{i}"))).collect();
+        let x = names.fresh("x");
+        let inner = Abs::new(
+            vec![x],
+            App::new(
+                Value::Var(vars[7]),
+                vec![Value::Var(vars[3]), Value::Var(vars[7]), Value::Var(x)],
+            ),
+        );
+        let app = App::new(
+            Value::Var(vars[5]),
+            vec![
+                Value::from(inner),
+                Value::Var(vars[1]),
+                Value::Var(vars[5]),
+                Value::Var(vars[0]),
+            ],
+        );
+        let got = free_vars_app(&app);
+        assert_eq!(got, vec![vars[0], vars[1], vars[3], vars[5], vars[7]]);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(got, sorted, "result is already sorted and deduped");
     }
 }

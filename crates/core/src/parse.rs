@@ -233,7 +233,7 @@ impl<'a> Parser<'a> {
             .collect();
         let body = self.app()?;
         self.scope.truncate(self.scope.len() - params.len());
-        Ok(Value::Abs(Box::new(Abs { params, body })))
+        Ok(Value::from(Abs::new(params, body)))
     }
 
     fn resolve(&mut self, name: String) -> Value {

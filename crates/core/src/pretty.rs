@@ -32,7 +32,9 @@ pub fn print_value(ctx: &Ctx, val: &Value) -> String {
 
 /// Render an abstraction to a string.
 pub fn print_abs(ctx: &Ctx, abs: &Abs) -> String {
-    print_value(ctx, &Value::Abs(Box::new(abs.clone())))
+    let mut out = String::new();
+    write_abs(&ctx.names, &ctx.prims, abs, 0, &mut out);
+    out
 }
 
 fn flat_app(names: &NameTable, prims: &PrimTable, app: &App) -> String {
@@ -52,27 +54,29 @@ fn flat_value(names: &NameTable, prims: &PrimTable, val: &Value) -> String {
         Value::Lit(l) => format!("{l:?}"),
         Value::Var(v) => names.display(*v),
         Value::Prim(p) => prims.name(*p).to_string(),
-        Value::Abs(a) => {
-            let kind = a.kind(names);
-            let mut s = String::new();
-            s.push_str(match kind {
-                AbsKind::Cont => "cont(",
-                AbsKind::Proc => "proc(",
-            });
-            for (i, p) in a.params.iter().enumerate() {
-                if i > 0 {
-                    s.push(' ');
-                }
-                if kind == AbsKind::Proc && names.is_cont(*p) {
-                    s.push('^');
-                }
-                s.push_str(&names.display(*p));
-            }
-            s.push_str(") ");
-            s.push_str(&flat_app(names, prims, &a.body));
-            s
-        }
+        Value::Abs(a) => flat_abs(names, prims, a),
     }
+}
+
+fn flat_abs(names: &NameTable, prims: &PrimTable, a: &Abs) -> String {
+    let kind = a.kind(names);
+    let mut s = String::new();
+    s.push_str(match kind {
+        AbsKind::Cont => "cont(",
+        AbsKind::Proc => "proc(",
+    });
+    for (i, p) in a.params.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        if kind == AbsKind::Proc && names.is_cont(*p) {
+            s.push('^');
+        }
+        s.push_str(&names.display(*p));
+    }
+    s.push_str(") ");
+    s.push_str(&flat_app(names, prims, &a.body));
+    s
 }
 
 fn write_app(names: &NameTable, prims: &PrimTable, app: &App, indent: usize, out: &mut String) {
@@ -98,37 +102,39 @@ fn write_value(names: &NameTable, prims: &PrimTable, val: &Value, indent: usize,
         Value::Lit(_) | Value::Var(_) | Value::Prim(_) => {
             out.push_str(&flat_value(names, prims, val));
         }
-        Value::Abs(a) => {
-            let flat = flat_value(names, prims, val);
-            if indent + flat.len() <= WIDTH {
-                out.push_str(&flat);
-                return;
-            }
-            let kind = a.kind(names);
-            let _ = write!(
-                out,
-                "{}(",
-                match kind {
-                    AbsKind::Cont => "cont",
-                    AbsKind::Proc => "proc",
-                }
-            );
-            for (i, p) in a.params.iter().enumerate() {
-                if i > 0 {
-                    out.push(' ');
-                }
-                if kind == AbsKind::Proc && names.is_cont(*p) {
-                    out.push('^');
-                }
-                out.push_str(&names.display(*p));
-            }
-            out.push_str(")\n");
-            for _ in 0..indent + 2 {
-                out.push(' ');
-            }
-            write_app(names, prims, &a.body, indent + 2, out);
-        }
+        Value::Abs(a) => write_abs(names, prims, a, indent, out),
     }
+}
+
+fn write_abs(names: &NameTable, prims: &PrimTable, a: &Abs, indent: usize, out: &mut String) {
+    let flat = flat_abs(names, prims, a);
+    if indent + flat.len() <= WIDTH {
+        out.push_str(&flat);
+        return;
+    }
+    let kind = a.kind(names);
+    let _ = write!(
+        out,
+        "{}(",
+        match kind {
+            AbsKind::Cont => "cont",
+            AbsKind::Proc => "proc",
+        }
+    );
+    for (i, p) in a.params.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        if kind == AbsKind::Proc && names.is_cont(*p) {
+            out.push('^');
+        }
+        out.push_str(&names.display(*p));
+    }
+    out.push_str(")\n");
+    for _ in 0..indent + 2 {
+        out.push(' ');
+    }
+    write_app(names, prims, &a.body, indent + 2, out);
 }
 
 #[cfg(test)]

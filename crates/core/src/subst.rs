@@ -12,7 +12,7 @@
 //! an abstraction-`subst` with the subsequent `remove`.
 
 use crate::ident::VarId;
-use crate::term::{App, Value};
+use crate::term::{Abs, App, Value};
 
 /// Replace every occurrence of `v` in `app` with (a clone of) `val`,
 /// in place. Returns the number of occurrences replaced.
@@ -33,7 +33,16 @@ pub fn subst_value(target: &mut Value, v: VarId, val: &Value) -> u32 {
             1
         }
         Value::Var(_) | Value::Lit(_) | Value::Prim(_) => 0,
-        Value::Abs(a) => subst_app(&mut a.body, v, val),
+        Value::Abs(a) => {
+            // Sharing-preserving fast path: if no occurrence of `v` can
+            // exist in this subtree (cached summary: not free, binder-id
+            // range excludes `v`'s binder) there is nothing to replace —
+            // skip without unsharing the node.
+            if !a.may_occur(v) {
+                return 0;
+            }
+            subst_app(&mut Abs::make_mut(a).body, v, val)
+        }
     }
 }
 

@@ -12,13 +12,32 @@
 //! applications. This syntactic restriction is what makes every rewrite rule
 //! of §3 sound in the presence of side effects and non-termination: values
 //! cannot contain pending primitive calls.
+//!
+//! ## Sharing and copy-on-write
+//!
+//! Abstractions are held behind [`std::sync::Arc`], ATerm-style: moving or
+//! duplicating a value is a reference-count bump, never a deep clone. All
+//! *mutation* of an abstraction goes through [`Abs::make_mut`] (or the
+//! invalidating accessors [`Abs::body_mut`] / [`Abs::params_mut`]), which
+//! clones the node only when it is actually shared and drops the node's
+//! cached summary. Each [`Abs`] lazily caches a summary of its subtree —
+//! node count, sorted free variables and a structural hash — that is
+//! trusted as long as the node has not been mutated through the COW
+//! discipline. Pointer identity (`Arc::ptr_eq`) is therefore a sound
+//! witness that a subtree is physically unchanged, which the optimizer and
+//! the share-aware PTML encoder exploit.
 
 use crate::ident::{NameTable, VarId};
 use crate::lit::Lit;
 use crate::prim::PrimId;
+use std::sync::{Arc, OnceLock};
 
 /// A TML *value*: the only things that may appear as actual parameters.
-#[derive(Clone, PartialEq, Eq, Hash)]
+// The manual `PartialEq` below is the derived structural relation plus a
+// pointer-identity short-circuit, so the derived `Hash` stays consistent
+// with it (equal values hash equally).
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Eq, Hash)]
 pub enum Value {
     /// A literal constant.
     Lit(Lit),
@@ -27,8 +46,22 @@ pub enum Value {
     /// A primitive procedure (only meaningful in functional position,
     /// although the grammar permits it anywhere).
     Prim(PrimId),
-    /// A λ-abstraction.
-    Abs(Box<Abs>),
+    /// A λ-abstraction, shared copy-on-write.
+    Abs(Arc<Abs>),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Lit(a), Value::Lit(b)) => a == b,
+            (Value::Var(a), Value::Var(b)) => a == b,
+            (Value::Prim(a), Value::Prim(b)) => a == b,
+            // Pointer identity short-circuits the structural comparison:
+            // physically shared subtrees are trivially equal.
+            (Value::Abs(a), Value::Abs(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Value {
@@ -51,8 +84,18 @@ impl Value {
         }
     }
 
-    /// Mutable abstraction payload, if any.
+    /// Mutable abstraction payload, if any. Routes through the COW
+    /// discipline: the node is unshared if necessary and its cached
+    /// summary invalidated.
     pub fn as_abs_mut(&mut self) -> Option<&mut Abs> {
+        match self {
+            Value::Abs(a) => Some(Abs::make_mut(a)),
+            _ => None,
+        }
+    }
+
+    /// The shared abstraction handle, if any (no unsharing).
+    pub fn as_abs_arc(&self) -> Option<&Arc<Abs>> {
         match self {
             Value::Abs(a) => Some(a),
             _ => None,
@@ -84,11 +127,21 @@ impl Value {
     }
 
     /// Number of nodes in this value (literals, variables and primitives
-    /// count 1; abstractions count 1 plus their body).
+    /// count 1; abstractions count 1 plus their body). Abstraction sizes
+    /// come from the cached subtree summary.
     pub fn size(&self) -> usize {
         match self {
             Value::Lit(_) | Value::Var(_) | Value::Prim(_) => 1,
-            Value::Abs(a) => 1 + a.body.size(),
+            Value::Abs(a) => a.size(),
+        }
+    }
+
+    /// `true` if `self` and `other` are physically the same abstraction
+    /// node (always `false` for non-abstractions).
+    pub fn ptr_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Abs(a), Value::Abs(b)) => Arc::ptr_eq(a, b),
+            _ => false,
         }
     }
 }
@@ -116,7 +169,12 @@ impl From<VarId> for Value {
 }
 impl From<Abs> for Value {
     fn from(a: Abs) -> Self {
-        Value::Abs(Box::new(a))
+        Value::Abs(Arc::new(a))
+    }
+}
+impl From<Arc<Abs>> for Value {
+    fn from(a: Arc<Abs>) -> Self {
+        Value::Abs(a)
     }
 }
 impl From<PrimId> for Value {
@@ -127,9 +185,9 @@ impl From<PrimId> for Value {
 
 /// The syntactic classification of an abstraction (paper §2.2):
 ///
-/// * a **continuation** (`cont(v₁…vₙ) app`) takes no continuation
+/// * a **continuation** (`cont(v₁ … vₙ) app`) takes no continuation
 ///   parameters;
-/// * a **procedure** (`proc(v₁…vₙ cₑ c꜀) app`) takes continuation
+/// * a **procedure** (`proc(v₁ … vₙ cₑ c꜀) app`) takes continuation
 ///   parameters — first-class procs take exactly two: the exception
 ///   continuation and the normal continuation.
 ///
@@ -143,20 +201,273 @@ pub enum AbsKind {
     Proc,
 }
 
+/// Cached, lazily computed facts about an abstraction's subtree. Valid as
+/// long as the node is only mutated through the COW discipline
+/// ([`Abs::make_mut`] and the invalidating accessors), which drops the
+/// summary on every mutable access.
+#[derive(Debug, Clone)]
+struct AbsSummary {
+    /// Number of nodes in the subtree (1 for the abstraction itself plus
+    /// its body).
+    size: usize,
+    /// Free variables of the subtree (parameters bound), sorted by id and
+    /// deduplicated — a deterministic set representation.
+    free: Vec<VarId>,
+    /// A structural hash of the subtree (parameters and body, ids
+    /// included), suitable for hash-consing in the share-aware PTML
+    /// encoder. Composed from children's cached hashes, so a full-tree
+    /// summary costs O(n) once.
+    hash: u64,
+    /// Smallest and largest binder id in the subtree (own parameters plus
+    /// every nested binder); `(u32::MAX, 0)` when the subtree binds
+    /// nothing. An O(1) conservative answer to "could `v`'s binder be in
+    /// here?" — a textual occurrence of `v` is either free in the subtree
+    /// or sits under its unique binder inside it, so `!free && !in-range`
+    /// proves absence.
+    bmin: u32,
+    bmax: u32,
+}
+
 /// A λ-abstraction. The body must be an application.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// The `params` and `body` fields stay public for *reading*; mutation of a
+/// node whose summary may already be cached must go through
+/// [`Abs::make_mut`], [`Abs::body_mut`] or [`Abs::params_mut`] so the
+/// summary is invalidated (see the module docs on the COW discipline).
 pub struct Abs {
     /// Formal parameter list. Each parameter is bound exactly once in the
     /// whole tree (unique binding rule).
     pub params: Vec<VarId>,
     /// The body application.
     pub body: App,
+    /// Cached subtree summary; dropped on every COW mutation.
+    summary: OnceLock<AbsSummary>,
+}
+
+impl Clone for Abs {
+    fn clone(&self) -> Self {
+        Abs {
+            params: self.params.clone(),
+            body: self.body.clone(),
+            // The summary is a pure function of params + body, so carrying
+            // it over is sound; make_mut drops it before any mutation.
+            summary: self.summary.clone(),
+        }
+    }
+}
+
+impl PartialEq for Abs {
+    fn eq(&self, other: &Self) -> bool {
+        // Cheap negative: structural hashes differ (only when both are
+        // already cached — computing them here would not pay off).
+        if let (Some(a), Some(b)) = (self.summary.get(), other.summary.get()) {
+            if a.hash != b.hash {
+                return false;
+            }
+        }
+        self.params == other.params && self.body == other.body
+    }
+}
+
+impl Eq for Abs {}
+
+impl std::hash::Hash for Abs {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Equal content ⇒ equal structural hash, so hashing the memoized
+        // summary hash is consistent with `Eq` and O(1) when cached.
+        state.write_u64(self.struct_hash());
+    }
+}
+
+/// FNV-1a step, the deterministic mixer for structural hashes (independent
+/// of `std`'s randomized hasher state, so hashes are stable across runs).
+#[inline]
+fn fnv(h: u64, byte: u64) -> u64 {
+    (h ^ byte).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn hash_value(v: &Value) -> u64 {
+    match v {
+        Value::Lit(l) => {
+            let mut h = fnv(FNV_SEED, 1);
+            let mut bytes = [0u8; 16];
+            lit_bytes(l, &mut bytes);
+            for b in bytes {
+                h = fnv(h, u64::from(b));
+            }
+            if let Lit::Str(s) = l {
+                for b in s.as_bytes() {
+                    h = fnv(h, u64::from(*b));
+                }
+            }
+            h
+        }
+        Value::Var(x) => fnv(fnv(FNV_SEED, 2), u64::from(x.0)),
+        Value::Prim(p) => fnv(fnv(FNV_SEED, 3), u64::from(p.0)),
+        Value::Abs(a) => fnv(fnv(FNV_SEED, 4), a.struct_hash()),
+    }
+}
+
+fn lit_bytes(l: &Lit, out: &mut [u8; 16]) {
+    match l {
+        Lit::Unit => out[0] = 1,
+        Lit::Bool(b) => {
+            out[0] = 2;
+            out[1] = u8::from(*b);
+        }
+        Lit::Int(n) => {
+            out[0] = 3;
+            out[1..9].copy_from_slice(&n.to_le_bytes());
+        }
+        Lit::Real(r) => {
+            out[0] = 4;
+            out[1..9].copy_from_slice(&r.get().to_le_bytes());
+        }
+        Lit::Char(c) => {
+            out[0] = 5;
+            out[1] = *c;
+        }
+        Lit::Str(s) => {
+            out[0] = 6;
+            out[1..9].copy_from_slice(&(s.len() as u64).to_le_bytes());
+        }
+        Lit::Oid(o) => {
+            out[0] = 7;
+            out[1..9].copy_from_slice(&o.0.to_le_bytes());
+        }
+    }
+}
+
+fn hash_app(app: &App) -> u64 {
+    let mut h = fnv(FNV_SEED, 5);
+    h = fnv(h, hash_value(&app.func));
+    h = fnv(h, app.args.len() as u64);
+    for a in &app.args {
+        h = fnv(h, hash_value(a));
+    }
+    h
 }
 
 impl Abs {
     /// Create an abstraction.
     pub fn new(params: Vec<VarId>, body: App) -> Abs {
-        Abs { params, body }
+        Abs {
+            params,
+            body,
+            summary: OnceLock::new(),
+        }
+    }
+
+    /// COW entry point: a mutable reference to the abstraction behind
+    /// `this`, cloning the node first if it is shared (children stay
+    /// shared — the clone is one level deep). The cached summary is
+    /// dropped either way, so summaries can never go stale through this
+    /// path. Share/copy traffic is reported to `tml-trace` when enabled.
+    pub fn make_mut(this: &mut Arc<Abs>) -> &mut Abs {
+        if tml_trace::enabled() {
+            if Arc::strong_count(this) > 1 {
+                tml_trace::count("term.cow.copy", 1);
+            } else {
+                tml_trace::count("term.cow.inplace", 1);
+            }
+        }
+        let node = Arc::make_mut(this);
+        node.summary.take();
+        node
+    }
+
+    /// Mutable body access on an owned/unshared node, invalidating the
+    /// cached summary.
+    pub fn body_mut(&mut self) -> &mut App {
+        self.summary.take();
+        &mut self.body
+    }
+
+    /// Mutable parameter-list access on an owned/unshared node,
+    /// invalidating the cached summary.
+    pub fn params_mut(&mut self) -> &mut Vec<VarId> {
+        self.summary.take();
+        &mut self.params
+    }
+
+    /// Replace the body, invalidating the cached summary.
+    pub fn set_body(&mut self, body: App) {
+        self.summary.take();
+        self.body = body;
+    }
+
+    /// Drop the cached summary (for callers that mutated through the
+    /// public fields directly).
+    pub fn invalidate_summary(&mut self) {
+        self.summary.take();
+    }
+
+    fn summary(&self) -> &AbsSummary {
+        self.summary.get_or_init(|| {
+            // Compose from the children's cached summaries: O(direct nodes)
+            // per level, O(n) for a whole cold tree.
+            let size = 1 + self.body.size();
+            let mut free = Vec::new();
+            let mut range = (u32::MAX, 0u32);
+            collect_free_app(&self.body, &mut free, &mut range);
+            free.sort_unstable();
+            free.dedup();
+            free.retain(|v| !self.params.contains(v));
+            for p in &self.params {
+                range.0 = range.0.min(p.0);
+                range.1 = range.1.max(p.0);
+            }
+            let mut hash = fnv(FNV_SEED, 6);
+            hash = fnv(hash, self.params.len() as u64);
+            for p in &self.params {
+                hash = fnv(hash, u64::from(p.0));
+            }
+            hash = fnv(hash, hash_app(&self.body));
+            AbsSummary {
+                size,
+                free,
+                hash,
+                bmin: range.0,
+                bmax: range.1,
+            }
+        })
+    }
+
+    /// Number of nodes in this subtree (the abstraction itself plus its
+    /// body), from the cached summary.
+    pub fn size(&self) -> usize {
+        self.summary().size
+    }
+
+    /// The free variables of this subtree (parameters bound), sorted by id
+    /// and deduplicated, from the cached summary.
+    pub fn free_vars(&self) -> &[VarId] {
+        &self.summary().free
+    }
+
+    /// `true` if `v` occurs free in this subtree — a binary search over
+    /// the cached summary, used by the substitution fast path to skip
+    /// physically unchanged subtrees.
+    pub fn contains_free(&self, v: VarId) -> bool {
+        self.summary().free.binary_search(&v).is_ok()
+    }
+
+    /// `true` if a textual occurrence of `v` *may* exist in this subtree.
+    /// Exact when `v` is free; conservative (binder-id range check) when
+    /// `v`'s binder could sit inside the subtree. `false` proves absence:
+    /// an occurrence is either free here, or bound under its unique binder
+    /// here — and the binder range covers the latter.
+    pub fn may_occur(&self, v: VarId) -> bool {
+        let s = self.summary();
+        (s.bmin <= v.0 && v.0 <= s.bmax) || s.free.binary_search(&v).is_ok()
+    }
+
+    /// A deterministic structural hash of this subtree (parameters, body,
+    /// variable ids and literals included), from the cached summary.
+    pub fn struct_hash(&self) -> u64 {
+        self.summary().hash
     }
 
     /// Derive the proc/cont classification from the parameter list
@@ -173,6 +484,30 @@ impl Abs {
     /// Number of formal parameters.
     pub fn arity(&self) -> usize {
         self.params.len()
+    }
+}
+
+/// Free-variable and binder-range collection for the summary: direct
+/// variable occurrences plus the *cached* free sets and binder ranges of
+/// nested abstractions. Compositional — each abstraction level subtracts
+/// its own parameters (and adds them to the binder range).
+fn collect_free_app(app: &App, out: &mut Vec<VarId>, range: &mut (u32, u32)) {
+    collect_free_value(&app.func, out, range);
+    for a in &app.args {
+        collect_free_value(a, out, range);
+    }
+}
+
+fn collect_free_value(v: &Value, out: &mut Vec<VarId>, range: &mut (u32, u32)) {
+    match v {
+        Value::Var(x) => out.push(*x),
+        Value::Lit(_) | Value::Prim(_) => {}
+        Value::Abs(a) => {
+            out.extend_from_slice(a.free_vars());
+            let s = a.summary();
+            range.0 = range.0.min(s.bmin);
+            range.1 = range.1.max(s.bmax);
+        }
     }
 }
 
@@ -207,7 +542,8 @@ impl App {
     /// Number of nodes in this application, counting the functional
     /// position, every argument, and nested abstraction bodies. This is the
     /// "size of the TML tree" that every reduction rule strictly decreases
-    /// (the paper's termination argument for the reduction pass).
+    /// (the paper's termination argument for the reduction pass). Nested
+    /// abstraction sizes come from their cached summaries.
     pub fn size(&self) -> usize {
         self.func.size() + self.args.iter().map(Value::size).sum::<usize>()
     }
@@ -328,5 +664,71 @@ mod tests {
         let a = Value::from(Abs::new(vec![], dummy_app()));
         assert!(a.is_abs());
         assert!(a.as_abs().is_some());
+    }
+
+    #[test]
+    fn clone_is_shallow_and_ptr_eq_detects_sharing() {
+        let abs = Value::from(Abs::new(vec![VarId(9)], dummy_app()));
+        let copy = abs.clone();
+        assert!(abs.ptr_eq(&copy));
+        assert_eq!(abs, copy);
+        // A structurally equal but distinct node is == but not ptr_eq.
+        let other = Value::from(Abs::new(vec![VarId(9)], dummy_app()));
+        assert!(!abs.ptr_eq(&other));
+        assert_eq!(abs, other);
+    }
+
+    #[test]
+    fn make_mut_unshares_and_invalidates() {
+        let mut a = Arc::new(Abs::new(vec![VarId(3)], dummy_app()));
+        let b = a.clone();
+        assert_eq!(a.size(), 4); // summary cached on the shared node
+        let m = Abs::make_mut(&mut a);
+        m.body.args.push(Value::int(5));
+        assert!(!Arc::ptr_eq(&a, &b), "shared node must be cloned");
+        assert_eq!(a.size(), 5, "summary recomputed after mutation");
+        assert_eq!(b.size(), 4, "the other handle is untouched");
+    }
+
+    #[test]
+    fn summary_invalidation_through_accessors() {
+        let mut abs = Abs::new(vec![], dummy_app());
+        assert_eq!(abs.size(), 4);
+        abs.body_mut().args.push(Value::int(9));
+        assert_eq!(abs.size(), 5);
+        abs.set_body(App::new(Value::int(1), vec![]));
+        assert_eq!(abs.size(), 2);
+        abs.params_mut().push(VarId(7));
+        assert_eq!(abs.arity(), 1);
+    }
+
+    #[test]
+    fn cached_free_vars_sorted_and_deduped() {
+        let mut names = NameTable::new();
+        let x = names.fresh("x");
+        let g = names.fresh("g");
+        let h = names.fresh("h");
+        let abs = Abs::new(
+            vec![x],
+            App::new(
+                Value::Var(h),
+                vec![Value::Var(g), Value::Var(x), Value::Var(h)],
+            ),
+        );
+        // Sorted by id (g before h), deduped, parameter excluded.
+        assert_eq!(abs.free_vars(), &[g, h]);
+        assert!(abs.contains_free(g));
+        assert!(!abs.contains_free(x));
+    }
+
+    #[test]
+    fn struct_hash_distinguishes_and_matches() {
+        let a = Abs::new(vec![VarId(1)], dummy_app());
+        let b = Abs::new(vec![VarId(1)], dummy_app());
+        let c = Abs::new(vec![VarId(2)], dummy_app());
+        assert_eq!(a.struct_hash(), b.struct_hash());
+        assert_eq!(a, b);
+        assert_ne!(a.struct_hash(), c.struct_hash());
+        assert_ne!(a, c);
     }
 }

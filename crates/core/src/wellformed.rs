@@ -26,7 +26,7 @@
 //! None of these constraints is ever violated by the TML rewrite rules
 //! (verified by property tests in `tml-opt`).
 
-use crate::alpha::check_unique_binding;
+use crate::alpha::{check_unique_binding, check_unique_binding_of};
 use crate::error::{CoreError, CoreResult};
 use crate::ident::NameTable;
 use crate::term::{Abs, AbsKind, App, Value};
@@ -61,11 +61,12 @@ pub fn check_app(ctx: &Ctx, app: &App) -> CoreResult<()> {
 
 /// Check a top-level abstraction (e.g. a compiled procedure).
 pub fn check_abs(ctx: &Ctx, abs: &Abs) -> CoreResult<()> {
-    let wrapped = App::new(Value::Abs(Box::new(abs.clone())), vec![]);
-    // The wrapper application itself is arity-bogus; check only the body
-    // and parameter structure by walking the abstraction directly.
+    // Check the abstraction's binders (its own parameters plus every nested
+    // binder) and body directly — no wrapper application needed.
+    let mut binders = abs.params.clone();
+    binders.extend(abs.body.binders());
     let mut errs = Vec::new();
-    if let Err(v) = check_unique_binding(&wrapped) {
+    if let Err(v) = check_unique_binding_of(binders) {
         errs.push(format!(
             "unique binding rule violated: {} bound more than once",
             ctx.names.display(v)

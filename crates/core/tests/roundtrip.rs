@@ -74,7 +74,7 @@ proptest! {
     #[test]
     fn alpha_copy_preserves_unique_binding(seed in 0u64..5_000) {
         let (mut ctx, app) = gen_program(seed, GenConfig { steps: 8, ..Default::default() });
-        let abs = tml_core::term::Abs { params: vec![], body: app };
+        let abs = tml_core::term::Abs::new(vec![], app);
         let copy = tml_core::alpha::alpha_copy_abs(&abs, &mut ctx.names);
         let both = tml_core::term::App::new(
             Value::from(abs),

@@ -114,7 +114,10 @@ pub fn optimize_abs_traced(
     sink: &mut Sink,
 ) -> (Abs, OptStats) {
     let (body, stats) = optimize_traced(ctx, abs.body, opts, sink);
+    // Field re-assignment (not `set_body`) because `abs.body` was moved out
+    // above; the cached summary must be dropped by hand afterwards.
     abs.body = body;
+    abs.invalidate_summary();
     (abs, stats)
 }
 

@@ -47,9 +47,48 @@ pub fn expand_pass_traced(
     sink: &mut Sink,
 ) -> ExpandOutcome {
     let census = Census::of_app(app, ctx.names.len());
+    // Sharing-preserving fast path: the driver alternates reduce/expand
+    // until expansion yields nothing, so the final pass of every round trip
+    // is a no-op. Detect that with a read-only scan — if no direct
+    // application anywhere binds a multi-use abstraction, the mutable walk
+    // (which unshares every node it descends through) is skipped entirely
+    // and the tree keeps all its physical sharing.
+    if !has_candidate(app, &census) {
+        if tml_trace::enabled() {
+            tml_trace::count("opt.expand.noop_pass_skipped", 1);
+        }
+        return ExpandOutcome::default();
+    }
     let mut out = ExpandOutcome::default();
     walk(ctx, app, opts, &census, &mut out, sink);
     out
+}
+
+/// `true` if some direct application in the tree binds an abstraction used
+/// more than once — the precondition (ignoring the cost model) for any
+/// expansion work. Read-only, so no subtree is unshared.
+fn has_candidate(app: &App, census: &Census) -> bool {
+    if let Value::Abs(f) = &app.func {
+        if f.params.len() == app.args.len()
+            && f.params
+                .iter()
+                .zip(&app.args)
+                .any(|(&v, arg)| arg.is_abs() && census.count(v) >= 2)
+        {
+            return true;
+        }
+        if has_candidate(&f.body, census) {
+            return true;
+        }
+    }
+    for arg in &app.args {
+        if let Value::Abs(a) = arg {
+            if has_candidate(&a.body, census) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 fn walk(
@@ -63,11 +102,11 @@ fn walk(
     // Recurse first so inner bindings are considered before outer ones; the
     // cost of an outer body then already reflects inner decisions.
     if let Value::Abs(a) = &mut app.func {
-        walk(ctx, &mut a.body, opts, census, out, sink);
+        walk(ctx, &mut Abs::make_mut(a).body, opts, census, out, sink);
     }
     for arg in &mut app.args {
         if let Value::Abs(a) = arg {
-            walk(ctx, &mut a.body, opts, census, out, sink);
+            walk(ctx, &mut Abs::make_mut(a).body, opts, census, out, sink);
         }
     }
 
@@ -100,12 +139,14 @@ fn walk(
             }
             continue;
         }
-        let template = app.args[i].as_abs().expect("checked is_abs").clone();
+        // The template is taken by shared handle — no copy is made until a
+        // call site is actually replaced (and then an α-renamed one).
+        let template = app.args[i].as_abs_arc().expect("checked is_abs").clone();
         let Value::Abs(fabs) = &mut app.func else {
             unreachable!("checked above")
         };
         let growth_before = out.growth;
-        let n = inline_call_sites(&mut fabs.body, v, &template, ctx, out);
+        let n = inline_call_sites(&mut Abs::make_mut(fabs).body, v, &template, ctx, out);
         if sink.active() {
             sink.emit(Event::ExpandDecision {
                 site: ctx.names.display(v),
@@ -134,15 +175,21 @@ fn inline_call_sites(
         out.growth += 1 + copy.body.size() as u64;
         out.inlined += 1;
         n += 1;
-        app.func = Value::Abs(Box::new(copy));
+        app.func = Value::from(copy);
         // Do not descend into the fresh copy: its own call sites (if the
         // template referenced v, which scoping forbids) cannot mention v.
     } else if let Value::Abs(a) = &mut app.func {
-        n += inline_call_sites(&mut a.body, v, template, ctx, out);
+        // `v` is bound outside this subtree, so the cached free set is an
+        // exact occurrence test — skip (sharing intact) when absent.
+        if a.contains_free(v) {
+            n += inline_call_sites(&mut Abs::make_mut(a).body, v, template, ctx, out);
+        }
     }
     for arg in &mut app.args {
         if let Value::Abs(a) = arg {
-            n += inline_call_sites(&mut a.body, v, template, ctx, out);
+            if a.contains_free(v) {
+                n += inline_call_sites(&mut Abs::make_mut(a).body, v, template, ctx, out);
+            }
         }
     }
     n

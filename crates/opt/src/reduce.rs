@@ -10,8 +10,24 @@
 //! variable. Incremental updates are applied only in the increasing
 //! direction: a stale overcount merely postpones a rewrite to the next
 //! sweep, whereas an undercount could break the unique binding rule.
+//!
+//! ## Physically-unchanged subtree skipping
+//!
+//! Abstractions are shared copy-on-write (`Arc<Abs>`), so a subtree that
+//! went through a full sweep without a single rule firing is *provably
+//! quiescent*: every rule precondition is subtree-local (binder occurrence
+//! counts are confined by scoping, fold/eta/Y shapes are structural), and
+//! every mutation anywhere in the tree goes through `Arc::make_mut`, which
+//! replaces the pointer. Later sweeps therefore skip subtrees whose `Arc`
+//! address is in the clean map — a keepalive clone pins each registered
+//! allocation so an address can never be recycled by a different node. To
+//! keep provenance byte-identical, a skipped subtree advances the pre-order
+//! node counter by its recorded application count (it would have emitted no
+//! events anyway — that is what made it clean).
 
 use crate::stats::{OptStats, RuleSet};
+use std::collections::HashMap;
+use std::sync::Arc;
 use tml_core::census::occurrences_in_value;
 use tml_core::prim::FoldOutcome;
 use tml_core::prims_std::split_case;
@@ -39,6 +55,8 @@ pub fn reduce_to_fixpoint_traced(
     sink: &mut Sink,
 ) -> bool {
     let mut any = false;
+    // Quiescent-subtree map, persisted across sweeps of this fixpoint run.
+    let mut clean: HashMap<usize, CleanEntry> = HashMap::new();
     // Hard safety bound; the size argument guarantees far fewer sweeps.
     for _ in 0..10_000 {
         let mut sweep = Sweep {
@@ -49,7 +67,9 @@ pub fn reduce_to_fixpoint_traced(
             changed: false,
             sink,
             node: 0,
+            fired: 0,
             pending: None,
+            clean: &mut clean,
         };
         sweep.walk(app);
         if !sweep.changed {
@@ -61,6 +81,15 @@ pub fn reduce_to_fixpoint_traced(
     any
 }
 
+/// A subtree known to be quiescent under the active rule set.
+struct CleanEntry {
+    /// Pins the allocation so the map key (its address) stays unambiguous.
+    _keepalive: Arc<Abs>,
+    /// Number of applications in the subtree's body — how far a sweep's
+    /// pre-order node counter must advance when the subtree is skipped.
+    napps: u64,
+}
+
 struct Sweep<'a, 'b> {
     ctx: &'a Ctx,
     rules: RuleSet,
@@ -70,9 +99,13 @@ struct Sweep<'a, 'b> {
     sink: &'a mut Sink<'b>,
     /// Pre-order index of the node being visited (restarts each sweep).
     node: u64,
+    /// Rule firings so far this sweep (for quiescence detection).
+    fired: u64,
     /// Set by a rule method when it fires and tracing is active; consumed
     /// by `walk` to label the emitted event.
     pending: Option<(&'static str, String)>,
+    /// Quiescent subtrees by `Arc` address, shared across sweeps.
+    clean: &'a mut HashMap<usize, CleanEntry>,
 }
 
 impl Sweep<'_, '_> {
@@ -98,6 +131,7 @@ impl Sweep<'_, '_> {
             };
             if self.try_node(app, &mut case_done) {
                 self.changed = true;
+                self.fired += 1;
                 if self.sink.active() {
                     let (rule, site) = self.pending.take().unwrap_or(("?", String::new()));
                     self.sink.emit(Event::RuleFired {
@@ -111,13 +145,40 @@ impl Sweep<'_, '_> {
             }
             break;
         }
-        if let Value::Abs(a) = &mut app.func {
-            self.walk(&mut a.body);
-        }
+        self.descend(&mut app.func);
         for arg in &mut app.args {
-            if let Value::Abs(a) = arg {
-                self.walk(&mut a.body);
+            self.descend(arg);
+        }
+    }
+
+    /// Walk into an abstraction child — unless its `Arc` address is in the
+    /// clean map, in which case the whole subtree is skipped (the node
+    /// counter still advances as if it had been visited, so provenance
+    /// event indices are identical with and without the skip).
+    fn descend(&mut self, slot: &mut Value) {
+        let Value::Abs(arc) = slot else {
+            return;
+        };
+        if let Some(entry) = self.clean.get(&(Arc::as_ptr(arc) as usize)) {
+            self.node += entry.napps;
+            if tml_trace::enabled() {
+                tml_trace::count("opt.reduce.subtree_skipped", 1);
             }
+            return;
+        }
+        let node_before = self.node;
+        let fired_before = self.fired;
+        let abs = Abs::make_mut(arc);
+        self.walk(&mut abs.body);
+        if self.fired == fired_before {
+            // Zero firings while visiting the whole subtree: quiescent.
+            self.clean.insert(
+                Arc::as_ptr(arc) as usize,
+                CleanEntry {
+                    _keepalive: arc.clone(),
+                    napps: self.node - node_before,
+                },
+            );
         }
     }
 
@@ -168,14 +229,14 @@ impl Sweep<'_, '_> {
         if !self.rules.reduce {
             return false;
         }
-        let Value::Abs(abs) = &mut app.func else {
+        let Value::Abs(arc) = &mut app.func else {
             return false;
         };
-        if !abs.params.is_empty() || !app.args.is_empty() {
+        if !arc.params.is_empty() || !app.args.is_empty() {
             return false;
         }
         let body = std::mem::replace(
-            &mut abs.body,
+            Abs::make_mut(arc).body_mut(),
             App::new(Value::Lit(tml_core::Lit::Unit), vec![]),
         );
         *app = body;
@@ -191,20 +252,20 @@ impl Sweep<'_, '_> {
     /// an abstraction), after which the binding is dead and `remove` strikes
     /// it out. We apply them in that fixed pairing.
     fn try_subst_remove(&mut self, app: &mut App) -> bool {
-        let Value::Abs(abs) = &mut app.func else {
+        let Value::Abs(arc) = &mut app.func else {
             return false;
         };
-        if abs.params.len() != app.args.len() {
+        if arc.params.len() != app.args.len() {
             // Ill-formed (or partially rewritten) — leave untouched.
             return false;
         }
-        for i in 0..abs.params.len() {
-            let v = abs.params[i];
+        for i in 0..arc.params.len() {
+            let v = arc.params[i];
             let count = self.census.count(v);
             if count == 0 {
                 if self.rules.remove {
                     // remove: strike out the dead binding and its value.
-                    abs.params.remove(i);
+                    Abs::make_mut(arc).params_mut().remove(i);
                     app.args.remove(i);
                     self.stats.remove += 1;
                     self.note("remove", Some(v));
@@ -221,6 +282,7 @@ impl Sweep<'_, '_> {
             }
             // subst: replace every occurrence of v by the value.
             let val = app.args[i].clone();
+            let abs = Abs::make_mut(arc);
             let k = subst_app(&mut abs.body, v, &val);
             debug_assert!(k > 0, "census said {count} occurrences, found none");
             if let Value::Var(w) = &val {
@@ -273,7 +335,13 @@ impl Sweep<'_, '_> {
         for (j, tag) in tags.iter().enumerate() {
             let branch_index = 1 + n + j;
             if let Value::Abs(branch) = &mut app.args[branch_index] {
-                let k = subst_app(&mut branch.body, v, tag);
+                // The scrutinee is bound outside the branch, so the cached
+                // summary answers "any occurrence?" exactly — skip the
+                // branch (preserving its sharing) when there is none.
+                if !branch.may_occur(v) {
+                    continue;
+                }
+                let k = subst_app(&mut Abs::make_mut(branch).body, v, tag);
                 if k > 0 {
                     if let Value::Var(w) = tag {
                         self.census.bump(*w, k);
@@ -336,9 +404,10 @@ impl Sweep<'_, '_> {
                     .enumerate()
                     .any(|(j, val)| j != i && occurrences_in_value(val, vi) > 0);
                 if !referenced {
-                    let Value::Abs(yabs_mut) = &mut app.args[0] else {
+                    let Value::Abs(yabs_arc) = &mut app.args[0] else {
                         unreachable!("checked above");
                     };
+                    let yabs_mut = Abs::make_mut(yabs_arc);
                     yabs_mut.params.remove(i);
                     yabs_mut.body.args.remove(i);
                     self.stats.y_remove += 1;
@@ -387,7 +456,7 @@ fn eta_target(val: &Value) -> Option<Value> {
 /// Convenience: reduce a standalone abstraction's body (used by
 /// [`crate::driver::optimize_abs`]).
 pub fn reduce_abs(ctx: &Ctx, abs: &mut Abs, rules: RuleSet, stats: &mut OptStats) -> bool {
-    reduce_to_fixpoint(ctx, &mut abs.body, rules, stats)
+    reduce_to_fixpoint(ctx, abs.body_mut(), rules, stats)
 }
 
 #[cfg(test)]

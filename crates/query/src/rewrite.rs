@@ -140,11 +140,11 @@ impl Rewriter<'_> {
             break;
         }
         if let Value::Abs(a) = &mut app.func {
-            self.walk(&mut a.body);
+            self.walk(&mut Abs::make_mut(a).body);
         }
         for arg in &mut app.args {
             if let Value::Abs(a) = arg {
-                self.walk(&mut a.body);
+                self.walk(&mut Abs::make_mut(a).body);
             }
         }
     }
@@ -188,6 +188,7 @@ impl Rewriter<'_> {
         let Value::Abs(cont) = std::mem::replace(&mut app.args[3], Value::Lit(Lit::Unit)) else {
             unreachable!("matched above");
         };
+        let cont = std::sync::Arc::try_unwrap(cont).unwrap_or_else(|a| (*a).clone());
         let mut inner = cont.body;
         let q = app.args[0].clone();
         let r = app.args[1].clone();

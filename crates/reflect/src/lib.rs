@@ -28,15 +28,18 @@
 #![warn(missing_docs)]
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use tml_core::subst::subst_many;
 use tml_core::term::{Abs, App, Value};
 use tml_core::{Ctx, Oid, VarId};
 use tml_lang::types::TypeEnv;
 use tml_lang::{Session, SessionConfig};
-use tml_opt::{optimize_abs, OptOptions, OptStats};
+use tml_opt::{optimize_abs_traced, OptOptions, OptStats};
 use tml_store::cache::{binding_signature, hash_bytes, SigHasher};
 use tml_store::ptml::{decode_abs, encode_abs};
 use tml_store::{CacheEntry, CacheKey, ClosureObj, Object, SVal, Store};
+use tml_trace::{Event, Sink};
 use tml_vm::{codec, Vm};
 
 /// An additional tree rewriter interleaved with the program optimizer —
@@ -64,6 +67,14 @@ pub struct ReflectOptions {
     /// bindings link the memoized bytecode directly instead of re-running
     /// the decode → optimize → codegen pipeline.
     pub use_cache: bool,
+    /// Worker threads for [`optimize_all`]'s decode → optimize → encode
+    /// middle phase. `0` and `1` both mean fully sequential. With `jobs ≥ 2`
+    /// the rebuild targets are drained from a shared work queue by
+    /// `std::thread` workers, each holding its own clone of the name/prim
+    /// context; results are merged back in target (OID) order, so the
+    /// produced PTML bytes and rule statistics are identical to a
+    /// sequential run (see DESIGN.md on determinism).
+    pub jobs: u32,
 }
 
 impl Default for ReflectOptions {
@@ -73,6 +84,7 @@ impl Default for ReflectOptions {
             opt: OptOptions::default(),
             query_rewriter: None,
             use_cache: true,
+            jobs: 1,
         }
     }
 }
@@ -120,6 +132,10 @@ pub struct OptimizeAllReport {
     pub size_after: usize,
     /// Total call sites inlined.
     pub inlined: u64,
+    /// Total reduction-rule firings (summed over every per-function
+    /// [`OptStats`]); cache hits restore sizes but not rule counts, so this
+    /// only reflects functions actually re-optimized this run.
+    pub reductions: u64,
 }
 
 /// Reconstruct, from PTML and R-value bindings, the TML term of the paper's
@@ -229,7 +245,7 @@ impl<'a> TermBuilder<'a> {
                     match self.build(*target, depth - 1) {
                         Ok(inner) => {
                             bind_vars.push(*var);
-                            bind_vals.push(Value::Abs(Box::new(inner)));
+                            bind_vals.push(Value::from(inner));
                         }
                         Err(e) => {
                             result = Err(e);
@@ -264,10 +280,7 @@ impl<'a> TermBuilder<'a> {
             return Ok(abs);
         }
         let body = App::new(Value::from(Abs::new(bind_vars, abs.body)), bind_vals);
-        Ok(Abs {
-            params: abs.params,
-            body,
-        })
+        Ok(Abs::new(abs.params, body))
     }
 
     fn is_closure(&self, oid: Oid) -> bool {
@@ -350,89 +363,119 @@ fn index_fingerprint(store: &Store, deps: &mut BTreeSet<Oid>) -> u64 {
     h.finish()
 }
 
-fn rebuild(
-    session: &mut Session,
+/// Derive the cache key for one rebuild target. Read-only on the store;
+/// the returned dependency set holds the index OIDs folded into the key
+/// (empty without a query rewriter).
+///
+/// Key derivation (DESIGN.md §4): content hash of the source PTML blob,
+/// plus a signature of the R-value bindings and the optimizer
+/// configuration. Validity of a hit is checked separately against the
+/// observed store versions recorded in the entry. The hash is taken over
+/// the *stored* blob — which the linker now writes in the share-aware
+/// PTML2 format — so keying never re-encodes (let alone flattens) the
+/// term.
+fn derive_key(
+    store: &Store,
     oid: Oid,
-    name: Option<String>,
     options: &ReflectOptions,
-) -> Result<Rebuilt, ReflectError> {
-    // Key derivation (DESIGN.md §4): content hash of the source PTML blob,
-    // plus a signature of the R-value bindings and the optimizer
-    // configuration. Validity of a hit is checked separately against the
-    // observed store versions recorded in the entry.
-    let (ptml_hash, binding_sig) = {
-        let clo = match session.store.get(oid) {
-            Ok(Object::Closure(c)) => c,
-            Ok(other) => return Err(ReflectError::NotAClosure(other.kind().to_string())),
-            Err(e) => return Err(ReflectError::Store(e.to_string())),
-        };
-        let ptml_oid = clo.ptml.ok_or(ReflectError::NoPtml(oid))?;
-        let bytes = match session.store.get(ptml_oid) {
-            Ok(Object::Ptml(b)) => b,
-            Ok(other) => return Err(ReflectError::BadPtml(format!("{} object", other.kind()))),
-            Err(e) => return Err(ReflectError::Store(e.to_string())),
-        };
-        (hash_bytes(bytes), binding_signature(&clo.bindings))
+) -> Result<(CacheKey, BTreeSet<Oid>), ReflectError> {
+    let clo = match store.get(oid) {
+        Ok(Object::Closure(c)) => c,
+        Ok(other) => return Err(ReflectError::NotAClosure(other.kind().to_string())),
+        Err(e) => return Err(ReflectError::Store(e.to_string())),
+    };
+    let ptml_oid = clo.ptml.ok_or(ReflectError::NoPtml(oid))?;
+    let bytes = match store.get(ptml_oid) {
+        Ok(Object::Ptml(b)) => b,
+        Ok(other) => return Err(ReflectError::BadPtml(format!("{} object", other.kind()))),
+        Err(e) => return Err(ReflectError::Store(e.to_string())),
     };
     let mut deps: BTreeSet<Oid> = BTreeSet::new();
-    let mut sig = binding_sig ^ options_fingerprint(options);
+    let mut sig = binding_signature(&clo.bindings) ^ options_fingerprint(options);
     if options.query_rewriter.is_some() {
-        sig ^= index_fingerprint(&session.store, &mut deps);
+        sig ^= index_fingerprint(store, &mut deps);
     }
-    let key = CacheKey {
-        ptml_hash,
-        binding_sig: sig,
-    };
+    Ok((
+        CacheKey {
+            ptml_hash: hash_bytes(bytes),
+            binding_sig: sig,
+        },
+        deps,
+    ))
+}
 
-    if options.use_cache {
-        if let Some(entry) = session.store.cache_lookup(key) {
-            // Hit: link the memoized bytecode directly — no PTML decode, no
-            // optimizer, no code generation.
-            // An undecodable cached segment (corrupt image) falls through to
-            // the full recomputation below; the insert overwrites the entry.
-            if let Ok(block) = codec::decode_segment(&mut session.vm.code, &entry.code) {
-                trace_consult(name.as_deref(), oid, "hit");
-                let ptml = session.store.alloc(Object::Ptml(entry.ptml));
-                let stats = OptStats {
-                    size_before: entry.size_before as usize,
-                    size_after: entry.size_after as usize,
-                    inlined: entry.inlined,
-                    ..OptStats::default()
-                };
-                return Ok(Rebuilt {
-                    name,
-                    old_oid: oid,
-                    block,
-                    captures: entry.captures,
-                    ptml,
-                    stats,
-                });
-            }
-        }
-    }
-
-    trace_consult(
-        name.as_deref(),
-        oid,
-        if options.use_cache { "miss" } else { "bypass" },
-    );
-    let (abs, residuals, residual_values) = {
-        let mut tb = TermBuilder::new(&mut session.ctx, &session.store);
-        let abs = tb.build(oid, options.inline_depth)?;
-        deps.extend(tb.deps.iter().copied());
-        (abs, tb.residuals, tb.residual_values)
+/// Try to satisfy a rebuild from the persistent cache. On a hit the
+/// memoized bytecode is linked directly — no PTML decode, no optimizer, no
+/// code generation. An undecodable cached segment (corrupt image) returns
+/// `None` so the caller recomputes; the subsequent insert overwrites the
+/// entry.
+fn try_cached(
+    session: &mut Session,
+    oid: Oid,
+    name: &Option<String>,
+    key: CacheKey,
+) -> Option<Rebuilt> {
+    let entry = session.store.cache_lookup(key)?;
+    let block = codec::decode_segment(&mut session.vm.code, &entry.code).ok()?;
+    trace_consult(name.as_deref(), oid, "hit");
+    let ptml = session.store.alloc(Object::Ptml(entry.ptml));
+    let stats = OptStats {
+        size_before: entry.size_before as usize,
+        size_after: entry.size_after as usize,
+        inlined: entry.inlined,
+        ..OptStats::default()
     };
-    let (optimized, stats) = match options.query_rewriter {
-        None => optimize_abs(&mut session.ctx, abs, &options.opt),
+    Some(Rebuilt {
+        name: name.clone(),
+        old_oid: oid,
+        block,
+        captures: entry.captures,
+        ptml,
+        stats,
+    })
+}
+
+/// Everything the decode → optimize → encode middle phase produces for one
+/// target. This phase never touches the VM or mutates the store, which is
+/// what makes it safe to run on worker threads against `&Store`.
+struct Prepared {
+    /// The worker's private name/prim context when prepared off-thread
+    /// (`None` when the session context was used directly). The optimized
+    /// term's `VarId`s index into *this* context, so code generation must
+    /// use it too.
+    ctx: Option<Ctx>,
+    optimized: Abs,
+    /// Share-aware PTML for `optimized`.
+    bytes: Vec<u8>,
+    residuals: Vec<(String, VarId)>,
+    residual_values: HashMap<String, SVal>,
+    /// Store objects consulted while building the term.
+    deps: BTreeSet<Oid>,
+    stats: OptStats,
+    /// Optimizer provenance buffered for in-order replay (parallel runs
+    /// only; empty when events were emitted live).
+    events: Vec<Event>,
+}
+
+/// Alternate the query optimizer and the program optimizer on the same
+/// tree until neither makes progress (figure 4), or run the program
+/// optimizer alone when no rewriter is installed.
+fn run_optimizer(
+    ctx: &mut Ctx,
+    store: &Store,
+    abs: Abs,
+    options: &ReflectOptions,
+    sink: &mut Sink,
+) -> (Abs, OptStats) {
+    match options.query_rewriter {
+        None => optimize_abs_traced(ctx, abs, &options.opt, sink),
         Some(rewrite) => {
-            // Figure 4: alternate the query optimizer and the program
-            // optimizer on the same tree until neither makes progress.
             let mut abs = abs;
             let mut last;
             let mut rounds = 0;
             loop {
-                let rewrites = rewrite(&mut session.ctx, &session.store, &mut abs.body);
-                let (a2, s2) = optimize_abs(&mut session.ctx, abs, &options.opt);
+                let rewrites = rewrite(ctx, store, &mut abs.body);
+                let (a2, s2) = optimize_abs_traced(ctx, abs, &options.opt, sink);
                 abs = a2;
                 let quiescent = s2.total_reductions() == 0 && s2.inlined == 0;
                 last = s2;
@@ -443,12 +486,93 @@ fn rebuild(
             }
             (abs, last)
         }
+    }
+}
+
+/// The middle phase: build the bindings-wrapped term, optimize it and
+/// encode the product. `&Store` only — parallel-safe. With
+/// `buffer_events`, optimizer provenance is collected into the result for
+/// deterministic in-order replay instead of going to the global recorder
+/// as it happens.
+fn prepare(
+    ctx: &mut Ctx,
+    store: &Store,
+    oid: Oid,
+    options: &ReflectOptions,
+    buffer_events: bool,
+) -> Result<Prepared, ReflectError> {
+    let (abs, residuals, residual_values, deps) = {
+        let mut tb = TermBuilder::new(ctx, store);
+        let abs = tb.build(oid, options.inline_depth)?;
+        (abs, tb.residuals, tb.residual_values, tb.deps)
     };
-    let bytes = encode_abs(&session.ctx, &optimized);
-    let ptml = session.store.alloc(Object::Ptml(bytes.clone()));
-    let compiled = session
-        .vm
-        .compile_proc(&session.ctx, &optimized)
+    let mut events: Vec<Event> = Vec::new();
+    let (optimized, stats) = if buffer_events && tml_trace::enabled() {
+        let mut push = |e: &Event| events.push(e.clone());
+        let mut sink = Sink::collect(&mut push);
+        run_optimizer(ctx, store, abs, options, &mut sink)
+    } else {
+        run_optimizer(ctx, store, abs, options, &mut Sink::global())
+    };
+    let bytes = encode_abs(ctx, &optimized);
+    Ok(Prepared {
+        ctx: None,
+        optimized,
+        bytes,
+        residuals,
+        residual_values,
+        deps,
+        stats,
+        events,
+    })
+}
+
+/// Identity and cache key of one rebuild target, as threaded from the
+/// key-derivation phase into [`finish`].
+struct Target {
+    oid: Oid,
+    name: Option<String>,
+    key: CacheKey,
+    key_deps: BTreeSet<Oid>,
+}
+
+/// The final phase: replay buffered provenance, generate code, and
+/// memoize the product. Sequential — it owns the VM code area and the
+/// store.
+fn finish(
+    store: &mut Store,
+    vm: &mut Vm,
+    session_ctx: &Ctx,
+    target: Target,
+    use_cache: bool,
+    p: Prepared,
+) -> Result<Rebuilt, ReflectError> {
+    let Target {
+        oid,
+        name,
+        key,
+        key_deps,
+    } = target;
+    let Prepared {
+        ctx,
+        optimized,
+        bytes,
+        residuals,
+        residual_values,
+        mut deps,
+        stats,
+        events,
+    } = p;
+    let ctx = ctx.as_ref().unwrap_or(session_ctx);
+    if tml_trace::enabled() {
+        for e in events {
+            tml_trace::record(e);
+        }
+    }
+    deps.extend(key_deps);
+    let ptml = store.alloc(Object::Ptml(bytes.clone()));
+    let compiled = vm
+        .compile_proc(ctx, &optimized)
         .map_err(|e| ReflectError::Compile(e.to_string()))?;
     let by_var: HashMap<VarId, &str> = residuals.iter().map(|(n, v)| (*v, n.as_str())).collect();
     let captures = compiled
@@ -461,22 +585,19 @@ fn rebuild(
                 .ok_or_else(|| {
                     ReflectError::Compile(format!(
                         "capture {} is not a residual binding",
-                        session.ctx.names.display(*v)
+                        ctx.names.display(*v)
                     ))
                 })
         })
         .collect::<Result<Vec<_>, _>>()?;
-    if options.use_cache {
+    if use_cache {
         // Memoize the product. The observed versions are read *after* the
         // build so any concurrent mutation would already be reflected.
-        let observed = deps
-            .iter()
-            .map(|&d| (d, session.store.version(d)))
-            .collect();
+        let observed = deps.iter().map(|&d| (d, store.version(d))).collect();
         let entry = CacheEntry::new(
             observed,
             bytes,
-            codec::encode_segment(&session.vm.code, compiled.block),
+            codec::encode_segment(&vm.code, compiled.block),
             captures.clone(),
         )
         .with_attrs(
@@ -484,7 +605,7 @@ fn rebuild(
             stats.size_after as u64,
             stats.inlined,
         );
-        session.store.cache_insert(key, entry);
+        store.cache_insert(key, entry);
     }
     Ok(Rebuilt {
         name,
@@ -494,6 +615,175 @@ fn rebuild(
         ptml,
         stats,
     })
+}
+
+fn rebuild(
+    session: &mut Session,
+    oid: Oid,
+    name: Option<String>,
+    options: &ReflectOptions,
+) -> Result<Rebuilt, ReflectError> {
+    let (key, key_deps) = derive_key(&session.store, oid, options)?;
+    if options.use_cache {
+        if let Some(hit) = try_cached(session, oid, &name, key) {
+            return Ok(hit);
+        }
+    }
+    trace_consult(
+        name.as_deref(),
+        oid,
+        if options.use_cache { "miss" } else { "bypass" },
+    );
+    let prepared = prepare(&mut session.ctx, &session.store, oid, options, false)?;
+    finish(
+        &mut session.store,
+        &mut session.vm,
+        &session.ctx,
+        Target {
+            oid,
+            name,
+            key,
+            key_deps,
+        },
+        options.use_cache,
+        prepared,
+    )
+}
+
+/// The work-queue fan-out behind [`optimize_all`] with `jobs ≥ 2`.
+///
+/// Three phases:
+///
+/// 1. *sequential* — derive each target's cache key and consult the
+///    persistent cache (linking memoized code mutates the VM, so hits are
+///    resolved up front, in target order);
+/// 2. *parallel* — the remaining targets are drained from a shared atomic
+///    cursor by `std::thread` workers. Each worker rebuilds against
+///    `&Store` with a private clone of the session's name/prim context, so
+///    thread scheduling cannot influence any output: the produced PTML is
+///    independent of `VarId` numbering (the var table stores base names)
+///    and the optimizer is deterministic in the input term;
+/// 3. *sequential* — results are merged back in target (OID) order: code
+///    generation, cache population and buffered provenance replay happen
+///    exactly where a sequential run would have done them.
+fn rebuild_parallel(
+    session: &mut Session,
+    targets: &[Oid],
+    global_names: &HashMap<Oid, String>,
+    options: &ReflectOptions,
+) -> Result<Vec<Rebuilt>, ReflectError> {
+    struct Unit {
+        oid: Oid,
+        name: Option<String>,
+        key: CacheKey,
+        key_deps: BTreeSet<Oid>,
+        /// Skip the parallel prepare for this unit and consult the cache at
+        /// merge time instead: either a valid entry already exists, or an
+        /// earlier unit in this run has the same key (a sequential run
+        /// would find that unit's freshly inserted entry when it got here).
+        /// Merge-time consultation — rather than materializing the hit up
+        /// front — keeps VM/store mutations in exactly the order a
+        /// sequential run performs them.
+        expect_hit: bool,
+    }
+
+    let mut seen: HashSet<CacheKey> = HashSet::new();
+    let mut units: Vec<Unit> = Vec::with_capacity(targets.len());
+    for &oid in targets {
+        let name = global_names.get(&oid).cloned();
+        let (key, key_deps) = derive_key(&session.store, oid, options)?;
+        let expect_hit = options.use_cache && (session.store.cache_peek(key) || !seen.insert(key));
+        units.push(Unit {
+            oid,
+            name,
+            key,
+            key_deps,
+            expect_hit,
+        });
+    }
+
+    let todo: Vec<(usize, Oid)> = units
+        .iter()
+        .enumerate()
+        .filter_map(|(i, u)| (!u.expect_hit).then_some((i, u.oid)))
+        .collect();
+    let mut prepared: Vec<Option<Result<Prepared, ReflectError>>> =
+        (0..units.len()).map(|_| None).collect();
+    if !todo.is_empty() {
+        let jobs = (options.jobs as usize).min(todo.len());
+        let base_ctx = &session.ctx;
+        let store = &session.store;
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Prepared, ReflectError>>>> =
+            (0..units.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(slot, oid)) = todo.get(k) else {
+                        break;
+                    };
+                    let mut ctx = base_ctx.clone();
+                    let r = prepare(&mut ctx, store, oid, options, true).map(|mut p| {
+                        p.ctx = Some(ctx);
+                        p
+                    });
+                    *slots[slot].lock().expect("prepare slot poisoned") = Some(r);
+                });
+            }
+        });
+        for (i, slot) in slots.into_iter().enumerate() {
+            prepared[i] = slot.into_inner().expect("prepare slot poisoned");
+        }
+    }
+
+    // Merge in target order. Each iteration is exactly the sequential
+    // `rebuild` — real (stats-counted) cache consult, then finish — except
+    // that predicted-miss units use the result prepared off-thread. A
+    // predicted hit that misses after all (entry undecodable, or the
+    // earlier same-key unit failed to insert) is recomputed inline.
+    let mut out = Vec::with_capacity(units.len());
+    for (i, unit) in units.into_iter().enumerate() {
+        let Unit {
+            oid,
+            name,
+            key,
+            key_deps,
+            expect_hit,
+        } = unit;
+        if options.use_cache {
+            if let Some(hit) = try_cached(session, oid, &name, key) {
+                out.push(hit);
+                continue;
+            }
+        }
+        trace_consult(
+            name.as_deref(),
+            oid,
+            if options.use_cache { "miss" } else { "bypass" },
+        );
+        let p = match prepared[i].take() {
+            Some(r) => r?,
+            None => {
+                debug_assert!(expect_hit, "only predicted hits lack a prepared result");
+                prepare(&mut session.ctx, &session.store, oid, options, false)?
+            }
+        };
+        out.push(finish(
+            &mut session.store,
+            &mut session.vm,
+            &session.ctx,
+            Target {
+                oid,
+                name,
+                key,
+                key_deps,
+            },
+            options.use_cache,
+            p,
+        )?);
+    }
+    Ok(out)
 }
 
 fn finish_closure(
@@ -576,7 +866,7 @@ pub fn optimize_all(
             global_names.entry(*oid).or_insert_with(|| name.clone());
         }
     }
-    let targets: Vec<Oid> = session
+    let mut targets: Vec<Oid> = session
         .store
         .iter()
         .filter_map(|(oid, obj)| match obj {
@@ -588,16 +878,31 @@ pub fn optimize_all(
             _ => None,
         })
         .collect();
+    // Store iteration order is already ascending, but the merge-in-OID-order
+    // determinism contract should not depend on that detail.
+    targets.sort_unstable_by_key(|o| o.0);
 
+    let rebuilt = if options.jobs >= 2 {
+        rebuild_parallel(session, &targets, &global_names, options)?
+    } else {
+        let mut out = Vec::with_capacity(targets.len());
+        for &oid in &targets {
+            out.push(rebuild(
+                session,
+                oid,
+                global_names.get(&oid).cloned(),
+                options,
+            )?);
+        }
+        out
+    };
     let mut report = OptimizeAllReport::default();
-    let mut rebuilt = Vec::with_capacity(targets.len());
-    for oid in targets {
-        let r = rebuild(session, oid, global_names.get(&oid).cloned(), options)?;
+    for r in &rebuilt {
         report.functions += 1;
         report.size_before += r.stats.size_before;
         report.size_after += r.stats.size_after;
         report.inlined += r.stats.inlined;
-        rebuilt.push(r);
+        report.reductions += r.stats.total_reductions();
     }
 
     // Phase 1: allocate the optimized closures with empty environments so

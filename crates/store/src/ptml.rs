@@ -16,23 +16,43 @@
 //! ## Format
 //!
 //! ```text
-//! magic "PTML1"
+//! magic "PTML1" (flat) or "PTML2" (share-aware)
 //! prim table   : count, names (UTF-8)          -- stable identity is the name
 //! var table    : count, (base name, cont flag)
 //! free list    : count, var-table indices      -- R-value binding order
 //! param list   : count, var-table indices      -- the procedure's formals
 //! body         : app
 //! app          : value, argc, value*
-//! value        : tag … (unit/bool/int/real/char/str/oid/var/prim/abs)
+//! value        : tag … (unit/bool/int/real/char/str/oid/var/prim/abs/backref)
 //! ```
+//!
+//! ## Shared subtrees (PTML2)
+//!
+//! In the share-aware format every `abs` node carries an implicit sequence
+//! number (pre-order emission order, starting at 0). A subtree that is
+//! physically shared (`Arc` pointer identity) or structurally identical
+//! (same structural hash, verified by deep comparison — identical variable
+//! ids included) to an already-emitted abstraction is encoded as a
+//! `backref` tag plus the earlier abstraction's sequence number instead of
+//! being re-emitted. The decoder keeps one slot per decoded abstraction and
+//! materializes back-references as `Arc` clones, so sharing survives the
+//! round trip. A back-reference may only point at a *completed* earlier
+//! abstraction (an ancestor still being decoded is strictly larger than any
+//! of its subtrees, so neither pointer nor content dedup can ever produce
+//! one); the decoder rejects forward or unfinished references as corrupt.
+//! [`decode_abs`] accepts both formats; [`encode_abs`] emits PTML2 and
+//! [`encode_abs_flat`] the legacy PTML1.
 
 use crate::varint::{put_i64, put_str, put_u64, DecodeError, Reader};
 use std::collections::HashMap;
-use tml_core::free::free_vars_abs;
+use std::sync::Arc;
 use tml_core::term::{Abs, App, Value};
 use tml_core::{Ctx, Lit, Oid, PrimId, VarId};
 
-const MAGIC: &[u8; 5] = b"PTML1";
+const MAGIC_V1: &[u8; 5] = b"PTML1";
+const MAGIC_V2: &[u8; 5] = b"PTML2";
+#[cfg(test)]
+const MAGIC: &[u8; 5] = MAGIC_V2;
 
 const TAG_UNIT: u8 = 0;
 const TAG_BOOL: u8 = 1;
@@ -44,25 +64,44 @@ const TAG_OID: u8 = 6;
 const TAG_VAR: u8 = 7;
 const TAG_PRIM: u8 = 8;
 const TAG_ABS: u8 = 9;
+const TAG_BACKREF: u8 = 10;
 
-/// Encode a procedure (abstraction) into PTML bytes.
+/// Encode a procedure (abstraction) into share-aware PTML2 bytes: each
+/// distinct shared subtree is emitted once and back-referenced thereafter.
 pub fn encode_abs(ctx: &Ctx, abs: &Abs) -> Vec<u8> {
-    let mut enc = Encoder::new(ctx);
+    encode_abs_inner(ctx, abs, true)
+}
+
+/// Encode a procedure into the legacy flat PTML1 format (no back
+/// references; every subtree emitted in full). Kept for compatibility
+/// tests and for producing blobs older readers understand.
+pub fn encode_abs_flat(ctx: &Ctx, abs: &Abs) -> Vec<u8> {
+    encode_abs_inner(ctx, abs, false)
+}
+
+fn encode_abs_inner(ctx: &Ctx, abs: &Abs, share: bool) -> Vec<u8> {
+    let mut enc = Encoder::new(ctx, share);
     // Register free variables first so their order is the stable R-value
-    // binding order, then the binders in traversal order.
-    let free = free_vars_abs(abs);
-    for &v in &free {
+    // binding order, then the binders in traversal order. The cached
+    // summary already holds the sorted free set — no tree walk needed.
+    let free = abs.free_vars();
+    for &v in free {
         enc.var_index(v);
     }
     let free_count = free.len();
     enc.collect_binders(abs);
 
     let mut body = Vec::new();
-    enc.put_value_payload(&mut body, &Value::Abs(Box::new(abs.clone())));
+    enc.put_abs_raw(&mut body, abs);
+
+    if tml_trace::enabled() && share {
+        tml_trace::count("store.ptml.share.backrefs", enc.backrefs);
+        tml_trace::count("store.ptml.share.saved_bytes", enc.saved_bytes);
+    }
 
     // Assemble: header, prim table, var table, free list, body.
     let mut out = Vec::with_capacity(body.len() + 64);
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(if share { MAGIC_V2 } else { MAGIC_V1 });
     put_u64(&mut out, enc.prims.len() as u64);
     for name in &enc.prims {
         put_str(&mut out, name);
@@ -82,15 +121,10 @@ pub fn encode_abs(ctx: &Ctx, abs: &Abs) -> Vec<u8> {
 }
 
 /// Encode a whole program (application) into PTML bytes by wrapping it in a
-/// parameterless abstraction.
+/// parameterless abstraction. The wrap is cheap: cloning an [`App`] only
+/// bumps the reference counts of its immediate children.
 pub fn encode_app(ctx: &Ctx, app: &App) -> Vec<u8> {
-    encode_abs(
-        ctx,
-        &Abs {
-            params: Vec::new(),
-            body: app.clone(),
-        },
-    )
+    encode_abs(ctx, &Abs::new(Vec::new(), app.clone()))
 }
 
 /// Decode PTML bytes back into a TML abstraction. Fresh variables are
@@ -98,7 +132,8 @@ pub fn encode_app(ctx: &Ctx, app: &App) -> Vec<u8> {
 /// and its free variables `(name, var)` in R-value binding order.
 pub fn decode_abs(ctx: &mut Ctx, bytes: &[u8]) -> Result<(Abs, Vec<(String, VarId)>), DecodeError> {
     let mut r = Reader::new(bytes);
-    if r.bytes(MAGIC.len())? != MAGIC {
+    let magic = r.bytes(MAGIC_V1.len())?;
+    if magic != MAGIC_V1 && magic != MAGIC_V2 {
         return Err(DecodeError::BadMagic);
     }
     // Prim table.
@@ -134,13 +169,17 @@ pub fn decode_abs(ctx: &mut Ctx, bytes: &[u8]) -> Result<(Abs, Vec<(String, VarI
         free.push((base.clone(), *v));
     }
     // Body value (must be an abstraction).
-    let dec = Decoder { prims, vars };
+    let mut dec = Decoder {
+        prims,
+        vars,
+        slots: Vec::new(),
+    };
     let val = dec.value(&mut r)?;
     if !r.is_at_end() {
         return Err(DecodeError::Truncated);
     }
     match val {
-        Value::Abs(a) => Ok((*a, free)),
+        Value::Abs(a) => Ok((Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()), free)),
         _ => Err(DecodeError::BadTag(TAG_ABS)),
     }
 }
@@ -157,7 +196,8 @@ pub fn decode_app(ctx: &mut Ctx, bytes: &[u8]) -> Result<(App, Vec<(String, VarI
 /// their targets alive.
 pub fn scan_oids(bytes: &[u8]) -> Result<Vec<Oid>, DecodeError> {
     let mut r = Reader::new(bytes);
-    if r.bytes(MAGIC.len())? != MAGIC {
+    let magic = r.bytes(MAGIC_V1.len())?;
+    if magic != MAGIC_V1 && magic != MAGIC_V2 {
         return Err(DecodeError::BadMagic);
     }
     let mut oids = Vec::new();
@@ -207,6 +247,11 @@ fn scan_value(r: &mut Reader<'_>, oids: &mut Vec<Oid>) -> Result<(), DecodeError
             }
             scan_app(r, oids)?;
         }
+        TAG_BACKREF => {
+            // The referenced subtree was already scanned where it was
+            // first emitted; the GC only needs set membership.
+            r.u64()?;
+        }
         t => return Err(DecodeError::BadTag(t)),
     }
     Ok(())
@@ -227,16 +272,39 @@ struct Encoder<'a> {
     prim_ix: HashMap<PrimId, u64>,
     vars: Vec<VarId>,
     var_ix: HashMap<VarId, u64>,
+    /// Share-aware (PTML2) mode.
+    share: bool,
+    /// Abs sequence counter (pre-order emission order).
+    next_seq: u64,
+    /// Emitted byte length per sequence number (filled at completion),
+    /// for the saved-bytes accounting.
+    seq_len: Vec<usize>,
+    /// Already-emitted abstractions by pointer. The `Arc` clones in
+    /// `content` keep every registered allocation alive, so a raw address
+    /// can never be reused by a different node while encoding.
+    ptr_seq: HashMap<usize, u64>,
+    /// Already-emitted abstractions by structural hash, for content dedup
+    /// (deep equality verified on candidate hit).
+    content: HashMap<u64, Vec<(u64, Arc<Abs>)>>,
+    backrefs: u64,
+    saved_bytes: u64,
 }
 
 impl<'a> Encoder<'a> {
-    fn new(ctx: &'a Ctx) -> Self {
+    fn new(ctx: &'a Ctx, share: bool) -> Self {
         Encoder {
             ctx,
             prims: Vec::new(),
             prim_ix: HashMap::new(),
             vars: Vec::new(),
             var_ix: HashMap::new(),
+            share,
+            next_seq: 0,
+            seq_len: Vec::new(),
+            ptr_seq: HashMap::new(),
+            content: HashMap::new(),
+            backrefs: 0,
+            saved_bytes: 0,
         }
     }
 
@@ -326,16 +394,63 @@ impl<'a> Encoder<'a> {
                 let i = self.prim_index(*p);
                 put_u64(out, i);
             }
-            Value::Abs(a) => {
-                out.push(TAG_ABS);
-                put_u64(out, a.params.len() as u64);
-                for &p in &a.params {
-                    let i = self.var_index(p);
-                    put_u64(out, i);
-                }
-                self.put_app(out, &a.body);
+            Value::Abs(a) => self.put_abs_value(out, a),
+        }
+    }
+
+    /// Emit an abstraction reached through its shared handle: a back
+    /// reference when the node (by pointer, then by content) was already
+    /// emitted, the full subtree otherwise.
+    fn put_abs_value(&mut self, out: &mut Vec<u8>, a: &Arc<Abs>) {
+        if !self.share {
+            self.put_abs_raw(out, a);
+            return;
+        }
+        let key = Arc::as_ptr(a) as usize;
+        if let Some(&seq) = self.ptr_seq.get(&key) {
+            self.put_backref(out, seq);
+            return;
+        }
+        let h = a.struct_hash();
+        if let Some(cands) = self.content.get(&h) {
+            if let Some(&(seq, _)) = cands.iter().find(|(_, c)| **c == **a) {
+                self.ptr_seq.insert(key, seq);
+                self.put_backref(out, seq);
+                return;
             }
         }
+        // First emission: register before descending so the sequence
+        // numbering is pre-order (matching the decoder's slot order).
+        let seq = self.put_abs_raw(out, a);
+        self.ptr_seq.insert(key, seq);
+        self.content.entry(h).or_default().push((seq, a.clone()));
+    }
+
+    /// Emit an abstraction subtree in full, assigning it the next sequence
+    /// number. Returns the assigned sequence number.
+    fn put_abs_raw(&mut self, out: &mut Vec<u8>, a: &Abs) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.seq_len.push(0);
+        let start = out.len();
+        out.push(TAG_ABS);
+        put_u64(out, a.params.len() as u64);
+        for &p in &a.params {
+            let i = self.var_index(p);
+            put_u64(out, i);
+        }
+        self.put_app(out, &a.body);
+        self.seq_len[seq as usize] = out.len() - start;
+        seq
+    }
+
+    fn put_backref(&mut self, out: &mut Vec<u8>, seq: u64) {
+        let start = out.len();
+        out.push(TAG_BACKREF);
+        put_u64(out, seq);
+        self.backrefs += 1;
+        let full = self.seq_len[seq as usize];
+        self.saved_bytes += full.saturating_sub(out.len() - start) as u64;
     }
 
     fn put_app(&mut self, out: &mut Vec<u8>, app: &App) {
@@ -350,10 +465,15 @@ impl<'a> Encoder<'a> {
 struct Decoder {
     prims: Vec<PrimId>,
     vars: Vec<(String, VarId)>,
+    /// One slot per decoded abstraction, in pre-order (matching the
+    /// encoder's sequence numbering). A slot is reserved (`None`) when its
+    /// `TAG_ABS` is first read and filled once the subtree completes, so a
+    /// back-reference to a still-open ancestor is detectable as corrupt.
+    slots: Vec<Option<Arc<Abs>>>,
 }
 
 impl Decoder {
-    fn value(&self, r: &mut Reader<'_>) -> Result<Value, DecodeError> {
+    fn value(&mut self, r: &mut Reader<'_>) -> Result<Value, DecodeError> {
         Ok(match r.byte()? {
             TAG_UNIT => Value::Lit(Lit::Unit),
             TAG_BOOL => Value::Lit(Lit::Bool(r.byte()? != 0)),
@@ -376,6 +496,8 @@ impl Decoder {
                 Value::Prim(*p)
             }
             TAG_ABS => {
+                let slot = self.slots.len();
+                self.slots.push(None);
                 let nparams = r.len()?;
                 let mut params = Vec::with_capacity(nparams);
                 for _ in 0..nparams {
@@ -384,13 +506,24 @@ impl Decoder {
                     params.push(*v);
                 }
                 let body = self.app(r)?;
-                Value::Abs(Box::new(Abs { params, body }))
+                let arc = Arc::new(Abs::new(params, body));
+                self.slots[slot] = Some(arc.clone());
+                Value::Abs(arc)
+            }
+            TAG_BACKREF => {
+                let i = r.len()?;
+                let arc = self
+                    .slots
+                    .get(i)
+                    .and_then(|s| s.clone())
+                    .ok_or(DecodeError::BadIndex(i as u64))?;
+                Value::Abs(arc)
             }
             t => return Err(DecodeError::BadTag(t)),
         })
     }
 
-    fn app(&self, r: &mut Reader<'_>) -> Result<App, DecodeError> {
+    fn app(&mut self, r: &mut Reader<'_>) -> Result<App, DecodeError> {
         let func = self.value(r)?;
         let argc = r.len()?;
         let mut args = Vec::with_capacity(argc.min(1024));

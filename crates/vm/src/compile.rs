@@ -1075,10 +1075,7 @@ mod tests {
         let mut ctx = Ctx::new();
         let parsed = parse_app(&mut ctx, src).unwrap();
         let mut code = CodeTable::new();
-        let abs = Abs {
-            params: vec![],
-            body: parsed.app,
-        };
+        let abs = Abs::new(vec![], parsed.app);
         let block = Compiler::new(&ctx, &mut code).compile_proc(&abs)?.block;
         Ok((code, block))
     }
@@ -1095,10 +1092,7 @@ mod tests {
               (== 1 t 2 cont()(halt 1) cont()(halt 2) cont()(halt t))) \
             proc(x ce cc) (* x 2 ce cc))";
         let parsed = parse_app(&mut ctx, src).unwrap();
-        let abs = Abs {
-            params: Vec::new(),
-            body: parsed.app,
-        };
+        let abs = Abs::new(Vec::new(), parsed.app);
         let bytes = encode_abs(&ctx, &abs);
         let try_compile = |blob: &[u8]| {
             let mut ctx2 = Ctx::new();
@@ -1216,10 +1210,7 @@ mod tests {
         let mut ctx = Ctx::new();
         let parsed = parse_app(&mut ctx, "(halt outer)").unwrap();
         let mut code = CodeTable::new();
-        let abs = Abs {
-            params: vec![],
-            body: parsed.app,
-        };
+        let abs = Abs::new(vec![], parsed.app);
         let compiled = Compiler::new(&ctx, &mut code).compile_proc(&abs).unwrap();
         assert_eq!(compiled.captures.len(), 1);
         assert_eq!(ctx.names.display(compiled.captures[0]), "outer_0");

@@ -64,10 +64,7 @@ impl Vm {
 
     /// Compile a closed program (top-level application) to a code block.
     pub fn compile_program(&mut self, ctx: &Ctx, app: &App) -> Result<u32, CompileError> {
-        let abs = Abs {
-            params: Vec::new(),
-            body: app.clone(),
-        };
+        let abs = Abs::new(Vec::new(), app.clone());
         let compiled = Compiler::new(ctx, &mut self.code).compile_proc(&abs)?;
         if let Some(free) = compiled.captures.first() {
             return Err(CompileError::OpenProgram(ctx.names.display(*free)));

@@ -9,6 +9,7 @@
 //! tmlc info <image.tys> [--json]                             inspect a store image
 //! tmlc profile <input> <mod.fn> [--arg N]... [--json]        run under the tracer
 //! tmlc explain <input> <mod.fn> [--json] [--verify]          optimizer provenance log
+//! tmlc opt <input> [--jobs N] [options]                      whole-world optimization report
 //!
 //! `profile` and `explain` accept either a TL source file or a persisted
 //! `.tys` image (whose PTML closures are relinked on load).
@@ -17,6 +18,8 @@
 //!   --mode library|direct     operator lowering (default library)
 //!   --opt none|local          static optimization (default none)
 //!   --dynamic                 whole-world reflective optimization before running
+//!   --jobs N                  worker threads for whole-world optimization (default 1;
+//!                             results are identical for every N)
 //!   --stats                   print machine counters
 //!   --json                    emit the trace JSON schema instead of text
 //!   --top N                   rows per profile table (default 10)
@@ -43,6 +46,7 @@ struct Options {
     stats: bool,
     json: bool,
     verify: bool,
+    jobs: u32,
     top: usize,
     entry: Option<String>,
     args: Vec<i64>,
@@ -61,6 +65,7 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
         stats: false,
         json: false,
         verify: false,
+        jobs: 1,
         top: 10,
         entry: None,
         args: Vec::new(),
@@ -93,6 +98,10 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
                 let v = it.next().ok_or("--top needs a value")?;
                 o.top = v.parse().map_err(|e| format!("bad --top: {e}"))?;
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                o.jobs = v.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+            }
             "--entry" => o.entry = Some(it.next().ok_or("--entry needs a value")?),
             "--fn" => o.target_fn = Some(it.next().ok_or("--fn needs a value")?),
             "-o" | "--output" => o.output = Some(it.next().ok_or("-o needs a value")?),
@@ -108,6 +117,13 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
     Ok((command, o))
 }
 
+fn reflect_options(o: &Options) -> ReflectOptions {
+    ReflectOptions {
+        jobs: o.jobs,
+        ..Default::default()
+    }
+}
+
 fn build_session(o: &Options, src: &str) -> Result<Session, String> {
     let mut s = Session::new(SessionConfig {
         lower: o.mode,
@@ -117,7 +133,7 @@ fn build_session(o: &Options, src: &str) -> Result<Session, String> {
     .map_err(|e| e.to_string())?;
     s.load_str(src).map_err(|e| e.to_string())?;
     if o.dynamic {
-        optimize_all(&mut s, &ReflectOptions::default()).map_err(|e| e.to_string())?;
+        optimize_all(&mut s, &reflect_options(o)).map_err(|e| e.to_string())?;
     }
     Ok(s)
 }
@@ -140,7 +156,7 @@ fn load_input(o: &Options) -> Result<Session, String> {
         tycoon::query::install(&mut s.ctx, &mut s.vm);
         relink_image_code(&mut s).map_err(|e| e.to_string())?;
         if o.dynamic {
-            optimize_all(&mut s, &ReflectOptions::default()).map_err(|e| e.to_string())?;
+            optimize_all(&mut s, &reflect_options(o)).map_err(|e| e.to_string())?;
         }
         Ok(s)
     } else {
@@ -161,6 +177,25 @@ fn guess_entry(s: &Session, o: &Options) -> Result<String, String> {
         .find(|m| s.global(&format!("{m}.main")).is_some())
         .ok_or("no entry point; pass --entry mod.fn")?;
     Ok(format!("{last}.main"))
+}
+
+/// `tmlc opt <input> [--jobs N]`: run whole-world reflective optimization
+/// over a TL source file or a `.tys` image and report what it did. The
+/// report is identical for every `--jobs` value; higher values only spread
+/// the decode → optimize → encode work over threads.
+fn cmd_opt(o: &Options) -> Result<(), String> {
+    let mut s = load_input(o)?;
+    let report = optimize_all(&mut s, &reflect_options(o)).map_err(|e| e.to_string())?;
+    println!(
+        "optimized {} function(s) with {} job(s): size {} -> {} nodes, {} call site(s) inlined, {} reduction(s)",
+        report.functions,
+        o.jobs.max(1),
+        report.size_before,
+        report.size_after,
+        report.inlined,
+        report.reductions
+    );
+    Ok(())
 }
 
 fn cmd_run(o: &Options) -> Result<(), String> {
@@ -500,7 +535,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!(
-                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|explain ..."
+                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|explain|opt ..."
             );
             return ExitCode::FAILURE;
         }
@@ -514,6 +549,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&options),
         "profile" => cmd_profile(&options),
         "explain" => cmd_explain(&options),
+        "opt" => cmd_opt(&options),
         other => Err(format!("unknown command {other}")),
     };
     match result {

@@ -282,3 +282,26 @@ fn missing_entry_reports_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no entry point"));
 }
+
+#[test]
+fn opt_reports_identical_work_for_any_jobs() {
+    let run = |jobs: &str| -> String {
+        let out = tmlc()
+            .args(["opt"])
+            .arg(demo_file())
+            .args(["--jobs", jobs])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).trim().to_string()
+    };
+    let seq = run("1");
+    assert!(seq.contains("optimized"), "{seq}");
+    // Everything after the job count must agree between widths.
+    let tail = |s: &str| s.split("job(s):").nth(1).unwrap().to_string();
+    assert_eq!(tail(&seq), tail(&run("4")), "parallel report diverged");
+}

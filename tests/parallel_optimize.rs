@@ -1,0 +1,87 @@
+//! Determinism of parallel whole-world optimization: `optimize_all` with
+//! `jobs ≥ 2` must be observably identical to a sequential run on the
+//! Stanford suite — byte-identical PTML in the store, identical rule
+//! statistics, identical checksums. This is the acceptance gate for the
+//! work-queue fan-out in `tml-reflect`.
+
+use tycoon::lang::stanford::suite;
+use tycoon::lang::{Session, SessionConfig};
+use tycoon::reflect::{optimize_all, OptimizeAllReport, ReflectOptions};
+use tycoon::store::Object;
+use tycoon::vm::RVal;
+
+/// Report, PTML blobs in OID order, per-program checksums.
+type World = (OptimizeAllReport, Vec<(u64, Vec<u8>)>, Vec<i64>);
+
+/// Load every Stanford program into one session, optimize the world with
+/// `jobs` workers, and return the report, every PTML blob in the store (in
+/// OID order) and the per-program checksums.
+fn optimized_world(jobs: u32) -> World {
+    let mut s = Session::new(SessionConfig::default()).unwrap();
+    for p in suite() {
+        s.load_str(p.src).unwrap();
+    }
+    let report = optimize_all(
+        &mut s,
+        &ReflectOptions {
+            jobs,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut blobs = Vec::new();
+    for (oid, obj) in s.store.iter() {
+        if let Object::Ptml(b) = obj {
+            blobs.push((oid.0, b.clone()));
+        }
+    }
+    let mut checksums = Vec::new();
+    for p in suite() {
+        let out = s.call(p.entry, vec![RVal::Int(p.test_n)]).unwrap();
+        match out.result {
+            RVal::Int(v) => checksums.push(v),
+            other => panic!("{}: non-integer checksum {other:?}", p.name),
+        }
+    }
+    (report, blobs, checksums)
+}
+
+#[test]
+fn parallel_optimize_all_matches_sequential_byte_for_byte() {
+    let (seq_report, seq_blobs, seq_sums) = optimized_world(1);
+    assert!(seq_report.functions > 1, "suite must exercise the fan-out");
+    for jobs in [2, 4] {
+        let (report, blobs, sums) = optimized_world(jobs);
+        assert_eq!(
+            seq_blobs, blobs,
+            "jobs={jobs}: PTML store contents diverged from sequential"
+        );
+        assert_eq!(seq_report.functions, report.functions, "jobs={jobs}");
+        assert_eq!(seq_report.size_before, report.size_before, "jobs={jobs}");
+        assert_eq!(seq_report.size_after, report.size_after, "jobs={jobs}");
+        assert_eq!(seq_report.inlined, report.inlined, "jobs={jobs}");
+        assert_eq!(seq_report.reductions, report.reductions, "jobs={jobs}");
+        assert_eq!(seq_sums, sums, "jobs={jobs}: checksums diverged");
+    }
+}
+
+#[test]
+fn parallel_optimize_all_preserves_golden_checksums() {
+    let (_, _, sums) = optimized_world(4);
+    for (p, got) in suite().iter().zip(&sums) {
+        // Programs with a -1 sentinel compute their golden value at
+        // runtime; those are covered by the sequential-vs-parallel
+        // checksum comparison above.
+        if p.test_expected >= 0 {
+            assert_eq!(*got, p.test_expected, "{} under jobs=4", p.name);
+        }
+    }
+}
+
+#[test]
+fn zero_jobs_is_sequential_not_a_hang() {
+    // jobs: 0 and 1 both mean "no workers"; the knob is a width, not an
+    // on/off switch, and 0 must not spawn an empty scope that deadlocks.
+    let (report, _, _) = optimized_world(0);
+    assert!(report.functions > 0);
+}
