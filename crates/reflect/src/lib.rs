@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use tml_core::subst::subst_many;
@@ -50,6 +51,24 @@ use tml_vm::{codec, Vm};
 /// of rewrites applied. `tml-query` provides one via
 /// `reflect_options_with_queries`.
 pub type ExtraRewriter = fn(&mut Ctx, &Store, &mut App) -> u64;
+
+/// What [`optimize_all`] does when optimizing a *single* target fails —
+/// its PTML fails to decode, the optimizer panics, or the fuel budget runs
+/// out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnError {
+    /// Degraded mode (the default): log a structured
+    /// [`tml_trace::Event::DegradedSkip`], keep the unoptimized closure,
+    /// and commit the rest of the world exactly as if the failed target had
+    /// not been selected. One bad function never blocks whole-world
+    /// optimization.
+    #[default]
+    Skip,
+    /// Propagate the first failure (panics resume unwinding). Single-value
+    /// entry points ([`optimize_value`], [`optimize_named`]) always behave
+    /// this way — the caller asked for that specific value.
+    Abort,
+}
 
 /// Options for reflective optimization.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +94,18 @@ pub struct ReflectOptions {
     /// produced PTML bytes and rule statistics are identical to a
     /// sequential run (see DESIGN.md on determinism).
     pub jobs: u32,
+    /// Upper bound on optimizer work per target, measured in rewrite steps
+    /// (rule firings + inlinings + query rewrites). The figure-4
+    /// alternation loop is cut off as soon as the budget is exceeded, and a
+    /// target whose optimization ran past the budget is not committed: in
+    /// degraded mode it is skipped (reason `fuel`), otherwise
+    /// [`ReflectError::Fuel`] is returned. `None` (the default) means
+    /// unlimited. The budget participates in the cache key: a product
+    /// compiled under a large budget is never served to a run whose budget
+    /// could not have produced it.
+    pub fuel: Option<u64>,
+    /// Per-target failure policy for [`optimize_all`]; see [`OnError`].
+    pub on_error: OnError,
 }
 
 impl Default for ReflectOptions {
@@ -85,6 +116,8 @@ impl Default for ReflectOptions {
             query_rewriter: None,
             use_cache: true,
             jobs: 1,
+            fuel: None,
+            on_error: OnError::default(),
         }
     }
 }
@@ -104,6 +137,17 @@ pub enum ReflectError {
     Unresolved(String),
     /// A store access failed.
     Store(String),
+    /// The per-target fuel budget was exceeded before optimization
+    /// converged (a diverging or runaway rewriter).
+    Fuel {
+        /// Rewrite steps spent when the budget check fired.
+        spent: u64,
+        /// The configured [`ReflectOptions::fuel`] budget.
+        budget: u64,
+    },
+    /// Optimization of the target panicked (caught on a worker thread; the
+    /// payload's display form is preserved).
+    Panicked(String),
 }
 
 impl std::fmt::Display for ReflectError {
@@ -115,6 +159,13 @@ impl std::fmt::Display for ReflectError {
             ReflectError::Compile(m) => write!(f, "recompilation failed: {m}"),
             ReflectError::Unresolved(n) => write!(f, "unresolved residual binding {n}"),
             ReflectError::Store(m) => write!(f, "store error: {m}"),
+            ReflectError::Fuel { spent, budget } => {
+                write!(
+                    f,
+                    "optimization fuel exhausted: {spent} steps > budget {budget}"
+                )
+            }
+            ReflectError::Panicked(m) => write!(f, "optimization panicked: {m}"),
         }
     }
 }
@@ -136,6 +187,10 @@ pub struct OptimizeAllReport {
     /// [`OptStats`]); cache hits restore sizes but not rule counts, so this
     /// only reflects functions actually re-optimized this run.
     pub reductions: u64,
+    /// Targets skipped in degraded mode ([`OnError::Skip`]): their
+    /// optimization panicked, exhausted its fuel budget, or their PTML was
+    /// corrupt. The unoptimized closures remain live and unchanged.
+    pub skipped: usize,
 }
 
 /// Reconstruct, from PTML and R-value bindings, the TML term of the paper's
@@ -341,8 +396,54 @@ fn options_fingerprint(options: &ReflectOptions) -> u64 {
         .write_u64(o.penalty_limit)
         .write_u64(u64::from(o.max_rounds))
         .write_u64(rule_bits)
-        .write_u64(u64::from(options.query_rewriter.is_some()));
+        .write_u64(u64::from(options.query_rewriter.is_some()))
+        .write_u64(u64::from(options.fuel.is_some()))
+        .write_u64(options.fuel.unwrap_or(0));
     h.finish()
+}
+
+/// Map a per-target failure to the closed `DegradedSkip` reason vocabulary.
+fn skip_reason(err: &ReflectError) -> &'static str {
+    match err {
+        ReflectError::Panicked(_) => "panic",
+        ReflectError::Fuel { .. } => "fuel",
+        _ => "decode",
+    }
+}
+
+/// Render a caught panic payload for the trace log.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Record one degraded-mode skip: a `reflect.degraded` counter bump plus a
+/// structured [`tml_trace::Event::DegradedSkip`] carrying the failure
+/// classification and (truncated) detail.
+fn record_skip(name: Option<&str>, oid: Oid, err: &ReflectError) {
+    if !tml_trace::enabled() {
+        return;
+    }
+    let mut detail = err.to_string();
+    if detail.len() > 200 {
+        let mut cut = 200;
+        while !detail.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        detail.truncate(cut);
+    }
+    tml_trace::count("reflect.degraded", 1);
+    tml_trace::record(tml_trace::Event::DegradedSkip {
+        function: name.unwrap_or("<anonymous>").to_string(),
+        oid: oid.0,
+        reason: skip_reason(err),
+        detail,
+    });
 }
 
 /// When a query rewriter participates, the store's index structures are an
@@ -466,25 +567,38 @@ fn run_optimizer(
     abs: Abs,
     options: &ReflectOptions,
     sink: &mut Sink,
-) -> (Abs, OptStats) {
+) -> Result<(Abs, OptStats), ReflectError> {
+    let budget = options.fuel.unwrap_or(u64::MAX);
     match options.query_rewriter {
-        None => optimize_abs_traced(ctx, abs, &options.opt, sink),
+        None => {
+            let (a, s) = optimize_abs_traced(ctx, abs, &options.opt, sink);
+            let spent = s.total_reductions() + s.inlined;
+            if spent > budget {
+                return Err(ReflectError::Fuel { spent, budget });
+            }
+            Ok((a, s))
+        }
         Some(rewrite) => {
             let mut abs = abs;
             let mut last;
             let mut rounds = 0;
+            let mut spent: u64 = 0;
             loop {
                 let rewrites = rewrite(ctx, store, &mut abs.body);
                 let (a2, s2) = optimize_abs_traced(ctx, abs, &options.opt, sink);
                 abs = a2;
                 let quiescent = s2.total_reductions() == 0 && s2.inlined == 0;
+                spent += rewrites + s2.total_reductions() + s2.inlined;
+                if spent > budget {
+                    return Err(ReflectError::Fuel { spent, budget });
+                }
                 last = s2;
                 rounds += 1;
                 if rounds >= 8 || (rewrites == 0 && quiescent) {
                     break;
                 }
             }
-            (abs, last)
+            Ok((abs, last))
         }
     }
 }
@@ -501,6 +615,17 @@ fn prepare(
     options: &ReflectOptions,
     buffer_events: bool,
 ) -> Result<Prepared, ReflectError> {
+    // Deterministic fault injection for the degraded-mode tests: arming
+    // `reflect.prepare` keyed by a target's OID makes exactly that target
+    // fail (or panic, under `Action::Panic`) in both sequential and
+    // parallel runs.
+    if tml_store::failpoint::armed()
+        && tml_store::failpoint::check("reflect.prepare", oid.0).is_some()
+    {
+        return Err(ReflectError::BadPtml(format!(
+            "failpoint reflect.prepare: injected failure for {oid}"
+        )));
+    }
     let (abs, residuals, residual_values, deps) = {
         let mut tb = TermBuilder::new(ctx, store);
         let abs = tb.build(oid, options.inline_depth)?;
@@ -510,9 +635,9 @@ fn prepare(
     let (optimized, stats) = if buffer_events && tml_trace::enabled() {
         let mut push = |e: &Event| events.push(e.clone());
         let mut sink = Sink::collect(&mut push);
-        run_optimizer(ctx, store, abs, options, &mut sink)
+        run_optimizer(ctx, store, abs, options, &mut sink)?
     } else {
-        run_optimizer(ctx, store, abs, options, &mut Sink::global())
+        run_optimizer(ctx, store, abs, options, &mut Sink::global())?
     };
     let bytes = encode_abs(ctx, &optimized);
     Ok(Prepared {
@@ -650,6 +775,33 @@ fn rebuild(
     )
 }
 
+/// One [`optimize_all`] target under the failure policy: `Ok(Some)` on
+/// success, `Ok(None)` when the target was skipped in degraded mode (the
+/// skip has been recorded), `Err` only under [`OnError::Abort`]. Panics
+/// during the rebuild are caught and classified in degraded mode; with
+/// `Abort` they unwind as before.
+fn rebuild_or_skip(
+    session: &mut Session,
+    oid: Oid,
+    name: Option<String>,
+    options: &ReflectOptions,
+) -> Result<Option<Rebuilt>, ReflectError> {
+    if options.on_error == OnError::Abort {
+        return rebuild(session, oid, name, options).map(Some);
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        rebuild(session, oid, name.clone(), options)
+    }))
+    .unwrap_or_else(|payload| Err(ReflectError::Panicked(panic_detail(payload))));
+    match outcome {
+        Ok(r) => Ok(Some(r)),
+        Err(e) => {
+            record_skip(name.as_deref(), oid, &e);
+            Ok(None)
+        }
+    }
+}
+
 /// The work-queue fan-out behind [`optimize_all`] with `jobs ≥ 2`.
 ///
 /// Three phases:
@@ -671,7 +823,7 @@ fn rebuild_parallel(
     targets: &[Oid],
     global_names: &HashMap<Oid, String>,
     options: &ReflectOptions,
-) -> Result<Vec<Rebuilt>, ReflectError> {
+) -> Result<(Vec<Rebuilt>, usize), ReflectError> {
     struct Unit {
         oid: Oid,
         name: Option<String>,
@@ -702,6 +854,7 @@ fn rebuild_parallel(
         });
     }
 
+    let degraded = options.on_error == OnError::Skip;
     let todo: Vec<(usize, Oid)> = units
         .iter()
         .enumerate()
@@ -724,7 +877,20 @@ fn rebuild_parallel(
                         break;
                     };
                     let mut ctx = base_ctx.clone();
-                    let r = prepare(&mut ctx, store, oid, options, true).map(|mut p| {
+                    // In degraded mode a panicking target must not take the
+                    // worker (and with it the whole pass) down: catch it
+                    // here and let the in-order merge record the skip.
+                    let r = if degraded {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            prepare(&mut ctx, store, oid, options, true)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(ReflectError::Panicked(panic_detail(payload)))
+                        })
+                    } else {
+                        prepare(&mut ctx, store, oid, options, true)
+                    }
+                    .map(|mut p| {
                         p.ctx = Some(ctx);
                         p
                     });
@@ -741,8 +907,12 @@ fn rebuild_parallel(
     // `rebuild` — real (stats-counted) cache consult, then finish — except
     // that predicted-miss units use the result prepared off-thread. A
     // predicted hit that misses after all (entry undecodable, or the
-    // earlier same-key unit failed to insert) is recomputed inline.
+    // earlier same-key unit failed to insert) is recomputed inline. In
+    // degraded mode a failed unit becomes a recorded skip at exactly the
+    // point a sequential run would record it, so VM/store mutation order —
+    // and therefore the committed image — is identical for any job count.
     let mut out = Vec::with_capacity(units.len());
+    let mut skipped = 0usize;
     for (i, unit) in units.into_iter().enumerate() {
         let Unit {
             oid,
@@ -762,28 +932,45 @@ fn rebuild_parallel(
             oid,
             if options.use_cache { "miss" } else { "bypass" },
         );
-        let p = match prepared[i].take() {
-            Some(r) => r?,
-            None => {
-                debug_assert!(expect_hit, "only predicted hits lack a prepared result");
-                prepare(&mut session.ctx, &session.store, oid, options, false)?
-            }
+        let slot = prepared[i].take();
+        let merge = |session: &mut Session| -> Result<Rebuilt, ReflectError> {
+            let p = match slot {
+                Some(r) => r?,
+                None => {
+                    debug_assert!(expect_hit, "only predicted hits lack a prepared result");
+                    prepare(&mut session.ctx, &session.store, oid, options, false)?
+                }
+            };
+            finish(
+                &mut session.store,
+                &mut session.vm,
+                &session.ctx,
+                Target {
+                    oid,
+                    name: name.clone(),
+                    key,
+                    key_deps,
+                },
+                options.use_cache,
+                p,
+            )
         };
-        out.push(finish(
-            &mut session.store,
-            &mut session.vm,
-            &session.ctx,
-            Target {
-                oid,
-                name,
-                key,
-                key_deps,
-            },
-            options.use_cache,
-            p,
-        )?);
+        let outcome = if degraded {
+            catch_unwind(AssertUnwindSafe(|| merge(session)))
+                .unwrap_or_else(|payload| Err(ReflectError::Panicked(panic_detail(payload))))
+        } else {
+            merge(session)
+        };
+        match outcome {
+            Ok(r) => out.push(r),
+            Err(e) if degraded => {
+                record_skip(name.as_deref(), oid, &e);
+                skipped += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
-    Ok(out)
+    Ok((out, skipped))
 }
 
 fn finish_closure(
@@ -882,21 +1069,23 @@ pub fn optimize_all(
     // determinism contract should not depend on that detail.
     targets.sort_unstable_by_key(|o| o.0);
 
-    let rebuilt = if options.jobs >= 2 {
+    let (rebuilt, skipped) = if options.jobs >= 2 {
         rebuild_parallel(session, &targets, &global_names, options)?
     } else {
         let mut out = Vec::with_capacity(targets.len());
+        let mut skipped = 0usize;
         for &oid in &targets {
-            out.push(rebuild(
-                session,
-                oid,
-                global_names.get(&oid).cloned(),
-                options,
-            )?);
+            match rebuild_or_skip(session, oid, global_names.get(&oid).cloned(), options)? {
+                Some(r) => out.push(r),
+                None => skipped += 1,
+            }
         }
-        out
+        (out, skipped)
     };
-    let mut report = OptimizeAllReport::default();
+    let mut report = OptimizeAllReport {
+        skipped,
+        ..OptimizeAllReport::default()
+    };
     for r in &rebuilt {
         report.functions += 1;
         report.size_before += r.stats.size_before;
@@ -1022,16 +1211,36 @@ pub fn session_from_store(store: Store, config: SessionConfig) -> Session {
     }
 }
 
+/// Report from [`relink_image_code`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelinkReport {
+    /// Closures whose code was regenerated from PTML.
+    pub relinked: usize,
+    /// Closures left without executable code because their PTML blob was
+    /// missing or corrupt (or a persisted binding could not be resolved).
+    /// Each is marked with the persistent attribute `degraded = 1` and
+    /// reported via [`tml_trace::Event::DegradedSkip`]; calling such a
+    /// closure traps, but the rest of the image loads and runs.
+    pub skipped: usize,
+}
+
 /// Recompile every PTML-carrying closure in the session's store against
 /// the session's (fresh) code table, rebuilding each closure environment
 /// from its persisted R-value bindings. OIDs are stable across snapshots,
 /// so binding values — including mutual references between closures —
 /// remain valid as-is; only the transient code-table indices need
-/// regeneration. Returns the number of closures relinked.
-pub fn relink_image_code(session: &mut Session) -> Result<usize, ReflectError> {
+/// regeneration.
+///
+/// A closure whose PTML is unreadable — the blob object was dropped by
+/// snapshot salvage, or its bytes fail to decode — is *skipped*, not
+/// fatal: it keeps its persisted (stale, now-dangling) code index, gets
+/// the `degraded = 1` attribute, and is counted in
+/// [`RelinkReport::skipped`]. Image boot is thereby total on any store
+/// that [`tml_store::snapshot::load_with_recovery`] can produce.
+pub fn relink_image_code(session: &mut Session) -> Result<RelinkReport, ReflectError> {
     struct Target {
         oid: Oid,
-        bytes: Vec<u8>,
+        bytes: Result<Vec<u8>, ReflectError>,
         old: HashMap<String, SVal>,
     }
     let targets: Vec<Target> = session
@@ -1048,39 +1257,77 @@ pub fn relink_image_code(session: &mut Session) -> Result<usize, ReflectError> {
                 Ok(Object::Ptml(b)) => Ok(b.clone()),
                 Ok(other) => Err(ReflectError::BadPtml(format!("{} object", other.kind()))),
                 Err(e) => Err(ReflectError::Store(e.to_string())),
-            }?;
-            Ok(Target {
+            };
+            Target {
                 oid,
                 bytes,
                 old: bindings.into_iter().collect(),
-            })
+            }
         })
-        .collect::<Result<_, ReflectError>>()?;
+        .collect();
 
-    let mut relinked = 0;
-    for t in &targets {
-        let (abs, frees) = decode_abs(&mut session.ctx, &t.bytes)
-            .map_err(|e| ReflectError::BadPtml(e.to_string()))?;
-        let compiled = session
-            .vm
-            .compile_proc(&session.ctx, &abs)
-            .map_err(|e| ReflectError::Compile(e.to_string()))?;
+    let mut names: HashMap<Oid, String> = HashMap::new();
+    for (name, val) in &session.globals {
+        if let SVal::Ref(o) = val {
+            names.entry(*o).or_insert_with(|| name.clone());
+        }
+    }
+    let mut report = RelinkReport::default();
+    'targets: for t in &targets {
+        let skip = |session: &mut Session, err: ReflectError| {
+            record_skip(names.get(&t.oid).map(String::as_str), t.oid, &err);
+            session.store.set_attr(t.oid, "degraded", 1);
+        };
+        let bytes = match &t.bytes {
+            Ok(b) => b,
+            Err(e) => {
+                let e = e.clone();
+                skip(session, e);
+                report.skipped += 1;
+                continue;
+            }
+        };
+        let decoded =
+            decode_abs(&mut session.ctx, bytes).map_err(|e| ReflectError::BadPtml(e.to_string()));
+        let (abs, frees) = match decoded {
+            Ok(d) => d,
+            Err(e) => {
+                skip(session, e);
+                report.skipped += 1;
+                continue;
+            }
+        };
+        let compiled = match session.vm.compile_proc(&session.ctx, &abs) {
+            Ok(c) => c,
+            Err(e) => {
+                skip(session, ReflectError::Compile(e.to_string()));
+                report.skipped += 1;
+                continue;
+            }
+        };
         let by_var: HashMap<VarId, &str> = frees.iter().map(|(n, v)| (*v, n.as_str())).collect();
         let mut env = Vec::with_capacity(compiled.captures.len());
         let mut bindings = Vec::with_capacity(compiled.captures.len());
         for v in &compiled.captures {
-            let name = by_var.get(v).copied().ok_or_else(|| {
-                ReflectError::Compile(format!(
+            let Some(name) = by_var.get(v).copied() else {
+                let msg = format!(
                     "capture {} is not a recorded binding",
                     session.ctx.names.display(*v)
-                ))
-            })?;
+                );
+                skip(session, ReflectError::Compile(msg));
+                report.skipped += 1;
+                continue 'targets;
+            };
             let val = t
                 .old
                 .get(name)
                 .or_else(|| session.globals.get(name))
-                .cloned()
-                .ok_or_else(|| ReflectError::Unresolved(name.to_string()))?;
+                .cloned();
+            let Some(val) = val else {
+                skip(session, ReflectError::Unresolved(name.to_string()));
+                report.skipped += 1;
+                continue 'targets;
+            };
             env.push(val.clone());
             bindings.push((name.to_string(), val));
         }
@@ -1095,16 +1342,16 @@ pub fn relink_image_code(session: &mut Session) -> Result<usize, ReflectError> {
             }
             _ => unreachable!("targets are closures"),
         }
-        relinked += 1;
+        report.relinked += 1;
     }
     if tml_trace::enabled() {
-        tml_trace::count("reflect.relinked", relinked as u64);
+        tml_trace::count("reflect.relinked", report.relinked as u64);
         tml_trace::record(tml_trace::Event::Relink {
             rebuilt: 0,
-            relinked: relinked as u64,
+            relinked: report.relinked as u64,
         });
     }
-    Ok(relinked)
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -80,6 +80,16 @@ fn mark_object(obj: &Object, pending: &mut Vec<Oid>) {
     }
 }
 
+/// Every OID an object refers to (env/binding/export/row values, PTML
+/// attachments and embedded OID literals, index→relation edges) — the
+/// same edge set the mark phase traverses, exposed for integrity checks
+/// (`tmlc fsck`).
+pub fn object_refs(obj: &Object) -> Vec<Oid> {
+    let mut out = Vec::new();
+    mark_object(obj, &mut out);
+    out
+}
+
 /// Collect garbage. `extra_roots` are additional roots beyond the store's
 /// named roots (e.g. a session's global bindings).
 pub fn collect(store: &mut Store, extra_roots: &[Oid]) -> GcStats {

@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod crc;
+pub mod failpoint;
 pub mod gc;
 pub mod object;
 pub mod ptml;
@@ -34,8 +36,9 @@ pub mod sval;
 pub mod varint;
 
 pub use cache::{CacheEntry, CacheKey, CacheStats, OptCache};
+pub use crc::crc32;
 pub use object::{ClosureObj, ModuleObj, Object, Relation};
-pub use snapshot::{get_sval, put_sval};
+pub use snapshot::{get_sval, put_sval, RecoveryReport, RecoverySource};
 pub use store::{Store, StoreError, StoreStats};
 pub use sval::SVal;
 pub use tml_core::Oid;

@@ -66,10 +66,23 @@ const TAG_PRIM: u8 = 8;
 const TAG_ABS: u8 = 9;
 const TAG_BACKREF: u8 = 10;
 
+/// Maximum abstraction-nesting depth the decoder and scanner accept.
+/// Hostile bytes can otherwise drive the recursive decoder into a stack
+/// overflow, which `catch_unwind` cannot contain. Debug-build frames for
+/// the recursive decode run to several KiB, so the limit is sized with an
+/// ~8x margin against the default 2 MiB worker-thread stack (empirically,
+/// overflow sets in somewhere past depth 256). CPS nesting in the programs
+/// this system compiles stays well below this.
+const MAX_DEPTH: usize = 128;
+
 /// Encode a procedure (abstraction) into share-aware PTML2 bytes: each
 /// distinct shared subtree is emitted once and back-referenced thereafter.
 pub fn encode_abs(ctx: &Ctx, abs: &Abs) -> Vec<u8> {
-    encode_abs_inner(ctx, abs, true)
+    let mut bytes = encode_abs_inner(ctx, abs, true);
+    if crate::failpoint::armed() {
+        crate::failpoint::corrupt("ptml.encode", 0, &mut bytes);
+    }
+    bytes
 }
 
 /// Encode a procedure into the legacy flat PTML1 format (no back
@@ -131,6 +144,19 @@ pub fn encode_app(ctx: &Ctx, app: &App) -> Vec<u8> {
 /// created in `ctx` for every encoded identifier. Returns the abstraction
 /// and its free variables `(name, var)` in R-value binding order.
 pub fn decode_abs(ctx: &mut Ctx, bytes: &[u8]) -> Result<(Abs, Vec<(String, VarId)>), DecodeError> {
+    if crate::failpoint::armed() {
+        let mut owned = bytes.to_vec();
+        if crate::failpoint::corrupt("ptml.decode", 0, &mut owned) {
+            return decode_abs_inner(ctx, &owned);
+        }
+    }
+    decode_abs_inner(ctx, bytes)
+}
+
+fn decode_abs_inner(
+    ctx: &mut Ctx,
+    bytes: &[u8],
+) -> Result<(Abs, Vec<(String, VarId)>), DecodeError> {
     let mut r = Reader::new(bytes);
     let magic = r.bytes(MAGIC_V1.len())?;
     if magic != MAGIC_V1 && magic != MAGIC_V2 {
@@ -173,6 +199,7 @@ pub fn decode_abs(ctx: &mut Ctx, bytes: &[u8]) -> Result<(Abs, Vec<(String, VarI
         prims,
         vars,
         slots: Vec::new(),
+        depth: 0,
     };
     let val = dec.value(&mut r)?;
     if !r.is_at_end() {
@@ -214,14 +241,17 @@ pub fn scan_oids(bytes: &[u8]) -> Result<Vec<Oid>, DecodeError> {
     for _ in 0..nfree {
         r.len()?;
     }
-    scan_value(&mut r, &mut oids)?;
+    scan_value(&mut r, &mut oids, 0)?;
     if !r.is_at_end() {
         return Err(DecodeError::Truncated);
     }
     Ok(oids)
 }
 
-fn scan_value(r: &mut Reader<'_>, oids: &mut Vec<Oid>) -> Result<(), DecodeError> {
+fn scan_value(r: &mut Reader<'_>, oids: &mut Vec<Oid>, depth: usize) -> Result<(), DecodeError> {
+    if depth >= MAX_DEPTH {
+        return Err(DecodeError::TooDeep { limit: MAX_DEPTH });
+    }
     match r.byte()? {
         TAG_UNIT => {}
         TAG_BOOL | TAG_CHAR => {
@@ -245,7 +275,7 @@ fn scan_value(r: &mut Reader<'_>, oids: &mut Vec<Oid>) -> Result<(), DecodeError
             for _ in 0..nparams {
                 r.len()?;
             }
-            scan_app(r, oids)?;
+            scan_app(r, oids, depth + 1)?;
         }
         TAG_BACKREF => {
             // The referenced subtree was already scanned where it was
@@ -257,11 +287,11 @@ fn scan_value(r: &mut Reader<'_>, oids: &mut Vec<Oid>) -> Result<(), DecodeError
     Ok(())
 }
 
-fn scan_app(r: &mut Reader<'_>, oids: &mut Vec<Oid>) -> Result<(), DecodeError> {
-    scan_value(r, oids)?;
+fn scan_app(r: &mut Reader<'_>, oids: &mut Vec<Oid>, depth: usize) -> Result<(), DecodeError> {
+    scan_value(r, oids, depth)?;
     let argc = r.len()?;
     for _ in 0..argc {
-        scan_value(r, oids)?;
+        scan_value(r, oids, depth)?;
     }
     Ok(())
 }
@@ -470,6 +500,9 @@ struct Decoder {
     /// `TAG_ABS` is first read and filled once the subtree completes, so a
     /// back-reference to a still-open ancestor is detectable as corrupt.
     slots: Vec<Option<Arc<Abs>>>,
+    /// Current abstraction-nesting depth, bounded by [`MAX_DEPTH`] so
+    /// hostile bytes cannot overflow the decoder's stack.
+    depth: usize,
 }
 
 impl Decoder {
@@ -479,7 +512,7 @@ impl Decoder {
             TAG_BOOL => Value::Lit(Lit::Bool(r.byte()? != 0)),
             TAG_INT => Value::Lit(Lit::Int(r.i64()?)),
             TAG_REAL => {
-                let raw: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
+                let raw: [u8; 8] = r.bytes(8)?.try_into().map_err(|_| DecodeError::Truncated)?;
                 Value::Lit(Lit::real(f64::from_le_bytes(raw)))
             }
             TAG_CHAR => Value::Lit(Lit::Char(r.byte()?)),
@@ -496,16 +529,21 @@ impl Decoder {
                 Value::Prim(*p)
             }
             TAG_ABS => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(DecodeError::TooDeep { limit: MAX_DEPTH });
+                }
+                self.depth += 1;
                 let slot = self.slots.len();
                 self.slots.push(None);
                 let nparams = r.len()?;
-                let mut params = Vec::with_capacity(nparams);
+                let mut params = Vec::with_capacity(nparams.min(1024));
                 for _ in 0..nparams {
                     let i = r.len()?;
                     let (_, v) = self.vars.get(i).ok_or(DecodeError::BadIndex(i as u64))?;
                     params.push(*v);
                 }
                 let body = self.app(r)?;
+                self.depth -= 1;
                 let arc = Arc::new(Abs::new(params, body));
                 self.slots[slot] = Some(arc.clone());
                 Value::Abs(arc)
@@ -675,6 +713,31 @@ mod tests {
         let mut bytes = encode_app(&ctx, &parsed.app);
         bytes.push(0);
         assert_eq!(decode_app(&mut ctx, &bytes), Err(DecodeError::Truncated));
+    }
+
+    /// A hostile blob nesting abstractions far past any real program must
+    /// hit the depth guard — a typed error, not a decoder stack overflow
+    /// (which no `catch_unwind` could contain).
+    #[test]
+    fn depth_bomb_rejected_not_overflowed() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u64(&mut bytes, 0); // prims
+        put_u64(&mut bytes, 0); // vars
+        put_u64(&mut bytes, 0); // free list
+        for _ in 0..100_000 {
+            bytes.push(TAG_ABS);
+            bytes.push(0); // no params; body's func is the next abs
+        }
+        let mut ctx = Ctx::new();
+        assert_eq!(
+            decode_app(&mut ctx, &bytes),
+            Err(DecodeError::TooDeep { limit: MAX_DEPTH })
+        );
+        assert_eq!(
+            scan_oids(&bytes),
+            Err(DecodeError::TooDeep { limit: MAX_DEPTH })
+        );
     }
 
     /// Exhaustive truncation and bit-flip sweep: the decoder and the GC's

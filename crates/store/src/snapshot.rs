@@ -7,17 +7,48 @@
 //! must be relinked (recompiled from PTML) by `tml-reflect` after loading —
 //! exactly the paper's architecture, where the persistent encoding of the
 //! code is the TML tree, not the machine code.
+//!
+//! ## The TYSTO3 image format
+//!
+//! The image *is* the database, so since PR 4 the on-disk format is
+//! self-validating:
+//!
+//! ```text
+//! magic "TYSTO3"                                  6 bytes
+//! slot count                                      varint
+//! per slot: 0            (tombstone)              1 byte
+//!        or 1, frame-len, object bytes            framed record
+//! roots    : count, (name, oid)*
+//! attrs    : count, (oid, count, (key, i64)*)*
+//! versions : count, u64*
+//! cache    : cap, stats, count, entry*
+//! crc32    : IEEE CRC-32 of everything above      4 bytes LE
+//! ```
+//!
+//! The per-object frame length lets [`salvage_bytes`] skip an unreadable
+//! record and keep going; the CRC trailer rejects torn or bit-rotted
+//! images before any object is trusted. Legacy `TYSTO2` images (no CRC,
+//! no framing) are still decoded.
+//!
+//! [`save`] is crash-safe: write to `<path>.tmp`, fsync, rotate the
+//! previous image to `<path>.bak`, then atomically rename. A crash at any
+//! point leaves either the old image at `path` or at `path.bak`, which
+//! [`load_with_recovery`] falls back to.
 
-use crate::cache::{CacheEntry, CacheKey, CacheStats, OptCache};
+use crate::cache::{hash_bytes, CacheEntry, CacheKey, CacheStats, OptCache};
+use crate::crc::crc32;
+use crate::failpoint;
 use crate::object::{ClosureObj, IndexKey, IndexObj, ModuleObj, Object, Relation};
 use crate::store::Store;
 use crate::sval::SVal;
 use crate::varint::{put_bytes, put_i64, put_str, put_u64, DecodeError, Reader};
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::path::Path;
 use tml_core::Oid;
 
-const MAGIC: &[u8; 6] = b"TYSTO2";
+const MAGIC_V2: &[u8; 6] = b"TYSTO2";
+const MAGIC_V3: &[u8; 6] = b"TYSTO3";
 
 const OBJ_ARRAY: u8 = 0;
 const OBJ_VECTOR: u8 = 1;
@@ -42,16 +73,20 @@ const KEY_INT: u8 = 1;
 const KEY_CHAR: u8 = 2;
 const KEY_STR: u8 = 3;
 
-/// Serialize the store to bytes.
+/// Serialize the store to TYSTO3 bytes (framed objects, CRC trailer).
 pub fn to_bytes(store: &Store) -> Vec<u8> {
     let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(MAGIC_V3);
     put_u64(&mut out, store.len() as u64);
+    let mut frame = Vec::new();
     for slot in store.slots() {
         match slot {
             Some(obj) => {
                 out.push(1);
-                put_object(&mut out, obj);
+                frame.clear();
+                put_object(&mut frame, obj);
+                put_u64(&mut out, frame.len() as u64);
+                out.extend_from_slice(&frame);
             }
             // Tombstoned slot: OIDs are stable, so dead slots persist too.
             None => out.push(0),
@@ -73,10 +108,10 @@ pub fn to_bytes(store: &Store) -> Vec<u8> {
             put_i64(&mut out, *v);
         }
     }
-    // Trailing sections (absent in legacy images, which simply end here):
-    // the per-slot version vector and the reflective-optimization cache.
     put_versions(&mut out, store.versions());
     put_cache(&mut out, store.cache());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     if tml_trace::enabled() {
         tml_trace::count("store.snapshot.write_bytes", out.len() as u64);
         tml_trace::record(tml_trace::Event::SnapshotIo {
@@ -88,19 +123,77 @@ pub fn to_bytes(store: &Store) -> Vec<u8> {
     out
 }
 
-/// Deserialize a store from bytes.
+/// Deserialize a store from bytes. Accepts the current TYSTO3 format
+/// (CRC-validated, framed) and legacy TYSTO2 images.
 pub fn from_bytes(bytes: &[u8]) -> Result<Store, DecodeError> {
-    let mut r = Reader::new(bytes);
-    if r.bytes(MAGIC.len())? != MAGIC {
-        return Err(DecodeError::BadMagic);
+    let store = match image_format(bytes)? {
+        3 => {
+            // Validate the trailer before trusting a single byte of body.
+            let body_len = bytes.len().checked_sub(4).ok_or(DecodeError::Truncated)?;
+            if body_len < MAGIC_V3.len() {
+                return Err(DecodeError::Truncated);
+            }
+            let stored = u32::from_le_bytes(
+                bytes[body_len..]
+                    .try_into()
+                    .map_err(|_| DecodeError::Truncated)?,
+            );
+            let computed = crc32(&bytes[..body_len]);
+            if stored != computed {
+                return Err(DecodeError::BadCrc { stored, computed });
+            }
+            decode_body(&bytes[..body_len], true)?
+        }
+        _ => decode_body(bytes, false)?,
+    };
+    if tml_trace::enabled() {
+        tml_trace::count("store.snapshot.read_bytes", bytes.len() as u64);
+        tml_trace::record(tml_trace::Event::SnapshotIo {
+            dir: "read",
+            bytes: bytes.len() as u64,
+            objects: store.live() as u64,
+        });
     }
+    Ok(store)
+}
+
+/// Identify the image format version from the magic (2 or 3).
+fn image_format(bytes: &[u8]) -> Result<u8, DecodeError> {
+    let magic = bytes.get(..MAGIC_V3.len()).ok_or(DecodeError::Truncated)?;
+    if magic == MAGIC_V3 {
+        Ok(3)
+    } else if magic == MAGIC_V2 {
+        Ok(2)
+    } else if magic.starts_with(b"TYSTO") {
+        // A future (or corrupt) version byte: report it distinctly.
+        Err(DecodeError::BadVersion(magic[5].wrapping_sub(b'0')))
+    } else {
+        Err(DecodeError::BadMagic)
+    }
+}
+
+/// Decode the image body (everything except the TYSTO3 CRC trailer, which
+/// the caller has already verified and stripped).
+fn decode_body(bytes: &[u8], framed: bool) -> Result<Store, DecodeError> {
+    let mut r = Reader::new(bytes);
+    r.bytes(MAGIC_V3.len())?; // magic validated by image_format
     let mut store = Store::new();
     let nobjs = r.len()?;
     for _ in 0..nobjs {
         match r.byte()? {
             0 => store.push_slot(None),
             1 => {
+                let declared = if framed { r.len()? } else { 0 };
+                let offset = r.position();
                 let obj = get_object(&mut r)?;
+                let used = r.position() - offset;
+                if framed && used != declared {
+                    return Err(DecodeError::Frame {
+                        offset,
+                        declared,
+                        used,
+                    });
+                }
                 store.push_slot(Some(obj));
             }
             t => return Err(DecodeError::BadTag(t)),
@@ -136,14 +229,6 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Store, DecodeError> {
         if !r.is_at_end() {
             return Err(DecodeError::Truncated);
         }
-    }
-    if tml_trace::enabled() {
-        tml_trace::count("store.snapshot.read_bytes", bytes.len() as u64);
-        tml_trace::record(tml_trace::Event::SnapshotIo {
-            dir: "read",
-            bytes: bytes.len() as u64,
-            objects: store.live() as u64,
-        });
     }
     Ok(store)
 }
@@ -263,15 +348,342 @@ fn get_cache(r: &mut Reader<'_>) -> Result<OptCache, DecodeError> {
     Ok(cache)
 }
 
-/// Save the store to a file.
-pub fn save(store: &Store, path: impl AsRef<Path>) -> std::io::Result<()> {
-    std::fs::write(path, to_bytes(store))
+/// The sibling paths the atomic save protocol uses.
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut p = path.as_os_str().to_os_string();
+    p.push(".tmp");
+    p.into()
 }
 
-/// Load a store from a file.
+/// The rolling backup of the previous good image.
+pub fn backup_path(path: impl AsRef<Path>) -> std::path::PathBuf {
+    let mut p = path.as_ref().as_os_str().to_os_string();
+    p.push(".bak");
+    p.into()
+}
+
+fn path_key(path: &Path) -> u64 {
+    hash_bytes(path.as_os_str().as_encoded_bytes())
+}
+
+/// Save the store to a file, crash-safely.
+///
+/// Protocol: serialize, write to `<path>.tmp`, fsync the temp file, rotate
+/// any existing image to `<path>.bak`, then atomically rename the temp
+/// file over `path` (and best-effort fsync the directory). A crash at any
+/// step leaves the previous good image at `path` or `path.bak`; it never
+/// leaves a half-written image at `path`.
+pub fn save(store: &Store, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let key = path_key(path);
+    let mut bytes = to_bytes(store);
+    if failpoint::armed() {
+        // A torn or bit-rotted write: the image lands corrupt on disk even
+        // though every syscall "succeeds".
+        failpoint::corrupt("snapshot.save.bytes", key, &mut bytes);
+    }
+    let tmp = tmp_path(path);
+    failpoint::fail_io("snapshot.save.write", key)?;
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&bytes)?;
+    failpoint::fail_io("snapshot.save.fsync", key)?;
+    f.sync_all()?;
+    drop(f);
+    if path.exists() {
+        failpoint::fail_io("snapshot.save.backup", key)?;
+        std::fs::rename(path, backup_path(path))?;
+    }
+    // The crash window the old `std::fs::write` left open: between here
+    // and the rename the new image exists only at `<path>.tmp`, but the
+    // previous good image is intact at `<path>.bak`.
+    failpoint::fail_io("snapshot.save.rename", key)?;
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Durability of the rename itself; not all platforms/filesystems
+        // support fsync on directories, so failure here is non-fatal.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Load a store from a file. Fails on any corruption; see
+/// [`load_with_recovery`] for the fallback path.
 pub fn load(path: impl AsRef<Path>) -> std::io::Result<Store> {
-    let bytes = std::fs::read(path)?;
+    let path = path.as_ref();
+    let bytes = read_image(path)?;
     from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn read_image(path: &Path) -> std::io::Result<Vec<u8>> {
+    let key = path_key(path);
+    failpoint::fail_io("snapshot.load.read", key)?;
+    let mut bytes = std::fs::read(path)?;
+    if failpoint::armed() {
+        failpoint::corrupt("snapshot.load.bytes", key, &mut bytes);
+    }
+    Ok(bytes)
+}
+
+/// Where [`load_with_recovery`] found a loadable image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// The primary image decoded cleanly.
+    Primary,
+    /// The primary was unreadable; the rolling `.bak` decoded cleanly.
+    Backup,
+    /// Readable objects were salvaged out of the damaged primary image.
+    SalvagedPrimary,
+    /// Readable objects were salvaged out of the damaged backup image.
+    SalvagedBackup,
+}
+
+impl RecoverySource {
+    /// Stable lower-case name for reports and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoverySource::Primary => "primary",
+            RecoverySource::Backup => "backup",
+            RecoverySource::SalvagedPrimary => "salvaged-primary",
+            RecoverySource::SalvagedBackup => "salvaged-backup",
+        }
+    }
+}
+
+/// What [`load_with_recovery`] had to do to produce a store.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Which image ultimately yielded the store.
+    pub source: RecoverySource,
+    /// Why the primary image was rejected (`None` when it loaded cleanly).
+    pub primary_error: Option<DecodeError>,
+    /// Objects dropped during salvage (0 outside the salvage paths).
+    pub dropped_objects: u64,
+    /// Roots dropped because their target object was dropped.
+    pub dropped_roots: u64,
+    /// Whether the trailing version/cache sections were lost in salvage.
+    pub dropped_sections: bool,
+}
+
+impl RecoveryReport {
+    fn clean() -> RecoveryReport {
+        RecoveryReport {
+            source: RecoverySource::Primary,
+            primary_error: None,
+            dropped_objects: 0,
+            dropped_roots: 0,
+            dropped_sections: false,
+        }
+    }
+}
+
+/// Load a store, falling back to the rolling backup and then to object
+/// salvage when the image is damaged.
+///
+/// The cascade: decode `path`; on corruption decode `path.bak`; failing
+/// that, salvage readable framed objects out of the primary, then out of
+/// the backup. Every degradation is reported in the [`RecoveryReport`] and
+/// recorded on the trace (`Event::Recovery` plus counters). An `Err` means
+/// no image yielded anything loadable.
+pub fn load_with_recovery(path: impl AsRef<Path>) -> std::io::Result<(Store, RecoveryReport)> {
+    let path = path.as_ref();
+    let primary = read_image(path);
+    let primary_err = match &primary {
+        Ok(bytes) => match from_bytes(bytes) {
+            Ok(store) => return Ok((store, RecoveryReport::clean())),
+            Err(e) => Some(e),
+        },
+        Err(_) => None,
+    };
+    let bak = backup_path(path);
+    let backup = read_image(&bak);
+    if let Ok(bytes) = &backup {
+        if let Ok(store) = from_bytes(bytes) {
+            let report = RecoveryReport {
+                source: RecoverySource::Backup,
+                primary_error: primary_err.clone(),
+                dropped_objects: 0,
+                dropped_roots: 0,
+                dropped_sections: false,
+            };
+            record_recovery(&report);
+            return Ok((store, report));
+        }
+    }
+    for (bytes, source) in [
+        (&primary, RecoverySource::SalvagedPrimary),
+        (&backup, RecoverySource::SalvagedBackup),
+    ] {
+        if let Ok(bytes) = bytes {
+            if let Some((store, mut report)) = salvage_bytes(bytes) {
+                report.source = source;
+                report.primary_error = primary_err.clone();
+                record_recovery(&report);
+                return Ok((store, report));
+            }
+        }
+    }
+    match primary {
+        Err(e) => Err(e),
+        Ok(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            match primary_err {
+                Some(e) => format!("image unrecoverable: {e}"),
+                None => "image unrecoverable".to_string(),
+            },
+        )),
+    }
+}
+
+fn record_recovery(report: &RecoveryReport) {
+    if tml_trace::enabled() {
+        tml_trace::count("store.snapshot.recoveries", 1);
+        tml_trace::count("store.snapshot.salvage_dropped", report.dropped_objects);
+        tml_trace::record(tml_trace::Event::Recovery {
+            source: report.source.name(),
+            dropped_objects: report.dropped_objects,
+            dropped_roots: report.dropped_roots,
+            dropped_sections: report.dropped_sections,
+        });
+    }
+}
+
+/// Salvage readable objects out of a damaged TYSTO3 image.
+///
+/// The per-object frame lengths let the scan skip an unreadable record
+/// (the slot becomes a tombstone, so surviving OIDs stay stable) and keep
+/// going. Roots pointing at dropped slots are dropped too, so the salvaged
+/// store never hands out a root that dangles. The version/cache sections
+/// are kept only if they decode cleanly — losing them costs re-derivation,
+/// never correctness. Returns `None` when the image is not TYSTO3 or holds
+/// nothing salvageable (legacy TYSTO2 has no framing to resynchronize on).
+pub fn salvage_bytes(bytes: &[u8]) -> Option<(Store, RecoveryReport)> {
+    if image_format(bytes) != Ok(3) {
+        return None;
+    }
+    // Ignore the CRC (it is expected to be broken) but strip the trailer
+    // when present so it is not mistaken for body bytes.
+    let body = if bytes.len() >= MAGIC_V3.len() + 4 {
+        &bytes[..bytes.len() - 4]
+    } else {
+        return None;
+    };
+    let mut r = Reader::new(body);
+    r.bytes(MAGIC_V3.len()).ok()?;
+    let nobjs = r.len().ok()?;
+    let mut store = Store::new();
+    let mut dropped_objects = 0u64;
+    let mut truncated = false;
+    for _ in 0..nobjs {
+        if truncated {
+            store.push_slot(None);
+            continue;
+        }
+        match r.byte() {
+            Ok(0) => store.push_slot(None),
+            Ok(1) => {
+                let Ok(declared) = r.len() else {
+                    truncated = true;
+                    dropped_objects += 1;
+                    store.push_slot(None);
+                    continue;
+                };
+                let Ok(frame) = r.bytes(declared) else {
+                    // Frame extends past the readable bytes: everything
+                    // from here on is gone.
+                    truncated = true;
+                    dropped_objects += 1;
+                    store.push_slot(None);
+                    continue;
+                };
+                // Decode strictly inside the frame so damage cannot bleed
+                // into neighbouring records.
+                let mut fr = Reader::new(frame);
+                match get_object(&mut fr) {
+                    Ok(obj) if fr.is_at_end() => store.push_slot(Some(obj)),
+                    _ => {
+                        dropped_objects += 1;
+                        store.push_slot(None);
+                    }
+                }
+            }
+            _ => {
+                truncated = true;
+                store.push_slot(None);
+            }
+        }
+    }
+    let mut dropped_roots = 0u64;
+    let mut dropped_sections = truncated;
+    if !truncated {
+        // Trailing sections decode all-or-nothing: a partial root table is
+        // worse than none.
+        dropped_sections = !salvage_tail(&mut r, &mut store);
+    }
+    // Well-formedness: no root may dangle into a dropped slot.
+    let dangling: Vec<String> = store
+        .roots()
+        .filter(|(_, oid)| store.get(*oid).is_err())
+        .map(|(name, _)| name.to_string())
+        .collect();
+    for name in dangling {
+        store.remove_root(&name);
+        dropped_roots += 1;
+    }
+    if store.live() == 0 && store.roots().next().is_none() {
+        return None;
+    }
+    Some((
+        store,
+        RecoveryReport {
+            source: RecoverySource::SalvagedPrimary,
+            primary_error: None,
+            dropped_objects,
+            dropped_roots,
+            dropped_sections,
+        },
+    ))
+}
+
+/// Try to decode the roots/attrs/versions/cache tail during salvage.
+/// Returns `false` (leaving the store's tail state empty) on any error.
+fn salvage_tail(r: &mut Reader<'_>, store: &mut Store) -> bool {
+    let mut attempt = || -> Result<(), DecodeError> {
+        let nroots = r.len()?;
+        let mut roots = Vec::with_capacity(nroots.min(1024));
+        for _ in 0..nroots {
+            let name = r.str()?.to_string();
+            let oid = Oid(r.u64()?);
+            roots.push((name, oid));
+        }
+        let nattrs = r.len()?;
+        let mut attrs: BTreeMap<Oid, BTreeMap<String, i64>> = BTreeMap::new();
+        for _ in 0..nattrs {
+            let oid = Oid(r.u64()?);
+            let nkv = r.len()?;
+            let mut kv = BTreeMap::new();
+            for _ in 0..nkv {
+                let k = r.str()?.to_string();
+                let v = r.i64()?;
+                kv.insert(k, v);
+            }
+            attrs.insert(oid, kv);
+        }
+        let versions = get_versions(r)?;
+        let cache = get_cache(r)?;
+        if !r.is_at_end() {
+            return Err(DecodeError::Truncated);
+        }
+        for (name, oid) in roots {
+            store.set_root(name, oid);
+        }
+        store.set_attr_table(attrs);
+        store.set_versions(versions);
+        *store.cache_mut() = cache;
+        Ok(())
+    };
+    attempt().is_ok()
 }
 
 /// Encode one [`SVal`] in the snapshot's value format. Public because the
@@ -313,7 +725,7 @@ pub fn get_sval(r: &mut Reader<'_>) -> Result<SVal, DecodeError> {
         VAL_BOOL => SVal::Bool(r.byte()? != 0),
         VAL_INT => SVal::Int(r.i64()?),
         VAL_REAL => {
-            let raw: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
+            let raw: [u8; 8] = r.bytes(8)?.try_into().map_err(|_| DecodeError::Truncated)?;
             SVal::Real(f64::from_le_bytes(raw))
         }
         VAL_CHAR => SVal::Char(r.byte()?),
@@ -718,10 +1130,11 @@ mod tests {
 
     #[test]
     fn legacy_image_without_sections_loads() {
-        // A minimal pre-cache image: magic, zero objects, zero roots, zero
-        // attributes, then EOF (the old end of format).
+        // A minimal pre-cache TYSTO2 image: magic, zero objects, zero
+        // roots, zero attributes, then EOF (the old end of format). No
+        // framing, no CRC — the legacy decode path must still accept it.
         let mut bytes = Vec::new();
-        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(MAGIC_V2);
         put_u64(&mut bytes, 0);
         put_u64(&mut bytes, 0);
         put_u64(&mut bytes, 0);
@@ -731,9 +1144,175 @@ mod tests {
     }
 
     #[test]
+    fn legacy_image_with_objects_loads() {
+        // A TYSTO2 image carrying one unframed object record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        put_u64(&mut bytes, 1);
+        bytes.push(1); // live slot, no frame length in v2
+        put_object(&mut bytes, &Object::ByteArray(vec![4, 5, 6]));
+        put_u64(&mut bytes, 0); // roots
+        put_u64(&mut bytes, 0); // attrs
+        let s = from_bytes(&bytes).unwrap();
+        assert_eq!(s.get(Oid(1)).unwrap(), &Object::ByteArray(vec![4, 5, 6]));
+    }
+
+    #[test]
     fn trailing_garbage_rejected() {
         let mut bytes = to_bytes(&sample_store());
         bytes.push(0xff);
-        assert!(matches!(from_bytes(&bytes), Err(DecodeError::Truncated)));
+        // Extra bytes shift the CRC trailer, so the checksum catches it.
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(DecodeError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn current_format_is_v3_with_valid_crc() {
+        let bytes = to_bytes(&sample_store());
+        assert_eq!(&bytes[..6], MAGIC_V3);
+        let body = &bytes[..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        assert_eq!(stored, crc32(body));
+    }
+
+    #[test]
+    fn unknown_future_version_reported_distinctly() {
+        assert!(matches!(
+            from_bytes(b"TYSTO9xxxx"),
+            Err(DecodeError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        // With the CRC trailer, *any* single-bit flip anywhere in the image
+        // (including the trailer itself) must be rejected.
+        let bytes = to_bytes(&sample_store());
+        for pos in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[pos] ^= 0x01;
+            assert!(from_bytes(&m).is_err(), "flip at {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_and_rotates_backup() {
+        let dir = std::env::temp_dir().join("tml_store_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.tys");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(backup_path(&path)).ok();
+        let s1 = sample_store();
+        save(&s1, &path).unwrap();
+        assert!(path.exists());
+        assert!(!backup_path(&path).exists(), "no backup on first save");
+        let mut s2 = sample_store();
+        s2.set_root("extra", Oid(1));
+        save(&s2, &path).unwrap();
+        assert!(backup_path(&path).exists(), "second save rotates backup");
+        assert_eq!(load(&path).unwrap().root("extra"), Some(Oid(1)));
+        let bak = from_bytes(&std::fs::read(backup_path(&path)).unwrap()).unwrap();
+        assert_eq!(bak.root("extra"), None, "backup is the previous image");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(backup_path(&path)).ok();
+    }
+
+    #[test]
+    fn crash_between_write_and_rename_leaves_previous_image_loadable() {
+        use crate::failpoint::{Action, FailSpec, ScopedFailpoints};
+        let dir = std::env::temp_dir().join("tml_store_crash_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.tys");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(backup_path(&path)).ok();
+        let good = sample_store();
+        save(&good, &path).unwrap();
+        let mut newer = sample_store();
+        newer.set_root("newer", Oid(2));
+        {
+            // Simulate a crash after the temp file is durable but before
+            // the final rename, for this path only.
+            let _fp = ScopedFailpoints::new(&[(
+                "snapshot.save.rename",
+                FailSpec::always(Action::Io).for_key(super::path_key(&path)),
+            )]);
+            let err = save(&newer, &path).unwrap_err();
+            assert!(err.to_string().contains("failpoint"));
+        }
+        // The new image never reached `path`; the previous good one is at
+        // the backup location (rotation happened before the crash).
+        let (recovered, report) = load_with_recovery(&path).unwrap();
+        assert_eq!(report.source, RecoverySource::Backup);
+        assert_eq!(recovered.len(), good.len());
+        assert_eq!(recovered.root("newer"), None);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(backup_path(&path)).ok();
+        std::fs::remove_file(super::tmp_path(&path)).ok();
+    }
+
+    #[test]
+    fn recovery_falls_back_to_backup_on_corrupt_primary() {
+        let dir = std::env::temp_dir().join("tml_store_recovery_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.tys");
+        let s = sample_store();
+        save(&s, &path).unwrap();
+        save(&s, &path).unwrap(); // creates the .bak
+                                  // Corrupt the primary in place.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (recovered, report) = load_with_recovery(&path).unwrap();
+        assert_eq!(report.source, RecoverySource::Backup);
+        assert!(matches!(
+            report.primary_error,
+            Some(DecodeError::BadCrc { .. })
+        ));
+        assert_eq!(recovered.len(), s.len());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(backup_path(&path)).ok();
+    }
+
+    #[test]
+    fn salvage_drops_damaged_objects_and_dangling_roots() {
+        let s = sample_store();
+        let bytes = to_bytes(&s);
+        // Find the frame of the first object (Oid 1, the "main" root's
+        // array) and smash a byte inside it.
+        let mut r = Reader::new(&bytes);
+        r.bytes(MAGIC_V3.len()).unwrap();
+        r.len().unwrap(); // slot count
+        assert_eq!(r.byte().unwrap(), 1);
+        let _flen = r.len().unwrap();
+        let frame_start = r.position();
+        let mut m = bytes.clone();
+        // Invalid object tag at the start of the frame.
+        m[frame_start] = 0xfe;
+        let (salvaged, report) = salvage_bytes(&m).unwrap();
+        assert_eq!(report.dropped_objects, 1);
+        assert!(salvaged.get(Oid(1)).is_err(), "damaged object dropped");
+        assert!(salvaged.get(Oid(2)).is_ok(), "later objects survive");
+        assert_eq!(
+            salvaged.root("main"),
+            None,
+            "root into the dropped object is dropped"
+        );
+        assert_eq!(salvaged.root("db"), s.root("db"), "other roots survive");
+        assert!(!report.dropped_sections, "tail sections still decode");
+    }
+
+    #[test]
+    fn salvage_of_truncated_image_keeps_prefix_objects() {
+        let s = sample_store();
+        let bytes = to_bytes(&s);
+        // Cut the image roughly in half: early objects salvage, the rest
+        // (and the tail sections) are gone.
+        let (salvaged, report) = salvage_bytes(&bytes[..bytes.len() / 2]).unwrap();
+        assert!(salvaged.get(Oid(1)).is_ok(), "first object survives");
+        assert!(report.dropped_objects > 0 || report.dropped_sections);
+        assert_eq!(salvaged.len(), s.len(), "OID space keeps its size");
     }
 }

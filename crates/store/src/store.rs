@@ -267,6 +267,12 @@ impl Store {
         self.roots.get(name).copied()
     }
 
+    /// Unbind a persistent root. Returns the OID it pointed at, if any.
+    /// Used by snapshot salvage to drop roots whose target was lost.
+    pub fn remove_root(&mut self, name: &str) -> Option<Oid> {
+        self.roots.remove(name)
+    }
+
     /// All roots, sorted by name.
     pub fn roots(&self) -> impl Iterator<Item = (&str, Oid)> {
         self.roots.iter().map(|(n, o)| (n.as_str(), *o))

@@ -57,6 +57,29 @@ pub enum DecodeError {
     BadIndex(u64),
     /// The input did not start with the expected magic bytes.
     BadMagic,
+    /// The image checksum did not match its contents.
+    BadCrc {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the body.
+        computed: u32,
+    },
+    /// The format version byte is newer than this decoder understands.
+    BadVersion(u8),
+    /// A length-framed record did not consume exactly its declared size.
+    Frame {
+        /// Byte offset of the frame start.
+        offset: usize,
+        /// Declared frame length.
+        declared: usize,
+        /// Bytes actually consumed by the decoder.
+        used: usize,
+    },
+    /// Nesting exceeded the decoder's depth limit.
+    TooDeep {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -68,6 +91,22 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
             DecodeError::BadIndex(i) => write!(f, "index {i} out of range"),
             DecodeError::BadMagic => write!(f, "bad magic header"),
+            DecodeError::BadCrc { stored, computed } => write!(
+                f,
+                "checksum mismatch: trailer {stored:#010x}, body {computed:#010x}"
+            ),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::Frame {
+                offset,
+                declared,
+                used,
+            } => write!(
+                f,
+                "bad frame at offset {offset}: declared {declared} bytes, decoder used {used}"
+            ),
+            DecodeError::TooDeep { limit } => {
+                write!(f, "nesting exceeds depth limit {limit}")
+            }
         }
     }
 }

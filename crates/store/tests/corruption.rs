@@ -1,0 +1,107 @@
+//! Corruption robustness: no byte flip or truncation of a snapshot image
+//! may panic the decoder, and nothing the salvage path produces may be
+//! ill-formed (dangling roots, unreadable records surviving).
+
+use tml_store::object::{ClosureObj, ModuleObj, Object, Relation};
+use tml_store::{snapshot, SVal, Store};
+
+/// A small but representative store: every object kind, roots, attrs,
+/// versions and a cache-bearing tail would be overkill — what matters is
+/// several framed records plus the root/attr tail sections.
+fn sample_store() -> Store {
+    let mut store = Store::new();
+    let t = store.alloc(Object::Tuple(vec![SVal::Int(3), SVal::Real(4.0)]));
+    let bytes = store.alloc(Object::ByteArray(vec![1, 2, 3, 4, 5]));
+    let ptml = store.alloc(Object::Ptml(vec![0xde, 0xad, 0xbe, 0xef]));
+    let clo = store.alloc(Object::Closure(ClosureObj {
+        code: 7,
+        env: vec![SVal::Ref(t)],
+        bindings: vec![("x".into(), SVal::Ref(t)), ("k".into(), SVal::Int(9))],
+        ptml: Some(ptml),
+    }));
+    let mut rel = Relation::new(vec!["a".into(), "b".into()]);
+    rel.insert(vec![SVal::Int(1), SVal::Str("one".into())]);
+    rel.insert(vec![SVal::Int(2), SVal::Str("two".into())]);
+    let rel = store.alloc(Object::Relation(rel));
+    let module = store.alloc(Object::Module(ModuleObj {
+        name: "m".into(),
+        exports: [("f".to_string(), SVal::Ref(clo))].into_iter().collect(),
+    }));
+    store.set_root("m", module);
+    store.set_root("rel", rel);
+    store.set_root("blob", bytes);
+    store.set_attr(clo, "optimized", 1);
+    store
+}
+
+/// Every root of a recovered store must resolve — the salvage contract.
+fn assert_well_formed(store: &Store) {
+    for (name, oid) in store.roots() {
+        assert!(
+            store.get(oid).is_ok(),
+            "root {name} dangles at {oid} after recovery"
+        );
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected_without_panicking() {
+    let image = snapshot::to_bytes(&sample_store());
+    for i in 0..image.len() {
+        for bit in [0x01u8, 0x80, 0xff] {
+            let mut corrupt = image.clone();
+            corrupt[i] ^= bit;
+            let r = snapshot::from_bytes(&corrupt);
+            assert!(
+                r.is_err(),
+                "flip of byte {i} (mask {bit:#04x}) not detected"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected_without_panicking() {
+    let image = snapshot::to_bytes(&sample_store());
+    for len in 0..image.len() {
+        let r = snapshot::from_bytes(&image[..len]);
+        assert!(r.is_err(), "truncation to {len} bytes not detected");
+    }
+}
+
+#[test]
+fn salvage_of_any_single_byte_flip_is_well_formed() {
+    let image = snapshot::to_bytes(&sample_store());
+    for i in 0..image.len() {
+        let mut corrupt = image.clone();
+        corrupt[i] ^= 0xff;
+        if let Some((store, report)) = snapshot::salvage_bytes(&corrupt) {
+            assert_well_formed(&store);
+            // Whatever was dropped must be accounted for.
+            if report.dropped_roots > 0 {
+                assert!(report.dropped_objects > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn salvage_of_any_truncation_is_well_formed() {
+    let image = snapshot::to_bytes(&sample_store());
+    for len in 0..image.len() {
+        if let Some((store, _)) = snapshot::salvage_bytes(&image[..len]) {
+            assert_well_formed(&store);
+        }
+    }
+}
+
+#[test]
+fn salvage_of_the_intact_image_loses_nothing() {
+    let original = sample_store();
+    let image = snapshot::to_bytes(&original);
+    let (store, report) = snapshot::salvage_bytes(&image).expect("intact image salvages");
+    assert_eq!(report.dropped_objects, 0);
+    assert_eq!(report.dropped_roots, 0);
+    assert!(!report.dropped_sections);
+    assert_eq!(snapshot::to_bytes(&store), image);
+}

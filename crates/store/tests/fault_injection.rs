@@ -1,0 +1,215 @@
+//! Deterministic fault-injection matrix over the snapshot save/load
+//! failpoint sites. Every scenario runs under a fixed seed set — or the
+//! single seed given via `TML_FAULT_SEED` (CI sweeps a matrix of values) —
+//! so any failure replays exactly.
+
+use tml_store::failpoint::{Action, FailSpec, ScopedFailpoints};
+use tml_store::object::{ClosureObj, Object};
+use tml_store::snapshot::{self, RecoverySource};
+use tml_store::{SVal, Store};
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("TML_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(s) => vec![s],
+        None => vec![1, 2, 3, 0xC0FFEE],
+    }
+}
+
+fn sample_store(tag: i64) -> Store {
+    let mut store = Store::new();
+    let t = store.alloc(Object::Tuple(vec![SVal::Int(tag), SVal::Str("x".into())]));
+    let p = store.alloc(Object::Ptml(vec![1, 2, 3]));
+    let c = store.alloc(Object::Closure(ClosureObj {
+        code: 0,
+        env: vec![SVal::Ref(t)],
+        bindings: vec![("t".into(), SVal::Ref(t))],
+        ptml: Some(p),
+    }));
+    store.set_root("main", c);
+    store
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tml_fault_{}_{}", name, std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The hash key the snapshot failpoint sites use for this image path, so
+/// armed faults never leak into other tests' snapshot traffic.
+fn key_of(path: &std::path::Path) -> u64 {
+    tml_store::cache::hash_bytes(path.as_os_str().as_encoded_bytes())
+}
+
+#[test]
+fn injected_io_errors_never_lose_the_previous_image() {
+    let dir = tmpdir("io");
+    let path = dir.join("io.tys");
+    let good = sample_store(7);
+    snapshot::save(&good, &path).unwrap();
+    snapshot::save(&good, &path).unwrap(); // rotate a .bak into place
+    let reference = snapshot::to_bytes(&good);
+
+    for site in [
+        "snapshot.save.write",
+        "snapshot.save.fsync",
+        "snapshot.save.backup",
+        "snapshot.save.rename",
+    ] {
+        let _fp =
+            ScopedFailpoints::new(&[(site, FailSpec::always(Action::Io).for_key(key_of(&path)))]);
+        let err = snapshot::save(&sample_store(8), &path);
+        assert!(err.is_err(), "{site}: injected IO error must surface");
+        drop(_fp);
+        // The crash window left either the old primary or its backup
+        // loadable, with the original contents.
+        let (recovered, _) = snapshot::load_with_recovery(&path).unwrap();
+        assert_eq!(snapshot::to_bytes(&recovered), reference, "{site}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_writes_fall_back_to_the_backup_for_every_seed() {
+    for seed in seeds() {
+        let dir = tmpdir(&format!("flip{seed}"));
+        let path = dir.join("flip.tys");
+        let good = sample_store(7);
+        snapshot::save(&good, &path).unwrap();
+        let reference = snapshot::to_bytes(&good);
+
+        {
+            let _fp = ScopedFailpoints::new(&[(
+                "snapshot.save.bytes",
+                FailSpec::always(Action::FlipBits(4))
+                    .for_key(key_of(&path))
+                    .with_seed(seed),
+            )]);
+            // The corrupt image lands at the primary path; the good one
+            // rotates to .bak.
+            snapshot::save(&good, &path).unwrap();
+        }
+        let (recovered, report) = snapshot::load_with_recovery(&path).unwrap();
+        assert_ne!(
+            report.source,
+            RecoverySource::Primary,
+            "seed {seed}: corruption must be detected"
+        );
+        assert_eq!(
+            snapshot::to_bytes(&recovered),
+            reference,
+            "seed {seed}: backup must restore the previous image"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn short_writes_salvage_or_fail_cleanly_for_every_seed() {
+    for (seed, permille) in seeds().into_iter().zip([950u32, 700, 400, 60]) {
+        let dir = tmpdir(&format!("short{seed}"));
+        let path = dir.join("short.tys");
+        let good = sample_store(9);
+        {
+            let _fp = ScopedFailpoints::new(&[(
+                "snapshot.save.bytes",
+                FailSpec::always(Action::ShortWrite(permille))
+                    .for_key(key_of(&path))
+                    .with_seed(seed),
+            )]);
+            snapshot::save(&good, &path).unwrap();
+        }
+        // No backup exists (first save was already truncated): recovery is
+        // salvage or a clean error — never a panic, never an ill-formed
+        // store.
+        match snapshot::load_with_recovery(&path) {
+            Ok((store, report)) => {
+                assert_ne!(
+                    report.source,
+                    RecoverySource::Primary,
+                    "permille {permille}"
+                );
+                for (name, oid) in store.roots() {
+                    assert!(store.get(oid).is_ok(), "root {name} dangles at {oid}");
+                }
+            }
+            Err(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "{e}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn read_side_corruption_is_caught_by_the_crc_for_every_seed() {
+    for seed in seeds() {
+        let dir = tmpdir(&format!("read{seed}"));
+        let path = dir.join("read.tys");
+        let good = sample_store(11);
+        snapshot::save(&good, &path).unwrap();
+        snapshot::save(&good, &path).unwrap(); // both primary and .bak good
+        let reference = snapshot::to_bytes(&good);
+
+        let _fp = ScopedFailpoints::new(&[(
+            "snapshot.load.bytes",
+            FailSpec::always(Action::FlipBits(1))
+                .for_key(key_of(&path))
+                .with_seed(seed),
+        )]);
+        // The fault is keyed to the primary path, so the backup read is
+        // clean: recovery must land there with the full contents.
+        let (recovered, report) = snapshot::load_with_recovery(&path).unwrap();
+        assert_eq!(report.source, RecoverySource::Backup, "seed {seed}");
+        assert_eq!(snapshot::to_bytes(&recovered), reference, "seed {seed}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn ptml_decode_corruption_errors_instead_of_panicking() {
+    use tml_core::term::{Abs, App, Value};
+    use tml_core::Ctx;
+    let mut ctx = Ctx::new();
+    let x = ctx.names.fresh("x");
+    let k = ctx.names.fresh("k");
+    let abs = Abs::new(vec![x, k], App::new(Value::Var(k), vec![Value::Var(x)]));
+    let bytes = tml_store::ptml::encode_abs(&ctx, &abs);
+    assert!(tml_store::ptml::decode_abs(&mut ctx, &bytes).is_ok());
+
+    for seed in seeds() {
+        let _fp = ScopedFailpoints::new(&[(
+            "ptml.decode",
+            FailSpec::always(Action::FlipBits(6)).with_seed(seed),
+        )]);
+        // Flipping six bits may or may not leave a decodable term, but the
+        // decoder must return — Ok or Err — without panicking.
+        let _ = tml_store::ptml::decode_abs(&mut ctx, &bytes);
+    }
+}
+
+#[test]
+fn sticky_vs_once_specs_behave_as_documented() {
+    let dir = tmpdir("once");
+    let path = dir.join("once.tys");
+    let good = sample_store(13);
+    let _fp = ScopedFailpoints::new(&[(
+        "snapshot.save.write",
+        FailSpec::always(Action::Io).for_key(key_of(&path)).once(),
+    )]);
+    assert!(
+        snapshot::save(&good, &path).is_err(),
+        "first save must fail"
+    );
+    assert!(
+        snapshot::save(&good, &path).is_ok(),
+        "one-shot spec must clear"
+    );
+    let loaded = snapshot::load(&path).unwrap();
+    let main = loaded.root("main").expect("root survives");
+    assert!(matches!(loaded.get(main), Ok(Object::Closure(_))));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -128,6 +128,31 @@ pub enum Event {
         /// Global/module bindings repointed to the rebuilt closures.
         relinked: u64,
     },
+    /// One target of a whole-world pass was skipped in degraded mode: its
+    /// optimization panicked, diverged past its fuel budget, or its PTML
+    /// blob failed to decode. The unoptimized term is kept.
+    DegradedSkip {
+        /// Qualified function name of the skipped target.
+        function: String,
+        /// Store OID of the closure.
+        oid: u64,
+        /// `panic`, `decode` or `fuel`.
+        reason: &'static str,
+        /// Human-readable detail (panic payload, decode error), truncated.
+        detail: String,
+    },
+    /// A snapshot load fell back past the primary image (backup or
+    /// salvage), possibly dropping data.
+    Recovery {
+        /// `backup`, `salvaged-primary` or `salvaged-backup`.
+        source: &'static str,
+        /// Objects dropped during salvage.
+        dropped_objects: u64,
+        /// Roots dropped because their target object was dropped.
+        dropped_roots: u64,
+        /// Whether the version/cache tail sections were lost.
+        dropped_sections: bool,
+    },
 }
 
 impl Event {
@@ -145,6 +170,8 @@ impl Event {
             Event::PlanChosen { .. } => "plan-chosen",
             Event::ReflectConsult { .. } => "reflect-consult",
             Event::Relink { .. } => "relink",
+            Event::DegradedSkip { .. } => "degraded-skip",
+            Event::Recovery { .. } => "recovery",
         }
     }
 
@@ -264,6 +291,28 @@ impl Event {
             Event::Relink { rebuilt, relinked } => {
                 w.u64_field("rebuilt", *rebuilt);
                 w.u64_field("relinked", *relinked);
+            }
+            Event::DegradedSkip {
+                function,
+                oid,
+                reason,
+                detail,
+            } => {
+                w.str_field("function", function);
+                w.u64_field("oid", *oid);
+                w.str_field("reason", reason);
+                w.str_field("detail", detail);
+            }
+            Event::Recovery {
+                source,
+                dropped_objects,
+                dropped_roots,
+                dropped_sections,
+            } => {
+                w.str_field("source", source);
+                w.u64_field("dropped_objects", *dropped_objects);
+                w.u64_field("dropped_roots", *dropped_roots);
+                w.bool_field("dropped_sections", *dropped_sections);
             }
         }
     }

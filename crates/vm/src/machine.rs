@@ -104,6 +104,17 @@ impl From<StoreError> for VmError {
     }
 }
 
+/// Exception handlers the machine will hold at once. A program that pushes
+/// handlers in an unbounded loop would otherwise grow `handlers` without
+/// limit; well-nested programs stay orders of magnitude below this.
+const MAX_HANDLER_DEPTH: usize = 100_000;
+
+/// Nesting limit for native re-entry ([`Machine::call_value`]): each level
+/// is a Rust stack frame through an extension primitive, so unbounded
+/// mutual recursion between TML code and externs would overflow the host
+/// stack instead of trapping.
+const MAX_NATIVE_DEPTH: usize = 64;
+
 enum Flow {
     /// Keep stepping (pc already updated).
     Next,
@@ -124,6 +135,8 @@ pub struct Machine<'a> {
     block: u32,
     pc: u32,
     fuel: u64,
+    /// Current [`Machine::call_value`] nesting (native re-entry depth).
+    native_depth: usize,
     /// Counters (public so harnesses can read incrementally).
     pub stats: ExecStats,
     output: Vec<String>,
@@ -150,6 +163,7 @@ impl<'a> Machine<'a> {
             block: 0,
             pc: 0,
             fuel,
+            native_depth: 0,
             stats: ExecStats::default(),
             output: Vec::new(),
             profile: tml_trace::enabled().then(|| Box::new(VmProfile::new())),
@@ -208,6 +222,14 @@ impl<'a> Machine<'a> {
     /// `Ok` carries the normal result, `Err` the exception value. Used by
     /// extension primitives (query predicates) and by embedding crates.
     pub fn call_value(&mut self, target: RVal, mut args: Vec<RVal>) -> Result<RVal, RVal> {
+        if self.native_depth >= MAX_NATIVE_DEPTH {
+            // Each nesting level is a real Rust stack frame; trap before
+            // the host stack overflows (which no handler could catch).
+            return Err(RVal::Str(
+                format!("vm:machine trap: native call nesting exceeds {MAX_NATIVE_DEPTH}").into(),
+            ));
+        }
+        self.native_depth += 1;
         let saved_block = self.block;
         let saved_pc = self.pc;
         let saved_frame = std::mem::take(&mut self.frame);
@@ -241,6 +263,7 @@ impl<'a> Machine<'a> {
         self.pc = saved_pc;
         self.frame = saved_frame;
         self.env = saved_env;
+        self.native_depth -= 1;
 
         match result {
             Ok(r) => r,
@@ -694,6 +717,11 @@ impl<'a> Machine<'a> {
                 }
             }
             Instr::PushHandler { handler, on_ok } => {
+                if self.handlers.len() >= MAX_HANDLER_DEPTH {
+                    return Err(VmError::Trap(format!(
+                        "handler stack exceeds {MAX_HANDLER_DEPTH} entries"
+                    )));
+                }
                 let h = self.resolve(*handler);
                 self.handlers.push(h);
                 self.continue_branch(on_ok)
@@ -1104,6 +1132,56 @@ mod tests {
         match vm.run_program(&mut store, block, 10_000) {
             Err(VmError::OutOfFuel) => {}
             other => panic!("expected out of fuel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_recursion_is_constant_stack() {
+        // A 100_000-deep recursive countdown: all control transfer is
+        // tail transfer, so the host stack stays flat and the program
+        // completes within its fuel budget instead of overflowing.
+        let src = "(Y proc(^c0 ^f ^c) (c \
+            cont() (f 100000) \
+            cont(i) (= i 0 \
+               cont() (halt 77) \
+               cont() (- i 1 cont(e)(halt -1) cont(m) (f m)))))";
+        assert_eq!(run_int(src), 77);
+    }
+
+    #[test]
+    fn handler_flood_traps_with_typed_error() {
+        // A loop that pushes a handler per iteration without ever popping:
+        // the machine must trap (typed) at the handler-depth guard rail
+        // rather than grow the handler stack until memory runs out.
+        let src = "(Y proc(^c0 ^loop ^c) (c \
+            cont() (loop 0) \
+            cont(i) (pushHandler cont(e)(halt e) cont() (loop i))))";
+        match run(src) {
+            Err(VmError::Trap(m)) => assert!(m.contains("handler stack exceeds"), "{m}"),
+            other => panic!("expected handler-depth trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn native_nesting_traps_before_host_stack_overflows() {
+        // An extern that re-enters the machine on a procedure which ccalls
+        // the extern again: unbounded TML↔native mutual recursion. Each
+        // level is a real Rust frame, so the machine traps at the nesting
+        // guard and the error unwinds through the exception continuations.
+        let src = "(cont(p) (ccall \"deep\" p cont(e)(halt e) cont(t)(halt t)) \
+                    proc(x ce cc) (ccall \"deep\" x ce cc))";
+        let mut ctx = Ctx::new();
+        let parsed = parse_app(&mut ctx, src).unwrap();
+        let mut vm = Vm::new();
+        vm.externs.register("deep", |ctx, args| {
+            ctx.call(args[0].clone(), vec![args[0].clone()])
+        });
+        let block = vm.compile_program(&ctx, &parsed.app).unwrap();
+        let mut store = Store::new();
+        let out = vm.run_program(&mut store, block, 1_000_000).unwrap();
+        match out.result {
+            RVal::Str(s) => assert!(s.contains("native call nesting"), "{s}"),
+            other => panic!("expected nesting-trap exception value, got {other:?}"),
         }
     }
 

@@ -10,9 +10,14 @@
 //! tmlc profile <input> <mod.fn> [--arg N]... [--json]        run under the tracer
 //! tmlc explain <input> <mod.fn> [--json] [--verify]          optimizer provenance log
 //! tmlc opt <input> [--jobs N] [options]                      whole-world optimization report
+//! tmlc fsck <image.tys> [--repair -o out.tys]                validate (and repair) an image
 //!
 //! `profile` and `explain` accept either a TL source file or a persisted
-//! `.tys` image (whose PTML closures are relinked on load).
+//! `.tys` image (whose PTML closures are relinked on load). Damaged images
+//! are loaded through the recovery cascade (backup, then object salvage);
+//! `fsck` checks magic/CRC/framing, walks every OID reference and decodes
+//! every closure's PTML, printing a JSON report. With `--repair` it writes
+//! whatever the recovery cascade can save to `-o`.
 //!
 //! options:
 //!   --mode library|direct     operator lowering (default library)
@@ -24,6 +29,7 @@
 //!   --json                    emit the trace JSON schema instead of text
 //!   --top N                   rows per profile table (default 10)
 //!   --verify                  explain: replay the provenance log and compare PTML
+//!   --repair                  fsck: write the recovered image to -o <out.tys>
 //! ```
 
 use std::process::ExitCode;
@@ -33,8 +39,8 @@ use tycoon::reflect::{
     optimize_all, optimize_named, relink_image_code, session_from_store, ReflectOptions,
     TermBuilder,
 };
-use tycoon::store::ptml::encode_abs;
-use tycoon::store::{snapshot, SVal};
+use tycoon::store::ptml::{decode_abs, encode_abs};
+use tycoon::store::{gc, snapshot, Object, SVal};
 use tycoon::trace;
 use tycoon::trace::Event;
 use tycoon::vm::RVal;
@@ -46,6 +52,7 @@ struct Options {
     stats: bool,
     json: bool,
     verify: bool,
+    repair: bool,
     jobs: u32,
     top: usize,
     entry: Option<String>,
@@ -65,6 +72,7 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
         stats: false,
         json: false,
         verify: false,
+        repair: false,
         jobs: 1,
         top: 10,
         entry: None,
@@ -94,6 +102,7 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
             "--stats" => o.stats = true,
             "--json" => o.json = true,
             "--verify" => o.verify = true,
+            "--repair" => o.repair = true,
             "--top" => {
                 let v = it.next().ok_or("--top needs a value")?;
                 o.top = v.parse().map_err(|e| format!("bad --top: {e}"))?;
@@ -151,10 +160,25 @@ fn read_source(o: &Options) -> Result<String, String> {
 fn load_input(o: &Options) -> Result<Session, String> {
     let path = o.positional.first().ok_or("missing input file")?;
     if path.ends_with(".tys") {
-        let store = snapshot::load(path).map_err(|e| format!("{path}: {e}"))?;
+        let (store, recovery) =
+            snapshot::load_with_recovery(path).map_err(|e| format!("{path}: {e}"))?;
+        if recovery.source != snapshot::RecoverySource::Primary {
+            eprintln!(
+                "tmlc: {path}: image damaged, loaded from {} ({} object(s), {} root(s) dropped)",
+                recovery.source.name(),
+                recovery.dropped_objects,
+                recovery.dropped_roots
+            );
+        }
         let mut s = session_from_store(store, SessionConfig::default());
         tycoon::query::install(&mut s.ctx, &mut s.vm);
-        relink_image_code(&mut s).map_err(|e| e.to_string())?;
+        let relink = relink_image_code(&mut s).map_err(|e| e.to_string())?;
+        if relink.skipped > 0 {
+            eprintln!(
+                "tmlc: {path}: {} closure(s) left degraded (unreadable PTML)",
+                relink.skipped
+            );
+        }
         if o.dynamic {
             optimize_all(&mut s, &reflect_options(o)).map_err(|e| e.to_string())?;
         }
@@ -195,6 +219,12 @@ fn cmd_opt(o: &Options) -> Result<(), String> {
         report.inlined,
         report.reductions
     );
+    if report.skipped > 0 {
+        println!(
+            "skipped {} target(s) in degraded mode (see trace for details)",
+            report.skipped
+        );
+    }
     Ok(())
 }
 
@@ -336,7 +366,16 @@ fn top_counters(prefix: &str, n: usize) -> Vec<(String, u64)> {
 
 fn cmd_info(o: &Options) -> Result<(), String> {
     let path = o.positional.first().ok_or("missing image file")?;
-    let store = snapshot::load(path).map_err(|e| e.to_string())?;
+    let (store, recovery) = snapshot::load_with_recovery(path)
+        .map_err(|e| format!("{e} (run `tmlc fsck {path}` for a full report)"))?;
+    if recovery.source != snapshot::RecoverySource::Primary {
+        eprintln!(
+            "tmlc: {path}: image damaged, loaded from {} ({} object(s), {} root(s) dropped)",
+            recovery.source.name(),
+            recovery.dropped_objects,
+            recovery.dropped_roots
+        );
+    }
     let rec = trace::global();
     rec.clear();
     // All reporting goes through the counter registry: footprint and cache
@@ -456,6 +495,25 @@ fn explain_line(e: &Event) -> String {
             (Some(r), Some(ix)) => format!("query rewrite {rule} (relation {r}, index {ix})"),
             _ => format!("query rewrite {rule}"),
         },
+        Event::DegradedSkip {
+            function,
+            oid,
+            reason,
+            detail,
+        } => format!("degraded skip {function} (oid {oid}): {reason}: {detail}"),
+        Event::Recovery {
+            source,
+            dropped_objects,
+            dropped_roots,
+            dropped_sections,
+        } => format!(
+            "recovery from {source}: dropped {dropped_objects} object(s), {dropped_roots} root(s){}",
+            if *dropped_sections {
+                ", tail sections lost"
+            } else {
+                ""
+            }
+        ),
         other => format!("{} event", other.kind()),
     }
 }
@@ -530,12 +588,163 @@ fn verify_replay(s: &mut Session, fname: &str, opts: &ReflectOptions) -> Result<
     }
 }
 
+/// Minimal JSON string escaping for the fsck report (quotes, backslashes
+/// and control characters; everything else passes through as UTF-8).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `tmlc fsck <image.tys> [--repair -o out.tys]`: offline integrity check
+/// of a snapshot image. Validates the envelope (magic, version, CRC-32
+/// trailer, per-object framing) by decoding it, then walks every OID edge
+/// looking for dangling references and dangling roots, and decodes every
+/// closure's PTML attachment. Prints a JSON report; exits nonzero when any
+/// problem is found. With `--repair`, the recovery cascade (backup, object
+/// salvage) is run and whatever it saves is written to `-o`.
+fn cmd_fsck(o: &Options) -> Result<(), String> {
+    let path = o.positional.first().ok_or("missing image file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let format = if bytes.starts_with(b"TYSTO3") {
+        3
+    } else if bytes.starts_with(b"TYSTO2") {
+        2
+    } else {
+        0
+    };
+    let decoded = snapshot::from_bytes(&bytes);
+    let mut dangling_refs: Vec<(u64, u64)> = Vec::new();
+    let mut dangling_roots: Vec<String> = Vec::new();
+    let mut corrupt_ptml: Vec<(u64, String)> = Vec::new();
+    let (objects, roots) = match &decoded {
+        Ok(store) => {
+            for (oid, obj) in store.iter() {
+                for r in gc::object_refs(obj) {
+                    if store.get(r).is_err() {
+                        dangling_refs.push((oid.0, r.0));
+                    }
+                }
+            }
+            for (name, oid) in store.roots() {
+                if store.get(oid).is_err() {
+                    dangling_roots.push(name.to_string());
+                }
+            }
+            // PTML well-formedness, closure by closure. Decoding needs the
+            // full primitive vocabulary, including the query extension.
+            let mut ctx = tycoon::core::Ctx::new();
+            let mut vm = tycoon::vm::Vm::new();
+            tycoon::query::install(&mut ctx, &mut vm);
+            for (oid, obj) in store.iter() {
+                let Object::Closure(c) = obj else { continue };
+                let Some(ptml_oid) = c.ptml else { continue };
+                match store.get(ptml_oid) {
+                    Ok(Object::Ptml(b)) => {
+                        if let Err(e) = decode_abs(&mut ctx, b) {
+                            corrupt_ptml.push((oid.0, e.to_string()));
+                        }
+                    }
+                    Ok(other) => {
+                        corrupt_ptml.push((oid.0, format!("ptml slot holds a {}", other.kind())))
+                    }
+                    Err(e) => corrupt_ptml.push((oid.0, e.to_string())),
+                }
+            }
+            (store.iter().count(), store.roots().count())
+        }
+        Err(_) => (0, 0),
+    };
+    let ok = decoded.is_ok()
+        && dangling_refs.is_empty()
+        && dangling_roots.is_empty()
+        && corrupt_ptml.is_empty();
+
+    let mut repaired: Option<(snapshot::RecoveryReport, String)> = None;
+    if o.repair && !ok {
+        let out = o.output.clone().ok_or("fsck --repair needs -o <out.tys>")?;
+        let (store, report) =
+            snapshot::load_with_recovery(path).map_err(|e| format!("repair failed: {e}"))?;
+        snapshot::save(&store, &out).map_err(|e| format!("repair: {out}: {e}"))?;
+        repaired = Some((report, out));
+    }
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!("  \"path\": {},\n", json_str(path)));
+    j.push_str(&format!("  \"bytes\": {},\n", bytes.len()));
+    j.push_str(&format!("  \"format\": {format},\n"));
+    match &decoded {
+        Ok(_) => j.push_str("  \"decode\": \"ok\",\n"),
+        Err(e) => j.push_str(&format!("  \"decode\": {},\n", json_str(&e.to_string()))),
+    }
+    j.push_str(&format!("  \"objects\": {objects},\n"));
+    j.push_str(&format!("  \"roots\": {roots},\n"));
+    j.push_str("  \"dangling_refs\": [");
+    for (i, (from, to)) in dangling_refs.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("{{\"from\": {from}, \"to\": {to}}}"));
+    }
+    j.push_str("],\n");
+    j.push_str("  \"dangling_roots\": [");
+    for (i, name) in dangling_roots.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&json_str(name));
+    }
+    j.push_str("],\n");
+    j.push_str("  \"corrupt_ptml\": [");
+    for (i, (oid, err)) in corrupt_ptml.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("{{\"oid\": {oid}, \"error\": {}}}", json_str(err)));
+    }
+    j.push_str("],\n");
+    match &repaired {
+        Some((report, out)) => {
+            j.push_str(&format!(
+                "  \"repair\": {{\"source\": {}, \"dropped_objects\": {}, \"dropped_roots\": {}, \"dropped_sections\": {}, \"output\": {}}},\n",
+                json_str(report.source.name()),
+                report.dropped_objects,
+                report.dropped_roots,
+                report.dropped_sections,
+                json_str(out)
+            ));
+        }
+        None => j.push_str("  \"repair\": null,\n"),
+    }
+    j.push_str(&format!("  \"ok\": {ok}\n"));
+    j.push('}');
+    println!("{j}");
+    if ok || repaired.is_some() {
+        Ok(())
+    } else {
+        Err(format!("{path}: image has integrity problems"))
+    }
+}
+
 fn main() -> ExitCode {
     let (command, options) = match parse_args(std::env::args()) {
         Ok(x) => x,
         Err(e) => {
             eprintln!(
-                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|explain|opt ..."
+                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|explain|opt|fsck ..."
             );
             return ExitCode::FAILURE;
         }
@@ -550,6 +759,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&options),
         "explain" => cmd_explain(&options),
         "opt" => cmd_opt(&options),
+        "fsck" => cmd_fsck(&options),
         other => Err(format!("unknown command {other}")),
     };
     match result {

@@ -284,6 +284,96 @@ fn missing_entry_reports_error() {
 }
 
 #[test]
+fn fsck_passes_a_healthy_image() {
+    let image = std::env::temp_dir().join(format!("tmlc_fsck_ok_{}.tys", std::process::id()));
+    let out = tmlc()
+        .args(["snapshot"])
+        .arg(geom_file())
+        .args(["-o"])
+        .arg(&image)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = tmlc().args(["fsck"]).arg(&image).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"ok\": true"), "{text}");
+    assert!(text.contains("\"format\": 3"), "{text}");
+    assert!(text.contains("\"dangling_roots\": []"), "{text}");
+    std::fs::remove_file(&image).ok();
+}
+
+#[test]
+fn fsck_flags_a_corrupt_image_and_repair_restores_it() {
+    let dir = std::env::temp_dir().join(format!("tmlc_fsck_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let image = dir.join("world.tys");
+    // Save twice so a good .bak sits next to the primary.
+    for _ in 0..2 {
+        let out = tmlc()
+            .args(["snapshot"])
+            .arg(geom_file())
+            .args(["-o"])
+            .arg(&image)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Flip a byte in the middle of the primary: the CRC catches it.
+    let mut bytes = std::fs::read(&image).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&image, &bytes).unwrap();
+
+    let out = tmlc().args(["fsck"]).arg(&image).output().unwrap();
+    assert!(!out.status.success(), "corrupt image must fail fsck");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"ok\": false"), "{text}");
+
+    // --repair recovers from the backup into a fresh image...
+    let repaired = dir.join("repaired.tys");
+    let out = tmlc()
+        .args(["fsck"])
+        .arg(&image)
+        .args(["--repair", "-o"])
+        .arg(&repaired)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"repair\": {"), "{text}");
+    assert!(text.contains("\"source\": \"backup\""), "{text}");
+
+    // ...and the repaired image passes a clean fsck.
+    let out = tmlc().args(["fsck"]).arg(&repaired).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"ok\": true"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn opt_reports_identical_work_for_any_jobs() {
     let run = |jobs: &str| -> String {
         let out = tmlc()

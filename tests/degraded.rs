@@ -1,0 +1,323 @@
+//! Degraded-mode whole-world optimization: a panicking, diverging or
+//! corrupt target is skipped — recorded on the trace — while the rest of
+//! the world commits byte-identically to a healthy run's ordering, for
+//! every job count. Image relink likewise survives corrupt PTML.
+
+use tycoon::lang::{Session, SessionConfig};
+use tycoon::reflect::{
+    optimize_all, optimize_named, relink_image_code, session_from_store, OnError, ReflectError,
+    ReflectOptions,
+};
+use tycoon::store::failpoint::{Action, FailSpec, ScopedFailpoints};
+use tycoon::store::{snapshot, Object, SVal};
+use tycoon::trace::Event;
+use tycoon::vm::RVal;
+
+const SRC: &str = "
+module complex export new, x, y
+let new(a: Real, b: Real): Tuple = tuple(a, b)
+let x(c: Tuple): Real = c.0
+let y(c: Tuple): Real = c.1
+end
+module geom export abs
+let abs(c: Tuple): Real =
+  real.sqrt(complex.x(c) * complex.x(c) + complex.y(c) * complex.y(c))
+end
+module m export fib
+let fib(n: Int): Int = if n < 2 then n else fib(n - 1) + fib(n - 2) end
+end";
+
+fn session() -> Session {
+    let mut s = Session::new(SessionConfig::default()).unwrap();
+    s.load_str(SRC).unwrap();
+    s
+}
+
+fn oid_of(s: &Session, name: &str) -> u64 {
+    let Some(SVal::Ref(oid)) = s.globals.get(name) else {
+        panic!("{name} is not a closure-valued global");
+    };
+    oid.0
+}
+
+fn check_world(s: &mut Session) {
+    let c = s
+        .call("complex.new", vec![RVal::Real(3.0), RVal::Real(4.0)])
+        .unwrap()
+        .result;
+    assert_eq!(s.call("geom.abs", vec![c]).unwrap().result, RVal::Real(5.0));
+    assert_eq!(
+        s.call("m.fib", vec![RVal::Int(10)]).unwrap().result,
+        RVal::Int(55)
+    );
+}
+
+#[test]
+fn panicking_target_is_skipped_and_the_rest_commits_identically() {
+    // Session construction is deterministic, so the target's OID is the
+    // same in every run below.
+    let target = oid_of(&session(), "geom.abs");
+    let _fp = ScopedFailpoints::new(&[(
+        "reflect.prepare",
+        FailSpec::always(Action::Panic).for_key(target),
+    )]);
+
+    let rec = tycoon::trace::global();
+    rec.clear();
+    rec.set_capacity(1 << 16);
+    rec.set_enabled(true);
+    let run = |jobs: u32| {
+        let mut s = session();
+        let report = optimize_all(
+            &mut s,
+            &ReflectOptions {
+                jobs,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (s, report)
+    };
+    let (mut s1, r1) = run(1);
+    let (mut s4, r4) = run(4);
+    rec.set_enabled(false);
+
+    assert_eq!(r1.skipped, 1, "{r1:?}");
+    assert_eq!(r4.skipped, 1, "{r4:?}");
+    assert_eq!(r1.functions, r4.functions);
+    assert!(
+        r1.functions > 0,
+        "other targets must still optimize: {r1:?}"
+    );
+    assert_eq!(
+        snapshot::to_bytes(&s1.store),
+        snapshot::to_bytes(&s4.store),
+        "degraded commit must be byte-identical across job counts"
+    );
+    // The skipped function is still its unoptimized self — bound and
+    // correct — while others were replaced.
+    assert_eq!(oid_of(&s1, "geom.abs"), target);
+    check_world(&mut s1);
+    check_world(&mut s4);
+
+    // Both runs reported the skip on the trace, attributed to the target.
+    // (Filter on the reason: concurrently running tests in this binary may
+    // record their own fuel/decode skips on the shared recorder.)
+    let skips: Vec<_> = rec
+        .events()
+        .into_iter()
+        .filter_map(|sample| match sample.event {
+            Event::DegradedSkip {
+                function,
+                oid,
+                reason: "panic",
+                ..
+            } => Some((function, oid)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(skips.len(), 2, "{skips:?}");
+    for (function, oid) in skips {
+        assert_eq!(function, "geom.abs");
+        assert_eq!(oid, target);
+    }
+    assert!(rec.counter("reflect.degraded").get() >= 2);
+}
+
+#[test]
+fn abort_policy_propagates_injected_failures() {
+    let target = oid_of(&session(), "geom.abs");
+    let _fp = ScopedFailpoints::new(&[(
+        "reflect.prepare",
+        FailSpec::always(Action::Io).for_key(target),
+    )]);
+    let mut s = session();
+    let err = optimize_all(
+        &mut s,
+        &ReflectOptions {
+            on_error: OnError::Abort,
+            ..Default::default()
+        },
+    );
+    assert!(
+        matches!(err, Err(ReflectError::BadPtml(_))),
+        "abort mode must surface the failure: {err:?}"
+    );
+}
+
+#[test]
+fn fuel_budget_skips_expensive_targets_but_commits_the_world() {
+    let mut s = session();
+    let report = optimize_all(
+        &mut s,
+        &ReflectOptions {
+            fuel: Some(0),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(report.skipped > 0, "{report:?}");
+    check_world(&mut s);
+}
+
+#[test]
+fn fuel_exhaustion_surfaces_as_a_typed_error_in_abort_mode() {
+    let mut s = session();
+    let err = optimize_named(
+        &mut s,
+        "geom.abs",
+        &ReflectOptions {
+            fuel: Some(0),
+            on_error: OnError::Abort,
+            ..Default::default()
+        },
+    );
+    assert!(
+        matches!(err, Err(ReflectError::Fuel { budget: 0, .. })),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn fuel_participates_in_the_cache_key() {
+    let mut s = session();
+    let generous = ReflectOptions {
+        fuel: Some(1_000_000),
+        ..Default::default()
+    };
+    let _ = optimize_named(&mut s, "geom.abs", &generous).unwrap();
+    let unlimited = ReflectOptions::default();
+    let _ = optimize_named(&mut s, "geom.abs", &unlimited).unwrap();
+    let stats = s.store.cache_stats();
+    assert_eq!(stats.hits, 0, "{stats:?}");
+    assert_eq!(stats.inserts, 2, "{stats:?}");
+}
+
+#[test]
+fn relink_skips_closures_with_corrupt_ptml_and_marks_them_degraded() {
+    let s = session();
+    let bytes = snapshot::to_bytes(&s.store);
+    drop(s);
+
+    let store = snapshot::from_bytes(&bytes).unwrap();
+    let mut s2 = session_from_store(store, SessionConfig::default());
+    let Some(SVal::Ref(victim)) = s2.globals.get("geom.abs").cloned() else {
+        panic!()
+    };
+    let ptml_oid = match s2.store.get(victim) {
+        Ok(Object::Closure(c)) => c.ptml.unwrap(),
+        other => panic!("{other:?}"),
+    };
+    match s2.store.get_mut(ptml_oid) {
+        Ok(Object::Ptml(b)) => {
+            b.clear();
+            b.extend_from_slice(b"not ptml at all");
+        }
+        other => panic!("{other:?}"),
+    }
+
+    let report = relink_image_code(&mut s2).unwrap();
+    assert_eq!(report.skipped, 1, "{report:?}");
+    assert!(report.relinked > 0, "{report:?}");
+    assert_eq!(s2.store.attr(victim, "degraded"), Some(1));
+    // Everything else relinked and runs.
+    let c = s2
+        .call("complex.new", vec![RVal::Real(3.0), RVal::Real(4.0)])
+        .unwrap()
+        .result;
+    assert_eq!(
+        s2.call("complex.x", vec![c]).unwrap().result,
+        RVal::Real(3.0)
+    );
+    assert_eq!(
+        s2.call("m.fib", vec![RVal::Int(10)]).unwrap().result,
+        RVal::Int(55)
+    );
+}
+
+#[test]
+fn degraded_image_boots_after_salvage_drops_a_ptml_blob() {
+    // End-to-end: salvage tombstones a PTML record, the closure that
+    // pointed at it relinks as degraded, and the rest of the image runs.
+    let dir = std::env::temp_dir().join(format!("tml_degraded_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("world.tys");
+
+    let s = session();
+    let Some(SVal::Ref(victim)) = s.globals.get("geom.abs").cloned() else {
+        panic!()
+    };
+    let ptml_oid = match s.store.get(victim) {
+        Ok(Object::Closure(c)) => c.ptml.unwrap(),
+        other => panic!("{other:?}"),
+    };
+    snapshot::save(&s.store, &path).unwrap();
+    drop(s);
+
+    // Corrupt exactly the PTML blob's framed record on disk, then remove
+    // the CRC trailer's protection by... no — recompute nothing: salvage
+    // operates on the raw image, so a flipped byte inside that frame
+    // fails the whole-image CRC and the per-record decode, and only that
+    // record is dropped.
+    let mut image = std::fs::read(&path).unwrap();
+    let offset = find_frame(&image, ptml_oid.0);
+    image[offset] ^= 0xff;
+    std::fs::write(&path, &image).unwrap();
+    std::fs::remove_file(snapshot::backup_path(&path)).ok();
+
+    let (store, report) = snapshot::load_with_recovery(&path).unwrap();
+    assert!(report.dropped_objects >= 1, "{report:?}");
+    let mut s2 = session_from_store(store, SessionConfig::default());
+    let relink = relink_image_code(&mut s2).unwrap();
+    assert!(relink.skipped >= 1, "{relink:?}");
+    assert!(relink.relinked > 0, "{relink:?}");
+    let c = s2
+        .call("complex.new", vec![RVal::Real(3.0), RVal::Real(4.0)])
+        .unwrap()
+        .result;
+    assert_eq!(
+        s2.call("complex.x", vec![c]).unwrap().result,
+        RVal::Real(3.0)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Byte offset of the first payload byte of object `oid`'s framed record
+/// in a TYSTO3 image — a tiny re-parse of the envelope, kept in sync with
+/// `snapshot.rs` (the format is versioned and CRC-sealed, so drift would
+/// fail loudly).
+fn find_frame(image: &[u8], oid: u64) -> usize {
+    fn varint(image: &[u8], pos: &mut usize) -> u64 {
+        let mut shift = 0u32;
+        let mut out = 0u64;
+        loop {
+            let b = image[*pos];
+            *pos += 1;
+            out |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return out;
+            }
+            shift += 7;
+        }
+    }
+    assert!(image.starts_with(b"TYSTO3"), "format changed?");
+    let mut pos = 6;
+    let slots = varint(image, &mut pos);
+    // OIDs are 1-based (0 is the null OID); slot records are emitted in
+    // OID order, so object `oid` is the (oid - 1)-th record.
+    assert!(
+        oid >= 1 && oid - 1 < slots,
+        "oid {oid} out of range {slots}"
+    );
+    for _ in 0..oid - 1 {
+        let tag = varint(image, &mut pos);
+        if tag == 1 {
+            let len = varint(image, &mut pos);
+            pos += len as usize;
+        }
+    }
+    let tag = varint(image, &mut pos);
+    assert_eq!(tag, 1, "victim slot must hold an object");
+    let _len = varint(image, &mut pos);
+    pos
+}

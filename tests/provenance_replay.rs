@@ -123,8 +123,9 @@ fn image_relink_restores_a_runnable_session() {
 
     let store = snapshot::from_bytes(&bytes).unwrap();
     let mut s2 = session_from_store(store, Default::default());
-    let relinked = relink_image_code(&mut s2).unwrap();
-    assert!(relinked > 0);
+    let relink = relink_image_code(&mut s2).unwrap();
+    assert!(relink.relinked > 0);
+    assert_eq!(relink.skipped, 0);
     let c = s2
         .call("complex.new", vec![RVal::Real(3.0), RVal::Real(4.0)])
         .unwrap()
