@@ -33,7 +33,8 @@
 //! * a programmatic CPS term builder ([`build`]),
 //! * the abstract-machine cost model used by the inliner ([`cost`]), and
 //! * the extensible primitive-procedure table of paper §2.3 ([`prim`],
-//!   standard set in [`prims_std`]).
+//!   standard set in [`prims_std`], built through [`Registry`]), with the
+//!   per-primitive code-generation interface in [`emit`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +43,7 @@ pub mod alpha;
 pub mod build;
 pub mod census;
 pub mod cost;
+pub mod emit;
 pub mod error;
 pub mod free;
 pub mod gen;
@@ -51,6 +53,7 @@ pub mod parse;
 pub mod pretty;
 pub mod prim;
 pub mod prims_std;
+pub mod registry;
 pub mod subst;
 pub mod term;
 pub mod wellformed;
@@ -60,7 +63,10 @@ pub use census::Census;
 pub use error::{CoreError, CoreResult};
 pub use ident::{NameTable, VarId, VarInfo};
 pub use lit::{Lit, Oid, R64};
-pub use prim::{EffectClass, FoldOutcome, PrimAttrs, PrimDef, PrimId, PrimTable, Signature};
+pub use prim::{
+    DuplicatePrim, EffectClass, FoldOutcome, PrimAttrs, PrimDef, PrimId, PrimTable, Signature,
+};
+pub use registry::Registry;
 pub use term::{Abs, AbsKind, App, Value};
 
 /// A compilation context: the shared state threaded through code
@@ -82,11 +88,16 @@ impl Ctx {
     /// Create a context with an empty name table and the standard primitive
     /// set of the paper's figure 2 (see [`prims_std::install`]).
     pub fn new() -> Self {
-        let mut prims = PrimTable::new();
-        prims_std::install(&mut prims);
+        Ctx::from_registry(Registry::standard())
+    }
+
+    /// Create a context over an explicitly built primitive [`Registry`] —
+    /// the single construction path shared by the session, the image
+    /// loader, the `tmlc` driver and the tests.
+    pub fn from_registry(registry: Registry) -> Self {
         Ctx {
             names: NameTable::new(),
-            prims,
+            prims: registry.build(),
         }
     }
 

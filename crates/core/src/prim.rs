@@ -5,8 +5,10 @@
 //! of the intermediate language itself*. New primitives can be registered at
 //! back-end compile time by providing:
 //!
-//! 1. a target-code generation hook (supplied by the abstract machine in
-//!    `tml-vm`, keyed by [`PrimId`]),
+//! 1. a **target-code generation hook** ([`PrimDef::codegen`]) emitting
+//!    through the narrow [`crate::emit::EmitCtx`] interface; primitives
+//!    without one compile to the machine's generic `call-prim`
+//!    instruction and execute through the host-function table,
 //! 2. a **meta-evaluation function** used by the optimizer's `fold` rule
 //!    ([`PrimDef::fold`]),
 //! 3. a **runtime cost estimator** measured in abstract machine
@@ -18,6 +20,7 @@
 //! By definition each primitive calls exactly one of its continuation
 //! arguments tail-recursively, passing the result of its computation.
 
+use crate::emit::CodegenFn;
 use crate::term::App;
 use std::collections::HashMap;
 use std::fmt;
@@ -179,9 +182,20 @@ pub struct PrimDef {
     pub validate: Option<ValidateFn>,
     /// Abstract-machine cost of one call.
     pub cost: PrimCost,
+    /// Inline lowering hook. `None` means the back end compiles
+    /// applications to its generic `call-prim` instruction, resolved
+    /// against the host-function table at run time under the standard
+    /// `(vals… ce cc)` convention.
+    pub codegen: Option<CodegenFn>,
 }
 
 impl PrimDef {
+    /// Attach an inline lowering hook, builder-style.
+    pub fn with_codegen(mut self, f: CodegenFn) -> PrimDef {
+        self.codegen = Some(f);
+        self
+    }
+
     /// Estimate the cost of `app` (a call to this primitive).
     pub fn cost_of(&self, app: &App) -> u32 {
         match self.cost {
@@ -199,9 +213,24 @@ impl fmt::Debug for PrimDef {
             .field("attrs", &self.attrs)
             .field("fold", &self.fold.is_some())
             .field("cost", &self.cost)
+            .field("codegen", &self.codegen.is_some())
             .finish()
     }
 }
+
+/// Error of [`PrimTable::try_register`]: the name is already taken.
+/// Primitive names are the stable persistent identity of operations, so
+/// redefinition is never allowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicatePrim(pub String);
+
+impl fmt::Display for DuplicatePrim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "primitive {:?} registered twice", self.0)
+    }
+}
+
+impl std::error::Error for DuplicatePrim {}
 
 /// The extensible registry of primitive procedures.
 ///
@@ -236,17 +265,25 @@ impl PrimTable {
     /// # Panics
     /// Panics if a primitive with the same name is already registered —
     /// primitive names are the stable persistent identity of operations and
-    /// silently redefining one would corrupt PTML round-trips.
+    /// silently redefining one would corrupt PTML round-trips. Use
+    /// [`PrimTable::try_register`] for a recoverable error instead.
     pub fn register(&mut self, def: PrimDef) -> PrimId {
-        assert!(
-            !self.by_name.contains_key(&def.name),
-            "primitive {:?} registered twice",
-            def.name
-        );
+        match self.try_register(def) {
+            Ok(id) => id,
+            Err(e) => panic!("primitive {:?} registered twice", e.0),
+        }
+    }
+
+    /// Register a primitive, reporting a duplicate name as a typed error
+    /// instead of panicking.
+    pub fn try_register(&mut self, def: PrimDef) -> Result<PrimId, DuplicatePrim> {
+        if self.by_name.contains_key(&def.name) {
+            return Err(DuplicatePrim(def.name));
+        }
         let id = PrimId(u32::try_from(self.defs.len()).expect("prim id space exhausted"));
         self.by_name.insert(def.name.clone(), id);
         self.defs.push(def);
-        id
+        Ok(id)
     }
 
     /// Look up a primitive by name.
@@ -313,6 +350,7 @@ mod tests {
             fold: None,
             validate: None,
             cost: PrimCost::Const(1),
+            codegen: None,
         }
     }
 
@@ -331,6 +369,21 @@ mod tests {
         let mut t = PrimTable::new();
         t.register(dummy("+", Signature::exact(2, 2)));
         t.register(dummy("+", Signature::exact(2, 2)));
+    }
+
+    #[test]
+    fn duplicate_registration_is_a_typed_error() {
+        let mut t = PrimTable::new();
+        let id = t.try_register(dummy("+", Signature::exact(2, 2))).unwrap();
+        let err = t
+            .try_register(dummy("+", Signature::exact(0, 1)))
+            .unwrap_err();
+        assert_eq!(err, DuplicatePrim("+".to_string()));
+        assert!(err.to_string().contains("registered twice"));
+        // The failed registration must not disturb the table.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("+"), Some(id));
+        assert_eq!(t.def(id).signature, Signature::exact(2, 2));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! constants so that folding a call at compile time and executing it at
 //! runtime are observationally identical.
 
+use crate::emit::{AllocKind, ArithOp, BitOp, CmpOp, ConvOp, EmitCtx, EmitError, MachOp, Operand};
 use crate::lit::Lit;
 use crate::prim::{
     Arity, EffectClass, FoldOutcome, PrimAttrs, PrimCost, PrimDef, PrimTable, Signature,
@@ -43,6 +44,10 @@ pub const ERR_BOUNDS: &str = "bounds";
 pub const ERR_TYPE: &str = "type";
 /// Exception value raised by `ccall` when the host function is unknown.
 pub const ERR_NO_CCALL: &str = "unknown-ccall";
+/// Exception value raised by the generic `call-prim` dispatch when the
+/// executing machine's host-function table has no binding for the
+/// primitive's name.
+pub const ERR_NO_PRIM: &str = "unknown-prim";
 
 const PURE: PrimAttrs = PrimAttrs {
     effects: EffectClass::Pure,
@@ -79,6 +84,7 @@ fn def(
         fold,
         validate: None,
         cost,
+        codegen: None,
     }
 }
 
@@ -88,270 +94,378 @@ fn def(
 /// names), matching [`PrimTable::register`]'s contract.
 pub fn install(table: &mut PrimTable) {
     // Integer arithmetic: (p val1 val2 ce cc).
-    table.register(def(
-        "+",
-        Signature::exact(2, 2),
-        PURE_COMM,
-        Some(fold_add),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "-",
-        Signature::exact(2, 2),
-        PURE,
-        Some(fold_sub),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "*",
-        Signature::exact(2, 2),
-        PURE_COMM,
-        Some(fold_mul),
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "/",
-        Signature::exact(2, 2),
-        PURE,
-        Some(fold_div),
-        PrimCost::Const(3),
-    ));
-    table.register(def(
-        "%",
-        Signature::exact(2, 2),
-        PURE,
-        Some(fold_mod),
-        PrimCost::Const(3),
-    ));
+    table.register(
+        def(
+            "+",
+            Signature::exact(2, 2),
+            PURE_COMM,
+            Some(fold_add),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_arith(e, a, ArithOp::Add)),
+    );
+    table.register(
+        def(
+            "-",
+            Signature::exact(2, 2),
+            PURE,
+            Some(fold_sub),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_arith(e, a, ArithOp::Sub)),
+    );
+    table.register(
+        def(
+            "*",
+            Signature::exact(2, 2),
+            PURE_COMM,
+            Some(fold_mul),
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_arith(e, a, ArithOp::Mul)),
+    );
+    table.register(
+        def(
+            "/",
+            Signature::exact(2, 2),
+            PURE,
+            Some(fold_div),
+            PrimCost::Const(3),
+        )
+        .with_codegen(|e, a| cg_arith(e, a, ArithOp::Div)),
+    );
+    table.register(
+        def(
+            "%",
+            Signature::exact(2, 2),
+            PURE,
+            Some(fold_mod),
+            PrimCost::Const(3),
+        )
+        .with_codegen(|e, a| cg_arith(e, a, ArithOp::Mod)),
+    );
 
     // Integer comparison: (p val1 val2 c_true c_false).
-    table.register(def(
-        "<",
-        Signature::exact(2, 2),
-        PURE,
-        Some(|a| fold_icmp(a, |x, y| x < y)),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        ">",
-        Signature::exact(2, 2),
-        PURE,
-        Some(|a| fold_icmp(a, |x, y| x > y)),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "<=",
-        Signature::exact(2, 2),
-        PURE,
-        Some(|a| fold_icmp(a, |x, y| x <= y)),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        ">=",
-        Signature::exact(2, 2),
-        PURE,
-        Some(|a| fold_icmp(a, |x, y| x >= y)),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "=",
-        Signature::exact(2, 2),
-        PURE_COMM,
-        Some(|a| fold_icmp(a, |x, y| x == y)),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "<>",
-        Signature::exact(2, 2),
-        PURE_COMM,
-        Some(|a| fold_icmp(a, |x, y| x != y)),
-        PrimCost::Const(1),
-    ));
+    table.register(
+        def(
+            "<",
+            Signature::exact(2, 2),
+            PURE,
+            Some(|a| fold_icmp(a, |x, y| x < y)),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_cmp(e, a, CmpOp::Lt)),
+    );
+    table.register(
+        def(
+            ">",
+            Signature::exact(2, 2),
+            PURE,
+            Some(|a| fold_icmp(a, |x, y| x > y)),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_cmp(e, a, CmpOp::Gt)),
+    );
+    table.register(
+        def(
+            "<=",
+            Signature::exact(2, 2),
+            PURE,
+            Some(|a| fold_icmp(a, |x, y| x <= y)),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_cmp(e, a, CmpOp::Le)),
+    );
+    table.register(
+        def(
+            ">=",
+            Signature::exact(2, 2),
+            PURE,
+            Some(|a| fold_icmp(a, |x, y| x >= y)),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_cmp(e, a, CmpOp::Ge)),
+    );
+    table.register(
+        def(
+            "=",
+            Signature::exact(2, 2),
+            PURE_COMM,
+            Some(|a| fold_icmp(a, |x, y| x == y)),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_cmp(e, a, CmpOp::Eq)),
+    );
+    table.register(
+        def(
+            "<>",
+            Signature::exact(2, 2),
+            PURE_COMM,
+            Some(|a| fold_icmp(a, |x, y| x != y)),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_cmp(e, a, CmpOp::Ne)),
+    );
 
     // Bit operations: (p val1 val2 c).
-    table.register(def(
-        "<<",
-        Signature::exact(2, 1),
-        PURE,
-        Some(|a| fold_bit(a, |x, y| x.wrapping_shl(y as u32 & 63))),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        ">>",
-        Signature::exact(2, 1),
-        PURE,
-        Some(|a| fold_bit(a, |x, y| x.wrapping_shr(y as u32 & 63))),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "&",
-        Signature::exact(2, 1),
-        PURE_COMM,
-        Some(|a| fold_bit(a, |x, y| x & y)),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "|",
-        Signature::exact(2, 1),
-        PURE_COMM,
-        Some(|a| fold_bit(a, |x, y| x | y)),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "^",
-        Signature::exact(2, 1),
-        PURE_COMM,
-        Some(|a| fold_bit(a, |x, y| x ^ y)),
-        PrimCost::Const(1),
-    ));
+    table.register(
+        def(
+            "<<",
+            Signature::exact(2, 1),
+            PURE,
+            Some(|a| fold_bit(a, |x, y| x.wrapping_shl(y as u32 & 63))),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_bit(e, a, BitOp::Shl)),
+    );
+    table.register(
+        def(
+            ">>",
+            Signature::exact(2, 1),
+            PURE,
+            Some(|a| fold_bit(a, |x, y| x.wrapping_shr(y as u32 & 63))),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_bit(e, a, BitOp::Shr)),
+    );
+    table.register(
+        def(
+            "&",
+            Signature::exact(2, 1),
+            PURE_COMM,
+            Some(|a| fold_bit(a, |x, y| x & y)),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_bit(e, a, BitOp::And)),
+    );
+    table.register(
+        def(
+            "|",
+            Signature::exact(2, 1),
+            PURE_COMM,
+            Some(|a| fold_bit(a, |x, y| x | y)),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_bit(e, a, BitOp::Or)),
+    );
+    table.register(
+        def(
+            "^",
+            Signature::exact(2, 1),
+            PURE_COMM,
+            Some(|a| fold_bit(a, |x, y| x ^ y)),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_bit(e, a, BitOp::Xor)),
+    );
 
     // Real arithmetic (needed for the paper's §4.1 abs example).
-    table.register(def(
-        "f+",
-        Signature::exact(2, 2),
-        PURE_COMM,
-        Some(|a| fold_farith(a, |x, y| x + y)),
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "f-",
-        Signature::exact(2, 2),
-        PURE,
-        Some(|a| fold_farith(a, |x, y| x - y)),
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "f*",
-        Signature::exact(2, 2),
-        PURE_COMM,
-        Some(|a| fold_farith(a, |x, y| x * y)),
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "f/",
-        Signature::exact(2, 2),
-        PURE,
-        Some(|a| fold_farith(a, |x, y| x / y)),
-        PrimCost::Const(4),
-    ));
-    table.register(def(
-        "fsqrt",
-        Signature::exact(1, 2),
-        PURE,
-        Some(fold_fsqrt),
-        PrimCost::Const(6),
-    ));
-    table.register(def(
-        "f<",
-        Signature::exact(2, 2),
-        PURE,
-        Some(|a| fold_fcmp(a, |x, y| x < y)),
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "f<=",
-        Signature::exact(2, 2),
-        PURE,
-        Some(|a| fold_fcmp(a, |x, y| x <= y)),
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "f=",
-        Signature::exact(2, 2),
-        PURE,
-        Some(|a| fold_fcmp(a, |x, y| x == y)),
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "i2r",
-        Signature::exact(1, 1),
-        PURE,
-        Some(fold_i2r),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "r2i",
-        Signature::exact(1, 1),
-        PURE,
-        Some(fold_r2i),
-        PrimCost::Const(1),
-    ));
+    table.register(
+        def(
+            "f+",
+            Signature::exact(2, 2),
+            PURE_COMM,
+            Some(|a| fold_farith(a, |x, y| x + y)),
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_arith(e, a, ArithOp::FAdd)),
+    );
+    table.register(
+        def(
+            "f-",
+            Signature::exact(2, 2),
+            PURE,
+            Some(|a| fold_farith(a, |x, y| x - y)),
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_arith(e, a, ArithOp::FSub)),
+    );
+    table.register(
+        def(
+            "f*",
+            Signature::exact(2, 2),
+            PURE_COMM,
+            Some(|a| fold_farith(a, |x, y| x * y)),
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_arith(e, a, ArithOp::FMul)),
+    );
+    table.register(
+        def(
+            "f/",
+            Signature::exact(2, 2),
+            PURE,
+            Some(|a| fold_farith(a, |x, y| x / y)),
+            PrimCost::Const(4),
+        )
+        .with_codegen(|e, a| cg_arith(e, a, ArithOp::FDiv)),
+    );
+    table.register(
+        def(
+            "fsqrt",
+            Signature::exact(1, 2),
+            PURE,
+            Some(fold_fsqrt),
+            PrimCost::Const(6),
+        )
+        .with_codegen(cg_fsqrt),
+    );
+    table.register(
+        def(
+            "f<",
+            Signature::exact(2, 2),
+            PURE,
+            Some(|a| fold_fcmp(a, |x, y| x < y)),
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_cmp(e, a, CmpOp::FLt)),
+    );
+    table.register(
+        def(
+            "f<=",
+            Signature::exact(2, 2),
+            PURE,
+            Some(|a| fold_fcmp(a, |x, y| x <= y)),
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_cmp(e, a, CmpOp::FLe)),
+    );
+    table.register(
+        def(
+            "f=",
+            Signature::exact(2, 2),
+            PURE,
+            Some(|a| fold_fcmp(a, |x, y| x == y)),
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_cmp(e, a, CmpOp::FEq)),
+    );
+    table.register(
+        def(
+            "i2r",
+            Signature::exact(1, 1),
+            PURE,
+            Some(fold_i2r),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_conv(e, a, ConvOp::IntToReal)),
+    );
+    table.register(
+        def(
+            "r2i",
+            Signature::exact(1, 1),
+            PURE,
+            Some(fold_r2i),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_conv(e, a, ConvOp::RealToInt)),
+    );
 
     // Character conversion: (char2int val c), (int2char val c).
-    table.register(def(
-        "char2int",
-        Signature::exact(1, 1),
-        PURE,
-        Some(fold_char2int),
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "int2char",
-        Signature::exact(1, 1),
-        PURE,
-        Some(fold_int2char),
-        PrimCost::Const(1),
-    ));
+    table.register(
+        def(
+            "char2int",
+            Signature::exact(1, 1),
+            PURE,
+            Some(fold_char2int),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_conv(e, a, ConvOp::CharToInt)),
+    );
+    table.register(
+        def(
+            "int2char",
+            Signature::exact(1, 1),
+            PURE,
+            Some(fold_int2char),
+            PrimCost::Const(1),
+        )
+        .with_codegen(|e, a| cg_conv(e, a, ConvOp::IntToChar)),
+    );
 
     // Object arrays.
-    table.register(def(
-        "array",
-        Signature::variadic(0, 1),
-        READS,
-        None,
-        PrimCost::Fn(|a| 2 + a.args.len() as u32),
-    ));
-    table.register(def(
-        "vector",
-        Signature::variadic(0, 1),
-        READS,
-        None,
-        PrimCost::Fn(|a| 2 + a.args.len() as u32),
-    ));
-    table.register(def(
-        "new",
-        Signature::exact(2, 1),
-        READS,
-        None,
-        PrimCost::Const(4),
-    ));
-    table.register(def(
-        "[]",
-        Signature::exact(2, 2),
-        READS,
-        None,
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "[:=]",
-        Signature::exact(3, 2),
-        WRITES,
-        None,
-        PrimCost::Const(2),
-    ));
+    table.register(
+        def(
+            "array",
+            Signature::variadic(0, 1),
+            READS,
+            None,
+            PrimCost::Fn(|a| 2 + a.args.len() as u32),
+        )
+        .with_codegen(|e, a| cg_alloc_list(e, a, AllocKind::Array)),
+    );
+    table.register(
+        def(
+            "vector",
+            Signature::variadic(0, 1),
+            READS,
+            None,
+            PrimCost::Fn(|a| 2 + a.args.len() as u32),
+        )
+        .with_codegen(|e, a| cg_alloc_list(e, a, AllocKind::Vector)),
+    );
+    table.register(
+        def(
+            "new",
+            Signature::exact(2, 1),
+            READS,
+            None,
+            PrimCost::Const(4),
+        )
+        .with_codegen(|e, a| cg_alloc_fill(e, a, AllocKind::New)),
+    );
+    table.register(
+        def(
+            "[]",
+            Signature::exact(2, 2),
+            READS,
+            None,
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_idx(e, a, false)),
+    );
+    table.register(
+        def(
+            "[:=]",
+            Signature::exact(3, 2),
+            WRITES,
+            None,
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_idx_set(e, a, false)),
+    );
 
     // Byte arrays.
-    table.register(def(
-        "bnew",
-        Signature::exact(2, 1),
-        READS,
-        None,
-        PrimCost::Const(4),
-    ));
-    table.register(def(
-        "b[]",
-        Signature::exact(2, 2),
-        READS,
-        None,
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "b[:=]",
-        Signature::exact(3, 2),
-        WRITES,
-        None,
-        PrimCost::Const(2),
-    ));
+    table.register(
+        def(
+            "bnew",
+            Signature::exact(2, 1),
+            READS,
+            None,
+            PrimCost::Const(4),
+        )
+        .with_codegen(|e, a| cg_alloc_fill(e, a, AllocKind::BNew)),
+    );
+    table.register(
+        def(
+            "b[]",
+            Signature::exact(2, 2),
+            READS,
+            None,
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_idx(e, a, true)),
+    );
+    table.register(
+        def(
+            "b[:=]",
+            Signature::exact(3, 2),
+            WRITES,
+            None,
+            PrimCost::Const(2),
+        )
+        .with_codegen(|e, a| cg_idx_set(e, a, true)),
+    );
 
     // Case analysis on object identity (optional else branch).
     table.register(PrimDef {
@@ -364,16 +478,20 @@ pub fn install(table: &mut PrimTable) {
         fold: Some(fold_case),
         validate: Some(validate_case),
         cost: PrimCost::Fn(|a| 1 + (a.args.len() / 2) as u32),
+        codegen: Some(cg_case),
     });
 
     // Boolean dispatch on a reified boolean value.
-    table.register(def(
-        "btest",
-        Signature::exact(1, 2),
-        PURE,
-        Some(fold_btest),
-        PrimCost::Const(1),
-    ));
+    table.register(
+        def(
+            "btest",
+            Signature::exact(1, 2),
+            PURE,
+            Some(fold_btest),
+            PrimCost::Const(1),
+        )
+        .with_codegen(cg_btest),
+    );
 
     // The Y fixpoint combinator (mutually recursive bindings).
     table.register(PrimDef {
@@ -383,78 +501,411 @@ pub fn install(table: &mut PrimTable) {
         fold: None,
         validate: Some(validate_y),
         cost: PrimCost::Const(3),
+        codegen: Some(cg_y),
     });
 
     // Array/byte-array size and block moves.
-    table.register(def(
-        "size",
-        Signature::exact(1, 1),
-        READS,
-        None,
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "move",
-        Signature::exact(5, 2),
-        WRITES,
-        None,
-        PrimCost::Const(8),
-    ));
-    table.register(def(
-        "bmove",
-        Signature::exact(5, 2),
-        WRITES,
-        None,
-        PrimCost::Const(8),
-    ));
+    table.register(
+        def(
+            "size",
+            Signature::exact(1, 1),
+            READS,
+            None,
+            PrimCost::Const(1),
+        )
+        .with_codegen(cg_size),
+    );
+    table.register(
+        def(
+            "move",
+            Signature::exact(5, 2),
+            WRITES,
+            None,
+            PrimCost::Const(8),
+        )
+        .with_codegen(|e, a| cg_move(e, a, false)),
+    );
+    table.register(
+        def(
+            "bmove",
+            Signature::exact(5, 2),
+            WRITES,
+            None,
+            PrimCost::Const(8),
+        )
+        .with_codegen(|e, a| cg_move(e, a, true)),
+    );
 
     // Foreign (host) function call: (ccall name val... ce cc).
-    table.register(def(
-        "ccall",
-        Signature::variadic(1, 2),
-        WRITES,
-        None,
-        PrimCost::Const(20),
-    ));
+    table.register(
+        def(
+            "ccall",
+            Signature::variadic(1, 2),
+            WRITES,
+            None,
+            PrimCost::Const(20),
+        )
+        .with_codegen(cg_ccall),
+    );
 
     // Exception handling.
-    table.register(def(
-        "pushHandler",
-        Signature::exact(0, 2),
-        WRITES,
-        None,
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "popHandler",
-        Signature::exact(0, 1),
-        WRITES,
-        None,
-        PrimCost::Const(2),
-    ));
-    table.register(def(
-        "raise",
-        Signature::exact(1, 0),
-        WRITES,
-        None,
-        PrimCost::Const(4),
-    ));
+    table.register(
+        def(
+            "pushHandler",
+            Signature::exact(0, 2),
+            WRITES,
+            None,
+            PrimCost::Const(2),
+        )
+        .with_codegen(cg_push_handler),
+    );
+    table.register(
+        def(
+            "popHandler",
+            Signature::exact(0, 1),
+            WRITES,
+            None,
+            PrimCost::Const(2),
+        )
+        .with_codegen(cg_pop_handler),
+    );
+    table.register(
+        def(
+            "raise",
+            Signature::exact(1, 0),
+            WRITES,
+            None,
+            PrimCost::Const(4),
+        )
+        .with_codegen(cg_raise),
+    );
 
     // Top-level termination and diagnostics.
-    table.register(def(
-        "halt",
-        Signature::exact(1, 0),
-        WRITES,
-        None,
-        PrimCost::Const(1),
-    ));
-    table.register(def(
-        "print",
-        Signature::exact(1, 1),
-        WRITES,
-        None,
-        PrimCost::Const(10),
-    ));
+    table.register(
+        def(
+            "halt",
+            Signature::exact(1, 0),
+            WRITES,
+            None,
+            PrimCost::Const(1),
+        )
+        .with_codegen(cg_halt),
+    );
+    table.register(
+        def(
+            "print",
+            Signature::exact(1, 1),
+            WRITES,
+            None,
+            PrimCost::Const(10),
+        )
+        .with_codegen(cg_print),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Codegen hooks: lowering to the idealized abstract machine (paper §2.3,
+// item 1). Each hook resolves its operands and continuations in argument
+// order, then emits the operation consuming them; the host compiler in
+// `tml-vm` supplies the [`EmitCtx`].
+// ---------------------------------------------------------------------------
+
+fn shape(msg: &str) -> EmitError {
+    EmitError::BadShape(msg.to_string())
+}
+
+fn cg_arith(e: &mut dyn EmitCtx, app: &App, op: ArithOp) -> Result<(), EmitError> {
+    let [a, b, ce, cc] = app.args.as_slice() else {
+        return Err(shape("expected (a b ce cc)"));
+    };
+    let a = e.operand(a)?;
+    let b = e.operand(b)?;
+    let dst = e.fresh_reg();
+    let on_err = e.value_cont(ce, dst)?;
+    let on_ok = e.value_cont(cc, dst)?;
+    e.emit(MachOp::Arith {
+        op,
+        dst,
+        a,
+        b,
+        on_err,
+        on_ok,
+    })
+}
+
+fn cg_fsqrt(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let [a, ce, cc] = app.args.as_slice() else {
+        return Err(shape("expected (a ce cc)"));
+    };
+    let a = e.operand(a)?;
+    let dst = e.fresh_reg();
+    // fsqrt cannot fail dynamically (NaN propagates), so the exception
+    // continuation is resolved but left unconsumed.
+    let _ = e.value_cont(ce, dst)?;
+    let on_ok = e.value_cont(cc, dst)?;
+    e.emit(MachOp::Conv {
+        op: ConvOp::FSqrt,
+        dst,
+        a,
+        on_ok,
+    })
+}
+
+fn cg_cmp(e: &mut dyn EmitCtx, app: &App, op: CmpOp) -> Result<(), EmitError> {
+    let [a, b, ct, cf] = app.args.as_slice() else {
+        return Err(shape("expected (a b c_true c_false)"));
+    };
+    let a = e.operand(a)?;
+    let b = e.operand(b)?;
+    let then_ = e.branch_cont(ct)?;
+    let else_ = e.branch_cont(cf)?;
+    e.emit(MachOp::Branch {
+        op,
+        a,
+        b,
+        then_,
+        else_,
+    })
+}
+
+fn cg_bit(e: &mut dyn EmitCtx, app: &App, op: BitOp) -> Result<(), EmitError> {
+    let [a, b, c] = app.args.as_slice() else {
+        return Err(shape("expected (a b c)"));
+    };
+    let a = e.operand(a)?;
+    let b = e.operand(b)?;
+    let dst = e.fresh_reg();
+    let on_ok = e.value_cont(c, dst)?;
+    e.emit(MachOp::Bit {
+        op,
+        dst,
+        a,
+        b,
+        on_ok,
+    })
+}
+
+fn cg_conv(e: &mut dyn EmitCtx, app: &App, op: ConvOp) -> Result<(), EmitError> {
+    let [a, c] = app.args.as_slice() else {
+        return Err(shape("expected (a c)"));
+    };
+    let a = e.operand(a)?;
+    let dst = e.fresh_reg();
+    let on_ok = e.value_cont(c, dst)?;
+    e.emit(MachOp::Conv { op, dst, a, on_ok })
+}
+
+fn cg_alloc_list(e: &mut dyn EmitCtx, app: &App, kind: AllocKind) -> Result<(), EmitError> {
+    let n = app.args.len();
+    if n < 1 {
+        return Err(shape("missing continuation"));
+    }
+    let args = app.args[..n - 1]
+        .iter()
+        .map(|a| e.operand(a))
+        .collect::<Result<Vec<_>, _>>()?;
+    let dst = e.fresh_reg();
+    let on_ok = e.value_cont(&app.args[n - 1], dst)?;
+    e.emit(MachOp::Alloc {
+        kind,
+        dst,
+        args,
+        on_ok,
+    })
+}
+
+fn cg_alloc_fill(e: &mut dyn EmitCtx, app: &App, kind: AllocKind) -> Result<(), EmitError> {
+    let [count, init, c] = app.args.as_slice() else {
+        return Err(shape("expected (count init c)"));
+    };
+    let count = e.operand(count)?;
+    let init = e.operand(init)?;
+    let dst = e.fresh_reg();
+    let on_ok = e.value_cont(c, dst)?;
+    e.emit(MachOp::Alloc {
+        kind,
+        dst,
+        args: vec![count, init],
+        on_ok,
+    })
+}
+
+fn cg_idx(e: &mut dyn EmitCtx, app: &App, byte: bool) -> Result<(), EmitError> {
+    let [arr, index, ce, cc] = app.args.as_slice() else {
+        return Err(shape("expected (arr i ce cc)"));
+    };
+    let arr = e.operand(arr)?;
+    let index = e.operand(index)?;
+    let dst = e.fresh_reg();
+    let on_err = e.value_cont(ce, dst)?;
+    let on_ok = e.value_cont(cc, dst)?;
+    e.emit(MachOp::Idx {
+        byte,
+        dst,
+        arr,
+        index,
+        on_err,
+        on_ok,
+    })
+}
+
+fn cg_idx_set(e: &mut dyn EmitCtx, app: &App, byte: bool) -> Result<(), EmitError> {
+    let [arr, index, value, ce, cc] = app.args.as_slice() else {
+        return Err(shape("expected (arr i v ce cc)"));
+    };
+    let arr = e.operand(arr)?;
+    let index = e.operand(index)?;
+    let value = e.operand(value)?;
+    let dst = e.fresh_reg();
+    let on_err = e.value_cont(ce, dst)?;
+    let on_ok = e.value_cont(cc, dst)?;
+    e.emit(MachOp::IdxSet {
+        byte,
+        dst,
+        arr,
+        index,
+        value,
+        on_err,
+        on_ok,
+    })
+}
+
+fn cg_size(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let [arr, c] = app.args.as_slice() else {
+        return Err(shape("expected (arr c)"));
+    };
+    let arr = e.operand(arr)?;
+    let dst = e.fresh_reg();
+    let on_ok = e.value_cont(c, dst)?;
+    e.emit(MachOp::Size { dst, arr, on_ok })
+}
+
+fn cg_move(e: &mut dyn EmitCtx, app: &App, byte: bool) -> Result<(), EmitError> {
+    if app.args.len() != 7 {
+        return Err(shape("expected (dst dstoff src srcoff len ce cc)"));
+    }
+    let mut args = [Operand::Reg(0); 5];
+    for (i, slot) in args.iter_mut().enumerate() {
+        *slot = e.operand(&app.args[i])?;
+    }
+    let dst = e.fresh_reg();
+    let on_err = e.value_cont(&app.args[5], dst)?;
+    let on_ok = e.value_cont(&app.args[6], dst)?;
+    e.emit(MachOp::MoveBlk {
+        byte,
+        dst,
+        args,
+        on_err,
+        on_ok,
+    })
+}
+
+fn cg_case(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let Some((scrut, tags, branches, default)) = split_case(&app.args) else {
+        return Err(shape("malformed case analysis"));
+    };
+    let scrut = e.operand(scrut)?;
+    let tags = tags
+        .iter()
+        .map(|t| e.operand(t))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut targets = Vec::with_capacity(branches.len());
+    for br in branches {
+        targets.push(e.branch_cont(br)?);
+    }
+    let default = match default {
+        Some(d) => Some(e.branch_cont(d)?),
+        None => None,
+    };
+    e.emit(MachOp::Switch {
+        scrut,
+        tags,
+        targets,
+        default,
+    })
+}
+
+fn cg_btest(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let [a, ct, cf] = app.args.as_slice() else {
+        return Err(shape("expected (v c_true c_false)"));
+    };
+    let a = e.operand(a)?;
+    let then_ = e.branch_cont(ct)?;
+    let else_ = e.branch_cont(cf)?;
+    e.emit(MachOp::BTest { a, then_, else_ })
+}
+
+fn cg_y(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    // Y is a binding form, not an opcode: the host compiles it as
+    // intra-block loops with a closure-group fallback.
+    e.fixpoint(app)
+}
+
+fn cg_ccall(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let n = app.args.len();
+    if n < 3 {
+        return Err(shape("expected (name args... ce cc)"));
+    }
+    let Value::Lit(Lit::Str(fname)) = &app.args[0] else {
+        return Err(shape("ccall function name must be a string literal"));
+    };
+    let args = app.args[1..n - 2]
+        .iter()
+        .map(|a| e.operand(a))
+        .collect::<Result<Vec<_>, _>>()?;
+    let dst = e.fresh_reg();
+    let on_err = e.value_cont(&app.args[n - 2], dst)?;
+    let on_ok = e.value_cont(&app.args[n - 1], dst)?;
+    e.emit(MachOp::Host {
+        name: fname.to_string(),
+        dst,
+        args,
+        on_err,
+        on_ok,
+    })
+}
+
+fn cg_push_handler(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let [handler, c] = app.args.as_slice() else {
+        return Err(shape("expected (handler c)"));
+    };
+    let handler = e.operand(handler)?;
+    let on_ok = e.branch_cont(c)?;
+    e.emit(MachOp::PushHandler { handler, on_ok })
+}
+
+fn cg_pop_handler(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let [c] = app.args.as_slice() else {
+        return Err(shape("expected (c)"));
+    };
+    let on_ok = e.branch_cont(c)?;
+    e.emit(MachOp::PopHandler { on_ok })
+}
+
+fn cg_raise(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let [v] = app.args.as_slice() else {
+        return Err(shape("expected (v)"));
+    };
+    let value = e.operand(v)?;
+    e.emit(MachOp::Raise { value })
+}
+
+fn cg_halt(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let [v] = app.args.as_slice() else {
+        return Err(shape("expected (v)"));
+    };
+    let value = e.operand(v)?;
+    e.emit(MachOp::Halt { value })
+}
+
+fn cg_print(e: &mut dyn EmitCtx, app: &App) -> Result<(), EmitError> {
+    let [v, c] = app.args.as_slice() else {
+        return Err(shape("expected (v c)"));
+    };
+    let value = e.operand(v)?;
+    let dst = e.fresh_reg();
+    let on_ok = e.value_cont(c, dst)?;
+    e.emit(MachOp::Print { dst, value, on_ok })
 }
 
 // ---------------------------------------------------------------------------
@@ -498,6 +949,19 @@ fn fold_checked(app: &App, result: Option<i64>, err: &str) -> FoldOutcome {
     }
 }
 
+/// `true` when `x` can hold an integer at run time: a variable, or an
+/// integer literal. The algebraic identities (`x + 0`, `x * 1`, …) may
+/// only fire under this guard — an ill-typed constant operand must reach
+/// the machine (and its type exception) unchanged, or folding would turn
+/// a failing program into a succeeding one.
+fn may_be_int(x: &Value) -> bool {
+    match x {
+        Value::Var(_) => true,
+        Value::Lit(l) => l.as_int().is_some(),
+        _ => false,
+    }
+}
+
 fn fold_add(app: &App) -> FoldOutcome {
     if let Some((a, b)) = int2(app) {
         return fold_checked(app, a.checked_add(b), ERR_OVERFLOW);
@@ -505,7 +969,7 @@ fn fold_add(app: &App) -> FoldOutcome {
     // Algebraic identities: x + 0 = 0 + x = x.
     let (_, cc) = arith_conts(app);
     match (&app.args[0], &app.args[1]) {
-        (x, Value::Lit(Lit::Int(0))) | (Value::Lit(Lit::Int(0)), x) => {
+        (x, Value::Lit(Lit::Int(0))) | (Value::Lit(Lit::Int(0)), x) if may_be_int(x) => {
             FoldOutcome::Replaced(App::new(cc.clone(), vec![x.clone()]))
         }
         _ => FoldOutcome::Unchanged,
@@ -518,7 +982,7 @@ fn fold_sub(app: &App) -> FoldOutcome {
     }
     let (_, cc) = arith_conts(app);
     match (&app.args[0], &app.args[1]) {
-        (x, Value::Lit(Lit::Int(0))) => {
+        (x, Value::Lit(Lit::Int(0))) if may_be_int(x) => {
             FoldOutcome::Replaced(App::new(cc.clone(), vec![x.clone()]))
         }
         _ => FoldOutcome::Unchanged,
@@ -531,13 +995,14 @@ fn fold_mul(app: &App) -> FoldOutcome {
     }
     let (_, cc) = arith_conts(app);
     match (&app.args[0], &app.args[1]) {
-        (x, Value::Lit(Lit::Int(1))) | (Value::Lit(Lit::Int(1)), x) => {
+        (x, Value::Lit(Lit::Int(1))) | (Value::Lit(Lit::Int(1)), x) if may_be_int(x) => {
             FoldOutcome::Replaced(App::new(cc.clone(), vec![x.clone()]))
         }
-        // x * 0 = 0 is sound here: TML applications are type checked by the
-        // front end (well-formedness constraint 2), so x is known to be an
-        // integer, and integer multiplication cannot fail.
-        (_, Value::Lit(Lit::Int(0))) | (Value::Lit(Lit::Int(0)), _) => to_cont(cc, Lit::Int(0)),
+        // x * 0 = 0 is sound under the guard: an integer-typed x cannot
+        // make the multiplication fail.
+        (x, Value::Lit(Lit::Int(0))) | (Value::Lit(Lit::Int(0)), x) if may_be_int(x) => {
+            to_cont(cc, Lit::Int(0))
+        }
         _ => FoldOutcome::Unchanged,
     }
 }
@@ -552,7 +1017,7 @@ fn fold_div(app: &App) -> FoldOutcome {
     }
     let (_, cc) = arith_conts(app);
     match (&app.args[0], &app.args[1]) {
-        (x, Value::Lit(Lit::Int(1))) => {
+        (x, Value::Lit(Lit::Int(1))) if may_be_int(x) => {
             FoldOutcome::Replaced(App::new(cc.clone(), vec![x.clone()]))
         }
         _ => FoldOutcome::Unchanged,

@@ -100,8 +100,20 @@ pub struct Session {
 impl Session {
     /// Create a session and load the standard library.
     pub fn new(config: SessionConfig) -> Result<Session, LangError> {
+        Session::with_registry(config, tml_core::Registry::standard())
+    }
+
+    /// Create a session whose primitive world is an explicitly built
+    /// [`tml_core::Registry`] — the single construction path shared with
+    /// the image loader and the `tmlc` driver. Primitives registered
+    /// through the registry's public API behave exactly like built-ins in
+    /// every layer (compile, optimize, persist, execute).
+    pub fn with_registry(
+        config: SessionConfig,
+        registry: tml_core::Registry,
+    ) -> Result<Session, LangError> {
         let mut s = Session {
-            ctx: Ctx::new(),
+            ctx: Ctx::from_registry(registry),
             vm: Vm::new(),
             store: Store::new(),
             types: TypeEnv::new(),

@@ -1,15 +1,18 @@
 //! Query primitive definitions for the optimizer side.
 //!
 //! These follow the extension convention `(prim val₁ … valₙ cₑ c꜀)` so the
-//! VM compiles them to `Extern` instructions; the optimizer sees their
-//! signatures, effect classes and fold functions through the same
+//! VM compiles them to generic `CallPrim` dispatch; the optimizer sees
+//! their signatures, effect classes and fold functions through the same
 //! [`PrimTable`] as the figure-2 primitives (paper §2.3 adaptability).
+//! [`register_prims`] is the package's [`Registry`] entry point; the
+//! table-level [`install_prims`] remains for enabling the package on an
+//! already-built context mid-session.
 
 use tml_core::prim::{
     EffectClass, FoldOutcome, PrimAttrs, PrimCost, PrimDef, PrimTable, Signature,
 };
 use tml_core::term::{App, Value};
-use tml_core::Lit;
+use tml_core::{Lit, Registry};
 
 const PURE: PrimAttrs = PrimAttrs {
     effects: EffectClass::Pure,
@@ -46,13 +49,12 @@ fn def(
         fold,
         validate: None,
         cost: PrimCost::Const(cost),
+        codegen: None,
     }
 }
 
-/// Register the query primitives. Names already present are skipped, so
-/// several subsystems can install on the same table.
-pub fn install_prims(table: &mut PrimTable) {
-    let defs = [
+fn defs() -> [PrimDef; 13] {
+    [
         // (select pred rel ce cc) → filtered relation
         def("select", 2, READS, None, 50),
         // (project target rel ce cc) → projected relation
@@ -77,8 +79,23 @@ pub fn install_prims(table: &mut PrimTable) {
         def("idxselect", 2, READS, None, 8),
         // (mkindex rel col ce cc) → index
         def("mkindex", 2, READS, None, 100),
-    ];
-    for d in defs {
+    ]
+}
+
+/// Register the query primitives on a [`Registry`] under construction —
+/// the package's installer for `Registry::with(register_prims)`.
+/// Idempotent: names already present keep their ids.
+pub fn register_prims(reg: &mut Registry) {
+    for d in defs() {
+        reg.ensure(d);
+    }
+}
+
+/// Register the query primitives on an already-built table (enabling the
+/// package mid-session). Names already present are skipped, so several
+/// subsystems can install on the same table.
+pub fn install_prims(table: &mut PrimTable) {
+    for d in defs() {
         if table.lookup(&d.name).is_none() {
             table.register(d);
         }
@@ -100,16 +117,24 @@ fn to_cc(app: &App, lit: Lit) -> FoldOutcome {
     FoldOutcome::Replaced(App::new(cc_of(app).clone(), vec![Value::Lit(lit)]))
 }
 
+/// `true` when `x` can hold a boolean at run time: a variable, or a
+/// boolean literal. The short-circuit identities may only fire under this
+/// guard — an ill-typed constant operand must reach the machine (and its
+/// type exception) unchanged.
+fn may_be_bool(x: &Value) -> bool {
+    matches!(x, Value::Var(_) | Value::Lit(Lit::Bool(_)))
+}
+
 fn fold_and(app: &App) -> FoldOutcome {
     if let Some((a, b)) = bool2(app) {
         return to_cc(app, Lit::Bool(a && b));
     }
     // Identities: true∧x = x, false∧x = false (and symmetrically).
     match (&app.args[0], &app.args[1]) {
-        (Value::Lit(Lit::Bool(true)), x) | (x, Value::Lit(Lit::Bool(true))) => {
+        (Value::Lit(Lit::Bool(true)), x) | (x, Value::Lit(Lit::Bool(true))) if may_be_bool(x) => {
             FoldOutcome::Replaced(App::new(cc_of(app).clone(), vec![x.clone()]))
         }
-        (Value::Lit(Lit::Bool(false)), _) | (_, Value::Lit(Lit::Bool(false))) => {
+        (Value::Lit(Lit::Bool(false)), x) | (x, Value::Lit(Lit::Bool(false))) if may_be_bool(x) => {
             to_cc(app, Lit::Bool(false))
         }
         _ => FoldOutcome::Unchanged,
@@ -121,10 +146,10 @@ fn fold_or(app: &App) -> FoldOutcome {
         return to_cc(app, Lit::Bool(a || b));
     }
     match (&app.args[0], &app.args[1]) {
-        (Value::Lit(Lit::Bool(false)), x) | (x, Value::Lit(Lit::Bool(false))) => {
+        (Value::Lit(Lit::Bool(false)), x) | (x, Value::Lit(Lit::Bool(false))) if may_be_bool(x) => {
             FoldOutcome::Replaced(App::new(cc_of(app).clone(), vec![x.clone()]))
         }
-        (Value::Lit(Lit::Bool(true)), _) | (_, Value::Lit(Lit::Bool(true))) => {
+        (Value::Lit(Lit::Bool(true)), x) | (x, Value::Lit(Lit::Bool(true))) if may_be_bool(x) => {
             to_cc(app, Lit::Bool(true))
         }
         _ => FoldOutcome::Unchanged,

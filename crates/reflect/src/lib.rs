@@ -131,6 +131,11 @@ pub enum ReflectError {
     NoPtml(Oid),
     /// PTML decoding failed (corrupt store).
     BadPtml(String),
+    /// A persisted term references a primitive by a name the loading
+    /// registry does not provide (an extension package not installed in
+    /// this session). Distinct from [`ReflectError::BadPtml`]: the blob is
+    /// intact, the primitive world is just narrower than the writer's.
+    UnknownPrim(String),
     /// Recompilation failed.
     Compile(String),
     /// A residual binding could not be re-resolved at link time.
@@ -156,6 +161,9 @@ impl std::fmt::Display for ReflectError {
             ReflectError::NotAClosure(k) => write!(f, "cannot optimize a {k} value"),
             ReflectError::NoPtml(o) => write!(f, "{o} has no PTML attachment"),
             ReflectError::BadPtml(m) => write!(f, "corrupt PTML: {m}"),
+            ReflectError::UnknownPrim(n) => {
+                write!(f, "primitive {n:?} is not in the loading registry")
+            }
             ReflectError::Compile(m) => write!(f, "recompilation failed: {m}"),
             ReflectError::Unresolved(n) => write!(f, "unresolved residual binding {n}"),
             ReflectError::Store(m) => write!(f, "store error: {m}"),
@@ -270,8 +278,7 @@ impl<'a> TermBuilder<'a> {
             Err(e) => return Err(ReflectError::Store(e.to_string())),
         };
         let bindings: Vec<(String, SVal)> = clo.bindings.clone();
-        let (mut abs, frees) =
-            decode_abs(self.ctx, &bytes).map_err(|e| ReflectError::BadPtml(e.to_string()))?;
+        let (mut abs, frees) = decode_abs(self.ctx, &bytes).map_err(decode_err)?;
         let by_name: HashMap<&str, &SVal> = bindings.iter().map(|(n, v)| (n.as_str(), v)).collect();
 
         self.visiting.insert(oid);
@@ -407,7 +414,18 @@ fn skip_reason(err: &ReflectError) -> &'static str {
     match err {
         ReflectError::Panicked(_) => "panic",
         ReflectError::Fuel { .. } => "fuel",
+        ReflectError::UnknownPrim(_) => "unknown-prim",
         _ => "decode",
+    }
+}
+
+/// Classify a PTML decode failure, keeping the unknown-primitive case
+/// typed (it must survive to the degraded-skip classification instead of
+/// dissolving into a `BadPtml` string).
+fn decode_err(e: tml_store::varint::DecodeError) -> ReflectError {
+    match e {
+        tml_store::varint::DecodeError::UnknownPrim(name) => ReflectError::UnknownPrim(name),
+        other => ReflectError::BadPtml(other.to_string()),
     }
 }
 
@@ -1189,6 +1207,18 @@ pub fn optimize_all(
 /// install them into the returned session *before* relinking, so decoding
 /// resolves them.
 pub fn session_from_store(store: Store, config: SessionConfig) -> Session {
+    session_from_store_with(store, config, tml_core::Registry::standard())
+}
+
+/// [`session_from_store`] over an explicit primitive [`tml_core::Registry`]
+/// — the image loads against exactly the primitives the registry provides.
+/// PTML terms referencing a primitive outside it degrade to typed skips
+/// during [`relink_image_code`] instead of failing the load.
+pub fn session_from_store_with(
+    store: Store,
+    config: SessionConfig,
+    registry: tml_core::Registry,
+) -> Session {
     let mut globals: HashMap<String, SVal> = HashMap::new();
     let mut modules: Vec<String> = Vec::new();
     for (name, oid) in store.roots() {
@@ -1201,7 +1231,7 @@ pub fn session_from_store(store: Store, config: SessionConfig) -> Session {
         }
     }
     Session {
-        ctx: Ctx::new(),
+        ctx: Ctx::from_registry(registry),
         vm: Vm::new(),
         store,
         types: TypeEnv::new(),
@@ -1275,6 +1305,9 @@ pub fn relink_image_code(session: &mut Session) -> Result<RelinkReport, ReflectE
     let mut report = RelinkReport::default();
     'targets: for t in &targets {
         let skip = |session: &mut Session, err: ReflectError| {
+            if matches!(err, ReflectError::UnknownPrim(_)) {
+                tml_trace::count("reflect.relink.unknown_prim", 1);
+            }
             record_skip(names.get(&t.oid).map(String::as_str), t.oid, &err);
             session.store.set_attr(t.oid, "degraded", 1);
         };
@@ -1287,8 +1320,7 @@ pub fn relink_image_code(session: &mut Session) -> Result<RelinkReport, ReflectE
                 continue;
             }
         };
-        let decoded =
-            decode_abs(&mut session.ctx, bytes).map_err(|e| ReflectError::BadPtml(e.to_string()));
+        let decoded = decode_abs(&mut session.ctx, bytes).map_err(decode_err);
         let (abs, frees) = match decoded {
             Ok(d) => d,
             Err(e) => {

@@ -170,7 +170,7 @@ fn decode_abs_inner(
         let id = ctx
             .prims
             .lookup(&name)
-            .ok_or(DecodeError::BadIndex(nprims as u64))?;
+            .ok_or(DecodeError::UnknownPrim(name))?;
         prims.push(id);
     }
     // Var table: create fresh identifiers.
@@ -699,11 +699,15 @@ mod tests {
             fold: None,
             validate: None,
             cost: tml_core::prim::PrimCost::Const(1),
+            codegen: None,
         });
         let parsed = parse_app(&mut ctx, "(mystery k)").unwrap();
         let bytes = encode_app(&ctx, &parsed.app);
         let mut plain = Ctx::new();
-        assert!(decode_app(&mut plain, &bytes).is_err());
+        assert_eq!(
+            decode_app(&mut plain, &bytes),
+            Err(DecodeError::UnknownPrim("mystery".into()))
+        );
     }
 
     #[test]

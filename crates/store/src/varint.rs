@@ -80,6 +80,10 @@ pub enum DecodeError {
         /// The limit that was exceeded.
         limit: usize,
     },
+    /// A persisted term references a primitive by a name the decoding
+    /// context's registry does not know. Carries the name so the loader
+    /// can degrade the affected term instead of failing the whole image.
+    UnknownPrim(String),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -106,6 +110,9 @@ impl std::fmt::Display for DecodeError {
             ),
             DecodeError::TooDeep { limit } => {
                 write!(f, "nesting exceeds depth limit {limit}")
+            }
+            DecodeError::UnknownPrim(name) => {
+                write!(f, "unknown primitive {name:?}")
             }
         }
     }

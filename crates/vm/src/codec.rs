@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use tml_store::varint::{put_bytes, put_str, put_u64, DecodeError, Reader};
 use tml_store::{get_sval, put_sval};
 
-const MAGIC: &[u8; 5] = b"TVMC1";
+const MAGIC: &[u8; 5] = b"TVMC2";
 
 /// Number of reserved sentinel blocks at the start of every code table.
 const RESERVED: u32 = 2;
@@ -396,6 +396,20 @@ fn put_instr(out: &mut Vec<u8>, instr: &Instr, map: &impl Fn(u32) -> u64) {
             out.push(22);
             out.push(u8::from(*ok));
         }
+        Instr::CallPrim {
+            prim,
+            dst,
+            args,
+            on_err,
+            on_ok,
+        } => {
+            out.push(23);
+            put_u64(out, u64::from(*prim));
+            put_u64(out, u64::from(*dst));
+            put_srcs(out, args);
+            put_cont(out, on_err);
+            put_cont(out, on_ok);
+        }
     }
 }
 
@@ -434,6 +448,10 @@ pub fn encode_segment(code: &CodeTable, entry: u32) -> Vec<u8> {
         put_bytes(&mut out, &consts);
         put_u64(&mut out, block.extern_names.len() as u64);
         for n in &block.extern_names {
+            put_str(&mut out, n);
+        }
+        put_u64(&mut out, block.prim_names.len() as u64);
+        for n in &block.prim_names {
             put_str(&mut out, n);
         }
         put_u64(&mut out, block.instrs.len() as u64);
@@ -709,6 +727,13 @@ fn get_instr(
             on_ok: get_cont(r)?,
         },
         22 => Instr::NativeRet { ok: r.byte()? != 0 },
+        23 => Instr::CallPrim {
+            prim: get_u16(r)?,
+            dst: get_u16(r)?,
+            args: get_srcs(r)?,
+            on_err: get_cont(r)?,
+            on_ok: get_cont(r)?,
+        },
         t => return Err(DecodeError::BadTag(t)),
     })
 }
@@ -759,6 +784,11 @@ pub fn decode_segment(code: &mut CodeTable, bytes: &[u8]) -> Result<u32, DecodeE
         for _ in 0..nnames {
             extern_names.push(r.str()?.to_string());
         }
+        let nprims = r.len()?;
+        let mut prim_names = Vec::with_capacity(nprims.min(4096));
+        for _ in 0..nprims {
+            prim_names.push(r.str()?.to_string());
+        }
         let ninstrs = r.len()?;
         let mut instrs = Vec::with_capacity(ninstrs.min(65536));
         for _ in 0..ninstrs {
@@ -771,6 +801,7 @@ pub fn decode_segment(code: &mut CodeTable, bytes: &[u8]) -> Result<u32, DecodeE
             instrs,
             consts,
             extern_names,
+            prim_names,
         });
     }
     if !r.is_at_end() {

@@ -9,13 +9,12 @@
 //! per-call cost difference between the two is exactly what the paper's
 //! dynamic optimization removes.
 
-use crate::instr::{
-    AllocKind, ArithOp, BitOp, CmpOp, CodeBlock, CodeTable, ContRef, ConvOp, GroupCap, Instr, Src,
-};
+use crate::instr::{CodeBlock, CodeTable, ContRef, GroupCap, Instr, Src};
 use std::collections::HashMap;
+use std::sync::Arc;
+use tml_core::emit::{ContId, EmitCtx, EmitError, MachOp, Operand, Reg};
 use tml_core::free::free_vars_abs;
 use tml_core::prim::Arity;
-use tml_core::prims_std::split_case;
 use tml_core::term::{Abs, App, Value};
 use tml_core::{Ctx, Lit, VarId};
 use tml_store::SVal;
@@ -31,6 +30,15 @@ pub enum CompileError {
     BadShape(String),
     /// A program expected to be closed has free variables.
     OpenProgram(String),
+    /// A primitive has neither an inline code-generation hook nor the
+    /// generic `(vals… ce cc)` calling convention: the registry in scope
+    /// does not know how to compile it.
+    UnknownPrim {
+        /// The primitive's registered name.
+        name: String,
+        /// Call site: enclosing block and instruction offset.
+        site: String,
+    },
     /// Internal: a `Y`-bound continuation escaped during an attempted
     /// loop compilation; the compiler falls back to closure groups.
     LoopEscape,
@@ -48,6 +56,9 @@ impl std::fmt::Display for CompileError {
             CompileError::PrimAsValue(p) => write!(f, "primitive {p} used as a value"),
             CompileError::BadShape(m) => write!(f, "unsupported primitive application: {m}"),
             CompileError::OpenProgram(v) => write!(f, "program has free variable {v}"),
+            CompileError::UnknownPrim { name, site } => {
+                write!(f, "unknown primitive {name} at {site}")
+            }
             CompileError::LoopEscape => write!(f, "loop continuation escapes (internal)"),
             CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
         }
@@ -97,12 +108,23 @@ enum Loc {
 pub struct Compiler<'a> {
     ctx: &'a Ctx,
     code: &'a mut CodeTable,
+    /// Recycled continuation-handle buffer for [`Emitter`]: codegen hooks
+    /// run once per primitive application, and reusing one allocation
+    /// across them keeps the hook path as cheap as the old hard-wired
+    /// dispatch. Taken on hook entry, cleared and returned on exit
+    /// (nested hooks — a closure continuation containing primitives —
+    /// simply find it empty and allocate their own).
+    pend_pool: Vec<Pend>,
 }
 
 impl<'a> Compiler<'a> {
     /// Create a compiler appending to `code`.
     pub fn new(ctx: &'a Ctx, code: &'a mut CodeTable) -> Self {
-        Compiler { ctx, code }
+        Compiler {
+            ctx,
+            code,
+            pend_pool: Vec::new(),
+        }
     }
 
     /// Compile a procedure. Its free variables become the closure captures.
@@ -306,39 +328,6 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    /// Compile a zero-argument branch continuation.
-    fn branch_cont<'t>(
-        &mut self,
-        b: &mut Block,
-        cont: &'t Value,
-    ) -> Result<(ContRef, Pending<'t>), CompileError> {
-        match cont {
-            Value::Abs(abs) if abs.params.is_empty() => {
-                Ok((ContRef::Label(u32::MAX), Pending::Inline(abs)))
-            }
-            Value::Var(x) if matches!(b.locs.get(x), Some(Loc::Label(_))) => {
-                let Some(Loc::Label(id)) = b.locs.get(x).copied() else {
-                    unreachable!("matched above");
-                };
-                if b.label_params[id].is_empty() {
-                    Ok((
-                        ContRef::Label(u32::MAX),
-                        Pending::Stub {
-                            label: id,
-                            mov: None,
-                        },
-                    ))
-                } else {
-                    Err(CompileError::LoopEscape)
-                }
-            }
-            _ => {
-                let src = self.resolve(b, cont)?;
-                Ok((ContRef::Closure(src), Pending::None))
-            }
-        }
-    }
-
     /// Emit `instr`, then compile the pending inline continuations and jump
     /// stubs in order, patching their labels into the instruction.
     fn finish(
@@ -379,6 +368,12 @@ impl<'a> Compiler<'a> {
 
     // -- Primitive dispatch --------------------------------------------------
 
+    /// Compile a primitive application through the registry: the prim's
+    /// registered [`tml_core::emit::CodegenFn`] hook emits inline machine
+    /// code through an [`Emitter`]; prims without a hook fall back to the
+    /// generic [`Instr::CallPrim`] dispatch under the standard
+    /// `(vals… ce cc)` convention, resolved by name against the machine's
+    /// host-function table at run time.
     fn compile_prim(
         &mut self,
         b: &mut Block,
@@ -386,400 +381,57 @@ impl<'a> Compiler<'a> {
         app: &App,
     ) -> Result<(), CompileError> {
         let def = self.ctx.prims.def(prim);
-        let name = def.name.clone();
+        let conts = def.signature.conts;
         let n = app.args.len();
-        let bad = |m: &str| CompileError::BadShape(format!("{name}: {m}"));
 
-        match name.as_str() {
-            "+" | "-" | "*" | "/" | "%" | "f+" | "f-" | "f*" | "f/" => {
-                if n != 4 {
-                    return Err(bad("expected (a b ce cc)"));
-                }
-                let op = match name.as_str() {
-                    "+" => ArithOp::Add,
-                    "-" => ArithOp::Sub,
-                    "*" => ArithOp::Mul,
-                    "/" => ArithOp::Div,
-                    "%" => ArithOp::Mod,
-                    "f+" => ArithOp::FAdd,
-                    "f-" => ArithOp::FSub,
-                    "f*" => ArithOp::FMul,
-                    _ => ArithOp::FDiv,
-                };
-                let a = self.resolve(b, &app.args[0])?;
-                let bb = self.resolve(b, &app.args[1])?;
-                let dst = b.fresh_slot();
-                let (on_err, err_abs) = self.value_cont(b, &app.args[2], dst)?;
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[3], dst)?;
-                self.finish(
-                    b,
-                    Instr::Arith {
-                        op,
-                        dst,
-                        a,
-                        b: bb,
-                        on_err,
-                        on_ok,
-                    },
-                    vec![(FIELD_OK, ok_abs), (FIELD_ERR, err_abs)],
-                )
-            }
-            "fsqrt" => {
-                if n != 3 {
-                    return Err(bad("expected (a ce cc)"));
-                }
-                let a = self.resolve(b, &app.args[0])?;
-                let dst = b.fresh_slot();
-                // fsqrt cannot fail dynamically (NaN propagates), so the
-                // exception continuation is resolved but unused.
-                let _ = self.value_cont(b, &app.args[1], dst)?;
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[2], dst)?;
-                self.finish(
-                    b,
-                    Instr::Conv {
-                        op: ConvOp::FSqrt,
-                        dst,
-                        a,
-                        on_ok,
-                    },
-                    vec![(FIELD_OK, ok_abs)],
-                )
-            }
-            "<" | ">" | "<=" | ">=" | "=" | "<>" | "f<" | "f<=" | "f=" => {
-                if n != 4 {
-                    return Err(bad("expected (a b c_true c_false)"));
-                }
-                let op = match name.as_str() {
-                    "<" => CmpOp::Lt,
-                    ">" => CmpOp::Gt,
-                    "<=" => CmpOp::Le,
-                    ">=" => CmpOp::Ge,
-                    "=" => CmpOp::Eq,
-                    "<>" => CmpOp::Ne,
-                    "f<" => CmpOp::FLt,
-                    "f<=" => CmpOp::FLe,
-                    _ => CmpOp::FEq,
-                };
-                let a = self.resolve(b, &app.args[0])?;
-                let bb = self.resolve(b, &app.args[1])?;
-                let (then_, then_abs) = self.branch_cont(b, &app.args[2])?;
-                let (else_, else_abs) = self.branch_cont(b, &app.args[3])?;
-                self.finish(
-                    b,
-                    Instr::Branch {
-                        op,
-                        a,
-                        b: bb,
-                        then_,
-                        else_,
-                    },
-                    vec![(FIELD_THEN, then_abs), (FIELD_ELSE, else_abs)],
-                )
-            }
-            "<<" | ">>" | "&" | "|" | "^" => {
-                if n != 3 {
-                    return Err(bad("expected (a b c)"));
-                }
-                let op = match name.as_str() {
-                    "<<" => BitOp::Shl,
-                    ">>" => BitOp::Shr,
-                    "&" => BitOp::And,
-                    "|" => BitOp::Or,
-                    _ => BitOp::Xor,
-                };
-                let a = self.resolve(b, &app.args[0])?;
-                let bb = self.resolve(b, &app.args[1])?;
-                let dst = b.fresh_slot();
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[2], dst)?;
-                self.finish(
-                    b,
-                    Instr::Bit {
-                        op,
-                        dst,
-                        a,
-                        b: bb,
-                        on_ok,
-                    },
-                    vec![(FIELD_OK, ok_abs)],
-                )
-            }
-            "char2int" | "int2char" | "i2r" | "r2i" => {
-                if n != 2 {
-                    return Err(bad("expected (a c)"));
-                }
-                let op = match name.as_str() {
-                    "char2int" => ConvOp::CharToInt,
-                    "int2char" => ConvOp::IntToChar,
-                    "i2r" => ConvOp::IntToReal,
-                    _ => ConvOp::RealToInt,
-                };
-                let a = self.resolve(b, &app.args[0])?;
-                let dst = b.fresh_slot();
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[1], dst)?;
-                self.finish(
-                    b,
-                    Instr::Conv { op, dst, a, on_ok },
-                    vec![(FIELD_OK, ok_abs)],
-                )
-            }
-            "array" | "vector" => {
-                if n < 1 {
-                    return Err(bad("missing continuation"));
-                }
-                let kind = if name == "array" {
-                    AllocKind::Array
-                } else {
-                    AllocKind::Vector
-                };
-                let args: Vec<Src> = app.args[..n - 1]
-                    .iter()
-                    .map(|a| self.resolve(b, a))
-                    .collect::<Result<_, _>>()?;
-                let dst = b.fresh_slot();
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[n - 1], dst)?;
-                self.finish(
-                    b,
-                    Instr::Alloc {
-                        kind,
-                        dst,
-                        args: args.into_boxed_slice(),
-                        on_ok,
-                    },
-                    vec![(FIELD_OK, ok_abs)],
-                )
-            }
-            "new" | "bnew" => {
-                if n != 3 {
-                    return Err(bad("expected (count init c)"));
-                }
-                let kind = if name == "new" {
-                    AllocKind::New
-                } else {
-                    AllocKind::BNew
-                };
-                let count = self.resolve(b, &app.args[0])?;
-                let init = self.resolve(b, &app.args[1])?;
-                let dst = b.fresh_slot();
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[2], dst)?;
-                self.finish(
-                    b,
-                    Instr::Alloc {
-                        kind,
-                        dst,
-                        args: vec![count, init].into_boxed_slice(),
-                        on_ok,
-                    },
-                    vec![(FIELD_OK, ok_abs)],
-                )
-            }
-            "[]" | "b[]" => {
-                if n != 4 {
-                    return Err(bad("expected (arr i ce cc)"));
-                }
-                let arr = self.resolve(b, &app.args[0])?;
-                let index = self.resolve(b, &app.args[1])?;
-                let dst = b.fresh_slot();
-                let (on_err, err_abs) = self.value_cont(b, &app.args[2], dst)?;
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[3], dst)?;
-                self.finish(
-                    b,
-                    Instr::Idx {
-                        byte: name == "b[]",
-                        dst,
-                        arr,
-                        index,
-                        on_err,
-                        on_ok,
-                    },
-                    vec![(FIELD_OK, ok_abs), (FIELD_ERR, err_abs)],
-                )
-            }
-            "[:=]" | "b[:=]" => {
-                if n != 5 {
-                    return Err(bad("expected (arr i v ce cc)"));
-                }
-                let arr = self.resolve(b, &app.args[0])?;
-                let index = self.resolve(b, &app.args[1])?;
-                let value = self.resolve(b, &app.args[2])?;
-                let dst = b.fresh_slot();
-                let (on_err, err_abs) = self.value_cont(b, &app.args[3], dst)?;
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[4], dst)?;
-                self.finish(
-                    b,
-                    Instr::IdxSet {
-                        byte: name == "b[:=]",
-                        dst,
-                        arr,
-                        index,
-                        value,
-                        on_err,
-                        on_ok,
-                    },
-                    vec![(FIELD_OK, ok_abs), (FIELD_ERR, err_abs)],
-                )
-            }
-            "size" => {
-                if n != 2 {
-                    return Err(bad("expected (arr c)"));
-                }
-                let arr = self.resolve(b, &app.args[0])?;
-                let dst = b.fresh_slot();
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[1], dst)?;
-                self.finish(b, Instr::Size { dst, arr, on_ok }, vec![(FIELD_OK, ok_abs)])
-            }
-            "move" | "bmove" => {
-                if n != 7 {
-                    return Err(bad("expected (dst dstoff src srcoff len ce cc)"));
-                }
-                let mut ops = [Src::Slot(0); 5];
-                for (i, op) in ops.iter_mut().enumerate() {
-                    *op = self.resolve(b, &app.args[i])?;
-                }
-                let dst = b.fresh_slot();
-                let (on_err, err_abs) = self.value_cont(b, &app.args[5], dst)?;
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[6], dst)?;
-                self.finish(
-                    b,
-                    Instr::MoveBlk {
-                        byte: name == "bmove",
-                        dst,
-                        args: Box::new(ops),
-                        on_err,
-                        on_ok,
-                    },
-                    vec![(FIELD_OK, ok_abs), (FIELD_ERR, err_abs)],
-                )
-            }
-            "==" => {
-                let Some((scrut, tags, branches, default)) = split_case(&app.args) else {
-                    return Err(bad("malformed case analysis"));
-                };
-                let scrut = self.resolve(b, scrut)?;
-                let tag_srcs: Vec<Src> = tags
-                    .iter()
-                    .map(|t| self.resolve(b, t))
-                    .collect::<Result<_, _>>()?;
-                let mut targets = Vec::with_capacity(branches.len());
-                let mut pend = Vec::new();
-                for (j, br) in branches.iter().enumerate() {
-                    let (c, abs) = self.branch_cont(b, br)?;
-                    targets.push(c);
-                    pend.push((FIELD_SWITCH_BASE + j, abs));
-                }
-                let default_ref = match default {
-                    Some(d) => {
-                        let (c, abs) = self.branch_cont(b, d)?;
-                        pend.push((FIELD_SWITCH_DEFAULT, abs));
-                        Some(c)
-                    }
-                    None => None,
-                };
-                self.finish(
-                    b,
-                    Instr::Switch {
-                        scrut,
-                        tags: tag_srcs.into_boxed_slice(),
-                        targets: targets.into_boxed_slice(),
-                        default: default_ref,
-                    },
-                    pend,
-                )
-            }
-            "btest" => {
-                if n != 3 {
-                    return Err(bad("expected (v c_true c_false)"));
-                }
-                let a = self.resolve(b, &app.args[0])?;
-                let (then_, then_abs) = self.branch_cont(b, &app.args[1])?;
-                let (else_, else_abs) = self.branch_cont(b, &app.args[2])?;
-                self.finish(
-                    b,
-                    Instr::BTest { a, then_, else_ },
-                    vec![(FIELD_THEN, then_abs), (FIELD_ELSE, else_abs)],
-                )
-            }
-            "Y" => self.compile_y(b, app),
-            "pushHandler" => {
-                if n != 2 {
-                    return Err(bad("expected (handler c)"));
-                }
-                let handler = self.resolve(b, &app.args[0])?;
-                let (on_ok, ok_abs) = self.branch_cont(b, &app.args[1])?;
-                self.finish(
-                    b,
-                    Instr::PushHandler { handler, on_ok },
-                    vec![(FIELD_OK, ok_abs)],
-                )
-            }
-            "popHandler" => {
-                if n != 1 {
-                    return Err(bad("expected (c)"));
-                }
-                let (on_ok, ok_abs) = self.branch_cont(b, &app.args[0])?;
-                self.finish(b, Instr::PopHandler { on_ok }, vec![(FIELD_OK, ok_abs)])
-            }
-            "raise" => {
-                if n != 1 {
-                    return Err(bad("expected (v)"));
-                }
-                let src = self.resolve(b, &app.args[0])?;
-                b.emit(Instr::Raise { src });
-                Ok(())
-            }
-            "halt" => {
-                if n != 1 {
-                    return Err(bad("expected (v)"));
-                }
-                let src = self.resolve(b, &app.args[0])?;
-                b.emit(Instr::Halt { src });
-                Ok(())
-            }
-            "print" => {
-                if n != 2 {
-                    return Err(bad("expected (v c)"));
-                }
-                let src = self.resolve(b, &app.args[0])?;
-                let dst = b.fresh_slot();
-                let (on_ok, ok_abs) = self.value_cont(b, &app.args[1], dst)?;
-                self.finish(
-                    b,
-                    Instr::Print { dst, src, on_ok },
-                    vec![(FIELD_OK, ok_abs)],
-                )
-            }
-            "ccall" => {
-                if n < 3 {
-                    return Err(bad("expected (name args... ce cc)"));
-                }
-                let Value::Lit(Lit::Str(fname)) = &app.args[0] else {
-                    return Err(bad("ccall function name must be a string literal"));
-                };
-                self.compile_extern(
-                    b,
-                    fname,
-                    &app.args[1..n - 2],
-                    &app.args[n - 2],
-                    &app.args[n - 1],
-                )
-            }
-            _ => {
-                // Extension primitive: standard (vals… ce cc) convention.
-                if def.signature.conts != Arity::Exact(2) || n < 2 {
-                    return Err(bad("extension primitives must take (vals... ce cc)"));
-                }
-                let name = name.clone();
-                self.compile_extern(
-                    b,
-                    &name,
-                    &app.args[..n - 2],
-                    &app.args[n - 2],
-                    &app.args[n - 1],
-                )
-            }
+        if let Some(hook) = def.codegen {
+            tml_trace::count("vm.prim.inline", 1);
+            let pend = std::mem::take(&mut self.pend_pool);
+            let mut e = Emitter {
+                comp: self,
+                b,
+                pend,
+                host_err: None,
+            };
+            let hooked = hook(&mut e, app);
+            let host_err = e.host_err.take();
+            let mut pend = e.pend;
+            pend.clear();
+            self.pend_pool = pend;
+            return match hooked {
+                Ok(()) => Ok(()),
+                Err(EmitError::Host) => Err(host_err.unwrap_or_else(|| {
+                    CompileError::Internal(format!(
+                        "{}: hook lost its error",
+                        self.ctx.prims.name(prim)
+                    ))
+                })),
+                Err(EmitError::BadShape(m)) => Err(CompileError::BadShape(format!(
+                    "{}: {m}",
+                    self.ctx.prims.name(prim)
+                ))),
+            };
         }
+
+        // Generic fallback: standard (vals… ce cc) convention.
+        if conts == Arity::Exact(2) && n >= 2 {
+            tml_trace::count("vm.prim.callprim", 1);
+            let name = def.name.clone();
+            return self.compile_callprim(
+                b,
+                &name,
+                &app.args[..n - 2],
+                &app.args[n - 2],
+                &app.args[n - 1],
+            );
+        }
+        Err(CompileError::UnknownPrim {
+            name: self.ctx.prims.name(prim).to_string(),
+            site: format!("{}@{}", b.out.name, b.out.instrs.len()),
+        })
     }
 
-    fn compile_extern(
+    fn compile_callprim(
         &mut self,
         b: &mut Block,
         name: &str,
@@ -791,14 +443,14 @@ impl<'a> Compiler<'a> {
             .iter()
             .map(|a| self.resolve(b, a))
             .collect::<Result<_, _>>()?;
-        let name_ix = b.extern_ix(name);
+        let prim_ix = b.prim_ix(name);
         let dst = b.fresh_slot();
         let (on_err, err_abs) = self.value_cont(b, ce, dst)?;
         let (on_ok, ok_abs) = self.value_cont(b, cc, dst)?;
         self.finish(
             b,
-            Instr::Extern {
-                name: name_ix,
+            Instr::CallPrim {
+                prim: prim_ix,
                 dst,
                 args: args.into_boxed_slice(),
                 on_err,
@@ -951,6 +603,457 @@ impl Compiler<'_> {
     }
 }
 
+// -- The EmitCtx bridge -----------------------------------------------------
+
+/// A continuation resolved by a hook's `value_cont`/`branch_cont` call,
+/// held until the hook's `emit` consumes its [`ContId`] handle.
+enum Pend {
+    /// Continuation is a runtime value.
+    Closure(Src),
+    /// Inline abstraction: compile its body at the patched label.
+    Inline(Arc<Abs>),
+    /// Loop-label continuation: jump stub (plus a result move when the
+    /// label takes a value).
+    Stub {
+        label: usize,
+        mov: Option<(u16, u16)>,
+    },
+}
+
+/// The compiler's implementation of the narrow [`EmitCtx`] interface
+/// primitive codegen hooks program against. It exposes register
+/// allocation, operand resolution, continuation compilation and opcode
+/// emission, while keeping the block/label machinery private.
+///
+/// Errors from the underlying compiler (unbound variables, loop escapes,
+/// …) are stashed in `host_err` and surfaced to the hook as the opaque
+/// [`EmitError::Host`]; `compile_prim` unpacks the real error afterwards,
+/// so e.g. [`CompileError::LoopEscape`] crosses the hook boundary
+/// losslessly and `compile_y`'s rollback still works.
+struct Emitter<'e, 'a> {
+    comp: &'e mut Compiler<'a>,
+    b: &'e mut Block,
+    pend: Vec<Pend>,
+    host_err: Option<CompileError>,
+}
+
+impl Emitter<'_, '_> {
+    fn fail<T>(&mut self, e: CompileError) -> Result<T, EmitError> {
+        self.host_err = Some(e);
+        Err(EmitError::Host)
+    }
+
+    fn push(&mut self, p: Pend) -> ContId {
+        self.pend.push(p);
+        ContId((self.pend.len() - 1) as u32)
+    }
+}
+
+/// Turn a resolved continuation into the instruction's [`ContRef`] plus
+/// the [`Pending`] work `Compiler::finish` compiles after emission.
+fn resolved<'p>(pend: &'p [Pend], id: ContId) -> Result<(ContRef, Pending<'p>), EmitError> {
+    match pend.get(id.0 as usize) {
+        Some(Pend::Closure(src)) => Ok((ContRef::Closure(*src), Pending::None)),
+        Some(Pend::Inline(abs)) => Ok((ContRef::Label(u32::MAX), Pending::Inline(abs))),
+        Some(Pend::Stub { label, mov }) => Ok((
+            ContRef::Label(u32::MAX),
+            Pending::Stub {
+                label: *label,
+                mov: *mov,
+            },
+        )),
+        None => Err(EmitError::BadShape(format!(
+            "invalid continuation handle #{}",
+            id.0
+        ))),
+    }
+}
+
+fn src(o: Operand) -> Src {
+    match o {
+        Operand::Reg(r) => Src::Slot(r),
+        Operand::Capture(e) => Src::Env(e),
+        Operand::Const(c) => Src::Const(c),
+    }
+}
+
+impl EmitCtx for Emitter<'_, '_> {
+    fn fresh_reg(&mut self) -> Reg {
+        self.b.fresh_slot()
+    }
+
+    fn operand(&mut self, v: &Value) -> Result<Operand, EmitError> {
+        match self.comp.resolve(&mut *self.b, v) {
+            Ok(Src::Slot(s)) => Ok(Operand::Reg(s)),
+            Ok(Src::Env(e)) => Ok(Operand::Capture(e)),
+            Ok(Src::Const(c)) => Ok(Operand::Const(c)),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    fn value_cont(&mut self, cont: &Value, dst: Reg) -> Result<ContId, EmitError> {
+        match cont {
+            Value::Abs(abs) => {
+                if abs.params.len() > 1 {
+                    return self.fail(CompileError::BadShape(format!(
+                        "primitive continuation with {} parameters",
+                        abs.params.len()
+                    )));
+                }
+                if let Some(&p) = abs.params.first() {
+                    self.b.locs.insert(p, Loc::Slot(dst));
+                }
+                Ok(self.push(Pend::Inline(Arc::clone(abs))))
+            }
+            Value::Var(x) if matches!(self.b.locs.get(x), Some(Loc::Label(_))) => {
+                let Some(Loc::Label(id)) = self.b.locs.get(x).copied() else {
+                    unreachable!("matched above");
+                };
+                match self.b.label_params[id].as_slice() {
+                    [p] => {
+                        let mov = Some((*p, dst));
+                        Ok(self.push(Pend::Stub { label: id, mov }))
+                    }
+                    // Arity mismatch: abandon loop compilation.
+                    _ => self.fail(CompileError::LoopEscape),
+                }
+            }
+            _ => match self.comp.resolve(&mut *self.b, cont) {
+                Ok(s) => Ok(self.push(Pend::Closure(s))),
+                Err(e) => self.fail(e),
+            },
+        }
+    }
+
+    fn branch_cont(&mut self, cont: &Value) -> Result<ContId, EmitError> {
+        match cont {
+            Value::Abs(abs) if abs.params.is_empty() => {
+                Ok(self.push(Pend::Inline(Arc::clone(abs))))
+            }
+            Value::Var(x) if matches!(self.b.locs.get(x), Some(Loc::Label(_))) => {
+                let Some(Loc::Label(id)) = self.b.locs.get(x).copied() else {
+                    unreachable!("matched above");
+                };
+                if self.b.label_params[id].is_empty() {
+                    Ok(self.push(Pend::Stub {
+                        label: id,
+                        mov: None,
+                    }))
+                } else {
+                    self.fail(CompileError::LoopEscape)
+                }
+            }
+            _ => match self.comp.resolve(&mut *self.b, cont) {
+                Ok(s) => Ok(self.push(Pend::Closure(s))),
+                Err(e) => self.fail(e),
+            },
+        }
+    }
+
+    fn emit(&mut self, op: MachOp) -> Result<(), EmitError> {
+        // Each arm lowers the portable MachOp to the concrete instruction
+        // and lists its pending continuations in the canonical compile
+        // order (ok before err, then before else, switch branches before
+        // default) so inline continuation bodies land in the same layout
+        // the old hard-wired dispatch produced.
+        let r = match op {
+            MachOp::Arith {
+                op,
+                dst,
+                a,
+                b: rhs,
+                on_err,
+                on_ok,
+            } => {
+                let (err_ref, err_p) = resolved(&self.pend, on_err)?;
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Arith {
+                        op,
+                        dst,
+                        a: src(a),
+                        b: src(rhs),
+                        on_err: err_ref,
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p), (FIELD_ERR, err_p)],
+                )
+            }
+            MachOp::Branch {
+                op,
+                a,
+                b: rhs,
+                then_,
+                else_,
+            } => {
+                let (then_ref, then_p) = resolved(&self.pend, then_)?;
+                let (else_ref, else_p) = resolved(&self.pend, else_)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Branch {
+                        op,
+                        a: src(a),
+                        b: src(rhs),
+                        then_: then_ref,
+                        else_: else_ref,
+                    },
+                    vec![(FIELD_THEN, then_p), (FIELD_ELSE, else_p)],
+                )
+            }
+            MachOp::Bit {
+                op,
+                dst,
+                a,
+                b: rhs,
+                on_ok,
+            } => {
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Bit {
+                        op,
+                        dst,
+                        a: src(a),
+                        b: src(rhs),
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p)],
+                )
+            }
+            MachOp::Conv { op, dst, a, on_ok } => {
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Conv {
+                        op,
+                        dst,
+                        a: src(a),
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p)],
+                )
+            }
+            MachOp::BTest { a, then_, else_ } => {
+                let (then_ref, then_p) = resolved(&self.pend, then_)?;
+                let (else_ref, else_p) = resolved(&self.pend, else_)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::BTest {
+                        a: src(a),
+                        then_: then_ref,
+                        else_: else_ref,
+                    },
+                    vec![(FIELD_THEN, then_p), (FIELD_ELSE, else_p)],
+                )
+            }
+            MachOp::Switch {
+                scrut,
+                tags,
+                targets,
+                default,
+            } => {
+                let mut refs = Vec::with_capacity(targets.len());
+                let mut pendings = Vec::new();
+                for (j, id) in targets.iter().enumerate() {
+                    let (r, p) = resolved(&self.pend, *id)?;
+                    refs.push(r);
+                    pendings.push((FIELD_SWITCH_BASE + j, p));
+                }
+                let default_ref = match default {
+                    Some(id) => {
+                        let (r, p) = resolved(&self.pend, id)?;
+                        pendings.push((FIELD_SWITCH_DEFAULT, p));
+                        Some(r)
+                    }
+                    None => None,
+                };
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Switch {
+                        scrut: src(scrut),
+                        tags: tags.into_iter().map(src).collect(),
+                        targets: refs.into_boxed_slice(),
+                        default: default_ref,
+                    },
+                    pendings,
+                )
+            }
+            MachOp::Alloc {
+                kind,
+                dst,
+                args,
+                on_ok,
+            } => {
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Alloc {
+                        kind,
+                        dst,
+                        args: args.into_iter().map(src).collect(),
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p)],
+                )
+            }
+            MachOp::Idx {
+                byte,
+                dst,
+                arr,
+                index,
+                on_err,
+                on_ok,
+            } => {
+                let (err_ref, err_p) = resolved(&self.pend, on_err)?;
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Idx {
+                        byte,
+                        dst,
+                        arr: src(arr),
+                        index: src(index),
+                        on_err: err_ref,
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p), (FIELD_ERR, err_p)],
+                )
+            }
+            MachOp::IdxSet {
+                byte,
+                dst,
+                arr,
+                index,
+                value,
+                on_err,
+                on_ok,
+            } => {
+                let (err_ref, err_p) = resolved(&self.pend, on_err)?;
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::IdxSet {
+                        byte,
+                        dst,
+                        arr: src(arr),
+                        index: src(index),
+                        value: src(value),
+                        on_err: err_ref,
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p), (FIELD_ERR, err_p)],
+                )
+            }
+            MachOp::Size { dst, arr, on_ok } => {
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Size {
+                        dst,
+                        arr: src(arr),
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p)],
+                )
+            }
+            MachOp::MoveBlk {
+                byte,
+                dst,
+                args,
+                on_err,
+                on_ok,
+            } => {
+                let (err_ref, err_p) = resolved(&self.pend, on_err)?;
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::MoveBlk {
+                        byte,
+                        dst,
+                        args: Box::new(args.map(src)),
+                        on_err: err_ref,
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p), (FIELD_ERR, err_p)],
+                )
+            }
+            MachOp::Host {
+                name,
+                dst,
+                args,
+                on_err,
+                on_ok,
+            } => {
+                let name_ix = self.b.extern_ix(&name);
+                let (err_ref, err_p) = resolved(&self.pend, on_err)?;
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Extern {
+                        name: name_ix,
+                        dst,
+                        args: args.into_iter().map(src).collect(),
+                        on_err: err_ref,
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p), (FIELD_ERR, err_p)],
+                )
+            }
+            MachOp::PushHandler { handler, on_ok } => {
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::PushHandler {
+                        handler: src(handler),
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p)],
+                )
+            }
+            MachOp::PopHandler { on_ok } => {
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::PopHandler { on_ok: ok_ref },
+                    vec![(FIELD_OK, ok_p)],
+                )
+            }
+            MachOp::Raise { value } => {
+                self.b.emit(Instr::Raise { src: src(value) });
+                Ok(())
+            }
+            MachOp::Halt { value } => {
+                self.b.emit(Instr::Halt { src: src(value) });
+                Ok(())
+            }
+            MachOp::Print { dst, value, on_ok } => {
+                let (ok_ref, ok_p) = resolved(&self.pend, on_ok)?;
+                self.comp.finish(
+                    &mut *self.b,
+                    Instr::Print {
+                        dst,
+                        src: src(value),
+                        on_ok: ok_ref,
+                    },
+                    vec![(FIELD_OK, ok_p)],
+                )
+            }
+        };
+        match r {
+            Ok(()) => Ok(()),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    fn fixpoint(&mut self, app: &App) -> Result<(), EmitError> {
+        match self.comp.compile_y(&mut *self.b, app) {
+            Ok(()) => Ok(()),
+            Err(e) => self.fail(e),
+        }
+    }
+}
+
 // Field selectors for `patch`.
 const FIELD_OK: usize = 0;
 const FIELD_ERR: usize = 1;
@@ -979,6 +1082,8 @@ fn patch(instr: &mut Instr, field: usize, label: u32) -> Result<(), CompileError
         (Instr::MoveBlk { on_err, .. }, FIELD_ERR) => on_err,
         (Instr::Extern { on_ok, .. }, FIELD_OK) => on_ok,
         (Instr::Extern { on_err, .. }, FIELD_ERR) => on_err,
+        (Instr::CallPrim { on_ok, .. }, FIELD_OK) => on_ok,
+        (Instr::CallPrim { on_err, .. }, FIELD_ERR) => on_err,
         (Instr::PushHandler { on_ok, .. }, FIELD_OK) => on_ok,
         (Instr::PopHandler { on_ok }, FIELD_OK) => on_ok,
         (Instr::Print { on_ok, .. }, FIELD_OK) => on_ok,
@@ -1062,6 +1167,15 @@ impl Block {
         }
         let ix = self.out.extern_names.len() as u16;
         self.out.extern_names.push(name.to_string());
+        ix
+    }
+
+    fn prim_ix(&mut self, name: &str) -> u16 {
+        if let Some(ix) = self.out.prim_names.iter().position(|n| n == name) {
+            return ix as u16;
+        }
+        let ix = self.out.prim_names.len() as u16;
+        self.out.prim_names.push(name.to_string());
         ix
     }
 }

@@ -193,6 +193,18 @@ pub fn instr(i: &Instr) -> String {
             cont(on_ok),
             cont(on_err)
         ),
+        Instr::CallPrim {
+            prim,
+            dst,
+            args,
+            on_err,
+            on_ok,
+        } => format!(
+            "callprim #{prim} s{dst} [{}]  ok:{} err:{}",
+            srcs(args),
+            cont(on_ok),
+            cont(on_err)
+        ),
         Instr::PushHandler { handler, on_ok } => {
             format!("pushh    {}  ok:{}", src(*handler), cont(on_ok))
         }

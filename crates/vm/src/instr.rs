@@ -37,71 +37,10 @@ pub enum ContRef {
     Closure(Src),
 }
 
-/// Integer/real arithmetic operators (two value operands, may fail).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[allow(missing_docs)]
-pub enum ArithOp {
-    Add,
-    Sub,
-    Mul,
-    Div,
-    Mod,
-    FAdd,
-    FSub,
-    FMul,
-    FDiv,
-}
-
-/// Comparison operators (two-way branch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[allow(missing_docs)]
-pub enum CmpOp {
-    Lt,
-    Gt,
-    Le,
-    Ge,
-    Eq,
-    Ne,
-    FLt,
-    FLe,
-    FEq,
-}
-
-/// Bit operators (two value operands, never fail).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[allow(missing_docs)]
-pub enum BitOp {
-    Shl,
-    Shr,
-    And,
-    Or,
-    Xor,
-}
-
-/// Unary conversions (never fail).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[allow(missing_docs)]
-pub enum ConvOp {
-    CharToInt,
-    IntToChar,
-    IntToReal,
-    RealToInt,
-    FSqrt,
-}
-
-/// Allocation kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AllocKind {
-    /// Mutable object array from listed elements (`array`).
-    Array,
-    /// Immutable object array from listed elements (`vector`).
-    Vector,
-    /// Mutable object array of `args[0]` slots initialized to `args[1]`
-    /// (`new`).
-    New,
-    /// Byte array of `args[0]` bytes initialized to `args[1]` (`bnew`).
-    BNew,
-}
+// The operator enums are the canonical ones primitive codegen hooks use;
+// they live with the emit interface in `tml-core` and are re-exported
+// here for the instruction set.
+pub use tml_core::emit::{AllocKind, ArithOp, BitOp, CmpOp, ConvOp};
 
 /// One instruction.
 #[derive(Debug, Clone, PartialEq)]
@@ -285,6 +224,23 @@ pub enum Instr {
         /// Normal continuation.
         on_ok: ContRef,
     },
+    /// Call a primitive procedure that has no inline lowering: the generic
+    /// fallback dispatch under the standard `(vals… ce cc)` convention.
+    /// The primitive is identified *by name* (stable across persistence)
+    /// and resolved against the machine's host-function table
+    /// ([`crate::host::ExternTable`]) at execution time.
+    CallPrim {
+        /// Index into the block's prim-name pool.
+        prim: u16,
+        /// Destination slot for the result (or exception value).
+        dst: u16,
+        /// Value operands.
+        args: Box<[Src]>,
+        /// Exception continuation.
+        on_err: ContRef,
+        /// Normal continuation.
+        on_ok: ContRef,
+    },
     /// Install a new exception handler, continue with `on_ok`.
     PushHandler {
         /// The handler continuation (materialized as a closure).
@@ -390,6 +346,7 @@ impl Instr {
             Instr::Size { .. } => "size",
             Instr::MoveBlk { .. } => "move-blk",
             Instr::Extern { .. } => "extern",
+            Instr::CallPrim { .. } => "call-prim",
             Instr::PushHandler { .. } => "push-handler",
             Instr::PopHandler { .. } => "pop-handler",
             Instr::Raise { .. } => "raise",
@@ -446,6 +403,12 @@ impl Instr {
                 on_ok,
                 ..
             } => 4 + 3 * args.len() + cont(on_err) + cont(on_ok),
+            Instr::CallPrim {
+                args,
+                on_err,
+                on_ok,
+                ..
+            } => 4 + 3 * args.len() + cont(on_err) + cont(on_ok),
             Instr::PushHandler { on_ok, .. } => 3 + cont(on_ok),
             Instr::PopHandler { on_ok } => cont(on_ok),
             Instr::Raise { .. } => 3,
@@ -471,8 +434,12 @@ pub struct CodeBlock {
     pub instrs: Vec<Instr>,
     /// Constant pool.
     pub consts: Vec<SVal>,
-    /// Extern-name pool.
+    /// Extern-name pool (`ccall` host functions).
     pub extern_names: Vec<String>,
+    /// Prim-name pool: primitives dispatched through the generic
+    /// [`Instr::CallPrim`] fallback, identified by their stable
+    /// registry name.
+    pub prim_names: Vec<String>,
 }
 
 impl CodeBlock {
@@ -487,7 +454,12 @@ impl CodeBlock {
                 _ => 9,
             })
             .sum();
-        let names: usize = self.extern_names.iter().map(|n| 2 + n.len()).sum();
+        let names: usize = self
+            .extern_names
+            .iter()
+            .chain(self.prim_names.iter())
+            .map(|n| 2 + n.len())
+            .sum();
         8 + pool + names + self.instrs.iter().map(Instr::encoded_size).sum::<usize>()
     }
 }
@@ -523,16 +495,14 @@ impl CodeTable {
             nparams: 1,
             nslots: 1,
             instrs: vec![Instr::NativeRet { ok: true }],
-            consts: Vec::new(),
-            extern_names: Vec::new(),
+            ..Default::default()
         });
         t.push(CodeBlock {
             name: "<native-err>".into(),
             nparams: 1,
             nslots: 1,
             instrs: vec![Instr::NativeRet { ok: false }],
-            consts: Vec::new(),
-            extern_names: Vec::new(),
+            ..Default::default()
         });
         t
     }

@@ -15,7 +15,9 @@ use crate::rval::{RVal, TransientClosure};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Instant;
-use tml_core::prims_std::{ERR_BOUNDS, ERR_NO_CCALL, ERR_OVERFLOW, ERR_TYPE, ERR_ZERO_DIVIDE};
+use tml_core::prims_std::{
+    ERR_BOUNDS, ERR_NO_CCALL, ERR_NO_PRIM, ERR_OVERFLOW, ERR_TYPE, ERR_ZERO_DIVIDE,
+};
 use tml_core::Oid;
 use tml_store::{ClosureObj, Object, SVal, Store, StoreError};
 
@@ -279,6 +281,13 @@ impl<'a> Machine<'a> {
     }
 
     fn enter(&mut self, block: u32, env: Vec<RVal>, args: Vec<RVal>) -> Result<(), VmError> {
+        if block as usize >= self.code.len() {
+            // A degraded closure keeps its persisted (now dangling) code
+            // index after a relink skip; calling it is a trap, not a panic.
+            return Err(VmError::Trap(format!(
+                "call of closure with dangling code index {block}"
+            )));
+        }
         let blk = self.code.block(block);
         if args.len() != blk.nparams as usize {
             return Err(VmError::Trap(format!(
@@ -709,6 +718,35 @@ impl<'a> Machine<'a> {
                         on_err,
                         *dst,
                         RVal::Str(format!("{ERR_NO_CCALL}:{fname}").into()),
+                    );
+                };
+                match f(self, &vals) {
+                    Ok(v) => self.continue_value(on_ok, *dst, v),
+                    Err(e) => self.exception(on_err, *dst, e),
+                }
+            }
+            Instr::CallPrim {
+                prim,
+                dst,
+                args,
+                on_err,
+                on_ok,
+            } => {
+                let pname = blk.prim_names[*prim as usize].clone();
+                if let Some(p) = self.profile.as_deref_mut() {
+                    match p.externs.get_mut(&pname) {
+                        Some(n) => *n += 1,
+                        None => {
+                            p.externs.insert(pname.clone(), 1);
+                        }
+                    }
+                }
+                let vals: Vec<RVal> = args.iter().map(|s| self.resolve(*s)).collect();
+                let Some(f) = self.externs.lookup(&pname) else {
+                    return self.exception(
+                        on_err,
+                        *dst,
+                        RVal::Str(format!("{ERR_NO_PRIM}:{pname}").into()),
                     );
                 };
                 match f(self, &vals) {
@@ -1247,6 +1285,7 @@ mod tests {
             fold: None,
             validate: None,
             cost: tml_core::prim::PrimCost::Const(5),
+            codegen: None,
         });
         let parsed = parse_app(
             &mut ctx,
@@ -1274,6 +1313,7 @@ mod tests {
             fold: None,
             validate: None,
             cost: tml_core::prim::PrimCost::Const(5),
+            codegen: None,
         });
         let src = "(cont(f) (host.apply f 5 cont(e)(halt -1) cont(t)(halt t)) \
                     proc(x ce cc) (* x x ce cc))";
@@ -1300,6 +1340,7 @@ mod tests {
             fold: None,
             validate: None,
             cost: tml_core::prim::PrimCost::Const(5),
+            codegen: None,
         });
         let parsed = parse_app(&mut ctx, "(host.nope cont(e)(halt e) cont(t)(halt 0))").unwrap();
         let mut vm = Vm::new();
@@ -1307,7 +1348,7 @@ mod tests {
         let mut store = Store::new();
         let out = vm.run_program(&mut store, block, 100_000).unwrap();
         match out.result {
-            RVal::Str(s) => assert!(s.contains("unknown-ccall")),
+            RVal::Str(s) => assert!(s.contains("unknown-prim")),
             other => panic!("expected exception string, got {other:?}"),
         }
     }

@@ -11,6 +11,7 @@
 //! tmlc explain <input> <mod.fn> [--json] [--verify]          optimizer provenance log
 //! tmlc opt <input> [--jobs N] [options]                      whole-world optimization report
 //! tmlc fsck <image.tys> [--repair -o out.tys]                validate (and repair) an image
+//! tmlc prims [--json]                                        list the primitive registry
 //!
 //! `profile` and `explain` accept either a TL source file or a persisted
 //! `.tys` image (whose PTML closures are relinked on load). Damaged images
@@ -33,10 +34,11 @@
 //! ```
 
 use std::process::ExitCode;
+use tycoon::core::Registry;
 use tycoon::lang::types::LowerMode;
 use tycoon::lang::{OptMode, Session, SessionConfig};
 use tycoon::reflect::{
-    optimize_all, optimize_named, relink_image_code, session_from_store, ReflectOptions,
+    optimize_all, optimize_named, relink_image_code, session_from_store_with, ReflectOptions,
     TermBuilder,
 };
 use tycoon::store::ptml::{decode_abs, encode_abs};
@@ -152,11 +154,18 @@ fn read_source(o: &Options) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The full primitive world the `tmlc` driver operates in: the standard
+/// set plus the query extension, built through the one shared
+/// [`Registry`] path.
+fn driver_registry() -> Registry {
+    Registry::standard().with(tycoon::query::prims::register_prims)
+}
+
 /// Load either a TL source file or a persisted `.tys` store image into a
 /// runnable session. Images carry no executable code (the persistent
 /// representation of code is PTML), so every closure is recompiled and
-/// relinked in place; the query primitives are installed first so decoding
-/// resolves them.
+/// relinked in place; the session is built over the driver registry so
+/// decoding resolves the query primitives.
 fn load_input(o: &Options) -> Result<Session, String> {
     let path = o.positional.first().ok_or("missing input file")?;
     if path.ends_with(".tys") {
@@ -170,8 +179,8 @@ fn load_input(o: &Options) -> Result<Session, String> {
                 recovery.dropped_roots
             );
         }
-        let mut s = session_from_store(store, SessionConfig::default());
-        tycoon::query::install(&mut s.ctx, &mut s.vm);
+        let mut s = session_from_store_with(store, SessionConfig::default(), driver_registry());
+        tycoon::query::exec::install_externs(&mut s.vm.externs);
         let relink = relink_image_code(&mut s).map_err(|e| e.to_string())?;
         if relink.skipped > 0 {
             eprintln!(
@@ -739,12 +748,89 @@ fn cmd_fsck(o: &Options) -> Result<(), String> {
     }
 }
 
+/// `tmlc prims [--json]`: list every primitive in the driver registry —
+/// name, value/continuation arity, effect class, cost and which hooks
+/// (inline codegen, constant fold) the definition provides. Primitives
+/// without a codegen hook compile to the generic `call-prim` dispatch.
+fn cmd_prims(o: &Options) -> Result<(), String> {
+    use tycoon::core::prim::{Arity, EffectClass, PrimCost};
+    let arity = |a: Arity| match a {
+        Arity::Exact(n) => format!("{n}"),
+        Arity::AtLeast(n) => format!("{n}+"),
+    };
+    let effects = |e: EffectClass| match e {
+        EffectClass::Pure => "pure",
+        EffectClass::Reads => "reads",
+        EffectClass::Writes => "writes",
+    };
+    let registry = driver_registry();
+    let mut defs: Vec<_> = registry.table().iter().map(|(_, d)| d).collect();
+    defs.sort_by(|a, b| a.name.cmp(&b.name));
+    if o.json {
+        let mut j = String::from("[\n");
+        for (i, d) in defs.iter().enumerate() {
+            if i > 0 {
+                j.push_str(",\n");
+            }
+            let cost = match d.cost {
+                PrimCost::Const(c) => format!("{c}"),
+                PrimCost::Fn(_) => "\"dynamic\"".to_string(),
+            };
+            j.push_str(&format!(
+                "  {{\"name\": {}, \"vals\": {}, \"conts\": {}, \"effects\": {}, \
+                 \"commutative\": {}, \"cost\": {}, \"codegen\": {}, \"fold\": {}}}",
+                json_str(&d.name),
+                json_str(&arity(d.signature.vals)),
+                json_str(&arity(d.signature.conts)),
+                json_str(effects(d.attrs.effects)),
+                d.attrs.commutative,
+                cost,
+                d.codegen.is_some(),
+                d.fold.is_some(),
+            ));
+        }
+        j.push_str("\n]");
+        println!("{j}");
+        return Ok(());
+    }
+    println!(
+        "{:<10} {:>4} {:>5}  {:<6} {:>5}  hooks",
+        "name", "vals", "conts", "effect", "cost"
+    );
+    for d in defs {
+        let cost = match d.cost {
+            PrimCost::Const(c) => format!("{c}"),
+            PrimCost::Fn(_) => "dyn".to_string(),
+        };
+        let mut hooks = Vec::new();
+        if d.codegen.is_some() {
+            hooks.push("codegen");
+        }
+        if d.fold.is_some() {
+            hooks.push("fold");
+        }
+        if hooks.is_empty() {
+            hooks.push("call-prim");
+        }
+        println!(
+            "{:<10} {:>4} {:>5}  {:<6} {:>5}  {}",
+            d.name,
+            arity(d.signature.vals),
+            arity(d.signature.conts),
+            effects(d.attrs.effects),
+            cost,
+            hooks.join("+")
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let (command, options) = match parse_args(std::env::args()) {
         Ok(x) => x,
         Err(e) => {
             eprintln!(
-                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|explain|opt|fsck ..."
+                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|explain|opt|fsck|prims ..."
             );
             return ExitCode::FAILURE;
         }
@@ -760,6 +846,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&options),
         "opt" => cmd_opt(&options),
         "fsck" => cmd_fsck(&options),
+        "prims" => cmd_prims(&options),
         other => Err(format!("unknown command {other}")),
     };
     match result {
