@@ -1,0 +1,657 @@
+//! The durable store: a [`Store`] whose mutations are write-ahead logged,
+//! with periodic checkpoints that truncate the log.
+//!
+//! This is the persistence architecture ROADMAP item 1 called for: the
+//! TYSTO3 whole-image snapshot is no longer the unit of durability — it
+//! is the *checkpoint*, taken every `checkpoint_every` commits (or on
+//! demand), while individual mutations cost only an appended redo record
+//! plus a (group-committed) fsync.
+//!
+//! ## Commit protocol
+//!
+//! Every mutating method applies the change to the in-memory [`Store`]
+//! and appends a redo record carrying the full post-image. [`commit`]
+//! appends a `Commit` marker and syncs per the [`SyncPolicy`]. Redo
+//! records replay through the *same* store entry points the original
+//! mutations used, so version counters advance identically — which is
+//! what makes recovery byte-identical (`snapshot::to_bytes` re-serializes
+//! the recovered store to exactly the bytes of the lost one).
+//!
+//! ## Recovery
+//!
+//! [`DurableStore::open`]: load the checkpoint image through the existing
+//! cascade ([`snapshot::load_with_recovery`]), scan the log, and decide:
+//!
+//! * the loaded image's file identity matches the log header → replay the
+//!   committed prefix, resume appending after it;
+//! * mismatch, unreadable header, damaged (salvaged) image → the log
+//!   cannot be trusted on this base: discard it and take an immediate
+//!   checkpoint to heal the on-disk state.
+//!
+//! The identity check is what makes the checkpoint crash windows safe: a
+//! crash *before* the image rename leaves the old image (matching log →
+//! replay), a crash *after* the rename but before the log reset leaves
+//! the new image (stale log → discard, and every logged mutation is
+//! already inside the new image). Either way no committed mutation is
+//! lost — the seeded failpoint matrix in `tests/wal_recovery.rs` drives a
+//! crash into every site and asserts exactly that.
+//!
+//! [`commit`]: DurableStore::commit
+
+use crate::gc::{self, GcStats};
+use crate::object::Object;
+use crate::snapshot::{self, RecoveryReport};
+use crate::store::{Store, StoreError};
+use crate::sval::SVal;
+use crate::wal::{wal_path, SyncPolicy, Wal, WalRecord};
+use crate::{failpoint, StoreStats};
+use std::path::{Path, PathBuf};
+use tml_core::Oid;
+
+/// Tuning for a [`DurableStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// When commits fsync the log.
+    pub sync: SyncPolicy,
+    /// Take a checkpoint automatically every this many commits
+    /// (0 = only on explicit [`DurableStore::checkpoint`] calls).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> DurableOptions {
+        DurableOptions {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// What [`DurableStore::open`] did to reconstruct the store.
+#[derive(Debug)]
+pub struct OpenReport {
+    /// How the checkpoint image itself was recovered.
+    pub snapshot: RecoveryReport,
+    /// Redo records replayed from the log's committed prefix.
+    pub redo_records: u64,
+    /// Commit markers replayed.
+    pub redo_commits: u64,
+    /// Log records discarded: the uncommitted/torn suffix, or the whole
+    /// log when it was stale for the recovered image.
+    pub discarded_records: u64,
+    /// The log tail was torn (recovery truncated it).
+    pub torn_tail: bool,
+    /// The whole log was discarded as stale (its header named a different
+    /// checkpoint image than the one recovery loaded).
+    pub stale_log: bool,
+}
+
+/// A write-ahead-logged [`Store`] bound to an image path.
+#[derive(Debug)]
+pub struct DurableStore {
+    store: Store,
+    wal: Wal,
+    path: PathBuf,
+    opts: DurableOptions,
+    commits_since_checkpoint: u64,
+    wedged: bool,
+}
+
+fn path_key(path: &Path) -> u64 {
+    crate::cache::hash_bytes(path.as_os_str().as_encoded_bytes())
+}
+
+/// Replay one redo record against a store, through the same entry points
+/// the original mutation used (so version counters advance identically).
+fn apply(store: &mut Store, rec: &WalRecord) -> Result<(), StoreError> {
+    match rec {
+        WalRecord::Alloc { oid, obj } => {
+            let got = store.alloc(obj.clone());
+            debug_assert_eq!(got, *oid, "redo allocation order diverged");
+            Ok(())
+        }
+        WalRecord::Set { oid, obj } => store.set(*oid, obj.clone()),
+        WalRecord::Free { oid } => {
+            store.free(*oid);
+            Ok(())
+        }
+        WalRecord::SetRoot { name, oid } => {
+            store.set_root(name.clone(), *oid);
+            Ok(())
+        }
+        WalRecord::RemoveRoot { name } => {
+            store.remove_root(name);
+            Ok(())
+        }
+        WalRecord::SetAttr { oid, key, value } => {
+            store.set_attr(*oid, key.clone(), *value);
+            Ok(())
+        }
+        WalRecord::Commit => Ok(()),
+    }
+}
+
+impl DurableStore {
+    /// Create a fresh durable store at `path`: writes an empty checkpoint
+    /// image and an empty log.
+    pub fn create(path: impl AsRef<Path>, opts: DurableOptions) -> std::io::Result<DurableStore> {
+        DurableStore::from_store(Store::new(), path, opts)
+    }
+
+    /// Adopt an existing in-memory store, checkpointing it to `path`
+    /// immediately so the on-disk state starts consistent.
+    pub fn from_store(
+        store: Store,
+        path: impl AsRef<Path>,
+        opts: DurableOptions,
+    ) -> std::io::Result<DurableStore> {
+        let path = path.as_ref().to_path_buf();
+        let identity = snapshot::save_with_identity(&store, &path)?;
+        let wal = Wal::create(wal_path(&path), identity)?.with_policy(opts.sync);
+        Ok(DurableStore {
+            store,
+            wal,
+            path,
+            opts,
+            commits_since_checkpoint: 0,
+            wedged: false,
+        })
+    }
+
+    /// Open the durable store at `path`: recover the checkpoint image,
+    /// replay the log's committed prefix, and resume.
+    pub fn open(
+        path: impl AsRef<Path>,
+        opts: DurableOptions,
+    ) -> std::io::Result<(DurableStore, OpenReport)> {
+        let path = path.as_ref().to_path_buf();
+        let (mut store, snap_report) = snapshot::load_with_recovery(&path)?;
+        let wpath = wal_path(&path);
+        let scan = Wal::scan(&wpath)?;
+        let loaded_identity = recovered_image_identity(&path, &snap_report);
+        let log_usable = scan.exists && scan.base.is_some() && scan.base == loaded_identity;
+        let mut report = OpenReport {
+            snapshot: snap_report,
+            redo_records: 0,
+            redo_commits: 0,
+            discarded_records: 0,
+            torn_tail: scan.torn_tail,
+            stale_log: false,
+        };
+        if log_usable {
+            let mut last_lsn = 0;
+            for (lsn, rec) in &scan.records[..scan.committed] {
+                // Redo is infallible on the base it was logged against; a
+                // failure here means the identity check let a wrong base
+                // through, which is a bug worth surfacing loudly.
+                apply(&mut store, rec).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("wal redo failed at lsn {lsn}: {e}"),
+                    )
+                })?;
+                report.redo_records += 1;
+                if *rec == WalRecord::Commit {
+                    report.redo_commits += 1;
+                }
+                last_lsn = *lsn;
+            }
+            report.discarded_records = (scan.records.len() - scan.committed) as u64;
+            if tml_trace::enabled() {
+                tml_trace::count("store.wal.redo_records", report.redo_records);
+                tml_trace::count("store.wal.redo_discarded", report.discarded_records);
+                tml_trace::record(tml_trace::Event::Wal {
+                    op: "redo",
+                    lsn: last_lsn,
+                    bytes: scan.committed_end,
+                    records: report.redo_records,
+                });
+            }
+            let wal = Wal::resume(&wpath, &scan)?.with_policy(opts.sync);
+            let mut ds = DurableStore {
+                store,
+                wal,
+                path,
+                opts,
+                commits_since_checkpoint: report.redo_commits,
+                wedged: false,
+            };
+            ds.maybe_auto_checkpoint()?;
+            return Ok((ds, report));
+        }
+        // No usable log: stale for this image, headerless, or absent.
+        // Heal by checkpointing the recovered store now — that makes the
+        // on-disk state self-consistent again and empties the log.
+        report.stale_log = scan.exists && scan.base != loaded_identity;
+        report.discarded_records = scan.records.len() as u64;
+        if tml_trace::enabled() && scan.exists {
+            tml_trace::count("store.wal.redo_discarded", report.discarded_records);
+            tml_trace::record(tml_trace::Event::Wal {
+                op: "discard",
+                lsn: scan.next_lsn.saturating_sub(1),
+                bytes: scan.file_bytes,
+                records: report.discarded_records,
+            });
+        }
+        let ds = DurableStore::from_store(store, path, opts)?;
+        Ok((ds, report))
+    }
+
+    /// The image path this store persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read view of the underlying store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Escape hatch: mutate the underlying store *without* logging. Any
+    /// change made through this view is volatile until the next
+    /// checkpoint. Used for transient state (cache warm-up, code-table
+    /// relinking) that redo can always re-derive.
+    pub fn store_mut_unlogged(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Statistics of the underlying store.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Log-side totals since open.
+    pub fn wal_stats(&self) -> crate::wal::WalStats {
+        self.wal.stats()
+    }
+
+    /// `true` once an append failed: in-memory and durable state may have
+    /// diverged, so further logged mutations are refused. Reopen to heal.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    fn guard(&self) -> std::io::Result<()> {
+        if self.wedged {
+            return Err(std::io::Error::other(
+                "durable store is wedged after an append failure; reopen to recover",
+            ));
+        }
+        Ok(())
+    }
+
+    fn log(&mut self, rec: WalRecord) -> std::io::Result<()> {
+        match self.wal.append(&rec) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.wedged = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Allocate an object (logged).
+    pub fn alloc(&mut self, obj: Object) -> std::io::Result<Oid> {
+        self.guard()?;
+        let oid = self.store.alloc(obj.clone());
+        self.log(WalRecord::Alloc { oid, obj })?;
+        Ok(oid)
+    }
+
+    /// Overwrite an object (logged).
+    pub fn set(&mut self, oid: Oid, obj: Object) -> std::io::Result<()> {
+        self.guard()?;
+        self.store
+            .set(oid, obj.clone())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        self.log(WalRecord::Set { oid, obj })
+    }
+
+    /// Free an object (logged).
+    pub fn free(&mut self, oid: Oid) -> std::io::Result<()> {
+        self.guard()?;
+        self.store.free(oid);
+        self.log(WalRecord::Free { oid })
+    }
+
+    /// Set a named root (logged).
+    pub fn set_root(&mut self, name: &str, oid: Oid) -> std::io::Result<()> {
+        self.guard()?;
+        self.store.set_root(name.to_string(), oid);
+        self.log(WalRecord::SetRoot {
+            name: name.to_string(),
+            oid,
+        })
+    }
+
+    /// Remove a named root (logged).
+    pub fn remove_root(&mut self, name: &str) -> std::io::Result<()> {
+        self.guard()?;
+        self.store.remove_root(name);
+        self.log(WalRecord::RemoveRoot {
+            name: name.to_string(),
+        })
+    }
+
+    /// Set a derived attribute (logged).
+    pub fn set_attr(&mut self, oid: Oid, key: &str, value: i64) -> std::io::Result<()> {
+        self.guard()?;
+        self.store.set_attr(oid, key.to_string(), value);
+        self.log(WalRecord::SetAttr {
+            oid,
+            key: key.to_string(),
+            value,
+        })
+    }
+
+    /// In-place array store (logged as a full post-image `Set`).
+    pub fn array_set(&mut self, oid: Oid, index: i64, value: SVal) -> std::io::Result<()> {
+        self.guard()?;
+        self.store
+            .array_set(oid, index, value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let obj = self.store.get(oid).expect("array_set verified oid").clone();
+        self.log(WalRecord::Set { oid, obj })
+    }
+
+    /// In-place byte store (logged as a full post-image `Set`).
+    pub fn bytes_set(&mut self, oid: Oid, index: i64, value: u8) -> std::io::Result<()> {
+        self.guard()?;
+        self.store
+            .bytes_set(oid, index, value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let obj = self.store.get(oid).expect("bytes_set verified oid").clone();
+        self.log(WalRecord::Set { oid, obj })
+    }
+
+    /// Garbage-collect through the logged interface: runs [`gc::collect`]
+    /// on the in-memory store and logs one `Free` per reclaimed object.
+    pub fn collect(&mut self, extra_roots: &[Oid]) -> std::io::Result<GcStats> {
+        self.guard()?;
+        let live_before: Vec<Oid> = self.store.iter().map(|(oid, _)| oid).collect();
+        let stats = gc::collect(&mut self.store, extra_roots);
+        for oid in live_before {
+            if self.store.get(oid).is_err() {
+                self.log(WalRecord::Free { oid })?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Commit everything logged since the previous commit. Returns `true`
+    /// when the commit is durably synced on return (see [`SyncPolicy`]).
+    /// May take an automatic checkpoint (per `checkpoint_every`).
+    pub fn commit(&mut self) -> std::io::Result<bool> {
+        self.guard()?;
+        let synced = match self.wal.commit() {
+            Ok(s) => s,
+            Err(e) => {
+                self.wedged = true;
+                return Err(e);
+            }
+        };
+        self.commits_since_checkpoint += 1;
+        self.maybe_auto_checkpoint()?;
+        Ok(synced)
+    }
+
+    fn maybe_auto_checkpoint(&mut self) -> std::io::Result<()> {
+        if self.opts.checkpoint_every > 0
+            && self.commits_since_checkpoint >= self.opts.checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Take a checkpoint: write the whole image (the crash-safe snapshot
+    /// protocol, unchanged) and truncate the log. Crash windows:
+    ///
+    /// * before/inside the image save — the old image survives (or is
+    ///   recoverable via its backup/tmp), and its identity still matches
+    ///   the untouched log, so recovery replays as if no checkpoint ran;
+    /// * after the save, before/inside the log reset — the new image is
+    ///   in place and the log is stale for it, so recovery discards the
+    ///   log; every logged mutation is already inside the new image.
+    pub fn checkpoint(&mut self) -> std::io::Result<()> {
+        self.guard()?;
+        failpoint::fail_io("wal.checkpoint", path_key(&self.path))?;
+        // Unsynced log tail first: the image we are about to write must
+        // not be *ahead* of the log while the old image is still current.
+        self.wal.flush(true)?;
+        let identity = snapshot::save_with_identity(&self.store, &self.path)?;
+        self.wal.reset(identity)?;
+        self.commits_since_checkpoint = 0;
+        if tml_trace::enabled() {
+            tml_trace::count("store.wal.checkpoints", 1);
+            tml_trace::record(tml_trace::Event::Wal {
+                op: "checkpoint",
+                lsn: 0,
+                bytes: identity.len,
+                records: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Flush and sync the log, then checkpoint. Call before dropping when
+    /// the store should land fully consolidated on disk.
+    pub fn close(mut self) -> std::io::Result<()> {
+        self.checkpoint()
+    }
+}
+
+/// The identity of the file that `load_with_recovery` decoded, if it
+/// decoded one cleanly (salvage sources return `None`: a log must never
+/// replay onto a salvaged — partially lost — base).
+fn recovered_image_identity(
+    path: &Path,
+    report: &RecoveryReport,
+) -> Option<snapshot::ImageIdentity> {
+    use crate::snapshot::RecoverySource as S;
+    let src = match report.source {
+        S::Primary => path.to_path_buf(),
+        S::Backup => snapshot::backup_path(path),
+        S::Tmp => snapshot::tmp_path(path),
+        S::SalvagedPrimary | S::SalvagedBackup | S::SalvagedTmp => return None,
+    };
+    snapshot::identity_of_file(src).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::RecoverySource;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tml_store_durable_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        for suffix in ["", ".bak", ".tmp", ".wal"] {
+            let mut q = p.as_os_str().to_os_string();
+            q.push(suffix);
+            std::fs::remove_file(PathBuf::from(q)).ok();
+        }
+        p
+    }
+
+    fn obj(n: i64) -> Object {
+        Object::Array(vec![SVal::Int(n)])
+    }
+
+    #[test]
+    fn mutations_survive_reopen_without_checkpoint() {
+        let path = tmp("basic.tys");
+        let mut ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        let a = ds.alloc(obj(1)).unwrap();
+        ds.set_root("main", a).unwrap();
+        ds.commit().unwrap();
+        let b = ds.alloc(obj(2)).unwrap();
+        ds.set(b, obj(20)).unwrap();
+        ds.set_attr(b, "cost", 9).unwrap();
+        ds.commit().unwrap();
+        let expected = snapshot::to_bytes(&ds.store);
+        drop(ds); // crash: no close, no checkpoint
+        let (back, report) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert_eq!(report.snapshot.source, RecoverySource::Primary);
+        assert_eq!(report.redo_commits, 2);
+        assert!(!report.stale_log);
+        assert_eq!(snapshot::to_bytes(&back.store), expected);
+        assert_eq!(back.store().root("main"), Some(a));
+        assert_eq!(back.store().attr(b, "cost"), Some(9));
+    }
+
+    #[test]
+    fn uncommitted_suffix_is_discarded_on_reopen() {
+        let path = tmp("uncommitted.tys");
+        let mut ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        let a = ds.alloc(obj(1)).unwrap();
+        ds.commit().unwrap();
+        let committed = snapshot::to_bytes(&ds.store);
+        // Logged but never committed; force the bytes to disk so only
+        // the missing Commit marker separates them from durability.
+        ds.alloc(obj(2)).unwrap();
+        ds.free(a).unwrap();
+        ds.wal.flush(true).unwrap();
+        drop(ds);
+        let (back, report) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert_eq!(report.redo_commits, 1);
+        assert_eq!(report.discarded_records, 2);
+        assert_eq!(snapshot::to_bytes(&back.store), committed);
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_reopen_needs_no_redo() {
+        let path = tmp("checkpoint.tys");
+        let mut ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        for i in 0..10 {
+            ds.alloc(obj(i)).unwrap();
+            ds.commit().unwrap();
+        }
+        ds.checkpoint().unwrap();
+        let expected = snapshot::to_bytes(&ds.store);
+        let scan = Wal::scan(wal_path(&path)).unwrap();
+        assert!(scan.records.is_empty(), "checkpoint emptied the log");
+        drop(ds);
+        let (back, report) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert_eq!(report.redo_records, 0);
+        assert_eq!(snapshot::to_bytes(&back.store), expected);
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_every_n_commits() {
+        let path = tmp("auto.tys");
+        let opts = DurableOptions {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 3,
+        };
+        let mut ds = DurableStore::create(&path, opts).unwrap();
+        for i in 0..7 {
+            ds.alloc(obj(i)).unwrap();
+            ds.commit().unwrap();
+        }
+        // 7 commits → checkpoints after the 3rd and 6th; one commit since.
+        let scan = Wal::scan(wal_path(&path)).unwrap();
+        assert_eq!(scan.commits, 1);
+        drop(ds);
+        let (back, report) = DurableStore::open(&path, opts).unwrap();
+        assert_eq!(report.redo_commits, 1);
+        assert_eq!(back.store().live(), 7);
+    }
+
+    #[test]
+    fn stale_log_is_discarded_not_replayed() {
+        let path = tmp("stale.tys");
+        let mut ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        let a = ds.alloc(obj(1)).unwrap();
+        ds.commit().unwrap();
+        drop(ds);
+        // Rewrite the image out-of-band (as an older tool might): the log
+        // header now names an image that no longer exists.
+        let mut s = Store::new();
+        s.alloc(obj(99));
+        snapshot::save(&s, &path).unwrap();
+        let (back, report) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert!(report.stale_log);
+        assert_eq!(report.redo_records, 0);
+        assert_eq!(report.discarded_records, 2);
+        assert_eq!(
+            back.store().get(a).unwrap(),
+            &obj(99),
+            "the out-of-band image wins; the stale log never replays onto it"
+        );
+    }
+
+    #[test]
+    fn gc_through_the_log_survives_reopen() {
+        let path = tmp("gc.tys");
+        let mut ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        let keep = ds.alloc(obj(1)).unwrap();
+        let _garbage = ds.alloc(obj(2)).unwrap();
+        let _more = ds.alloc(obj(3)).unwrap();
+        ds.set_root("keep", keep).unwrap();
+        ds.commit().unwrap();
+        let stats = ds.collect(&[]).unwrap();
+        assert_eq!(stats.freed, 2);
+        ds.commit().unwrap();
+        let expected = snapshot::to_bytes(&ds.store);
+        drop(ds);
+        let (back, _) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert_eq!(snapshot::to_bytes(&back.store), expected);
+        assert_eq!(back.store().live(), 1);
+    }
+
+    #[test]
+    fn append_failure_wedges_until_reopen() {
+        use crate::failpoint::{Action, FailSpec, ScopedFailpoints};
+        let path = tmp("wedged.tys");
+        let mut ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        ds.alloc(obj(1)).unwrap();
+        ds.commit().unwrap();
+        // Key the spec to this store's log so concurrent tests passing
+        // through wal.append are untouched.
+        let wal_key = crate::cache::hash_bytes(wal_path(&path).as_os_str().as_encoded_bytes());
+        let _fp =
+            ScopedFailpoints::new(&[("wal.append", FailSpec::always(Action::Io).for_key(wal_key))]);
+        assert!(ds.alloc(obj(2)).is_err());
+        assert!(ds.is_wedged());
+        assert!(ds.commit().is_err(), "wedged store refuses commits");
+        drop(_fp);
+        drop(ds);
+        let (back, report) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert_eq!(report.redo_commits, 1);
+        assert_eq!(back.store().live(), 1, "the failed alloc never committed");
+    }
+
+    #[test]
+    fn cache_contents_survive_checkpoint_and_reopen() {
+        use crate::cache::{CacheEntry, CacheKey};
+        let path = tmp("cache.tys");
+        let mut ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        let a = ds.alloc(obj(1)).unwrap();
+        ds.commit().unwrap();
+        let key = CacheKey {
+            ptml_hash: 11,
+            binding_sig: 22,
+        };
+        ds.store_mut_unlogged().cache_insert(
+            key,
+            CacheEntry {
+                observed: vec![(a, 0)],
+                ptml: vec![1, 2],
+                code: vec![3, 4],
+                captures: vec![],
+                size_before: 10,
+                size_after: 4,
+                inlined: 1,
+                tick: 0,
+            },
+        );
+        // Cache state is unlogged (it is derived data) but the checkpoint
+        // image captures it.
+        ds.checkpoint().unwrap();
+        drop(ds);
+        let (mut back, _) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert!(back.store_mut_unlogged().cache_lookup(key).is_some());
+    }
+}

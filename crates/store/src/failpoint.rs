@@ -34,10 +34,14 @@
 //! | `snapshot.save.bytes`       | short write / bit flips in the image     |
 //! | `snapshot.load.read`        | image read fails (IO error)              |
 //! | `snapshot.load.bytes`       | short read / bit flips in the image      |
+//! | `snapshot.save.dirsync`     | directory fsync after the rename fails   |
 //! | `ptml.encode`               | corrupt bytes leaving the encoder        |
 //! | `ptml.decode`               | corrupt bytes entering the decoder       |
 //! | `cache.persist`             | corrupt bytes in a cached code segment   |
 //! | `reflect.prepare`           | panic inside one optimization job        |
+//! | `wal.append`                | appending a log record fails (IO error)  |
+//! | `wal.flush`                 | log flush fails / tears the flushed page |
+//! | `wal.checkpoint`            | crash at the start of a checkpoint       |
 //!
 //! Sites are matched by exact name. A hit may carry a *key* (an OID, a
 //! path hash) so a spec can target one object or file without perturbing
@@ -45,7 +49,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, Once, OnceLock};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock, PoisonError};
 
 /// What happens when a failpoint triggers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +125,15 @@ fn registry() -> &'static Mutex<HashMap<String, FailState>> {
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Lock the registry, recovering from poisoning. A `Panic`-action failpoint
+/// caught by degraded-mode `catch_unwind` (or any panicking test thread)
+/// must not turn every later failpoint call into a second panic: the map
+/// holds plain data whose invariants hold between statements, so the
+/// poisoned guard is safe to adopt.
+fn reg_lock() -> MutexGuard<'static, HashMap<String, FailState>> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The big test lock: failpoints are process-global, so tests that arm
 /// them serialize on this mutex (via [`ScopedFailpoints`]).
 fn test_lock() -> &'static Mutex<()> {
@@ -183,7 +196,7 @@ pub fn armed() -> bool {
 
 /// Arm a failpoint at `site`. Replaces any existing spec for the site.
 pub fn arm(site: &str, spec: FailSpec) {
-    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    let mut reg = reg_lock();
     reg.insert(
         site.to_string(),
         FailState {
@@ -197,7 +210,7 @@ pub fn arm(site: &str, spec: FailSpec) {
 
 /// Disarm one site.
 pub fn disarm(site: &str) {
-    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    let mut reg = reg_lock();
     reg.remove(site);
     if reg.is_empty() {
         ARMED.store(false, Ordering::Relaxed);
@@ -206,7 +219,7 @@ pub fn disarm(site: &str) {
 
 /// Disarm every site.
 pub fn disarm_all() {
-    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    let mut reg = reg_lock();
     reg.clear();
     ARMED.store(false, Ordering::Relaxed);
 }
@@ -219,7 +232,7 @@ pub fn check(site: &str, key: u64) -> Option<(Action, u64)> {
         return None;
     }
     let action = {
-        let mut reg = registry().lock().expect("failpoint registry poisoned");
+        let mut reg = reg_lock();
         let state = reg.get_mut(site)?;
         if let Some(k) = state.spec.key {
             if k != key {
@@ -264,13 +277,29 @@ pub fn fail_io(site: &str, key: u64) -> std::io::Result<()> {
 /// only, so a given (spec, input) pair always corrupts identically.
 pub fn corrupt(site: &str, key: u64, bytes: &mut Vec<u8>) -> bool {
     match check(site, key) {
-        Some((Action::ShortWrite(permille), _)) => {
-            let keep = (bytes.len() as u64 * u64::from(permille) / 1000) as usize;
+        Some((action, seed)) => apply_corruption(action, seed, bytes),
+        None => false,
+    }
+}
+
+/// Apply one corruption action to a buffer in place; returns `true` only
+/// when the buffer actually changed. A `ShortWrite` permille is clamped to
+/// 1000, so a spec of `short1000` (or more) keeps the whole buffer and
+/// reports no corruption — fault-matrix accounting must not count a
+/// truncation that truncated nothing. `Io` and `Panic` actions never touch
+/// byte buffers.
+pub fn apply_corruption(action: Action, seed: u64, bytes: &mut Vec<u8>) -> bool {
+    match action {
+        Action::ShortWrite(permille) => {
+            let keep = (bytes.len() as u64 * u64::from(permille.min(1000)) / 1000) as usize;
+            if keep >= bytes.len() {
+                return false;
+            }
             bytes.truncate(keep);
             true
         }
-        Some((Action::FlipBits(n), seed)) => {
-            if bytes.is_empty() {
+        Action::FlipBits(n) => {
+            if bytes.is_empty() || n == 0 {
                 return false;
             }
             let mut rng = Xorshift::new(seed ^ 0x9e37_79b9_7f4a_7c15);
@@ -280,7 +309,7 @@ pub fn corrupt(site: &str, key: u64, bytes: &mut Vec<u8>) -> bool {
             }
             true
         }
-        _ => false,
+        Action::Io | Action::Panic => false,
     }
 }
 
@@ -397,6 +426,44 @@ mod tests {
         assert!(corrupt("t.short", 0, &mut b));
         assert_eq!(b.len(), 50);
         assert_eq!(b[..], (0..50).collect::<Vec<u8>>()[..]);
+    }
+
+    #[test]
+    fn short_write_that_truncates_nothing_reports_no_corruption() {
+        let _fp = ScopedFailpoints::new(&[
+            // Permille >= 1000 keeps every byte: not a corruption.
+            ("t.noop", FailSpec::always(Action::ShortWrite(1000))),
+            // Over-unit permille exercises the clamp.
+            ("t.over", FailSpec::always(Action::ShortWrite(2500))),
+            // An empty buffer has nothing to truncate.
+            ("t.empty", FailSpec::always(Action::ShortWrite(500))),
+        ]);
+        let mut b: Vec<u8> = (0..10).collect();
+        assert!(!corrupt("t.noop", 0, &mut b));
+        assert_eq!(b.len(), 10, "buffer unchanged");
+        let mut b: Vec<u8> = (0..10).collect();
+        assert!(!corrupt("t.over", 0, &mut b));
+        assert_eq!(b.len(), 10);
+        let mut b: Vec<u8> = Vec::new();
+        assert!(!corrupt("t.empty", 0, &mut b));
+    }
+
+    #[test]
+    fn poisoned_registry_recovers_instead_of_panicking() {
+        let _fp = ScopedFailpoints::new(&[]);
+        // Poison the registry mutex by panicking while holding it, as a
+        // Panic-action failpoint caught by catch_unwind can do.
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = registry().lock().unwrap();
+            panic!("poison the registry");
+        });
+        assert!(registry().lock().is_err(), "registry is poisoned");
+        // Every entry point must keep working on the poisoned mutex.
+        arm("t.poison", FailSpec::always(Action::Io));
+        assert!(check("t.poison", 0).is_some());
+        disarm("t.poison");
+        assert!(check("t.poison", 0).is_none());
+        disarm_all();
     }
 
     #[test]

@@ -19,26 +19,38 @@
 //! * [`ptml`] — the compact binary encoding of TML trees (experiment E3
 //!   measures its size against the executable code size);
 //! * [`snapshot`] — whole-store persistence to a file and back;
-//! * [`gc`] — mark-and-sweep collection with stable OIDs (tombstones).
+//! * [`gc`] — mark-and-sweep collection with stable OIDs (tombstones);
+//! * [`wal`] / [`page`] / [`buffer`] / [`durable`] — a write-ahead log
+//!   over fixed-size pages with a pinned buffer pool, and the
+//!   [`DurableStore`] wrapper that combines log-first mutation with
+//!   periodic checkpoint snapshots and redo recovery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod cache;
 pub mod crc;
+pub mod durable;
 pub mod failpoint;
 pub mod gc;
 pub mod object;
+pub mod page;
 pub mod ptml;
 pub mod snapshot;
 pub mod store;
 pub mod sval;
 pub mod varint;
+pub mod wal;
 
+pub use buffer::{BufferPool, BufferStats};
 pub use cache::{CacheEntry, CacheKey, CacheStats, OptCache};
 pub use crc::crc32;
+pub use durable::{DurableOptions, DurableStore, OpenReport};
 pub use object::{ClosureObj, ModuleObj, Object, Relation};
-pub use snapshot::{get_sval, put_sval, RecoveryReport, RecoverySource};
+pub use page::{Page, PageFile, PageId, PAGE_SIZE};
+pub use snapshot::{get_sval, put_sval, ImageIdentity, RecoveryReport, RecoverySource};
 pub use store::{Store, StoreError, StoreStats};
 pub use sval::SVal;
 pub use tml_core::Oid;
+pub use wal::{LogScan, SyncPolicy, Wal, WalRecord, WalStats};

@@ -348,8 +348,10 @@ fn get_cache(r: &mut Reader<'_>) -> Result<OptCache, DecodeError> {
     Ok(cache)
 }
 
-/// The sibling paths the atomic save protocol uses.
-fn tmp_path(path: &Path) -> std::path::PathBuf {
+/// The sibling `<path>.tmp` the atomic save protocol writes before the
+/// final rename. Public so recovery tooling (`tmlc fsck`) can inspect it.
+pub fn tmp_path(path: impl AsRef<Path>) -> std::path::PathBuf {
+    let path = path.as_ref();
     let mut p = path.as_os_str().to_os_string();
     p.push(".tmp");
     p.into()
@@ -366,14 +368,49 @@ fn path_key(path: &Path) -> u64 {
     hash_bytes(path.as_os_str().as_encoded_bytes())
 }
 
+/// Identity of an on-disk image: whole-file byte length plus the CRC-32
+/// of every file byte (trailer included). The WAL header records the
+/// identity of the checkpoint image it extends, so recovery can tell a
+/// log that belongs to the current image from a stale pre-checkpoint one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageIdentity {
+    /// File length in bytes.
+    pub len: u64,
+    /// CRC-32 (IEEE) over all file bytes.
+    pub crc: u32,
+}
+
+/// Identity of an image byte buffer (what the saved file will contain).
+pub fn identity_of(bytes: &[u8]) -> ImageIdentity {
+    ImageIdentity {
+        len: bytes.len() as u64,
+        crc: crc32(bytes),
+    }
+}
+
+/// Identity of the image file currently at `path`.
+pub fn identity_of_file(path: impl AsRef<Path>) -> std::io::Result<ImageIdentity> {
+    let bytes = std::fs::read(path)?;
+    Ok(identity_of(&bytes))
+}
+
 /// Save the store to a file, crash-safely.
 ///
 /// Protocol: serialize, write to `<path>.tmp`, fsync the temp file, rotate
 /// any existing image to `<path>.bak`, then atomically rename the temp
 /// file over `path` (and best-effort fsync the directory). A crash at any
-/// step leaves the previous good image at `path` or `path.bak`; it never
-/// leaves a half-written image at `path`.
+/// step leaves a good image at `path`, at `path.bak`, or — in the window
+/// between the backup rotation and the final rename — complete at
+/// `<path>.tmp`, all of which [`load_with_recovery`] knows to try; it
+/// never leaves a half-written image at `path` itself.
 pub fn save(store: &Store, path: impl AsRef<Path>) -> std::io::Result<()> {
+    save_with_identity(store, path).map(|_| ())
+}
+
+/// [`save`], additionally reporting the identity of the bytes written.
+/// The durable store's checkpoint records this identity in the WAL header
+/// without re-reading the file it just wrote.
+pub fn save_with_identity(store: &Store, path: impl AsRef<Path>) -> std::io::Result<ImageIdentity> {
     let path = path.as_ref();
     let key = path_key(path);
     let mut bytes = to_bytes(store);
@@ -382,6 +419,7 @@ pub fn save(store: &Store, path: impl AsRef<Path>) -> std::io::Result<()> {
         // though every syscall "succeeds".
         failpoint::corrupt("snapshot.save.bytes", key, &mut bytes);
     }
+    let identity = identity_of(&bytes);
     let tmp = tmp_path(path);
     failpoint::fail_io("snapshot.save.write", key)?;
     let mut f = std::fs::File::create(&tmp)?;
@@ -394,18 +432,30 @@ pub fn save(store: &Store, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::rename(path, backup_path(path))?;
     }
     // The crash window the old `std::fs::write` left open: between here
-    // and the rename the new image exists only at `<path>.tmp`, but the
+    // and the rename the new image exists only at `<path>.tmp` (complete
+    // and fsynced — recovery uses it as a salvage source) while the
     // previous good image is intact at `<path>.bak`.
     failpoint::fail_io("snapshot.save.rename", key)?;
     std::fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         // Durability of the rename itself; not all platforms/filesystems
-        // support fsync on directories, so failure here is non-fatal.
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
+        // support fsync on directories, so failure is tolerated — but no
+        // longer silently: a failed directory fsync means the rename may
+        // not survive a power cut, which operators need to see.
+        let synced = failpoint::fail_io("snapshot.save.dirsync", key)
+            .and_then(|()| std::fs::File::open(dir))
+            .and_then(|d| d.sync_all());
+        if let Err(e) = synced {
+            if tml_trace::enabled() {
+                tml_trace::count("store.snapshot.dirsync_failures", 1);
+                tml_trace::record(tml_trace::Event::DurabilityRisk {
+                    site: "snapshot.save.dirsync",
+                    detail: e.to_string(),
+                });
+            }
         }
     }
-    Ok(())
+    Ok(identity)
 }
 
 /// Load a store from a file. Fails on any corruption; see
@@ -433,10 +483,16 @@ pub enum RecoverySource {
     Primary,
     /// The primary was unreadable; the rolling `.bak` decoded cleanly.
     Backup,
+    /// Neither primary nor backup decoded, but an interrupted save left a
+    /// complete, CRC-valid image at `<path>.tmp` (crash between the backup
+    /// rotation and the final rename).
+    Tmp,
     /// Readable objects were salvaged out of the damaged primary image.
     SalvagedPrimary,
     /// Readable objects were salvaged out of the damaged backup image.
     SalvagedBackup,
+    /// Readable objects were salvaged out of a damaged `<path>.tmp`.
+    SalvagedTmp,
 }
 
 impl RecoverySource {
@@ -445,8 +501,10 @@ impl RecoverySource {
         match self {
             RecoverySource::Primary => "primary",
             RecoverySource::Backup => "backup",
+            RecoverySource::Tmp => "tmp",
             RecoverySource::SalvagedPrimary => "salvaged-primary",
             RecoverySource::SalvagedBackup => "salvaged-backup",
+            RecoverySource::SalvagedTmp => "salvaged-tmp",
         }
     }
 }
@@ -478,14 +536,17 @@ impl RecoveryReport {
     }
 }
 
-/// Load a store, falling back to the rolling backup and then to object
-/// salvage when the image is damaged.
+/// Load a store, falling back to the rolling backup, a complete save-time
+/// temp file, and then to object salvage when the image is damaged.
 ///
-/// The cascade: decode `path`; on corruption decode `path.bak`; failing
-/// that, salvage readable framed objects out of the primary, then out of
-/// the backup. Every degradation is reported in the [`RecoveryReport`] and
-/// recorded on the trace (`Event::Recovery` plus counters). An `Err` means
-/// no image yielded anything loadable.
+/// The cascade: decode `path`; on corruption decode `path.bak`; then
+/// decode `<path>.tmp` (a crash between `save`'s backup rotation and its
+/// final rename leaves the *newest* image complete and fsynced there, with
+/// nothing at `path`); failing all three, salvage readable framed objects
+/// out of the primary, the backup, then the temp file. Every degradation
+/// is reported in the [`RecoveryReport`] and recorded on the trace
+/// (`Event::Recovery` plus counters). An `Err` means no image yielded
+/// anything loadable.
 pub fn load_with_recovery(path: impl AsRef<Path>) -> std::io::Result<(Store, RecoveryReport)> {
     let path = path.as_ref();
     let primary = read_image(path);
@@ -498,22 +559,29 @@ pub fn load_with_recovery(path: impl AsRef<Path>) -> std::io::Result<(Store, Rec
     };
     let bak = backup_path(path);
     let backup = read_image(&bak);
-    if let Ok(bytes) = &backup {
-        if let Ok(store) = from_bytes(bytes) {
-            let report = RecoveryReport {
-                source: RecoverySource::Backup,
-                primary_error: primary_err.clone(),
-                dropped_objects: 0,
-                dropped_roots: 0,
-                dropped_sections: false,
-            };
-            record_recovery(&report);
-            return Ok((store, report));
+    let tmp = read_image(&tmp_path(path));
+    for (bytes, source) in [
+        (&backup, RecoverySource::Backup),
+        (&tmp, RecoverySource::Tmp),
+    ] {
+        if let Ok(bytes) = bytes {
+            if let Ok(store) = from_bytes(bytes) {
+                let report = RecoveryReport {
+                    source,
+                    primary_error: primary_err.clone(),
+                    dropped_objects: 0,
+                    dropped_roots: 0,
+                    dropped_sections: false,
+                };
+                record_recovery(&report);
+                return Ok((store, report));
+            }
         }
     }
     for (bytes, source) in [
         (&primary, RecoverySource::SalvagedPrimary),
         (&backup, RecoverySource::SalvagedBackup),
+        (&tmp, RecoverySource::SalvagedTmp),
     ] {
         if let Ok(bytes) = bytes {
             if let Some((store, mut report)) = salvage_bytes(bytes) {
@@ -751,7 +819,9 @@ fn get_svals(r: &mut Reader<'_>) -> Result<Vec<SVal>, DecodeError> {
     Ok(vs)
 }
 
-fn put_object(out: &mut Vec<u8>, obj: &Object) {
+/// Encode one heap object in the snapshot's record format. `pub(crate)`
+/// because WAL records carry object post-images in the same encoding.
+pub(crate) fn put_object(out: &mut Vec<u8>, obj: &Object) {
     match obj {
         Object::Array(v) => {
             out.push(OBJ_ARRAY);
@@ -861,7 +931,8 @@ fn get_key(r: &mut Reader<'_>) -> Result<IndexKey, DecodeError> {
     })
 }
 
-fn get_object(r: &mut Reader<'_>) -> Result<Object, DecodeError> {
+/// Decode one heap object written by [`put_object`].
+pub(crate) fn get_object(r: &mut Reader<'_>) -> Result<Object, DecodeError> {
     Ok(match r.byte()? {
         OBJ_ARRAY => Object::Array(get_svals(r)?),
         OBJ_VECTOR => Object::Vector(get_svals(r)?),
@@ -1250,6 +1321,85 @@ mod tests {
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(backup_path(&path)).ok();
         std::fs::remove_file(super::tmp_path(&path)).ok();
+    }
+
+    #[test]
+    fn crash_on_first_save_rename_recovers_from_tmp() {
+        use crate::failpoint::{Action, FailSpec, ScopedFailpoints};
+        let dir = std::env::temp_dir().join("tml_store_tmp_recovery_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.tys");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(backup_path(&path)).ok();
+        std::fs::remove_file(tmp_path(&path)).ok();
+        let s = sample_store();
+        {
+            // First-ever save: there is no previous image and no backup, so
+            // a crash before the final rename leaves the *only* copy of the
+            // data complete at `<path>.tmp`.
+            let _fp = ScopedFailpoints::new(&[(
+                "snapshot.save.rename",
+                FailSpec::always(Action::Io).for_key(super::path_key(&path)),
+            )]);
+            assert!(save(&s, &path).is_err());
+        }
+        assert!(!path.exists());
+        let (recovered, report) = load_with_recovery(&path).unwrap();
+        assert_eq!(report.source, RecoverySource::Tmp);
+        assert_eq!(to_bytes(&recovered), to_bytes(&s), "tmp image is complete");
+        std::fs::remove_file(tmp_path(&path)).ok();
+    }
+
+    #[test]
+    fn damaged_tmp_is_salvaged_when_nothing_else_loads() {
+        let dir = std::env::temp_dir().join("tml_store_tmp_salvage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.tys");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(backup_path(&path)).ok();
+        let s = sample_store();
+        let mut bytes = to_bytes(&s);
+        // Only a torn tmp file exists: primary and backup are gone, and the
+        // tmp lost its tail (CRC and the late sections).
+        bytes.truncate(bytes.len() - 10);
+        std::fs::write(tmp_path(&path), &bytes).unwrap();
+        let (recovered, report) = load_with_recovery(&path).unwrap();
+        assert_eq!(report.source, RecoverySource::SalvagedTmp);
+        assert!(recovered.live() > 0);
+        std::fs::remove_file(tmp_path(&path)).ok();
+    }
+
+    #[test]
+    fn dir_fsync_failure_is_survivable_and_traced() {
+        use crate::failpoint::{Action, FailSpec, ScopedFailpoints};
+        let dir = std::env::temp_dir().join("tml_store_dirsync_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.tys");
+        let s = sample_store();
+        tml_trace::global().set_enabled(true);
+        {
+            let _fp = ScopedFailpoints::new(&[(
+                "snapshot.save.dirsync",
+                FailSpec::always(Action::Io).for_key(super::path_key(&path)),
+            )]);
+            // The data and the rename both succeeded; only the directory
+            // fsync failed. That is a durability risk, not an error.
+            save(&s, &path).unwrap();
+        }
+        tml_trace::global().set_enabled(false);
+        assert_eq!(load(&path).unwrap().len(), s.len());
+        let risk = tml_trace::global().events().into_iter().any(|e| {
+            matches!(
+                e.event,
+                tml_trace::Event::DurabilityRisk {
+                    site: "snapshot.save.dirsync",
+                    ..
+                }
+            )
+        });
+        assert!(risk, "dir-fsync failure must be visible on the trace");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(backup_path(&path)).ok();
     }
 
     #[test]

@@ -141,10 +141,33 @@ pub enum Event {
         /// Human-readable detail (panic payload, decode error), truncated.
         detail: String,
     },
-    /// A snapshot load fell back past the primary image (backup or
-    /// salvage), possibly dropping data.
+    /// Write-ahead-log activity: one append/flush/checkpoint/redo step of
+    /// the durable store's log manager.
+    Wal {
+        /// `append`, `flush`, `sync`, `checkpoint`, `redo` or `discard`.
+        op: &'static str,
+        /// Log sequence number the operation reached (last LSN involved).
+        lsn: u64,
+        /// Bytes appended/flushed/replayed by the operation.
+        bytes: u64,
+        /// Records involved (1 for appends, batch size for flush/redo).
+        records: u64,
+    },
+    /// A durability guarantee was weakened but execution continued — e.g.
+    /// the directory fsync after an atomic rename failed, so the rename
+    /// itself may not survive a power cut even though the data is intact.
+    DurabilityRisk {
+        /// The site that degraded (`snapshot.save.dirsync`, …).
+        site: &'static str,
+        /// Human-readable detail (the OS error), truncated by the emitter.
+        detail: String,
+    },
+    /// A snapshot load fell back past the primary image (backup, the
+    /// completed temp file of an interrupted save, or salvage), possibly
+    /// dropping data.
     Recovery {
-        /// `backup`, `salvaged-primary` or `salvaged-backup`.
+        /// `backup`, `tmp`, `salvaged-primary`, `salvaged-backup` or
+        /// `salvaged-tmp`.
         source: &'static str,
         /// Objects dropped during salvage.
         dropped_objects: u64,
@@ -171,6 +194,8 @@ impl Event {
             Event::ReflectConsult { .. } => "reflect-consult",
             Event::Relink { .. } => "relink",
             Event::DegradedSkip { .. } => "degraded-skip",
+            Event::Wal { .. } => "wal",
+            Event::DurabilityRisk { .. } => "durability-risk",
             Event::Recovery { .. } => "recovery",
         }
     }
@@ -301,6 +326,21 @@ impl Event {
                 w.str_field("function", function);
                 w.u64_field("oid", *oid);
                 w.str_field("reason", reason);
+                w.str_field("detail", detail);
+            }
+            Event::Wal {
+                op,
+                lsn,
+                bytes,
+                records,
+            } => {
+                w.str_field("op", op);
+                w.u64_field("lsn", *lsn);
+                w.u64_field("bytes", *bytes);
+                w.u64_field("records", *records);
+            }
+            Event::DurabilityRisk { site, detail } => {
+                w.str_field("site", site);
                 w.str_field("detail", detail);
             }
             Event::Recovery {

@@ -42,7 +42,7 @@ use tycoon::reflect::{
     TermBuilder,
 };
 use tycoon::store::ptml::{decode_abs, encode_abs};
-use tycoon::store::{gc, snapshot, Object, SVal};
+use tycoon::store::{gc, snapshot, wal, Object, SVal};
 use tycoon::trace;
 use tycoon::trace::Event;
 use tycoon::vm::RVal;
@@ -393,6 +393,22 @@ fn cmd_info(o: &Options) -> Result<(), String> {
     for (_, obj) in store.iter() {
         rec.counter(&format!("store.kind.{}", obj.kind())).inc();
     }
+    // Log stats, when a write-ahead log sits next to the image. `stale`
+    // means the log was written against a different base image and redo
+    // would be skipped on open.
+    let scan = wal::Wal::scan(wal::wal_path(path)).map_err(|e| format!("{path}.wal: {e}"))?;
+    if scan.exists {
+        let stale = scan.base != Some(snapshot::identity_of_file(path).map_err(|e| e.to_string())?);
+        rec.counter("store.wal.log_bytes").add(scan.file_bytes);
+        rec.counter("store.wal.log_records")
+            .add(scan.records.len() as u64);
+        rec.counter("store.wal.log_committed")
+            .add(scan.committed as u64);
+        rec.counter("store.wal.log_commits").add(scan.commits);
+        rec.counter("store.wal.log_torn_tail")
+            .add(u64::from(scan.torn_tail));
+        rec.counter("store.wal.log_stale").add(u64::from(stale));
+    }
     if o.json {
         println!("{}", rec.to_json());
         return Ok(());
@@ -510,6 +526,15 @@ fn explain_line(e: &Event) -> String {
             reason,
             detail,
         } => format!("degraded skip {function} (oid {oid}): {reason}: {detail}"),
+        Event::Wal {
+            op,
+            lsn,
+            bytes,
+            records,
+        } => format!("wal {op} (lsn {lsn}, {records} record(s), {bytes} byte(s))"),
+        Event::DurabilityRisk { site, detail } => {
+            format!("durability risk at {site}: {detail}")
+        }
         Event::Recovery {
             source,
             dropped_objects,
@@ -621,9 +646,12 @@ fn json_str(s: &str) -> String {
 /// of a snapshot image. Validates the envelope (magic, version, CRC-32
 /// trailer, per-object framing) by decoding it, then walks every OID edge
 /// looking for dangling references and dangling roots, and decodes every
-/// closure's PTML attachment. Prints a JSON report; exits nonzero when any
-/// problem is found. With `--repair`, the recovery cascade (backup, object
-/// salvage) is run and whatever it saves is written to `-o`.
+/// closure's PTML attachment. When a write-ahead log sits next to the
+/// image it is walked too: record/commit counts, torn tails and stale
+/// (wrong-base) logs are reported. Prints a JSON report; exits nonzero
+/// when any problem is found. With `--repair`, the recovery cascade
+/// (backup, object salvage) is run and whatever it saves is written to
+/// `-o`.
 fn cmd_fsck(o: &Options) -> Result<(), String> {
     let path = o.positional.first().ok_or("missing image file")?;
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
@@ -676,6 +704,14 @@ fn cmd_fsck(o: &Options) -> Result<(), String> {
         }
         Err(_) => (0, 0),
     };
+    // Walk the write-ahead log sitting next to the image, if any. A torn
+    // tail or uncommitted suffix is a normal crash artifact (recovery
+    // truncates it), so it is reported but does not fail the check; a log
+    // whose header no longer matches the image is stale and would be
+    // discarded on open.
+    let log = wal::Wal::scan(wal::wal_path(path)).map_err(|e| format!("{path}.wal: {e}"))?;
+    let log_stale = log.exists && log.base != Some(snapshot::identity_of(&bytes));
+
     let ok = decoded.is_ok()
         && dangling_refs.is_empty()
         && dangling_roots.is_empty()
@@ -725,6 +761,20 @@ fn cmd_fsck(o: &Options) -> Result<(), String> {
         j.push_str(&format!("{{\"oid\": {oid}, \"error\": {}}}", json_str(err)));
     }
     j.push_str("],\n");
+    if log.exists {
+        j.push_str(&format!(
+            "  \"wal\": {{\"bytes\": {}, \"records\": {}, \"committed\": {}, \"commits\": {}, \"uncommitted\": {}, \"torn_tail\": {}, \"stale\": {}}},\n",
+            log.file_bytes,
+            log.records.len(),
+            log.committed,
+            log.commits,
+            log.records.len() - log.committed,
+            log.torn_tail,
+            log_stale
+        ));
+    } else {
+        j.push_str("  \"wal\": null,\n");
+    }
     match &repaired {
         Some((report, out)) => {
             j.push_str(&format!(
