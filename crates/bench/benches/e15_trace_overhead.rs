@@ -1,0 +1,107 @@
+//! Experiment E15: disabled-tracing overhead guard.
+//!
+//! PR 7 scatters `span!` / `record_ns` instrumentation across the
+//! optimizer, VM, reflect and store. All of it hides behind one relaxed
+//! atomic load when tracing is off, so the cost of carrying the
+//! instrumentation in production builds should be unmeasurable. This
+//! bench makes that claim checkable:
+//!
+//!   1. time the raw disabled fast path (span construction + drop, and a
+//!      disabled `record_ns`) in a tight loop,
+//!   2. count how many instrumentation sites the E13 compile workload
+//!      actually crosses (enable tracing once and sum histogram counts),
+//!   3. time the workload itself with tracing disabled,
+//!
+//! and report the estimated overhead fraction `sites × ns_per_site /
+//! workload_ns`. With `--check` the bench exits non-zero when the
+//! estimate reaches 2%, which CI uses as a regression guard.
+
+use std::time::Instant;
+use tml_lang::stanford::suite;
+use tml_lang::{Session, SessionConfig};
+
+/// The E13 compile workload: parse → CPS → optimize → compile the
+/// Stanford suite into a fresh session.
+fn workload() {
+    let mut s = Session::new(SessionConfig::default()).expect("session");
+    for p in suite() {
+        s.load_str(p.src).expect("loads");
+    }
+}
+
+/// Nanoseconds per disabled `span!` site (construct + drop an inert
+/// guard behind the one-atomic-load check).
+fn bench_disabled_span(iters: u64) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let g = tml_trace::span!("bench.disabled");
+        std::hint::black_box(&g);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Nanoseconds per disabled `record_ns` site (the direct-histogram
+/// pattern used on paths too hot for events, e.g. WAL append).
+fn bench_disabled_record(iters: u64) -> f64 {
+    let rec = tml_trace::global();
+    let t0 = Instant::now();
+    for i in 0..iters {
+        rec.record_ns("bench.disabled", std::hint::black_box(i));
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let rec = tml_trace::global();
+    rec.set_enabled(false);
+
+    println!("E15 — disabled-tracing overhead over the E13 compile workload\n");
+
+    let iters = 4_000_000u64;
+    let span_ns = bench_disabled_span(iters);
+    let record_ns = bench_disabled_record(iters);
+    let site_ns = span_ns.max(record_ns);
+    println!("disabled span!      {span_ns:>8.2} ns/site");
+    println!("disabled record_ns  {record_ns:>8.2} ns/site");
+
+    // Count the instrumentation sites one workload crosses. Every span
+    // feeds the histogram of its name and the direct `record_ns` paths
+    // feed theirs, so the summed histogram count is exactly the number
+    // of timed sites executed.
+    rec.set_capacity(1 << 16);
+    rec.clear();
+    rec.set_enabled(true);
+    workload();
+    rec.set_enabled(false);
+    let sites: u64 = rec.hist_snapshot().iter().map(|(_, s)| s.count).sum();
+    rec.clear();
+    println!("timed sites/workload {sites:>7}");
+
+    // Workload wall time with tracing disabled (the shipping default).
+    workload(); // warm-up
+    let reps = 10;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        workload();
+    }
+    let work_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+    println!("workload            {:>8.2} ms/iter", work_ns / 1e6);
+
+    let overhead = sites as f64 * site_ns / work_ns;
+    println!(
+        "\nestimated disabled-tracing overhead: {:.4}%",
+        overhead * 100.0
+    );
+
+    if check {
+        if overhead >= 0.02 {
+            eprintln!(
+                "FAIL: disabled-tracing overhead {:.4}% >= 2% budget",
+                overhead * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("OK: within the 2% budget");
+    }
+}

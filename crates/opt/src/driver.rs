@@ -32,14 +32,19 @@ pub fn optimize_traced(
     opts: &OptOptions,
     sink: &mut Sink,
 ) -> (App, OptStats) {
+    let _opt_span = tml_trace::span!("opt.optimize");
     let mut stats = OptStats {
         size_before: app.size(),
         ..Default::default()
     };
     let stop_reason;
     loop {
+        let _round_span = tml_trace::span!("opt.round");
         let red_before = stats.total_reductions();
-        reduce_to_fixpoint_traced(ctx, &mut app, opts.rules, &mut stats, sink);
+        {
+            let _s = tml_trace::span!("opt.reduce_pass");
+            reduce_to_fixpoint_traced(ctx, &mut app, opts.rules, &mut stats, sink);
+        }
         stats.rounds += 1;
         let mut round = RoundStats {
             round: stats.rounds,
@@ -62,7 +67,10 @@ pub fn optimize_traced(
             finish_round(&mut stats, round, &app, sink);
             break;
         }
-        let outcome = expand_pass_traced(ctx, &mut app, opts, sink);
+        let outcome = {
+            let _s = tml_trace::span!("opt.expand_pass");
+            expand_pass_traced(ctx, &mut app, opts, sink)
+        };
         round.inlined = outcome.inlined;
         round.growth = outcome.growth;
         if outcome.inlined == 0 {

@@ -777,6 +777,9 @@ fn rebuild(
         oid,
         if options.use_cache { "miss" } else { "bypass" },
     );
+    // Everything below is the cache-miss cost: re-derive, re-optimize and
+    // re-link the procedure. Its histogram is the price of invalidation.
+    let _s = tml_trace::span!("reflect.cache.miss_fill");
     let prepared = prepare(&mut session.ctx, &session.store, oid, options, false)?;
     finish(
         &mut session.store,
@@ -887,6 +890,9 @@ fn rebuild_parallel(
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<Prepared, ReflectError>>>> =
             (0..units.len()).map(|_| Mutex::new(None)).collect();
+        // Worker spans cannot inherit a parent through TLS; capture the
+        // enclosing span here so their work attaches under it in the tree.
+        let parent_span = tml_trace::span::current();
         std::thread::scope(|s| {
             for _ in 0..jobs {
                 s.spawn(|| loop {
@@ -894,6 +900,7 @@ fn rebuild_parallel(
                     let Some(&(slot, oid)) = todo.get(k) else {
                         break;
                     };
+                    let _sp = tml_trace::span!("reflect.prepare", parent = parent_span);
                     let mut ctx = base_ctx.clone();
                     // In degraded mode a panicking target must not take the
                     // worker (and with it the whole pass) down: catch it
@@ -1062,6 +1069,7 @@ pub fn optimize_all(
     session: &mut Session,
     options: &ReflectOptions,
 ) -> Result<OptimizeAllReport, ReflectError> {
+    let _s = tml_trace::span!("opt.optimize_all");
     // Collect every optimizable closure in the store (linker-produced code
     // carries PTML; transient runtime closures do not). Already-optimized
     // results of earlier runs are skipped.
@@ -1268,6 +1276,7 @@ pub struct RelinkReport {
 /// [`RelinkReport::skipped`]. Image boot is thereby total on any store
 /// that [`tml_store::snapshot::load_with_recovery`] can produce.
 pub fn relink_image_code(session: &mut Session) -> Result<RelinkReport, ReflectError> {
+    let _s = tml_trace::span!("reflect.relink");
     struct Target {
         oid: Oid,
         bytes: Result<Vec<u8>, ReflectError>,

@@ -119,12 +119,26 @@ impl BufferPool {
     }
 
     fn evict(&mut self, file: &mut PageFile, ix: usize) -> std::io::Result<()> {
+        // Hot path under pool pressure: feed the latency histogram
+        // directly, no span event per eviction.
+        let t0 = if tml_trace::enabled() {
+            tml_trace::global().clock().now_ns()
+        } else {
+            0
+        };
         if self.frames[ix].dirty {
             file.write_page(self.frames[ix].id, &self.frames[ix].page)?;
             self.stats.writebacks += 1;
         }
         self.map.remove(&self.frames[ix].id);
         self.stats.evictions += 1;
+        if tml_trace::enabled() {
+            let rec = tml_trace::global();
+            rec.record_ns(
+                "store.buffer.evict",
+                rec.clock().now_ns().saturating_sub(t0),
+            );
+        }
         Ok(())
     }
 

@@ -165,6 +165,11 @@ impl DurableStore {
         opts: DurableOptions,
     ) -> std::io::Result<(DurableStore, OpenReport)> {
         let path = path.as_ref().to_path_buf();
+        let t0 = if tml_trace::enabled() {
+            tml_trace::global().clock().now_ns()
+        } else {
+            0
+        };
         let (mut store, snap_report) = snapshot::load_with_recovery(&path)?;
         let wpath = wal_path(&path);
         let scan = Wal::scan(&wpath)?;
@@ -200,11 +205,13 @@ impl DurableStore {
             if tml_trace::enabled() {
                 tml_trace::count("store.wal.redo_records", report.redo_records);
                 tml_trace::count("store.wal.redo_discarded", report.discarded_records);
+                let rec = tml_trace::global();
                 tml_trace::record(tml_trace::Event::Wal {
                     op: "redo",
                     lsn: last_lsn,
                     bytes: scan.committed_end,
                     records: report.redo_records,
+                    micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
                 });
             }
             let wal = Wal::resume(&wpath, &scan)?.with_policy(opts.sync);
@@ -226,11 +233,13 @@ impl DurableStore {
         report.discarded_records = scan.records.len() as u64;
         if tml_trace::enabled() && scan.exists {
             tml_trace::count("store.wal.redo_discarded", report.discarded_records);
+            let rec = tml_trace::global();
             tml_trace::record(tml_trace::Event::Wal {
                 op: "discard",
                 lsn: scan.next_lsn.saturating_sub(1),
                 bytes: scan.file_bytes,
                 records: report.discarded_records,
+                micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
             });
         }
         let ds = DurableStore::from_store(store, path, opts)?;
@@ -416,6 +425,12 @@ impl DurableStore {
     pub fn checkpoint(&mut self) -> std::io::Result<()> {
         self.guard()?;
         failpoint::fail_io("wal.checkpoint", path_key(&self.path))?;
+        let _s = tml_trace::span!("store.wal.checkpoint");
+        let t0 = if tml_trace::enabled() {
+            tml_trace::global().clock().now_ns()
+        } else {
+            0
+        };
         // Unsynced log tail first: the image we are about to write must
         // not be *ahead* of the log while the old image is still current.
         self.wal.flush(true)?;
@@ -424,11 +439,13 @@ impl DurableStore {
         self.commits_since_checkpoint = 0;
         if tml_trace::enabled() {
             tml_trace::count("store.wal.checkpoints", 1);
+            let rec = tml_trace::global();
             tml_trace::record(tml_trace::Event::Wal {
                 op: "checkpoint",
                 lsn: 0,
                 bytes: identity.len,
                 records: 0,
+                micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
             });
         }
         Ok(())

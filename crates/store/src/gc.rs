@@ -93,6 +93,7 @@ pub fn object_refs(obj: &Object) -> Vec<Oid> {
 /// Collect garbage. `extra_roots` are additional roots beyond the store's
 /// named roots (e.g. a session's global bindings).
 pub fn collect(store: &mut Store, extra_roots: &[Oid]) -> GcStats {
+    let _s = tml_trace::span!("store.gc.collect");
     let tracing = tml_trace::enabled();
     let before = store.live();
     let nslots = store.len();
@@ -112,9 +113,11 @@ pub fn collect(store: &mut Store, extra_roots: &[Oid]) -> GcStats {
         }
     }
     if tracing {
+        let us = t_mark.elapsed().as_micros() as u64;
+        tml_trace::global().record_ns("store.gc.mark", us.saturating_mul(1_000));
         tml_trace::record(tml_trace::Event::GcPhase {
             phase: "mark",
-            micros: t_mark.elapsed().as_micros() as u64,
+            micros: us,
             count: marked.iter().filter(|&&m| m).count() as u64,
             bytes: 0,
         });
@@ -136,9 +139,11 @@ pub fn collect(store: &mut Store, extra_roots: &[Oid]) -> GcStats {
         }
     }
     if tracing {
+        let us = t_sweep.elapsed().as_micros() as u64;
+        tml_trace::global().record_ns("store.gc.sweep", us.saturating_mul(1_000));
         tml_trace::record(tml_trace::Event::GcPhase {
             phase: "sweep",
-            micros: t_sweep.elapsed().as_micros() as u64,
+            micros: us,
             count: freed as u64,
             bytes: bytes_freed as u64,
         });

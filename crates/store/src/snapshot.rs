@@ -411,6 +411,7 @@ pub fn save(store: &Store, path: impl AsRef<Path>) -> std::io::Result<()> {
 /// The durable store's checkpoint records this identity in the WAL header
 /// without re-reading the file it just wrote.
 pub fn save_with_identity(store: &Store, path: impl AsRef<Path>) -> std::io::Result<ImageIdentity> {
+    let _s = tml_trace::span!("store.snapshot.save");
     let path = path.as_ref();
     let key = path_key(path);
     let mut bytes = to_bytes(store);
@@ -548,6 +549,12 @@ impl RecoveryReport {
 /// (`Event::Recovery` plus counters). An `Err` means no image yielded
 /// anything loadable.
 pub fn load_with_recovery(path: impl AsRef<Path>) -> std::io::Result<(Store, RecoveryReport)> {
+    let _s = tml_trace::span!("store.snapshot.load");
+    let t0 = if tml_trace::enabled() {
+        tml_trace::global().clock().now_ns()
+    } else {
+        0
+    };
     let path = path.as_ref();
     let primary = read_image(path);
     let primary_err = match &primary {
@@ -573,7 +580,7 @@ pub fn load_with_recovery(path: impl AsRef<Path>) -> std::io::Result<(Store, Rec
                     dropped_roots: 0,
                     dropped_sections: false,
                 };
-                record_recovery(&report);
+                record_recovery(&report, t0);
                 return Ok((store, report));
             }
         }
@@ -587,7 +594,7 @@ pub fn load_with_recovery(path: impl AsRef<Path>) -> std::io::Result<(Store, Rec
             if let Some((store, mut report)) = salvage_bytes(bytes) {
                 report.source = source;
                 report.primary_error = primary_err.clone();
-                record_recovery(&report);
+                record_recovery(&report, t0);
                 return Ok((store, report));
             }
         }
@@ -604,15 +611,17 @@ pub fn load_with_recovery(path: impl AsRef<Path>) -> std::io::Result<(Store, Rec
     }
 }
 
-fn record_recovery(report: &RecoveryReport) {
+fn record_recovery(report: &RecoveryReport, start_ns: u64) {
     if tml_trace::enabled() {
         tml_trace::count("store.snapshot.recoveries", 1);
         tml_trace::count("store.snapshot.salvage_dropped", report.dropped_objects);
+        let rec = tml_trace::global();
         tml_trace::record(tml_trace::Event::Recovery {
             source: report.source.name(),
             dropped_objects: report.dropped_objects,
             dropped_roots: report.dropped_roots,
             dropped_sections: report.dropped_sections,
+            micros: rec.clock().now_ns().saturating_sub(start_ns) / 1_000,
         });
     }
 }

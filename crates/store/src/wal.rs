@@ -536,6 +536,13 @@ impl Wal {
     /// Returns the record's LSN.
     pub fn append(&mut self, rec: &WalRecord) -> std::io::Result<u64> {
         failpoint::fail_io("wal.append", self.key)?;
+        // Appends are too hot for span events; they feed the latency
+        // histogram directly (and only when tracing is on).
+        let t0 = if tml_trace::enabled() {
+            tml_trace::global().clock().now_ns()
+        } else {
+            0
+        };
         let lsn = self.next_lsn;
         let bytes = frame(lsn, rec);
         let mut rest: &[u8] = &bytes;
@@ -558,6 +565,8 @@ impl Wal {
         if tml_trace::enabled() {
             tml_trace::count("store.wal.appends", 1);
             tml_trace::count("store.wal.append_bytes", bytes.len() as u64);
+            let rec = tml_trace::global();
+            rec.record_ns("store.wal.append", rec.clock().now_ns().saturating_sub(t0));
         }
         Ok(lsn)
     }
@@ -578,6 +587,7 @@ impl Wal {
             SyncPolicy::Never => false,
         };
         if sync {
+            let _s = tml_trace::span!("store.wal.commit_flush");
             self.flush(true)?;
             Ok(true)
         } else if self.policy == SyncPolicy::Never {
@@ -598,6 +608,11 @@ impl Wal {
     /// in-memory state stays intact, exactly like a kernel tearing a
     /// write under power loss.
     pub fn flush(&mut self, sync: bool) -> std::io::Result<()> {
+        let t0 = if tml_trace::enabled() {
+            tml_trace::global().clock().now_ns()
+        } else {
+            0
+        };
         let tail = (self.end % PAGE_SIZE as u64) as usize;
         if tail != 0 {
             let id = PageId(self.end / PAGE_SIZE as u64);
@@ -632,11 +647,13 @@ impl Wal {
             }
             if tml_trace::enabled() {
                 tml_trace::count("store.wal.syncs", 1);
+                let rec = tml_trace::global();
                 tml_trace::record(tml_trace::Event::Wal {
                     op: "flush",
                     lsn: self.next_lsn.saturating_sub(1),
                     bytes: self.end,
                     records: group,
+                    micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
                 });
             }
         }

@@ -1,0 +1,115 @@
+//! The trace clock: monotonic nanoseconds with a mockable source.
+//!
+//! Span timing must be deterministic under test, so every timestamp the
+//! trace layer takes goes through one [`Clock`]. In its default mode the
+//! clock reads a process-wide monotonic epoch ([`std::time::Instant`],
+//! anchored lazily on first use); switched into mock mode it returns a
+//! counter that tests advance by hand, making span trees and histogram
+//! contents byte-reproducible.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Monotonic nanosecond source with a test-controlled mock mode.
+///
+/// The fast path (real mode) is one relaxed atomic load plus an
+/// `Instant::elapsed` call; mock mode replaces the OS clock with an
+/// atomic counter. Mode changes are process-visible immediately, which is
+/// what lets integration tests freeze time around a workload.
+#[derive(Debug)]
+pub struct Clock {
+    mocked: AtomicBool,
+    mock_ns: AtomicU64,
+    epoch: OnceLock<Instant>,
+}
+
+impl Clock {
+    /// A real-time clock (const, so it can live inside the static
+    /// [`Recorder`]).
+    ///
+    /// [`Recorder`]: crate::Recorder
+    pub const fn new() -> Self {
+        Clock {
+            mocked: AtomicBool::new(false),
+            mock_ns: AtomicU64::new(0),
+            epoch: OnceLock::new(),
+        }
+    }
+
+    /// Current time in nanoseconds: elapsed since the (lazily anchored)
+    /// process epoch, or the mock counter when mocked.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        if self.mocked.load(Ordering::Relaxed) {
+            return self.mock_ns.load(Ordering::Relaxed);
+        }
+        let epoch = self.epoch.get_or_init(Instant::now);
+        epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Is the clock in mock mode?
+    pub fn is_mocked(&self) -> bool {
+        self.mocked.load(Ordering::Relaxed)
+    }
+
+    /// Enter mock mode at the given tick. All subsequent [`Clock::now_ns`]
+    /// reads return the mock counter until [`Clock::unmock`].
+    pub fn mock(&self, start_ns: u64) {
+        self.mock_ns.store(start_ns, Ordering::Relaxed);
+        self.mocked.store(true, Ordering::Relaxed);
+    }
+
+    /// Advance the mock counter by `delta_ns`, returning the new value.
+    /// No-op (returning the real time) when not mocked.
+    pub fn advance(&self, delta_ns: u64) -> u64 {
+        if !self.is_mocked() {
+            return self.now_ns();
+        }
+        self.mock_ns.fetch_add(delta_ns, Ordering::Relaxed) + delta_ns
+    }
+
+    /// Set the mock counter to an absolute tick (mock mode only).
+    pub fn set(&self, ns: u64) {
+        if self.is_mocked() {
+            self.mock_ns.store(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Leave mock mode and resume the monotonic source.
+    pub fn unmock(&self) {
+        self.mocked.store(false, Ordering::Relaxed);
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = Clock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_is_deterministic() {
+        let c = Clock::new();
+        c.mock(100);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.advance(50), 150);
+        assert_eq!(c.now_ns(), 150);
+        c.set(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+        c.unmock();
+        assert!(!c.is_mocked());
+    }
+}

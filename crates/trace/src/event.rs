@@ -152,6 +152,11 @@ pub enum Event {
         bytes: u64,
         /// Records involved (1 for appends, batch size for flush/redo).
         records: u64,
+        /// Wall-clock duration of the operation in microseconds. These
+        /// operations straddle real IO (fsync, image save, redo replay),
+        /// so the event carries its own duration instead of being
+        /// point-in-time.
+        micros: u64,
     },
     /// A durability guarantee was weakened but execution continued — e.g.
     /// the directory fsync after an atomic rename failed, so the rename
@@ -175,6 +180,30 @@ pub enum Event {
         dropped_roots: u64,
         /// Whether the version/cache tail sections were lost.
         dropped_sections: bool,
+        /// Wall-clock duration of the whole recovery cascade in
+        /// microseconds (the operation spans several file reads and
+        /// salvage passes, so the event records how long it took, not
+        /// just that it happened).
+        micros: u64,
+    },
+    /// One closed timed span: a bracketed operation measured by a
+    /// [`SpanGuard`](crate::span::SpanGuard). Recorded on close (Chrome
+    /// "complete event" model), so a span's children always precede it in
+    /// the ring. The span tree reconstructs from `id`/`parent`.
+    Span {
+        /// Span name, which is also its histogram key (`opt.round`,
+        /// `vm.run`, `store.wal.commit_flush`, …).
+        name: &'static str,
+        /// Process-unique span id (never 0).
+        id: u64,
+        /// Id of the enclosing span, 0 for a root.
+        parent: u64,
+        /// Small dense label of the recording thread.
+        thread: u64,
+        /// Start tick in nanoseconds (trace clock).
+        start_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
     },
 }
 
@@ -197,6 +226,7 @@ impl Event {
             Event::Wal { .. } => "wal",
             Event::DurabilityRisk { .. } => "durability-risk",
             Event::Recovery { .. } => "recovery",
+            Event::Span { .. } => "span",
         }
     }
 
@@ -333,11 +363,13 @@ impl Event {
                 lsn,
                 bytes,
                 records,
+                micros,
             } => {
                 w.str_field("op", op);
                 w.u64_field("lsn", *lsn);
                 w.u64_field("bytes", *bytes);
                 w.u64_field("records", *records);
+                w.u64_field("micros", *micros);
             }
             Event::DurabilityRisk { site, detail } => {
                 w.str_field("site", site);
@@ -348,11 +380,28 @@ impl Event {
                 dropped_objects,
                 dropped_roots,
                 dropped_sections,
+                micros,
             } => {
                 w.str_field("source", source);
                 w.u64_field("dropped_objects", *dropped_objects);
                 w.u64_field("dropped_roots", *dropped_roots);
                 w.bool_field("dropped_sections", *dropped_sections);
+                w.u64_field("micros", *micros);
+            }
+            Event::Span {
+                name,
+                id,
+                parent,
+                thread,
+                start_ns,
+                dur_ns,
+            } => {
+                w.str_field("name", name);
+                w.u64_field("id", *id);
+                w.u64_field("parent", *parent);
+                w.u64_field("thread", *thread);
+                w.u64_field("start_ns", *start_ns);
+                w.u64_field("dur_ns", *dur_ns);
             }
         }
     }

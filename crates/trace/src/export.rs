@@ -1,0 +1,225 @@
+//! Profiling exporters over the recorded span tree.
+//!
+//! Two formats, both derived from the [`Event::Span`] records held in the
+//! event ring:
+//!
+//! * [`chrome_json`] — the Chrome tracing ("Trace Event") format. Load
+//!   the file in `chrome://tracing` or <https://ui.perfetto.dev> to see
+//!   the span tree on a per-thread timeline. Each span becomes one
+//!   complete (`"ph":"X"`) event with microsecond `ts`/`dur`.
+//! * [`flame_folded`] — Brendan Gregg's collapsed-stack format, one
+//!   `stack;path count` line per unique span path. The count is the
+//!   span's *self* time in nanoseconds (duration minus the time covered
+//!   by its recorded children), so `flamegraph.pl out.folded` renders
+//!   frame widths proportional to where time was actually spent.
+//!
+//! Spans whose parents were lost to ring wraparound are treated as roots;
+//! the tree degrades gracefully rather than dropping data.
+
+use crate::event::{Event, Sample};
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Rec {
+    name: &'static str,
+    parent: u64,
+    dur_ns: u64,
+}
+
+fn collect(samples: &[Sample]) -> BTreeMap<u64, Rec> {
+    let mut out = BTreeMap::new();
+    for s in samples {
+        if let Event::Span {
+            name,
+            id,
+            parent,
+            dur_ns,
+            ..
+        } = s.event
+        {
+            out.insert(
+                id,
+                Rec {
+                    name,
+                    parent,
+                    dur_ns,
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Serialize the span records among `samples` as Chrome tracing JSON:
+/// `{"traceEvents":[{"name":..,"ph":"X","ts":..,"dur":..,"pid":1,
+/// "tid":..,"args":{"id":..,"parent":..}}, ...]}`. Timestamps and
+/// durations are microseconds (fractional), per the format.
+pub fn chrome_json(samples: &[Sample]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.str_field("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.begin_array();
+    for s in samples {
+        if let Event::Span {
+            name,
+            id,
+            parent,
+            thread,
+            start_ns,
+            dur_ns,
+        } = s.event
+        {
+            w.begin_object();
+            w.str_field("name", name);
+            w.str_field("cat", "span");
+            w.str_field("ph", "X");
+            w.f64_field("ts", start_ns as f64 / 1000.0);
+            w.f64_field("dur", dur_ns as f64 / 1000.0);
+            w.u64_field("pid", 1);
+            w.u64_field("tid", thread);
+            w.key("args");
+            w.begin_object();
+            w.u64_field("id", id);
+            w.u64_field("parent", parent);
+            w.end_object();
+            w.end_object();
+        }
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Serialize the span records among `samples` in collapsed-stack
+/// ("folded") form: one `name;name;... <self_ns>` line per unique span
+/// path, merged and sorted. Counts are self-time nanoseconds; paths
+/// whose self time folds to zero (fully covered by children) are
+/// omitted, as is conventional for the format.
+pub fn flame_folded(samples: &[Sample]) -> String {
+    let recs = collect(samples);
+    // Self time = own duration minus time covered by recorded children.
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in recs.values() {
+        if r.parent != 0 && recs.contains_key(&r.parent) {
+            *child_ns.entry(r.parent).or_insert(0) += r.dur_ns;
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (id, r) in &recs {
+        let self_ns = r
+            .dur_ns
+            .saturating_sub(child_ns.get(id).copied().unwrap_or(0));
+        if self_ns == 0 {
+            continue;
+        }
+        // Walk the parent chain to build the stack, root first. Span ids
+        // are allocated monotonically so chains are acyclic; the depth
+        // cap guards against corrupt input anyway.
+        let mut stack = vec![r.name];
+        let mut cur = r.parent;
+        let mut depth = 0;
+        while cur != 0 && depth < 64 {
+            match recs.get(&cur) {
+                Some(p) => {
+                    stack.push(p.name);
+                    cur = p.parent;
+                }
+                None => break, // parent lost to ring wraparound
+            }
+            depth += 1;
+        }
+        stack.reverse();
+        *folded.entry(stack.join(";")).or_insert(0) += self_ns;
+    }
+    let mut out = String::new();
+    for (stack, ns) in &folded {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &'static str, start: u64, dur: u64) -> Sample {
+        Sample {
+            seq: id,
+            event: Event::Span {
+                name,
+                id,
+                parent,
+                thread: 1,
+                start_ns: start,
+                dur_ns: dur,
+            },
+        }
+    }
+
+    #[test]
+    fn chrome_json_emits_complete_events_in_microseconds() {
+        let samples = vec![
+            span(2, 1, "inner", 1500, 500),
+            span(1, 0, "outer", 1000, 2000),
+        ];
+        let json = chrome_json(&samples);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains(
+            "{\"name\":\"inner\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":1.5,\"dur\":0.5,\
+             \"pid\":1,\"tid\":1,\"args\":{\"id\":2,\"parent\":1}}"
+        ));
+        assert!(json.contains("\"name\":\"outer\""));
+        assert!(json.contains("\"ts\":1,\"dur\":2,"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn chrome_json_ignores_non_span_events() {
+        let samples = vec![Sample {
+            seq: 0,
+            event: Event::CacheOp {
+                cache: "opt-cache",
+                op: "hit",
+                key_hash: 1,
+            },
+        }];
+        assert_eq!(
+            chrome_json(&samples),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn folded_stacks_use_self_time_and_merge_paths() {
+        // outer(100) -> inner(30), inner(20); plus a second outer-only
+        // instance (40). Self times: outer = (100-50) + 40 = 90,
+        // outer;inner = 50.
+        let samples = vec![
+            span(1, 0, "outer", 0, 100),
+            span(2, 1, "inner", 10, 30),
+            span(3, 1, "inner", 50, 20),
+            span(4, 0, "outer", 200, 40),
+        ];
+        let folded = flame_folded(&samples);
+        assert_eq!(folded, "outer 90\nouter;inner 50\n");
+    }
+
+    #[test]
+    fn folded_orphan_parent_becomes_root() {
+        // Parent id 7 was lost to ring wraparound; the child still shows
+        // up as a root frame instead of vanishing.
+        let samples = vec![span(9, 7, "child", 0, 12)];
+        assert_eq!(flame_folded(&samples), "child 12\n");
+    }
+
+    #[test]
+    fn folded_drops_fully_covered_parents() {
+        let samples = vec![span(1, 0, "outer", 0, 50), span(2, 1, "inner", 0, 50)];
+        assert_eq!(flame_folded(&samples), "outer;inner 50\n");
+    }
+}

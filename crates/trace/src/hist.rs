@@ -1,0 +1,380 @@
+//! Log-bucketed latency histograms (HDR-style, zero-dependency).
+//!
+//! Durations in nanoseconds are binned into buckets whose width grows
+//! with magnitude: each power of two is split into 16 linear sub-buckets,
+//! so any recorded value lands in a bucket whose bounds are within 1/16
+//! (6.25%) of it. That is the classic HDR layout, shrunk to what the
+//! profiler needs: fixed memory (976 buckets × 8 bytes per histogram),
+//! lock-free recording through a shared handle, and percentile snapshots
+//! (p50/p90/p99/max) read without stopping writers.
+//!
+//! Histograms are keyed like counters (`opt.optimize_all`, `vm.run`,
+//! `store.wal.commit_flush`, …) in a [`HistRegistry`]; every closed span
+//! feeds the histogram of its name, and hot paths too noisy for span
+//! events (WAL appends) record into a kept handle directly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// log2 of the linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per power of two (16).
+const SUB: usize = 1 << SUB_BITS;
+/// Total buckets: 16 unit buckets + 16 per exponent 4..=63.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index of a value. Monotone in the value.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (exp - SUB_BITS)) as usize) - SUB; // 0..SUB
+    (((exp - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+}
+
+/// Smallest value that maps to bucket `ix`.
+fn bucket_low(ix: usize) -> u64 {
+    if ix < SUB {
+        return ix as u64;
+    }
+    let group = (ix >> SUB_BITS) as u32; // >= 1
+    let exp = group + SUB_BITS - 1;
+    let sub = (ix & (SUB - 1)) as u64;
+    (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+/// Largest value that maps to bucket `ix`.
+fn bucket_high(ix: usize) -> u64 {
+    if ix < SUB {
+        return ix as u64;
+    }
+    let group = (ix >> SUB_BITS) as u32;
+    let exp = group + SUB_BITS - 1;
+    // `low + width - 1`, subtracting first so the final bucket's bound
+    // (`u64::MAX`) does not overflow.
+    (bucket_low(ix) - 1) + (1u64 << (exp - SUB_BITS))
+}
+
+#[derive(Debug)]
+struct HistInner {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// Minimum recorded value, `u64::MAX` while empty.
+    min: AtomicU64,
+}
+
+/// A shared handle to one named histogram. Recording is lock-free;
+/// clones alias the same cells.
+#[derive(Debug, Clone)]
+pub struct Hist(Arc<HistInner>);
+
+impl Hist {
+    fn new() -> Self {
+        let mut counts = Vec::with_capacity(BUCKETS);
+        counts.resize_with(BUCKETS, || AtomicU64::new(0));
+        Hist(Arc::new(HistInner {
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }))
+    }
+
+    /// Record one value (a duration in nanoseconds, by convention).
+    pub fn record(&self, v: u64) {
+        let i = &self.0;
+        i.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(v, Ordering::Relaxed);
+        i.max.fetch_max(v, Ordering::Relaxed);
+        i.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary with percentiles.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let i = &self.0;
+        let count = i.count.load(Ordering::Relaxed);
+        let max = i.max.load(Ordering::Relaxed);
+        let min = i.min.load(Ordering::Relaxed);
+        let mut snap = HistSnapshot {
+            count,
+            sum: i.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+        };
+        if count == 0 {
+            return snap;
+        }
+        // Walk the buckets once, resolving all three quantiles. The
+        // reported value is the bucket's upper bound (the highest value
+        // indistinguishable from the observation), clamped to the true
+        // recorded max so p99 of a single-value histogram equals it.
+        let ranks = [
+            quantile_rank(count, 0.50),
+            quantile_rank(count, 0.90),
+            quantile_rank(count, 0.99),
+        ];
+        let mut out = [0u64; 3];
+        let mut seen = 0u64;
+        let mut t = 0usize;
+        'walk: for ix in 0..BUCKETS {
+            let c = i.counts[ix].load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            while t < ranks.len() && seen >= ranks[t] {
+                out[t] = bucket_high(ix).min(max);
+                t += 1;
+                if t == ranks.len() {
+                    break 'walk;
+                }
+            }
+        }
+        (snap.p50, snap.p90, snap.p99) = (out[0], out[1], out[2]);
+        snap
+    }
+
+    /// Reset every cell to empty.
+    pub fn clear(&self) {
+        let i = &self.0;
+        for c in &i.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        i.count.store(0, Ordering::Relaxed);
+        i.sum.store(0, Ordering::Relaxed);
+        i.max.store(0, Ordering::Relaxed);
+        i.min.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+/// 1-based rank of the q-quantile among `count` observations.
+fn quantile_rank(count: u64, q: f64) -> u64 {
+    (((count as f64) * q).ceil() as u64).clamp(1, count)
+}
+
+/// Summary of one histogram at a point in time. All values are in the
+/// recorded unit (nanoseconds for span-fed histograms).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (total time, for durations).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median (upper bucket bound, ≤6.25% above the true value).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistSnapshot {
+    /// Mean observation, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Name → histogram map behind a mutex, mirroring the counter
+/// [`Registry`](crate::Registry): lookup takes the lock once, recording
+/// through the returned handle is lock-free.
+#[derive(Debug)]
+pub struct HistRegistry {
+    map: Mutex<BTreeMap<String, Hist>>,
+}
+
+impl HistRegistry {
+    /// Create an empty registry (const so it can live in a `static`).
+    pub const fn new() -> Self {
+        HistRegistry {
+            map: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Look up or create the histogram called `name`.
+    pub fn hist(&self, name: &str) -> Hist {
+        let mut map = self.map.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Hist::new();
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// Snapshot every non-empty histogram, sorted by name. Sorted output
+    /// is a determinism contract: JSON exports and golden tests key on it.
+    pub fn snapshot(&self) -> Vec<(String, HistSnapshot)> {
+        self.map
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .filter(|(_, s)| s.count > 0)
+            .collect()
+    }
+
+    /// Remove every histogram.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+impl Default for HistRegistry {
+    fn default() -> Self {
+        HistRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_bracket_every_magnitude() {
+        // Property: for a sweep of values across the whole u64 range, the
+        // chosen bucket's bounds bracket the value and the relative error
+        // of the upper bound is at most 1/16.
+        let mut v: u64 = 1;
+        loop {
+            for delta in [0u64, 1, 2, 3, 5, 7, 11, 13] {
+                let x = v.saturating_add(delta);
+                let ix = bucket_of(x);
+                assert!(bucket_low(ix) <= x, "low({ix}) > {x}");
+                assert!(bucket_high(ix) >= x, "high({ix}) < {x}");
+                if x >= 16 {
+                    let err = (bucket_high(ix) - x) as f64 / x as f64;
+                    assert!(err <= 1.0 / 16.0 + 1e-9, "err {err} at {x}");
+                }
+            }
+            if v > u64::MAX / 3 {
+                break;
+            }
+            v = v.wrapping_mul(3);
+        }
+        // Exact boundaries.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(15), 15);
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_contiguous() {
+        for ix in 1..BUCKETS {
+            assert_eq!(
+                bucket_high(ix - 1) + 1,
+                bucket_low(ix),
+                "gap between buckets {} and {}",
+                ix - 1,
+                ix
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_bracket_exact_order_statistics() {
+        // Pseudo-random but deterministic sample; compare against the
+        // exact order statistics with the 1/16 bucket tolerance.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut vals: Vec<u64> = (0..10_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Spread over ~6 orders of magnitude, like latencies do.
+                (state >> 33) % 1_000_000_000
+            })
+            .collect();
+        let h = Hist::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.min, vals[0]);
+        assert_eq!(s.max, *vals.last().unwrap());
+        for (q, got) in [(0.50, s.p50), (0.90, s.p90), (0.99, s.p99)] {
+            let exact = vals[(quantile_rank(10_000, q) - 1) as usize];
+            assert!(
+                got >= exact,
+                "p{q}: reported {got} below exact {exact} (upper bound contract)"
+            );
+            let err = (got - exact) as f64 / (exact.max(1)) as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "p{q}: err {err}");
+        }
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn single_value_percentiles_are_exact() {
+        let h = Hist::new();
+        h.record(123_456);
+        let s = h.snapshot();
+        assert_eq!(
+            (s.p50, s.p90, s.p99, s.max, s.min),
+            (123_456, 123_456, 123_456, 123_456, 123_456)
+        );
+        assert_eq!(s.mean(), 123_456);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let h = Hist::new();
+        assert_eq!(h.snapshot(), HistSnapshot::default());
+    }
+
+    #[test]
+    fn registry_handles_alias_and_snapshot_sorted() {
+        let r = HistRegistry::new();
+        r.hist("vm.run").record(5);
+        r.hist("opt.round").record(7);
+        r.hist("vm.run").record(9);
+        r.hist("empty.unused"); // never recorded: excluded from snapshots
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["opt.round", "vm.run"]);
+        assert_eq!(snap[1].1.count, 2);
+        r.clear();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_sums() {
+        let h = Hist::new();
+        let h2 = h.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..50_000 {
+                h2.record(10);
+            }
+        });
+        for _ in 0..50_000 {
+            h.record(1_000);
+        }
+        t.join().unwrap();
+        let s = h.snapshot();
+        assert_eq!(s.count, 100_000);
+        assert_eq!(s.sum, 50_000 * 10 + 50_000 * 1_000);
+    }
+}

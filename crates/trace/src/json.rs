@@ -105,6 +105,21 @@ impl JsonWriter {
         self.out.push_str(&v.to_string());
     }
 
+    /// Emit a finite floating-point value. JSON has no NaN/Infinity;
+    /// non-finite inputs are clamped to 0 rather than emitting invalid
+    /// text.
+    pub fn f64(&mut self, v: f64) {
+        self.pre_value();
+        let v = if v.is_finite() { v } else { 0.0 };
+        if v == v.trunc() && v.abs() < 1e15 {
+            // Integral values print without a fraction for stable,
+            // jq-friendly output.
+            self.out.push_str(&format!("{}", v as i64));
+        } else {
+            self.out.push_str(&format!("{}", v));
+        }
+    }
+
     /// Emit a boolean value.
     pub fn bool(&mut self, v: bool) {
         self.pre_value();
@@ -127,6 +142,12 @@ impl JsonWriter {
     pub fn i64_field(&mut self, k: &str, v: i64) {
         self.key(k);
         self.i64(v);
+    }
+
+    /// Shorthand: `"k": x.y` field for floating-point values.
+    pub fn f64_field(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64(v);
     }
 
     /// Shorthand: `"k": true|false` field.

@@ -21,30 +21,43 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod event;
+pub mod export;
+pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod ring;
+pub mod span;
 
+pub use clock::Clock;
 pub use event::{Event, Sample};
+pub use hist::{Hist, HistRegistry, HistSnapshot};
 pub use registry::{Counter, Registry};
 pub use ring::{Ring, DEFAULT_CAPACITY};
+pub use span::SpanGuard;
 
 use json::JsonWriter;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-/// Version tag of the JSON export schema.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version tag of the JSON export schema. v2 added timed spans, the
+/// `hists` section, and duration (`micros`) fields on WAL/recovery
+/// events.
+pub const SCHEMA_VERSION: u64 = 2;
 
-/// The trace facility: an enabled flag, an event ring and a counter
-/// registry. One global instance serves the whole process ([`global`]);
-/// independent instances can be created for tests.
+/// The trace facility: an enabled flag, an event ring, a counter
+/// registry, a latency-histogram registry and the trace clock. One
+/// global instance serves the whole process ([`global`]); independent
+/// instances can be created for tests (spans and the [`span!`] macro
+/// always use the global one).
 #[derive(Debug)]
 pub struct Recorder {
     enabled: AtomicBool,
     ring: Mutex<Ring>,
     registry: Registry,
+    hists: HistRegistry,
+    clock: Clock,
 }
 
 impl Recorder {
@@ -54,6 +67,8 @@ impl Recorder {
             enabled: AtomicBool::new(false),
             ring: Mutex::new(Ring::new(DEFAULT_CAPACITY)),
             registry: Registry::new(),
+            hists: HistRegistry::new(),
+            clock: Clock::new(),
         }
     }
 
@@ -69,10 +84,15 @@ impl Recorder {
         self.enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Append an event to the ring if recording is enabled.
+    /// Append an event to the ring if recording is enabled. Overwrites at
+    /// capacity are published through the `trace.ring.dropped` counter so
+    /// history loss is never silent.
     pub fn record(&self, event: Event) {
         if self.is_enabled() {
-            self.ring.lock().unwrap().push(event);
+            let overwrote = self.ring.lock().unwrap().push(event);
+            if overwrote {
+                self.registry.counter("trace.ring.dropped").inc();
+            }
         }
     }
 
@@ -96,6 +116,32 @@ impl Recorder {
         &self.registry
     }
 
+    /// Look up or create a named latency histogram. Like counters, the
+    /// handle records lock-free; hot paths should resolve once and keep
+    /// it.
+    pub fn hist(&self, name: &str) -> Hist {
+        self.hists.hist(name)
+    }
+
+    /// Record a duration (nanoseconds) into the named histogram, but only
+    /// when recording is enabled. Convenience for call sites too cold to
+    /// keep a handle.
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        if self.is_enabled() {
+            self.hists.hist(name).record(ns);
+        }
+    }
+
+    /// Snapshot every non-empty histogram, sorted by name.
+    pub fn hist_snapshot(&self) -> Vec<(String, HistSnapshot)> {
+        self.hists.snapshot()
+    }
+
+    /// The trace clock (mock it in tests for deterministic spans).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
     /// Resize the event ring, discarding held events and resetting the
     /// sequence/drop counters.
     pub fn set_capacity(&self, cap: usize) {
@@ -117,30 +163,46 @@ impl Recorder {
         self.ring.lock().unwrap().dropped()
     }
 
-    /// Discard all events and counters and reset sequencing. The enabled
-    /// flag is left as-is.
+    /// Events handed out by [`Recorder::drain`].
+    pub fn drained(&self) -> u64 {
+        self.ring.lock().unwrap().drained()
+    }
+
+    /// Total events ever recorded (`dropped + drained + held`).
+    pub fn recorded(&self) -> u64 {
+        self.ring.lock().unwrap().recorded()
+    }
+
+    /// Discard all events, counters and histograms and reset sequencing.
+    /// The enabled flag is left as-is.
     pub fn clear(&self) {
         self.ring.lock().unwrap().reset(None);
         self.registry.clear();
+        self.hists.clear();
     }
 
     /// Export the full trace state as JSON:
     ///
     /// ```json
     /// {
-    ///   "version": 1,
+    ///   "version": 2,
     ///   "enabled": true,
     ///   "recorded": 12, "dropped": 0,
     ///   "counters": { "vm.instrs": 123, ... },
+    ///   "hists": { "vm.run": { "count": 3, "p50_ns": 1200, ... }, ... },
     ///   "events": [ { "seq": 0, "type": "rule-fired", ... }, ... ]
     /// }
     /// ```
+    ///
+    /// Counter and histogram keys are emitted in sorted order — a
+    /// determinism contract golden tests and CI `jq` assertions rely on.
     pub fn to_json(&self) -> String {
         let (samples, recorded, dropped) = {
             let ring = self.ring.lock().unwrap();
             (ring.snapshot(), ring.recorded(), ring.dropped())
         };
         let counters = self.registry.snapshot();
+        let hists = self.hists.snapshot();
         let mut w = JsonWriter::new();
         w.begin_object();
         w.u64_field("version", SCHEMA_VERSION);
@@ -151,6 +213,21 @@ impl Recorder {
         w.begin_object();
         for (name, value) in &counters {
             w.u64_field(name, *value);
+        }
+        w.end_object();
+        w.key("hists");
+        w.begin_object();
+        for (name, s) in &hists {
+            w.key(name);
+            w.begin_object();
+            w.u64_field("count", s.count);
+            w.u64_field("sum_ns", s.sum);
+            w.u64_field("min_ns", s.min);
+            w.u64_field("max_ns", s.max);
+            w.u64_field("p50_ns", s.p50);
+            w.u64_field("p90_ns", s.p90);
+            w.u64_field("p99_ns", s.p99);
+            w.end_object();
         }
         w.end_object();
         w.key("events");
@@ -358,9 +435,11 @@ mod tests {
             node: 3,
             size_delta: -2,
         });
+        r.hist("vm.run").record(100);
         let json = r.to_json();
-        assert!(json.starts_with("{\"version\":1,\"enabled\":true,"));
+        assert!(json.starts_with("{\"version\":2,\"enabled\":true,"));
         assert!(json.contains("\"counters\":{\"vm.instrs\":41}"));
+        assert!(json.contains("\"hists\":{\"vm.run\":{\"count\":1,"));
         assert!(json.contains(
             "{\"seq\":0,\"type\":\"rule-fired\",\"rule\":\"subst\",\"site\":\"x_1\",\"node\":3,\"size_delta\":-2}"
         ));

@@ -10,6 +10,10 @@ use crate::event::{Event, Sample};
 /// (crate root) wraps it in a mutex.
 ///
 /// [`Recorder`]: crate::Recorder
+/// Accounting invariant, preserved across any interleaving of events and
+/// span records: `recorded() == dropped() + drained() + len()`. Every
+/// push is either still held, was overwritten at capacity (`dropped`), or
+/// was handed to a consumer (`drained`) — nothing is lost silently.
 #[derive(Debug)]
 pub struct Ring {
     buf: Vec<Sample>,
@@ -18,6 +22,7 @@ pub struct Ring {
     start: usize,
     next_seq: u64,
     dropped: u64,
+    drained: u64,
 }
 
 /// Default event capacity of the global recorder.
@@ -32,11 +37,15 @@ impl Ring {
             start: 0,
             next_seq: 0,
             dropped: 0,
+            drained: 0,
         }
     }
 
-    /// Append an event, overwriting the oldest when at capacity.
-    pub fn push(&mut self, event: Event) {
+    /// Append an event, overwriting the oldest when at capacity. Returns
+    /// `true` when an older sample was overwritten (history lost), so the
+    /// recorder can surface the loss through the `trace.ring.dropped`
+    /// counter.
+    pub fn push(&mut self, event: Event) -> bool {
         let cap = self.cap.max(1);
         let sample = Sample {
             seq: self.next_seq,
@@ -45,10 +54,12 @@ impl Ring {
         self.next_seq += 1;
         if self.buf.len() < cap {
             self.buf.push(sample);
+            false
         } else {
             self.buf[self.start] = sample;
             self.start = (self.start + 1) % cap;
             self.dropped += 1;
+            true
         }
     }
 
@@ -67,7 +78,13 @@ impl Ring {
         self.dropped
     }
 
-    /// Total events ever pushed.
+    /// Events handed out by [`Ring::drain`] since creation.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Total events ever pushed. Always equals
+    /// `dropped() + drained() + len()`.
     pub fn recorded(&self) -> u64 {
         self.next_seq
     }
@@ -84,6 +101,7 @@ impl Ring {
     /// numbering continues from where it left off.
     pub fn drain(&mut self) -> Vec<Sample> {
         let out = self.snapshot();
+        self.drained += out.len() as u64;
         self.buf.clear();
         self.start = 0;
         out
@@ -99,6 +117,7 @@ impl Ring {
         self.start = 0;
         self.next_seq = 0;
         self.dropped = 0;
+        self.drained = 0;
     }
 }
 
@@ -148,8 +167,43 @@ mod tests {
         let first = r.drain();
         assert_eq!(first.len(), 2);
         assert!(r.is_empty());
+        assert_eq!(r.drained(), 2);
         r.push(ev(2));
         assert_eq!(r.snapshot()[0].seq, 2);
+    }
+
+    #[test]
+    fn accounting_invariant_holds_through_wrap_and_drain() {
+        // recorded == dropped + drained + len at every step, regardless
+        // of how pushes (events or span records alike) interleave with
+        // capacity wraps and drains.
+        let mut r = Ring::new(3);
+        let check = |r: &Ring| {
+            assert_eq!(
+                r.recorded(),
+                r.dropped() + r.drained() + r.len() as u64,
+                "accounting drifted: recorded={} dropped={} drained={} len={}",
+                r.recorded(),
+                r.dropped(),
+                r.drained(),
+                r.len()
+            );
+        };
+        for n in 0..7 {
+            assert_eq!(r.push(ev(n)), n >= 3);
+            check(&r);
+        }
+        r.drain();
+        check(&r);
+        for n in 7..9 {
+            r.push(ev(n));
+            check(&r);
+        }
+        r.drain();
+        check(&r);
+        assert_eq!(r.recorded(), 9);
+        assert_eq!(r.dropped(), 4);
+        assert_eq!(r.drained(), 5);
     }
 
     #[test]

@@ -64,6 +64,7 @@ impl Vm {
 
     /// Compile a closed program (top-level application) to a code block.
     pub fn compile_program(&mut self, ctx: &Ctx, app: &App) -> Result<u32, CompileError> {
+        let _s = tml_trace::span!("vm.compile");
         let abs = Abs::new(Vec::new(), app.clone());
         let compiled = Compiler::new(ctx, &mut self.code).compile_proc(&abs)?;
         if let Some(free) = compiled.captures.first() {
@@ -75,6 +76,7 @@ impl Vm {
     /// Compile a procedure; its free variables become the closure captures
     /// (in the returned order).
     pub fn compile_proc(&mut self, ctx: &Ctx, abs: &Abs) -> Result<CompiledProc, CompileError> {
+        let _s = tml_trace::span!("vm.compile");
         Compiler::new(ctx, &mut self.code).compile_proc(abs)
     }
 

@@ -201,6 +201,7 @@ impl<'a> Machine<'a> {
 
     /// Run `block` with the given environment and arguments until `halt`.
     pub fn run(&mut self, block: u32, env: Vec<RVal>, args: Vec<RVal>) -> Result<Outcome, VmError> {
+        let _s = tml_trace::span!("vm.run");
         self.enter(block, env, args)?;
         loop {
             match self.step()? {
@@ -231,6 +232,13 @@ impl<'a> Machine<'a> {
                 format!("vm:machine trap: native call nesting exceeds {MAX_NATIVE_DEPTH}").into(),
             ));
         }
+        // Only the outermost native call gets a span: nested call_values
+        // are frames of the same logical run, not separate operations.
+        let _s = if self.native_depth == 0 {
+            Some(tml_trace::span!("vm.run"))
+        } else {
+            None
+        };
         self.native_depth += 1;
         let saved_block = self.block;
         let saved_pc = self.pc;

@@ -8,6 +8,7 @@
 //! tmlc snapshot <file.tl> -o <image.tys>                     persist a compiled image
 //! tmlc info <image.tys> [--json]                             inspect a store image
 //! tmlc profile <input> <mod.fn> [--arg N]... [--json]        run under the tracer
+//! tmlc stats <input> [mod.fn] [--arg N]...                   latency percentiles per subsystem
 //! tmlc explain <input> <mod.fn> [--json] [--verify]          optimizer provenance log
 //! tmlc opt <input> [--jobs N] [options]                      whole-world optimization report
 //! tmlc fsck <image.tys> [--repair -o out.tys]                validate (and repair) an image
@@ -31,6 +32,11 @@
 //!   --top N                   rows per profile table (default 10)
 //!   --verify                  explain: replay the provenance log and compare PTML
 //!   --repair                  fsck: write the recovered image to -o <out.tys>
+//!   --spans                   profile: print the recorded span tree
+//!   --hist                    profile: print latency histograms (p50/p90/p99/max)
+//!   --chrome <out.json>       profile/stats: write Chrome tracing JSON (chrome://tracing)
+//!   --flame <out.folded>      profile/stats: write collapsed stacks (flamegraph.pl input)
+//!   --runs N                  stats: entry-point invocations to sample (default 10)
 //! ```
 
 use std::process::ExitCode;
@@ -57,6 +63,11 @@ struct Options {
     repair: bool,
     jobs: u32,
     top: usize,
+    spans: bool,
+    hist: bool,
+    chrome: Option<String>,
+    flame: Option<String>,
+    runs: u64,
     entry: Option<String>,
     args: Vec<i64>,
     output: Option<String>,
@@ -77,6 +88,11 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
         repair: false,
         jobs: 1,
         top: 10,
+        spans: false,
+        hist: false,
+        chrome: None,
+        flame: None,
+        runs: 10,
         entry: None,
         args: Vec::new(),
         output: None,
@@ -102,6 +118,14 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
             }
             "--dynamic" => o.dynamic = true,
             "--stats" => o.stats = true,
+            "--spans" => o.spans = true,
+            "--hist" => o.hist = true,
+            "--chrome" => o.chrome = Some(it.next().ok_or("--chrome needs a path")?),
+            "--flame" => o.flame = Some(it.next().ok_or("--flame needs a path")?),
+            "--runs" => {
+                let v = it.next().ok_or("--runs needs a value")?;
+                o.runs = v.parse().map_err(|e| format!("bad --runs: {e}"))?;
+            }
             "--json" => o.json = true,
             "--verify" => o.verify = true,
             "--repair" => o.repair = true,
@@ -424,6 +448,132 @@ fn cmd_info(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Write the recorded span tree to `--chrome` / `--flame` targets, if any
+/// were requested. Shared by `profile` and `stats`.
+fn write_exports(o: &Options) -> Result<(), String> {
+    let rec = trace::global();
+    if o.chrome.is_some() || o.flame.is_some() {
+        let samples = rec.events();
+        if let Some(path) = &o.chrome {
+            std::fs::write(path, trace::export::chrome_json(&samples))
+                .map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("tmlc: wrote Chrome trace to {path} (load in chrome://tracing)");
+        }
+        if let Some(path) = &o.flame {
+            std::fs::write(path, trace::export::flame_folded(&samples))
+                .map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("tmlc: wrote collapsed stacks to {path} (feed to flamegraph.pl)");
+        }
+    }
+    Ok(())
+}
+
+/// Human scale for a nanosecond duration.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Print the latency-histogram table (every histogram whose name starts
+/// with one of `prefixes`; all when empty).
+fn print_hist_table(prefixes: &[&str]) {
+    let rows = trace::global().hist_snapshot();
+    println!(
+        "  {:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "name", "count", "p50", "p90", "p99", "max", "total"
+    );
+    for (name, h) in rows {
+        if !(prefixes.is_empty() || prefixes.iter().any(|p| name.starts_with(p))) {
+            continue;
+        }
+        println!(
+            "  {:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10}",
+            name,
+            h.count,
+            fmt_ns(h.p50),
+            fmt_ns(h.p90),
+            fmt_ns(h.p99),
+            fmt_ns(h.max),
+            fmt_ns(h.sum)
+        );
+    }
+}
+
+/// Print the recorded spans as an indented tree (roots in start order).
+/// Spans whose parents were lost to ring wraparound print as roots.
+fn print_span_tree(samples: &[trace::Sample]) {
+    struct Node {
+        name: &'static str,
+        parent: u64,
+        thread: u64,
+        start_ns: u64,
+        dur_ns: u64,
+    }
+    let mut nodes: std::collections::BTreeMap<u64, Node> = Default::default();
+    let mut kids: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+    for s in samples {
+        if let Event::Span {
+            name,
+            id,
+            parent,
+            thread,
+            start_ns,
+            dur_ns,
+        } = s.event
+        {
+            nodes.insert(
+                id,
+                Node {
+                    name,
+                    parent,
+                    thread,
+                    start_ns,
+                    dur_ns,
+                },
+            );
+        }
+    }
+    for (id, n) in &nodes {
+        if nodes.contains_key(&n.parent) {
+            kids.entry(n.parent).or_default().push(*id);
+        }
+    }
+    let mut roots: Vec<u64> = nodes
+        .iter()
+        .filter(|(_, n)| !nodes.contains_key(&n.parent))
+        .map(|(id, _)| *id)
+        .collect();
+    roots.sort_by_key(|id| (nodes[id].start_ns, *id));
+    for c in kids.values_mut() {
+        c.sort_by_key(|id| (nodes[id].start_ns, *id));
+    }
+    // Iterative DFS (children were pushed in start order, so pop reversed).
+    let mut stack: Vec<(u64, usize)> = roots.into_iter().rev().map(|id| (id, 0)).collect();
+    while let Some((id, depth)) = stack.pop() {
+        let n = &nodes[&id];
+        println!(
+            "  {:indent$}{} {} [thread {}]",
+            "",
+            n.name,
+            fmt_ns(n.dur_ns),
+            n.thread,
+            indent = depth * 2
+        );
+        if let Some(children) = kids.get(&id) {
+            for &c in children.iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+    }
+}
+
 fn cmd_profile(o: &Options) -> Result<(), String> {
     let fname = o
         .positional
@@ -433,12 +583,14 @@ fn cmd_profile(o: &Options) -> Result<(), String> {
         .ok_or("missing function name: tmlc profile <input> <mod.fn>")?;
     let rec = trace::global();
     rec.clear();
+    rec.set_capacity(1 << 16);
     rec.set_enabled(true);
     let mut s = load_input(o)?;
     let args: Vec<RVal> = o.args.iter().map(|n| RVal::Int(*n)).collect();
     let out = s.call(&fname, args).map_err(|e| e.to_string())?;
     s.store.publish_counters();
     rec.set_enabled(false);
+    write_exports(o)?;
     if o.json {
         println!("{}", rec.to_json());
         return Ok(());
@@ -468,6 +620,99 @@ fn cmd_profile(o: &Options) -> Result<(), String> {
     }
     println!("store:");
     print_counters(&["store.", "query.", "reflect."]);
+    if o.hist {
+        println!("latency histograms:");
+        print_hist_table(&[]);
+    }
+    if o.spans {
+        println!("spans:");
+        print_span_tree(&rec.events());
+    }
+    Ok(())
+}
+
+/// `tmlc stats <input> [mod.fn] [--arg N] [--runs N]`: exercise every
+/// instrumented subsystem — whole-world optimization (opt + reflect),
+/// repeated entry-point runs (vm), and a WAL commit/checkpoint cycle on a
+/// scratch durable store — then report the latency histograms as a
+/// per-subsystem time-breakdown table with percentiles.
+fn cmd_stats(o: &Options) -> Result<(), String> {
+    let rec = trace::global();
+    rec.clear();
+    rec.set_capacity(1 << 16);
+    rec.set_enabled(true);
+    let mut s = load_input(o)?;
+    let fname = match o.positional.get(1) {
+        Some(f) => f.clone(),
+        None => guess_entry(&s, o)?,
+    };
+    // Optimizer + reflect paths: a cache-bypassing whole-world pass.
+    let ropts = ReflectOptions {
+        use_cache: false,
+        ..reflect_options(o)
+    };
+    optimize_all(&mut s, &ropts).map_err(|e| e.to_string())?;
+    // VM path: repeated entry calls.
+    let args: Vec<RVal> = o.args.iter().map(|n| RVal::Int(*n)).collect();
+    let mut result = None;
+    for _ in 0..o.runs.max(1) {
+        let out = s.call(&fname, args.clone()).map_err(|e| e.to_string())?;
+        result = Some(out.result);
+    }
+    // Store/WAL path: a commit + checkpoint cycle on a scratch store.
+    let dir = std::env::temp_dir().join(format!("tmlc_stats_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let image = dir.join("scratch.tys");
+    let wal_err = |e: std::io::Error| format!("stats wal workload: {e}");
+    {
+        let mut ds =
+            tycoon::store::DurableStore::create(&image, Default::default()).map_err(wal_err)?;
+        for i in 0..16i64 {
+            let oid = ds
+                .alloc(Object::Tuple(vec![SVal::Int(i), SVal::Int(i * i)]))
+                .map_err(wal_err)?;
+            ds.set_root(&format!("stats.{i}"), oid).map_err(wal_err)?;
+            ds.commit().map_err(wal_err)?;
+        }
+        ds.checkpoint().map_err(wal_err)?;
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    rec.set_enabled(false);
+    write_exports(o)?;
+    if o.json {
+        println!("{}", rec.to_json());
+        return Ok(());
+    }
+    if let Some(r) = result {
+        println!("stats {fname} => {r:?} ({} run(s))", o.runs.max(1));
+    }
+    // Per-subsystem totals from the top-level name segment.
+    let hists = rec.hist_snapshot();
+    let mut by_subsystem: std::collections::BTreeMap<String, u64> = Default::default();
+    for (name, h) in &hists {
+        let subsystem = name.split('.').next().unwrap_or(name).to_string();
+        *by_subsystem.entry(subsystem).or_insert(0) += h.sum;
+    }
+    let grand: u64 = by_subsystem.values().sum();
+    println!("time by subsystem:");
+    for (subsystem, ns) in &by_subsystem {
+        println!(
+            "  {:<12} {:>10}  {:>5.1}%",
+            subsystem,
+            fmt_ns(*ns),
+            if grand == 0 {
+                0.0
+            } else {
+                100.0 * *ns as f64 / grand as f64
+            }
+        );
+    }
+    println!("latency histograms:");
+    print_hist_table(&[]);
+    if o.spans {
+        println!("spans:");
+        print_span_tree(&rec.events());
+    }
     Ok(())
 }
 
@@ -531,7 +776,8 @@ fn explain_line(e: &Event) -> String {
             lsn,
             bytes,
             records,
-        } => format!("wal {op} (lsn {lsn}, {records} record(s), {bytes} byte(s))"),
+            micros,
+        } => format!("wal {op} (lsn {lsn}, {records} record(s), {bytes} byte(s), {micros}us)"),
         Event::DurabilityRisk { site, detail } => {
             format!("durability risk at {site}: {detail}")
         }
@@ -540,14 +786,23 @@ fn explain_line(e: &Event) -> String {
             dropped_objects,
             dropped_roots,
             dropped_sections,
+            micros,
         } => format!(
-            "recovery from {source}: dropped {dropped_objects} object(s), {dropped_roots} root(s){}",
+            "recovery from {source} in {micros}us: dropped {dropped_objects} object(s), {dropped_roots} root(s){}",
             if *dropped_sections {
                 ", tail sections lost"
             } else {
                 ""
             }
         ),
+        Event::Span {
+            name,
+            id,
+            parent,
+            thread,
+            dur_ns,
+            ..
+        } => format!("span {name} ({}) [id {id}, parent {parent}, thread {thread}]", fmt_ns(*dur_ns)),
         other => format!("{} event", other.kind()),
     }
 }
@@ -880,7 +1135,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!(
-                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|explain|opt|fsck|prims ..."
+                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|stats|explain|opt|fsck|prims ..."
             );
             return ExitCode::FAILURE;
         }
@@ -893,6 +1148,7 @@ fn main() -> ExitCode {
         "snapshot" => cmd_snapshot(&options),
         "info" => cmd_info(&options),
         "profile" => cmd_profile(&options),
+        "stats" => cmd_stats(&options),
         "explain" => cmd_explain(&options),
         "opt" => cmd_opt(&options),
         "fsck" => cmd_fsck(&options),

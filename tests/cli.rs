@@ -170,7 +170,7 @@ fn profile_json_is_a_registry_export() {
         .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.starts_with("{\"version\":1,"), "{text}");
+    assert!(text.starts_with("{\"version\":2,"), "{text}");
     assert!(text.contains("\"vm.instrs\":"), "{text}");
     assert!(text.contains("\"counters\":{"), "{text}");
 }
@@ -262,6 +262,207 @@ fn info_json_exposes_store_gauges() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("\"store.objects\":"), "{text}");
     assert!(text.contains("\"store.closures\":"), "{text}");
+    std::fs::remove_file(&image).ok();
+}
+
+/// Minimal JSON validator: recursive descent over value syntax, no
+/// construction. Returns true when `s` is exactly one valid JSON value —
+/// what `jq` would accept — so tests can assert emitted documents parse
+/// without a JSON dependency.
+fn json_is_valid(s: &str) -> bool {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Option<usize> {
+        let i = skip_ws(b, i);
+        match b.get(i)? {
+            b'{' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return None;
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b'}' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b']' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => string(b, i),
+            b't' => b[i..].starts_with(b"true").then_some(i + 4),
+            b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+            b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+            _ => number(b, i),
+        }
+    }
+    fn string(b: &[u8], mut i: usize) -> Option<usize> {
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        i += 1;
+        while let Some(&c) = b.get(i) {
+            match c {
+                b'"' => return Some(i + 1),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        None
+    }
+    fn number(b: &[u8], mut i: usize) -> Option<usize> {
+        let start = i;
+        if b.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        while i < b.len()
+            && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            i += 1;
+        }
+        (i > start && b[start..i].iter().any(|c| c.is_ascii_digit())).then_some(i)
+    }
+    let b = s.as_bytes();
+    match value(b, 0) {
+        Some(end) => skip_ws(b, end) == b.len(),
+        None => false,
+    }
+}
+
+#[test]
+fn profile_chrome_export_is_valid_json_with_span_events() {
+    let dir = std::env::temp_dir().join(format!("tmlc_chrome_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let chrome = dir.join("out.json");
+    let flame = dir.join("out.folded");
+    let out = tmlc()
+        .args(["profile"])
+        .arg(demo_file())
+        .args(["demo.main", "--arg", "10", "--chrome"])
+        .arg(&chrome)
+        .arg("--flame")
+        .arg(&flame)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&chrome).unwrap();
+    assert!(
+        json_is_valid(&json),
+        "chrome export is not valid JSON: {json}"
+    );
+    assert!(json.contains("\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "{json}");
+    assert!(json.contains("\"name\":\"vm.run\""), "{json}");
+    // The folded flamegraph holds `stack count` lines for the same spans.
+    let folded = std::fs::read_to_string(&flame).unwrap();
+    assert!(
+        folded.lines().any(|l| {
+            let mut parts = l.rsplitn(2, ' ');
+            let count_ok = parts.next().is_some_and(|n| n.parse::<u64>().is_ok());
+            count_ok && parts.next().is_some_and(|s| s.contains("vm.run"))
+        }),
+        "{folded}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_reports_percentiles_per_subsystem() {
+    let out = tmlc()
+        .args(["stats"])
+        .arg(demo_file())
+        .args(["demo.main", "--arg", "10", "--runs", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("=> 385"), "{text}");
+    assert!(text.contains("time by subsystem:"), "{text}");
+    for subsystem in ["opt", "vm", "store", "reflect"] {
+        assert!(
+            text.contains(&format!("  {subsystem}")),
+            "no {subsystem} row in {text}"
+        );
+    }
+    assert!(text.contains("p50"), "{text}");
+    assert!(text.contains("p99"), "{text}");
+    // The acceptance paths: optimizer, VM, WAL commit, reflect cache fill.
+    assert!(text.contains("opt.optimize_all"), "{text}");
+    assert!(text.contains("vm.run"), "{text}");
+    assert!(text.contains("store.wal.commit_flush"), "{text}");
+    assert!(text.contains("reflect.cache.miss_fill"), "{text}");
+}
+
+#[test]
+fn info_json_is_deterministic_with_sorted_keys() {
+    let image = std::env::temp_dir().join(format!("tmlc_det_{}.tys", std::process::id()));
+    let out = tmlc()
+        .args(["snapshot"])
+        .arg(demo_file())
+        .args(["-o"])
+        .arg(&image)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let run = || {
+        let out = tmlc()
+            .args(["info", "--json"])
+            .arg(&image)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "info --json must be byte-identical across runs");
+    assert!(json_is_valid(a.trim()), "{a}");
+    // Gauge keys inside the counters object are emitted sorted.
+    let counters = a
+        .split("\"counters\":{")
+        .nth(1)
+        .and_then(|s| s.split('}').next())
+        .unwrap_or_else(|| panic!("no counters object in {a}"));
+    let keys: Vec<&str> = counters
+        .split(',')
+        .filter_map(|kv| kv.split(':').next())
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "counter keys not sorted in {a}");
     std::fs::remove_file(&image).ok();
 }
 
