@@ -51,6 +51,9 @@ pub enum LangError {
     Vm(String),
     /// A TML-level exception escaped to the session caller.
     Exception(String),
+    /// A store mutation failed (IO on a durable backend, or a typed
+    /// store error reaching the session layer).
+    Store(tml_store::StoreError),
 }
 
 impl fmt::Display for LangError {
@@ -64,11 +67,18 @@ impl fmt::Display for LangError {
             LangError::Compile(m) => write!(f, "code generation error: {m}"),
             LangError::Vm(m) => write!(f, "machine error: {m}"),
             LangError::Exception(m) => write!(f, "uncaught TL exception: {m}"),
+            LangError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
 
 impl std::error::Error for LangError {}
+
+impl From<tml_store::StoreError> for LangError {
+    fn from(e: tml_store::StoreError) -> LangError {
+        LangError::Store(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

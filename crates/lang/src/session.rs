@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use tml_core::{Ctx, Oid, VarId};
 use tml_opt::{optimize_abs, OptOptions};
 use tml_store::ptml::encode_abs;
-use tml_store::{ClosureObj, ModuleObj, Object, SVal, Store};
+use tml_store::{ClosureObj, ModuleObj, Object, SVal, Store, StoreAccess};
 use tml_vm::machine::ExecStats;
 use tml_vm::{Machine, RVal, Vm};
 
@@ -80,13 +80,18 @@ pub struct CallResult {
 }
 
 /// A loaded, linked, runnable TL universe.
-pub struct Session {
+///
+/// Generic over the store-access seam: the default `S = Store` is the
+/// plain in-memory heap, while `S = DurableStore` gives a durable
+/// session whose every store mutation (module linking, execution,
+/// garbage collection) is write-ahead logged and survives a crash.
+pub struct Session<S: StoreAccess = Store> {
     /// The TML context.
     pub ctx: Ctx,
     /// The abstract machine (code table + extension primitives).
     pub vm: Vm,
-    /// The persistent object store.
-    pub store: Store,
+    /// The persistent object store, behind the access seam.
+    pub store: S,
     /// Global type environment.
     pub types: TypeEnv,
     /// Global binding environment: fully qualified name → store value.
@@ -112,10 +117,31 @@ impl Session {
         config: SessionConfig,
         registry: tml_core::Registry,
     ) -> Result<Session, LangError> {
+        Session::on_store(Store::new(), config, registry)
+    }
+
+    /// Shorthand for a default-configured session.
+    pub fn default_session() -> Result<Session, LangError> {
+        Session::new(SessionConfig::default())
+    }
+}
+
+impl<S: StoreAccess> Session<S> {
+    /// Create a session over an explicit store backend (fresh — the
+    /// standard library is loaded through the seam, so on a durable
+    /// backend it is logged like any other module). Reopening an
+    /// existing image goes through `tml-reflect`'s session rebuild
+    /// instead, which relinks persistent closures rather than reloading
+    /// sources.
+    pub fn on_store(
+        store: S,
+        config: SessionConfig,
+        registry: tml_core::Registry,
+    ) -> Result<Session<S>, LangError> {
         let mut s = Session {
             ctx: Ctx::from_registry(registry),
             vm: Vm::new(),
-            store: Store::new(),
+            store,
             types: TypeEnv::new(),
             globals: HashMap::new(),
             config,
@@ -123,11 +149,6 @@ impl Session {
         };
         s.load_str(STDLIB_SRC)?;
         Ok(s)
-    }
-
-    /// Shorthand for a default-configured session.
-    pub fn default_session() -> Result<Session, LangError> {
-        Session::new(SessionConfig::default())
     }
 
     /// Parse and load every module in `src`.
@@ -161,7 +182,7 @@ impl Session {
             }
             let ptml = if self.config.attach_ptml {
                 let bytes = encode_abs(&self.ctx, &abs);
-                Some(self.store.alloc(Object::Ptml(bytes)))
+                Some(self.store.alloc(Object::Ptml(bytes))?)
             } else {
                 None
             };
@@ -200,7 +221,7 @@ impl Session {
                 env: Vec::new(),
                 bindings: Vec::new(),
                 ptml: p.ptml,
-            }));
+            }))?;
             local.insert(p.full_name.clone(), SVal::Ref(oid));
             oids.push(oid);
         }
@@ -217,13 +238,16 @@ impl Session {
                 env.push(val.clone());
                 bindings.push((name.clone(), val));
             }
-            match self.store.get_mut(oid) {
-                Ok(Object::Closure(c)) => {
-                    c.env = env;
-                    c.bindings = bindings;
+            self.store.mutate(oid, &mut |obj| {
+                match obj {
+                    Object::Closure(c) => {
+                        c.env = env.clone();
+                        c.bindings = bindings.clone();
+                    }
+                    _ => unreachable!("just allocated"),
                 }
-                _ => unreachable!("just allocated"),
-            }
+                Ok(())
+            })?;
         }
 
         // Module record and global registration (exports only).
@@ -237,8 +261,8 @@ impl Session {
             record.exports.insert(e.clone(), val.clone());
             self.globals.insert(full, val);
         }
-        let module_oid = self.store.alloc(Object::Module(record));
-        self.store.set_root(module.name.clone(), module_oid);
+        let module_oid = self.store.alloc(Object::Module(record))?;
+        self.store.set_root(&module.name, module_oid)?;
         self.globals
             .insert(module.name.clone(), SVal::Ref(module_oid));
         self.types.insert(module.name.clone(), Type::Dyn);
@@ -283,11 +307,13 @@ impl Session {
     }
 
     /// Collect store garbage, rooting the session's global bindings in
-    /// addition to the store's named roots.
-    pub fn collect_garbage(&mut self) -> tml_store::gc::GcStats {
+    /// addition to the store's named roots. On a durable backend every
+    /// reclaimed object is logged as a free, so the collection survives
+    /// crash recovery.
+    pub fn collect_garbage(&mut self) -> Result<tml_store::gc::GcStats, LangError> {
         let extra: Vec<tml_core::Oid> =
             self.globals.values().filter_map(SVal::as_ref_oid).collect();
-        tml_store::gc::collect(&mut self.store, &extra)
+        Ok(self.store.collect(&extra)?)
     }
 
     /// Total approximate size of the executable code generated so far.
@@ -523,7 +549,7 @@ mod tests {
         // they are garbage.
         let r1 = s.call("m.sum", vec![RVal::Int(50)]).unwrap();
         let before = s.store.live();
-        let stats = s.collect_garbage();
+        let stats = s.collect_garbage().unwrap();
         assert!(stats.freed > 0, "loop closures should be collected");
         assert!(s.store.live() < before);
         // Everything still runs after collection.

@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tml_store::object::{IndexKey, IndexObj};
-use tml_store::{Object, Oid, Relation, SVal, Store, StoreError};
+use tml_store::{Object, Oid, Relation, SVal, Store, StoreAccess, StoreError};
 
 /// A small deterministic relation with schema `id, value, flag`:
 /// `id = i`, `value = i*10 mod (10*modulus)`, `flag = i mod 2 == 0`.
@@ -35,9 +35,11 @@ pub fn random_relation(store: &mut Store, rows: usize, a_card: i64, b_card: i64,
     store.alloc(Object::Relation(rel))
 }
 
-/// Build a secondary index over `col` of the relation at `rel`.
-pub fn build_index(store: &mut Store, rel: Oid, col: usize) -> Result<Oid, StoreError> {
-    let relation = store.expect(rel, "relation", |o| match o {
+/// Build a secondary index over `col` of the relation at `rel`. Takes the
+/// store through the access seam so index construction is logged on
+/// durable backends.
+pub fn build_index(store: &mut dyn StoreAccess, rel: Oid, col: usize) -> Result<Oid, StoreError> {
+    let relation = store.base().expect(rel, "relation", |o| match o {
         Object::Relation(r) => Some(r.clone()),
         _ => None,
     })?;
@@ -51,7 +53,7 @@ pub fn build_index(store: &mut Store, rel: Oid, col: usize) -> Result<Oid, Store
             ix.entries.entry(key).or_default().push(i);
         }
     }
-    Ok(store.alloc(Object::Index(ix)))
+    store.alloc(Object::Index(ix))
 }
 
 /// Find an existing index over `(rel, col)`, if any — the runtime binding

@@ -16,6 +16,12 @@ fn type_err() -> RVal {
     RVal::Str(ERR_TYPE.into())
 }
 
+/// Store failures (e.g. an IO error from a durable backend) surface as TML
+/// exception values carrying the error text.
+fn store_exc(e: tml_store::StoreError) -> RVal {
+    RVal::Str(format!("store: {e}").into())
+}
+
 fn rel_of(ctx: &mut dyn HostCtx, v: &RVal) -> Result<Relation, RVal> {
     let RVal::Ref(oid) = v else {
         return Err(type_err());
@@ -26,9 +32,12 @@ fn rel_of(ctx: &mut dyn HostCtx, v: &RVal) -> Result<Relation, RVal> {
     }
 }
 
-fn row_tuple(ctx: &mut dyn HostCtx, row: &[SVal]) -> RVal {
-    let oid = ctx.store().alloc(Object::Tuple(row.to_vec()));
-    RVal::Ref(oid)
+fn row_tuple(ctx: &mut dyn HostCtx, row: &[SVal]) -> Result<RVal, RVal> {
+    let oid = ctx
+        .store()
+        .alloc(Object::Tuple(row.to_vec()))
+        .map_err(store_exc)?;
+    Ok(RVal::Ref(oid))
 }
 
 fn as_bool(v: RVal) -> Result<bool, RVal> {
@@ -38,8 +47,12 @@ fn as_bool(v: RVal) -> Result<bool, RVal> {
     }
 }
 
-fn alloc_rel(ctx: &mut dyn HostCtx, rel: Relation) -> RVal {
-    RVal::Ref(ctx.store().alloc(Object::Relation(rel)))
+fn alloc_rel(ctx: &mut dyn HostCtx, rel: Relation) -> Result<RVal, RVal> {
+    let oid = ctx
+        .store()
+        .alloc(Object::Relation(rel))
+        .map_err(store_exc)?;
+    Ok(RVal::Ref(oid))
 }
 
 /// Record the access path an executing query actually took: one
@@ -64,12 +77,12 @@ pub fn install_externs(t: &mut ExternTable) {
         }
         let mut out = Relation::new(src.schema.clone());
         for row in &src.rows {
-            let tup = row_tuple(ctx, row);
+            let tup = row_tuple(ctx, row)?;
             if as_bool(ctx.call(pred.clone(), vec![tup])?)? {
                 out.insert(row.clone());
             }
         }
-        Ok(alloc_rel(ctx, out))
+        alloc_rel(ctx, out)
     });
 
     t.register("project", |ctx, args| {
@@ -77,12 +90,12 @@ pub fn install_externs(t: &mut ExternTable) {
         let src = rel_of(ctx, &args[1])?;
         let mut out = Relation::new(vec!["value".to_string()]);
         for row in &src.rows {
-            let tup = row_tuple(ctx, row);
+            let tup = row_tuple(ctx, row)?;
             let v = ctx.call(target.clone(), vec![tup])?;
             let sval = v.persist(ctx.store()).map_err(|_| type_err())?;
             out.insert(vec![sval]);
         }
-        Ok(alloc_rel(ctx, out))
+        alloc_rel(ctx, out)
     });
 
     t.register("join", |ctx, args| {
@@ -94,8 +107,8 @@ pub fn install_externs(t: &mut ExternTable) {
         let mut out = Relation::new(schema);
         for lrow in &left.rows {
             for rrow in &right.rows {
-                let lt = row_tuple(ctx, lrow);
-                let rt = row_tuple(ctx, rrow);
+                let lt = row_tuple(ctx, lrow)?;
+                let rt = row_tuple(ctx, rrow)?;
                 if as_bool(ctx.call(pred.clone(), vec![lt, rt])?)? {
                     let mut row = lrow.clone();
                     row.extend(rrow.iter().cloned());
@@ -103,14 +116,14 @@ pub fn install_externs(t: &mut ExternTable) {
                 }
             }
         }
-        Ok(alloc_rel(ctx, out))
+        alloc_rel(ctx, out)
     });
 
     t.register("exists", |ctx, args| {
         let pred = args[0].clone();
         let src = rel_of(ctx, &args[1])?;
         for row in &src.rows {
-            let tup = row_tuple(ctx, row);
+            let tup = row_tuple(ctx, row)?;
             if as_bool(ctx.call(pred.clone(), vec![tup])?)? {
                 return Ok(RVal::Bool(true));
             }
@@ -155,16 +168,19 @@ pub fn install_externs(t: &mut ExternTable) {
             }
             _ => return Err(type_err()),
         };
-        match ctx.store().get_mut(rel_oid) {
-            Ok(Object::Relation(r)) => {
-                if row.len() != r.schema.len() {
-                    return Err(type_err());
-                }
-                r.insert(row);
-                Ok(RVal::Unit)
-            }
-            _ => Err(type_err()),
+        match ctx.store().get(rel_oid) {
+            Ok(Object::Relation(r)) if row.len() == r.schema.len() => {}
+            _ => return Err(type_err()),
         }
+        ctx.store()
+            .mutate(rel_oid, &mut |obj| {
+                if let Object::Relation(r) = obj {
+                    r.insert(row.clone());
+                }
+                Ok(())
+            })
+            .map_err(store_exc)?;
+        Ok(RVal::Unit)
     });
 
     t.register("mkrel", |ctx, args| {
@@ -173,7 +189,7 @@ pub fn install_externs(t: &mut ExternTable) {
         };
         let n = usize::try_from(n).map_err(|_| type_err())?;
         let schema = (0..n).map(|i| format!("c{i}")).collect();
-        Ok(alloc_rel(ctx, Relation::new(schema)))
+        alloc_rel(ctx, Relation::new(schema))
     });
 
     t.register("mkindex", |ctx, args| {
@@ -216,7 +232,7 @@ pub fn install_externs(t: &mut ExternTable) {
                 out.insert(row.clone());
             }
         }
-        Ok(alloc_rel(ctx, out))
+        alloc_rel(ctx, out)
     });
 }
 

@@ -39,7 +39,7 @@ use tml_lang::{Session, SessionConfig};
 use tml_opt::{optimize_abs_traced, OptOptions, OptStats};
 use tml_store::cache::{binding_signature, hash_bytes, SigHasher};
 use tml_store::ptml::{decode_abs, encode_abs};
-use tml_store::{CacheEntry, CacheKey, ClosureObj, Object, SVal, Store};
+use tml_store::{CacheEntry, CacheKey, ClosureObj, Object, SVal, Store, StoreAccess};
 use tml_trace::{Event, Sink};
 use tml_vm::{codec, Vm};
 
@@ -528,8 +528,8 @@ fn derive_key(
 /// code generation. An undecodable cached segment (corrupt image) returns
 /// `None` so the caller recomputes; the subsequent insert overwrites the
 /// entry.
-fn try_cached(
-    session: &mut Session,
+fn try_cached<S: StoreAccess>(
+    session: &mut Session<S>,
     oid: Oid,
     name: &Option<String>,
     key: CacheKey,
@@ -537,7 +537,7 @@ fn try_cached(
     let entry = session.store.cache_lookup(key)?;
     let block = codec::decode_segment(&mut session.vm.code, &entry.code).ok()?;
     trace_consult(name.as_deref(), oid, "hit");
-    let ptml = session.store.alloc(Object::Ptml(entry.ptml));
+    let ptml = session.store.alloc(Object::Ptml(entry.ptml)).ok()?;
     let stats = OptStats {
         size_before: entry.size_before as usize,
         size_after: entry.size_after as usize,
@@ -682,8 +682,8 @@ struct Target {
 /// The final phase: replay buffered provenance, generate code, and
 /// memoize the product. Sequential — it owns the VM code area and the
 /// store.
-fn finish(
-    store: &mut Store,
+fn finish<S: StoreAccess>(
+    store: &mut S,
     vm: &mut Vm,
     session_ctx: &Ctx,
     target: Target,
@@ -713,7 +713,9 @@ fn finish(
         }
     }
     deps.extend(key_deps);
-    let ptml = store.alloc(Object::Ptml(bytes.clone()));
+    let ptml = store
+        .alloc(Object::Ptml(bytes.clone()))
+        .map_err(|e| ReflectError::Store(e.to_string()))?;
     let compiled = vm
         .compile_proc(ctx, &optimized)
         .map_err(|e| ReflectError::Compile(e.to_string()))?;
@@ -760,13 +762,13 @@ fn finish(
     })
 }
 
-fn rebuild(
-    session: &mut Session,
+fn rebuild<S: StoreAccess>(
+    session: &mut Session<S>,
     oid: Oid,
     name: Option<String>,
     options: &ReflectOptions,
 ) -> Result<Rebuilt, ReflectError> {
-    let (key, key_deps) = derive_key(&session.store, oid, options)?;
+    let (key, key_deps) = derive_key(session.store.base(), oid, options)?;
     if options.use_cache {
         if let Some(hit) = try_cached(session, oid, &name, key) {
             return Ok(hit);
@@ -780,7 +782,7 @@ fn rebuild(
     // Everything below is the cache-miss cost: re-derive, re-optimize and
     // re-link the procedure. Its histogram is the price of invalidation.
     let _s = tml_trace::span!("reflect.cache.miss_fill");
-    let prepared = prepare(&mut session.ctx, &session.store, oid, options, false)?;
+    let prepared = prepare(&mut session.ctx, session.store.base(), oid, options, false)?;
     finish(
         &mut session.store,
         &mut session.vm,
@@ -801,8 +803,8 @@ fn rebuild(
 /// skip has been recorded), `Err` only under [`OnError::Abort`]. Panics
 /// during the rebuild are caught and classified in degraded mode; with
 /// `Abort` they unwind as before.
-fn rebuild_or_skip(
-    session: &mut Session,
+fn rebuild_or_skip<S: StoreAccess>(
+    session: &mut Session<S>,
     oid: Oid,
     name: Option<String>,
     options: &ReflectOptions,
@@ -839,8 +841,8 @@ fn rebuild_or_skip(
 /// 3. *sequential* — results are merged back in target (OID) order: code
 ///    generation, cache population and buffered provenance replay happen
 ///    exactly where a sequential run would have done them.
-fn rebuild_parallel(
-    session: &mut Session,
+fn rebuild_parallel<S: StoreAccess>(
+    session: &mut Session<S>,
     targets: &[Oid],
     global_names: &HashMap<Oid, String>,
     options: &ReflectOptions,
@@ -864,7 +866,7 @@ fn rebuild_parallel(
     let mut units: Vec<Unit> = Vec::with_capacity(targets.len());
     for &oid in targets {
         let name = global_names.get(&oid).cloned();
-        let (key, key_deps) = derive_key(&session.store, oid, options)?;
+        let (key, key_deps) = derive_key(session.store.base(), oid, options)?;
         let expect_hit = options.use_cache && (session.store.cache_peek(key) || !seen.insert(key));
         units.push(Unit {
             oid,
@@ -886,7 +888,9 @@ fn rebuild_parallel(
     if !todo.is_empty() {
         let jobs = (options.jobs as usize).min(todo.len());
         let base_ctx = &session.ctx;
-        let store = &session.store;
+        // Workers only read: share the underlying `&Store` across threads
+        // regardless of the session's backend.
+        let store = session.store.base();
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<Prepared, ReflectError>>>> =
             (0..units.len()).map(|_| Mutex::new(None)).collect();
@@ -958,12 +962,13 @@ fn rebuild_parallel(
             if options.use_cache { "miss" } else { "bypass" },
         );
         let slot = prepared[i].take();
-        let merge = |session: &mut Session| -> Result<Rebuilt, ReflectError> {
+        let merge = |session: &mut Session<S>| -> Result<Rebuilt, ReflectError> {
             let p = match slot {
                 Some(r) => r?,
                 None => {
                     debug_assert!(expect_hit, "only predicted hits lack a prepared result");
-                    prepare(&mut session.ctx, &session.store, oid, options, false)?
+                    let (ctx, store) = (&mut session.ctx, session.store.base());
+                    prepare(ctx, store, oid, options, false)?
                 }
             };
             finish(
@@ -998,11 +1003,12 @@ fn rebuild_parallel(
     Ok((out, skipped))
 }
 
-fn finish_closure(
-    store: &mut Store,
+fn finish_closure<S: StoreAccess>(
+    store: &mut S,
     rebuilt: &Rebuilt,
     resolve: impl Fn(&str, Option<&SVal>) -> Option<SVal>,
 ) -> Result<Oid, ReflectError> {
+    let store_err = |e: tml_store::StoreError| ReflectError::Store(e.to_string());
     let mut env = Vec::with_capacity(rebuilt.captures.len());
     let mut bindings = Vec::with_capacity(rebuilt.captures.len());
     for (name, fallback) in &rebuilt.captures {
@@ -1011,26 +1017,34 @@ fn finish_closure(
         env.push(val.clone());
         bindings.push((name.clone(), val));
     }
-    let oid = store.alloc(Object::Closure(ClosureObj {
-        code: rebuilt.block,
-        env,
-        bindings,
-        ptml: Some(rebuilt.ptml),
-    }));
+    let oid = store
+        .alloc(Object::Closure(ClosureObj {
+            code: rebuilt.block,
+            env,
+            bindings,
+            ptml: Some(rebuilt.ptml),
+        }))
+        .map_err(store_err)?;
     // Derived attributes become part of the persistent system state
     // ("costs, savings, ..." — paper §4.1).
-    store.set_attr(oid, "optimized", 1);
-    store.set_attr(oid, "size_before", rebuilt.stats.size_before as i64);
-    store.set_attr(oid, "size_after", rebuilt.stats.size_after as i64);
-    store.set_attr(oid, "inlined", rebuilt.stats.inlined as i64);
+    store.set_attr(oid, "optimized", 1).map_err(store_err)?;
+    store
+        .set_attr(oid, "size_before", rebuilt.stats.size_before as i64)
+        .map_err(store_err)?;
+    store
+        .set_attr(oid, "size_after", rebuilt.stats.size_after as i64)
+        .map_err(store_err)?;
+    store
+        .set_attr(oid, "inlined", rebuilt.stats.inlined as i64)
+        .map_err(store_err)?;
     Ok(oid)
 }
 
 /// The paper's `reflect.optimize`: produce a new procedure value
 /// equivalent to `value` but optimized against the current runtime
 /// bindings. The original is left untouched.
-pub fn optimize_value(
-    session: &mut Session,
+pub fn optimize_value<S: StoreAccess>(
+    session: &mut Session<S>,
     value: &SVal,
     options: &ReflectOptions,
 ) -> Result<SVal, ReflectError> {
@@ -1048,8 +1062,8 @@ pub fn optimize_value(
 
 /// Optimize a function known under a qualified global name; returns the
 /// new value without replacing the global binding.
-pub fn optimize_named(
-    session: &mut Session,
+pub fn optimize_named<S: StoreAccess>(
+    session: &mut Session<S>,
     name: &str,
     options: &ReflectOptions,
 ) -> Result<SVal, ReflectError> {
@@ -1065,8 +1079,8 @@ pub fn optimize_named(
 /// against the current bindings and relink the global environment, module
 /// records and the optimized functions' mutual references to the new
 /// closures.
-pub fn optimize_all(
-    session: &mut Session,
+pub fn optimize_all<S: StoreAccess>(
+    session: &mut Session<S>,
     options: &ReflectOptions,
 ) -> Result<OptimizeAllReport, ReflectError> {
     let _s = tml_trace::span!("opt.optimize_all");
@@ -1081,6 +1095,7 @@ pub fn optimize_all(
     }
     let mut targets: Vec<Oid> = session
         .store
+        .base()
         .iter()
         .filter_map(|(oid, obj)| match obj {
             Object::Closure(c)
@@ -1122,15 +1137,19 @@ pub fn optimize_all(
 
     // Phase 1: allocate the optimized closures with empty environments so
     // mutual references can point at the *optimized* versions.
+    let store_err = |e: tml_store::StoreError| ReflectError::Store(e.to_string());
     let mut optimized_by_oid: HashMap<Oid, Oid> = HashMap::new();
     let mut oids = Vec::with_capacity(rebuilt.len());
     for r in &rebuilt {
-        let oid = session.store.alloc(Object::Closure(ClosureObj {
-            code: r.block,
-            env: Vec::new(),
-            bindings: Vec::new(),
-            ptml: Some(r.ptml),
-        }));
+        let oid = session
+            .store
+            .alloc(Object::Closure(ClosureObj {
+                code: r.block,
+                env: Vec::new(),
+                bindings: Vec::new(),
+                ptml: Some(r.ptml),
+            }))
+            .map_err(store_err)?;
         optimized_by_oid.insert(r.old_oid, oid);
         oids.push(oid);
     }
@@ -1161,20 +1180,31 @@ pub fn optimize_all(
             env.push(val.clone());
             bindings.push((name.clone(), val));
         }
-        match session.store.get_mut(oid) {
-            Ok(Object::Closure(c)) => {
-                c.env = env;
-                c.bindings = bindings;
-            }
-            _ => unreachable!("just allocated"),
-        }
-        session.store.set_attr(oid, "optimized", 1);
         session
             .store
-            .set_attr(oid, "size_before", r.stats.size_before as i64);
+            .mutate(oid, &mut |obj| {
+                match obj {
+                    Object::Closure(c) => {
+                        c.env = env.clone();
+                        c.bindings = bindings.clone();
+                    }
+                    _ => unreachable!("just allocated"),
+                }
+                Ok(())
+            })
+            .map_err(store_err)?;
         session
             .store
-            .set_attr(oid, "size_after", r.stats.size_after as i64);
+            .set_attr(oid, "optimized", 1)
+            .map_err(store_err)?;
+        session
+            .store
+            .set_attr(oid, "size_before", r.stats.size_before as i64)
+            .map_err(store_err)?;
+        session
+            .store
+            .set_attr(oid, "size_after", r.stats.size_after as i64)
+            .map_err(store_err)?;
     }
 
     // Relink the global environment and module export records.
@@ -1187,11 +1217,21 @@ pub fn optimize_all(
         relinked += 1;
         if let Some((module, export)) = name.split_once('.') {
             if let Some(mod_oid) = session.store.root(module) {
-                if let Ok(Object::Module(m)) = session.store.get_mut(mod_oid) {
-                    if let Some(slot) = m.exports.get_mut(export) {
-                        *slot = SVal::Ref(oid);
-                        relinked += 1;
-                    }
+                let mut patched = false;
+                session
+                    .store
+                    .mutate(mod_oid, &mut |obj| {
+                        if let Object::Module(m) = obj {
+                            if let Some(slot) = m.exports.get_mut(export) {
+                                *slot = SVal::Ref(oid);
+                                patched = true;
+                            }
+                        }
+                        Ok(())
+                    })
+                    .map_err(store_err)?;
+                if patched {
+                    relinked += 1;
                 }
             }
         }
@@ -1227,10 +1267,23 @@ pub fn session_from_store_with(
     config: SessionConfig,
     registry: tml_core::Registry,
 ) -> Session {
+    session_from_access_with(store, config, registry)
+}
+
+/// [`session_from_store_with`] over any store backend behind the access
+/// seam — pass a [`tml_store::DurableStore`] to reconstruct a durable
+/// session from an opened (and possibly crash-recovered) image. Only the
+/// read surface is touched here; the follow-up [`relink_image_code`]
+/// regenerates transient code indices through the raw escape hatch.
+pub fn session_from_access_with<S: StoreAccess>(
+    store: S,
+    config: SessionConfig,
+    registry: tml_core::Registry,
+) -> Session<S> {
     let mut globals: HashMap<String, SVal> = HashMap::new();
     let mut modules: Vec<String> = Vec::new();
-    for (name, oid) in store.roots() {
-        if let Ok(Object::Module(m)) = store.get(oid) {
+    for (name, oid) in store.base().roots() {
+        if let Ok(Object::Module(m)) = store.base().get(oid) {
             globals.insert(name.to_string(), SVal::Ref(oid));
             for (export, val) in &m.exports {
                 globals.insert(format!("{name}.{export}"), val.clone());
@@ -1275,7 +1328,9 @@ pub struct RelinkReport {
 /// the `degraded = 1` attribute, and is counted in
 /// [`RelinkReport::skipped`]. Image boot is thereby total on any store
 /// that [`tml_store::snapshot::load_with_recovery`] can produce.
-pub fn relink_image_code(session: &mut Session) -> Result<RelinkReport, ReflectError> {
+pub fn relink_image_code<S: StoreAccess>(
+    session: &mut Session<S>,
+) -> Result<RelinkReport, ReflectError> {
     let _s = tml_trace::span!("reflect.relink");
     struct Target {
         oid: Oid,
@@ -1284,6 +1339,7 @@ pub fn relink_image_code(session: &mut Session) -> Result<RelinkReport, ReflectE
     }
     let targets: Vec<Target> = session
         .store
+        .base()
         .iter()
         .filter_map(|(oid, obj)| match obj {
             Object::Closure(c) => c.ptml.map(|p| (oid, p, c.bindings.clone())),
@@ -1313,12 +1369,12 @@ pub fn relink_image_code(session: &mut Session) -> Result<RelinkReport, ReflectE
     }
     let mut report = RelinkReport::default();
     'targets: for t in &targets {
-        let skip = |session: &mut Session, err: ReflectError| {
+        let skip = |session: &mut Session<S>, err: ReflectError| {
             if matches!(err, ReflectError::UnknownPrim(_)) {
                 tml_trace::count("reflect.relink.unknown_prim", 1);
             }
             record_skip(names.get(&t.oid).map(String::as_str), t.oid, &err);
-            session.store.set_attr(t.oid, "degraded", 1);
+            let _ = session.store.set_attr(t.oid, "degraded", 1);
         };
         let bytes = match &t.bytes {
             Ok(b) => b,
@@ -1372,10 +1428,13 @@ pub fn relink_image_code(session: &mut Session) -> Result<RelinkReport, ReflectE
             env.push(val.clone());
             bindings.push((name.to_string(), val));
         }
-        // Untracked: relinking restores transient code indices — the
-        // persistent content (PTML, binding values) is unchanged, so
-        // cached optimization products observing this closure stay valid.
-        match session.store.get_mut_untracked(t.oid) {
+        // Untracked, through the raw escape hatch: relinking restores
+        // transient code indices — the persistent content (PTML, binding
+        // values) is unchanged, so cached optimization products observing
+        // this closure stay valid. On a durable backend the exposure is
+        // recorded and the next checkpoint degrades to a full flush, so
+        // even these unlogged writes reach disk.
+        match session.store.base_mut_unlogged().get_mut_untracked(t.oid) {
             Ok(Object::Closure(c)) => {
                 c.code = compiled.block;
                 c.env = env;

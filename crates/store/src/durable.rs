@@ -1,50 +1,76 @@
 //! The durable store: a [`Store`] whose mutations are write-ahead logged,
-//! with periodic checkpoints that truncate the log.
+//! with periodic checkpoints onto paged object storage.
 //!
-//! This is the persistence architecture ROADMAP item 1 called for: the
-//! TYSTO3 whole-image snapshot is no longer the unit of durability — it
-//! is the *checkpoint*, taken every `checkpoint_every` commits (or on
-//! demand), while individual mutations cost only an appended redo record
-//! plus a (group-committed) fsync.
+//! This is the persistence architecture ROADMAP item 1 called for, now in
+//! its paged form: the on-disk image is a small **TYCAT1 catalog**
+//! ([`crate::paged`]) addressing object records on slotted pages, so a
+//! checkpoint flushes only the records dirtied since the previous one
+//! plus one atomic catalog write — not the whole image. Individual
+//! mutations still cost only an appended redo record plus a
+//! (group-committed) fsync.
 //!
 //! ## Commit protocol
 //!
-//! Every mutating method applies the change to the in-memory [`Store`]
-//! and appends a redo record carrying the full post-image. [`commit`]
-//! appends a `Commit` marker and syncs per the [`SyncPolicy`]. Redo
-//! records replay through the *same* store entry points the original
-//! mutations used, so version counters advance identically — which is
-//! what makes recovery byte-identical (`snapshot::to_bytes` re-serializes
-//! the recovered store to exactly the bytes of the lost one).
+//! Every mutating method applies the change to the in-memory [`Store`],
+//! marks the touched object dirty, and appends a redo record carrying the
+//! full post-image. [`commit`] appends a `Commit` marker and syncs per
+//! the [`SyncPolicy`]. Redo records replay through the *same* store entry
+//! points the original mutations used, so version counters advance
+//! identically — which is what makes recovery byte-identical
+//! (`snapshot::to_bytes` re-serializes the recovered store to exactly the
+//! bytes of the lost one).
+//!
+//! ## The store-access seam
+//!
+//! [`DurableStore`] implements [`StoreAccess`], the narrow trait the
+//! session, VM host hooks, optimizer and query externs mutate through.
+//! The inherent methods keep their `std::io::Result` shape for direct
+//! callers; the trait impl carries the same logic with typed
+//! [`StoreError`]s, so VM semantics (bounds → TML exception, …) are
+//! identical on both backends. The [`StoreAccess::base_mut_unlogged`]
+//! escape hatch flags the image as *raw-exposed*: the next checkpoint
+//! degrades from a dirty-record flush to a full flush so unlogged
+//! mutations (code-table relinking, cache warm-up) still land on disk.
 //!
 //! ## Recovery
 //!
-//! [`DurableStore::open`]: load the checkpoint image through the existing
-//! cascade ([`snapshot::load_with_recovery`]), scan the log, and decide:
+//! [`DurableStore::open`]: reconstruct the store — from the TYCAT1
+//! catalog + page file when present ([`paged::open_catalog`]'s
+//! primary → backup → tmp cascade), or from a legacy TYSTO whole-image
+//! snapshot ([`snapshot::load_with_recovery`]), which is migrated to the
+//! paged layout on the spot — then scan the log and decide:
 //!
 //! * the loaded image's file identity matches the log header → replay the
-//!   committed prefix, resume appending after it;
+//!   committed prefix (marking replayed objects dirty so the next
+//!   checkpoint persists them), resume appending after it;
 //! * mismatch, unreadable header, damaged (salvaged) image → the log
 //!   cannot be trusted on this base: discard it and take an immediate
 //!   checkpoint to heal the on-disk state.
 //!
 //! The identity check is what makes the checkpoint crash windows safe: a
-//! crash *before* the image rename leaves the old image (matching log →
-//! replay), a crash *after* the rename but before the log reset leaves
-//! the new image (stale log → discard, and every logged mutation is
-//! already inside the new image). Either way no committed mutation is
-//! lost — the seeded failpoint matrix in `tests/wal_recovery.rs` drives a
-//! crash into every site and asserts exactly that.
+//! crash *before* the catalog rename leaves the old catalog (matching log
+//! → replay) whose pages are untouched — checkpoints write records into
+//! fresh pages only — while a crash *after* the rename but before the log
+//! reset leaves the new catalog (stale log → discard, and every logged
+//! mutation is already inside it). Either way no committed mutation is
+//! lost — the seeded failpoint matrices in `tests/wal_recovery.rs` and
+//! `tests/paged_recovery.rs` drive a crash into every site and assert
+//! exactly that.
 //!
 //! [`commit`]: DurableStore::commit
 
+use crate::access::StoreAccess;
+use crate::buffer::BufferStats;
+use crate::cache::{CacheEntry, CacheKey};
 use crate::gc::{self, GcStats};
 use crate::object::Object;
-use crate::snapshot::{self, RecoveryReport};
+use crate::paged::{self, PageStats, PagedHeap};
+use crate::snapshot::{self, ImageIdentity, RecoveryReport};
 use crate::store::{Store, StoreError};
 use crate::sval::SVal;
 use crate::wal::{wal_path, SyncPolicy, Wal, WalRecord};
 use crate::{failpoint, StoreStats};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use tml_core::Oid;
 
@@ -84,21 +110,47 @@ pub struct OpenReport {
     /// The whole log was discarded as stale (its header named a different
     /// checkpoint image than the one recovery loaded).
     pub stale_log: bool,
+    /// The image was a legacy whole-image snapshot, converted to the
+    /// paged TYCAT1 layout during this open.
+    pub migrated_legacy: bool,
 }
 
-/// A write-ahead-logged [`Store`] bound to an image path.
+/// A write-ahead-logged [`Store`] bound to an image path, checkpointing
+/// onto paged object storage.
 #[derive(Debug)]
 pub struct DurableStore {
     store: Store,
     wal: Wal,
+    heap: PagedHeap,
     path: PathBuf,
     opts: DurableOptions,
     commits_since_checkpoint: u64,
     wedged: bool,
+    /// Objects mutated (or replayed) since the last successful
+    /// checkpoint; exactly these records are flushed by the next one.
+    dirty: BTreeSet<Oid>,
+    /// The raw store was exposed via [`StoreAccess::base_mut_unlogged`]
+    /// (or [`DurableStore::store_mut_unlogged`]): the next checkpoint must
+    /// flush every record, not just the dirty set.
+    raw_exposed: bool,
+    /// A generation rewrite (compaction) began but its catalog never
+    /// landed: the next checkpoint must rewrite everything.
+    force_full: bool,
 }
 
 fn path_key(path: &Path) -> u64 {
     crate::cache::hash_bytes(path.as_os_str().as_encoded_bytes())
+}
+
+fn io_to_store(e: std::io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+fn store_to_io(e: StoreError) -> std::io::Error {
+    match e {
+        StoreError::Io(msg) => std::io::Error::other(msg),
+        e => std::io::Error::new(std::io::ErrorKind::InvalidInput, e),
+    }
 }
 
 /// Replay one redo record against a store, through the same entry points
@@ -131,9 +183,30 @@ fn apply(store: &mut Store, rec: &WalRecord) -> Result<(), StoreError> {
     }
 }
 
+/// The object a redo record touches (for dirty tracking on replay).
+fn touched_oid(rec: &WalRecord) -> Option<Oid> {
+    match rec {
+        WalRecord::Alloc { oid, .. } | WalRecord::Set { oid, .. } | WalRecord::Free { oid } => {
+            Some(*oid)
+        }
+        _ => None,
+    }
+}
+
+/// `true` when the file at `path` starts with a legacy whole-image magic
+/// (TYSTO2/TYSTO3).
+fn sniff_legacy(path: &Path) -> bool {
+    use std::io::Read;
+    let mut magic = [0u8; 5];
+    match std::fs::File::open(path) {
+        Ok(mut f) => f.read_exact(&mut magic).is_ok() && &magic == b"TYSTO",
+        Err(_) => false,
+    }
+}
+
 impl DurableStore {
-    /// Create a fresh durable store at `path`: writes an empty checkpoint
-    /// image and an empty log.
+    /// Create a fresh durable store at `path`: writes an empty catalog,
+    /// an empty page file and an empty log.
     pub fn create(path: impl AsRef<Path>, opts: DurableOptions) -> std::io::Result<DurableStore> {
         DurableStore::from_store(Store::new(), path, opts)
     }
@@ -146,20 +219,28 @@ impl DurableStore {
         opts: DurableOptions,
     ) -> std::io::Result<DurableStore> {
         let path = path.as_ref().to_path_buf();
-        let identity = snapshot::save_with_identity(&store, &path)?;
+        let mut heap = PagedHeap::create(&path)?;
+        write_all_records(&mut heap, &store)?;
+        heap.flush()?;
+        let identity = heap.save_catalog(&store)?;
         let wal = Wal::create(wal_path(&path), identity)?.with_policy(opts.sync);
         Ok(DurableStore {
             store,
             wal,
+            heap,
             path,
             opts,
             commits_since_checkpoint: 0,
             wedged: false,
+            dirty: BTreeSet::new(),
+            raw_exposed: false,
+            force_full: false,
         })
     }
 
-    /// Open the durable store at `path`: recover the checkpoint image,
-    /// replay the log's committed prefix, and resume.
+    /// Open the durable store at `path`: recover the checkpoint image
+    /// (paged catalog, or legacy snapshot — migrated), replay the log's
+    /// committed prefix, and resume.
     pub fn open(
         path: impl AsRef<Path>,
         opts: DurableOptions,
@@ -170,6 +251,132 @@ impl DurableStore {
         } else {
             0
         };
+        // A readable legacy image at the primary path wins over any paged
+        // state its siblings may hold: an out-of-band `snapshot::save`
+        // rotated the live catalog to `.bak`, and the writer's intent was
+        // to replace the image.
+        if !sniff_legacy(&path) {
+            if let Some(opened) = paged::open_catalog(&path)? {
+                return DurableStore::open_paged(opened, path, opts, t0);
+            }
+        }
+        DurableStore::open_legacy(path, opts, t0)
+    }
+
+    /// Open from a decoded TYCAT1 catalog + page file.
+    fn open_paged(
+        opened: paged::OpenedCatalog,
+        path: PathBuf,
+        opts: DurableOptions,
+        t0: u64,
+    ) -> std::io::Result<(DurableStore, OpenReport)> {
+        let paged::OpenedCatalog {
+            heap,
+            mut store,
+            identity,
+            source,
+        } = opened;
+        let wpath = wal_path(&path);
+        let scan = Wal::scan(&wpath)?;
+        let log_usable = scan.exists && scan.base == Some(identity);
+        let mut report = OpenReport {
+            snapshot: RecoveryReport {
+                source,
+                primary_error: None,
+                dropped_objects: 0,
+                dropped_roots: 0,
+                dropped_sections: false,
+            },
+            redo_records: 0,
+            redo_commits: 0,
+            discarded_records: 0,
+            torn_tail: scan.torn_tail,
+            stale_log: false,
+            migrated_legacy: false,
+        };
+        if log_usable {
+            let mut dirty = BTreeSet::new();
+            let mut last_lsn = 0;
+            for (lsn, rec) in &scan.records[..scan.committed] {
+                apply(&mut store, rec).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("wal redo failed at lsn {lsn}: {e}"),
+                    )
+                })?;
+                if let Some(oid) = touched_oid(rec) {
+                    dirty.insert(oid);
+                }
+                report.redo_records += 1;
+                if *rec == WalRecord::Commit {
+                    report.redo_commits += 1;
+                }
+                last_lsn = *lsn;
+            }
+            report.discarded_records = (scan.records.len() - scan.committed) as u64;
+            if tml_trace::enabled() {
+                tml_trace::count("store.wal.redo_records", report.redo_records);
+                tml_trace::count("store.wal.redo_discarded", report.discarded_records);
+                let rec = tml_trace::global();
+                tml_trace::record(tml_trace::Event::Wal {
+                    op: "redo",
+                    lsn: last_lsn,
+                    bytes: scan.committed_end,
+                    records: report.redo_records,
+                    micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
+                });
+            }
+            let wal = Wal::resume(&wpath, &scan)?.with_policy(opts.sync);
+            let mut ds = DurableStore {
+                store,
+                wal,
+                heap,
+                path,
+                opts,
+                commits_since_checkpoint: report.redo_commits,
+                wedged: false,
+                dirty,
+                raw_exposed: false,
+                force_full: false,
+            };
+            ds.maybe_auto_checkpoint()?;
+            return Ok((ds, report));
+        }
+        // No usable log: stale for this catalog, headerless, or absent.
+        // The pages already hold every record the catalog references, so
+        // healing is just a fresh catalog at the primary path (normalizing
+        // a backup/tmp source) plus an empty log bound to it.
+        report.stale_log = scan.exists && scan.base != Some(identity);
+        report.discarded_records = scan.records.len() as u64;
+        trace_discard(&scan, report.discarded_records, t0);
+        let mut heap = heap;
+        let identity = heap.save_catalog(&store)?;
+        let wal = Wal::create(&wpath, identity)?.with_policy(opts.sync);
+        Ok((
+            DurableStore {
+                store,
+                wal,
+                heap,
+                path,
+                opts,
+                commits_since_checkpoint: 0,
+                wedged: false,
+                dirty: BTreeSet::new(),
+                raw_exposed: false,
+                force_full: false,
+            },
+            report,
+        ))
+    }
+
+    /// Open from a legacy whole-image snapshot, replay the log against
+    /// it, and migrate the result to the paged layout (a full paged
+    /// checkpoint with a fresh log).
+    fn open_legacy(
+        path: PathBuf,
+        opts: DurableOptions,
+        t0: u64,
+    ) -> std::io::Result<(DurableStore, OpenReport)> {
         let (mut store, snap_report) = snapshot::load_with_recovery(&path)?;
         let wpath = wal_path(&path);
         let scan = Wal::scan(&wpath)?;
@@ -182,6 +389,7 @@ impl DurableStore {
             discarded_records: 0,
             torn_tail: scan.torn_tail,
             stale_log: false,
+            migrated_legacy: true,
         };
         if log_usable {
             let mut last_lsn = 0;
@@ -214,34 +422,14 @@ impl DurableStore {
                     micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
                 });
             }
-            let wal = Wal::resume(&wpath, &scan)?.with_policy(opts.sync);
-            let mut ds = DurableStore {
-                store,
-                wal,
-                path,
-                opts,
-                commits_since_checkpoint: report.redo_commits,
-                wedged: false,
-            };
-            ds.maybe_auto_checkpoint()?;
-            return Ok((ds, report));
+        } else {
+            report.stale_log = scan.exists && scan.base != loaded_identity;
+            report.discarded_records = scan.records.len() as u64;
+            trace_discard(&scan, report.discarded_records, t0);
         }
-        // No usable log: stale for this image, headerless, or absent.
-        // Heal by checkpointing the recovered store now — that makes the
-        // on-disk state self-consistent again and empties the log.
-        report.stale_log = scan.exists && scan.base != loaded_identity;
-        report.discarded_records = scan.records.len() as u64;
-        if tml_trace::enabled() && scan.exists {
-            tml_trace::count("store.wal.redo_discarded", report.discarded_records);
-            let rec = tml_trace::global();
-            tml_trace::record(tml_trace::Event::Wal {
-                op: "discard",
-                lsn: scan.next_lsn.saturating_sub(1),
-                bytes: scan.file_bytes,
-                records: report.discarded_records,
-                micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
-            });
-        }
+        // Migration: a full paged checkpoint of the replayed store, with a
+        // fresh log bound to the new catalog (the replayed records are
+        // inside it, so nothing is lost by not resuming the old log).
         let ds = DurableStore::from_store(store, path, opts)?;
         Ok((ds, report))
     }
@@ -258,10 +446,17 @@ impl DurableStore {
 
     /// Escape hatch: mutate the underlying store *without* logging. Any
     /// change made through this view is volatile until the next
-    /// checkpoint. Used for transient state (cache warm-up, code-table
-    /// relinking) that redo can always re-derive.
+    /// checkpoint — which degrades to a full flush, because the dirty set
+    /// no longer covers what changed. Used for transient state (cache
+    /// warm-up, code-table relinking) that redo can always re-derive.
     pub fn store_mut_unlogged(&mut self) -> &mut Store {
+        self.raw_exposed = true;
         &mut self.store
+    }
+
+    /// Consume the wrapper, keeping the in-memory store (no checkpoint).
+    pub fn into_store(self) -> Store {
+        self.store
     }
 
     /// Statistics of the underlying store.
@@ -272,6 +467,44 @@ impl DurableStore {
     /// Log-side totals since open.
     pub fn wal_stats(&self) -> crate::wal::WalStats {
         self.wal.stats()
+    }
+
+    /// Page-side footprint of the paged heap.
+    pub fn page_stats(&self) -> PageStats {
+        self.heap.stats()
+    }
+
+    /// Cumulative buffer-pool counters (across compactions).
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.heap.buffer_stats()
+    }
+
+    /// Objects currently dirty (to be flushed by the next checkpoint).
+    pub fn dirty_records(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Publish `store.page.*` / `store.buffer.*` gauges to the global
+    /// trace recorder (next to [`Store::publish_counters`]).
+    pub fn publish_page_counters(&self) {
+        if !tml_trace::enabled() {
+            return;
+        }
+        let g = tml_trace::global();
+        let p = self.heap.stats();
+        g.counter("store.page.gen").set(p.gen);
+        g.counter("store.page.pages").set(p.pages);
+        g.counter("store.page.records").set(p.dir_entries);
+        g.counter("store.page.chains").set(p.chains);
+        g.counter("store.page.live_bytes").set(p.live_bytes);
+        g.counter("store.page.dead_bytes").set(p.dead_bytes);
+        g.counter("store.page.dirty").set(self.dirty.len() as u64);
+        let b = self.buffer_stats();
+        g.counter("store.buffer.resident").set(p.resident);
+        g.counter("store.buffer.hits").set(b.hits);
+        g.counter("store.buffer.misses").set(b.misses);
+        g.counter("store.buffer.evictions").set(b.evictions);
+        g.counter("store.buffer.writebacks").set(b.writebacks);
     }
 
     /// `true` once an append failed: in-memory and durable state may have
@@ -299,92 +532,159 @@ impl DurableStore {
         }
     }
 
-    /// Allocate an object (logged).
-    pub fn alloc(&mut self, obj: Object) -> std::io::Result<Oid> {
-        self.guard()?;
+    fn guard_s(&self) -> Result<(), StoreError> {
+        self.guard().map_err(io_to_store)
+    }
+
+    fn log_s(&mut self, rec: WalRecord) -> Result<(), StoreError> {
+        self.log(rec).map_err(io_to_store)
+    }
+
+    // -- Logged mutations (typed-error core; the pub inherent methods and
+    //    the StoreAccess impl both delegate here) ------------------------
+
+    fn do_alloc(&mut self, obj: Object) -> Result<Oid, StoreError> {
+        self.guard_s()?;
         let oid = self.store.alloc(obj.clone());
-        self.log(WalRecord::Alloc { oid, obj })?;
+        self.dirty.insert(oid);
+        self.log_s(WalRecord::Alloc { oid, obj })?;
         Ok(oid)
     }
 
-    /// Overwrite an object (logged).
-    pub fn set(&mut self, oid: Oid, obj: Object) -> std::io::Result<()> {
-        self.guard()?;
-        self.store
-            .set(oid, obj.clone())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        self.log(WalRecord::Set { oid, obj })
+    fn do_set(&mut self, oid: Oid, obj: Object) -> Result<(), StoreError> {
+        self.guard_s()?;
+        self.store.set(oid, obj.clone())?;
+        self.dirty.insert(oid);
+        self.log_s(WalRecord::Set { oid, obj })
     }
 
-    /// Free an object (logged).
-    pub fn free(&mut self, oid: Oid) -> std::io::Result<()> {
-        self.guard()?;
+    fn do_free(&mut self, oid: Oid) -> Result<(), StoreError> {
+        self.guard_s()?;
         self.store.free(oid);
-        self.log(WalRecord::Free { oid })
+        self.dirty.insert(oid);
+        self.log_s(WalRecord::Free { oid })
     }
 
-    /// Set a named root (logged).
-    pub fn set_root(&mut self, name: &str, oid: Oid) -> std::io::Result<()> {
-        self.guard()?;
+    fn do_set_root(&mut self, name: &str, oid: Oid) -> Result<(), StoreError> {
+        self.guard_s()?;
         self.store.set_root(name.to_string(), oid);
-        self.log(WalRecord::SetRoot {
+        self.log_s(WalRecord::SetRoot {
             name: name.to_string(),
             oid,
         })
     }
 
-    /// Remove a named root (logged).
-    pub fn remove_root(&mut self, name: &str) -> std::io::Result<()> {
-        self.guard()?;
-        self.store.remove_root(name);
-        self.log(WalRecord::RemoveRoot {
+    fn do_remove_root(&mut self, name: &str) -> Result<Option<Oid>, StoreError> {
+        self.guard_s()?;
+        let prev = self.store.remove_root(name);
+        self.log_s(WalRecord::RemoveRoot {
             name: name.to_string(),
-        })
+        })?;
+        Ok(prev)
     }
 
-    /// Set a derived attribute (logged).
-    pub fn set_attr(&mut self, oid: Oid, key: &str, value: i64) -> std::io::Result<()> {
-        self.guard()?;
+    fn do_set_attr(&mut self, oid: Oid, key: &str, value: i64) -> Result<(), StoreError> {
+        self.guard_s()?;
         self.store.set_attr(oid, key.to_string(), value);
-        self.log(WalRecord::SetAttr {
+        self.log_s(WalRecord::SetAttr {
             oid,
             key: key.to_string(),
             value,
         })
     }
 
+    /// Log the full post-image of an in-place mutation (replay's `Set`
+    /// bumps the version exactly once, matching the original `get_mut`).
+    fn log_post_image(&mut self, oid: Oid) -> Result<(), StoreError> {
+        let obj = self.store.get(oid)?.clone();
+        self.dirty.insert(oid);
+        self.log_s(WalRecord::Set { oid, obj })
+    }
+
+    fn do_array_set(&mut self, oid: Oid, index: i64, value: SVal) -> Result<(), StoreError> {
+        self.guard_s()?;
+        self.store.array_set(oid, index, value)?;
+        self.log_post_image(oid)
+    }
+
+    fn do_bytes_set(&mut self, oid: Oid, index: i64, value: u8) -> Result<(), StoreError> {
+        self.guard_s()?;
+        self.store.bytes_set(oid, index, value)?;
+        self.log_post_image(oid)
+    }
+
+    fn do_mutate(
+        &mut self,
+        oid: Oid,
+        f: &mut dyn FnMut(&mut Object) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        self.guard_s()?;
+        let result = f(self.store.get_mut(oid)?);
+        // Log the post-image even when the closure reports failure: it ran
+        // on the live object, so memory and log must not diverge.
+        self.log_post_image(oid)?;
+        result
+    }
+
+    fn do_collect(&mut self, extra_roots: &[Oid]) -> Result<GcStats, StoreError> {
+        self.guard_s()?;
+        let live_before: Vec<Oid> = self.store.iter().map(|(oid, _)| oid).collect();
+        let stats = gc::collect(&mut self.store, extra_roots);
+        for oid in live_before {
+            if self.store.get(oid).is_err() {
+                self.dirty.insert(oid);
+                self.log_s(WalRecord::Free { oid })?;
+            }
+        }
+        Ok(stats)
+    }
+
+    // -- Public io-flavored surface (pre-seam callers, CLI, tests) -------
+
+    /// Allocate an object (logged).
+    pub fn alloc(&mut self, obj: Object) -> std::io::Result<Oid> {
+        self.do_alloc(obj).map_err(store_to_io)
+    }
+
+    /// Overwrite an object (logged).
+    pub fn set(&mut self, oid: Oid, obj: Object) -> std::io::Result<()> {
+        self.do_set(oid, obj).map_err(store_to_io)
+    }
+
+    /// Free an object (logged).
+    pub fn free(&mut self, oid: Oid) -> std::io::Result<()> {
+        self.do_free(oid).map_err(store_to_io)
+    }
+
+    /// Set a named root (logged).
+    pub fn set_root(&mut self, name: &str, oid: Oid) -> std::io::Result<()> {
+        self.do_set_root(name, oid).map_err(store_to_io)
+    }
+
+    /// Remove a named root (logged).
+    pub fn remove_root(&mut self, name: &str) -> std::io::Result<()> {
+        self.do_remove_root(name).map(|_| ()).map_err(store_to_io)
+    }
+
+    /// Set a derived attribute (logged).
+    pub fn set_attr(&mut self, oid: Oid, key: &str, value: i64) -> std::io::Result<()> {
+        self.do_set_attr(oid, key, value).map_err(store_to_io)
+    }
+
     /// In-place array store (logged as a full post-image `Set`).
     pub fn array_set(&mut self, oid: Oid, index: i64, value: SVal) -> std::io::Result<()> {
-        self.guard()?;
-        self.store
-            .array_set(oid, index, value)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        let obj = self.store.get(oid).expect("array_set verified oid").clone();
-        self.log(WalRecord::Set { oid, obj })
+        self.do_array_set(oid, index, value).map_err(store_to_io)
     }
 
     /// In-place byte store (logged as a full post-image `Set`).
     pub fn bytes_set(&mut self, oid: Oid, index: i64, value: u8) -> std::io::Result<()> {
-        self.guard()?;
-        self.store
-            .bytes_set(oid, index, value)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        let obj = self.store.get(oid).expect("bytes_set verified oid").clone();
-        self.log(WalRecord::Set { oid, obj })
+        self.do_bytes_set(oid, index, value).map_err(store_to_io)
     }
 
     /// Garbage-collect through the logged interface: runs [`gc::collect`]
     /// on the in-memory store and logs one `Free` per reclaimed object.
     pub fn collect(&mut self, extra_roots: &[Oid]) -> std::io::Result<GcStats> {
-        self.guard()?;
-        let live_before: Vec<Oid> = self.store.iter().map(|(oid, _)| oid).collect();
-        let stats = gc::collect(&mut self.store, extra_roots);
-        for oid in live_before {
-            if self.store.get(oid).is_err() {
-                self.log(WalRecord::Free { oid })?;
-            }
-        }
-        Ok(stats)
+        self.do_collect(extra_roots).map_err(store_to_io)
     }
 
     /// Commit everything logged since the previous commit. Returns `true`
@@ -413,15 +713,21 @@ impl DurableStore {
         Ok(())
     }
 
-    /// Take a checkpoint: write the whole image (the crash-safe snapshot
-    /// protocol, unchanged) and truncate the log. Crash windows:
+    /// Take a checkpoint: flush the dirty object records into fresh
+    /// slotted pages, atomically replace the catalog, and truncate the
+    /// log. Crash windows:
     ///
-    /// * before/inside the image save — the old image survives (or is
-    ///   recoverable via its backup/tmp), and its identity still matches
-    ///   the untouched log, so recovery replays as if no checkpoint ran;
-    /// * after the save, before/inside the log reset — the new image is
+    /// * before/inside the page flush or catalog save — the old catalog
+    ///   survives (or is recoverable via its backup/tmp) and its pages
+    ///   were never touched (records go to fresh pages only), so its
+    ///   identity still matches the untouched log and recovery replays as
+    ///   if no checkpoint ran;
+    /// * after the save, before/inside the log reset — the new catalog is
     ///   in place and the log is stale for it, so recovery discards the
-    ///   log; every logged mutation is already inside the new image.
+    ///   log; every logged mutation is already inside the new catalog.
+    ///
+    /// A failed checkpoint keeps the dirty set, so a retry (or the next
+    /// auto-checkpoint) flushes everything still pending.
     pub fn checkpoint(&mut self) -> std::io::Result<()> {
         self.guard()?;
         failpoint::fail_io("wal.checkpoint", path_key(&self.path))?;
@@ -434,8 +740,10 @@ impl DurableStore {
         // Unsynced log tail first: the image we are about to write must
         // not be *ahead* of the log while the old image is still current.
         self.wal.flush(true)?;
-        let identity = snapshot::save_with_identity(&self.store, &self.path)?;
+        let identity = self.flush_pages()?;
         self.wal.reset(identity)?;
+        self.dirty.clear();
+        self.raw_exposed = false;
         self.commits_since_checkpoint = 0;
         if tml_trace::enabled() {
             tml_trace::count("store.wal.checkpoints", 1);
@@ -451,10 +759,137 @@ impl DurableStore {
         Ok(())
     }
 
+    /// Write the pending records to fresh pages and save the catalog.
+    /// Full flush when the raw store was exposed or a compaction is
+    /// pending/triggered; dirty-set flush otherwise.
+    fn flush_pages(&mut self) -> std::io::Result<ImageIdentity> {
+        if self.heap.should_compact() {
+            self.heap.begin_new_generation()?;
+            // From here until a catalog lands, the heap directory is
+            // incomplete: remember that a retry must also rewrite all.
+            self.force_full = true;
+        }
+        if self.force_full || self.raw_exposed {
+            write_all_records(&mut self.heap, &self.store)?;
+        } else {
+            for &oid in &self.dirty {
+                match self.store.get(oid) {
+                    Ok(obj) => self
+                        .heap
+                        .write_record(oid, &PagedHeap::encode_record(obj))?,
+                    Err(_) => self.heap.remove_record(oid),
+                }
+            }
+        }
+        self.heap.flush()?;
+        let identity = self.heap.save_catalog(&self.store)?;
+        self.force_full = false;
+        Ok(identity)
+    }
+
     /// Flush and sync the log, then checkpoint. Call before dropping when
     /// the store should land fully consolidated on disk.
     pub fn close(mut self) -> std::io::Result<()> {
         self.checkpoint()
+    }
+}
+
+/// Write every slot of `store` into the heap (live → record, tombstone
+/// or never-allocated → removal).
+fn write_all_records(heap: &mut PagedHeap, store: &Store) -> std::io::Result<()> {
+    for ix in 0..store.len() {
+        let oid = Oid(ix as u64 + 1);
+        match store.get(oid) {
+            Ok(obj) => heap.write_record(oid, &PagedHeap::encode_record(obj))?,
+            Err(_) => heap.remove_record(oid),
+        }
+    }
+    Ok(())
+}
+
+fn trace_discard(scan: &crate::wal::LogScan, discarded: u64, t0: u64) {
+    if tml_trace::enabled() && scan.exists {
+        tml_trace::count("store.wal.redo_discarded", discarded);
+        let rec = tml_trace::global();
+        tml_trace::record(tml_trace::Event::Wal {
+            op: "discard",
+            lsn: scan.next_lsn.saturating_sub(1),
+            bytes: scan.file_bytes,
+            records: discarded,
+            micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
+        });
+    }
+}
+
+impl StoreAccess for DurableStore {
+    fn base(&self) -> &Store {
+        &self.store
+    }
+
+    fn base_mut_unlogged(&mut self) -> &mut Store {
+        self.store_mut_unlogged()
+    }
+
+    fn alloc(&mut self, obj: Object) -> Result<Oid, StoreError> {
+        self.do_alloc(obj)
+    }
+
+    fn set(&mut self, oid: Oid, obj: Object) -> Result<(), StoreError> {
+        self.do_set(oid, obj)
+    }
+
+    fn free_obj(&mut self, oid: Oid) -> Result<(), StoreError> {
+        self.do_free(oid)
+    }
+
+    fn mutate(
+        &mut self,
+        oid: Oid,
+        f: &mut dyn FnMut(&mut Object) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        self.do_mutate(oid, f)
+    }
+
+    fn set_root(&mut self, name: &str, oid: Oid) -> Result<(), StoreError> {
+        self.do_set_root(name, oid)
+    }
+
+    fn remove_root(&mut self, name: &str) -> Result<Option<Oid>, StoreError> {
+        self.do_remove_root(name)
+    }
+
+    fn set_attr(&mut self, oid: Oid, key: &str, value: i64) -> Result<(), StoreError> {
+        self.do_set_attr(oid, key, value)
+    }
+
+    fn array_set(&mut self, oid: Oid, index: i64, value: SVal) -> Result<(), StoreError> {
+        self.do_array_set(oid, index, value)
+    }
+
+    fn bytes_set(&mut self, oid: Oid, index: i64, value: u8) -> Result<(), StoreError> {
+        self.do_bytes_set(oid, index, value)
+    }
+
+    fn collect(&mut self, extra_roots: &[Oid]) -> Result<GcStats, StoreError> {
+        self.do_collect(extra_roots)
+    }
+
+    fn commit(&mut self) -> Result<bool, StoreError> {
+        DurableStore::commit(self).map_err(io_to_store)
+    }
+
+    fn checkpoint(&mut self) -> Result<(), StoreError> {
+        DurableStore::checkpoint(self).map_err(io_to_store)
+    }
+
+    fn cache_lookup(&mut self, key: CacheKey) -> Option<CacheEntry> {
+        // Cache traffic is derived data, fully captured by every catalog
+        // save — it does not count as raw exposure.
+        self.store.cache_lookup(key)
+    }
+
+    fn cache_insert(&mut self, key: CacheKey, entry: CacheEntry) {
+        self.store.cache_insert(key, entry)
     }
 }
 
@@ -489,6 +924,11 @@ mod tests {
             q.push(suffix);
             std::fs::remove_file(PathBuf::from(q)).ok();
         }
+        for gen in 0..16 {
+            let mut q = p.as_os_str().to_os_string();
+            q.push(format!(".p{gen}"));
+            std::fs::remove_file(PathBuf::from(q)).ok();
+        }
         p
     }
 
@@ -513,6 +953,7 @@ mod tests {
         assert_eq!(report.snapshot.source, RecoverySource::Primary);
         assert_eq!(report.redo_commits, 2);
         assert!(!report.stale_log);
+        assert!(!report.migrated_legacy, "created paged, reopened paged");
         assert_eq!(snapshot::to_bytes(&back.store), expected);
         assert_eq!(back.store().root("main"), Some(a));
         assert_eq!(back.store().attr(b, "cost"), Some(9));
@@ -553,6 +994,55 @@ mod tests {
         let (back, report) = DurableStore::open(&path, DurableOptions::default()).unwrap();
         assert_eq!(report.redo_records, 0);
         assert_eq!(snapshot::to_bytes(&back.store), expected);
+    }
+
+    #[test]
+    fn checkpoints_flush_only_the_dirty_records() {
+        let path = tmp("dirty.tys");
+        let mut ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        let mut oids = Vec::new();
+        for i in 0..50 {
+            oids.push(ds.alloc(obj(i)).unwrap());
+        }
+        ds.commit().unwrap();
+        assert_eq!(ds.dirty_records(), 50);
+        ds.checkpoint().unwrap();
+        assert_eq!(ds.dirty_records(), 0);
+        let pages_after_full = ds.page_stats().pages;
+        // Touch one object: the next checkpoint rewrites one record.
+        ds.set(oids[7], obj(700)).unwrap();
+        ds.commit().unwrap();
+        assert_eq!(ds.dirty_records(), 1);
+        ds.checkpoint().unwrap();
+        let stats = ds.page_stats();
+        assert_eq!(
+            stats.pages,
+            pages_after_full + 1,
+            "an incremental checkpoint appends one fresh page, not a rewrite"
+        );
+        let expected = snapshot::to_bytes(&ds.store);
+        drop(ds);
+        let (back, report) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert_eq!(report.redo_records, 0);
+        assert_eq!(snapshot::to_bytes(&back.store), expected);
+    }
+
+    #[test]
+    fn legacy_whole_image_store_is_migrated_on_open() {
+        let path = tmp("legacy.tys");
+        let mut s = Store::new();
+        let a = s.alloc(obj(5));
+        s.set_root("main", a);
+        snapshot::save(&s, &path).unwrap();
+        let expected = snapshot::to_bytes(&s);
+        let (back, report) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert!(report.migrated_legacy);
+        assert_eq!(snapshot::to_bytes(&back.store), expected);
+        assert!(paged::is_catalog_file(&path), "image converted to TYCAT1");
+        drop(back);
+        let (again, report) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert!(!report.migrated_legacy, "second open is already paged");
+        assert_eq!(snapshot::to_bytes(&again.store), expected);
     }
 
     #[test]
@@ -665,10 +1155,34 @@ mod tests {
             },
         );
         // Cache state is unlogged (it is derived data) but the checkpoint
-        // image captures it.
+        // catalog captures it.
         ds.checkpoint().unwrap();
         drop(ds);
         let (mut back, _) = DurableStore::open(&path, DurableOptions::default()).unwrap();
         assert!(back.store_mut_unlogged().cache_lookup(key).is_some());
+    }
+
+    #[test]
+    fn raw_exposure_degrades_the_next_checkpoint_to_a_full_flush() {
+        let mut name_path = tmp("raw.tys");
+        let path = std::mem::take(&mut name_path);
+        let mut ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        let a = ds.alloc(obj(1)).unwrap();
+        ds.commit().unwrap();
+        ds.checkpoint().unwrap();
+        // Unlogged mutation through the escape hatch: no WAL record, no
+        // dirty mark — only the raw-exposed flag saves it.
+        *ds.store_mut_unlogged().get_mut(a).unwrap() = obj(42);
+        assert_eq!(ds.dirty_records(), 0);
+        ds.checkpoint().unwrap();
+        let expected = snapshot::to_bytes(&ds.store);
+        drop(ds);
+        let (back, _) = DurableStore::open(&path, DurableOptions::default()).unwrap();
+        assert_eq!(
+            snapshot::to_bytes(&back.store),
+            expected,
+            "raw-exposed checkpoint captured the unlogged mutation"
+        );
+        assert_eq!(back.store().get(a).unwrap(), &obj(42));
     }
 }

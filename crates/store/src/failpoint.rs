@@ -42,6 +42,9 @@
 //! | `wal.append`                | appending a log record fails (IO error)  |
 //! | `wal.flush`                 | log flush fails / tears the flushed page |
 //! | `wal.checkpoint`            | crash at the start of a checkpoint       |
+//! | `page.write`                | writing an inline object record fails    |
+//! | `page.chain`                | writing an overflow-chain record fails   |
+//! | `page.flush`                | flushing dirty pages at checkpoint fails |
 //!
 //! Sites are matched by exact name. A hit may carry a *key* (an OID, a
 //! path hash) so a spec can target one object or file without perturbing

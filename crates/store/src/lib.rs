@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod buffer;
 pub mod cache;
 pub mod crc;
@@ -36,6 +37,7 @@ pub mod failpoint;
 pub mod gc;
 pub mod object;
 pub mod page;
+pub mod paged;
 pub mod ptml;
 pub mod snapshot;
 pub mod store;
@@ -43,12 +45,14 @@ pub mod sval;
 pub mod varint;
 pub mod wal;
 
+pub use access::StoreAccess;
 pub use buffer::{BufferPool, BufferStats};
 pub use cache::{CacheEntry, CacheKey, CacheStats, OptCache};
 pub use crc::crc32;
 pub use durable::{DurableOptions, DurableStore, OpenReport};
 pub use object::{ClosureObj, ModuleObj, Object, Relation};
 pub use page::{Page, PageFile, PageId, PAGE_SIZE};
+pub use paged::{PageStats, PagedHeap};
 pub use snapshot::{get_sval, put_sval, ImageIdentity, RecoveryReport, RecoverySource};
 pub use store::{Store, StoreError, StoreStats};
 pub use sval::SVal;

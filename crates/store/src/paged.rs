@@ -1,0 +1,802 @@
+//! Paged object storage for the durable store: object records on slotted
+//! pages behind the buffer pool, addressed by a small catalog file.
+//!
+//! Since this module, a durable image is no longer one monolithic TYSTO3
+//! snapshot. The image path holds a **TYCAT1 catalog** — the OID → page
+//! location directory plus the store's small sections (roots, attributes,
+//! versions, optimization cache) — while object bytes live on 4 KiB
+//! slotted pages in a sibling *generation file* `<image>.p<gen>`. A
+//! checkpoint therefore writes only the records that changed since the
+//! last one (the dirty set) plus one small catalog, instead of
+//! re-serializing the whole world.
+//!
+//! ## Record layout
+//!
+//! A record is exactly the TYSTO3 object encoding
+//! ([`snapshot::put_object`]). Records up to [`INLINE_MAX`] bytes live in
+//! a slotted page ([`Page::insert_record`]); larger records spill into an
+//! **overflow chain** of whole pages, each laid out as
+//!
+//! ```text
+//! | next page id u64 LE | payload (PAGE_SIZE - 8 bytes) |
+//! ```
+//!
+//! with `u64::MAX` terminating the chain.
+//!
+//! ## Crash safety: fresh pages only
+//!
+//! The load-bearing invariant: **a checkpoint writes records only into
+//! pages the current on-disk catalog does not reference** (page ids at or
+//! past the catalog's `next_page` watermark). Superseded locations become
+//! dead space instead of being rewritten, so a crash mid-checkpoint can
+//! never damage a page the old catalog — still the authoritative one
+//! until its atomic replacement — points into. The catalog itself is
+//! written with the snapshot module's atomic protocol (tmp + fsync + bak
+//! rotation + rename), carrying the same `snapshot.save.*` failpoint
+//! sites, and its file identity is what the WAL header binds to.
+//!
+//! Dead space is reclaimed by **generation compaction**: when it
+//! outweighs the live bytes, the checkpoint rewrites every live record
+//! into `<image>.p<gen+1>` and the old generation file is deleted after
+//! the new catalog lands.
+
+use crate::buffer::{BufferPool, BufferStats};
+use crate::cache::OptCache;
+use crate::failpoint;
+use crate::object::Object;
+use crate::page::{PageFile, PageId, PAGE_SIZE};
+use crate::snapshot::{self, ImageIdentity};
+use crate::store::Store;
+use crate::varint::{put_i64, put_str, put_u64, DecodeError, Reader};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use tml_core::Oid;
+
+const MAGIC: &[u8; 6] = b"TYCAT1";
+
+/// Largest record stored inline in a slotted page (one fresh page minus
+/// the page header and one slot entry); larger records chain.
+pub const INLINE_MAX: usize = PAGE_SIZE - 8;
+
+/// Payload bytes per overflow-chain page (the first 8 hold the next id).
+const CHAIN_PAYLOAD: usize = PAGE_SIZE - 8;
+
+/// Buffer-pool frames. Deliberately modest so large checkpoints actually
+/// exercise eviction and write-back.
+const POOL_CAP: usize = 64;
+
+/// Compaction trigger: dead bytes must exceed both this floor and the
+/// live bytes before a checkpoint rewrites the generation.
+const COMPACT_MIN_DEAD: u64 = 256 * 1024;
+
+/// Where an object's record lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Location {
+    /// A slotted record within one page.
+    Inline { page: u64, slot: u16, len: u32 },
+    /// An overflow chain starting at `first`, holding `len` record bytes.
+    Chain { first: u64, len: u64 },
+}
+
+impl Location {
+    fn len(&self) -> u64 {
+        match self {
+            Location::Inline { len, .. } => *len as u64,
+            Location::Chain { len, .. } => *len,
+        }
+    }
+}
+
+/// Page-side footprint counters (reported by `tmlc info` / `tmlc fsck`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageStats {
+    /// Current generation number.
+    pub gen: u64,
+    /// Pages allocated in the current generation (the fresh-page watermark).
+    pub pages: u64,
+    /// Objects with a page-resident record.
+    pub dir_entries: u64,
+    /// Objects whose record spills into an overflow chain.
+    pub chains: u64,
+    /// Bytes of record data the catalog references.
+    pub live_bytes: u64,
+    /// Bytes written to the generation file no longer referenced.
+    pub dead_bytes: u64,
+    /// Buffer-pool frames currently resident.
+    pub resident: u64,
+}
+
+/// The paged object heap: one generation file of slotted pages behind a
+/// buffer pool, plus the OID directory destined for the catalog.
+#[derive(Debug)]
+pub struct PagedHeap {
+    path: PathBuf,
+    key: u64,
+    file: PageFile,
+    pool: BufferPool,
+    prior_pool_stats: BufferStats,
+    dir: BTreeMap<Oid, Location>,
+    gen: u64,
+    next_page: u64,
+    /// The page currently being filled with inline records (this
+    /// checkpoint only; reset at flush so catalog-referenced pages are
+    /// never appended to).
+    fill: Option<u64>,
+    live_bytes: u64,
+    dead_bytes: u64,
+}
+
+fn gen_path(path: &Path, gen: u64) -> PathBuf {
+    let mut p = path.as_os_str().to_os_string();
+    p.push(format!(".p{gen}"));
+    p.into()
+}
+
+fn path_key(path: &Path) -> u64 {
+    crate::cache::hash_bytes(path.as_os_str().as_encoded_bytes())
+}
+
+/// Best-effort removal of generation files other than `keep` (all of
+/// them when `keep` is `None`): strays left by a crashed compaction or a
+/// superseded store.
+fn remove_stray_gens(path: &Path, keep: Option<u64>) {
+    let Some(parent) = path.parent() else { return };
+    let Some(stem) = path.file_name().and_then(|n| n.to_str()) else {
+        return;
+    };
+    let dir = if parent.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        parent
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let prefix = format!("{stem}.p");
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(digits) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        match digits.parse::<u64>() {
+            Ok(g) if Some(g) == keep => {}
+            Ok(_) => {
+                std::fs::remove_file(entry.path()).ok();
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+/// `true` when the file at `path` starts with the TYCAT1 catalog magic.
+pub fn is_catalog_file(path: impl AsRef<Path>) -> bool {
+    use std::io::Read;
+    let mut magic = [0u8; 6];
+    match std::fs::File::open(path.as_ref()) {
+        Ok(mut f) => f.read_exact(&mut magic).is_ok() && &magic == MAGIC,
+        Err(_) => false,
+    }
+}
+
+/// A decoded catalog, before the page file is consulted.
+struct Catalog {
+    gen: u64,
+    next_page: u64,
+    slots: u64,
+    dir: BTreeMap<Oid, Location>,
+    live_bytes: u64,
+    dead_bytes: u64,
+    roots: Vec<(String, Oid)>,
+    attrs: BTreeMap<Oid, BTreeMap<String, i64>>,
+    versions: Vec<u64>,
+    cache: OptCache,
+}
+
+fn decode_catalog(bytes: &[u8]) -> Result<Catalog, DecodeError> {
+    let magic = bytes.get(..MAGIC.len()).ok_or(DecodeError::Truncated)?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let body_len = bytes.len().checked_sub(4).ok_or(DecodeError::Truncated)?;
+    if body_len < MAGIC.len() {
+        return Err(DecodeError::Truncated);
+    }
+    let stored = u32::from_le_bytes(
+        bytes[body_len..]
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?,
+    );
+    let computed = crate::crc::crc32(&bytes[..body_len]);
+    if stored != computed {
+        return Err(DecodeError::BadCrc { stored, computed });
+    }
+    let mut r = Reader::new(&bytes[..body_len]);
+    r.bytes(MAGIC.len())?;
+    let gen = r.u64()?;
+    let next_page = r.u64()?;
+    let slots = r.u64()?;
+    let ndir = r.len()?;
+    let mut dir = BTreeMap::new();
+    for _ in 0..ndir {
+        let oid = Oid(r.u64()?);
+        let loc = match r.byte()? {
+            0 => Location::Inline {
+                page: r.u64()?,
+                slot: r.u64()? as u16,
+                len: r.u64()? as u32,
+            },
+            1 => Location::Chain {
+                first: r.u64()?,
+                len: r.u64()?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        dir.insert(oid, loc);
+    }
+    let live_bytes = r.u64()?;
+    let dead_bytes = r.u64()?;
+    let nroots = r.len()?;
+    let mut roots = Vec::with_capacity(nroots.min(4096));
+    for _ in 0..nroots {
+        let name = r.str()?.to_string();
+        let oid = Oid(r.u64()?);
+        roots.push((name, oid));
+    }
+    let nattrs = r.len()?;
+    let mut attrs: BTreeMap<Oid, BTreeMap<String, i64>> = BTreeMap::new();
+    for _ in 0..nattrs {
+        let oid = Oid(r.u64()?);
+        let nkv = r.len()?;
+        let mut kv = BTreeMap::new();
+        for _ in 0..nkv {
+            let k = r.str()?.to_string();
+            let v = r.i64()?;
+            kv.insert(k, v);
+        }
+        attrs.insert(oid, kv);
+    }
+    let versions = snapshot::get_versions(&mut r)?;
+    let cache = snapshot::get_cache(&mut r)?;
+    if !r.is_at_end() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(Catalog {
+        gen,
+        next_page,
+        slots,
+        dir,
+        live_bytes,
+        dead_bytes,
+        roots,
+        attrs,
+        versions,
+        cache,
+    })
+}
+
+/// A catalog-addressed store reconstructed from disk.
+pub struct OpenedCatalog {
+    /// The heap, positioned to append fresh pages after the catalog's
+    /// watermark.
+    pub heap: PagedHeap,
+    /// The fully rebuilt in-memory store.
+    pub store: Store,
+    /// Identity of the catalog file bytes that were decoded (what the WAL
+    /// header must match).
+    pub identity: ImageIdentity,
+    /// Which file yielded the catalog.
+    pub source: snapshot::RecoverySource,
+}
+
+/// Open the paged image at `path`: decode the catalog (falling back to
+/// its `.bak` and `.tmp` siblings), then rebuild the store from the page
+/// file. Returns `Ok(None)` when no decodable catalog exists at any of
+/// the three paths — the caller falls back to the legacy whole-image
+/// formats.
+pub fn open_catalog(path: &Path) -> std::io::Result<Option<OpenedCatalog>> {
+    let candidates = [
+        (path.to_path_buf(), snapshot::RecoverySource::Primary),
+        (
+            snapshot::backup_path(path),
+            snapshot::RecoverySource::Backup,
+        ),
+        (snapshot::tmp_path(path), snapshot::RecoverySource::Tmp),
+    ];
+    for (file, source) in candidates {
+        let Ok(bytes) = snapshot::read_image(&file) else {
+            continue;
+        };
+        let Ok(cat) = decode_catalog(&bytes) else {
+            continue;
+        };
+        match rebuild(path, cat) {
+            Ok((heap, store)) => {
+                return Ok(Some(OpenedCatalog {
+                    heap,
+                    store,
+                    identity: snapshot::identity_of(&bytes),
+                    source,
+                }))
+            }
+            // Damaged pages under this catalog: try the next source.
+            Err(_) => continue,
+        }
+    }
+    Ok(None)
+}
+
+/// Materialize a store from a decoded catalog plus its generation file.
+fn rebuild(path: &Path, cat: Catalog) -> std::io::Result<(PagedHeap, Store)> {
+    let file = PageFile::open(gen_path(path, cat.gen))?;
+    let mut heap = PagedHeap {
+        path: path.to_path_buf(),
+        key: path_key(path),
+        file,
+        pool: BufferPool::new(POOL_CAP),
+        prior_pool_stats: BufferStats::default(),
+        dir: cat.dir,
+        gen: cat.gen,
+        next_page: cat.next_page,
+        fill: None,
+        live_bytes: cat.live_bytes,
+        dead_bytes: cat.dead_bytes,
+    };
+    let mut store = Store::new();
+    for ix in 0..cat.slots {
+        let oid = Oid(ix + 1);
+        match heap.read_record(oid)? {
+            Some(rec) => {
+                let mut r = Reader::new(&rec);
+                let obj = snapshot::get_object(&mut r).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad record for {oid}: {e}"),
+                    )
+                })?;
+                if !r.is_at_end() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("trailing bytes in record for {oid}"),
+                    ));
+                }
+                store.push_slot(Some(obj));
+            }
+            None => store.push_slot(None),
+        }
+    }
+    for (name, oid) in cat.roots {
+        store.set_root(name, oid);
+    }
+    store.set_attr_table(cat.attrs);
+    store.set_versions(cat.versions);
+    *store.cache_mut() = cat.cache;
+    Ok((heap, store))
+}
+
+impl PagedHeap {
+    /// A fresh, empty heap for `path`: generation 0, all pre-existing
+    /// generation files removed.
+    pub fn create(path: &Path) -> std::io::Result<PagedHeap> {
+        remove_stray_gens(path, None);
+        let mut file = PageFile::open(gen_path(path, 0))?;
+        file.set_len(0)?;
+        Ok(PagedHeap {
+            path: path.to_path_buf(),
+            key: path_key(path),
+            file,
+            pool: BufferPool::new(POOL_CAP),
+            prior_pool_stats: BufferStats::default(),
+            dir: BTreeMap::new(),
+            gen: 0,
+            next_page: 0,
+            fill: None,
+            live_bytes: 0,
+            dead_bytes: 0,
+        })
+    }
+
+    /// Page-side footprint counters.
+    pub fn stats(&self) -> PageStats {
+        PageStats {
+            gen: self.gen,
+            pages: self.next_page,
+            dir_entries: self.dir.len() as u64,
+            chains: self
+                .dir
+                .values()
+                .filter(|l| matches!(l, Location::Chain { .. }))
+                .count() as u64,
+            live_bytes: self.live_bytes,
+            dead_bytes: self.dead_bytes,
+            resident: self.pool.resident() as u64,
+        }
+    }
+
+    /// Cumulative buffer-pool counters (across compactions).
+    pub fn buffer_stats(&self) -> BufferStats {
+        let a = self.prior_pool_stats;
+        let b = self.pool.stats();
+        BufferStats {
+            hits: a.hits + b.hits,
+            misses: a.misses + b.misses,
+            evictions: a.evictions + b.evictions,
+            writebacks: a.writebacks + b.writebacks,
+        }
+    }
+
+    /// `true` when the next checkpoint should rewrite the generation to
+    /// reclaim dead space.
+    pub fn should_compact(&self) -> bool {
+        self.dead_bytes > COMPACT_MIN_DEAD && self.dead_bytes > self.live_bytes
+    }
+
+    /// Switch to a fresh generation file: the caller must rewrite every
+    /// live record before saving the catalog. The old generation file is
+    /// deleted only after the new catalog lands ([`PagedHeap::save_catalog`]).
+    pub fn begin_new_generation(&mut self) -> std::io::Result<()> {
+        self.gen += 1;
+        let mut file = PageFile::open(gen_path(&self.path, self.gen))?;
+        file.set_len(0)?;
+        self.file = file;
+        let retired = self.pool.stats();
+        self.prior_pool_stats = BufferStats {
+            hits: self.prior_pool_stats.hits + retired.hits,
+            misses: self.prior_pool_stats.misses + retired.misses,
+            evictions: self.prior_pool_stats.evictions + retired.evictions,
+            writebacks: self.prior_pool_stats.writebacks + retired.writebacks,
+        };
+        self.pool = BufferPool::new(POOL_CAP);
+        self.dir.clear();
+        self.next_page = 0;
+        self.fill = None;
+        self.live_bytes = 0;
+        self.dead_bytes = 0;
+        Ok(())
+    }
+
+    /// Drop `oid`'s record from the directory (its bytes become dead
+    /// space). A no-op for OIDs without a record.
+    pub fn remove_record(&mut self, oid: Oid) {
+        if let Some(loc) = self.dir.remove(&oid) {
+            let n = loc.len();
+            self.live_bytes = self.live_bytes.saturating_sub(n);
+            self.dead_bytes += n;
+        }
+    }
+
+    /// Write (or supersede) `oid`'s record. The bytes land in fresh pages
+    /// only; the previous location, if any, becomes dead space.
+    pub fn write_record(&mut self, oid: Oid, rec: &[u8]) -> std::io::Result<()> {
+        self.remove_record(oid);
+        let loc = if rec.len() <= INLINE_MAX {
+            failpoint::fail_io("page.write", self.key)?;
+            let (page, slot) = self.insert_inline(rec)?;
+            Location::Inline {
+                page,
+                slot,
+                len: rec.len() as u32,
+            }
+        } else {
+            failpoint::fail_io("page.chain", self.key)?;
+            let first = self.write_chain(rec)?;
+            Location::Chain {
+                first,
+                len: rec.len() as u64,
+            }
+        };
+        self.live_bytes += rec.len() as u64;
+        self.dir.insert(oid, loc);
+        Ok(())
+    }
+
+    fn insert_inline(&mut self, rec: &[u8]) -> std::io::Result<(u64, u16)> {
+        if let Some(fid) = self.fill {
+            let ix = self.pool.pin(&mut self.file, PageId(fid))?;
+            let slot = self.pool.page_mut(ix).insert_record(rec);
+            self.pool.unpin(ix);
+            if let Some(slot) = slot {
+                return Ok((fid, slot));
+            }
+        }
+        let fid = self.next_page;
+        self.next_page += 1;
+        self.fill = Some(fid);
+        let ix = self.pool.pin(&mut self.file, PageId(fid))?;
+        let page = self.pool.page_mut(ix);
+        page.format();
+        let slot = page
+            .insert_record(rec)
+            .expect("a fresh page holds any inline record");
+        self.pool.unpin(ix);
+        Ok((fid, slot))
+    }
+
+    fn write_chain(&mut self, rec: &[u8]) -> std::io::Result<u64> {
+        let npages = rec.len().div_ceil(CHAIN_PAYLOAD) as u64;
+        let first = self.next_page;
+        self.next_page += npages;
+        for (i, chunk) in rec.chunks(CHAIN_PAYLOAD).enumerate() {
+            let id = first + i as u64;
+            let next = if (i as u64) < npages - 1 {
+                id + 1
+            } else {
+                u64::MAX
+            };
+            let ix = self.pool.pin(&mut self.file, PageId(id))?;
+            let bytes = self.pool.page_mut(ix).bytes_mut();
+            bytes.fill(0);
+            bytes[..8].copy_from_slice(&next.to_le_bytes());
+            bytes[8..8 + chunk.len()].copy_from_slice(chunk);
+            self.pool.unpin(ix);
+        }
+        Ok(first)
+    }
+
+    /// Read back `oid`'s record bytes (`None` when the catalog holds no
+    /// record — a tombstoned or never-written slot).
+    pub fn read_record(&mut self, oid: Oid) -> std::io::Result<Option<Vec<u8>>> {
+        let Some(loc) = self.dir.get(&oid).copied() else {
+            return Ok(None);
+        };
+        let bad = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+        match loc {
+            Location::Inline { page, slot, len } => {
+                let ix = self.pool.pin(&mut self.file, PageId(page))?;
+                let rec = self.pool.page(ix).record(slot).map(<[u8]>::to_vec);
+                self.pool.unpin(ix);
+                match rec {
+                    Some(r) if r.len() == len as usize => Ok(Some(r)),
+                    Some(r) => Err(bad(format!(
+                        "record for {oid} is {} bytes, catalog says {len}",
+                        r.len()
+                    ))),
+                    None => Err(bad(format!("missing slotted record for {oid}"))),
+                }
+            }
+            Location::Chain { first, len } => {
+                let mut out = Vec::with_capacity(len as usize);
+                let mut id = first;
+                let mut remaining = len as usize;
+                let mut hops = (len as usize).div_ceil(CHAIN_PAYLOAD) + 1;
+                while remaining > 0 {
+                    hops = hops
+                        .checked_sub(1)
+                        .ok_or_else(|| bad(format!("overflow chain for {oid} cycles")))?;
+                    if id == u64::MAX {
+                        return Err(bad(format!("overflow chain for {oid} ends early")));
+                    }
+                    let ix = self.pool.pin(&mut self.file, PageId(id))?;
+                    let bytes = self.pool.page(ix).bytes();
+                    let next = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+                    let take = remaining.min(CHAIN_PAYLOAD);
+                    out.extend_from_slice(&bytes[8..8 + take]);
+                    self.pool.unpin(ix);
+                    remaining -= take;
+                    id = next;
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    /// Write every dirty frame back and fsync the generation file. Resets
+    /// the fill page: once the catalog references a page, it is never
+    /// appended to again.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        failpoint::fail_io("page.flush", self.key)?;
+        self.pool.flush_all(&mut self.file)?;
+        self.file.sync()?;
+        self.fill = None;
+        Ok(())
+    }
+
+    /// Atomically write the catalog for the current directory plus the
+    /// store's small sections; on success, stray generation files (e.g.
+    /// the pre-compaction one) are removed.
+    pub fn save_catalog(&mut self, store: &Store) -> std::io::Result<ImageIdentity> {
+        let bytes = self.catalog_bytes(store);
+        let identity = snapshot::write_bytes_atomic(bytes, &self.path)?;
+        remove_stray_gens(&self.path, Some(self.gen));
+        Ok(identity)
+    }
+
+    fn catalog_bytes(&self, store: &Store) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.gen);
+        put_u64(&mut out, self.next_page);
+        put_u64(&mut out, store.len() as u64);
+        put_u64(&mut out, self.dir.len() as u64);
+        for (oid, loc) in &self.dir {
+            put_u64(&mut out, oid.0);
+            match loc {
+                Location::Inline { page, slot, len } => {
+                    out.push(0);
+                    put_u64(&mut out, *page);
+                    put_u64(&mut out, *slot as u64);
+                    put_u64(&mut out, *len as u64);
+                }
+                Location::Chain { first, len } => {
+                    out.push(1);
+                    put_u64(&mut out, *first);
+                    put_u64(&mut out, *len);
+                }
+            }
+        }
+        put_u64(&mut out, self.live_bytes);
+        put_u64(&mut out, self.dead_bytes);
+        let roots: Vec<(&str, Oid)> = store.roots().collect();
+        put_u64(&mut out, roots.len() as u64);
+        for (name, oid) in roots {
+            put_str(&mut out, name);
+            put_u64(&mut out, oid.0);
+        }
+        let attrs = store.attr_table();
+        put_u64(&mut out, attrs.len() as u64);
+        for (oid, kv) in attrs {
+            put_u64(&mut out, oid.0);
+            put_u64(&mut out, kv.len() as u64);
+            for (k, v) in kv {
+                put_str(&mut out, k);
+                put_i64(&mut out, *v);
+            }
+        }
+        snapshot::put_versions(&mut out, store.versions());
+        snapshot::put_cache(&mut out, store.cache());
+        let crc = crate::crc::crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Encode one object as its record bytes.
+    pub fn encode_record(obj: &Object) -> Vec<u8> {
+        let mut rec = Vec::new();
+        snapshot::put_object(&mut rec, obj);
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sval::SVal;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tml_store_paged_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        for suffix in ["", ".bak", ".tmp", ".wal"] {
+            let mut q = p.as_os_str().to_os_string();
+            q.push(suffix);
+            std::fs::remove_file(PathBuf::from(q)).ok();
+        }
+        remove_stray_gens(&p, None);
+        p
+    }
+
+    fn store_with(objs: &[Object]) -> Store {
+        let mut s = Store::new();
+        for o in objs {
+            s.alloc(o.clone());
+        }
+        s
+    }
+
+    fn checkpoint_all(heap: &mut PagedHeap, store: &Store) -> ImageIdentity {
+        for (oid, obj) in store.iter() {
+            heap.write_record(oid, &PagedHeap::encode_record(obj))
+                .unwrap();
+        }
+        heap.flush().unwrap();
+        heap.save_catalog(store).unwrap()
+    }
+
+    #[test]
+    fn catalog_roundtrip_with_inline_and_chained_records() {
+        let path = tmp("roundtrip.tyc");
+        let mut store = store_with(&[
+            Object::Array(vec![SVal::Int(1), SVal::Str("hello".into())]),
+            Object::ByteArray(vec![0xab; 3 * PAGE_SIZE]), // overflow chain
+            Object::ByteArray(vec![0x11; 16]),
+        ]);
+        store.set_root("main", Oid(1));
+        store.set_attr(Oid(2), "cost", 9);
+        let mut heap = PagedHeap::create(&path).unwrap();
+        checkpoint_all(&mut heap, &store);
+        assert!(is_catalog_file(&path));
+        let opened = open_catalog(&path).unwrap().expect("catalog decodes");
+        assert_eq!(opened.source, snapshot::RecoverySource::Primary);
+        assert_eq!(
+            snapshot::to_bytes(&opened.store),
+            snapshot::to_bytes(&store),
+            "paged roundtrip must be byte-identical"
+        );
+        let stats = opened.heap.stats();
+        assert_eq!(stats.dir_entries, 3);
+        assert_eq!(stats.chains, 1);
+        assert!(stats.pages >= 4, "inline page + 3-page chain");
+    }
+
+    #[test]
+    fn superseded_records_become_dead_space_and_compaction_reclaims() {
+        let path = tmp("compact.tyc");
+        let mut store = store_with(&[Object::ByteArray(vec![0u8; 2048])]);
+        let mut heap = PagedHeap::create(&path).unwrap();
+        checkpoint_all(&mut heap, &store);
+        assert_eq!(heap.stats().dead_bytes, 0);
+        // Rewrite the record many times: every version but the last is dead.
+        for round in 0..300 {
+            *store.get_mut(Oid(1)).unwrap() = Object::ByteArray(vec![round as u8; 2048]);
+            heap.write_record(
+                Oid(1),
+                &PagedHeap::encode_record(store.get(Oid(1)).unwrap()),
+            )
+            .unwrap();
+            heap.flush().unwrap();
+            heap.save_catalog(&store).unwrap();
+        }
+        assert!(heap.should_compact(), "dead space must pile up");
+        let old_gen = gen_path(&path, heap.stats().gen);
+        heap.begin_new_generation().unwrap();
+        checkpoint_all(&mut heap, &store);
+        let stats = heap.stats();
+        assert_eq!(stats.dead_bytes, 0);
+        assert_eq!(stats.gen, 1);
+        assert!(!old_gen.exists(), "old generation file deleted");
+        let opened = open_catalog(&path).unwrap().expect("compacted catalog");
+        assert_eq!(
+            snapshot::to_bytes(&opened.store),
+            snapshot::to_bytes(&store)
+        );
+    }
+
+    #[test]
+    fn tombstones_and_empty_dirs_survive() {
+        let path = tmp("tombstone.tyc");
+        let mut store = store_with(&[
+            Object::Array(vec![SVal::Int(1)]),
+            Object::Array(vec![SVal::Int(2)]),
+        ]);
+        store.free(Oid(1));
+        let mut heap = PagedHeap::create(&path).unwrap();
+        checkpoint_all(&mut heap, &store);
+        let opened = open_catalog(&path).unwrap().unwrap();
+        assert_eq!(opened.store.len(), 2);
+        assert_eq!(opened.store.live(), 1);
+        assert_eq!(
+            snapshot::to_bytes(&opened.store),
+            snapshot::to_bytes(&store)
+        );
+    }
+
+    #[test]
+    fn corrupt_catalog_falls_back_to_backup() {
+        let path = tmp("fallback.tyc");
+        let store = store_with(&[Object::Array(vec![SVal::Int(7)])]);
+        let mut heap = PagedHeap::create(&path).unwrap();
+        checkpoint_all(&mut heap, &store);
+        // A second checkpoint rotates the first catalog to .bak.
+        checkpoint_all(&mut heap, &store);
+        // Smash the primary catalog.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let opened = open_catalog(&path).unwrap().expect("backup catalog");
+        assert_eq!(opened.source, snapshot::RecoverySource::Backup);
+        assert_eq!(
+            snapshot::to_bytes(&opened.store),
+            snapshot::to_bytes(&store)
+        );
+    }
+
+    #[test]
+    fn non_catalog_file_is_reported_as_none() {
+        let path = tmp("legacy.tyc");
+        let store = store_with(&[Object::Array(vec![SVal::Int(1)])]);
+        snapshot::save(&store, &path).unwrap();
+        assert!(!is_catalog_file(&path));
+        assert!(open_catalog(&path).unwrap().is_none());
+    }
+}

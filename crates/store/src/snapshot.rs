@@ -233,14 +233,14 @@ fn decode_body(bytes: &[u8], framed: bool) -> Result<Store, DecodeError> {
     Ok(store)
 }
 
-fn put_versions(out: &mut Vec<u8>, versions: &[u64]) {
+pub(crate) fn put_versions(out: &mut Vec<u8>, versions: &[u64]) {
     put_u64(out, versions.len() as u64);
     for &v in versions {
         put_u64(out, v);
     }
 }
 
-fn get_versions(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
+pub(crate) fn get_versions(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
     let n = r.len()?;
     let mut versions = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
@@ -249,7 +249,7 @@ fn get_versions(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
     Ok(versions)
 }
 
-fn put_cache(out: &mut Vec<u8>, cache: &OptCache) {
+pub(crate) fn put_cache(out: &mut Vec<u8>, cache: &OptCache) {
     put_u64(out, cache.cap() as u64);
     let stats = cache.stats();
     put_u64(out, stats.hits);
@@ -285,7 +285,7 @@ fn put_cache(out: &mut Vec<u8>, cache: &OptCache) {
     }
 }
 
-fn get_cache(r: &mut Reader<'_>) -> Result<OptCache, DecodeError> {
+pub(crate) fn get_cache(r: &mut Reader<'_>) -> Result<OptCache, DecodeError> {
     let mut cache = OptCache::default();
     let cap = r.len()?.max(1);
     let stats = CacheStats {
@@ -413,8 +413,20 @@ pub fn save(store: &Store, path: impl AsRef<Path>) -> std::io::Result<()> {
 pub fn save_with_identity(store: &Store, path: impl AsRef<Path>) -> std::io::Result<ImageIdentity> {
     let _s = tml_trace::span!("store.snapshot.save");
     let path = path.as_ref();
+    let bytes = to_bytes(store);
+    write_bytes_atomic(bytes, path)
+}
+
+/// The crash-safe atomic write protocol, shared by the whole-image
+/// snapshot and the paged catalog: corrupt-injection on the bytes, write
+/// to `<path>.tmp`, fsync, rotate any existing file to `<path>.bak`,
+/// rename, best-effort directory fsync. Every step carries the
+/// `snapshot.save.*` failpoint sites keyed by the destination path.
+pub(crate) fn write_bytes_atomic(
+    mut bytes: Vec<u8>,
+    path: &Path,
+) -> std::io::Result<ImageIdentity> {
     let key = path_key(path);
-    let mut bytes = to_bytes(store);
     if failpoint::armed() {
         // A torn or bit-rotted write: the image lands corrupt on disk even
         // though every syscall "succeeds".
@@ -467,7 +479,7 @@ pub fn load(path: impl AsRef<Path>) -> std::io::Result<Store> {
     from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
-fn read_image(path: &Path) -> std::io::Result<Vec<u8>> {
+pub(crate) fn read_image(path: &Path) -> std::io::Result<Vec<u8>> {
     let key = path_key(path);
     failpoint::fail_io("snapshot.load.read", key)?;
     let mut bytes = std::fs::read(path)?;

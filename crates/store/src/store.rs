@@ -47,6 +47,10 @@ pub enum StoreError {
         /// The object's length.
         len: usize,
     },
+    /// A durability-layer IO failure (WAL append, page flush, checkpoint)
+    /// surfaced through the [`crate::access::StoreAccess`] seam. Carried as
+    /// a message so `StoreError` stays `Clone + Eq`.
+    Io(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -62,6 +66,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Bounds { oid, index, len } => {
                 write!(f, "index {index} out of bounds for {oid} of length {len}")
             }
+            StoreError::Io(msg) => write!(f, "store io failure: {msg}"),
         }
     }
 }

@@ -18,12 +18,14 @@
 use crate::rval::RVal;
 use std::collections::HashMap;
 use std::rc::Rc;
-use tml_store::Store;
+use tml_store::StoreAccess;
 
 /// Callbacks available to extension primitives.
 pub trait HostCtx {
-    /// The persistent object store.
-    fn store(&mut self) -> &mut Store;
+    /// The persistent object store, behind the store-access seam: on a
+    /// durable backend every mutation made here is WAL-logged. Read-only
+    /// callers can drop to the raw store via [`StoreAccess::base`].
+    fn store(&mut self) -> &mut dyn StoreAccess;
     /// Call a TML procedure value (closure) with the given arguments,
     /// running the machine until the procedure invokes its normal
     /// continuation (`Ok`) or its exception continuation (`Err`).

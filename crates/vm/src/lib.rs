@@ -45,7 +45,7 @@ pub use rval::RVal;
 
 use tml_core::term::{Abs, App};
 use tml_core::Ctx;
-use tml_store::Store;
+use tml_store::StoreAccess;
 
 /// A convenience façade bundling a code table and extern registry.
 #[derive(Default)]
@@ -80,10 +80,12 @@ impl Vm {
         Compiler::new(ctx, &mut self.code).compile_proc(abs)
     }
 
-    /// Run a compiled program to completion.
-    pub fn run_program(
+    /// Run a compiled program to completion. Generic over the
+    /// store-access seam: pass a `Store` for an ephemeral run or a
+    /// `DurableStore` to WAL-log everything the program does.
+    pub fn run_program<S: StoreAccess>(
         &self,
-        store: &mut Store,
+        store: &mut S,
         block: u32,
         fuel: u64,
     ) -> Result<Outcome, VmError> {

@@ -19,7 +19,7 @@ use tml_core::prims_std::{
     ERR_BOUNDS, ERR_NO_CCALL, ERR_NO_PRIM, ERR_OVERFLOW, ERR_TYPE, ERR_ZERO_DIVIDE,
 };
 use tml_core::Oid;
-use tml_store::{ClosureObj, Object, SVal, Store, StoreError};
+use tml_store::{ClosureObj, Object, SVal, Store, StoreAccess, StoreError};
 
 /// Deterministic execution counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -126,11 +126,13 @@ enum Flow {
     Native { ok: bool, value: RVal },
 }
 
-/// The machine.
-pub struct Machine<'a> {
+/// The machine, generic over the store-access seam: `S = Store` (the
+/// default) runs on the plain in-memory heap, `S = DurableStore` logs
+/// every mutation the program makes.
+pub struct Machine<'a, S: StoreAccess = Store> {
     code: &'a CodeTable,
     externs: &'a ExternTable,
-    store: &'a mut Store,
+    store: &'a mut S,
     frame: Vec<RVal>,
     env: Vec<RVal>,
     handlers: Vec<RVal>,
@@ -147,14 +149,9 @@ pub struct Machine<'a> {
     profile: Option<Box<VmProfile>>,
 }
 
-impl<'a> Machine<'a> {
+impl<'a, S: StoreAccess> Machine<'a, S> {
     /// Create a machine with a fuel budget (instructions).
-    pub fn new(
-        code: &'a CodeTable,
-        externs: &'a ExternTable,
-        store: &'a mut Store,
-        fuel: u64,
-    ) -> Self {
+    pub fn new(code: &'a CodeTable, externs: &'a ExternTable, store: &'a mut S, fuel: u64) -> Self {
         Machine {
             code,
             externs,
@@ -335,7 +332,7 @@ impl<'a> Machine<'a> {
                 self.enter(c.code, env, args)
             }
             RVal::Ref(oid) => {
-                let clo = self.store.expect(oid, "closure", |o| match o {
+                let clo = self.store.base().expect(oid, "closure", |o| match o {
                     Object::Closure(c) => Some(c.clone()),
                     _ => None,
                 })?;
@@ -448,19 +445,31 @@ impl<'a> Machine<'a> {
                         env,
                         bindings: Vec::new(),
                         ptml: None,
-                    })));
+                    }))?);
                 }
-                // Phase 2: backpatch mutual references.
+                // Phase 2: backpatch mutual references — one `mutate` per
+                // closure with member captures, so a durable backend logs
+                // the fully-patched post-image.
                 for (i, (_, caps)) in parts.iter().enumerate() {
-                    for (pos, cap) in caps.iter().enumerate() {
-                        if let GroupCap::Member(j) = cap {
-                            let target = oids[*j as usize];
-                            let obj = self.store.get_mut(oids[i])?;
-                            if let Object::Closure(c) = obj {
-                                c.env[pos] = SVal::Ref(target);
+                    let patches: Vec<(usize, Oid)> = caps
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(pos, cap)| match cap {
+                            GroupCap::Member(j) => Some((pos, oids[*j as usize])),
+                            GroupCap::Ext(_) => None,
+                        })
+                        .collect();
+                    if patches.is_empty() {
+                        continue;
+                    }
+                    self.store.mutate(oids[i], &mut |obj| {
+                        if let Object::Closure(c) = obj {
+                            for (pos, target) in &patches {
+                                c.env[*pos] = SVal::Ref(*target);
                             }
                         }
-                    }
+                        Ok(())
+                    })?;
                 }
                 for (dst, oid) in dsts.iter().zip(&oids) {
                     self.frame[*dst as usize] = RVal::Ref(*oid);
@@ -605,7 +614,7 @@ impl<'a> Machine<'a> {
                         Object::ByteArray(vec![init; count])
                     }
                 };
-                let oid = self.store.alloc(obj);
+                let oid = self.store.alloc(obj)?;
                 self.continue_value(on_ok, *dst, RVal::Ref(oid))
             }
             Instr::Idx {
@@ -699,7 +708,7 @@ impl<'a> Machine<'a> {
                 on_ok,
             } => {
                 let vals: Vec<RVal> = args.iter().map(|s| self.resolve(*s)).collect();
-                match self.move_block(*byte, &vals) {
+                match self.move_block(*byte, &vals)? {
                     Ok(_) => self.continue_value(on_ok, *dst, RVal::Unit),
                     Err(e) => self.exception(on_err, *dst, e),
                 }
@@ -812,72 +821,83 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn move_block(&mut self, byte: bool, vals: &[RVal]) -> Result<RVal, RVal> {
+    /// Block move. The outer `Result` carries machine-level failures (an
+    /// IO error from a durable backend); the inner one carries TML
+    /// exceptions (bounds, type) for the exception continuation. Validates
+    /// through reads first, then copies through one logged `mutate`.
+    fn move_block(&mut self, byte: bool, vals: &[RVal]) -> Result<Result<RVal, RVal>, VmError> {
         let get_ref = |v: &RVal| v.as_ref_oid_or_err();
         let get_ix = |v: &RVal| v.as_int().ok_or(RVal::Str(ERR_TYPE.into()));
-        let dst = get_ref(&vals[0])?;
-        let dst_off = get_ix(&vals[1])?;
-        let src = get_ref(&vals[2])?;
-        let src_off = get_ix(&vals[3])?;
-        let len = get_ix(&vals[4])?;
-        let (dst_off, src_off, len) = match (
-            usize::try_from(dst_off),
-            usize::try_from(src_off),
-            usize::try_from(len),
-        ) {
-            (Ok(a), Ok(b), Ok(c)) => (a, b, c),
-            _ => return Err(RVal::Str(ERR_BOUNDS.into())),
+        let parsed = (|| {
+            let dst = get_ref(&vals[0])?;
+            let dst_off = get_ix(&vals[1])?;
+            let src = get_ref(&vals[2])?;
+            let src_off = get_ix(&vals[3])?;
+            let len = get_ix(&vals[4])?;
+            match (
+                usize::try_from(dst_off),
+                usize::try_from(src_off),
+                usize::try_from(len),
+            ) {
+                (Ok(a), Ok(b), Ok(c)) => Ok((dst, src, a, b, c)),
+                _ => Err(RVal::Str(ERR_BOUNDS.into())),
+            }
+        })();
+        let (dst, src, dst_off, src_off, len) = match parsed {
+            Ok(t) => t,
+            Err(e) => return Ok(Err(e)),
         };
-        let bounds = |r: Result<(), ()>| r.map_err(|_| RVal::Str(ERR_BOUNDS.into()));
         if byte {
-            let src_bytes = match self.store.get(src) {
+            let src_bytes = match self.store.base().get(src) {
                 Ok(Object::ByteArray(b)) => b.clone(),
-                _ => return Err(RVal::Str(ERR_TYPE.into())),
+                _ => return Ok(Err(RVal::Str(ERR_TYPE.into()))),
             };
-            bounds(if src_off + len <= src_bytes.len() {
-                Ok(())
-            } else {
-                Err(())
-            })?;
-            match self.store.get_mut(dst) {
+            if src_off + len > src_bytes.len() {
+                return Ok(Err(RVal::Str(ERR_BOUNDS.into())));
+            }
+            match self.store.base().get(dst) {
                 Ok(Object::ByteArray(d)) => {
-                    bounds(if dst_off + len <= d.len() {
-                        Ok(())
-                    } else {
-                        Err(())
-                    })?;
+                    if dst_off + len > d.len() {
+                        return Ok(Err(RVal::Str(ERR_BOUNDS.into())));
+                    }
+                }
+                _ => return Ok(Err(RVal::Str(ERR_TYPE.into()))),
+            }
+            self.store.mutate(dst, &mut |obj| {
+                if let Object::ByteArray(d) = obj {
                     d[dst_off..dst_off + len].copy_from_slice(&src_bytes[src_off..src_off + len]);
-                    Ok(RVal::Unit)
                 }
-                _ => Err(RVal::Str(ERR_TYPE.into())),
-            }
-        } else {
-            let src_slots = match self.store.get(src) {
-                Ok(Object::Array(v)) | Ok(Object::Vector(v)) => v.clone(),
-                _ => return Err(RVal::Str(ERR_TYPE.into())),
-            };
-            bounds(if src_off + len <= src_slots.len() {
                 Ok(())
-            } else {
-                Err(())
             })?;
-            match self.store.get_mut(dst) {
-                Ok(Object::Array(d)) => {
-                    bounds(if dst_off + len <= d.len() {
-                        Ok(())
-                    } else {
-                        Err(())
-                    })?;
-                    d[dst_off..dst_off + len].clone_from_slice(&src_slots[src_off..src_off + len]);
-                    Ok(RVal::Unit)
-                }
-                _ => Err(RVal::Str(ERR_TYPE.into())),
+            Ok(Ok(RVal::Unit))
+        } else {
+            let src_slots = match self.store.base().get(src) {
+                Ok(Object::Array(v)) | Ok(Object::Vector(v)) => v.clone(),
+                _ => return Ok(Err(RVal::Str(ERR_TYPE.into()))),
+            };
+            if src_off + len > src_slots.len() {
+                return Ok(Err(RVal::Str(ERR_BOUNDS.into())));
             }
+            match self.store.base().get(dst) {
+                Ok(Object::Array(d)) => {
+                    if dst_off + len > d.len() {
+                        return Ok(Err(RVal::Str(ERR_BOUNDS.into())));
+                    }
+                }
+                _ => return Ok(Err(RVal::Str(ERR_TYPE.into()))),
+            }
+            self.store.mutate(dst, &mut |obj| {
+                if let Object::Array(d) = obj {
+                    d[dst_off..dst_off + len].clone_from_slice(&src_slots[src_off..src_off + len]);
+                }
+                Ok(())
+            })?;
+            Ok(Ok(RVal::Unit))
         }
     }
 }
 
-impl Drop for Machine<'_> {
+impl<S: StoreAccess> Drop for Machine<'_, S> {
     fn drop(&mut self) {
         // Publishes only when a profile was collected (tracing enabled at
         // construction); the common case is a no-op.
@@ -894,8 +914,8 @@ impl RVal {
     }
 }
 
-impl HostCtx for Machine<'_> {
-    fn store(&mut self) -> &mut Store {
+impl<S: StoreAccess> HostCtx for Machine<'_, S> {
+    fn store(&mut self) -> &mut dyn StoreAccess {
         self.store
     }
 

@@ -10,7 +10,7 @@
 use std::rc::Rc;
 use std::sync::Arc;
 use tml_core::Oid;
-use tml_store::{ClosureObj, Object, SVal, Store, StoreError};
+use tml_store::{ClosureObj, Object, SVal, StoreAccess, StoreError};
 
 /// A transient (not yet persistent) closure.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,8 +57,10 @@ impl RVal {
     }
 
     /// Lower to a store value, persisting transient closures into `store`
-    /// on the way (recursively through their environments).
-    pub fn persist(&self, store: &mut Store) -> Result<SVal, StoreError> {
+    /// on the way (recursively through their environments). Generic over
+    /// the store-access seam, so persisting through a durable store logs
+    /// each closure allocation.
+    pub fn persist<S: StoreAccess + ?Sized>(&self, store: &mut S) -> Result<SVal, StoreError> {
         Ok(match self {
             RVal::Unit => SVal::Unit,
             RVal::Bool(b) => SVal::Bool(*b),
@@ -77,7 +79,7 @@ impl RVal {
                     env,
                     bindings: Vec::new(),
                     ptml: None,
-                }));
+                }))?;
                 SVal::Ref(oid)
             }
         })
@@ -147,6 +149,7 @@ impl std::fmt::Debug for RVal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tml_store::Store;
 
     #[test]
     fn sval_roundtrip_for_immediates() {

@@ -6,19 +6,30 @@
 //! representation — PTML bytes plus named R-value bindings — and ships it
 //! to a "server" session (a separate store, separate code table, separate
 //! name/prim context), which rebinds the names against *its own* globals,
-//! recompiles, and runs the function against its own data.
+//! recompiles, and runs the function against its own data. The server
+//! runs on a `DurableStore`: installing the shipped function is
+//! write-ahead-logged through the store-access seam, so after a commit,
+//! a checkpoint and a full server restart the shipped code is still
+//! there, relinked from its persistent PTML.
 //!
 //! ```sh
 //! cargo run --example code_shipping
 //! ```
 
-use tycoon::lang::Session;
-use tycoon::reflect::TermBuilder;
-use tycoon::store::{Object, SVal};
+use tycoon::core::Registry;
+use tycoon::lang::{Session, SessionConfig};
+use tycoon::reflect::{relink_image_code, session_from_access_with, TermBuilder};
+use tycoon::store::{DurableOptions, DurableStore, Object, SVal};
 use tycoon::vm::RVal;
 
 fn main() {
+    let dir = std::env::temp_dir().join(format!("tycoon_ship_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let image = dir.join("server.img");
+
     // --- Client: author and compile the function to ship. -----------------
+    // The client is transient; a plain in-memory session is all it needs.
     let mut client = Session::default_session().expect("client session");
     client
         .load_str(
@@ -57,8 +68,10 @@ fn main() {
     );
     drop(client); // the client's store, code table and context are gone
 
-    // --- Server: receive, rebind, recompile, run. --------------------------
-    let mut server = Session::default_session().expect("server session");
+    // --- Server: receive, rebind, recompile, run — durably. ----------------
+    let store = DurableStore::create(&image, DurableOptions::default()).expect("server store");
+    let mut server = Session::on_store(store, SessionConfig::default(), Registry::standard())
+        .expect("server session");
     let (abs, free) =
         tycoon::store::ptml::decode_abs(&mut server.ctx, &wire_bytes).expect("wire format decodes");
     println!(
@@ -85,7 +98,9 @@ fn main() {
         env.push(val.clone());
         bindings.push((name.clone(), val));
     }
-    let shipped_ptml = server.store.alloc(Object::Ptml(wire_bytes));
+    // Installation goes through the logged interface: the PTML blob, the
+    // closure and the root naming it are all redo records.
+    let shipped_ptml = server.store.alloc(Object::Ptml(wire_bytes)).expect("alloc");
     let shipped = server
         .store
         .alloc(Object::Closure(tycoon::store::ClosureObj {
@@ -93,7 +108,12 @@ fn main() {
             env,
             bindings,
             ptml: Some(shipped_ptml),
-        }));
+        }))
+        .expect("alloc");
+    server
+        .store
+        .set_root("shipped.rate", shipped)
+        .expect("root");
     server
         .globals
         .insert("shipped.rate".into(), SVal::Ref(shipped));
@@ -106,7 +126,8 @@ fn main() {
     }
 
     // The shipped code is a first-class citizen: it can even be
-    // reflectively optimized on the server against server-side bindings.
+    // reflectively optimized on the server against server-side bindings —
+    // through the same seam, so the optimized product is durable too.
     let optimized = tycoon::reflect::optimize_value(
         &mut server,
         &SVal::Ref(shipped),
@@ -121,14 +142,37 @@ fn main() {
         fast.result, fast.stats.instrs
     );
 
-    // Round-trip sanity: the server can re-ship it (PTML attached again).
-    let SVal::Ref(opt_oid) = optimized else {
-        panic!()
-    };
-    let mut tb = TermBuilder::new(&mut server.ctx, &server.store);
-    let reship = tb.build(opt_oid, 0).expect("re-shippable");
+    // Make it durable and restart the server process image.
+    server.store.commit().expect("commit");
+    server.store.checkpoint().expect("checkpoint");
+    drop(server);
+
+    let (store, report) = DurableStore::open(&image, DurableOptions::default()).expect("reopen");
+    assert_eq!(report.redo_records, 0, "checkpoint consolidated the log");
+    let mut restarted =
+        session_from_access_with(store, SessionConfig::default(), Registry::standard());
+    let relink = relink_image_code(&mut restarted).expect("relink");
+    let shipped = restarted
+        .store
+        .store()
+        .root("shipped.rate")
+        .expect("shipped root survives the restart");
+    let r = restarted
+        .call_value(RVal::Ref(shipped), vec![RVal::Int(42)])
+        .expect("shipped code runs after restart");
     println!(
-        "server: re-shippable — optimized function has {} TML nodes",
+        "server (restarted): relinked {} closure(s); shipped.rate(42) = {:?}",
+        relink.relinked, r.result
+    );
+    assert_eq!(r.result, check);
+
+    // Round-trip sanity: the restarted server can re-ship it too.
+    let mut tb = TermBuilder::new(&mut restarted.ctx, restarted.store.store());
+    let reship = tb.build(shipped, 0).expect("re-shippable");
+    println!(
+        "server: re-shippable — persistent function has {} TML nodes",
         reship.body.size()
     );
+
+    std::fs::remove_dir_all(&dir).ok();
 }

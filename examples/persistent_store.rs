@@ -1,36 +1,52 @@
-//! Persistence round trip (figure 3): compile → snapshot the store with
-//! PTML-carrying closures → reload in a new process image → relink
-//! (recompile from PTML) → execute.
+//! Persistence round trip (figure 3), on the durable mutation path:
+//! compile → mutate through the store-access seam (every change
+//! write-ahead-logged) → commit → reopen in a new process image → relink
+//! (recompile from PTML) → execute → checkpoint into paged storage.
 //!
 //! The executable code table is transient; the *persistent* representation
 //! of code is PTML plus the recorded R-value bindings, exactly as in the
-//! paper's architecture.
+//! paper's architecture. Durability comes from the seam: the session, the
+//! VM and the reflective optimizer all mutate the store through
+//! `StoreAccess`, so a `DurableStore` backend logs everything — the first
+//! reopen below recovers from the log alone, before any checkpoint wrote
+//! a page.
 //!
 //! ```sh
 //! cargo run --example persistent_store
 //! ```
 
+use tycoon::core::Registry;
 use tycoon::lang::{Session, SessionConfig};
-use tycoon::reflect::{optimize_all, ReflectOptions, TermBuilder};
-use tycoon::store::{snapshot, Object, SVal};
+use tycoon::reflect::{optimize_all, relink_image_code, session_from_access_with, ReflectOptions};
+use tycoon::store::{DurableOptions, DurableStore, Object, SVal};
 use tycoon::vm::RVal;
 
-const SRC: &str = "
+fn main() {
+    let dir = std::env::temp_dir().join(format!("tycoon_demo_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("accounts.img");
+
+    // --- Session 1: build state on a durable store, commit, "crash". ------
+    let store = DurableStore::create(&path, DurableOptions::default()).expect("create");
+    let mut s1 =
+        Session::on_store(store, SessionConfig::default(), Registry::standard()).expect("session");
+    s1.load_str(
+        "
 module acct export balance, deposit
 let balance(a: Array): Dyn = array.get(a, 0)
 let deposit(a: Array, n: Int): Dyn =
   (array.set(a, 0, array.get(a, 0) + n); array.get(a, 0))
-end";
-
-fn main() {
-    let path = std::env::temp_dir().join("tycoon_demo.tys");
-
-    // --- Session 1: build state, snapshot it. -----------------------------
-    let mut s1 = Session::new(SessionConfig::default()).expect("session");
-    s1.load_str(SRC).expect("module loads");
-    // Persistent data: an account array, registered as a store root.
-    let account = s1.store.alloc(Object::Array(vec![SVal::Int(100)]));
-    s1.store.set_root("the-account", account);
+end",
+    )
+    .expect("module loads");
+    // Persistent data: an account array, registered as a store root. The
+    // allocation and the root binding are redo-logged like everything else.
+    let account = s1
+        .store
+        .alloc(Object::Array(vec![SVal::Int(100)]))
+        .expect("alloc");
+    s1.store.set_root("the-account", account).expect("root");
 
     let r = s1
         .call("acct.deposit", vec![RVal::Ref(account), RVal::Int(42)])
@@ -43,75 +59,63 @@ fn main() {
         "session 1: store holds {} objects, {} bytes ({} bytes PTML, {} closures)",
         stats.objects, stats.bytes, stats.ptml_bytes, stats.closures
     );
-    snapshot::save(&s1.store, &path).expect("snapshot saves");
-    println!("session 1: snapshot written to {}", path.display());
-    drop(s1);
-
-    // --- Session 2: reload, relink from PTML, keep computing. -------------
-    let store = snapshot::load(&path).expect("snapshot loads");
-    let mut s2 = Session::new(SessionConfig::default()).expect("fresh session");
-    // The snapshot's code-table indices are stale; rebuild every function
-    // from its persistent TML representation.
-    s2.store = store;
-    let account = s2.store.root("the-account").expect("root survives");
+    // Commit only — no checkpoint. The paged image on disk is still empty;
+    // the write-ahead log is the sole record of this session.
+    s1.store.commit().expect("commit");
     println!(
-        "\nsession 2: loaded {} objects; account balance object {account}",
-        s2.store.len()
+        "session 1: committed; {} record(s) dirty, image at {}",
+        s1.store.dirty_records(),
+        path.display()
     );
+    drop(s1); // crash: no checkpoint, no close
 
-    // Relink: find the acct functions in the loaded store by their module
-    // record and recompile them from PTML.
-    let module_oid = s2.store.root("acct").expect("module record survives");
-    let exports: Vec<(String, SVal)> = match s2.store.get(module_oid).expect("module") {
-        Object::Module(m) => m
-            .exports
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect(),
-        other => panic!("expected module record, found {}", other.kind()),
-    };
-    for (name, val) in exports {
-        let SVal::Ref(old) = val else { continue };
-        // Decode PTML, recompile against this session's code table, and
-        // swap the closure's code pointer in place.
-        let (abs, residuals) = {
-            let mut tb = TermBuilder::new(&mut s2.ctx, &s2.store);
-            let abs = tb.build(old, 0).expect("ptml decodes");
-            (abs, tb.residuals)
-        };
-        let compiled = s2.vm.compile_proc(&s2.ctx, &abs).expect("recompile");
-        let lookup: std::collections::HashMap<_, _> =
-            residuals.iter().map(|(n, v)| (*v, n.clone())).collect();
-        let old_bindings: Vec<(String, SVal)> = match s2.store.get(old).expect("closure") {
-            Object::Closure(c) => c.bindings.clone(),
-            _ => continue,
-        };
-        let env: Vec<SVal> = compiled
-            .captures
-            .iter()
-            .map(|v| {
-                let n = &lookup[v];
-                old_bindings
-                    .iter()
-                    .find(|(bn, _)| bn == n)
-                    .map(|(_, bv)| bv.clone())
-                    .expect("binding recorded")
-            })
-            .collect();
-        if let Object::Closure(c) = s2.store.get_mut(old).expect("closure") {
-            c.code = compiled.block;
-            c.env = env;
-        }
-        s2.globals.insert(format!("acct.{name}"), SVal::Ref(old));
-        println!("session 2: relinked acct.{name} from PTML");
-    }
+    // --- Session 2: recover from the log, relink from PTML, compute. ------
+    let (store, report) = DurableStore::open(&path, DurableOptions::default()).expect("open");
+    println!(
+        "\nsession 2: recovered {} logged record(s) across {} commit(s)",
+        report.redo_records, report.redo_commits
+    );
+    let mut s2 = session_from_access_with(store, SessionConfig::default(), Registry::standard());
+    // The image's code-table indices are stale; rebuild every function
+    // from its persistent TML representation, in place.
+    let relink = relink_image_code(&mut s2).expect("relink");
+    println!(
+        "session 2: relinked {} closure(s) from PTML ({} skipped)",
+        relink.relinked, relink.skipped
+    );
+    let account = s2.store.store().root("the-account").expect("root survives");
 
     let r = s2
         .call("acct.deposit", vec![RVal::Ref(account), RVal::Int(8)])
-        .expect("deposit runs after reload");
+        .expect("deposit runs after recovery");
     println!("session 2: deposit(8) -> {:?} (expected 150)", r.result);
     assert_eq!(r.result, RVal::Int(150));
 
-    std::fs::remove_file(&path).ok();
-    println!("\nround trip complete: code executed from a reloaded persistent image.");
+    // Consolidate: commit the new deposit, checkpoint the dirty records
+    // into paged storage, truncating the log.
+    s2.store.commit().expect("commit");
+    s2.store.checkpoint().expect("checkpoint");
+    let pages = s2.store.page_stats();
+    println!(
+        "session 2: checkpointed generation {} — {} page(s), {} record(s), {} chained",
+        pages.gen, pages.pages, pages.dir_entries, pages.chains
+    );
+    drop(s2);
+
+    // --- Session 3: the checkpointed image alone carries the state. -------
+    let (store, report) = DurableStore::open(&path, DurableOptions::default()).expect("reopen");
+    assert_eq!(report.redo_records, 0, "checkpoint consolidated the log");
+    let balance = match store
+        .store()
+        .get(store.store().root("the-account").expect("root"))
+        .expect("account object")
+    {
+        Object::Array(items) => items[0].clone(),
+        other => panic!("expected array, found {}", other.kind()),
+    };
+    println!("session 3: balance read from paged image: {balance:?}");
+    assert_eq!(balance, SVal::Int(150));
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nround trip complete: code and data recovered from the durable image.");
 }

@@ -15,16 +15,23 @@
 //! tmlc prims [--json]                                        list the primitive registry
 //!
 //! `profile` and `explain` accept either a TL source file or a persisted
-//! `.tys` image (whose PTML closures are relinked on load). Damaged images
-//! are loaded through the recovery cascade (backup, then object salvage);
-//! `fsck` checks magic/CRC/framing, walks every OID reference and decodes
-//! every closure's PTML, printing a JSON report. With `--repair` it writes
-//! whatever the recovery cascade can save to `-o`.
+//! `.tys` image (whose PTML closures are relinked on load). Paged durable
+//! images (TYCAT1 catalogs written by `--durable` sessions) are recognised
+//! by content and opened through full recovery — catalog, page file and
+//! write-ahead-log redo. Damaged images are loaded through the recovery
+//! cascade (backup, then object salvage); `fsck` checks magic/CRC/framing,
+//! walks every OID reference and decodes every closure's PTML, printing a
+//! JSON report (with a `pages` section for paged images). With `--repair`
+//! it writes whatever the recovery cascade can save to `-o`.
 //!
 //! options:
 //!   --mode library|direct     operator lowering (default library)
 //!   --opt none|local          static optimization (default none)
 //!   --dynamic                 whole-world reflective optimization before running
+//!   --durable <path>          run/opt/profile/stats: back the session with the
+//!                             write-ahead-logged paged store at <path> (created
+//!                             on first use); every mutation is logged, and the
+//!                             command ends with a commit + checkpoint
 //!   --jobs N                  worker threads for whole-world optimization (default 1;
 //!                             results are identical for every N)
 //!   --stats                   print machine counters
@@ -44,11 +51,11 @@ use tycoon::core::Registry;
 use tycoon::lang::types::LowerMode;
 use tycoon::lang::{OptMode, Session, SessionConfig};
 use tycoon::reflect::{
-    optimize_all, optimize_named, relink_image_code, session_from_store_with, ReflectOptions,
-    TermBuilder,
+    optimize_all, optimize_named, relink_image_code, session_from_access_with,
+    session_from_store_with, ReflectOptions, TermBuilder,
 };
 use tycoon::store::ptml::{decode_abs, encode_abs};
-use tycoon::store::{gc, snapshot, wal, Object, SVal};
+use tycoon::store::{gc, paged, snapshot, wal, DurableStore, Object, SVal, StoreAccess};
 use tycoon::trace;
 use tycoon::trace::Event;
 use tycoon::vm::RVal;
@@ -57,6 +64,7 @@ struct Options {
     mode: LowerMode,
     opt: OptMode,
     dynamic: bool,
+    durable: Option<String>,
     stats: bool,
     json: bool,
     verify: bool,
@@ -82,6 +90,7 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
         mode: LowerMode::Library,
         opt: OptMode::None,
         dynamic: false,
+        durable: None,
         stats: false,
         json: false,
         verify: false,
@@ -117,6 +126,7 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
                 }
             }
             "--dynamic" => o.dynamic = true,
+            "--durable" => o.durable = Some(it.next().ok_or("--durable needs a path")?),
             "--stats" => o.stats = true,
             "--spans" => o.spans = true,
             "--hist" => o.hist = true,
@@ -185,14 +195,63 @@ fn driver_registry() -> Registry {
     Registry::standard().with(tycoon::query::prims::register_prims)
 }
 
-/// Load either a TL source file or a persisted `.tys` store image into a
+/// Narrate what [`DurableStore::open`] had to do to reconstruct the store
+/// (shared by `--durable` sessions and read-only loads of paged images).
+fn report_open(path: &str, report: &tycoon::store::OpenReport) {
+    if report.snapshot.source != snapshot::RecoverySource::Primary {
+        eprintln!(
+            "tmlc: {path}: image damaged, loaded from {} ({} object(s), {} root(s) dropped)",
+            report.snapshot.source.name(),
+            report.snapshot.dropped_objects,
+            report.snapshot.dropped_roots
+        );
+    }
+    if report.migrated_legacy {
+        eprintln!("tmlc: {path}: migrated legacy snapshot to paged storage");
+    }
+    if report.redo_records > 0 {
+        eprintln!(
+            "tmlc: {path}: replayed {} logged record(s) across {} commit(s)",
+            report.redo_records, report.redo_commits
+        );
+    }
+}
+
+/// Build a runnable session around a recovered image: install the query
+/// externs, recompile and relink every closure from its PTML, and run the
+/// optional whole-world optimization pass.
+fn image_session(o: &Options, path: &str, store: tycoon::store::Store) -> Result<Session, String> {
+    let mut s = session_from_store_with(store, SessionConfig::default(), driver_registry());
+    tycoon::query::exec::install_externs(&mut s.vm.externs);
+    let relink = relink_image_code(&mut s).map_err(|e| e.to_string())?;
+    if relink.skipped > 0 {
+        eprintln!(
+            "tmlc: {path}: {} closure(s) left degraded (unreadable PTML)",
+            relink.skipped
+        );
+    }
+    if o.dynamic {
+        optimize_all(&mut s, &reflect_options(o)).map_err(|e| e.to_string())?;
+    }
+    Ok(s)
+}
+
+/// Load either a TL source file or a persisted store image into a
 /// runnable session. Images carry no executable code (the persistent
 /// representation of code is PTML), so every closure is recompiled and
 /// relinked in place; the session is built over the driver registry so
-/// decoding resolves the query primitives.
+/// decoding resolves the query primitives. Paged durable images are
+/// recognised by content and opened through full recovery (catalog +
+/// write-ahead-log redo), then dropped to a plain in-memory session for
+/// these read-only commands — pass `--durable` to keep writing to them.
 fn load_input(o: &Options) -> Result<Session, String> {
     let path = o.positional.first().ok_or("missing input file")?;
-    if path.ends_with(".tys") {
+    if paged::is_catalog_file(path) {
+        let (ds, report) =
+            DurableStore::open(path, Default::default()).map_err(|e| format!("{path}: {e}"))?;
+        report_open(path, &report);
+        image_session(o, path, ds.into_store())
+    } else if path.ends_with(".tys") {
         let (store, recovery) =
             snapshot::load_with_recovery(path).map_err(|e| format!("{path}: {e}"))?;
         if recovery.source != snapshot::RecoverySource::Primary {
@@ -203,7 +262,31 @@ fn load_input(o: &Options) -> Result<Session, String> {
                 recovery.dropped_roots
             );
         }
-        let mut s = session_from_store_with(store, SessionConfig::default(), driver_registry());
+        image_session(o, path, store)
+    } else {
+        let src = read_source(o)?;
+        build_session(o, &src)
+    }
+}
+
+/// Open (or create) the write-ahead-logged paged store at `path` and build
+/// a session over it: every mutation the command performs — module loads,
+/// reflective optimization, VM allocation — goes through the store-access
+/// seam and is redo-logged before it is applied. A positional `.tl` source
+/// is loaded on top of whatever the image holds (modules the image already
+/// carries are skipped); other positionals (the image path itself, entry
+/// names) are left to the command.
+fn durable_session(o: &Options, path: &str) -> Result<Session<DurableStore>, String> {
+    let config = SessionConfig {
+        lower: o.mode,
+        opt: o.opt,
+        ..Default::default()
+    };
+    let mut s = if std::path::Path::new(path).exists() {
+        let (ds, report) =
+            DurableStore::open(path, Default::default()).map_err(|e| format!("{path}: {e}"))?;
+        report_open(path, &report);
+        let mut s = session_from_access_with(ds, config, driver_registry());
         tycoon::query::exec::install_externs(&mut s.vm.externs);
         let relink = relink_image_code(&mut s).map_err(|e| e.to_string())?;
         if relink.skipped > 0 {
@@ -212,17 +295,49 @@ fn load_input(o: &Options) -> Result<Session, String> {
                 relink.skipped
             );
         }
-        if o.dynamic {
-            optimize_all(&mut s, &reflect_options(o)).map_err(|e| e.to_string())?;
+        // An image whose creating command failed before its first commit
+        // recovers as an empty store; give it the standard library like a
+        // fresh one (logged through the seam, so it persists this time).
+        if s.global("int.add").is_none() {
+            s.load_str(tycoon::lang::stdlib::STDLIB_SRC)
+                .map_err(|e| e.to_string())?;
         }
-        Ok(s)
+        s
     } else {
-        let src = read_source(o)?;
-        build_session(o, &src)
+        let ds =
+            DurableStore::create(path, Default::default()).map_err(|e| format!("{path}: {e}"))?;
+        let mut s = Session::on_store(ds, config, driver_registry()).map_err(|e| e.to_string())?;
+        tycoon::query::exec::install_externs(&mut s.vm.externs);
+        s
+    };
+    if let Some(src_path) = o.positional.first().filter(|p| p.ends_with(".tl")) {
+        let src = std::fs::read_to_string(src_path).map_err(|e| format!("{src_path}: {e}"))?;
+        match s.load_str(&src) {
+            Ok(()) => {}
+            // Re-running a program against its own image: the modules are
+            // already persistent, the relinked closures are current.
+            Err(tycoon::lang::LangError::DuplicateModule(_)) => {}
+            Err(e) => return Err(e.to_string()),
+        }
     }
+    if o.dynamic {
+        optimize_all(&mut s, &reflect_options(o)).map_err(|e| e.to_string())?;
+    }
+    Ok(s)
 }
 
-fn guess_entry(s: &Session, o: &Options) -> Result<String, String> {
+/// The durable epilogue for every `--durable` command: make the session's
+/// outstanding mutations a committed log prefix, then checkpoint the dirty
+/// pages into the catalog.
+fn seal_durable(s: &mut Session<DurableStore>) -> Result<(), String> {
+    s.store.commit().map_err(|e| format!("commit: {e}"))?;
+    s.store
+        .checkpoint()
+        .map_err(|e| format!("checkpoint: {e}"))?;
+    Ok(())
+}
+
+fn guess_entry<S: StoreAccess>(s: &Session<S>, o: &Options) -> Result<String, String> {
     if let Some(e) = &o.entry {
         return Ok(e.clone());
     }
@@ -241,8 +356,17 @@ fn guess_entry(s: &Session, o: &Options) -> Result<String, String> {
 /// report is identical for every `--jobs` value; higher values only spread
 /// the decode → optimize → encode work over threads.
 fn cmd_opt(o: &Options) -> Result<(), String> {
+    if let Some(path) = o.durable.clone() {
+        let mut s = durable_session(o, &path)?;
+        opt_report(&mut s, o)?;
+        return seal_durable(&mut s);
+    }
     let mut s = load_input(o)?;
-    let report = optimize_all(&mut s, &reflect_options(o)).map_err(|e| e.to_string())?;
+    opt_report(&mut s, o)
+}
+
+fn opt_report<S: StoreAccess>(s: &mut Session<S>, o: &Options) -> Result<(), String> {
+    let report = optimize_all(s, &reflect_options(o)).map_err(|e| e.to_string())?;
     println!(
         "optimized {} function(s) with {} job(s): size {} -> {} nodes, {} call site(s) inlined, {} reduction(s)",
         report.functions,
@@ -262,9 +386,18 @@ fn cmd_opt(o: &Options) -> Result<(), String> {
 }
 
 fn cmd_run(o: &Options) -> Result<(), String> {
+    if let Some(path) = o.durable.clone() {
+        let mut s = durable_session(o, &path)?;
+        run_entry(&mut s, o)?;
+        return seal_durable(&mut s);
+    }
     let src = read_source(o)?;
     let mut s = build_session(o, &src)?;
-    let entry = guess_entry(&s, o)?;
+    run_entry(&mut s, o)
+}
+
+fn run_entry<S: StoreAccess>(s: &mut Session<S>, o: &Options) -> Result<(), String> {
+    let entry = guess_entry(s, o)?;
     let args: Vec<RVal> = o.args.iter().map(|n| RVal::Int(*n)).collect();
     let out = s.call(&entry, args).map_err(|e| e.to_string())?;
     for line in &out.output {
@@ -399,18 +532,54 @@ fn top_counters(prefix: &str, n: usize) -> Vec<(String, u64)> {
 
 fn cmd_info(o: &Options) -> Result<(), String> {
     let path = o.positional.first().ok_or("missing image file")?;
-    let (store, recovery) = snapshot::load_with_recovery(path)
-        .map_err(|e| format!("{e} (run `tmlc fsck {path}` for a full report)"))?;
-    if recovery.source != snapshot::RecoverySource::Primary {
-        eprintln!(
-            "tmlc: {path}: image damaged, loaded from {} ({} object(s), {} root(s) dropped)",
-            recovery.source.name(),
-            recovery.dropped_objects,
-            recovery.dropped_roots
-        );
-    }
     let rec = trace::global();
     rec.clear();
+    let store;
+    let identity;
+    if paged::is_catalog_file(path) {
+        // A paged durable image: decode the catalog and rebuild the store
+        // from the page file, without touching the write-ahead log (info
+        // is read-only; the log is reported below from its own scan).
+        let opened = paged::open_catalog(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?
+            .ok_or_else(|| {
+                format!("{path}: unreadable paged catalog (run `tmlc fsck {path}` for a report)")
+            })?;
+        if opened.source != snapshot::RecoverySource::Primary {
+            eprintln!(
+                "tmlc: {path}: catalog damaged, loaded from {}",
+                opened.source.name()
+            );
+        }
+        let p = opened.heap.stats();
+        let b = opened.heap.buffer_stats();
+        rec.counter("store.page.gen").set(p.gen);
+        rec.counter("store.page.pages").set(p.pages);
+        rec.counter("store.page.records").set(p.dir_entries);
+        rec.counter("store.page.chains").set(p.chains);
+        rec.counter("store.page.live_bytes").set(p.live_bytes);
+        rec.counter("store.page.dead_bytes").set(p.dead_bytes);
+        rec.counter("store.buffer.resident").set(p.resident);
+        rec.counter("store.buffer.hits").set(b.hits);
+        rec.counter("store.buffer.misses").set(b.misses);
+        rec.counter("store.buffer.evictions").set(b.evictions);
+        rec.counter("store.buffer.writebacks").set(b.writebacks);
+        identity = opened.identity;
+        store = opened.store;
+    } else {
+        let (st, recovery) = snapshot::load_with_recovery(path)
+            .map_err(|e| format!("{e} (run `tmlc fsck {path}` for a full report)"))?;
+        if recovery.source != snapshot::RecoverySource::Primary {
+            eprintln!(
+                "tmlc: {path}: image damaged, loaded from {} ({} object(s), {} root(s) dropped)",
+                recovery.source.name(),
+                recovery.dropped_objects,
+                recovery.dropped_roots
+            );
+        }
+        identity = snapshot::identity_of_file(path).map_err(|e| e.to_string())?;
+        store = st;
+    }
     // All reporting goes through the counter registry: footprint and cache
     // totals as gauges, object population per kind.
     store.publish_counters();
@@ -422,7 +591,7 @@ fn cmd_info(o: &Options) -> Result<(), String> {
     // would be skipped on open.
     let scan = wal::Wal::scan(wal::wal_path(path)).map_err(|e| format!("{path}.wal: {e}"))?;
     if scan.exists {
-        let stale = scan.base != Some(snapshot::identity_of_file(path).map_err(|e| e.to_string())?);
+        let stale = scan.base != Some(identity);
         rec.counter("store.wal.log_bytes").add(scan.file_bytes);
         rec.counter("store.wal.log_records")
             .add(scan.records.len() as u64);
@@ -574,6 +743,19 @@ fn print_span_tree(samples: &[trace::Sample]) {
     }
 }
 
+/// The measured body of `profile`: one entry-point call plus a counter
+/// publish, over whichever store backend the command selected.
+fn profile_call<S: StoreAccess>(
+    s: &mut Session<S>,
+    fname: &str,
+    o: &Options,
+) -> Result<tycoon::lang::session::CallResult, String> {
+    let args: Vec<RVal> = o.args.iter().map(|n| RVal::Int(*n)).collect();
+    let out = s.call(fname, args).map_err(|e| e.to_string())?;
+    s.store.base().publish_counters();
+    Ok(out)
+}
+
 fn cmd_profile(o: &Options) -> Result<(), String> {
     let fname = o
         .positional
@@ -585,10 +767,16 @@ fn cmd_profile(o: &Options) -> Result<(), String> {
     rec.clear();
     rec.set_capacity(1 << 16);
     rec.set_enabled(true);
-    let mut s = load_input(o)?;
-    let args: Vec<RVal> = o.args.iter().map(|n| RVal::Int(*n)).collect();
-    let out = s.call(&fname, args).map_err(|e| e.to_string())?;
-    s.store.publish_counters();
+    let out = if let Some(path) = o.durable.clone() {
+        let mut s = durable_session(o, &path)?;
+        let out = profile_call(&mut s, &fname, o)?;
+        s.store.publish_page_counters();
+        seal_durable(&mut s)?;
+        out
+    } else {
+        let mut s = load_input(o)?;
+        profile_call(&mut s, &fname, o)?
+    };
     rec.set_enabled(false);
     write_exports(o)?;
     if o.json {
@@ -636,29 +824,46 @@ fn cmd_profile(o: &Options) -> Result<(), String> {
 /// repeated entry-point runs (vm), and a WAL commit/checkpoint cycle on a
 /// scratch durable store — then report the latency histograms as a
 /// per-subsystem time-breakdown table with percentiles.
-fn cmd_stats(o: &Options) -> Result<(), String> {
-    let rec = trace::global();
-    rec.clear();
-    rec.set_capacity(1 << 16);
-    rec.set_enabled(true);
-    let mut s = load_input(o)?;
+/// The measured body of `stats`: a cache-bypassing whole-world
+/// optimization pass (opt + reflect) followed by repeated entry-point
+/// calls (vm), over whichever store backend the command selected.
+fn stats_exercise<S: StoreAccess>(
+    s: &mut Session<S>,
+    o: &Options,
+) -> Result<(String, Option<RVal>), String> {
     let fname = match o.positional.get(1) {
         Some(f) => f.clone(),
-        None => guess_entry(&s, o)?,
+        None => guess_entry(s, o)?,
     };
-    // Optimizer + reflect paths: a cache-bypassing whole-world pass.
     let ropts = ReflectOptions {
         use_cache: false,
         ..reflect_options(o)
     };
-    optimize_all(&mut s, &ropts).map_err(|e| e.to_string())?;
-    // VM path: repeated entry calls.
+    optimize_all(s, &ropts).map_err(|e| e.to_string())?;
     let args: Vec<RVal> = o.args.iter().map(|n| RVal::Int(*n)).collect();
     let mut result = None;
     for _ in 0..o.runs.max(1) {
         let out = s.call(&fname, args.clone()).map_err(|e| e.to_string())?;
         result = Some(out.result);
     }
+    Ok((fname, result))
+}
+
+fn cmd_stats(o: &Options) -> Result<(), String> {
+    let rec = trace::global();
+    rec.clear();
+    rec.set_capacity(1 << 16);
+    rec.set_enabled(true);
+    let (fname, result) = if let Some(path) = o.durable.clone() {
+        let mut s = durable_session(o, &path)?;
+        let r = stats_exercise(&mut s, o)?;
+        s.store.publish_page_counters();
+        seal_durable(&mut s)?;
+        r
+    } else {
+        let mut s = load_input(o)?;
+        stats_exercise(&mut s, o)?
+    };
     // Store/WAL path: a commit + checkpoint cycle on a scratch store.
     let dir = std::env::temp_dir().join(format!("tmlc_stats_{}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
@@ -910,14 +1115,46 @@ fn json_str(s: &str) -> String {
 fn cmd_fsck(o: &Options) -> Result<(), String> {
     let path = o.positional.first().ok_or("missing image file")?;
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    let format = if bytes.starts_with(b"TYSTO3") {
+    // Formats: 2/3 are legacy whole-image snapshots, 4 is the paged
+    // TYCAT1 catalog + page file written by durable checkpoints.
+    let is_paged = bytes.starts_with(b"TYCAT1");
+    let format = if is_paged {
+        4
+    } else if bytes.starts_with(b"TYSTO3") {
         3
     } else if bytes.starts_with(b"TYSTO2") {
         2
     } else {
         0
     };
-    let decoded = snapshot::from_bytes(&bytes);
+    let mut pages: Option<String> = None;
+    let mut catalog_identity: Option<snapshot::ImageIdentity> = None;
+    let mut paged_degraded = false;
+    let decoded: Result<tycoon::store::Store, String> = if is_paged {
+        match paged::open_catalog(std::path::Path::new(path)) {
+            Ok(Some(opened)) => {
+                let p = opened.heap.stats();
+                pages = Some(format!(
+                    "{{\"generation\": {}, \"pages\": {}, \"records\": {}, \"chains\": {}, \
+                     \"live_bytes\": {}, \"dead_bytes\": {}, \"source\": {}}}",
+                    p.gen,
+                    p.pages,
+                    p.dir_entries,
+                    p.chains,
+                    p.live_bytes,
+                    p.dead_bytes,
+                    json_str(opened.source.name())
+                ));
+                catalog_identity = Some(opened.identity);
+                paged_degraded = opened.source != snapshot::RecoverySource::Primary;
+                Ok(opened.store)
+            }
+            Ok(None) => Err("unreadable paged catalog (no decodable sibling)".to_string()),
+            Err(e) => Err(e.to_string()),
+        }
+    } else {
+        snapshot::from_bytes(&bytes).map_err(|e| e.to_string())
+    };
     let mut dangling_refs: Vec<(u64, u64)> = Vec::new();
     let mut dangling_roots: Vec<String> = Vec::new();
     let mut corrupt_ptml: Vec<(u64, String)> = Vec::new();
@@ -965,9 +1202,13 @@ fn cmd_fsck(o: &Options) -> Result<(), String> {
     // whose header no longer matches the image is stale and would be
     // discarded on open.
     let log = wal::Wal::scan(wal::wal_path(path)).map_err(|e| format!("{path}.wal: {e}"))?;
-    let log_stale = log.exists && log.base != Some(snapshot::identity_of(&bytes));
+    let image_identity = catalog_identity.unwrap_or_else(|| snapshot::identity_of(&bytes));
+    let log_stale = log.exists && log.base != Some(image_identity);
 
+    // A paged catalog that only decoded via its backup/tmp sibling is
+    // damaged even though it loaded: the primary needs repair.
     let ok = decoded.is_ok()
+        && !paged_degraded
         && dangling_refs.is_empty()
         && dangling_roots.is_empty()
         && corrupt_ptml.is_empty();
@@ -975,8 +1216,17 @@ fn cmd_fsck(o: &Options) -> Result<(), String> {
     let mut repaired: Option<(snapshot::RecoveryReport, String)> = None;
     if o.repair && !ok {
         let out = o.output.clone().ok_or("fsck --repair needs -o <out.tys>")?;
-        let (store, report) =
-            snapshot::load_with_recovery(path).map_err(|e| format!("repair failed: {e}"))?;
+        // Paged images repair through the durable recovery cascade (catalog
+        // siblings + committed WAL prefix); legacy snapshots through the
+        // snapshot cascade (backup, object salvage). Either way the result
+        // is written as a fresh whole-image snapshot.
+        let (store, report) = if is_paged {
+            let (ds, rep) = DurableStore::open(path, Default::default())
+                .map_err(|e| format!("repair failed: {e}"))?;
+            (ds.into_store(), rep.snapshot)
+        } else {
+            snapshot::load_with_recovery(path).map_err(|e| format!("repair failed: {e}"))?
+        };
         snapshot::save(&store, &out).map_err(|e| format!("repair: {out}: {e}"))?;
         repaired = Some((report, out));
     }
@@ -1016,6 +1266,10 @@ fn cmd_fsck(o: &Options) -> Result<(), String> {
         j.push_str(&format!("{{\"oid\": {oid}, \"error\": {}}}", json_str(err)));
     }
     j.push_str("],\n");
+    match &pages {
+        Some(p) => j.push_str(&format!("  \"pages\": {p},\n")),
+        None => j.push_str("  \"pages\": null,\n"),
+    }
     if log.exists {
         j.push_str(&format!(
             "  \"wal\": {{\"bytes\": {}, \"records\": {}, \"committed\": {}, \"commits\": {}, \"uncommitted\": {}, \"torn_tail\": {}, \"stale\": {}}},\n",

@@ -466,6 +466,98 @@ fn info_json_is_deterministic_with_sorted_keys() {
     std::fs::remove_file(&image).ok();
 }
 
+/// End-to-end `--durable` round trip: a run against a fresh durable image
+/// persists the program; a second run executes straight from the image
+/// with no source file; `info --json` on the paged image is deterministic,
+/// sorted, and carries the `store.page.*` / `store.buffer.*` gauges; and
+/// `fsck` reports a healthy image with a `pages` section.
+#[test]
+fn durable_run_persists_and_info_reports_page_gauges() {
+    let dir = std::env::temp_dir().join(format!("tmlc_durable_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let image = dir.join("db.img");
+    let out = tmlc()
+        .args(["run"])
+        .arg(demo_file())
+        .args(["--durable"])
+        .arg(&image)
+        .args(["--arg", "10"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "385");
+    // Second run: no source file — the program lives in the image.
+    let out = tmlc()
+        .args(["run", "--durable"])
+        .arg(&image)
+        .args(["--entry", "demo.main", "--arg", "20"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "2870");
+    // info --json: deterministic, sorted, with the paged-store gauges.
+    let run = || {
+        let out = tmlc()
+            .args(["info", "--json"])
+            .arg(&image)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "info --json must be byte-identical across runs");
+    assert!(json_is_valid(a.trim()), "{a}");
+    for gauge in [
+        "store.page.gen",
+        "store.page.pages",
+        "store.page.records",
+        "store.page.live_bytes",
+        "store.buffer.resident",
+        "store.buffer.hits",
+    ] {
+        assert!(a.contains(&format!("\"{gauge}\"")), "no {gauge} in {a}");
+    }
+    let counters = a
+        .split("\"counters\":{")
+        .nth(1)
+        .and_then(|s| s.split('}').next())
+        .unwrap_or_else(|| panic!("no counters object in {a}"));
+    let keys: Vec<&str> = counters
+        .split(',')
+        .filter_map(|kv| kv.split(':').next())
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "counter keys not sorted in {a}");
+    // fsck: healthy, format 4 (paged), with a pages section.
+    let out = tmlc().args(["fsck"]).arg(&image).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("\"format\": 4"), "{report}");
+    assert!(report.contains("\"pages\": {"), "{report}");
+    assert!(report.contains("\"ok\": true"), "{report}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn unknown_command_fails_cleanly() {
     let out = tmlc().args(["frobnicate"]).output().unwrap();
