@@ -1,0 +1,316 @@
+//! Experiment E17: transaction-server throughput under contention.
+//!
+//! The paper's open-database setting has many clients executing
+//! persistent closures against one shared store; PRs 1-8 priced the
+//! single-session pieces (dispatch, WAL, checkpoints, the optimization
+//! cache). E17 prices the *concurrent* composition: `CLIENTS` sessions
+//! run two-cell transfer transactions in arbitrary lock orders through
+//! the `tml-server` (strict 2PL, deadlock detection, typed retryable
+//! aborts), while another session repeatedly re-optimizes a shipped
+//! closure through the reflective path.
+//!
+//! Reported:
+//! - committed-transaction throughput and client-observed commit
+//!   latency (p50/p99, retries included — what an application sees);
+//! - the optimization-cache hit rate *under contention*: concurrent
+//!   data commits must not invalidate cached products whose observed
+//!   objects did not change (E11's revalidation doing its job with the
+//!   lock table in the loop).
+//!
+//! With `--check` the bench exits non-zero unless the workload lost no
+//! update (every cell equals its acked delta sum, transfers conserve
+//! the total) and the opt-cache hit rate stays >= 0.9.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tml_core::Registry;
+use tml_lang::ast::Type;
+use tml_lang::{Session, SessionConfig};
+use tml_store::{DurableStore, Object, SVal};
+use tml_txn::wire::Value;
+use tml_txn::{Client, LockOptions, Server, ServerOptions};
+
+const CELLS: usize = 4;
+const CLIENTS: usize = 8;
+const TXNS_PER_CLIENT: usize = 40;
+const OPTIMIZE_ROUNDS: usize = 20;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Pull the PTML bytes off a compiled global's closure.
+fn extract_ptml(client: &Session, name: &str) -> Vec<u8> {
+    let SVal::Ref(oid) = *client.global(name).expect("global bound") else {
+        panic!("expected closure global");
+    };
+    let Object::Closure(clo) = client.store.get(oid).expect("closure") else {
+        panic!("expected closure object");
+    };
+    let Object::Ptml(bytes) = client
+        .store
+        .get(clo.ptml.expect("PTML attached"))
+        .expect("ptml")
+    else {
+        panic!("expected ptml object");
+    };
+    bytes.clone()
+}
+
+/// Author one bump function per cell (free identifier `db.s{k}` the
+/// server resolves against its own roots) plus a pure `e17.inc` whose
+/// optimization product no data commit can invalidate.
+fn author_payloads() -> Vec<(String, Vec<u8>)> {
+    let mut client = Session::default_session().expect("client session");
+    let mut src = String::from("module work export ");
+    src.push_str(
+        &(0..CELLS)
+            .map(|k| format!("bump{k}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    src.push('\n');
+    for k in 0..CELLS {
+        let arr = client.store.alloc(Object::Array(vec![SVal::Int(0)]));
+        client.globals.insert(format!("db.s{k}"), SVal::Ref(arr));
+        client.types.insert(format!("db.s{k}"), Type::Array);
+        src.push_str(&format!(
+            "let bump{k}(d: Int): Int =\n\
+             \x20 (array.set(db.s{k}, 0, array.get(db.s{k}, 0) + d);\n\
+             \x20  array.get(db.s{k}, 0))\n"
+        ));
+    }
+    src.push_str("end");
+    client.load_str(&src).expect("cell module compiles");
+    client
+        .load_str("module e17 export inc\nlet inc(x: Int): Int = x + 1\nend")
+        .expect("inc compiles");
+    let mut out: Vec<(String, Vec<u8>)> = (0..CELLS)
+        .map(|k| {
+            let name = format!("work.bump{k}");
+            let ptml = extract_ptml(&client, &name);
+            (name, ptml)
+        })
+        .collect();
+    out.push(("e17.inc".into(), extract_ptml(&client, "e17.inc")));
+    out
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    println!("E17 — transaction-server throughput under contention\n");
+    println!(
+        "{CLIENTS} clients x {TXNS_PER_CLIENT} two-cell transfers over {CELLS} cells, \
+         {OPTIMIZE_ROUNDS} concurrent re-optimizations\n"
+    );
+    let dir = std::env::temp_dir().join(format!("tml_bench_e17_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let image = dir.join("e17.img");
+
+    // Cache counters flow through the trace registry.
+    let rec = tml_trace::global();
+    rec.clear();
+    rec.set_capacity(1 << 16);
+    rec.set_enabled(true);
+
+    let server = Server::bind(ServerOptions {
+        addr: "127.0.0.1:0".into(),
+        lock: LockOptions {
+            timeout: Duration::from_millis(120),
+            retries: 3,
+            backoff: Duration::from_millis(2),
+        },
+        ..ServerOptions::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = {
+        let image = image.clone();
+        std::thread::spawn(move || {
+            let ds = DurableStore::create(&image, Default::default()).expect("create");
+            let mut sess = Session::on_store(ds, SessionConfig::default(), Registry::standard())
+                .expect("server session");
+            for k in 0..CELLS {
+                let cell = sess
+                    .store
+                    .alloc(Object::Array(vec![SVal::Int(0)]))
+                    .expect("cell array");
+                sess.store
+                    .set_root(&format!("db.s{k}"), cell)
+                    .expect("cell root");
+                sess.globals.insert(format!("db.s{k}"), SVal::Ref(cell));
+            }
+            sess.store.commit().expect("commit setup");
+            server.run(sess)
+        })
+    };
+    {
+        // Wait for the accept loop, then install the payloads.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut c = loop {
+            match Client::connect(addr) {
+                Ok(c) => break c,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                Err(e) => panic!("server never came up: {e}"),
+            }
+        };
+        for (name, ptml) in author_payloads() {
+            c.ship(&name, &ptml).expect("ship");
+        }
+        c.bye().ok();
+    }
+
+    let acked: Arc<Vec<AtomicI64>> = Arc::new((0..CELLS).map(|_| AtomicI64::new(0)).collect());
+    let started = Instant::now();
+    let writers: Vec<_> = (0..CLIENTS)
+        .map(|w| {
+            let acked = Arc::clone(&acked);
+            std::thread::spawn(move || {
+                let mut rng = XorShift(0xE17 ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+                let mut c = Client::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(TXNS_PER_CLIENT);
+                for _ in 0..TXNS_PER_CLIENT {
+                    let src = (rng.next() % CELLS as u64) as usize;
+                    let mut dst = (rng.next() % CELLS as u64) as usize;
+                    if dst == src {
+                        dst = (dst + 1) % CELLS;
+                    }
+                    let t0 = Instant::now();
+                    c.transact(64, |c| {
+                        c.call(&format!("work.bump{src}"), &[Value::Int(1)])?;
+                        c.call(&format!("work.bump{dst}"), &[Value::Int(-1)])
+                    })
+                    .expect("transfer eventually commits");
+                    latencies.push(t0.elapsed().as_secs_f64());
+                    acked[src].fetch_add(1, Ordering::SeqCst);
+                    acked[dst].fetch_add(-1, Ordering::SeqCst);
+                }
+                c.bye().ok();
+                latencies
+            })
+        })
+        .collect();
+    // Concurrent re-optimizations: first round fills the cache, the rest
+    // must revalidate to hits despite the data commits happening around
+    // them.
+    let optimizer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect optimizer");
+        for _ in 0..OPTIMIZE_ROUNDS {
+            c.optimize("e17.inc").expect("optimize");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        c.bye().ok();
+    });
+
+    let mut latencies: Vec<f64> = Vec::new();
+    for w in writers {
+        latencies.extend(w.join().expect("writer thread"));
+    }
+    optimizer.join().expect("optimizer thread");
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Read back the cells, then drain the server.
+    let mut c = Client::connect(addr).expect("connect");
+    let mut cells = Vec::new();
+    for k in 0..CELLS {
+        let Value::Int(v) = c
+            .call(&format!("work.bump{k}"), &[Value::Int(0)])
+            .expect("read cell")
+        else {
+            panic!("expected int");
+        };
+        cells.push(v);
+    }
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+    rec.set_enabled(false);
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total_txns = (CLIENTS * TXNS_PER_CLIENT) as f64;
+    let hits = rec.counter("store.cache.hit").get();
+    let misses = rec.counter("store.cache.miss").get();
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    println!(
+        "committed transactions:   {:>8}   ({:.0} txn/s)",
+        total_txns as u64,
+        total_txns / elapsed
+    );
+    println!(
+        "commit latency:           {:>8.2} ms p50   {:>8.2} ms p99",
+        percentile(&latencies, 0.50) * 1e3,
+        percentile(&latencies, 0.99) * 1e3
+    );
+    println!("opt-cache under contention: {hits} hits / {misses} misses   (rate {hit_rate:.3})");
+    println!(
+        "lock pressure:            {} waits, {} deadlocks, {} timeouts, {} txn aborts",
+        rec.counter("lock.waits").get(),
+        rec.counter("lock.deadlocks").get(),
+        rec.counter("lock.timeouts").get(),
+        rec.counter("txn.aborts").get()
+    );
+    for (name, h) in rec.hist_snapshot() {
+        if name == "lock.wait" {
+            println!(
+                "lock.wait histogram:      {} samples, p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms",
+                h.count,
+                h.p50 as f64 / 1e6,
+                h.p90 as f64 / 1e6,
+                h.p99 as f64 / 1e6
+            );
+        }
+    }
+
+    let total: i64 = cells.iter().sum();
+    let mut ok = true;
+    for (k, &v) in cells.iter().enumerate() {
+        let want = acked[k].load(Ordering::SeqCst);
+        if v != want {
+            println!("LOST UPDATE: cell {k} holds {v}, acked deltas sum to {want}");
+            ok = false;
+        }
+    }
+    if total != 0 {
+        println!("LOST UPDATE: transfers must conserve the total, got {total}");
+        ok = false;
+    }
+    if hit_rate < 0.9 {
+        println!("cache FAILED: hit rate {hit_rate:.3} < 0.9 under contention");
+        ok = false;
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    if check {
+        if ok {
+            println!("\ncheck passed: no lost updates, opt-cache hit rate >= 0.9");
+        } else {
+            println!("\ncheck FAILED");
+            std::process::exit(1);
+        }
+    }
+}

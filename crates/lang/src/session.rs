@@ -296,13 +296,24 @@ impl<S: StoreAccess> Session<S> {
             &mut self.store,
             self.config.fuel,
         );
-        match machine.call_value(target, args) {
-            Ok(result) => Ok(CallResult {
+        match machine.call_value_checked(target, args) {
+            Ok(Ok(result)) => Ok(CallResult {
                 result,
                 stats: machine.stats,
                 output: machine.output().to_vec(),
             }),
-            Err(exc) => Err(LangError::Exception(format!("{exc:?}"))),
+            Ok(Err(exc)) => Err(LangError::Exception(format!("{exc:?}"))),
+            // Transaction aborts stay typed: the caller (server executor,
+            // txn layer) matches on the StoreError to decide whether to
+            // retry the request, so they must not be flattened into the
+            // stringly Exception channel.
+            Err(tml_vm::machine::VmError::Aborted(e)) => Err(LangError::Store(e)),
+            // Other machine-level failures keep their historical shape:
+            // a TML exception string, as the flattening wrapper produced.
+            Err(e) => Err(LangError::Exception(format!(
+                "{:?}",
+                RVal::Str(format!("vm:{e}").into())
+            ))),
         }
     }
 

@@ -34,6 +34,16 @@ use crate::store::{Store, StoreError, StoreStats};
 use crate::sval::SVal;
 use tml_core::Oid;
 
+/// A transaction stamp for logged mutations: which transaction owns the
+/// record and whether it is a compensating (rollback) record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnStamp {
+    /// Owning transaction id.
+    pub txn: u64,
+    /// `true` for compensating records written by rollback.
+    pub clr: bool,
+}
+
 /// The uniform read/write surface of an object store.
 ///
 /// Read methods have default implementations that delegate to
@@ -81,6 +91,11 @@ pub trait StoreAccess {
     /// Attach a derived attribute to an object.
     fn set_attr(&mut self, oid: Oid, key: &str, value: i64) -> Result<(), StoreError>;
 
+    /// Remove a derived attribute; returns the previous value. The
+    /// transaction layer uses it to roll back a `set_attr` that created
+    /// the key.
+    fn remove_attr(&mut self, oid: Oid, key: &str) -> Result<Option<i64>, StoreError>;
+
     /// Array element update (`[:=]` primitive).
     fn array_set(&mut self, oid: Oid, index: i64, value: SVal) -> Result<(), StoreError>;
 
@@ -98,6 +113,36 @@ pub trait StoreAccess {
     /// Consolidate on-disk state (flush dirty pages, truncate the log).
     /// A no-op on the plain store.
     fn checkpoint(&mut self) -> Result<(), StoreError>;
+
+    // -- Transactions ------------------------------------------------------
+    //
+    // Hooks the transaction layer (crates/txn) drives. A logged backend
+    // stamps and marks records in its WAL; the plain store ignores
+    // stamping and treats markers as ordinary commits, so the transaction
+    // machinery runs unchanged (minus durability) over `S = Store`.
+
+    /// Stamp subsequent logged mutations as belonging to transaction
+    /// `stamp.txn` (`clr` flags compensating rollback records). `None`
+    /// returns to unstamped autocommit logging. No-op on a plain store.
+    fn txn_stamp(&mut self, _stamp: Option<TxnStamp>) {}
+
+    /// Append a transaction resolution marker — commit (`committed`) or
+    /// abort — for `txn`, then make it durable through the normal commit
+    /// path. Returns the commit's sync status. Defaults to a plain
+    /// commit on backends without a log.
+    fn txn_marker(&mut self, _txn: u64, _committed: bool) -> Result<bool, StoreError> {
+        self.commit()
+    }
+
+    /// Pin the log against consolidation: while at least one pin is
+    /// held, a logged backend must not checkpoint (truncating the log
+    /// would durably apply still-open transactions and discard their
+    /// undo records). The transaction layer pins at `begin` and unpins
+    /// after the resolution marker. No-op on a plain store.
+    fn txn_pin(&mut self) {}
+
+    /// Release one pin taken by [`StoreAccess::txn_pin`].
+    fn txn_unpin(&mut self) {}
 
     // -- Optimization cache ----------------------------------------------
     //
@@ -220,6 +265,10 @@ impl StoreAccess for Store {
     fn set_attr(&mut self, oid: Oid, key: &str, value: i64) -> Result<(), StoreError> {
         Store::set_attr(self, oid, key, value);
         Ok(())
+    }
+
+    fn remove_attr(&mut self, oid: Oid, key: &str) -> Result<Option<i64>, StoreError> {
+        Ok(Store::remove_attr(self, oid, key))
     }
 
     fn array_set(&mut self, oid: Oid, index: i64, value: SVal) -> Result<(), StoreError> {

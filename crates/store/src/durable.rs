@@ -59,7 +59,7 @@
 //!
 //! [`commit`]: DurableStore::commit
 
-use crate::access::StoreAccess;
+use crate::access::{StoreAccess, TxnStamp};
 use crate::buffer::BufferStats;
 use crate::cache::{CacheEntry, CacheKey};
 use crate::gc::{self, GcStats};
@@ -113,6 +113,12 @@ pub struct OpenReport {
     /// The image was a legacy whole-image snapshot, converted to the
     /// paged TYCAT1 layout during this open.
     pub migrated_legacy: bool,
+    /// Loser transactions — in flight at the crash, inside the committed
+    /// prefix but without a resolution marker — rolled back during
+    /// replay.
+    pub losers_undone: u64,
+    /// Compensating undo steps applied to roll those losers back.
+    pub loser_records: u64,
 }
 
 /// A write-ahead-logged [`Store`] bound to an image path, checkpointing
@@ -136,6 +142,15 @@ pub struct DurableStore {
     /// A generation rewrite (compaction) began but its catalog never
     /// landed: the next checkpoint must rewrite everything.
     force_full: bool,
+    /// Transaction stamp for subsequent logged mutations (the txn layer
+    /// sets it around each operation it routes through the seam).
+    stamp: Option<TxnStamp>,
+    /// Open transactions pinning the log. While pinned, checkpoints are
+    /// refused/deferred: truncating the log would durably apply
+    /// uncommitted operations with no undo records left to roll them
+    /// back. GC is refused for the same reason (it could free objects a
+    /// rollback still needs).
+    txn_pins: u64,
 }
 
 fn path_key(path: &Path) -> u64 {
@@ -179,7 +194,15 @@ fn apply(store: &mut Store, rec: &WalRecord) -> Result<(), StoreError> {
             store.set_attr(*oid, key.clone(), *value);
             Ok(())
         }
+        WalRecord::RemoveAttr { oid, key } => {
+            store.remove_attr(*oid, key);
+            Ok(())
+        }
         WalRecord::Commit => Ok(()),
+        // Transaction wrappers: the inner mutation applies identically;
+        // winner/loser bookkeeping happens in `replay_committed`.
+        WalRecord::TxnOp { op, .. } => apply(store, op),
+        WalRecord::TxnCommit { .. } | WalRecord::TxnAbort { .. } => Ok(()),
     }
 }
 
@@ -189,8 +212,104 @@ fn touched_oid(rec: &WalRecord) -> Option<Oid> {
         WalRecord::Alloc { oid, .. } | WalRecord::Set { oid, .. } | WalRecord::Free { oid } => {
             Some(*oid)
         }
+        WalRecord::TxnOp { op, .. } => touched_oid(op),
         _ => None,
     }
+}
+
+/// Outcome of a txn-aware replay of a log's committed prefix.
+#[derive(Debug, Default)]
+struct Replay {
+    redo_records: u64,
+    redo_commits: u64,
+    dirty: BTreeSet<Oid>,
+    last_lsn: u64,
+    losers: Vec<u64>,
+    loser_records: u64,
+}
+
+/// Replay the committed prefix of `scan` onto `store`, ARIES-style.
+///
+/// Forward pass: every record applies through the same entry points the
+/// original mutation used. For a forward `TxnOp` the matching undo is
+/// computed against the pre-state and pushed on the transaction's undo
+/// list; a compensating (`clr`) record instead retires the list's last
+/// entry — CLRs are logged in exact reverse undo order at runtime, so a
+/// crash mid-rollback resumes where the rollback stopped. `TxnCommit` /
+/// `TxnAbort` resolve the transaction.
+///
+/// After the pass, unresolved (loser) transactions are rolled back by
+/// applying their remaining undo lists in reverse — exactly the state a
+/// runtime abort would have produced, which is what makes recovery
+/// byte-identical to the committed-transaction prefix.
+fn replay_committed(store: &mut Store, scan: &crate::wal::LogScan) -> std::io::Result<Replay> {
+    let fail = |lsn: u64, e: StoreError| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("wal redo failed at lsn {lsn}: {e}"),
+        )
+    };
+    let mut out = Replay::default();
+    let mut active: std::collections::BTreeMap<u64, Vec<WalRecord>> =
+        std::collections::BTreeMap::new();
+    for (lsn, rec) in &scan.records[..scan.committed] {
+        match rec {
+            WalRecord::TxnOp { txn, clr, op } => {
+                if *clr {
+                    apply(store, op).map_err(|e| fail(*lsn, e))?;
+                    if let Some(undo) = active.get_mut(txn) {
+                        undo.pop();
+                    }
+                } else {
+                    let undo = op.undo_against(store).map_err(|e| fail(*lsn, e))?;
+                    apply(store, op).map_err(|e| fail(*lsn, e))?;
+                    let list = active.entry(*txn).or_default();
+                    if let Some(u) = undo {
+                        list.push(u);
+                    }
+                }
+                if let Some(oid) = touched_oid(op) {
+                    out.dirty.insert(oid);
+                }
+            }
+            WalRecord::TxnCommit { txn } | WalRecord::TxnAbort { txn } => {
+                active.remove(txn);
+            }
+            _ => {
+                apply(store, rec).map_err(|e| fail(*lsn, e))?;
+                if let Some(oid) = touched_oid(rec) {
+                    out.dirty.insert(oid);
+                }
+            }
+        }
+        out.redo_records += 1;
+        if *rec == WalRecord::Commit {
+            out.redo_commits += 1;
+        }
+        out.last_lsn = *lsn;
+    }
+    // Ascending txn id: open transactions hold disjoint locks, so their
+    // rollbacks commute and any fixed order is deterministic.
+    for (txn, undo) in active {
+        for rec in undo.iter().rev() {
+            apply(store, rec).map_err(|e| fail(0, e))?;
+            if let Some(oid) = touched_oid(rec) {
+                out.dirty.insert(oid);
+            }
+            out.loser_records += 1;
+        }
+        if tml_trace::enabled() {
+            tml_trace::count("txn.recovered_aborts", 1);
+            tml_trace::record(tml_trace::Event::Txn {
+                op: "recover-abort",
+                txn,
+                n: undo.len() as u64,
+                micros: 0,
+            });
+        }
+        out.losers.push(txn);
+    }
+    Ok(out)
 }
 
 /// `true` when the file at `path` starts with a legacy whole-image magic
@@ -235,6 +354,8 @@ impl DurableStore {
             dirty: BTreeSet::new(),
             raw_exposed: false,
             force_full: false,
+            stamp: None,
+            txn_pins: 0,
         })
     }
 
@@ -293,26 +414,15 @@ impl DurableStore {
             torn_tail: scan.torn_tail,
             stale_log: false,
             migrated_legacy: false,
+            losers_undone: 0,
+            loser_records: 0,
         };
         if log_usable {
-            let mut dirty = BTreeSet::new();
-            let mut last_lsn = 0;
-            for (lsn, rec) in &scan.records[..scan.committed] {
-                apply(&mut store, rec).map_err(|e| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("wal redo failed at lsn {lsn}: {e}"),
-                    )
-                })?;
-                if let Some(oid) = touched_oid(rec) {
-                    dirty.insert(oid);
-                }
-                report.redo_records += 1;
-                if *rec == WalRecord::Commit {
-                    report.redo_commits += 1;
-                }
-                last_lsn = *lsn;
-            }
+            let replay = replay_committed(&mut store, &scan)?;
+            report.redo_records = replay.redo_records;
+            report.redo_commits = replay.redo_commits;
+            report.losers_undone = replay.losers.len() as u64;
+            report.loser_records = replay.loser_records;
             report.discarded_records = (scan.records.len() - scan.committed) as u64;
             if tml_trace::enabled() {
                 tml_trace::count("store.wal.redo_records", report.redo_records);
@@ -320,7 +430,7 @@ impl DurableStore {
                 let rec = tml_trace::global();
                 tml_trace::record(tml_trace::Event::Wal {
                     op: "redo",
-                    lsn: last_lsn,
+                    lsn: replay.last_lsn,
                     bytes: scan.committed_end,
                     records: report.redo_records,
                     micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
@@ -335,11 +445,22 @@ impl DurableStore {
                 opts,
                 commits_since_checkpoint: report.redo_commits,
                 wedged: false,
-                dirty,
+                dirty: replay.dirty,
                 raw_exposed: false,
                 force_full: false,
+                stamp: None,
+                txn_pins: 0,
             };
-            ds.maybe_auto_checkpoint()?;
+            if report.losers_undone > 0 {
+                // Heal: the loser rollback happened in memory only. A
+                // checkpoint consolidates it and empties the log, so the
+                // unresolved transaction ids cannot collide with ids a
+                // restarted transaction manager hands out, and a re-crash
+                // before any new mutation recovers from a clean image.
+                ds.checkpoint()?;
+            } else {
+                ds.maybe_auto_checkpoint()?;
+            }
             return Ok((ds, report));
         }
         // No usable log: stale for this catalog, headerless, or absent.
@@ -364,6 +485,8 @@ impl DurableStore {
                 dirty: BTreeSet::new(),
                 raw_exposed: false,
                 force_full: false,
+                stamp: None,
+                txn_pins: 0,
             },
             report,
         ))
@@ -390,25 +513,18 @@ impl DurableStore {
             torn_tail: scan.torn_tail,
             stale_log: false,
             migrated_legacy: true,
+            losers_undone: 0,
+            loser_records: 0,
         };
         if log_usable {
-            let mut last_lsn = 0;
-            for (lsn, rec) in &scan.records[..scan.committed] {
-                // Redo is infallible on the base it was logged against; a
-                // failure here means the identity check let a wrong base
-                // through, which is a bug worth surfacing loudly.
-                apply(&mut store, rec).map_err(|e| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("wal redo failed at lsn {lsn}: {e}"),
-                    )
-                })?;
-                report.redo_records += 1;
-                if *rec == WalRecord::Commit {
-                    report.redo_commits += 1;
-                }
-                last_lsn = *lsn;
-            }
+            // Redo is infallible on the base it was logged against; a
+            // failure here means the identity check let a wrong base
+            // through, which is a bug worth surfacing loudly.
+            let replay = replay_committed(&mut store, &scan)?;
+            report.redo_records = replay.redo_records;
+            report.redo_commits = replay.redo_commits;
+            report.losers_undone = replay.losers.len() as u64;
+            report.loser_records = replay.loser_records;
             report.discarded_records = (scan.records.len() - scan.committed) as u64;
             if tml_trace::enabled() {
                 tml_trace::count("store.wal.redo_records", report.redo_records);
@@ -416,7 +532,7 @@ impl DurableStore {
                 let rec = tml_trace::global();
                 tml_trace::record(tml_trace::Event::Wal {
                     op: "redo",
-                    lsn: last_lsn,
+                    lsn: replay.last_lsn,
                     bytes: scan.committed_end,
                     records: report.redo_records,
                     micros: rec.clock().now_ns().saturating_sub(t0) / 1_000,
@@ -523,6 +639,17 @@ impl DurableStore {
     }
 
     fn log(&mut self, rec: WalRecord) -> std::io::Result<()> {
+        // An active transaction stamp wraps the record so recovery can
+        // tell winners from losers; unstamped records stay byte-identical
+        // to the pre-transaction format.
+        let rec = match self.stamp {
+            Some(s) => WalRecord::TxnOp {
+                txn: s.txn,
+                clr: s.clr,
+                op: Box::new(rec),
+            },
+            None => rec,
+        };
         match self.wal.append(&rec) {
             Ok(_) => Ok(()),
             Err(e) => {
@@ -593,6 +720,16 @@ impl DurableStore {
         })
     }
 
+    fn do_remove_attr(&mut self, oid: Oid, key: &str) -> Result<Option<i64>, StoreError> {
+        self.guard_s()?;
+        let prev = self.store.remove_attr(oid, key);
+        self.log_s(WalRecord::RemoveAttr {
+            oid,
+            key: key.to_string(),
+        })?;
+        Ok(prev)
+    }
+
     /// Log the full post-image of an in-place mutation (replay's `Set`
     /// bumps the version exactly once, matching the original `get_mut`).
     fn log_post_image(&mut self, oid: Oid) -> Result<(), StoreError> {
@@ -628,6 +765,14 @@ impl DurableStore {
 
     fn do_collect(&mut self, extra_roots: &[Oid]) -> Result<GcStats, StoreError> {
         self.guard_s()?;
+        if self.txn_pins > 0 {
+            // GC could reclaim objects an open transaction allocated (not
+            // yet reachable from a root) — its rollback would then undo a
+            // free'd slot. Collection is an autocommit/quiesced operation.
+            return Err(StoreError::Io(
+                "garbage collection with open transactions".into(),
+            ));
+        }
         let live_before: Vec<Oid> = self.store.iter().map(|(oid, _)| oid).collect();
         let stats = gc::collect(&mut self.store, extra_roots);
         for oid in live_before {
@@ -707,6 +852,11 @@ impl DurableStore {
     fn maybe_auto_checkpoint(&mut self) -> std::io::Result<()> {
         if self.opts.checkpoint_every > 0
             && self.commits_since_checkpoint >= self.opts.checkpoint_every
+            // Deferred while transactions are open: truncating the log
+            // would durably apply uncommitted ops with no undo records
+            // left. `commits_since_checkpoint` keeps accumulating, so the
+            // first unpinned commit takes the checkpoint.
+            && self.txn_pins == 0
         {
             self.checkpoint()?;
         }
@@ -730,6 +880,11 @@ impl DurableStore {
     /// auto-checkpoint) flushes everything still pending.
     pub fn checkpoint(&mut self) -> std::io::Result<()> {
         self.guard()?;
+        if self.txn_pins > 0 {
+            return Err(std::io::Error::other(
+                "checkpoint with open transactions would lose their undo records",
+            ));
+        }
         failpoint::fail_io("wal.checkpoint", path_key(&self.path))?;
         let _s = tml_trace::span!("store.wal.checkpoint");
         let t0 = if tml_trace::enabled() {
@@ -772,17 +927,21 @@ impl DurableStore {
         if self.force_full || self.raw_exposed {
             write_all_records(&mut self.heap, &self.store)?;
         } else {
+            let (heap, store) = (&mut self.heap, &self.store);
             for &oid in &self.dirty {
-                match self.store.get(oid) {
-                    Ok(obj) => self
-                        .heap
-                        .write_record(oid, &PagedHeap::encode_record(obj))?,
-                    Err(_) => self.heap.remove_record(oid),
+                match store.get(oid) {
+                    Ok(obj) => {
+                        let rec = PagedHeap::encode_record(obj);
+                        with_pool_retry(|| heap.write_record(oid, &rec))?;
+                    }
+                    Err(_) => heap.remove_record(oid),
                 }
             }
         }
-        self.heap.flush()?;
-        let identity = self.heap.save_catalog(&self.store)?;
+        let heap = &mut self.heap;
+        with_pool_retry(|| heap.flush())?;
+        let (heap, store) = (&mut self.heap, &self.store);
+        let identity = with_pool_retry(|| heap.save_catalog(store))?;
         self.force_full = false;
         Ok(identity)
     }
@@ -800,11 +959,38 @@ fn write_all_records(heap: &mut PagedHeap, store: &Store) -> std::io::Result<()>
     for ix in 0..store.len() {
         let oid = Oid(ix as u64 + 1);
         match store.get(oid) {
-            Ok(obj) => heap.write_record(oid, &PagedHeap::encode_record(obj))?,
+            Ok(obj) => {
+                let rec = PagedHeap::encode_record(obj);
+                with_pool_retry(|| heap.write_record(oid, &rec))?;
+            }
             Err(_) => heap.remove_record(oid),
         }
     }
     Ok(())
+}
+
+/// Bounded retry for transient buffer-pool exhaustion. The pool reports
+/// `WouldBlock` when every frame is pinned; rather than surface that to
+/// callers (who have no sensible response mid-commit), back off briefly
+/// and retry — pins are short-lived, held only across single-record
+/// encode/decode. After the retry budget, the final attempt's error
+/// propagates unchanged.
+fn with_pool_retry<T>(mut f: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    const RETRIES: u32 = 8;
+    let mut delay_us = 50u64;
+    for _ in 0..RETRIES {
+        match f() {
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if tml_trace::enabled() {
+                    tml_trace::count("store.buffer.would_block", 1);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                delay_us = (delay_us * 2).min(5_000);
+            }
+            r => return r,
+        }
+    }
+    f()
 }
 
 fn trace_discard(scan: &crate::wal::LogScan, discarded: u64, t0: u64) {
@@ -862,6 +1048,10 @@ impl StoreAccess for DurableStore {
         self.do_set_attr(oid, key, value)
     }
 
+    fn remove_attr(&mut self, oid: Oid, key: &str) -> Result<Option<i64>, StoreError> {
+        self.do_remove_attr(oid, key)
+    }
+
     fn array_set(&mut self, oid: Oid, index: i64, value: SVal) -> Result<(), StoreError> {
         self.do_array_set(oid, index, value)
     }
@@ -880,6 +1070,32 @@ impl StoreAccess for DurableStore {
 
     fn checkpoint(&mut self) -> Result<(), StoreError> {
         DurableStore::checkpoint(self).map_err(io_to_store)
+    }
+
+    fn txn_stamp(&mut self, stamp: Option<TxnStamp>) {
+        self.stamp = stamp;
+    }
+
+    fn txn_marker(&mut self, txn: u64, committed: bool) -> Result<bool, StoreError> {
+        // Markers are never themselves wrapped: clear any stamp first,
+        // then append and run the normal group-commit path so the plain
+        // `Commit` record remains the durability horizon.
+        self.stamp = None;
+        self.guard_s()?;
+        self.log_s(if committed {
+            WalRecord::TxnCommit { txn }
+        } else {
+            WalRecord::TxnAbort { txn }
+        })?;
+        DurableStore::commit(self).map_err(io_to_store)
+    }
+
+    fn txn_pin(&mut self) {
+        self.txn_pins += 1;
+    }
+
+    fn txn_unpin(&mut self) {
+        self.txn_pins = self.txn_pins.saturating_sub(1);
     }
 
     fn cache_lookup(&mut self, key: CacheKey) -> Option<CacheEntry> {

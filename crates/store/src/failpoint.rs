@@ -45,6 +45,11 @@
 //! | `page.write`                | writing an inline object record fails    |
 //! | `page.chain`                | writing an overflow-chain record fails   |
 //! | `page.flush`                | flushing dirty pages at checkpoint fails |
+//! | `txn.commit`                | crash before the txn-commit marker lands |
+//! | `txn.abort`                 | crash mid-rollback (partial CLR trail)   |
+//! | `lock.acquire`              | lock acquisition fails (injected abort)  |
+//! | `serve.read`                | reading a request frame fails (IO error) |
+//! | `serve.write`               | writing a response frame fails           |
 //!
 //! Sites are matched by exact name. A hit may carry a *key* (an OID, a
 //! path hash) so a spec can target one object or file without perturbing

@@ -51,6 +51,28 @@ pub enum StoreError {
     /// surfaced through the [`crate::access::StoreAccess`] seam. Carried as
     /// a message so `StoreError` stays `Clone + Eq`.
     Io(String),
+    /// A lock conflict: another transaction holds the lock covering this
+    /// mutation. Not a store-state error — the transaction layer catches
+    /// it, waits for the lock outside the VM, and retries the request.
+    Busy {
+        /// The lock-table key that conflicted (an OID or a hashed root
+        /// name, see the txn crate's lock keys).
+        key: u64,
+        /// One current holder of the lock.
+        holder: u64,
+        /// Whether exclusive access was requested.
+        exclusive: bool,
+    },
+    /// The surrounding transaction was aborted — deadlock victim, lock
+    /// timeout, or an injected fault — and must roll back. Surfaces
+    /// through the VM as a typed abort trap that TML handlers cannot
+    /// catch.
+    Aborted {
+        /// The aborted transaction's id.
+        txn: u64,
+        /// Short machine-readable reason: `deadlock`, `timeout`, …
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -67,6 +89,18 @@ impl std::fmt::Display for StoreError {
                 write!(f, "index {index} out of bounds for {oid} of length {len}")
             }
             StoreError::Io(msg) => write!(f, "store io failure: {msg}"),
+            StoreError::Busy {
+                key,
+                holder,
+                exclusive,
+            } => write!(
+                f,
+                "lock conflict on key {key:#x} ({} requested, held by txn {holder})",
+                if *exclusive { "exclusive" } else { "shared" }
+            ),
+            StoreError::Aborted { txn, reason } => {
+                write!(f, "transaction {txn} aborted: {reason}")
+            }
         }
     }
 }
@@ -293,6 +327,18 @@ impl Store {
     /// Read a derived attribute.
     pub fn attr(&self, oid: Oid, key: &str) -> Option<i64> {
         self.attrs.get(&oid).and_then(|m| m.get(key)).copied()
+    }
+
+    /// Remove a derived attribute, returning the previous value. Empty
+    /// per-object tables are dropped so the attr table keeps the same
+    /// canonical shape `set_attr` produces (snapshot byte-determinism).
+    pub fn remove_attr(&mut self, oid: Oid, key: &str) -> Option<i64> {
+        let m = self.attrs.get_mut(&oid)?;
+        let prev = m.remove(key);
+        if m.is_empty() {
+            self.attrs.remove(&oid);
+        }
+        prev
     }
 
     /// All attributes of an object.

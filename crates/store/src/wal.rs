@@ -63,6 +63,7 @@ use crate::failpoint::{self, Action};
 use crate::object::Object;
 use crate::page::{Page, PageFile, PageId, PAGE_SIZE};
 use crate::snapshot::{self, ImageIdentity};
+use crate::store::{Store, StoreError};
 use crate::varint::{put_i64, put_str, put_u64, DecodeError, Reader};
 use std::path::{Path, PathBuf};
 use tml_core::Oid;
@@ -78,6 +79,10 @@ const REC_SET_ROOT: u8 = 3;
 const REC_REMOVE_ROOT: u8 = 4;
 const REC_SET_ATTR: u8 = 5;
 const REC_COMMIT: u8 = 6;
+const REC_TXN_OP: u8 = 7;
+const REC_TXN_COMMIT: u8 = 8;
+const REC_TXN_ABORT: u8 = 9;
+const REC_REMOVE_ATTR: u8 = 10;
 
 /// The sibling `<image>.wal` of a snapshot image path.
 pub fn wal_path(image: impl AsRef<Path>) -> PathBuf {
@@ -152,8 +157,40 @@ pub enum WalRecord {
         /// Attribute value.
         value: i64,
     },
+    /// A derived attribute was removed (the rollback image of `SetAttr`
+    /// on a previously absent key).
+    RemoveAttr {
+        /// Target OID.
+        oid: Oid,
+        /// Attribute key.
+        key: String,
+    },
     /// Commit marker: everything since the previous marker is atomic.
     Commit,
+    /// A mutation performed inside transaction `txn`. The inner record is
+    /// one of the plain mutation kinds above — never another `TxnOp` or a
+    /// marker. `clr` flags a *compensating* record: an undo step written
+    /// by a runtime rollback, which recovery matches against the
+    /// transaction's in-memory undo list (ARIES-style).
+    TxnOp {
+        /// Owning transaction id.
+        txn: u64,
+        /// Compensating (rollback) record rather than a forward mutation.
+        clr: bool,
+        /// The wrapped mutation.
+        op: Box<WalRecord>,
+    },
+    /// Transaction `txn` committed: all of its `TxnOp`s are winners.
+    TxnCommit {
+        /// Committing transaction id.
+        txn: u64,
+    },
+    /// Transaction `txn` finished rolling back: all of its `TxnOp`s have
+    /// matching compensations and the transaction is fully undone.
+    TxnAbort {
+        /// Aborted transaction id.
+        txn: u64,
+    },
 }
 
 impl WalRecord {
@@ -166,7 +203,152 @@ impl WalRecord {
             WalRecord::SetRoot { .. } => "set-root",
             WalRecord::RemoveRoot { .. } => "remove-root",
             WalRecord::SetAttr { .. } => "set-attr",
+            WalRecord::RemoveAttr { .. } => "remove-attr",
             WalRecord::Commit => "commit",
+            WalRecord::TxnOp { .. } => "txn-op",
+            WalRecord::TxnCommit { .. } => "txn-commit",
+            WalRecord::TxnAbort { .. } => "txn-abort",
+        }
+    }
+
+    /// The undo record for applying `self` against the *current* state of
+    /// `store` (so it must be computed before the forward mutation).
+    ///
+    /// `None` means there is nothing to undo: root/attr removals of
+    /// absent entries, markers, and `Free` — object frees are forbidden
+    /// inside transactions precisely because a tombstone cannot be
+    /// resurrected through the logged entry points.
+    pub fn undo_against(&self, store: &Store) -> Result<Option<WalRecord>, StoreError> {
+        Ok(match self {
+            WalRecord::Alloc { oid, .. } => Some(undo_for_alloc(*oid)),
+            WalRecord::Set { oid, .. } => Some(undo_for_set(store, *oid)?),
+            WalRecord::SetRoot { name, .. } => Some(undo_for_set_root(store, name)),
+            WalRecord::RemoveRoot { name } => undo_for_remove_root(store, name),
+            WalRecord::SetAttr { oid, key, .. } => Some(undo_for_set_attr(store, *oid, key)),
+            WalRecord::RemoveAttr { oid, key } => undo_for_remove_attr(store, *oid, key),
+            WalRecord::Free { .. }
+            | WalRecord::Commit
+            | WalRecord::TxnOp { .. }
+            | WalRecord::TxnCommit { .. }
+            | WalRecord::TxnAbort { .. } => None,
+        })
+    }
+}
+
+/// Undo for an allocation: free the slot (it becomes a tombstone, exactly
+/// as a runtime rollback leaves it).
+pub fn undo_for_alloc(oid: Oid) -> WalRecord {
+    WalRecord::Free { oid }
+}
+
+/// Undo for a whole-object overwrite (or in-place mutation) of `oid`: the
+/// full pre-image. Must be captured *before* the mutation.
+pub fn undo_for_set(store: &Store, oid: Oid) -> Result<WalRecord, StoreError> {
+    Ok(WalRecord::Set {
+        oid,
+        obj: store.get(oid)?.clone(),
+    })
+}
+
+/// Undo for setting root `name`: restore the previous binding, or remove
+/// the root if it did not exist.
+pub fn undo_for_set_root(store: &Store, name: &str) -> WalRecord {
+    match store.root(name) {
+        Some(prev) => WalRecord::SetRoot {
+            name: name.to_string(),
+            oid: prev,
+        },
+        None => WalRecord::RemoveRoot {
+            name: name.to_string(),
+        },
+    }
+}
+
+/// Undo for removing root `name`: restore the previous binding, nothing
+/// if the root was already absent.
+pub fn undo_for_remove_root(store: &Store, name: &str) -> Option<WalRecord> {
+    store.root(name).map(|prev| WalRecord::SetRoot {
+        name: name.to_string(),
+        oid: prev,
+    })
+}
+
+/// Undo for setting attribute `key` on `oid`: restore the previous value,
+/// or remove the attribute if it was absent.
+pub fn undo_for_set_attr(store: &Store, oid: Oid, key: &str) -> WalRecord {
+    match store.attr(oid, key) {
+        Some(prev) => WalRecord::SetAttr {
+            oid,
+            key: key.to_string(),
+            value: prev,
+        },
+        None => WalRecord::RemoveAttr {
+            oid,
+            key: key.to_string(),
+        },
+    }
+}
+
+/// Undo for removing attribute `key` on `oid`: restore the previous
+/// value, nothing if it was already absent.
+pub fn undo_for_remove_attr(store: &Store, oid: Oid, key: &str) -> Option<WalRecord> {
+    store.attr(oid, key).map(|prev| WalRecord::SetAttr {
+        oid,
+        key: key.to_string(),
+        value: prev,
+    })
+}
+
+fn encode_op(body: &mut Vec<u8>, rec: &WalRecord) {
+    match rec {
+        WalRecord::Alloc { oid, obj } => {
+            body.push(REC_ALLOC);
+            put_u64(body, oid.0);
+            snapshot::put_object(body, obj);
+        }
+        WalRecord::Set { oid, obj } => {
+            body.push(REC_SET);
+            put_u64(body, oid.0);
+            snapshot::put_object(body, obj);
+        }
+        WalRecord::Free { oid } => {
+            body.push(REC_FREE);
+            put_u64(body, oid.0);
+        }
+        WalRecord::SetRoot { name, oid } => {
+            body.push(REC_SET_ROOT);
+            put_str(body, name);
+            put_u64(body, oid.0);
+        }
+        WalRecord::RemoveRoot { name } => {
+            body.push(REC_REMOVE_ROOT);
+            put_str(body, name);
+        }
+        WalRecord::SetAttr { oid, key, value } => {
+            body.push(REC_SET_ATTR);
+            put_u64(body, oid.0);
+            put_str(body, key);
+            put_i64(body, *value);
+        }
+        WalRecord::RemoveAttr { oid, key } => {
+            body.push(REC_REMOVE_ATTR);
+            put_u64(body, oid.0);
+            put_str(body, key);
+        }
+        WalRecord::Commit => body.push(REC_COMMIT),
+        WalRecord::TxnOp { txn, clr, op } => {
+            body.push(REC_TXN_OP);
+            put_u64(body, *txn);
+            body.push(u8::from(*clr));
+            encode_op(body, op);
+        }
+        WalRecord::TxnCommit { txn } => {
+            body.push(REC_TXN_COMMIT);
+            put_u64(body, *txn);
+        }
+        WalRecord::TxnAbort { txn } => {
+            body.push(REC_TXN_ABORT);
+            put_u64(body, *txn);
         }
     }
 }
@@ -174,52 +356,31 @@ impl WalRecord {
 fn encode_body(lsn: u64, rec: &WalRecord) -> Vec<u8> {
     let mut body = Vec::new();
     put_u64(&mut body, lsn);
-    match rec {
-        WalRecord::Alloc { oid, obj } => {
-            body.push(REC_ALLOC);
-            put_u64(&mut body, oid.0);
-            snapshot::put_object(&mut body, obj);
-        }
-        WalRecord::Set { oid, obj } => {
-            body.push(REC_SET);
-            put_u64(&mut body, oid.0);
-            snapshot::put_object(&mut body, obj);
-        }
-        WalRecord::Free { oid } => {
-            body.push(REC_FREE);
-            put_u64(&mut body, oid.0);
-        }
-        WalRecord::SetRoot { name, oid } => {
-            body.push(REC_SET_ROOT);
-            put_str(&mut body, name);
-            put_u64(&mut body, oid.0);
-        }
-        WalRecord::RemoveRoot { name } => {
-            body.push(REC_REMOVE_ROOT);
-            put_str(&mut body, name);
-        }
-        WalRecord::SetAttr { oid, key, value } => {
-            body.push(REC_SET_ATTR);
-            put_u64(&mut body, oid.0);
-            put_str(&mut body, key);
-            put_i64(&mut body, *value);
-        }
-        WalRecord::Commit => body.push(REC_COMMIT),
-    }
+    encode_op(&mut body, rec);
     body
 }
 
-fn decode_body(body: &[u8]) -> Result<(u64, WalRecord), DecodeError> {
-    let mut r = Reader::new(body);
-    let lsn = r.u64()?;
-    let rec = match r.byte()? {
+/// Decode one record. `top` is false inside a `TxnOp` wrapper, where only
+/// plain mutation kinds are legal — nesting and markers are rejected, so
+/// adversarial bytes cannot recurse unboundedly.
+fn decode_op(r: &mut Reader, top: bool) -> Result<WalRecord, DecodeError> {
+    let tag = r.byte()?;
+    if !top
+        && matches!(
+            tag,
+            REC_COMMIT | REC_TXN_OP | REC_TXN_COMMIT | REC_TXN_ABORT
+        )
+    {
+        return Err(DecodeError::BadTag(tag));
+    }
+    Ok(match tag {
         REC_ALLOC => WalRecord::Alloc {
             oid: Oid(r.u64()?),
-            obj: snapshot::get_object(&mut r)?,
+            obj: snapshot::get_object(r)?,
         },
         REC_SET => WalRecord::Set {
             oid: Oid(r.u64()?),
-            obj: snapshot::get_object(&mut r)?,
+            obj: snapshot::get_object(r)?,
         },
         REC_FREE => WalRecord::Free { oid: Oid(r.u64()?) },
         REC_SET_ROOT => WalRecord::SetRoot {
@@ -234,9 +395,26 @@ fn decode_body(body: &[u8]) -> Result<(u64, WalRecord), DecodeError> {
             key: r.str()?.to_string(),
             value: r.i64()?,
         },
+        REC_REMOVE_ATTR => WalRecord::RemoveAttr {
+            oid: Oid(r.u64()?),
+            key: r.str()?.to_string(),
+        },
         REC_COMMIT => WalRecord::Commit,
+        REC_TXN_OP => WalRecord::TxnOp {
+            txn: r.u64()?,
+            clr: r.byte()? != 0,
+            op: Box::new(decode_op(r, false)?),
+        },
+        REC_TXN_COMMIT => WalRecord::TxnCommit { txn: r.u64()? },
+        REC_TXN_ABORT => WalRecord::TxnAbort { txn: r.u64()? },
         t => return Err(DecodeError::BadTag(t)),
-    };
+    })
+}
+
+fn decode_body(body: &[u8]) -> Result<(u64, WalRecord), DecodeError> {
+    let mut r = Reader::new(body);
+    let lsn = r.u64()?;
+    let rec = decode_op(&mut r, true)?;
     if !r.is_at_end() {
         return Err(DecodeError::Truncated);
     }
@@ -719,7 +897,26 @@ mod tests {
                 key: "cost".into(),
                 value: -17,
             },
+            WalRecord::RemoveAttr {
+                oid: Oid(4),
+                key: "cost".into(),
+            },
             WalRecord::Commit,
+            WalRecord::TxnOp {
+                txn: 12,
+                clr: false,
+                op: Box::new(WalRecord::Set {
+                    oid: Oid(9),
+                    obj: obj(3),
+                }),
+            },
+            WalRecord::TxnOp {
+                txn: 12,
+                clr: true,
+                op: Box::new(WalRecord::RemoveRoot { name: "r".into() }),
+            },
+            WalRecord::TxnCommit { txn: 12 },
+            WalRecord::TxnAbort { txn: 13 },
         ];
         for (i, rec) in recs.iter().enumerate() {
             let body = encode_body(i as u64 + 1, rec);
@@ -727,6 +924,120 @@ mod tests {
             assert_eq!(lsn, i as u64 + 1);
             assert_eq!(&back, rec);
         }
+    }
+
+    #[test]
+    fn nested_txn_wrappers_are_rejected() {
+        // A TxnOp may only wrap a plain mutation: markers and further
+        // wrappers are illegal bytes, not recursion fuel.
+        for inner in [
+            WalRecord::Commit,
+            WalRecord::TxnCommit { txn: 1 },
+            WalRecord::TxnOp {
+                txn: 1,
+                clr: false,
+                op: Box::new(WalRecord::Free { oid: Oid(1) }),
+            },
+        ] {
+            let bad = WalRecord::TxnOp {
+                txn: 2,
+                clr: false,
+                op: Box::new(inner),
+            };
+            let body = encode_body(1, &bad);
+            assert!(matches!(decode_body(&body), Err(DecodeError::BadTag(_))));
+        }
+    }
+
+    #[test]
+    fn undo_records_invert_their_forward_ops() {
+        use crate::store::Store;
+        let mut s = Store::new();
+        let a = s.alloc(obj(1));
+        s.set_root("r", a);
+        s.set_attr(a, "cost", 5);
+
+        // Set: undo is the full pre-image.
+        let fwd = WalRecord::Set {
+            oid: a,
+            obj: obj(2),
+        };
+        let undo = fwd.undo_against(&s).unwrap().unwrap();
+        assert_eq!(
+            undo,
+            WalRecord::Set {
+                oid: a,
+                obj: obj(1)
+            }
+        );
+
+        // SetRoot over an existing binding restores it; over a fresh name
+        // it removes the root.
+        let fwd = WalRecord::SetRoot {
+            name: "r".into(),
+            oid: Oid(99),
+        };
+        assert_eq!(
+            fwd.undo_against(&s).unwrap().unwrap(),
+            WalRecord::SetRoot {
+                name: "r".into(),
+                oid: a
+            }
+        );
+        let fwd = WalRecord::SetRoot {
+            name: "fresh".into(),
+            oid: Oid(99),
+        };
+        assert_eq!(
+            fwd.undo_against(&s).unwrap().unwrap(),
+            WalRecord::RemoveRoot {
+                name: "fresh".into()
+            }
+        );
+
+        // Attr set/remove mirror the root rules.
+        let fwd = WalRecord::SetAttr {
+            oid: a,
+            key: "cost".into(),
+            value: 9,
+        };
+        assert_eq!(
+            fwd.undo_against(&s).unwrap().unwrap(),
+            WalRecord::SetAttr {
+                oid: a,
+                key: "cost".into(),
+                value: 5
+            }
+        );
+        let fwd = WalRecord::SetAttr {
+            oid: a,
+            key: "new".into(),
+            value: 9,
+        };
+        assert_eq!(
+            fwd.undo_against(&s).unwrap().unwrap(),
+            WalRecord::RemoveAttr {
+                oid: a,
+                key: "new".into()
+            }
+        );
+        let fwd = WalRecord::RemoveAttr {
+            oid: a,
+            key: "absent".into(),
+        };
+        assert_eq!(fwd.undo_against(&s).unwrap(), None);
+
+        // Alloc undoes to a tombstoning free; frees themselves have no
+        // undo (they are banned inside transactions).
+        let fwd = WalRecord::Alloc {
+            oid: Oid(7),
+            obj: obj(0),
+        };
+        assert_eq!(
+            fwd.undo_against(&s).unwrap().unwrap(),
+            WalRecord::Free { oid: Oid(7) }
+        );
+        assert_eq!(WalRecord::Free { oid: a }.undo_against(&s).unwrap(), None);
     }
 
     #[test]

@@ -158,6 +158,20 @@ pub enum Event {
         /// point-in-time.
         micros: u64,
     },
+    /// Transaction lifecycle: one begin/commit/abort/deadlock/recovery
+    /// step of the transaction manager (or of recovery undoing a loser).
+    Txn {
+        /// `begin`, `commit`, `abort`, `deadlock` or `recover-abort`.
+        op: &'static str,
+        /// Transaction id.
+        txn: u64,
+        /// Operation-dependent magnitude: logged mutations for `commit`,
+        /// undo records rolled back for `abort`/`recover-abort`, 0
+        /// otherwise.
+        n: u64,
+        /// Wall-clock duration in microseconds (0 for point events).
+        micros: u64,
+    },
     /// A durability guarantee was weakened but execution continued — e.g.
     /// the directory fsync after an atomic rename failed, so the rename
     /// itself may not survive a power cut even though the data is intact.
@@ -224,6 +238,7 @@ impl Event {
             Event::Relink { .. } => "relink",
             Event::DegradedSkip { .. } => "degraded-skip",
             Event::Wal { .. } => "wal",
+            Event::Txn { .. } => "txn",
             Event::DurabilityRisk { .. } => "durability-risk",
             Event::Recovery { .. } => "recovery",
             Event::Span { .. } => "span",
@@ -369,6 +384,12 @@ impl Event {
                 w.u64_field("lsn", *lsn);
                 w.u64_field("bytes", *bytes);
                 w.u64_field("records", *records);
+                w.u64_field("micros", *micros);
+            }
+            Event::Txn { op, txn, n, micros } => {
+                w.str_field("op", op);
+                w.u64_field("txn", *txn);
+                w.u64_field("n", *n);
                 w.u64_field("micros", *micros);
             }
             Event::DurabilityRisk { site, detail } => {

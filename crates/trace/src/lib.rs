@@ -43,8 +43,9 @@ use std::sync::Mutex;
 
 /// Version tag of the JSON export schema. v2 added timed spans, the
 /// `hists` section, and duration (`micros`) fields on WAL/recovery
-/// events.
-pub const SCHEMA_VERSION: u64 = 2;
+/// events. v3 added `txn` events, the `lock.wait` histogram and the
+/// `store.buffer.would_block` counter.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The trace facility: an enabled flag, an event ring, a counter
 /// registry, a latency-histogram registry and the trace clock. One
@@ -185,7 +186,7 @@ impl Recorder {
     ///
     /// ```json
     /// {
-    ///   "version": 2,
+    ///   "version": 3,
     ///   "enabled": true,
     ///   "recorded": 12, "dropped": 0,
     ///   "counters": { "vm.instrs": 123, ... },
@@ -437,7 +438,7 @@ mod tests {
         });
         r.hist("vm.run").record(100);
         let json = r.to_json();
-        assert!(json.starts_with("{\"version\":2,\"enabled\":true,"));
+        assert!(json.starts_with("{\"version\":3,\"enabled\":true,"));
         assert!(json.contains("\"counters\":{\"vm.instrs\":41}"));
         assert!(json.contains("\"hists\":{\"vm.run\":{\"count\":1,"));
         assert!(json.contains(

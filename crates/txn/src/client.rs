@@ -1,0 +1,220 @@
+//! A small blocking client for the transaction server.
+//!
+//! Used by the CLI, the soak tests and the E17 bench. One TCP stream is
+//! one session: at most one open transaction, requests answered in
+//! order. [`Client::transact`] adds the transparent retry the protocol
+//! is designed for — `Aborted` errors (deadlock victim, lock timeout)
+//! re-run the whole closure in a fresh transaction.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, ErrCode, Request, Response, Value,
+    WireError,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server reported a typed error.
+    Server {
+        /// Error category (drives [`Client::transact`] retries).
+        code: ErrCode,
+        /// Server-side detail.
+        msg: String,
+    },
+    /// The server replied with something the request doesn't expect.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { code, msg } => write!(f, "server error ({code:?}): {msg}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+impl ClientError {
+    /// `true` for typed aborts the caller can transparently retry in a
+    /// fresh transaction (deadlock victim, lock timeout).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrCode::Aborted,
+                ..
+            }
+        )
+    }
+}
+
+/// One session against a `tml-server`.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Set (or clear) the per-request response timeout.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Raw request/response round trip.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, 0, &encode_request(req))?;
+        let frame = read_frame(&mut self.stream, 0)?;
+        Ok(decode_response(&frame)?)
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> Result<(), ClientError> {
+        match self.request(req)? {
+            Response::Ok => Ok(()),
+            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Ping)
+    }
+
+    /// Open an explicit transaction.
+    pub fn begin(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Begin)
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Commit)
+    }
+
+    /// Abort the open transaction.
+    pub fn abort(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Abort)
+    }
+
+    /// Ship PTML bytes, installing them under `name`.
+    pub fn ship(&mut self, name: &str, ptml: &[u8]) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Ship {
+            name: name.into(),
+            ptml: ptml.to_vec(),
+        })
+    }
+
+    /// Call a server global with immediate arguments.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, ClientError> {
+        let req = Request::Call {
+            name: name.into(),
+            args: args.to_vec(),
+        };
+        match self.request(&req)? {
+            Response::Val(v) => Ok(v),
+            Response::Ok => Ok(Value::Unit),
+            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to reflectively optimize a global.
+    pub fn optimize(&mut self, name: &str) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Optimize { name: name.into() })
+    }
+
+    /// Close the session (the server aborts an open transaction).
+    pub fn bye(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Bye)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Run `body` inside an explicit transaction, retrying the whole
+    /// transaction up to `retries` times when it is aborted by the
+    /// server (deadlock victim or lock timeout — the typed, retryable
+    /// error class). Non-retryable errors abort and propagate.
+    pub fn transact<T>(
+        &mut self,
+        retries: u32,
+        mut body: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0;
+        loop {
+            self.begin()?;
+            match body(self) {
+                Ok(v) => match self.commit() {
+                    Ok(()) => return Ok(v),
+                    Err(e) if e.is_retryable() && attempt < retries => {
+                        attempt += 1;
+                        self.retry_pause(attempt);
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_retryable() && attempt < retries => {
+                    // The server already aborted the transaction.
+                    attempt += 1;
+                    self.retry_pause(attempt);
+                }
+                Err(e) => {
+                    let _ = self.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Jittered backoff between transaction attempts. Victims that
+    /// retry in lockstep re-begin as the *youngest* transactions of the
+    /// next collision — and the youngest cycle member is always the
+    /// next victim — so equal-aged clients can starve one another
+    /// indefinitely. The jitter (keyed off the session's ephemeral
+    /// port, so each client's schedule differs) breaks the lockstep.
+    fn retry_pause(&self, attempt: u32) {
+        let seed = self
+            .stream
+            .local_addr()
+            .map(|a| u64::from(a.port()))
+            .unwrap_or(1);
+        let base = Duration::from_micros(500).saturating_mul(1 << attempt.min(6));
+        let jitter = crate::lock::hash3(seed, u64::from(attempt), 0x7472_7921)
+            % base.as_micros().max(1) as u64;
+        std::thread::sleep(base / 2 + Duration::from_micros(jitter));
+    }
+}

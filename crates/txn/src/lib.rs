@@ -1,0 +1,39 @@
+//! Concurrent multi-session transactions over the TML store.
+//!
+//! The paper's setting is an *open database environment*: many clients
+//! executing persistent closures against one shared store. This crate
+//! supplies the concurrency and failure-handling layer that setting
+//! needs, on top of the durability substrate (`tml-store`'s WAL, paged
+//! heap and [`StoreAccess`](tml_store::StoreAccess) seam):
+//!
+//! - [`lock`] — a strict-2PL lock table with per-OID shared/exclusive
+//!   locks, FIFO wait queues, acquisition timeouts with jittered
+//!   exponential backoff, and wait-for-graph deadlock detection.
+//! - [`txn`] — the transaction manager: [`TxnView`](txn::TxnView) wraps
+//!   any `StoreAccess` backend, takes locks and buffers an undo record
+//!   per mutation; abort rolls back through the same logged entry
+//!   points (compensating records), so recovery replays committed
+//!   transactions and undoes losers byte-identically.
+//! - [`wire`] — the length-framed client/server protocol promoted from
+//!   `examples/code_shipping.rs`: clients ship PTML, the server relinks
+//!   and executes inside a transaction.
+//! - [`server`] — `tml-server`: N concurrent sessions over TCP, one
+//!   transaction per session, typed abort/retry on lock conflicts,
+//!   graceful shutdown draining in-flight commits.
+//! - [`client`] — a small blocking client for tests, benches and the
+//!   CLI, with a transparent retry helper for aborted transactions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod lock;
+pub mod server;
+pub mod txn;
+pub mod wire;
+
+pub use client::Client;
+pub use lock::{LockError, LockMode, LockOptions, LockStats, LockTable};
+pub use server::{Server, ServerOptions};
+pub use txn::{oid_key, Txn, TxnManager, TxnOptions, TxnView};
+pub use wire::{ErrCode, Request, Response, Value};

@@ -1,0 +1,319 @@
+//! Crash-recovery matrix for the transaction layer.
+//!
+//! The contract under test: after a crash at any point of the
+//! transaction lifecycle — mid-transaction, before the commit marker,
+//! mid-rollback — reopening the image recovers **byte-identically** the
+//! state an explicit, successful resolution of the same transactions
+//! would have produced: committed transactions present, losers rolled
+//! back (at recovery time, through the same undo records), version
+//! counters and all.
+//!
+//! Crash points come from the seeded failpoint matrix (`txn.commit`,
+//! `txn.abort`, `lock.acquire`; `TML_FAULT_SEED` varies the scripts in
+//! CI) plus plain mid-flight drops. Every scenario is deterministic.
+
+use std::path::{Path, PathBuf};
+
+use tml_core::Oid;
+use tml_store::failpoint::{Action, FailSpec, ScopedFailpoints};
+use tml_store::{snapshot, DurableOptions, DurableStore, Object, SVal, StoreAccess, StoreError};
+use tml_txn::txn::oid_key;
+use tml_txn::{TxnManager, TxnOptions, TxnView};
+
+const SLOTS: usize = 6;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tml_txnrec_{}_{}", name, std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fault_seed(default: u64) -> u64 {
+    std::env::var("TML_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(default)
+}
+
+/// A fresh image with `SLOTS` int-tuple objects rooted `slot{i}`,
+/// checkpointed so recovery replays only transaction traffic.
+fn setup(path: &Path) -> (DurableStore, Vec<Oid>) {
+    let mut d = DurableStore::create(path, DurableOptions::default()).unwrap();
+    let slots: Vec<Oid> = (0..SLOTS)
+        .map(|i| {
+            let oid = d.alloc(Object::Tuple(vec![SVal::Int(0)])).unwrap();
+            d.set_root(&format!("slot{i}"), oid).unwrap();
+            oid
+        })
+        .collect();
+    d.commit().unwrap();
+    d.checkpoint().unwrap();
+    (d, slots)
+}
+
+fn put(
+    mgr: &TxnManager,
+    d: &mut DurableStore,
+    txn: &mut tml_txn::Txn,
+    oid: Oid,
+    v: i64,
+) -> Result<(), StoreError> {
+    let locks = std::sync::Arc::clone(mgr.locks());
+    let mut view = TxnView::new(d, txn, &locks);
+    view.set(oid, Object::Tuple(vec![SVal::Int(v)]))
+}
+
+fn recovered(path: &Path) -> (Vec<u8>, tml_store::durable::OpenReport) {
+    let (d, report) = DurableStore::open(path, DurableOptions::default()).unwrap();
+    (snapshot::to_bytes(d.store()), report)
+}
+
+fn slot_value(path: &Path, i: usize) -> i64 {
+    let (d, _) = DurableStore::open(path, DurableOptions::default()).unwrap();
+    let oid = StoreAccess::root(&d, &format!("slot{i}")).unwrap();
+    let Object::Tuple(items) = d.get(oid).unwrap() else {
+        panic!("expected tuple");
+    };
+    let SVal::Int(v) = items[0] else {
+        panic!("expected int")
+    };
+    v
+}
+
+/// Two interleaved transactions; one commits, the other is in flight at
+/// the crash. Recovery must equal the reference run in which the loser
+/// was explicitly aborted at the same point — byte-for-byte.
+#[test]
+fn interleaved_loser_recovers_byte_identical_to_explicit_abort() {
+    // The seed varies how much of the loser's work is in the committed
+    // prefix (1..=3 ops), so CI's seed matrix walks distinct scripts.
+    let loser_ops = 1 + (fault_seed(0) % 3) as i64;
+
+    let run = |explicit_abort: bool| -> (PathBuf, PathBuf) {
+        let dir = tmpdir(if explicit_abort { "ref" } else { "crash" });
+        let path = dir.join("db.img");
+        let (mut d, slots) = setup(&path);
+        let mgr = TxnManager::new(TxnOptions::default());
+        let mut t1 = mgr.begin(&mut d);
+        let mut t2 = mgr.begin(&mut d);
+
+        put(&mgr, &mut d, &mut t1, slots[0], 10).unwrap();
+        for k in 0..loser_ops {
+            put(&mgr, &mut d, &mut t2, slots[1 + k as usize], 100 + k).unwrap();
+        }
+        put(&mgr, &mut d, &mut t1, slots[4], 40).unwrap();
+        // t1's commit marker lands after every t2 op, putting t2's whole
+        // trail inside the committed prefix.
+        mgr.commit(&mut d, t1).unwrap();
+
+        if explicit_abort {
+            mgr.abort(&mut d, t2).unwrap();
+        }
+        drop(d); // crash (or clean close — both end here)
+        (dir, path)
+    };
+
+    let (crash_dir, crash_path) = run(false);
+    let (ref_dir, ref_path) = run(true);
+
+    let (crash_bytes, crash_report) = recovered(&crash_path);
+    let (ref_bytes, ref_report) = recovered(&ref_path);
+    assert_eq!(crash_report.losers_undone, 1, "t2 is a loser");
+    assert_eq!(crash_report.loser_records, loser_ops as u64);
+    assert_eq!(ref_report.losers_undone, 0, "reference resolved cleanly");
+    assert_eq!(
+        crash_bytes, ref_bytes,
+        "recovery must equal the explicit-abort run byte-for-byte"
+    );
+
+    // Recovery healed the log; a second open replays nothing and agrees.
+    let (again, report2) = recovered(&crash_path);
+    assert_eq!(
+        report2.losers_undone, 0,
+        "heal checkpoint consumed the loser"
+    );
+    assert_eq!(again, crash_bytes, "recovery is idempotent");
+
+    assert_eq!(slot_value(&crash_path, 0), 10);
+    assert_eq!(slot_value(&crash_path, 1), 0, "loser work rolled back");
+    assert_eq!(slot_value(&crash_path, 4), 40);
+
+    std::fs::remove_dir_all(&crash_dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+/// The `txn.commit` failpoint fires before the marker: the transaction's
+/// work is never acknowledged, and a later committed transaction pushes
+/// the loser's trail into the committed prefix. Recovery rolls it back —
+/// identically to a run that aborted it outright.
+#[test]
+fn crash_before_commit_marker_loses_the_whole_txn() {
+    let run = |inject: bool| -> (PathBuf, PathBuf) {
+        let dir = tmpdir(if inject { "cmt_crash" } else { "cmt_ref" });
+        let path = dir.join("db.img");
+        let (mut d, slots) = setup(&path);
+        let mgr = TxnManager::new(TxnOptions::default());
+
+        let mut t1 = mgr.begin(&mut d);
+        put(&mgr, &mut d, &mut t1, slots[0], 7).unwrap();
+        put(&mgr, &mut d, &mut t1, slots[1], 8).unwrap();
+        if inject {
+            let fp = ScopedFailpoints::new(&[(
+                "txn.commit",
+                FailSpec::always(Action::Io).for_key(t1.id()),
+            )]);
+            let err = mgr.commit(&mut d, t1).expect_err("injected commit failure");
+            assert!(matches!(err, StoreError::Io(_)), "typed failure: {err}");
+            drop(fp);
+        } else {
+            mgr.abort(&mut d, t1).unwrap();
+        }
+
+        // An unrelated transaction commits afterwards; its marker makes
+        // the loser's forward records durable parts of the prefix.
+        let mut t2 = mgr.begin(&mut d);
+        put(&mgr, &mut d, &mut t2, slots[2], 9).unwrap();
+        mgr.commit(&mut d, t2).unwrap();
+        drop(d); // crash
+        (dir, path)
+    };
+
+    let (crash_dir, crash_path) = run(true);
+    let (ref_dir, ref_path) = run(false);
+
+    let (crash_bytes, crash_report) = recovered(&crash_path);
+    let (ref_bytes, _) = recovered(&ref_path);
+    assert_eq!(crash_report.losers_undone, 1);
+    assert_eq!(crash_report.loser_records, 2);
+    assert_eq!(
+        crash_bytes, ref_bytes,
+        "unacknowledged commit must recover like an abort"
+    );
+    assert_eq!(slot_value(&crash_path, 0), 0);
+    assert_eq!(slot_value(&crash_path, 1), 0);
+    assert_eq!(slot_value(&crash_path, 2), 9);
+
+    std::fs::remove_dir_all(&crash_dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+/// The `txn.abort` failpoint fires mid-rollback, leaving a partial
+/// compensation trail in the log. Recovery picks up where the abort
+/// stopped: replayed CLRs pop their undo entries, the rest are undone at
+/// recovery time — converging on exactly the fully-aborted state.
+#[test]
+fn crash_mid_rollback_completes_the_abort_on_recovery() {
+    // Fail after 0, 1 or 2 CLRs depending on the CI seed.
+    let clrs_before_crash = fault_seed(1) % 3;
+
+    let run = |inject: bool| -> (PathBuf, PathBuf) {
+        let tag = if inject { "abt_crash" } else { "abt_ref" };
+        let dir = tmpdir(&format!("{tag}_{clrs_before_crash}"));
+        let path = dir.join("db.img");
+        let (mut d, slots) = setup(&path);
+        let mgr = TxnManager::new(TxnOptions::default());
+
+        let mut t1 = mgr.begin(&mut d);
+        put(&mgr, &mut d, &mut t1, slots[0], 70).unwrap();
+        put(&mgr, &mut d, &mut t1, slots[1], 71).unwrap();
+        put(&mgr, &mut d, &mut t1, slots[2], 72).unwrap();
+        if inject {
+            let mut spec = FailSpec::always(Action::Io).for_key(t1.id());
+            spec.after = clrs_before_crash;
+            let fp = ScopedFailpoints::new(&[("txn.abort", spec)]);
+            mgr.abort(&mut d, t1).expect_err("injected abort failure");
+            drop(fp);
+        } else {
+            mgr.abort(&mut d, t1).unwrap();
+        }
+
+        let mut t2 = mgr.begin(&mut d);
+        put(&mgr, &mut d, &mut t2, slots[3], 73).unwrap();
+        mgr.commit(&mut d, t2).unwrap();
+        drop(d); // crash
+        (dir, path)
+    };
+
+    let (crash_dir, crash_path) = run(true);
+    let (ref_dir, ref_path) = run(false);
+
+    let (crash_bytes, crash_report) = recovered(&crash_path);
+    let (ref_bytes, _) = recovered(&ref_path);
+    assert_eq!(crash_report.losers_undone, 1);
+    assert_eq!(
+        crash_report.loser_records,
+        3 - clrs_before_crash,
+        "recovery undoes exactly the steps the crashed abort did not log"
+    );
+    assert_eq!(
+        crash_bytes, ref_bytes,
+        "partial compensation trail must converge on the aborted state"
+    );
+    for i in 0..3 {
+        assert_eq!(slot_value(&crash_path, i), 0, "slot{i} rolled back");
+    }
+    assert_eq!(slot_value(&crash_path, 3), 73);
+
+    std::fs::remove_dir_all(&crash_dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+/// An injected lock-acquisition fault surfaces as a typed abort; the
+/// transaction rolls back cleanly and the lock table ends empty.
+#[test]
+fn injected_lock_fault_aborts_cleanly() {
+    let dir = tmpdir("lockfault");
+    let path = dir.join("db.img");
+    let (mut d, slots) = setup(&path);
+    let mgr = TxnManager::new(TxnOptions::default());
+
+    let mut t1 = mgr.begin(&mut d);
+    put(&mgr, &mut d, &mut t1, slots[0], 5).unwrap();
+    let err = {
+        let _fp = ScopedFailpoints::new(&[(
+            "lock.acquire",
+            FailSpec::always(Action::Io).for_key(oid_key(slots[1])),
+        )]);
+        put(&mgr, &mut d, &mut t1, slots[1], 6).expect_err("injected lock fault")
+    };
+    assert!(
+        matches!(err, StoreError::Aborted { .. }),
+        "typed, retryable abort: {err}"
+    );
+    mgr.abort(&mut d, t1).unwrap();
+
+    let stats = mgr.locks().stats();
+    assert_eq!(stats.holders, 0, "no locks survive the abort");
+    assert_eq!(stats.waiters, 0);
+    for (i, &oid) in slots.iter().enumerate() {
+        let Object::Tuple(items) = d.get(oid).unwrap() else {
+            panic!("expected tuple");
+        };
+        assert_eq!(items[0], SVal::Int(0), "slot{i} back to pre-txn state");
+    }
+    drop(d);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Transactions pin the log: auto-checkpoints defer and explicit
+/// checkpoints are refused while a transaction is open, so an undo trail
+/// can never be consolidated away mid-flight.
+#[test]
+fn open_transactions_block_checkpoints() {
+    let dir = tmpdir("pin");
+    let path = dir.join("db.img");
+    let (mut d, slots) = setup(&path);
+    let mgr = TxnManager::new(TxnOptions::default());
+
+    let mut t1 = mgr.begin(&mut d);
+    put(&mgr, &mut d, &mut t1, slots[0], 1).unwrap();
+    assert!(
+        d.checkpoint().is_err(),
+        "checkpoint must refuse while a transaction is open"
+    );
+    mgr.commit(&mut d, t1).unwrap();
+    d.checkpoint().expect("checkpoint fine after resolution");
+    drop(d);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -85,6 +85,12 @@ pub enum VmError {
     OutOfFuel,
     /// A store operation failed structurally.
     Store(StoreError),
+    /// The enclosing transaction cannot continue: a lock conflict
+    /// ([`StoreError::Busy`]) or a typed abort ([`StoreError::Aborted`],
+    /// deadlock victim / timeout / injected fault). Deliberately not a
+    /// TML-catchable exception — the transaction layer must see it to
+    /// roll back and retry, so it bypasses handler continuations.
+    Aborted(StoreError),
 }
 
 impl std::fmt::Display for VmError {
@@ -94,6 +100,7 @@ impl std::fmt::Display for VmError {
             VmError::Trap(m) => write!(f, "machine trap: {m}"),
             VmError::OutOfFuel => write!(f, "fuel exhausted"),
             VmError::Store(e) => write!(f, "store error: {e}"),
+            VmError::Aborted(e) => write!(f, "transaction aborted: {e}"),
         }
     }
 }
@@ -102,7 +109,10 @@ impl std::error::Error for VmError {}
 
 impl From<StoreError> for VmError {
     fn from(e: StoreError) -> Self {
-        VmError::Store(e)
+        match e {
+            StoreError::Busy { .. } | StoreError::Aborted { .. } => VmError::Aborted(e),
+            _ => VmError::Store(e),
+        }
     }
 }
 
@@ -221,13 +231,32 @@ impl<'a, S: StoreAccess> Machine<'a, S> {
     /// native-return continuations `(… cₑ c꜀)` and runs until one fires.
     /// `Ok` carries the normal result, `Err` the exception value. Used by
     /// extension primitives (query predicates) and by embedding crates.
-    pub fn call_value(&mut self, target: RVal, mut args: Vec<RVal>) -> Result<RVal, RVal> {
+    pub fn call_value(&mut self, target: RVal, args: Vec<RVal>) -> Result<RVal, RVal> {
+        match self.call_value_checked(target, args) {
+            Ok(r) => r,
+            // Machine-level failures surface as TML exceptions to the
+            // caller's exception continuation.
+            Err(e) => Err(RVal::Str(format!("vm:{e}").into())),
+        }
+    }
+
+    /// [`Machine::call_value`] without the machine-error flattening: the
+    /// outer `Err` carries machine-level failures (traps, fuel,
+    /// [`VmError::Aborted`]) typed, the inner result is the TML-level
+    /// ok/exception outcome. Embedders that must distinguish a
+    /// transaction abort from an ordinary exception (the session layer,
+    /// the server executor) call this directly.
+    pub fn call_value_checked(
+        &mut self,
+        target: RVal,
+        mut args: Vec<RVal>,
+    ) -> Result<Result<RVal, RVal>, VmError> {
         if self.native_depth >= MAX_NATIVE_DEPTH {
             // Each nesting level is a real Rust stack frame; trap before
             // the host stack overflows (which no handler could catch).
-            return Err(RVal::Str(
+            return Ok(Err(RVal::Str(
                 format!("vm:machine trap: native call nesting exceeds {MAX_NATIVE_DEPTH}").into(),
-            ));
+            )));
         }
         // Only the outermost native call gets a span: nested call_values
         // are frames of the same logical run, not separate operations.
@@ -272,12 +301,7 @@ impl<'a, S: StoreAccess> Machine<'a, S> {
         self.env = saved_env;
         self.native_depth -= 1;
 
-        match result {
-            Ok(r) => r,
-            // Machine-level failures surface as TML exceptions to the
-            // caller's exception continuation.
-            Err(e) => Err(RVal::Str(format!("vm:{e}").into())),
-        }
+        result
     }
 
     /// Machine output lines so far.

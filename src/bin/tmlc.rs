@@ -12,6 +12,7 @@
 //! tmlc explain <input> <mod.fn> [--json] [--verify]          optimizer provenance log
 //! tmlc opt <input> [--jobs N] [options]                      whole-world optimization report
 //! tmlc fsck <image.tys> [--repair -o out.tys]                validate (and repair) an image
+//! tmlc serve <image> [--addr host:port] [options]            multi-session transaction server
 //! tmlc prims [--json]                                        list the primitive registry
 //!
 //! `profile` and `explain` accept either a TL source file or a persisted
@@ -44,6 +45,10 @@
 //!   --chrome <out.json>       profile/stats: write Chrome tracing JSON (chrome://tracing)
 //!   --flame <out.folded>      profile/stats: write collapsed stacks (flamegraph.pl input)
 //!   --runs N                  stats: entry-point invocations to sample (default 10)
+//!   --addr host:port          serve: bind address (default 127.0.0.1:7170; :0 for ephemeral)
+//!   --max-conns N             serve: refuse connections beyond N with a typed busy error
+//!   --lock-ms N               serve: lock acquisition timeout in milliseconds
+//!   --conn-timeout-ms N       serve: per-connection idle read timeout (default 30000)
 //! ```
 
 use std::process::ExitCode;
@@ -80,6 +85,10 @@ struct Options {
     args: Vec<i64>,
     output: Option<String>,
     target_fn: Option<String>,
+    addr: Option<String>,
+    max_conns: usize,
+    lock_ms: Option<u64>,
+    conn_timeout_ms: u64,
     positional: Vec<String>,
 }
 
@@ -106,6 +115,10 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
         args: Vec::new(),
         output: None,
         target_fn: None,
+        addr: None,
+        max_conns: 64,
+        lock_ms: None,
+        conn_timeout_ms: 30_000,
         positional: Vec::new(),
     };
     let mut it = args;
@@ -148,6 +161,21 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
                 o.jobs = v.parse().map_err(|e| format!("bad --jobs: {e}"))?;
             }
             "--entry" => o.entry = Some(it.next().ok_or("--entry needs a value")?),
+            "--addr" => o.addr = Some(it.next().ok_or("--addr needs host:port")?),
+            "--max-conns" => {
+                let v = it.next().ok_or("--max-conns needs a value")?;
+                o.max_conns = v.parse().map_err(|e| format!("bad --max-conns: {e}"))?;
+            }
+            "--lock-ms" => {
+                let v = it.next().ok_or("--lock-ms needs a value")?;
+                o.lock_ms = Some(v.parse().map_err(|e| format!("bad --lock-ms: {e}"))?);
+            }
+            "--conn-timeout-ms" => {
+                let v = it.next().ok_or("--conn-timeout-ms needs a value")?;
+                o.conn_timeout_ms = v
+                    .parse()
+                    .map_err(|e| format!("bad --conn-timeout-ms: {e}"))?;
+            }
             "--fn" => o.target_fn = Some(it.next().ok_or("--fn needs a value")?),
             "-o" | "--output" => o.output = Some(it.next().ok_or("-o needs a value")?),
             "--arg" => {
@@ -601,6 +629,40 @@ fn cmd_info(o: &Options) -> Result<(), String> {
         rec.counter("store.wal.log_torn_tail")
             .add(u64::from(scan.torn_tail));
         rec.counter("store.wal.log_stale").add(u64::from(stale));
+        // Transaction population of the log: forward ops vs compensation
+        // records, terminal markers, and transactions still open at the
+        // tail (losers a reopen will roll back).
+        let mut ops = 0u64;
+        let mut clrs = 0u64;
+        let mut commits = 0u64;
+        let mut aborts = 0u64;
+        let mut open: std::collections::BTreeSet<u64> = Default::default();
+        for (_, r) in &scan.records {
+            match r {
+                wal::WalRecord::TxnOp { txn, clr, .. } => {
+                    if *clr {
+                        clrs += 1;
+                    } else {
+                        ops += 1;
+                    }
+                    open.insert(*txn);
+                }
+                wal::WalRecord::TxnCommit { txn } => {
+                    commits += 1;
+                    open.remove(txn);
+                }
+                wal::WalRecord::TxnAbort { txn } => {
+                    aborts += 1;
+                    open.remove(txn);
+                }
+                _ => {}
+            }
+        }
+        rec.counter("txn.log_ops").set(ops);
+        rec.counter("txn.log_clrs").set(clrs);
+        rec.counter("txn.log_commits").set(commits);
+        rec.counter("txn.log_aborts").set(aborts);
+        rec.counter("txn.log_open").set(open.len() as u64);
     }
     if o.json {
         println!("{}", rec.to_json());
@@ -613,7 +675,7 @@ fn cmd_info(o: &Options) -> Result<(), String> {
         println!("  {name:<20} {oid}  ({kind})");
     }
     println!("store:");
-    print_counters(&["store."]);
+    print_counters(&["store.", "txn."]);
     Ok(())
 }
 
@@ -880,6 +942,48 @@ fn cmd_stats(o: &Options) -> Result<(), String> {
             ds.commit().map_err(wal_err)?;
         }
         ds.checkpoint().map_err(wal_err)?;
+        // Transaction path on the same scratch store: a committed writer,
+        // an aborted one, and a contended lock handoff, so the `txn.*`
+        // counters, `lock.wait` histogram and lock-table gauges report
+        // real numbers.
+        let txn_err = |e: tycoon::store::StoreError| format!("stats txn workload: {e}");
+        let mgr = tycoon::txn::TxnManager::new(Default::default());
+        let target = ds
+            .alloc(Object::Tuple(vec![SVal::Int(0)]))
+            .map_err(wal_err)?;
+        ds.commit().map_err(wal_err)?;
+        let mut t1 = mgr.begin(&mut ds);
+        {
+            let locks = std::sync::Arc::clone(mgr.locks());
+            let mut view = tycoon::txn::TxnView::new(&mut ds, &mut t1, &locks);
+            view.set(target, Object::Tuple(vec![SVal::Int(1)]))
+                .map_err(txn_err)?;
+        }
+        // A second thread waits for the same key while t1 holds it.
+        let locks = std::sync::Arc::clone(mgr.locks());
+        let key = tycoon::txn::oid_key(target);
+        let waiter = std::thread::spawn(move || {
+            locks.acquire_with_retry(u64::MAX, key, true, &Default::default())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        mgr.commit(&mut ds, t1).map_err(txn_err)?;
+        waiter
+            .join()
+            .expect("stats lock waiter")
+            .map_err(|e| format!("stats lock workload: {e}"))?;
+        mgr.locks().release_all(u64::MAX);
+        let mut t2 = mgr.begin(&mut ds);
+        {
+            let locks = std::sync::Arc::clone(mgr.locks());
+            let mut view = tycoon::txn::TxnView::new(&mut ds, &mut t2, &locks);
+            view.set(target, Object::Tuple(vec![SVal::Int(2)]))
+                .map_err(txn_err)?;
+        }
+        mgr.abort(&mut ds, t2).map_err(txn_err)?;
+        let s = mgr.locks().stats();
+        rec.counter("lock.table.keys").set(s.keys);
+        rec.counter("lock.table.holders").set(s.holders);
+        rec.counter("lock.table.waiters").set(s.waiters);
     }
     std::fs::remove_dir_all(&dir).ok();
     rec.set_enabled(false);
@@ -1384,12 +1488,62 @@ fn cmd_prims(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `tmlc serve <image> [--addr host:port]`: run the multi-session
+/// transaction server over a durable image. The image is created on
+/// first use; a positional `.tl` source (with the image behind
+/// `--durable`) seeds it with modules before the socket opens. Blocks
+/// until a client sends `Shutdown`; the drain aborts open transactions,
+/// commits and checkpoints, then a final counter report is printed.
+fn cmd_serve(o: &Options) -> Result<(), String> {
+    let path = match &o.durable {
+        Some(p) => p.clone(),
+        None => o
+            .positional
+            .iter()
+            .find(|p| !p.ends_with(".tl"))
+            .cloned()
+            .ok_or("serve needs an image path (positional or --durable <path>)")?,
+    };
+    let rec = trace::global();
+    rec.clear();
+    rec.set_capacity(1 << 16);
+    rec.set_enabled(true);
+    let sess = durable_session(o, &path)?;
+    let mut lock = tycoon::txn::LockOptions::default();
+    if let Some(ms) = o.lock_ms {
+        lock.timeout = std::time::Duration::from_millis(ms);
+    }
+    let server = tycoon::txn::Server::bind(tycoon::txn::ServerOptions {
+        addr: o.addr.clone().unwrap_or_else(|| "127.0.0.1:7170".into()),
+        max_conns: o.max_conns,
+        conn_timeout: std::time::Duration::from_millis(o.conn_timeout_ms),
+        lock,
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    // The soak harness (and shell scripts) parse this line for the port.
+    println!("tmlc: serving {path} on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run(sess).map_err(|e| format!("serve: {e}"))?;
+    rec.set_enabled(false);
+    if o.json {
+        println!("{}", rec.to_json());
+    } else {
+        println!("tmlc: server stopped");
+        print_counters(&["txn.", "lock.", "store."]);
+        if o.hist {
+            print_hist_table(&["lock.", "serve.", "store."]);
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let (command, options) = match parse_args(std::env::args()) {
         Ok(x) => x,
         Err(e) => {
             eprintln!(
-                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|stats|explain|opt|fsck|prims ..."
+                "tmlc: {e}\n\nusage: tmlc run|tml|code|eval|snapshot|info|profile|stats|explain|opt|fsck|serve|prims ..."
             );
             return ExitCode::FAILURE;
         }
@@ -1406,6 +1560,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&options),
         "opt" => cmd_opt(&options),
         "fsck" => cmd_fsck(&options),
+        "serve" => cmd_serve(&options),
         "prims" => cmd_prims(&options),
         other => Err(format!("unknown command {other}")),
     };

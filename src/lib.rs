@@ -12,4 +12,5 @@ pub use tml_query as query;
 pub use tml_reflect as reflect;
 pub use tml_store as store;
 pub use tml_trace as trace;
+pub use tml_txn as txn;
 pub use tml_vm as vm;

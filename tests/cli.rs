@@ -170,7 +170,7 @@ fn profile_json_is_a_registry_export() {
         .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.starts_with("{\"version\":2,"), "{text}");
+    assert!(text.starts_with("{\"version\":3,"), "{text}");
     assert!(text.contains("\"vm.instrs\":"), "{text}");
     assert!(text.contains("\"counters\":{"), "{text}");
 }

@@ -1,0 +1,216 @@
+//! Server soak: the transaction server survives both exits it can have.
+//!
+//! - **Graceful**: many short-lived sessions ship and call code, then one
+//!   sends `Shutdown`; the drained image must pass `tmlc fsck` and hold
+//!   every acknowledged root.
+//! - **Killed**: a real `tmlc serve` child process is killed mid-flight
+//!   with a transaction still open; recovery must keep every
+//!   acknowledged commit, roll the loser back, and leave an image
+//!   `tmlc fsck` calls clean.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use tycoon::core::Registry;
+use tycoon::lang::{Session, SessionConfig};
+use tycoon::store::{DurableStore, Object, SVal, StoreAccess};
+use tycoon::txn::{wire::Value, Client, Server, ServerOptions};
+
+fn tmlc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tmlc"))
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "tml_soak_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        TempDir(dir)
+    }
+
+    fn image(&self) -> PathBuf {
+        self.0.join("soak.img")
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// PTML for a self-contained `soak.inc(x) = x + 1` — its only free
+/// identifiers are stdlib functions, which any server resolves.
+fn inc_ptml() -> Vec<u8> {
+    let client = {
+        let mut s = Session::default_session().expect("client session");
+        s.load_str("module soak export inc\nlet inc(x: Int): Int = x + 1\nend")
+            .expect("inc compiles");
+        s
+    };
+    let SVal::Ref(oid) = *client.global("soak.inc").expect("global") else {
+        panic!("expected closure global");
+    };
+    let Object::Closure(clo) = client.store.get(oid).expect("closure") else {
+        panic!("expected closure");
+    };
+    let Object::Ptml(bytes) = client
+        .store
+        .get(clo.ptml.expect("ptml attached"))
+        .expect("ptml")
+    else {
+        panic!("expected ptml");
+    };
+    bytes.clone()
+}
+
+fn assert_fsck_clean(image: &Path) {
+    let out = tmlc().arg("fsck").arg(image).output().expect("run fsck");
+    assert!(
+        out.status.success(),
+        "fsck must pass: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn graceful_soak_is_fsck_clean_with_every_acked_root() {
+    const SESSIONS: usize = 6;
+    const CALLS: usize = 20;
+
+    let dir = TempDir::new("graceful");
+    let image = dir.image();
+    let server = Server::bind(ServerOptions::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = {
+        let image = image.clone();
+        std::thread::spawn(move || {
+            let ds = DurableStore::create(&image, Default::default()).expect("create");
+            let sess = Session::on_store(ds, SessionConfig::default(), Registry::standard())
+                .expect("server session");
+            server.run(sess)
+        })
+    };
+    // Wait for the accept loop.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match Client::connect(addr) {
+            Ok(mut c) => {
+                c.ping().expect("ping");
+                c.bye().ok();
+                break;
+            }
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(10))
+            }
+            Err(e) => panic!("server never came up: {e}"),
+        }
+    }
+
+    let ptml = inc_ptml();
+    let workers: Vec<_> = (0..SESSIONS)
+        .map(|w| {
+            let ptml = ptml.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let name = format!("soak.f{w}");
+                c.ship(&name, &ptml).expect("ship acked");
+                for i in 0..CALLS as i64 {
+                    let v = c.call(&name, &[Value::Int(i)]).expect("call");
+                    assert_eq!(v, Value::Int(i + 1));
+                }
+                // One explicit transaction per session too.
+                c.transact(8, |c| c.call(&name, &[Value::Int(41)]))
+                    .expect("transact");
+                c.bye().ok();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("soak session");
+    }
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.shutdown().expect("graceful shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+
+    assert_fsck_clean(&image);
+    let (ds, report) = DurableStore::open(&image, Default::default()).expect("reopen");
+    assert!(!report.stale_log, "log matches the image");
+    assert_eq!(report.losers_undone, 0, "graceful exit leaves no losers");
+    for w in 0..SESSIONS {
+        let root = StoreAccess::root(&ds, &format!("soak.f{w}")).expect("acked ship survives");
+        assert!(
+            matches!(ds.get(root), Ok(Object::Closure(_))),
+            "shipped root resolves to a closure"
+        );
+    }
+}
+
+#[test]
+fn killed_server_recovers_acked_commits_and_rolls_back_the_loser() {
+    const SHIPS: usize = 8;
+
+    let dir = TempDir::new("killed");
+    let image = dir.image();
+    let mut child = tmlc()
+        .arg("serve")
+        .arg(&image)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn tmlc serve");
+    // The serve banner carries the ephemeral port.
+    let addr: SocketAddr = {
+        let stdout = child.stdout.as_mut().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read banner");
+        line.rsplit(' ')
+            .next()
+            .and_then(|a| a.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no address in banner {line:?}"))
+    };
+
+    let ptml = inc_ptml();
+    let mut c = Client::connect(addr).expect("connect");
+    for i in 0..SHIPS {
+        c.ship(&format!("soak.k{i}"), &ptml).expect("ship acked");
+    }
+    // Leave a transaction open: shipped but never committed. A later
+    // autocommit pushes its records inside the committed prefix, so
+    // recovery must actively roll them back (not just drop a tail).
+    let mut loser = Client::connect(addr).expect("connect loser");
+    loser.begin().expect("begin");
+    loser.ship("soak.loser", &ptml).expect("ship in txn");
+    c.ship("soak.after", &ptml).expect("ship acked");
+
+    child.kill().expect("kill server");
+    child.wait().expect("reap server");
+
+    assert_fsck_clean(&image);
+    let (ds, report) = DurableStore::open(&image, Default::default()).expect("recover");
+    assert!(!report.stale_log, "log matches the image");
+    assert_eq!(report.losers_undone, 1, "the open transaction is undone");
+    for i in 0..SHIPS {
+        let root = StoreAccess::root(&ds, &format!("soak.k{i}")).expect("acked commit survives");
+        assert!(
+            matches!(ds.get(root), Ok(Object::Closure(_))),
+            "recovered root resolves to a closure"
+        );
+    }
+    assert!(
+        StoreAccess::root(&ds, "soak.loser").is_none(),
+        "uncommitted ship is rolled back"
+    );
+}
