@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod tier;
+
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -106,6 +108,12 @@ pub struct ReflectOptions {
     pub fuel: Option<u64>,
     /// Per-target failure policy for [`optimize_all`]; see [`OnError`].
     pub on_error: OnError,
+    /// Execution tier the product is compiled for (`0` = baseline,
+    /// `1` = hot). The tier participates in the cache key: a tier-1
+    /// product compiled under escalated budgets and observed-binding
+    /// specialization is never served to a baseline request, and vice
+    /// versa.
+    pub tier: u8,
 }
 
 impl Default for ReflectOptions {
@@ -118,6 +126,7 @@ impl Default for ReflectOptions {
             jobs: 1,
             fuel: None,
             on_error: OnError::default(),
+            tier: 0,
         }
     }
 }
@@ -376,6 +385,10 @@ struct Rebuilt {
     captures: Vec<(String, Option<SVal>)>,
     ptml: Oid,
     stats: OptStats,
+    /// Store versions of every object consulted by the build, ascending
+    /// OID order — the tier promoter records these as the specialization
+    /// assumptions behind a hot-swap (any change triggers deopt).
+    observed: Vec<(Oid, u64)>,
 }
 
 /// Fold the optimization configuration into the cache signature: the same
@@ -405,7 +418,8 @@ fn options_fingerprint(options: &ReflectOptions) -> u64 {
         .write_u64(rule_bits)
         .write_u64(u64::from(options.query_rewriter.is_some()))
         .write_u64(u64::from(options.fuel.is_some()))
-        .write_u64(options.fuel.unwrap_or(0));
+        .write_u64(options.fuel.unwrap_or(0))
+        .write_u64(u64::from(options.tier));
     h.finish()
 }
 
@@ -537,6 +551,7 @@ fn try_cached<S: StoreAccess>(
     let entry = session.store.cache_lookup(key)?;
     let block = codec::decode_segment(&mut session.vm.code, &entry.code).ok()?;
     trace_consult(name.as_deref(), oid, "hit");
+    let observed = entry.observed.clone();
     let ptml = session.store.alloc(Object::Ptml(entry.ptml)).ok()?;
     let stats = OptStats {
         size_before: entry.size_before as usize,
@@ -551,6 +566,7 @@ fn try_cached<S: StoreAccess>(
         captures: entry.captures,
         ptml,
         stats,
+        observed,
     })
 }
 
@@ -735,12 +751,13 @@ fn finish<S: StoreAccess>(
                 })
         })
         .collect::<Result<Vec<_>, _>>()?;
+    // The observed versions are read *after* the build so any concurrent
+    // mutation would already be reflected.
+    let observed: Vec<(Oid, u64)> = deps.iter().map(|&d| (d, store.version(d))).collect();
     if use_cache {
-        // Memoize the product. The observed versions are read *after* the
-        // build so any concurrent mutation would already be reflected.
-        let observed = deps.iter().map(|&d| (d, store.version(d))).collect();
+        // Memoize the product.
         let entry = CacheEntry::new(
-            observed,
+            observed.clone(),
             bytes,
             codec::encode_segment(&vm.code, compiled.block),
             captures.clone(),
@@ -759,6 +776,7 @@ fn finish<S: StoreAccess>(
         captures,
         ptml,
         stats,
+        observed,
     })
 }
 
@@ -1441,6 +1459,20 @@ pub fn relink_image_code<S: StoreAccess>(
                 c.bindings = bindings;
             }
             _ => unreachable!("targets are closures"),
+        }
+        // Code-table indices are transient, but hotness is not: re-seed
+        // the fresh block's invocation counter and tier tag from the
+        // persisted `tier.calls` / `tier` attributes (written by
+        // `tier::persist_counters` and the hot-swap path), so a restart
+        // neither forgets which closures are hot nor resets the climb
+        // toward the promotion threshold.
+        if let Some(calls) = session.store.attr(t.oid, "tier.calls") {
+            if calls > 0 {
+                session.vm.code.seed_calls(compiled.block, calls as u64);
+            }
+        }
+        if session.store.attr(t.oid, "tier") == Some(i64::from(tml_vm::TIER_HOT)) {
+            session.vm.code.set_tier(compiled.block, tml_vm::TIER_HOT);
         }
         report.relinked += 1;
     }

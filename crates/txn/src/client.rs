@@ -72,14 +72,22 @@ impl ClientError {
 /// One session against a `tml-server`.
 pub struct Client {
     stream: TcpStream,
+    /// Process-wide connect ordinal — the stable per-client identity the
+    /// retry jitter keys off when `TML_JITTER_SEED` pins the schedule
+    /// (the ephemeral port differs run to run; this does not).
+    ordinal: u64,
 }
 
 impl Client {
     /// Connect to a server.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            ordinal: NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        })
     }
 
     /// Set (or clear) the per-request response timeout.
@@ -206,12 +214,18 @@ impl Client {
     /// next victim — so equal-aged clients can starve one another
     /// indefinitely. The jitter (keyed off the session's ephemeral
     /// port, so each client's schedule differs) breaks the lockstep.
+    /// With `TML_JITTER_SEED` set the key is the seed plus the client's
+    /// connect ordinal instead — per-client schedules stay distinct but
+    /// become identical across runs.
     fn retry_pause(&self, attempt: u32) {
-        let seed = self
-            .stream
-            .local_addr()
-            .map(|a| u64::from(a.port()))
-            .unwrap_or(1);
+        let seed = match crate::lock::jitter_seed() {
+            Some(s) => s.wrapping_add(self.ordinal),
+            None => self
+                .stream
+                .local_addr()
+                .map(|a| u64::from(a.port()))
+                .unwrap_or(1),
+        };
         let base = Duration::from_micros(500).saturating_mul(1 << attempt.min(6));
         let jitter = crate::lock::hash3(seed, u64::from(attempt), 0x7472_7921)
             % base.as_micros().max(1) as u64;

@@ -34,6 +34,6 @@ pub mod wire;
 
 pub use client::Client;
 pub use lock::{LockError, LockMode, LockOptions, LockStats, LockTable};
-pub use server::{Server, ServerOptions};
+pub use server::{Server, ServerOptions, TierSettings};
 pub use txn::{oid_key, Txn, TxnManager, TxnOptions, TxnView};
 pub use wire::{ErrCode, Request, Response, Value};

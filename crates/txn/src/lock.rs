@@ -29,10 +29,25 @@
 //! writer. Re-entrant requests by an existing holder are always granted.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use tml_store::failpoint;
+
+/// Process-wide jitter seed from `TML_JITTER_SEED`, read once. When set,
+/// every jittered backoff schedule in this process — lock-retry sleeps
+/// here, client transaction-retry pauses — derives from the seed instead
+/// of per-run state (the client's ephemeral port), so a soak or stress
+/// run's interleaving can be reproduced exactly in CI by exporting the
+/// same seed. Unset (`None`) preserves the historical schedules.
+pub(crate) fn jitter_seed() -> Option<u64> {
+    static SEED: OnceLock<Option<u64>> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        std::env::var("TML_JITTER_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+    })
+}
 
 /// Requested/held access mode for one lock key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -418,8 +433,9 @@ impl LockTable {
             match self.acquire(txn, key, exclusive, opts.timeout) {
                 Err(LockError::Timeout) if attempt < opts.retries => {
                     let base = opts.backoff.saturating_mul(1 << attempt.min(10));
-                    let jitter_ns =
-                        hash3(txn, key, u64::from(attempt)) % opts.backoff.as_nanos().max(1) as u64;
+                    let seed = jitter_seed().unwrap_or(0);
+                    let jitter_ns = hash3(txn ^ seed, key, u64::from(attempt))
+                        % opts.backoff.as_nanos().max(1) as u64;
                     std::thread::sleep(base + Duration::from_nanos(jitter_ns));
                     attempt += 1;
                 }

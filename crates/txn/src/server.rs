@@ -40,6 +40,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use tml_lang::Session;
+use tml_reflect::tier::{self, TierEngine, TierOptions};
 use tml_reflect::{optimize_value, ReflectOptions};
 use tml_store::{ClosureObj, DurableStore, Object, SVal, StoreAccess, StoreError};
 use tml_vm::{Machine, RVal, VmError};
@@ -63,6 +64,28 @@ pub struct ServerOptions {
     pub conn_timeout: Duration,
     /// Lock acquisition behavior for conflict waits.
     pub lock: LockOptions,
+    /// Background tier re-optimization; `None` serves baseline code
+    /// only. The library default is off — `tmlc serve` turns it on
+    /// unless `--tier-off` is given.
+    pub tier: Option<TierSettings>,
+}
+
+/// Background re-optimizer configuration for [`ServerOptions`].
+#[derive(Debug, Clone, Copy)]
+pub struct TierSettings {
+    /// Invocation count at which a closure is promoted to the hot tier.
+    pub threshold: u64,
+    /// How often the re-optimizer samples the counters.
+    pub interval: Duration,
+}
+
+impl Default for TierSettings {
+    fn default() -> Self {
+        TierSettings {
+            threshold: 1000,
+            interval: Duration::from_millis(25),
+        }
+    }
 }
 
 impl Default for ServerOptions {
@@ -72,6 +95,7 @@ impl Default for ServerOptions {
             max_conns: 64,
             conn_timeout: Duration::from_secs(30),
             lock: LockOptions::default(),
+            tier: None,
         }
     }
 }
@@ -85,11 +109,20 @@ enum Reply {
     Wait { txn: u64, key: u64, exclusive: bool },
 }
 
-struct Op {
-    conn: u64,
-    req: Request,
-    /// `None` for fire-and-forget cleanup (connection closed).
-    reply: Option<SyncSender<Reply>>,
+/// Work items the executor drains from its single channel.
+enum Op {
+    /// A decoded client request from a connection thread.
+    Client {
+        conn: u64,
+        req: Request,
+        /// `None` for fire-and-forget cleanup (connection closed).
+        reply: Option<SyncSender<Reply>>,
+    },
+    /// The background ticker asking for one re-optimizer pass. Running
+    /// ticks on the executor keeps the session single-threaded: swaps
+    /// interleave with client requests at request granularity, never
+    /// inside one.
+    TierTick,
 }
 
 /// Per-connection transaction state, owned by the executor.
@@ -151,6 +184,32 @@ impl Server {
         let active = Arc::new(AtomicUsize::new(0));
         let next_conn = Arc::new(AtomicU64::new(1));
 
+        // Background re-optimizer: a ticker thread that only sends
+        // `TierTick` marks; the engine itself runs on the executor.
+        let mut engine = self.opts.tier.map(|t| {
+            TierEngine::new(TierOptions {
+                threshold: t.threshold,
+                ..TierOptions::default()
+            })
+        });
+        let ticker = self.opts.tier.map(|t| {
+            let tx = tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    let mut slept = Duration::ZERO;
+                    while slept < t.interval && !shutdown.load(Ordering::SeqCst) {
+                        let step = Duration::from_millis(5).min(t.interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    if shutdown.load(Ordering::SeqCst) || tx.send(Op::TierTick).is_err() {
+                        break;
+                    }
+                }
+            })
+        });
+
         self.listener.set_nonblocking(true)?;
         let listener = self.listener.try_clone()?;
         let accept_opts = self.opts.clone();
@@ -173,32 +232,124 @@ impl Server {
         // Executor: single-threaded ownership of the session.
         let mut states: HashMap<u64, ConnState> = HashMap::new();
         while let Ok(op) = rx.recv() {
-            let state = states.entry(op.conn).or_default();
-            match op.reply {
-                Some(reply) => {
-                    let r = execute(&mut sess, &mgr, state, op.conn, &op.req, &conns, &shutdown);
-                    // A dead connection thread is fine; its cleanup op
-                    // already rolled the transaction back.
-                    let _ = reply.send(r);
+            match op {
+                Op::Client { conn, req, reply } => {
+                    let state = states.entry(conn).or_default();
+                    match reply {
+                        Some(reply) => {
+                            let r = execute(&mut sess, &mgr, state, conn, &req, &conns, &shutdown);
+                            // A dead connection thread is fine; its cleanup
+                            // op already rolled the transaction back.
+                            let _ = reply.send(r);
+                        }
+                        None => {
+                            // Connection closed: roll back whatever it
+                            // left open.
+                            let _ = abort_conn(&mut sess, &mgr, state);
+                            states.remove(&conn);
+                        }
+                    }
                 }
-                None => {
-                    // Connection closed: roll back whatever it left open.
-                    let _ = abort_conn(&mut sess, &mgr, state);
-                    states.remove(&op.conn);
+                Op::TierTick => {
+                    if let Some(engine) = engine.as_mut() {
+                        tier_tick(&mut sess, &mgr, engine);
+                    }
                 }
             }
             publish_lock_gauges(&mgr);
         }
-        // All senders gone: acceptor exited and every connection drained.
+        // All senders gone: acceptor and ticker exited and every
+        // connection drained.
         acceptor.join().expect("acceptor panicked");
+        if let Some(t) = ticker {
+            t.join().expect("ticker panicked");
+        }
         for (_, mut state) in states.drain() {
             let _ = abort_conn(&mut sess, &mgr, &mut state);
         }
+        // Hotness must survive the restart: write the lifetime call
+        // counters into the catalog's attr section before the final
+        // checkpoint seals it.
+        tier::persist_counters(&mut sess).map_err(|e| io::Error::other(e.to_string()))?;
         sess.store.commit()?;
         sess.store.checkpoint()?;
         publish_lock_gauges(&mgr);
+        publish_store_gauges(&sess, engine.as_ref().map(|e| &e.opts));
         Ok(())
     }
+}
+
+/// One executor-side re-optimizer tick: first deopt every hot closure
+/// whose specialization assumptions broke, then promote the hottest
+/// above-threshold candidates. Each swap runs in its own transaction
+/// over a [`TxnView`], so it takes the closure's exclusive lock (a
+/// conflict with a client transaction skips the swap — retried on a
+/// later tick), is WAL-logged, and rolls back if the server crashes
+/// mid-swap.
+fn tier_tick(sess: &mut Session<DurableStore>, mgr: &TxnManager, engine: &mut TierEngine) {
+    for oid in engine.violations(sess) {
+        let Ok(d) = tier::prepare_deopt(sess, oid) else {
+            continue;
+        };
+        if swap_txn(sess, mgr, |view| tier::apply_deopt(view, &d)).is_ok() {
+            engine.note_deopted(oid);
+        }
+    }
+    for (oid, _calls) in engine.sample(sess) {
+        match tier::prepare_promotion(sess, oid, &engine.opts) {
+            Ok(p) => {
+                if swap_txn(sess, mgr, |view| tier::apply_promotion(view, &p)).is_ok() {
+                    engine.note_promoted(&p);
+                }
+            }
+            Err(_) => {
+                // A target the escalated pipeline cannot rebuild stays
+                // at baseline and is never reconsidered.
+                let _ = sess.store.set_attr(oid, "tier.skip", 1);
+            }
+        }
+    }
+}
+
+/// Run one tier swap in its own transaction: commit on success, abort
+/// (undoing any partial mutation) on failure.
+fn swap_txn(
+    sess: &mut Session<DurableStore>,
+    mgr: &TxnManager,
+    body: impl FnOnce(&mut TxnView<'_, DurableStore>) -> Result<(), StoreError>,
+) -> Result<(), StoreError> {
+    let mut txn = mgr.begin(&mut sess.store);
+    let r = {
+        let mut view = TxnView::new(&mut sess.store, &mut txn, mgr.locks());
+        body(&mut view)
+    };
+    match r {
+        Ok(()) => mgr.commit(&mut sess.store, txn).map(|_| ()),
+        Err(e) => {
+            let _ = mgr.abort(&mut sess.store, txn);
+            Err(e)
+        }
+    }
+}
+
+/// Final-stats gauges for the store side: optimization-cache traffic
+/// plus the tier section (`tmlc serve --json` reports these alongside
+/// the lock-table block).
+fn publish_store_gauges(sess: &Session<DurableStore>, tier_opts: Option<&TierOptions>) {
+    if !tml_trace::enabled() {
+        return;
+    }
+    let rec = tml_trace::global();
+    let c = sess.store.base().cache_stats();
+    rec.counter("store.opt_cache.entries")
+        .set(sess.store.base().cache().len() as u64);
+    rec.counter("store.opt_cache.hits").set(c.hits);
+    rec.counter("store.opt_cache.misses").set(c.misses);
+    rec.counter("store.opt_cache.inserts").set(c.inserts);
+    rec.counter("store.opt_cache.invalidations")
+        .set(c.invalidations);
+    rec.counter("store.opt_cache.evictions").set(c.evictions);
+    tier::publish_gauges(&sess.store, tier_opts);
 }
 
 /// Live lock-table occupancy (plus high-water marks) as trace gauges,
@@ -313,7 +464,7 @@ fn serve_conn(
         }
     }
     // Fire-and-forget cleanup: the executor aborts anything still open.
-    let _ = tx.send(Op {
+    let _ = tx.send(Op::Client {
         conn,
         req: Request::Abort,
         reply: None,
@@ -332,7 +483,7 @@ fn run_request(
     loop {
         let (rtx, rrx) = mpsc::sync_channel(1);
         if tx
-            .send(Op {
+            .send(Op::Client {
                 conn,
                 req: req.clone(),
                 reply: Some(rtx),
@@ -360,7 +511,7 @@ fn run_request(
                         // Deadlock victim or timed out: abort the whole
                         // transaction, report a retryable typed error.
                         let (atx, arx) = mpsc::sync_channel(1);
-                        let _ = tx.send(Op {
+                        let _ = tx.send(Op::Client {
                             conn,
                             req: Request::Abort,
                             reply: Some(atx),

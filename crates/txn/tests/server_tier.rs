@@ -1,0 +1,123 @@
+//! End-to-end tiered execution against a live server: the background
+//! re-optimizer thread samples the shipped closure's invocation
+//! counters, hot-swaps it mid-workload inside its own transaction, and
+//! the client never observes anything but correct results. After
+//! shutdown the image records the swap (totals root, tier attributes,
+//! persisted counters).
+
+mod common;
+
+use std::time::Duration;
+
+use common::{author_bump_ptml, read_slots, start_server, TempDir};
+use tml_reflect::tier;
+use tml_store::{DurableOptions, DurableStore, Object, StoreAccess};
+use tml_txn::{Client, ServerOptions, TierSettings, Value};
+
+fn opts() -> ServerOptions {
+    ServerOptions {
+        addr: "127.0.0.1:0".into(),
+        tier: Some(TierSettings {
+            threshold: 8,
+            interval: Duration::from_millis(10),
+        }),
+        ..ServerOptions::default()
+    }
+}
+
+#[test]
+fn background_reoptimizer_swaps_a_hot_closure_mid_workload() {
+    let dir = TempDir::new("tier");
+    let server = start_server(&dir.image(), opts());
+    let mut c = Client::connect(server.addr).expect("connect");
+    let ptml = author_bump_ptml();
+    c.ship("work.bump", &ptml).expect("ship");
+
+    // Drive the closure past the threshold. Each call is its own
+    // autocommit transaction, so the executor is free to run ticks
+    // between requests.
+    let mut expect = 0i64;
+    for k in 0..20 {
+        expect += k;
+        let v = c
+            .call("work.bump", &[Value::Int(0), Value::Int(k)])
+            .expect("bump");
+        assert_eq!(v, Value::Int(expect), "pre-swap call {k}");
+    }
+    // Several tick intervals: the sampler sees the hot closure and the
+    // swap transaction commits while the session idles.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Post-swap calls land on the promoted closure — same answers.
+    for k in 0..10 {
+        expect += k;
+        let v = c
+            .call("work.bump", &[Value::Int(0), Value::Int(k)])
+            .expect("bump");
+        assert_eq!(v, Value::Int(expect), "post-swap call {k}");
+    }
+    c.bye().expect("bye");
+
+    let mut c = Client::connect(server.addr).expect("reconnect");
+    c.shutdown().expect("shutdown");
+    server.join().expect("server ran clean");
+
+    // The committed image records the tier activity: at least one swap
+    // (the closure's deps include the bumped array, so later ticks may
+    // legitimately deopt and re-promote — totals only grow).
+    let (ds, report) = DurableStore::open(dir.image(), DurableOptions::default()).expect("reopen");
+    assert!(!report.stale_log);
+    assert!(
+        tier::totals(&ds).swaps >= 1,
+        "expected at least one hot-swap, totals = {:?}",
+        tier::totals(&ds)
+    );
+    let clo = StoreAccess::root(&ds, "work.bump").expect("shipped root");
+    assert!(
+        matches!(ds.get(clo), Ok(Object::Closure(_))),
+        "work.bump is still a closure"
+    );
+    assert!(
+        ds.attr(clo, "tier.calls").unwrap_or(0) > 0,
+        "invocation counters persisted at shutdown"
+    );
+
+    // And the data is exactly what the calls produced.
+    let slots = read_slots(&dir.image());
+    assert_eq!(slots[0], expect, "slot sum survives the swaps");
+}
+
+/// With tiering disabled (the library default), the same workload
+/// records no tier activity at all.
+#[test]
+fn tier_off_leaves_no_tier_state() {
+    let dir = TempDir::new("tieroff");
+    let server = start_server(
+        &dir.image(),
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            ..ServerOptions::default()
+        },
+    );
+    let mut c = Client::connect(server.addr).expect("connect");
+    c.ship("work.bump", &author_bump_ptml()).expect("ship");
+    for k in 0..20 {
+        c.call("work.bump", &[Value::Int(1), Value::Int(k)])
+            .expect("bump");
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    c.shutdown().expect("shutdown");
+    server.join().expect("server ran clean");
+
+    let (ds, _) = DurableStore::open(dir.image(), DurableOptions::default()).expect("reopen");
+    assert_eq!(
+        tier::totals(&ds),
+        tier::TierTotals::default(),
+        "no swaps without a tier engine"
+    );
+    let clo = StoreAccess::root(&ds, "work.bump").expect("shipped root");
+    assert_eq!(ds.attr(clo, "tier"), None);
+    // Counters still persist — hotness must survive even if the engine
+    // is only enabled on a later start.
+    assert!(ds.attr(clo, "tier.calls").unwrap_or(0) >= 20);
+}

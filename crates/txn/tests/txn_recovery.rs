@@ -259,6 +259,128 @@ fn crash_mid_rollback_completes_the_abort_on_recovery() {
     std::fs::remove_dir_all(&ref_dir).ok();
 }
 
+/// A crash during a tier hot-swap. The promotion's store mutations ride
+/// an ordinary transaction, so a crash before its commit marker makes
+/// the swap a loser: recovery must restore the closure, its PTML
+/// reference and the tier bookkeeping byte-identically to a run that
+/// explicitly aborted the swap — the promoted code simply never
+/// happened.
+#[test]
+fn crash_during_tier_swap_recovers_the_pre_swap_closure() {
+    use tml_core::Registry;
+    use tml_lang::{Session, SessionConfig};
+    use tml_reflect::tier::{self, TierOptions};
+
+    const SRC: &str = "
+module complex export new, x, y
+let new(a: Real, b: Real): Tuple = tuple(a, b)
+let x(c: Tuple): Real = c.0
+let y(c: Tuple): Real = c.1
+end
+module geom export abs
+let abs(c: Tuple): Real =
+  real.sqrt(complex.x(c) * complex.x(c) + complex.y(c) * complex.y(c))
+end";
+
+    // The seed picks the crash point: even = the process dies with the
+    // swap transaction still in flight, odd = the `txn.commit` failpoint
+    // fires before the marker.
+    let fail_commit = fault_seed(1) % 2 == 1;
+
+    #[derive(PartialEq, Clone, Copy)]
+    enum Mode {
+        Crash,
+        ExplicitAbort,
+    }
+
+    let run = |mode: Mode| -> (PathBuf, PathBuf, Oid, Oid) {
+        let tag = match mode {
+            Mode::Crash => "swap_crash",
+            Mode::ExplicitAbort => "swap_ref",
+        };
+        let dir = tmpdir(tag);
+        let path = dir.join("db.img");
+        let ds = DurableStore::create(&path, DurableOptions::default()).unwrap();
+        let mut sess = Session::on_store(ds, SessionConfig::default(), Registry::standard())
+            .expect("durable session");
+        sess.load_str(SRC).unwrap();
+        sess.store.commit().unwrap();
+        sess.store.checkpoint().unwrap();
+
+        let SVal::Ref(oid) = *sess.global("geom.abs").unwrap() else {
+            panic!("expected closure global");
+        };
+        let Object::Closure(clo) = sess.store.get(oid).unwrap() else {
+            panic!("expected closure");
+        };
+        let orig_ptml = clo.ptml.unwrap();
+
+        let p = tier::prepare_promotion(&mut sess, oid, &TierOptions::default()).unwrap();
+        let mgr = TxnManager::new(TxnOptions::default());
+        let mut t = mgr.begin(&mut sess.store);
+        {
+            let locks = std::sync::Arc::clone(mgr.locks());
+            let mut view = TxnView::new(&mut sess.store, &mut t, &locks);
+            tier::apply_promotion(&mut view, &p).unwrap();
+        }
+        match mode {
+            Mode::Crash if fail_commit => {
+                let fp = ScopedFailpoints::new(&[(
+                    "txn.commit",
+                    FailSpec::always(Action::Io).for_key(t.id()),
+                )]);
+                let err = mgr
+                    .commit(&mut sess.store, t)
+                    .expect_err("injected commit failure");
+                assert!(matches!(err, StoreError::Io(_)), "typed failure: {err}");
+                drop(fp);
+            }
+            Mode::Crash => drop(t), // still in flight at the crash
+            Mode::ExplicitAbort => mgr.abort(&mut sess.store, t).unwrap(),
+        }
+
+        // An unrelated committed mutation pushes the swap's trail into
+        // the committed prefix.
+        let extra = sess.store.alloc(Object::Tuple(vec![SVal::Int(9)])).unwrap();
+        sess.store.set_root("bystander", extra).unwrap();
+        sess.store.commit().unwrap();
+        drop(sess); // crash
+        (dir, path, oid, orig_ptml)
+    };
+
+    let (crash_dir, crash_path, oid, orig_ptml) = run(Mode::Crash);
+    let (ref_dir, ref_path, ref_oid, ref_ptml) = run(Mode::ExplicitAbort);
+    assert_eq!(oid, ref_oid, "deterministic setup");
+    assert_eq!(orig_ptml, ref_ptml);
+
+    let (crash_bytes, crash_report) = recovered(&crash_path);
+    let (ref_bytes, ref_report) = recovered(&ref_path);
+    assert_eq!(crash_report.losers_undone, 1, "the swap txn is a loser");
+    assert_eq!(ref_report.losers_undone, 0, "reference resolved cleanly");
+    assert_eq!(
+        crash_bytes, ref_bytes,
+        "crashed swap must recover byte-identically to an aborted swap"
+    );
+
+    // The closure is exactly its pre-swap self.
+    let (d, _) = DurableStore::open(&crash_path, DurableOptions::default()).unwrap();
+    let Object::Closure(clo) = d.get(oid).unwrap() else {
+        panic!("expected closure");
+    };
+    assert_eq!(clo.ptml, Some(orig_ptml), "pre-swap PTML reference intact");
+    assert_eq!(d.attr(oid, "tier"), None, "tier attribute rolled back");
+    assert_eq!(
+        StoreAccess::root(&d, &tier::prev_root(oid)),
+        None,
+        "no provenance root survives the rollback"
+    );
+    assert_eq!(tier::totals(&d).swaps, 0, "totals rolled back");
+    drop(d);
+
+    std::fs::remove_dir_all(&crash_dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
 /// An injected lock-acquisition fault surfaces as a typed abort; the
 /// transaction rolls back cleanly and the lock table ends empty.
 #[test]

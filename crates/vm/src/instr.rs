@@ -5,6 +5,8 @@
 //! is tail transfer: `Call`, `Halt`, `Raise` and the branch instructions
 //! never return.
 
+use std::cell::Cell;
+
 use tml_store::SVal;
 
 /// An operand source.
@@ -473,7 +475,19 @@ impl CodeBlock {
 #[derive(Debug, Clone)]
 pub struct CodeTable {
     blocks: Vec<CodeBlock>,
+    /// Per-block invocation counters for tiered execution. `Cell` keeps
+    /// the bump a plain load/store on the dispatch hot path: the machine
+    /// holds `&CodeTable`, and sessions are single-threaded (`!Send`), so
+    /// no atomics are needed.
+    calls: Vec<Cell<u64>>,
+    /// Per-block tier tags (`TIER_BASELINE` / `TIER_HOT`).
+    tiers: Vec<u8>,
 }
+
+/// Tier tag of freshly compiled (cold) code.
+pub const TIER_BASELINE: u8 = 0;
+/// Tier tag of code re-optimized by the background tier promoter.
+pub const TIER_HOT: u8 = 1;
 
 /// The sentinel block terminating a native call's normal path.
 pub const NATIVE_OK_BLOCK: u32 = 0;
@@ -489,7 +503,11 @@ impl Default for CodeTable {
 impl CodeTable {
     /// Create a table holding only the two native-return sentinel blocks.
     pub fn new() -> CodeTable {
-        let mut t = CodeTable { blocks: Vec::new() };
+        let mut t = CodeTable {
+            blocks: Vec::new(),
+            calls: Vec::new(),
+            tiers: Vec::new(),
+        };
         t.push(CodeBlock {
             name: "<native-ok>".into(),
             nparams: 1,
@@ -511,12 +529,64 @@ impl CodeTable {
     /// attempt; only blocks no instruction references may be dropped).
     pub(crate) fn truncate(&mut self, len: usize) {
         self.blocks.truncate(len);
+        self.calls.truncate(len);
+        self.tiers.truncate(len);
     }
 
-    /// Add a block; returns its index.
+    /// Add a block; returns its index. New blocks start cold: zero calls,
+    /// baseline tier.
     pub fn push(&mut self, block: CodeBlock) -> u32 {
         self.blocks.push(block);
+        self.calls.push(Cell::new(0));
+        self.tiers.push(TIER_BASELINE);
         self.blocks.len() as u32 - 1
+    }
+
+    /// Record one invocation of block `ix`; returns the new count.
+    /// Saturating so a pathological loop cannot wrap back to cold. A
+    /// dangling index (a degraded closure whose code never compiled) is
+    /// a no-op — `enter`'s bounds guard turns the call itself into a
+    /// typed trap right after.
+    #[inline]
+    pub fn note_call(&self, ix: u32) -> u64 {
+        let Some(c) = self.calls.get(ix as usize) else {
+            return 0;
+        };
+        let n = c.get().saturating_add(1);
+        c.set(n);
+        n
+    }
+
+    /// Invocation count of block `ix` since compilation (or since the
+    /// count was seeded from a persisted image). Zero for dangling
+    /// indices.
+    pub fn calls(&self, ix: u32) -> u64 {
+        self.calls.get(ix as usize).map_or(0, Cell::get)
+    }
+
+    /// Seed the invocation counter of block `ix` — used when reopening a
+    /// durable image so hotness survives checkpoint/restart. A dangling
+    /// index is a no-op.
+    pub fn seed_calls(&self, ix: u32, n: u64) {
+        if let Some(c) = self.calls.get(ix as usize) {
+            c.set(n);
+        }
+    }
+
+    /// Tier tag of block `ix` (baseline for dangling indices).
+    pub fn tier(&self, ix: u32) -> u8 {
+        self.tiers
+            .get(ix as usize)
+            .copied()
+            .unwrap_or(TIER_BASELINE)
+    }
+
+    /// Set the tier tag of block `ix` (promotion / deopt). A dangling
+    /// index is a no-op.
+    pub fn set_tier(&mut self, ix: u32, tier: u8) {
+        if let Some(t) = self.tiers.get_mut(ix as usize) {
+            *t = tier;
+        }
     }
 
     /// Fetch a block.

@@ -203,6 +203,11 @@ impl<'a, S: StoreAccess> Machine<'a, S> {
         for (block, n) in &p.block_calls {
             let name = &self.code.block(*block).name;
             g.counter(&format!("vm.block.{name}#{block}")).add(*n);
+            // Cumulative per-closure invocation gauge for the tier
+            // sampler: unlike `vm.block.*` (this run only), this mirrors
+            // the code table's lifetime counter.
+            g.counter(&format!("vm.closure.calls.{name}#{block}"))
+                .set(self.code.calls(*block));
         }
     }
 
@@ -349,6 +354,7 @@ impl<'a, S: StoreAccess> Machine<'a, S> {
         self.stats.calls += 1;
         match target {
             RVal::Clo(c) => {
+                self.code.note_call(c.code);
                 if let Some(p) = self.profile.as_deref_mut() {
                     *p.block_calls.entry(c.code).or_insert(0) += 1;
                 }
@@ -360,6 +366,7 @@ impl<'a, S: StoreAccess> Machine<'a, S> {
                     Object::Closure(c) => Some(c.clone()),
                     _ => None,
                 })?;
+                self.code.note_call(clo.code);
                 if let Some(p) = self.profile.as_deref_mut() {
                     *p.block_calls.entry(clo.code).or_insert(0) += 1;
                 }

@@ -49,6 +49,10 @@
 //!   --max-conns N             serve: refuse connections beyond N with a typed busy error
 //!   --lock-ms N               serve: lock acquisition timeout in milliseconds
 //!   --conn-timeout-ms N       serve: per-connection idle read timeout (default 30000)
+//!   --tier-threshold N        serve: promote a closure to the hot tier after N calls
+//!                             (default 1000)
+//!   --tier-interval-ms N      serve: background re-optimizer sampling interval (default 25)
+//!   --tier-off                serve: disable background tier re-optimization
 //! ```
 
 use std::process::ExitCode;
@@ -89,6 +93,9 @@ struct Options {
     max_conns: usize,
     lock_ms: Option<u64>,
     conn_timeout_ms: u64,
+    tier_threshold: u64,
+    tier_interval_ms: u64,
+    tier_off: bool,
     positional: Vec<String>,
 }
 
@@ -119,6 +126,9 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
         max_conns: 64,
         lock_ms: None,
         conn_timeout_ms: 30_000,
+        tier_threshold: 1000,
+        tier_interval_ms: 25,
+        tier_off: false,
         positional: Vec::new(),
     };
     let mut it = args;
@@ -176,6 +186,19 @@ fn parse_args(mut args: std::env::Args) -> Result<(String, Options), String> {
                     .parse()
                     .map_err(|e| format!("bad --conn-timeout-ms: {e}"))?;
             }
+            "--tier-threshold" => {
+                let v = it.next().ok_or("--tier-threshold needs a value")?;
+                o.tier_threshold = v
+                    .parse()
+                    .map_err(|e| format!("bad --tier-threshold: {e}"))?;
+            }
+            "--tier-interval-ms" => {
+                let v = it.next().ok_or("--tier-interval-ms needs a value")?;
+                o.tier_interval_ms = v
+                    .parse()
+                    .map_err(|e| format!("bad --tier-interval-ms: {e}"))?;
+            }
+            "--tier-off" => o.tier_off = true,
             "--fn" => o.target_fn = Some(it.next().ok_or("--fn needs a value")?),
             "-o" | "--output" => o.output = Some(it.next().ok_or("-o needs a value")?),
             "--arg" => {
@@ -614,6 +637,9 @@ fn cmd_info(o: &Options) -> Result<(), String> {
     for (_, obj) in store.iter() {
         rec.counter(&format!("store.kind.{}", obj.kind())).inc();
     }
+    // Tier section: per-tier closure counts plus the persisted swap/deopt
+    // totals (the `tier.stats` root survives checkpoints).
+    tycoon::reflect::tier::publish_gauges(&store, None);
     // Log stats, when a write-ahead log sits next to the image. `stale`
     // means the log was written against a different base image and redo
     // would be skipped on open.
@@ -675,7 +701,7 @@ fn cmd_info(o: &Options) -> Result<(), String> {
         println!("  {name:<20} {oid}  ({kind})");
     }
     println!("store:");
-    print_counters(&["store.", "txn."]);
+    print_counters(&["store.", "txn.", "reflect.tier."]);
     Ok(())
 }
 
@@ -920,11 +946,14 @@ fn cmd_stats(o: &Options) -> Result<(), String> {
         let mut s = durable_session(o, &path)?;
         let r = stats_exercise(&mut s, o)?;
         s.store.publish_page_counters();
+        tycoon::reflect::tier::publish_gauges(&s.store, None);
         seal_durable(&mut s)?;
         r
     } else {
         let mut s = load_input(o)?;
-        stats_exercise(&mut s, o)?
+        let r = stats_exercise(&mut s, o)?;
+        tycoon::reflect::tier::publish_gauges(&s.store, None);
+        r
     };
     // Store/WAL path: a commit + checkpoint cycle on a scratch store.
     let dir = std::env::temp_dir().join(format!("tmlc_stats_{}", std::process::id()));
@@ -1513,11 +1542,18 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
     if let Some(ms) = o.lock_ms {
         lock.timeout = std::time::Duration::from_millis(ms);
     }
+    // Tiered execution is on by default for served sessions; `--tier-off`
+    // pins every closure to the baseline tier.
+    let tier = (!o.tier_off).then_some(tycoon::txn::TierSettings {
+        threshold: o.tier_threshold,
+        interval: std::time::Duration::from_millis(o.tier_interval_ms),
+    });
     let server = tycoon::txn::Server::bind(tycoon::txn::ServerOptions {
         addr: o.addr.clone().unwrap_or_else(|| "127.0.0.1:7170".into()),
         max_conns: o.max_conns,
         conn_timeout: std::time::Duration::from_millis(o.conn_timeout_ms),
         lock,
+        tier,
     })
     .map_err(|e| format!("bind: {e}"))?;
     // The soak harness (and shell scripts) parse this line for the port.
@@ -1530,7 +1566,7 @@ fn cmd_serve(o: &Options) -> Result<(), String> {
         println!("{}", rec.to_json());
     } else {
         println!("tmlc: server stopped");
-        print_counters(&["txn.", "lock.", "store."]);
+        print_counters(&["txn.", "lock.", "store.", "reflect.tier."]);
         if o.hist {
             print_hist_table(&["lock.", "serve.", "store."]);
         }

@@ -156,6 +156,68 @@ fn graceful_soak_is_fsck_clean_with_every_acked_root() {
     }
 }
 
+/// `tmlc serve --json`'s exit-stats block must carry the opt-cache and
+/// tier gauge sections alongside the lock-table ones (the schema CI's
+/// jq smokes assert on `tmlc stats`).
+#[test]
+fn serve_json_exit_stats_report_opt_cache_and_tier_gauges() {
+    let dir = TempDir::new("servejson");
+    let image = dir.image();
+    let mut child = tmlc()
+        .arg("serve")
+        .arg(&image)
+        .args(["--addr", "127.0.0.1:0", "--json", "--tier-threshold", "5"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn tmlc serve");
+    let addr: SocketAddr = {
+        let stdout = child.stdout.as_mut().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read banner");
+        line.rsplit(' ')
+            .next()
+            .and_then(|a| a.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no address in banner {line:?}"))
+    };
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.ship("soak.inc", &inc_ptml()).expect("ship");
+    for i in 0..16 {
+        let v = c.call("soak.inc", &[Value::Int(i)]).expect("call succeeds");
+        assert_eq!(v, Value::Int(i + 1));
+    }
+    // A couple of tick intervals so the re-opt thread gets a chance to
+    // promote (not asserted — only the gauges' presence is contractual).
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    c.shutdown().expect("graceful shutdown");
+    let out = child.wait_with_output().expect("reap server");
+    assert!(out.status.success(), "serve exits clean");
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON stats block in {stdout:?}"));
+    for key in [
+        "\"version\":3",
+        "\"lock.table.keys\"",
+        "\"store.opt_cache.entries\"",
+        "\"store.opt_cache.hits\"",
+        "\"store.opt_cache.misses\"",
+        "\"reflect.tier.schema\":1",
+        "\"reflect.tier.hot\"",
+        "\"reflect.tier.baseline\"",
+        "\"reflect.tier.swaps\"",
+        "\"reflect.tier.deopts\"",
+        "\"reflect.tier.threshold\":5",
+    ] {
+        assert!(json.contains(key), "exit stats must contain {key}: {json}");
+    }
+}
+
 #[test]
 fn killed_server_recovers_acked_commits_and_rolls_back_the_loser() {
     const SHIPS: usize = 8;
